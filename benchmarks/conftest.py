@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates the data behind one table or figure of the paper
+on a representative subset of circuits (so a full ``pytest benchmarks/
+--benchmark-only`` run finishes in minutes).  Pass ``--paper-full`` to run
+every experiment on the complete 17-circuit benchmark set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-full",
+        action="store_true",
+        default=False,
+        help="run every experiment on the full 17-circuit benchmark set",
+    )
+
+
+#: Fast, representative subset: one sequential, one parallel, one Toffoli-heavy,
+#: one dense circuit.
+FAST_SUBSET = ["bv_n14", "ghz_n23", "ising_n42", "multiply_n13"]
+
+
+@pytest.fixture(scope="session")
+def circuit_subset(request):
+    """Circuit names used by the benchmarks (full set with --paper-full)."""
+    if request.config.getoption("--paper-full"):
+        return None  # None means "all paper benchmarks" to the experiment runners.
+    return FAST_SUBSET

@@ -1,0 +1,23 @@
+"""Benchmark E1 -- regenerates Fig. 8 (fidelity across architectures)."""
+
+from repro.experiments.architecture_comparison import (
+    fidelity_table,
+    improvement_summary,
+    run_architecture_comparison,
+)
+from repro.experiments.reporting import format_table
+
+
+def test_bench_fig08_architecture_comparison(benchmark, circuit_subset):
+    records = benchmark.pedantic(
+        run_architecture_comparison, args=(circuit_subset,), rounds=1, iterations=1
+    )
+    table = fidelity_table(records)
+    ratios = improvement_summary(records)
+    print("\n[Fig. 8] circuit fidelity across architectures")
+    print(format_table(table))
+    print("ZAC geomean improvement:", {k: round(v, 2) for k, v in ratios.items()})
+    # Shape check: ZAC beats both monolithic compilers in the geometric mean.
+    assert ratios["Monolithic-Enola"] > 1.0
+    assert ratios["Monolithic-Atomique"] > 1.0
+    assert ratios["Zoned-NALAC"] > 1.0

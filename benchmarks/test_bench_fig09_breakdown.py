@@ -1,0 +1,20 @@
+"""Benchmark E2 -- regenerates Fig. 9 (fidelity breakdown per error source)."""
+
+from repro.experiments.fidelity_breakdown import breakdown_table, run_fidelity_breakdown
+from repro.experiments.harness import geometric_mean, records_by_compiler
+from repro.experiments.reporting import format_table
+
+
+def test_bench_fig09_fidelity_breakdown(benchmark, circuit_subset):
+    records = benchmark.pedantic(
+        run_fidelity_breakdown, args=(circuit_subset,), rounds=1, iterations=1
+    )
+    print("\n[Fig. 9] fidelity breakdown (2Q gate / atom transfer / decoherence)")
+    print(format_table(breakdown_table(records)))
+    grouped = records_by_compiler(records)
+    zac_2q = geometric_mean(r.fidelity_2q for r in grouped["ZAC"])
+    enola_2q = geometric_mean(r.fidelity_2q for r in grouped["Enola"])
+    nalac_2q = geometric_mean(r.fidelity_2q for r in grouped["NALAC"])
+    # ZAC has no idle-qubit excitation, so its 2Q-gate term beats the others.
+    assert zac_2q > enola_2q
+    assert zac_2q >= nalac_2q

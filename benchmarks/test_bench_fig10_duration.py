@@ -1,0 +1,19 @@
+"""Benchmark E3 -- regenerates Fig. 10 (circuit duration comparison)."""
+
+from repro.experiments.duration_comparison import (
+    duration_ratios,
+    duration_table,
+    run_duration_comparison,
+)
+from repro.experiments.reporting import format_table
+
+
+def test_bench_fig10_duration(benchmark, circuit_subset):
+    records = benchmark.pedantic(
+        run_duration_comparison, args=(circuit_subset,), rounds=1, iterations=1
+    )
+    print("\n[Fig. 10] circuit duration (ms)")
+    print(format_table(duration_table(records)))
+    ratios = duration_ratios(records)
+    print("ZAC duration ratio vs baselines:", {k: round(v, 2) for k, v in ratios.items()})
+    assert all(r.duration_us > 0 for r in records)

@@ -1,0 +1,19 @@
+"""Benchmark E4 -- regenerates Fig. 11 (ablation of ZAC's techniques)."""
+
+from repro.experiments.ablation import ablation_table, run_ablation, stepwise_improvements
+from repro.experiments.harness import geometric_mean, records_by_compiler
+from repro.experiments.reporting import format_table
+
+
+def test_bench_fig11_ablation(benchmark, circuit_subset):
+    records = benchmark.pedantic(run_ablation, args=(circuit_subset,), rounds=1, iterations=1)
+    print("\n[Fig. 11] ablation study")
+    print(format_table(ablation_table(records)))
+    print("step-wise gains:", {k: f"{v * 100:+.1f}%" for k, v in stepwise_improvements(records).items()})
+    grouped = records_by_compiler(records)
+    reuse = geometric_mean(r.fidelity for r in grouped["dynPlace+reuse"])
+    dyn = geometric_mean(r.fidelity for r in grouped["dynPlace"])
+    vanilla = geometric_mean(r.fidelity for r in grouped["Vanilla"])
+    # Reuse is the big step in the paper (Fig. 11: +46% over dynPlace).
+    assert reuse > dyn * 1.01
+    assert reuse > vanilla * 1.01

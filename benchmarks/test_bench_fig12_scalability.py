@@ -1,0 +1,19 @@
+"""Benchmark E5 -- regenerates Fig. 12 (compile time versus fidelity)."""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scalability import run_scalability, scalability_table
+
+
+def test_bench_fig12_scalability(benchmark, circuit_subset):
+    records = benchmark.pedantic(
+        run_scalability, args=(circuit_subset,), rounds=1, iterations=1
+    )
+    rows = scalability_table(records)
+    print("\n[Fig. 12] compilation time vs fidelity")
+    print(format_table(rows))
+    by_name = {r["compiler"]: r for r in rows}
+    full = by_name["ZAC-SA+dynPlace+reuse"]
+    vanilla = by_name["ZAC-Vanilla"]
+    # The full pipeline buys fidelity at some compile-time cost.
+    assert full["gmean_fidelity"] >= vanilla["gmean_fidelity"]
+    assert full["mean_compile_time_s"] < 60.0

@@ -1,0 +1,15 @@
+"""Benchmark E6 -- regenerates Fig. 13 (optimality study against ideal bounds)."""
+
+from repro.experiments.optimality import optimality_gaps, run_optimality
+from repro.experiments.reporting import format_table
+
+
+def test_bench_fig13_optimality(benchmark, circuit_subset):
+    rows = benchmark.pedantic(run_optimality, args=(circuit_subset,), rounds=1, iterations=1)
+    print("\n[Fig. 13] optimality analysis")
+    print(format_table(rows))
+    gaps = optimality_gaps(rows)
+    print("optimality gaps:", {k: f"{v * 100:.1f}%" for k, v in gaps.items()})
+    # The bounds dominate ZAC and the overall gap stays moderate (paper: ~10%).
+    for gap in gaps.values():
+        assert -1e-6 <= gap < 0.35

@@ -1,0 +1,16 @@
+"""Benchmark E7 -- regenerates Fig. 14 (effect of the number of AODs)."""
+
+from repro.experiments.aod_sweep import aod_gains, run_aod_sweep
+from repro.experiments.reporting import format_table
+
+
+def test_bench_fig14_aod_count(benchmark, circuit_subset):
+    rows = benchmark.pedantic(run_aod_sweep, args=(circuit_subset,), rounds=1, iterations=1)
+    print("\n[Fig. 14] AOD-count sweep")
+    print(format_table(rows))
+    gains = aod_gains(rows)
+    print("gain over 1 AOD:", {k: f"{v * 100:+.1f}%" for k, v in gains.items()})
+    # Extra AODs never reduce the geometric-mean fidelity.
+    assert all(gain >= -1e-6 for gain in gains.values())
+    # ...and the marginal benefit of the 4th AOD is no larger than that of the 2nd.
+    assert gains["4AOD"] <= gains["2AOD"] + 0.05

@@ -1,0 +1,15 @@
+"""Benchmark E9 -- regenerates Section VII-H (multiple entanglement zones)."""
+
+from repro.experiments.multi_zone import improvement, run_multi_zone
+from repro.experiments.reporting import format_table
+
+
+def test_bench_sec7h_multi_zone(benchmark):
+    rows = benchmark.pedantic(run_multi_zone, args=("ising_n98",), rounds=1, iterations=1)
+    print("\n[Section VII-H] ising_n98 on Arch1 (1 zone) vs Arch2 (2 zones)")
+    print(format_table(rows))
+    stats = improvement(rows)
+    print(f"Arch2 fidelity gain: {stats['fidelity_gain'] * 100:+.1f}%")
+    print(f"Arch2 duration reduction: {stats['duration_reduction'] * 100:+.1f}%")
+    # The second entanglement zone improves fidelity (paper: +15%).
+    assert stats["fidelity_gain"] > 0

@@ -1,0 +1,15 @@
+"""Benchmark E10 -- regenerates Section VIII (FTQC hIQP compilation)."""
+
+from repro.experiments.ftqc_hiqp import run_ftqc_hiqp
+from repro.experiments.reporting import format_table
+
+
+def test_bench_sec8_ftqc_hiqp(benchmark):
+    summary = benchmark.pedantic(run_ftqc_hiqp, args=(128,), rounds=1, iterations=1)
+    print("\n[Section VIII] hIQP on 128 [[8,3,2]] blocks (paper: 35 stages, 117.847 ms)")
+    print(format_table([summary]))
+    assert summary["num_transversal_cnots"] == 448
+    assert summary["num_logical_qubits"] == 384
+    # 448 CNOTs over 15 logical sites -> 35 Rydberg stages, as in the paper.
+    assert summary["num_rydberg_stages"] == 35
+    assert summary["duration_ms"] > 0

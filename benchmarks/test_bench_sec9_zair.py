@@ -1,0 +1,16 @@
+"""Benchmark E11 -- regenerates Section IX (ZAIR instruction statistics)."""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.zair_stats import run_zair_stats
+
+
+def test_bench_sec9_zair_stats(benchmark, circuit_subset):
+    rows = benchmark.pedantic(run_zair_stats, args=(circuit_subset,), rounds=1, iterations=1)
+    print("\n[Section IX] ZAIR instructions per gate (paper: 0.85 ZAIR / 1.77 machine)")
+    print(format_table(rows))
+    gmean = rows[-1]
+    assert float(gmean["zair_per_gate"]) > 0
+    assert float(gmean["machine_per_gate"]) >= float(gmean["zair_per_gate"])
+    # The job abstraction keeps the program-level instruction count of the
+    # same order as the gate count.
+    assert float(gmean["zair_per_gate"]) < 3.0

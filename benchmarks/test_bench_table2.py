@@ -1,0 +1,17 @@
+"""Benchmark E8 -- regenerates Table II (SC grid vs ZAC breakdown and duration)."""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.table2 import run_table2
+
+
+def test_bench_table2_breakdown(benchmark, circuit_subset):
+    rows = benchmark.pedantic(run_table2, args=(circuit_subset,), rounds=1, iterations=1)
+    print("\n[Table II] SC grid vs ZAC fidelity breakdown")
+    print(format_table(rows))
+    sc = next(r for r in rows if r["platform"] == "SC")
+    zac = next(r for r in rows if r["platform"] == "ZAC")
+    # The qualitative Table II shape: the SC machine is orders of magnitude
+    # faster but ZAC has the better decoherence term thanks to the 1.5 s T2.
+    assert zac["avg_duration_us"] > sc["avg_duration_us"]
+    assert zac["decoherence"] > 0
+    assert 0 < sc["total"] <= 1 and 0 < zac["total"] <= 1

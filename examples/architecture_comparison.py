@@ -1,0 +1,39 @@
+"""Compare architectures and compilers on a slice of the paper's benchmark set.
+
+Reproduces a small version of Fig. 8 / Fig. 10: fidelity and duration of the
+superconducting baselines, the monolithic compilers, NALAC and ZAC.
+
+Run with::
+
+    python examples/architecture_comparison.py            # fast subset
+    python examples/architecture_comparison.py --full     # all 17 circuits
+"""
+
+import argparse
+
+from repro.experiments.architecture_comparison import (
+    fidelity_table,
+    improvement_summary,
+    run_architecture_comparison,
+)
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run all 17 paper benchmarks")
+    args = parser.parse_args()
+
+    subset = None if args.full else ["bv_n14", "ghz_n23", "ising_n42", "qft_n18"]
+    records = run_architecture_comparison(subset)
+
+    print("Circuit fidelity across architectures (Fig. 8)")
+    print(format_table(fidelity_table(records)))
+    print()
+    print("ZAC geometric-mean fidelity improvement:")
+    for label, ratio in improvement_summary(records).items():
+        print(f"  vs {label:22s}: {ratio:8.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: compile a circuit for the reference zoned architecture with ZAC.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.arch import reference_zoned_architecture
+from repro.circuits import QuantumCircuit
+from repro.core import ZACCompiler, ZACConfig
+from repro.zair import validate_program
+
+
+def build_circuit() -> QuantumCircuit:
+    """A small GHZ-style circuit with a few extra entangling layers."""
+    circuit = QuantumCircuit(6, name="quickstart_ghz6")
+    circuit.h(0)
+    for q in range(5):
+        circuit.cx(q, q + 1)
+    for q in range(0, 6, 2):
+        circuit.rz(0.25, q)
+    for q in range(0, 5, 2):
+        circuit.cz(q, q + 1)
+    return circuit
+
+
+def main() -> None:
+    architecture = reference_zoned_architecture()
+    circuit = build_circuit()
+
+    compiler = ZACCompiler(architecture, ZACConfig.full())
+    result = compiler.compile(circuit)
+
+    # The compiled ZAIR program can be checked against the hardware rules and
+    # serialised to JSON for a hardware backend.
+    validate_program(architecture, result.program)
+
+    print(f"circuit: {result.circuit_name} on {result.architecture_name}")
+    print(f"  2Q gates           : {result.metrics.num_2q_gates}")
+    print(f"  Rydberg stages     : {result.metrics.num_rydberg_stages}")
+    print(f"  qubit movements    : {result.metrics.num_movements}")
+    print(f"  atom transfers     : {result.metrics.num_transfers}")
+    print(f"  reused qubits      : {result.plan.num_reuses}")
+    print(f"  circuit duration   : {result.duration_us / 1000:.2f} ms")
+    print(f"  estimated fidelity : {result.total_fidelity:.4f}")
+    print()
+    print("fidelity breakdown:")
+    for term, value in result.fidelity.as_dict().items():
+        print(f"  {term:14s}: {value:.4f}")
+    print()
+    print("first few ZAIR instructions:")
+    for inst in result.program.instructions[:5]:
+        print(" ", type(inst).__name__, inst.to_dict())
+
+
+if __name__ == "__main__":
+    main()

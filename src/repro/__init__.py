@@ -1,0 +1,29 @@
+"""repro: reproduction of ZAC -- Reuse-Aware Compilation for Zoned Quantum
+Architectures Based on Neutral Atoms (HPCA 2025).
+
+The package is organised as:
+
+* :mod:`repro.circuits`   -- circuit IR, QASM I/O, resynthesis, benchmark library
+* :mod:`repro.arch`       -- zoned-architecture specification and presets
+* :mod:`repro.zair`       -- the ZAIR intermediate representation
+* :mod:`repro.fidelity`   -- fidelity / timing models (neutral atom + superconducting)
+* :mod:`repro.core`       -- the ZAC compiler (placement, routing, scheduling)
+* :mod:`repro.baselines`  -- Enola / Atomique / NALAC / superconducting / ideal bounds
+* :mod:`repro.ftqc`       -- [[8,3,2]] code blocks and hIQP transversal-gate compilation
+* :mod:`repro.experiments`-- harnesses regenerating every table and figure
+"""
+
+__version__ = "1.0.0"
+
+from .arch import reference_zoned_architecture
+from .circuits import QuantumCircuit
+from .core import CompilationResult, ZACCompiler, ZACConfig
+
+__all__ = [
+    "CompilationResult",
+    "QuantumCircuit",
+    "ZACCompiler",
+    "ZACConfig",
+    "reference_zoned_architecture",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Zoned-architecture specification, geometry, presets and serialization."""
+
+from .presets import (
+    D_OMEGA,
+    D_RYD,
+    D_SEP,
+    D_STORAGE,
+    logical_block_architecture,
+    monolithic_architecture,
+    reference_zoned_architecture,
+    small_dual_zone_architecture,
+    small_single_zone_architecture,
+    with_num_aods,
+)
+from .serialization import dump, dumps, from_spec_dict, load, loads, to_spec_dict
+from .spec import (
+    AODArray,
+    Architecture,
+    ArchitectureError,
+    RydbergSite,
+    SLMArray,
+    StorageTrap,
+    Zone,
+    distance,
+)
+
+__all__ = [
+    "AODArray",
+    "Architecture",
+    "ArchitectureError",
+    "D_OMEGA",
+    "D_RYD",
+    "D_SEP",
+    "D_STORAGE",
+    "RydbergSite",
+    "SLMArray",
+    "StorageTrap",
+    "Zone",
+    "distance",
+    "dump",
+    "dumps",
+    "from_spec_dict",
+    "load",
+    "loads",
+    "logical_block_architecture",
+    "monolithic_architecture",
+    "reference_zoned_architecture",
+    "small_dual_zone_architecture",
+    "small_single_zone_architecture",
+    "to_spec_dict",
+    "with_num_aods",
+]

@@ -1,0 +1,233 @@
+"""Pre-built architectures used throughout the paper's evaluation.
+
+All dimensions follow Section III / Fig. 2 / Fig. 20 of the paper:
+
+* ``d_Ryd`` = 2 um separation between the two traps of a Rydberg site,
+* ``d_omega`` = 10 um separation between Rydberg sites,
+* ``d_s`` = 3 um separation between storage traps,
+* ``d_sep`` = 10 um separation between zones.
+"""
+
+from __future__ import annotations
+
+from .spec import AODArray, Architecture, SLMArray, Zone
+
+D_RYD = 2.0
+D_OMEGA = 10.0
+D_STORAGE = 3.0
+D_SEP = 10.0
+
+#: x-separation of entanglement-zone SLM arrays (d_Ryd + d_omega).
+ENT_SEP_X = D_RYD + D_OMEGA
+#: y-separation of entanglement-zone SLM arrays (d_omega).
+ENT_SEP_Y = D_OMEGA
+
+
+def _entanglement_zone(
+    zone_id: int,
+    slm_id_left: int,
+    num_site_rows: int,
+    num_site_cols: int,
+    offset: tuple[float, float],
+) -> Zone:
+    """Build an entanglement zone of ``num_site_rows`` x ``num_site_cols`` sites."""
+    left = SLMArray(
+        slm_id=slm_id_left,
+        sep=(ENT_SEP_X, ENT_SEP_Y),
+        num_row=num_site_rows,
+        num_col=num_site_cols,
+        offset=offset,
+    )
+    right = SLMArray(
+        slm_id=slm_id_left + 1,
+        sep=(ENT_SEP_X, ENT_SEP_Y),
+        num_row=num_site_rows,
+        num_col=num_site_cols,
+        offset=(offset[0] + D_RYD, offset[1]),
+    )
+    width = num_site_cols * ENT_SEP_X
+    height = num_site_rows * ENT_SEP_Y
+    return Zone(
+        zone_id=zone_id,
+        offset=offset,
+        dimension=(width, height),
+        slms=(left, right),
+    )
+
+
+def _storage_zone(
+    zone_id: int,
+    slm_id: int,
+    num_rows: int,
+    num_cols: int,
+    offset: tuple[float, float],
+    sep: float = D_STORAGE,
+) -> Zone:
+    """Build a storage zone with a single dense SLM array."""
+    slm = SLMArray(
+        slm_id=slm_id,
+        sep=(sep, sep),
+        num_row=num_rows,
+        num_col=num_cols,
+        offset=offset,
+    )
+    return Zone(
+        zone_id=zone_id,
+        offset=offset,
+        dimension=(max(num_cols * sep, sep), max(num_rows * sep, sep)),
+        slms=(slm,),
+    )
+
+
+def reference_zoned_architecture(num_aods: int = 1) -> Architecture:
+    """The paper's reference zoned architecture (Fig. 2 / Fig. 20).
+
+    100x100 storage traps at 3 um pitch, a 7x20-site entanglement zone above
+    the storage zone, a readout zone above that, and ``num_aods`` AODs.
+    """
+    storage = _storage_zone(0, 0, num_rows=100, num_cols=100, offset=(0.0, 0.0))
+    entanglement = _entanglement_zone(
+        0, slm_id_left=1, num_site_rows=7, num_site_cols=20, offset=(35.0, 307.0)
+    )
+    readout = Zone(zone_id=0, offset=(35.0, 385.0), dimension=(240.0, 20.0))
+    aods = [AODArray(aod_id=i, max_num_row=100, max_num_col=100, min_sep=2.0) for i in range(num_aods)]
+    return Architecture(
+        name=f"reference_zoned_{num_aods}aod",
+        aods=aods,
+        storage_zones=[storage],
+        entanglement_zones=[entanglement],
+        readout_zones=[readout],
+        zone_separation=D_SEP,
+    )
+
+
+def monolithic_architecture(num_aods: int = 1, num_site_rows: int = 10, num_site_cols: int = 10) -> Architecture:
+    """The monolithic baseline architecture (Section VII-A).
+
+    A single entanglement zone of 10x10 Rydberg sites covered entirely by the
+    Rydberg laser, no storage zone, and a 10x10 AOD.  Qubit separation
+    follows the entanglement-zone settings of the zoned architecture.
+    """
+    entanglement = _entanglement_zone(
+        0, slm_id_left=0, num_site_rows=num_site_rows, num_site_cols=num_site_cols, offset=(0.0, 0.0)
+    )
+    aods = [AODArray(aod_id=i, max_num_row=10, max_num_col=10, min_sep=2.0) for i in range(num_aods)]
+    return Architecture(
+        name=f"monolithic_{num_site_rows}x{num_site_cols}",
+        aods=aods,
+        storage_zones=[],
+        entanglement_zones=[entanglement],
+        readout_zones=[],
+        zone_separation=D_SEP,
+    )
+
+
+def small_single_zone_architecture(num_aods: int = 1) -> Architecture:
+    """'Arch1' from Section VII-H: 3x40 storage traps, one 6x10-site zone."""
+    storage = _storage_zone(0, 0, num_rows=3, num_cols=40, offset=(0.0, 0.0))
+    entanglement = _entanglement_zone(
+        0, slm_id_left=1, num_site_rows=6, num_site_cols=10, offset=(0.0, 9.0 + D_SEP)
+    )
+    aods = [AODArray(aod_id=i) for i in range(num_aods)]
+    return Architecture(
+        name="arch1_single_entanglement_zone",
+        aods=aods,
+        storage_zones=[storage],
+        entanglement_zones=[entanglement],
+        zone_separation=D_SEP,
+    )
+
+
+def small_dual_zone_architecture(num_aods: int = 1) -> Architecture:
+    """'Arch2' from Section VII-H: two 3x10-site zones sandwiching the storage zone."""
+    lower = _entanglement_zone(0, slm_id_left=1, num_site_rows=3, num_site_cols=10, offset=(0.0, 0.0))
+    lower_top = 3 * ENT_SEP_Y
+    storage = _storage_zone(
+        0, 0, num_rows=3, num_cols=40, offset=(0.0, lower_top + D_SEP)
+    )
+    storage_top = lower_top + D_SEP + 9.0
+    upper = _entanglement_zone(
+        1, slm_id_left=3, num_site_rows=3, num_site_cols=10, offset=(0.0, storage_top + D_SEP)
+    )
+    aods = [AODArray(aod_id=i) for i in range(num_aods)]
+    return Architecture(
+        name="arch2_dual_entanglement_zone",
+        aods=aods,
+        storage_zones=[storage],
+        entanglement_zones=[lower, upper],
+        zone_separation=D_SEP,
+    )
+
+
+def logical_block_architecture(
+    num_blocks: int = 128,
+    block_rows: int = 2,
+    block_cols: int = 4,
+) -> Architecture:
+    """Logical-level architecture for FTQC compilation (Section VIII).
+
+    Each [[8,3,2]] code block occupies ``block_rows`` x ``block_cols``
+    physical traps, so the logical architecture has
+    ``floor(7 / block_rows)`` x ``floor(20 / block_cols)`` entanglement
+    sites (3 x 5 for the reference architecture) and a storage zone scaled so
+    one logical trap holds one code block.
+    """
+    site_rows = 7 // block_rows
+    site_cols = 20 // block_cols
+    # One storage row holds as many blocks as fit in 100 physical columns.
+    blocks_per_row = 100 // block_cols
+    num_rows = max(1, -(-num_blocks // blocks_per_row))
+    storage_sep_x = block_cols * D_STORAGE
+    storage_sep_y = block_rows * D_STORAGE
+    storage_slm = SLMArray(
+        slm_id=0,
+        sep=(storage_sep_x, storage_sep_y),
+        num_row=max(num_rows, 2),
+        num_col=blocks_per_row,
+        offset=(0.0, 0.0),
+    )
+    storage = Zone(
+        zone_id=0,
+        offset=(0.0, 0.0),
+        dimension=(blocks_per_row * storage_sep_x, max(num_rows, 2) * storage_sep_y),
+        slms=(storage_slm,),
+    )
+    storage_top = storage.dimension[1]
+    entanglement = _entanglement_zone(
+        0,
+        slm_id_left=1,
+        num_site_rows=site_rows,
+        num_site_cols=site_cols,
+        offset=(0.0, storage_top + D_SEP),
+    )
+    return Architecture(
+        name=f"logical_{num_blocks}blocks",
+        aods=[AODArray(aod_id=0)],
+        storage_zones=[storage],
+        entanglement_zones=[entanglement],
+        zone_separation=D_SEP,
+    )
+
+
+def with_num_aods(architecture: Architecture, num_aods: int) -> Architecture:
+    """Return a copy of ``architecture`` equipped with ``num_aods`` AODs."""
+    if num_aods <= 0:
+        raise ValueError("need at least one AOD")
+    template = architecture.aods[0]
+    aods = [
+        AODArray(
+            aod_id=i,
+            max_num_row=template.max_num_row,
+            max_num_col=template.max_num_col,
+            min_sep=template.min_sep,
+        )
+        for i in range(num_aods)
+    ]
+    return Architecture(
+        name=f"{architecture.name}_{num_aods}aod",
+        aods=aods,
+        storage_zones=architecture.storage_zones,
+        entanglement_zones=architecture.entanglement_zones,
+        readout_zones=architecture.readout_zones,
+        zone_separation=architecture.zone_separation,
+    )

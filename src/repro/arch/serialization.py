@@ -1,0 +1,126 @@
+"""JSON serialization of architecture specifications.
+
+The on-disk format follows the paper's Fig. 20 example: a dictionary with
+``storage_zones``, ``entanglement_zones``, ``readout_zones`` and ``aods``
+keys.  Hardware-parameter keys (``operation_duration``, ``operation_fidelity``,
+``qubit_spec``) present in the paper's example files are tolerated and
+ignored here; they are parsed by :mod:`repro.fidelity.params`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .spec import AODArray, Architecture, ArchitectureError, SLMArray, Zone
+
+
+def _slm_to_dict(slm: SLMArray) -> dict[str, Any]:
+    return {
+        "id": slm.slm_id,
+        "site_seperation": [slm.sep[0], slm.sep[1]],
+        "r": slm.num_row,
+        "c": slm.num_col,
+        "location": [slm.offset[0], slm.offset[1]],
+    }
+
+
+def _slm_from_dict(data: dict[str, Any]) -> SLMArray:
+    sep = data.get("site_seperation", data.get("site_separation", data.get("sep")))
+    if sep is None:
+        raise ArchitectureError(f"SLM entry missing separation: {data}")
+    if isinstance(sep, (int, float)):
+        sep = [sep, sep]
+    location = data.get("location", data.get("offset", [0.0, 0.0]))
+    return SLMArray(
+        slm_id=int(data["id"]),
+        sep=(float(sep[0]), float(sep[1])),
+        num_row=int(data["r"]),
+        num_col=int(data["c"]),
+        offset=(float(location[0]), float(location[1])),
+    )
+
+
+def _zone_to_dict(zone: Zone) -> dict[str, Any]:
+    return {
+        "zone_id": zone.zone_id,
+        "slms": [_slm_to_dict(s) for s in zone.slms],
+        "offset": [zone.offset[0], zone.offset[1]],
+        "dimension": [zone.dimension[0], zone.dimension[1]],
+    }
+
+
+def _zone_from_dict(data: dict[str, Any]) -> Zone:
+    dimension = data.get("dimension", data.get("dimenstion"))
+    if dimension is None:
+        raise ArchitectureError(f"zone entry missing dimension: {data}")
+    offset = data.get("offset", [0.0, 0.0])
+    return Zone(
+        zone_id=int(data.get("zone_id", 0)),
+        offset=(float(offset[0]), float(offset[1])),
+        dimension=(float(dimension[0]), float(dimension[1])),
+        slms=tuple(_slm_from_dict(s) for s in data.get("slms", [])),
+    )
+
+
+def to_spec_dict(architecture: Architecture) -> dict[str, Any]:
+    """Serialise an architecture into the paper's JSON dictionary format."""
+    return {
+        "name": architecture.name,
+        "storage_zones": [_zone_to_dict(z) for z in architecture.storage_zones],
+        "entanglement_zones": [_zone_to_dict(z) for z in architecture.entanglement_zones],
+        "readout_zones": [_zone_to_dict(z) for z in architecture.readout_zones],
+        "aods": [
+            {
+                "id": a.aod_id,
+                "site_seperation": a.min_sep,
+                "r": a.max_num_row,
+                "c": a.max_num_col,
+            }
+            for a in architecture.aods
+        ],
+        "zone_separation": architecture.zone_separation,
+    }
+
+
+def from_spec_dict(data: dict[str, Any]) -> Architecture:
+    """Build an architecture from the paper's JSON dictionary format."""
+    aods = [
+        AODArray(
+            aod_id=int(a.get("id", i)),
+            min_sep=float(a.get("site_seperation", a.get("min_sep", 2.0))),
+            max_num_row=int(a.get("r", a.get("max_num_row", 100))),
+            max_num_col=int(a.get("c", a.get("max_num_col", 100))),
+        )
+        for i, a in enumerate(data.get("aods", []))
+    ]
+    return Architecture(
+        name=data.get("name", "architecture"),
+        aods=aods,
+        storage_zones=[_zone_from_dict(z) for z in data.get("storage_zones", [])],
+        entanglement_zones=[_zone_from_dict(z) for z in data.get("entanglement_zones", [])],
+        readout_zones=[_zone_from_dict(z) for z in data.get("readout_zones", [])],
+        zone_separation=float(data.get("zone_separation", 10.0)),
+    )
+
+
+def dumps(architecture: Architecture, indent: int = 2) -> str:
+    """Serialise an architecture to a JSON string."""
+    return json.dumps(to_spec_dict(architecture), indent=indent)
+
+
+def loads(text: str) -> Architecture:
+    """Parse an architecture from a JSON string."""
+    return from_spec_dict(json.loads(text))
+
+
+def dump(architecture: Architecture, path: str) -> None:
+    """Write an architecture specification to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(architecture))
+
+
+def load(path: str) -> Architecture:
+    """Read an architecture specification from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())

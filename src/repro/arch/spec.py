@@ -1,0 +1,312 @@
+"""Zoned-architecture specification (paper Section III, Fig. 3).
+
+The specification has four entity types: AOD arrays, SLM arrays, zones, and
+the architecture itself.  Entanglement zones contain exactly two SLM arrays
+whose corresponding traps form *Rydberg sites* (left trap + right trap, a
+``d_Ryd`` apart); storage zones contain one densely packed SLM array.
+
+All coordinates are in micrometres, with the origin at the bottom-left of
+the machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class ArchitectureError(ValueError):
+    """Raised for structurally invalid architecture specifications."""
+
+
+@dataclass(frozen=True)
+class AODArray:
+    """A 2-D acousto-optic deflector array (one mobile tweezer grid).
+
+    Attributes:
+        aod_id: Index of the AOD (architectures may have several).
+        max_num_row: Capacity of the row component.
+        max_num_col: Capacity of the column component.
+        min_sep: Minimum separation (um) between any two rows / columns.
+    """
+
+    aod_id: int
+    max_num_row: int = 100
+    max_num_col: int = 100
+    min_sep: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_num_row <= 0 or self.max_num_col <= 0:
+            raise ArchitectureError("AOD capacity must be positive")
+        if self.min_sep <= 0:
+            raise ArchitectureError("AOD min_sep must be positive")
+
+
+@dataclass(frozen=True)
+class SLMArray:
+    """A rectangular grid of static (SLM-generated) optical traps.
+
+    Attributes:
+        slm_id: Globally unique index of the array.
+        sep: (x, y) trap separation in um.
+        num_row: Number of trap rows.
+        num_col: Number of trap columns.
+        offset: (x, y) position of the bottom-left trap.
+    """
+
+    slm_id: int
+    sep: tuple[float, float]
+    num_row: int
+    num_col: int
+    offset: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if self.num_row <= 0 or self.num_col <= 0:
+            raise ArchitectureError("SLM array dimensions must be positive")
+        if self.sep[0] <= 0 or self.sep[1] <= 0:
+            raise ArchitectureError("SLM separations must be positive")
+
+    @property
+    def num_traps(self) -> int:
+        return self.num_row * self.num_col
+
+    def trap_position(self, row: int, col: int) -> tuple[float, float]:
+        """Physical (x, y) of trap at ``row``, ``col``."""
+        if not (0 <= row < self.num_row and 0 <= col < self.num_col):
+            raise ArchitectureError(
+                f"trap ({row}, {col}) outside SLM array {self.slm_id} "
+                f"({self.num_row}x{self.num_col})"
+            )
+        return (self.offset[0] + col * self.sep[0], self.offset[1] + row * self.sep[1])
+
+    def nearest_trap(self, x: float, y: float) -> tuple[int, int]:
+        """Indices (row, col) of the trap closest to (x, y)."""
+        col = round((x - self.offset[0]) / self.sep[0])
+        row = round((y - self.offset[1]) / self.sep[1])
+        col = min(max(col, 0), self.num_col - 1)
+        row = min(max(row, 0), self.num_row - 1)
+        return (row, col)
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A physical region (storage, entanglement, or readout).
+
+    Attributes:
+        zone_id: Index of the zone within its kind.
+        offset: Bottom-left corner (x, y) in um.
+        dimension: (width, height) in um.
+        slms: SLM arrays inside this zone.  Entanglement zones must carry
+            exactly two (left and right traps of each Rydberg site); storage
+            zones carry one; readout zones may carry none.
+    """
+
+    zone_id: int
+    offset: tuple[float, float]
+    dimension: tuple[float, float]
+    slms: tuple[SLMArray, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.dimension[0] <= 0 or self.dimension[1] <= 0:
+            raise ArchitectureError("zone dimensions must be positive")
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point (x, y) lies inside the zone boundary."""
+        return (
+            self.offset[0] <= x <= self.offset[0] + self.dimension[0]
+            and self.offset[1] <= y <= self.offset[1] + self.dimension[1]
+        )
+
+
+@dataclass(frozen=True)
+class RydbergSite:
+    """Identifier of a Rydberg site: entanglement zone index + row/col."""
+
+    zone_index: int
+    row: int
+    col: int
+
+
+@dataclass(frozen=True)
+class StorageTrap:
+    """Identifier of a storage trap: storage zone index + row/col."""
+
+    zone_index: int
+    row: int
+    col: int
+
+
+class Architecture:
+    """A complete zoned architecture.
+
+    Args:
+        name: Human-readable architecture name.
+        aods: AOD arrays available for qubit movement.
+        storage_zones: Zones that shield idle qubits from the Rydberg laser.
+        entanglement_zones: Zones illuminated by the Rydberg laser.
+        readout_zones: Zones for measurement (not used by the compiler core,
+            but part of the specification).
+        zone_separation: Minimum separation between zones (``d_sep``), um.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        aods: list[AODArray],
+        storage_zones: list[Zone],
+        entanglement_zones: list[Zone],
+        readout_zones: list[Zone] | None = None,
+        zone_separation: float = 10.0,
+    ) -> None:
+        self.name = name
+        self.aods = list(aods)
+        self.storage_zones = list(storage_zones)
+        self.entanglement_zones = list(entanglement_zones)
+        self.readout_zones = list(readout_zones or [])
+        self.zone_separation = zone_separation
+        self.validate()
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants of the specification."""
+        if not self.aods:
+            raise ArchitectureError("an architecture needs at least one AOD")
+        if not self.entanglement_zones:
+            raise ArchitectureError("an architecture needs an entanglement zone")
+        seen_aod = set()
+        for aod in self.aods:
+            if aod.aod_id in seen_aod:
+                raise ArchitectureError(f"duplicate aod_id {aod.aod_id}")
+            seen_aod.add(aod.aod_id)
+        for zone in self.entanglement_zones:
+            if len(zone.slms) != 2:
+                raise ArchitectureError(
+                    "entanglement zones must contain exactly two SLM arrays "
+                    "(left and right traps of the Rydberg sites)"
+                )
+            left, right = zone.slms
+            if (left.num_row, left.num_col) != (right.num_row, right.num_col):
+                raise ArchitectureError(
+                    "the two SLM arrays of an entanglement zone must have equal shape"
+                )
+        for zone in self.storage_zones:
+            if len(zone.slms) != 1:
+                raise ArchitectureError("storage zones must contain exactly one SLM array")
+        slm_ids = [s.slm_id for z in self.all_zones() for s in z.slms]
+        if len(slm_ids) != len(set(slm_ids)):
+            raise ArchitectureError("slm_id values must be globally unique")
+
+    def all_zones(self) -> list[Zone]:
+        """All zones of every kind."""
+        return [*self.storage_zones, *self.entanglement_zones, *self.readout_zones]
+
+    # -- Rydberg sites ------------------------------------------------------
+
+    @property
+    def num_rydberg_sites(self) -> int:
+        return sum(z.slms[0].num_traps for z in self.entanglement_zones)
+
+    def iter_rydberg_sites(self):
+        """Yield every Rydberg site across all entanglement zones."""
+        for zone_index, zone in enumerate(self.entanglement_zones):
+            grid = zone.slms[0]
+            for row in range(grid.num_row):
+                for col in range(grid.num_col):
+                    yield RydbergSite(zone_index, row, col)
+
+    def site_shape(self, zone_index: int = 0) -> tuple[int, int]:
+        """(rows, cols) of Rydberg sites in one entanglement zone."""
+        grid = self.entanglement_zones[zone_index].slms[0]
+        return (grid.num_row, grid.num_col)
+
+    def site_position(self, site: RydbergSite) -> tuple[float, float]:
+        """Reference location of a Rydberg site (its left trap, per the paper)."""
+        zone = self.entanglement_zones[site.zone_index]
+        return zone.slms[0].trap_position(site.row, site.col)
+
+    def site_partner_position(self, site: RydbergSite) -> tuple[float, float]:
+        """Location of the right trap of a Rydberg site."""
+        zone = self.entanglement_zones[site.zone_index]
+        return zone.slms[1].trap_position(site.row, site.col)
+
+    def nearest_rydberg_site(self, x: float, y: float) -> RydbergSite:
+        """Rydberg site whose reference trap is closest to (x, y)."""
+        best: RydbergSite | None = None
+        best_dist = math.inf
+        for zone_index, zone in enumerate(self.entanglement_zones):
+            grid = zone.slms[0]
+            row, col = grid.nearest_trap(x, y)
+            px, py = grid.trap_position(row, col)
+            dist = (px - x) ** 2 + (py - y) ** 2
+            if dist < best_dist:
+                best_dist = dist
+                best = RydbergSite(zone_index, row, col)
+        assert best is not None
+        return best
+
+    # -- storage traps ------------------------------------------------------
+
+    @property
+    def num_storage_traps(self) -> int:
+        return sum(z.slms[0].num_traps for z in self.storage_zones)
+
+    def iter_storage_traps(self):
+        """Yield every storage trap across all storage zones."""
+        for zone_index, zone in enumerate(self.storage_zones):
+            grid = zone.slms[0]
+            for row in range(grid.num_row):
+                for col in range(grid.num_col):
+                    yield StorageTrap(zone_index, row, col)
+
+    def storage_shape(self, zone_index: int = 0) -> tuple[int, int]:
+        """(rows, cols) of storage traps in one storage zone."""
+        grid = self.storage_zones[zone_index].slms[0]
+        return (grid.num_row, grid.num_col)
+
+    def trap_position(self, trap: StorageTrap) -> tuple[float, float]:
+        """Physical position of a storage trap."""
+        zone = self.storage_zones[trap.zone_index]
+        return zone.slms[0].trap_position(trap.row, trap.col)
+
+    def nearest_storage_trap(self, x: float, y: float) -> StorageTrap:
+        """Storage trap closest to (x, y)."""
+        best: StorageTrap | None = None
+        best_dist = math.inf
+        for zone_index, zone in enumerate(self.storage_zones):
+            grid = zone.slms[0]
+            row, col = grid.nearest_trap(x, y)
+            px, py = grid.trap_position(row, col)
+            dist = (px - x) ** 2 + (py - y) ** 2
+            if dist < best_dist:
+                best_dist = dist
+                best = StorageTrap(zone_index, row, col)
+        assert best is not None
+        return best
+
+    # -- misc ---------------------------------------------------------------
+
+    @property
+    def num_aods(self) -> int:
+        return len(self.aods)
+
+    def slm_by_id(self, slm_id: int) -> SLMArray:
+        """Look up an SLM array anywhere in the architecture by its id."""
+        for zone in self.all_zones():
+            for slm in zone.slms:
+                if slm.slm_id == slm_id:
+                    return slm
+        raise ArchitectureError(f"no SLM array with id {slm_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Architecture({self.name!r}, aods={len(self.aods)}, "
+            f"storage={len(self.storage_zones)}, "
+            f"entanglement={len(self.entanglement_zones)}, "
+            f"sites={self.num_rydberg_sites}, traps={self.num_storage_traps})"
+        )
+
+
+def distance(p: tuple[float, float], q: tuple[float, float]) -> float:
+    """Euclidean distance between two points in um."""
+    return math.hypot(p[0] - q[0], p[1] - q[1])

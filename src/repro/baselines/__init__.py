@@ -1,0 +1,27 @@
+"""Baseline compilers: monolithic (Enola, Atomique), zoned (NALAC),
+superconducting (Heron / grid), and idealised upper bounds."""
+
+from .ideal import IdealBound, maximal_reuse_count
+from .monolithic.atomique import AtomiqueCompiler, partition_qubits
+from .monolithic.enola import EnolaCompiler
+from .result import BaselineResult
+from .superconducting.coupling import grid_coupling, heavy_hex_coupling
+from .superconducting.routing import RoutedCircuit, RoutingError, route
+from .superconducting.transpiler import SuperconductingCompiler
+from .zoned.nalac import NALACCompiler
+
+__all__ = [
+    "AtomiqueCompiler",
+    "BaselineResult",
+    "EnolaCompiler",
+    "IdealBound",
+    "NALACCompiler",
+    "RoutedCircuit",
+    "RoutingError",
+    "SuperconductingCompiler",
+    "grid_coupling",
+    "heavy_hex_coupling",
+    "maximal_reuse_count",
+    "partition_qubits",
+    "route",
+]

@@ -1,0 +1,179 @@
+"""Idealised upper bounds for the optimality study (paper Section VII-F).
+
+The bounds are constructed *on top of* a ZAC compilation result, replacing
+parts of it with their best-case counterparts:
+
+* **Perfect movement** -- every movement of an epoch is compatible, so each
+  movement epoch needs a single rearrangement instruction whose duration is
+  one pickup, one move over the epoch's actual longest distance, and one
+  drop-off.
+* **Perfect placement** -- additionally, the distance between a storage trap
+  and a Rydberg site is always the zone separation ``d_sep``, so every
+  rearrangement instruction has the minimum possible duration
+  ``2 * T_tran + sqrt(d_sep / a)``.
+* **Perfect reuse** -- additionally, the number of reused qubits reaches the
+  maximum-cardinality bound between every pair of consecutive stages, and
+  each additional reuse (relative to what ZAC achieved) saves the two atom
+  transfers of the qubit's round trip to storage.
+
+Because everything else (gate counts, excitations, the achieved reuse) is
+inherited from the ZAC run, each bound dominates the ZAC fidelity by
+construction, and the ratio ZAC / bound is the paper's optimality gap.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..arch.spec import Architecture
+from ..circuits.scheduling import OneQStage, RydbergStage
+from ..core.compiler import CompilationResult
+from ..core.model import Movement
+from ..fidelity.model import ExecutionMetrics, estimate_fidelity
+from ..fidelity.movement import movement_time_us
+from ..fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
+from .result import BaselineResult
+
+PERFECT_MOVEMENT = "perfect_movement"
+PERFECT_PLACEMENT = "perfect_placement"
+PERFECT_REUSE = "perfect_reuse"
+
+_MODE_NAMES = {
+    PERFECT_MOVEMENT: "Perfect Movement",
+    PERFECT_PLACEMENT: "Perfect Placement",
+    PERFECT_REUSE: "Perfect Reuse",
+}
+
+
+def maximal_reuse_count(stages: list[list[tuple[int, int]]]) -> int:
+    """Maximum total number of reuses across all consecutive stage pairs.
+
+    For each pair of consecutive Rydberg stages, the maximum number of qubits
+    that can stay in the entanglement zone equals the maximum-cardinality
+    matching of the gate-level reuse bipartite graph (Section V-B.1).
+    """
+    total = 0
+    for prev, nxt in zip(stages, stages[1:]):
+        graph = nx.Graph()
+        prev_nodes = [("p", i) for i in range(len(prev))]
+        graph.add_nodes_from(prev_nodes, bipartite=0)
+        graph.add_nodes_from((("n", j) for j in range(len(nxt))), bipartite=1)
+        for i, gate in enumerate(prev):
+            for j, other in enumerate(nxt):
+                if set(gate) & set(other):
+                    graph.add_edge(("p", i), ("n", j))
+        if graph.number_of_edges():
+            matching = nx.bipartite.hopcroft_karp_matching(graph, top_nodes=prev_nodes)
+            total += sum(1 for node in matching if node[0] == "p")
+    return total
+
+
+def idealized_result(
+    zac_result: CompilationResult,
+    architecture: Architecture,
+    mode: str,
+    params: NeutralAtomParams = NEUTRAL_ATOM,
+) -> BaselineResult:
+    """Recompute a ZAC result's metrics under one of the ideal scenarios."""
+    if mode not in _MODE_NAMES:
+        raise ValueError(f"unknown ideal mode {mode!r}")
+
+    staged = zac_result.staged
+    plan = zac_result.plan
+
+    metrics = ExecutionMetrics(num_qubits=staged.num_qubits)
+    metrics.qubit_busy_us = {q: 0.0 for q in range(staged.num_qubits)}
+    metrics.num_excitations = zac_result.metrics.num_excitations
+    metrics.num_rydberg_stages = zac_result.metrics.num_rydberg_stages
+    metrics.compile_time_s = zac_result.metrics.compile_time_s
+
+    min_epoch_us = 2.0 * params.t_transfer_us + movement_time_us(
+        architecture.zone_separation, params
+    )
+
+    def epoch_duration(movements: list[Movement]) -> float:
+        if not movements:
+            return 0.0
+        if mode == PERFECT_MOVEMENT:
+            longest = max(m.distance_um(architecture) for m in movements)
+            return 2.0 * params.t_transfer_us + movement_time_us(longest, params)
+        return min_epoch_us
+
+    clock = 0.0
+    rydberg_index = 0
+    for stage in staged.stages:
+        if isinstance(stage, OneQStage):
+            clock += len(stage.gates) * params.t_1q_us
+            for gate in stage.gates:
+                metrics.qubit_busy_us[gate.qubits[0]] += params.t_1q_us
+            metrics.num_1q_gates += len(stage.gates)
+        elif isinstance(stage, RydbergStage):
+            stage_plan = plan.stages[rydberg_index]
+            for movements in (stage_plan.incoming, stage_plan.outgoing):
+                clock += epoch_duration(movements)
+                for move in movements:
+                    metrics.num_transfers += 2
+                    metrics.num_movements += 1
+                    metrics.qubit_busy_us[move.qubit] += 2.0 * params.t_transfer_us
+            for qubit in {q for g in stage_plan.gates for q in g.qubits}:
+                metrics.qubit_busy_us[qubit] += params.t_2q_us
+            metrics.num_2q_gates += len(stage_plan.gates)
+            clock += params.t_2q_us
+            rydberg_index += 1
+
+    if mode == PERFECT_REUSE:
+        stage_pairs = [s.pairs for s in staged.rydberg_stages]
+        max_reuse = maximal_reuse_count(stage_pairs)
+        achieved = plan.num_reuses
+        extra = max(0, max_reuse - achieved)
+        # Each extra reuse saves the two transfers of the round trip to storage.
+        metrics.num_transfers = max(0, metrics.num_transfers - 2 * extra)
+
+    metrics.duration_us = clock
+    fidelity = estimate_fidelity(metrics, params)
+    return BaselineResult(
+        circuit_name=zac_result.circuit_name,
+        architecture_name=architecture.name,
+        compiler_name=_MODE_NAMES[mode],
+        metrics=metrics,
+        fidelity=fidelity,
+    )
+
+
+class IdealBound:
+    """Convenience wrapper: run ZAC, then idealise its result.
+
+    Prefer :func:`idealized_result` when a ZAC result is already available
+    (it avoids recompiling).
+    """
+
+    PERFECT_MOVEMENT = PERFECT_MOVEMENT
+    PERFECT_PLACEMENT = PERFECT_PLACEMENT
+    PERFECT_REUSE = PERFECT_REUSE
+
+    def __init__(
+        self,
+        mode: str,
+        architecture: Architecture | None = None,
+        params: NeutralAtomParams = NEUTRAL_ATOM,
+    ) -> None:
+        from ..arch.presets import reference_zoned_architecture
+
+        if mode not in _MODE_NAMES:
+            raise ValueError(f"unknown ideal mode {mode!r}")
+        self.mode = mode
+        self.architecture = architecture or reference_zoned_architecture()
+        self.params = params
+        self.name = _MODE_NAMES[mode]
+
+    def compile(self, circuit) -> BaselineResult:
+        """Compile with ZAC, then recompute the metrics under the ideal scenario."""
+        from ..core.compiler import ZACCompiler
+
+        zac = ZACCompiler(self.architecture, params=self.params, lower_jobs=False)
+        result = zac.compile(circuit)
+        return self.from_result(result)
+
+    def from_result(self, zac_result: CompilationResult) -> BaselineResult:
+        """Idealise an existing ZAC compilation result."""
+        return idealized_result(zac_result, self.architecture, self.mode, self.params)

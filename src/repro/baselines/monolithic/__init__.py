@@ -1,0 +1,6 @@
+"""Compilers targeting the monolithic (single-zone) neutral-atom architecture."""
+
+from .atomique import AtomiqueCompiler
+from .enola import EnolaCompiler
+
+__all__ = ["AtomiqueCompiler", "EnolaCompiler"]

@@ -1,0 +1,217 @@
+"""Enola-style compiler for the monolithic architecture (Tan et al. 2024).
+
+Enola targets the monolithic (single-zone) dynamically field-programmable
+qubit array: every qubit sits inside the region illuminated by the global
+Rydberg laser.  Its pipeline is
+
+1. schedule the entangling gates into a near-optimal number of Rydberg
+   stages (here: the same dependency-respecting ASAP staging ZAC uses, which
+   is optimal for the benchmark circuits' dependency structure),
+2. between stages, move one qubit of each gate next to its partner, grouping
+   compatible movements into parallel rearrangement rounds with a
+   maximal-independent-set heuristic.
+
+Because the Rydberg laser covers the whole array, every idle qubit is
+excited at every stage -- the dominant error source the zoned architecture
+eliminates (paper Fig. 1c).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ...arch.spec import Architecture, RydbergSite
+from ...arch.presets import monolithic_architecture
+from ...circuits.circuit import QuantumCircuit
+from ...circuits.scheduling import OneQStage, RydbergStage, preprocess
+from ...core.model import LEFT, RIGHT, Location, Movement
+from ...core.routing.jobs import partition_movements
+from ...core.scheduling.load_balance import schedule_epoch
+from ...fidelity.model import ExecutionMetrics, estimate_fidelity
+from ...fidelity.movement import movement_time_us
+from ...fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
+from ..result import BaselineResult
+
+
+class EnolaCompiler:
+    """Movement-based monolithic-array compiler with global Rydberg exposure."""
+
+    name = "Monolithic-Enola"
+
+    def __init__(
+        self,
+        architecture: Architecture | None = None,
+        params: NeutralAtomParams = NEUTRAL_ATOM,
+    ) -> None:
+        self.params = params
+        self.architecture = architecture or monolithic_architecture()
+
+    def compile(self, circuit: QuantumCircuit) -> BaselineResult:
+        """Compile a circuit for the monolithic architecture."""
+        start = time.perf_counter()
+        staged = preprocess(circuit)
+        arch = self._sized_architecture(staged.num_qubits)
+
+        metrics = ExecutionMetrics(num_qubits=staged.num_qubits)
+        metrics.qubit_busy_us = {q: 0.0 for q in range(staged.num_qubits)}
+
+        location = self._initial_locations(arch, staged.num_qubits)
+        clock = 0.0
+        for stage in staged.stages:
+            if isinstance(stage, OneQStage):
+                clock = self._run_1q_stage(stage, metrics, clock)
+            elif isinstance(stage, RydbergStage):
+                clock = self._run_rydberg_stage(arch, stage, location, metrics, clock)
+
+        metrics.duration_us = clock
+        metrics.compile_time_s = time.perf_counter() - start
+        fidelity = estimate_fidelity(metrics, self.params)
+        return BaselineResult(
+            circuit_name=circuit.name,
+            architecture_name=arch.name,
+            compiler_name=self.name,
+            metrics=metrics,
+            fidelity=fidelity,
+        )
+
+    # -- helpers --------------------------------------------------------------
+
+    def _sized_architecture(self, num_qubits: int) -> Architecture:
+        """Grow the default 10x10-site array if the circuit needs more traps."""
+        arch = self.architecture
+        if num_qubits <= arch.num_rydberg_sites:
+            return arch
+        side = 1
+        while side * side < num_qubits:
+            side += 1
+        return monolithic_architecture(num_site_rows=side, num_site_cols=side)
+
+    def _initial_locations(self, arch: Architecture, num_qubits: int) -> dict[int, Location]:
+        """One qubit per Rydberg site (DPQA style): qubit i sits in the left trap of site i.
+
+        Every two-qubit gate therefore requires at least one qubit movement to
+        bring the pair into the same site, matching the movement structure of
+        the monolithic dynamically field-programmable qubit array.
+        """
+        rows, cols = arch.site_shape(0)
+        locations: dict[int, Location] = {}
+        for qubit in range(num_qubits):
+            site = RydbergSite(0, qubit // cols, qubit % cols)
+            locations[qubit] = Location.at_site(site, LEFT)
+        return locations
+
+    def _run_1q_stage(self, stage: OneQStage, metrics: ExecutionMetrics, clock: float) -> float:
+        duration = len(stage.gates) * self.params.t_1q_us
+        for gate in stage.gates:
+            metrics.qubit_busy_us[gate.qubits[0]] += self.params.t_1q_us
+        metrics.num_1q_gates += len(stage.gates)
+        return clock + duration
+
+    def _run_rydberg_stage(
+        self,
+        arch: Architecture,
+        stage: RydbergStage,
+        location: dict[int, Location],
+        metrics: ExecutionMetrics,
+        clock: float,
+    ) -> float:
+        movements = self._plan_stage_movements(arch, stage, location)
+
+        if movements:
+            groups = partition_movements(arch, movements)
+            durations = []
+            for group in groups:
+                longest = max(m.distance_um(arch) for m in group)
+                durations.append(2.0 * self.params.t_transfer_us + movement_time_us(longest, self.params))
+                for move in group:
+                    metrics.num_transfers += 2
+                    metrics.num_movements += 1
+                    metrics.total_move_distance_um += move.distance_um(arch)
+                    metrics.qubit_busy_us[move.qubit] += 2.0 * self.params.t_transfer_us
+            _, makespan = schedule_epoch(durations, arch.num_aods)
+            clock += makespan
+            for move in movements:
+                location[move.qubit] = move.destination
+
+        # Global Rydberg pulse: every qubit is illuminated.
+        gate_qubits = stage.qubits
+        for qubit in gate_qubits:
+            metrics.qubit_busy_us[qubit] += self.params.t_2q_us
+        metrics.num_2q_gates += len(stage.gates)
+        metrics.num_excitations += metrics.num_qubits - len(gate_qubits)
+        metrics.num_rydberg_stages += 1
+        return clock + self.params.t_2q_us
+
+    def _plan_stage_movements(
+        self,
+        arch: Architecture,
+        stage: RydbergStage,
+        location: dict[int, Location],
+    ) -> list[Movement]:
+        """Bring the second qubit of each gate next to the first.
+
+        If the partner trap of the anchor qubit is occupied by a third qubit,
+        that qubit is first evicted to the nearest free trap.
+        """
+        occupied: dict[tuple[int, int, int, int], int] = {}
+        for qubit, loc in location.items():
+            assert loc.site is not None
+            occupied[(loc.site.zone_index, loc.site.row, loc.site.col, loc.side)] = qubit
+
+        movements: list[Movement] = []
+
+        def free_traps() -> list[tuple[int, int, int, int]]:
+            rows, cols = arch.site_shape(0)
+            out = []
+            for row in range(rows):
+                for col in range(cols):
+                    for side in (LEFT, RIGHT):
+                        if (0, row, col, side) not in occupied:
+                            out.append((0, row, col, side))
+            return out
+
+        def relocate(qubit: int, target: tuple[int, int, int, int]) -> None:
+            loc = location[qubit]
+            assert loc.site is not None
+            source_key = (loc.site.zone_index, loc.site.row, loc.site.col, loc.side)
+            destination = Location.at_site(RydbergSite(target[0], target[1], target[2]), target[3])
+            movements.append(Movement(qubit, loc, destination))
+            del occupied[source_key]
+            occupied[target] = qubit
+            location[qubit] = destination
+
+        for q, q2 in stage.pairs:
+            loc_q, loc_q2 = location[q], location[q2]
+            assert loc_q.site is not None and loc_q2.site is not None
+            if loc_q.site == loc_q2.site:
+                continue
+            # Anchor q at its site; bring q2 to the opposite trap of that site.
+            target = (
+                loc_q.site.zone_index,
+                loc_q.site.row,
+                loc_q.site.col,
+                RIGHT - loc_q.side,
+            )
+            blocker = occupied.get(target)
+            if blocker is not None and blocker != q2:
+                candidates = free_traps()
+                blocker_pos = (
+                    arch.site_position(location[blocker].site)
+                    if location[blocker].side == LEFT
+                    else arch.site_partner_position(location[blocker].site)
+                )
+                best = min(
+                    candidates,
+                    key=lambda t: self._trap_distance(arch, t, blocker_pos),
+                )
+                relocate(blocker, best)
+            relocate(q2, target)
+        return movements
+
+    @staticmethod
+    def _trap_distance(
+        arch: Architecture, trap: tuple[int, int, int, int], pos: tuple[float, float]
+    ) -> float:
+        site = RydbergSite(trap[0], trap[1], trap[2])
+        trap_pos = arch.site_position(site) if trap[3] == LEFT else arch.site_partner_position(site)
+        return (trap_pos[0] - pos[0]) ** 2 + (trap_pos[1] - pos[1]) ** 2

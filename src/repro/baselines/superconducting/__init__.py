@@ -1,0 +1,15 @@
+"""Superconducting-qubit baseline: coupling graphs, SABRE-style routing, transpiler."""
+
+from .coupling import grid_coupling, heavy_hex_coupling, largest_connected_subgraph
+from .routing import RoutedCircuit, RoutingError, route
+from .transpiler import SuperconductingCompiler
+
+__all__ = [
+    "RoutedCircuit",
+    "RoutingError",
+    "SuperconductingCompiler",
+    "grid_coupling",
+    "heavy_hex_coupling",
+    "largest_connected_subgraph",
+    "route",
+]

@@ -1,0 +1,279 @@
+"""SABRE-style SWAP routing for superconducting coupling graphs.
+
+This plays the role of Qiskit's SabreSwap in the paper's superconducting
+baseline: map program qubits onto the device, then insert SWAPs so every
+two-qubit gate acts on coupled physical qubits.  The implementation follows
+the SABRE recipe -- a front layer of unresolved gates, a heuristic score
+combining the front layer and a lookahead window of upcoming gates, and
+greedy selection of the best SWAP -- without Qiskit's additional passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ...circuits.circuit import QuantumCircuit
+from ...circuits.gates import Gate
+
+#: Weight of the lookahead (extended set) term in the SABRE score.
+_LOOKAHEAD_WEIGHT = 0.5
+#: Size of the lookahead window.
+_LOOKAHEAD_SIZE = 20
+
+
+class RoutingError(RuntimeError):
+    """Raised when a circuit cannot be routed onto the coupling graph."""
+
+
+@dataclass
+class RoutedCircuit:
+    """Result of routing: the physical circuit plus bookkeeping."""
+
+    circuit: QuantumCircuit
+    initial_layout: dict[int, int]
+    final_layout: dict[int, int]
+    num_swaps: int = 0
+    swap_depth_overhead: int = 0
+    routed_2q_gates: list[tuple[int, int]] = field(default_factory=list)
+
+
+def _device_path_order(coupling: nx.Graph) -> list[int]:
+    """A path-like ordering of device qubits (greedy DFS preferring low degree).
+
+    Consecutive entries are adjacent whenever possible, so chain-structured
+    interaction graphs map with few or no SWAPs.
+    """
+    start = min(coupling.nodes, key=lambda n: (coupling.degree(n), n))
+    order: list[int] = []
+    visited: set[int] = set()
+    current = start
+    while True:
+        order.append(current)
+        visited.add(current)
+        neighbours = [n for n in coupling.neighbors(current) if n not in visited]
+        if neighbours:
+            current = min(neighbours, key=lambda n: (coupling.degree(n), n))
+            continue
+        remaining = [n for n in coupling.nodes if n not in visited]
+        if not remaining:
+            break
+        # Jump to the unvisited device qubit closest to the current one.
+        lengths = nx.single_source_shortest_path_length(coupling, current)
+        current = min(remaining, key=lambda n: (lengths.get(n, 10**9), n))
+    return order
+
+
+def _program_chain_order(circuit: QuantumCircuit) -> list[int]:
+    """Order program qubits so strongly-interacting qubits are consecutive."""
+    interaction = circuit.interaction_graph()
+    order: list[int] = []
+    visited: set[int] = set()
+    seeds = sorted(
+        range(circuit.num_qubits),
+        key=lambda q: -interaction.degree(q, weight="weight"),
+    )
+    for seed in seeds:
+        if seed in visited:
+            continue
+        stack = [seed]
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            order.append(node)
+            neighbours = sorted(
+                (n for n in interaction.neighbors(node) if n not in visited),
+                key=lambda n: -interaction[node][n]["weight"],
+            )
+            stack.extend(reversed(neighbours))
+    return order
+
+
+def _initial_layout(circuit: QuantumCircuit, coupling: nx.Graph) -> dict[int, int]:
+    """Interaction-aware initial layout.
+
+    Program qubits are ordered by a DFS of the interaction graph and placed
+    along a path-like ordering of the device qubits, so chains and
+    star-centres land on contiguous hardware regions.
+    """
+    program_order = _program_chain_order(circuit)
+    device_order = _device_path_order(coupling)
+    if len(device_order) < circuit.num_qubits:
+        raise RoutingError(
+            f"device has {len(device_order)} qubits, circuit needs {circuit.num_qubits}"
+        )
+    return {p: device_order[i] for i, p in enumerate(program_order)}
+
+
+def route(circuit: QuantumCircuit, coupling: nx.Graph) -> RoutedCircuit:
+    """Route ``circuit`` onto ``coupling``, inserting SWAP gates as needed.
+
+    The input should already be expressed with one- and two-qubit gates only
+    (three-qubit gates must be decomposed first).
+
+    Returns:
+        A :class:`RoutedCircuit` whose circuit acts on *physical* qubit
+        indices; SWAPs appear as explicit ``swap`` gates.
+    """
+    for gate in circuit:
+        if gate.num_qubits > 2:
+            raise RoutingError("route expects a circuit of 1- and 2-qubit gates")
+
+    layout = _initial_layout(circuit, coupling)  # program -> physical
+    phys_of = dict(layout)
+    distances = dict(nx.all_pairs_shortest_path_length(coupling))
+
+    num_physical = coupling.number_of_nodes()
+    routed = QuantumCircuit(num_physical, name=f"{circuit.name}_routed")
+
+    gates = list(circuit.gates)
+    # Dependency structure: per program qubit, the queue of gate indices.
+    dag_preds: list[int] = [0] * len(gates)
+    successors: list[list[int]] = [[] for _ in gates]
+    last_on_qubit: dict[int, int] = {}
+    for index, gate in enumerate(gates):
+        for q in gate.qubits:
+            if q in last_on_qubit:
+                successors[last_on_qubit[q]].append(index)
+                dag_preds[index] += 1
+            last_on_qubit[q] = index
+
+    ready = [i for i, count in enumerate(dag_preds) if count == 0]
+    front: list[int] = []
+    executed = [False] * len(gates)
+    num_swaps = 0
+    routed_2q: list[tuple[int, int]] = []
+    swaps_since_progress = 0
+    # After this many swaps without executing a gate, force progress by
+    # routing the first blocked gate straight along a shortest path (prevents
+    # the known SABRE oscillation livelock).
+    force_threshold = 2 * max(max(d.values()) for d in distances.values())
+
+    def executable(index: int) -> bool:
+        gate = gates[index]
+        if gate.num_qubits == 1:
+            return True
+        a, b = (phys_of[q] for q in gate.qubits)
+        return coupling.has_edge(a, b)
+
+    def execute(index: int) -> None:
+        gate = gates[index]
+        physical = tuple(phys_of[q] for q in gate.qubits)
+        routed.append(Gate(gate.name, physical, gate.params))
+        if gate.num_qubits == 2:
+            routed_2q.append(physical)
+        executed[index] = True
+        for successor in successors[index]:
+            dag_preds[successor] -= 1
+            if dag_preds[successor] == 0:
+                ready.append(successor)
+
+    def front_score(mapping: dict[int, int], gate_indices: list[int]) -> float:
+        total = 0.0
+        for index in gate_indices:
+            gate = gates[index]
+            if gate.num_qubits != 2:
+                continue
+            a, b = (mapping[q] for q in gate.qubits)
+            total += distances[a][b]
+        return total
+
+    while ready or front:
+        # Drain everything executable.
+        progress = True
+        drained_any = False
+        while progress:
+            progress = False
+            still_ready = []
+            for index in ready:
+                if executable(index):
+                    execute(index)
+                    progress = True
+                    drained_any = True
+                else:
+                    still_ready.append(index)
+            ready[:] = still_ready
+        if drained_any:
+            swaps_since_progress = 0
+        if not ready:
+            break
+
+        # All remaining ready gates are blocked two-qubit gates; pick a SWAP.
+        front = [i for i in ready if gates[i].num_qubits == 2]
+        lookahead = [
+            i for i in range(len(gates)) if not executed[i] and i not in ready
+        ][:_LOOKAHEAD_SIZE]
+
+        inverse = {phys: prog for prog, phys in phys_of.items()}
+
+        def apply_swap(a: int, b: int) -> None:
+            nonlocal num_swaps
+            routed.append(Gate("swap", (a, b)))
+            routed_2q.append((a, b))
+            num_swaps += 1
+            prog_a, prog_b = inverse.get(a), inverse.get(b)
+            if prog_a is not None:
+                phys_of[prog_a] = b
+            if prog_b is not None:
+                phys_of[prog_b] = a
+            if prog_a is not None:
+                inverse[b] = prog_a
+            else:
+                inverse.pop(b, None)
+            if prog_b is not None:
+                inverse[a] = prog_b
+            else:
+                inverse.pop(a, None)
+
+        if swaps_since_progress >= force_threshold:
+            # Oscillation guard: route the first blocked gate directly.
+            gate = gates[front[0]]
+            source, target = (phys_of[q] for q in gate.qubits)
+            path = nx.shortest_path(coupling, source, target)
+            for a, b in zip(path, path[1:-1]):
+                apply_swap(a, b)
+            swaps_since_progress = 0
+            continue
+
+        candidate_swaps: set[tuple[int, int]] = set()
+        for index in front:
+            for q in gates[index].qubits:
+                phys = phys_of[q]
+                for neighbour in coupling.neighbors(phys):
+                    candidate_swaps.add(tuple(sorted((phys, neighbour))))
+
+        best_swap = None
+        best_score = float("inf")
+        for a, b in candidate_swaps:
+            trial = dict(phys_of)
+            prog_a, prog_b = inverse.get(a), inverse.get(b)
+            if prog_a is not None:
+                trial[prog_a] = b
+            if prog_b is not None:
+                trial[prog_b] = a
+            score = front_score(trial, front) + _LOOKAHEAD_WEIGHT * front_score(
+                trial, lookahead
+            )
+            if score < best_score:
+                best_score = score
+                best_swap = (a, b)
+
+        if best_swap is None:
+            raise RoutingError("router made no progress (disconnected coupling graph?)")
+
+        apply_swap(*best_swap)
+        swaps_since_progress += 1
+
+    if not all(executed):
+        raise RoutingError("router failed to execute all gates")
+
+    return RoutedCircuit(
+        circuit=routed,
+        initial_layout=layout,
+        final_layout=dict(phys_of),
+        num_swaps=num_swaps,
+        routed_2q_gates=routed_2q,
+    )

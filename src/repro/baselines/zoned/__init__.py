@@ -1,0 +1,5 @@
+"""Baseline compilers targeting zoned architectures."""
+
+from .nalac import NALACCompiler
+
+__all__ = ["NALACCompiler"]

@@ -1,0 +1,242 @@
+"""NALAC-style compiler for zoned architectures (Stade et al. 2024).
+
+NALAC routes logical entangling gates on zoned architectures by moving two
+rows of qubits from the storage zone into the entanglement zone and sliding
+them past each other.  Its characteristic trade-offs relative to ZAC
+(Section II and Section VII-C):
+
+* gate placement is restricted to a **single row** of the entanglement zone,
+  so stages with more gates than that row has sites must be split across
+  several Rydberg pulses;
+* qubit reuse is aggressive -- a qubit needed by an upcoming stage is left in
+  the entanglement zone even when it idles through intermediate pulses -- so
+  idle qubits accumulate **Rydberg excitation errors**;
+* placement is a greedy, single-stage heuristic (first-fit left to right),
+  which lengthens movement distances for larger circuits.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ...arch.spec import Architecture, RydbergSite, StorageTrap
+from ...arch.presets import reference_zoned_architecture
+from ...circuits.circuit import QuantumCircuit
+from ...circuits.scheduling import OneQStage, RydbergStage, preprocess
+from ...core.model import LEFT, RIGHT, Location, Movement
+from ...core.placement.initial import trivial_placement
+from ...core.routing.jobs import partition_movements
+from ...core.scheduling.load_balance import schedule_epoch
+from ...fidelity.model import ExecutionMetrics, estimate_fidelity
+from ...fidelity.movement import movement_time_us
+from ...fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
+from ..result import BaselineResult
+
+
+class NALACCompiler:
+    """Zoned-architecture baseline with single-row gate placement and greedy reuse."""
+
+    name = "Zoned-NALAC"
+
+    def __init__(
+        self,
+        architecture: Architecture | None = None,
+        params: NeutralAtomParams = NEUTRAL_ATOM,
+    ) -> None:
+        self.architecture = architecture or reference_zoned_architecture()
+        self.params = params
+
+    def compile(self, circuit: QuantumCircuit) -> BaselineResult:
+        start = time.perf_counter()
+        staged = preprocess(circuit)
+        arch = self.architecture
+
+        metrics = ExecutionMetrics(num_qubits=staged.num_qubits)
+        metrics.qubit_busy_us = {q: 0.0 for q in range(staged.num_qubits)}
+
+        initial = trivial_placement(arch, staged.num_qubits)
+        location: dict[int, Location] = {
+            q: Location.at_storage(t) for q, t in initial.items()
+        }
+        home: dict[int, StorageTrap] = dict(initial)
+
+        rydberg_pairs = [s.pairs for s in staged.rydberg_stages]
+        clock = 0.0
+        rydberg_index = 0
+        for stage in staged.stages:
+            if isinstance(stage, OneQStage):
+                duration = len(stage.gates) * self.params.t_1q_us
+                for gate in stage.gates:
+                    metrics.qubit_busy_us[gate.qubits[0]] += self.params.t_1q_us
+                metrics.num_1q_gates += len(stage.gates)
+                clock += duration
+            elif isinstance(stage, RydbergStage):
+                future = rydberg_pairs[rydberg_index + 1 :]
+                clock = self._run_rydberg_stage(
+                    arch, stage, location, home, future, metrics, clock
+                )
+                rydberg_index += 1
+
+        # Final drain: everything left in the entanglement zone returns home.
+        clock += self._return_qubits(
+            arch,
+            [q for q, loc in location.items() if loc.in_entanglement_zone],
+            location,
+            home,
+            metrics,
+        )
+
+        metrics.duration_us = clock
+        metrics.compile_time_s = time.perf_counter() - start
+        fidelity = estimate_fidelity(metrics, self.params)
+        return BaselineResult(
+            circuit_name=circuit.name,
+            architecture_name=arch.name,
+            compiler_name=self.name,
+            metrics=metrics,
+            fidelity=fidelity,
+        )
+
+    # -- stage handling --------------------------------------------------------
+
+    def _run_rydberg_stage(
+        self,
+        arch: Architecture,
+        stage: RydbergStage,
+        location: dict[int, Location],
+        home: dict[int, StorageTrap],
+        future_stages: list[list[tuple[int, int]]],
+        metrics: ExecutionMetrics,
+        clock: float,
+    ) -> float:
+        _, cols = arch.site_shape(0)
+        pairs = list(stage.pairs)
+        # Single-row placement: split the stage into chunks of at most one row.
+        chunks = [pairs[i : i + cols] for i in range(0, len(pairs), cols)]
+
+        # Qubits needed in the next stage are kept in the zone (greedy reuse).
+        lookahead_qubits: set[int] = set()
+        for future in future_stages[:1]:
+            for q, q2 in future:
+                lookahead_qubits.add(q)
+                lookahead_qubits.add(q2)
+
+        for chunk in chunks:
+            clock = self._run_chunk(arch, chunk, location, metrics, clock)
+            # Idle qubits currently parked in the zone are excited by this pulse.
+            chunk_qubits = {q for g in chunk for q in g}
+            idle_in_zone = [
+                q
+                for q, loc in location.items()
+                if loc.in_entanglement_zone and q not in chunk_qubits
+            ]
+            metrics.num_excitations += len(idle_in_zone)
+
+        # NALAC reuses at the granularity of Rydberg-site pairs: a qubit stays
+        # in the zone if it -- or the qubit sharing its site -- is needed in the
+        # next stage.  The idle partner is exposed to the Rydberg laser there.
+        keep: set[int] = set()
+        site_occupants: dict[tuple[int, int, int], list[int]] = {}
+        for qubit, loc in location.items():
+            if loc.in_entanglement_zone and loc.site is not None:
+                key = (loc.site.zone_index, loc.site.row, loc.site.col)
+                site_occupants.setdefault(key, []).append(qubit)
+        for occupants in site_occupants.values():
+            if any(q in lookahead_qubits for q in occupants):
+                keep.update(occupants)
+        leaving = [
+            q
+            for q, loc in location.items()
+            if loc.in_entanglement_zone and q not in keep
+        ]
+        clock += self._return_qubits(arch, leaving, location, home, metrics)
+        return clock
+
+    def _run_chunk(
+        self,
+        arch: Architecture,
+        chunk: list[tuple[int, int]],
+        location: dict[int, Location],
+        metrics: ExecutionMetrics,
+        clock: float,
+    ) -> float:
+        # Greedy first-fit placement of the chunk's gates into row 0, left to right.
+        movements: list[Movement] = []
+        occupied_cols = {
+            loc.site.col
+            for loc in location.values()
+            if loc.in_entanglement_zone and loc.site is not None and loc.site.row == 0
+        }
+        next_col = 0
+        for q, q2 in chunk:
+            loc_q, loc_q2 = location[q], location[q2]
+            # If one operand already sits in row 0, reuse its site.
+            anchor = None
+            if loc_q.in_entanglement_zone and loc_q.site.row == 0:
+                anchor = (q, q2)
+            elif loc_q2.in_entanglement_zone and loc_q2.site.row == 0:
+                anchor = (q2, q)
+            if anchor is not None:
+                stay, move = anchor
+                site = location[stay].site
+                target_side = RIGHT - location[stay].side
+                destination = Location.at_site(site, target_side)
+                if location[move] != destination:
+                    movements.append(Movement(move, location[move], destination))
+                    location[move] = destination
+                continue
+            while next_col in occupied_cols:
+                next_col += 1
+            site = RydbergSite(0, 0, min(next_col, arch.site_shape(0)[1] - 1))
+            occupied_cols.add(next_col)
+            for qubit, side in ((q, LEFT), (q2, RIGHT)):
+                destination = Location.at_site(site, side)
+                if location[qubit] != destination:
+                    movements.append(Movement(qubit, location[qubit], destination))
+                    location[qubit] = destination
+
+        clock += self._execute_movements(arch, movements, metrics)
+
+        gate_qubits = {q for g in chunk for q in g}
+        for qubit in gate_qubits:
+            metrics.qubit_busy_us[qubit] += self.params.t_2q_us
+        metrics.num_2q_gates += len(chunk)
+        metrics.num_rydberg_stages += 1
+        return clock + self.params.t_2q_us
+
+    # -- movement helpers ------------------------------------------------------
+
+    def _execute_movements(
+        self, arch: Architecture, movements: list[Movement], metrics: ExecutionMetrics
+    ) -> float:
+        if not movements:
+            return 0.0
+        groups = partition_movements(arch, movements)
+        durations = []
+        for group in groups:
+            longest = max(m.distance_um(arch) for m in group)
+            durations.append(
+                2.0 * self.params.t_transfer_us + movement_time_us(longest, self.params)
+            )
+            for move in group:
+                metrics.num_transfers += 2
+                metrics.num_movements += 1
+                metrics.total_move_distance_um += move.distance_um(arch)
+                metrics.qubit_busy_us[move.qubit] += 2.0 * self.params.t_transfer_us
+        _, makespan = schedule_epoch(durations, arch.num_aods)
+        return makespan
+
+    def _return_qubits(
+        self,
+        arch: Architecture,
+        qubits: list[int],
+        location: dict[int, Location],
+        home: dict[int, StorageTrap],
+        metrics: ExecutionMetrics,
+    ) -> float:
+        movements = []
+        for qubit in qubits:
+            destination = Location.at_storage(home[qubit])
+            movements.append(Movement(qubit, location[qubit], destination))
+            location[qubit] = destination
+        return self._execute_movements(arch, movements, metrics)

@@ -1,0 +1,33 @@
+"""Quantum circuit front end: IR, QASM I/O, resynthesis, stage scheduling."""
+
+from .circuit import CircuitError, QuantumCircuit
+from .gates import Gate, GateError, cx, cz, u3
+from .scheduling import (
+    OneQStage,
+    RydbergStage,
+    SchedulingError,
+    StagedCircuit,
+    preprocess,
+    schedule_stages,
+)
+from .synthesis import SynthesisError, decompose_to_cz, merge_single_qubit_runs, resynthesize
+
+__all__ = [
+    "CircuitError",
+    "Gate",
+    "GateError",
+    "OneQStage",
+    "QuantumCircuit",
+    "RydbergStage",
+    "SchedulingError",
+    "StagedCircuit",
+    "SynthesisError",
+    "cx",
+    "cz",
+    "decompose_to_cz",
+    "merge_single_qubit_runs",
+    "preprocess",
+    "resynthesize",
+    "schedule_stages",
+    "u3",
+]

@@ -1,0 +1,210 @@
+"""Quantum circuit container used throughout the compiler.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`~repro.circuits.gates.Gate`
+objects over ``num_qubits`` qubits.  It offers the small set of structural
+queries the compiler needs: operation counts, depth, the two-qubit
+interaction graph, and dependency-based iteration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Iterator
+
+import networkx as nx
+
+from .gates import (
+    Gate,
+    GateError,
+    ONE_QUBIT_GATES,
+    THREE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+)
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid circuit operations."""
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates on ``num_qubits`` qubits.
+
+    Args:
+        num_qubits: Number of qubits addressed by the circuit.
+        name: Optional human-readable circuit name (used in reports).
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits <= 0:
+            raise CircuitError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: list[Gate] = []
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, gate: Gate) -> None:
+        """Append a gate, validating its qubit indices."""
+        for q in gate.qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range for {self.num_qubits}-qubit circuit"
+                )
+        self._gates.append(gate)
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        """Append several gates in order."""
+        for gate in gates:
+            self.append(gate)
+
+    def add(self, name: str, *qubits: int, params: Iterable[float] = ()) -> None:
+        """Append a gate by name, e.g. ``circ.add("cz", 0, 1)``."""
+        name = name.lower()
+        known = ONE_QUBIT_GATES | TWO_QUBIT_GATES | THREE_QUBIT_GATES
+        if name not in known:
+            raise GateError(f"unknown gate name: {name}")
+        self.append(Gate(name, tuple(qubits), tuple(float(p) for p in params)))
+
+    # Named helpers for the most common gates (keeps generators readable).
+
+    def h(self, q: int) -> None:
+        self.add("h", q)
+
+    def x(self, q: int) -> None:
+        self.add("x", q)
+
+    def z(self, q: int) -> None:
+        self.add("z", q)
+
+    def t(self, q: int) -> None:
+        self.add("t", q)
+
+    def tdg(self, q: int) -> None:
+        self.add("tdg", q)
+
+    def rx(self, theta: float, q: int) -> None:
+        self.add("rx", q, params=(theta,))
+
+    def ry(self, theta: float, q: int) -> None:
+        self.add("ry", q, params=(theta,))
+
+    def rz(self, theta: float, q: int) -> None:
+        self.add("rz", q, params=(theta,))
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> None:
+        self.add("u3", q, params=(theta, phi, lam))
+
+    def cx(self, c: int, t: int) -> None:
+        self.add("cx", c, t)
+
+    def cz(self, a: int, b: int) -> None:
+        self.add("cz", a, b)
+
+    def cp(self, theta: float, c: int, t: int) -> None:
+        self.add("cp", c, t, params=(theta,))
+
+    def rzz(self, theta: float, a: int, b: int) -> None:
+        self.add("rzz", a, b, params=(theta,))
+
+    def swap(self, a: int, b: int) -> None:
+        self.add("swap", a, b)
+
+    def ccx(self, a: int, b: int, c: int) -> None:
+        self.add("ccx", a, b, c)
+
+    def ccz(self, a: int, b: int, c: int) -> None:
+        self.add("ccz", a, b, c)
+
+    def cswap(self, c: int, a: int, b: int) -> None:
+        self.add("cswap", c, a, b)
+
+    def cry(self, theta: float, c: int, t: int) -> None:
+        self.add("cry", c, t, params=(theta,))
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gates in program order."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def count_ops(self) -> Counter:
+        """Return a Counter mapping gate name to occurrence count."""
+        return Counter(g.name for g in self._gates)
+
+    @property
+    def num_1q_gates(self) -> int:
+        """Number of single-qubit gates."""
+        return sum(1 for g in self._gates if g.num_qubits == 1)
+
+    @property
+    def num_2q_gates(self) -> int:
+        """Number of two-qubit gates."""
+        return sum(1 for g in self._gates if g.num_qubits == 2)
+
+    def depth(self) -> int:
+        """Circuit depth counting every gate as one time step."""
+        level: dict[int, int] = defaultdict(int)
+        depth = 0
+        for gate in self._gates:
+            start = max(level[q] for q in gate.qubits)
+            for q in gate.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    def two_qubit_depth(self) -> int:
+        """Circuit depth counting only two-qubit gates."""
+        level: dict[int, int] = defaultdict(int)
+        depth = 0
+        for gate in self._gates:
+            if gate.num_qubits < 2:
+                continue
+            start = max(level[q] for q in gate.qubits)
+            for q in gate.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    def used_qubits(self) -> set[int]:
+        """Set of qubits touched by at least one gate."""
+        used: set[int] = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return used
+
+    def interaction_graph(self) -> nx.Graph:
+        """Weighted graph of two-qubit interactions.
+
+        Nodes are qubit indices; edge weight counts how many two-qubit gates
+        act on that pair.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        for gate in self._gates:
+            if gate.num_qubits != 2:
+                continue
+            a, b = gate.qubits
+            if graph.has_edge(a, b):
+                graph[a][b]["weight"] += 1
+            else:
+                graph.add_edge(a, b, weight=1)
+        return graph
+
+    def copy(self, name: str | None = None) -> "QuantumCircuit":
+        """Return a shallow copy (gates are immutable)."""
+        out = QuantumCircuit(self.num_qubits, name or self.name)
+        out._gates = list(self._gates)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self._gates)})"
+        )

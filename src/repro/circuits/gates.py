@@ -1,0 +1,224 @@
+"""Gate definitions for the circuit intermediate representation.
+
+The compiler only needs a small amount of semantic information about each
+gate: its name, the qubits it acts on, its (real) parameters, and -- for
+single-qubit gates -- its 2x2 unitary matrix so that runs of single-qubit
+gates can be merged into a single ``U3`` during resynthesis.
+
+Two-qubit and three-qubit gates carry no matrix; they are decomposed
+symbolically in :mod:`repro.circuits.synthesis`.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Names of gates the zoned hardware natively supports.
+NATIVE_1Q = "u3"
+NATIVE_2Q = "cz"
+
+#: All single-qubit gate names understood by the front end.
+ONE_QUBIT_GATES = {
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+    "rx", "ry", "rz", "p", "u1", "u2", "u3", "u",
+}
+
+#: All two-qubit gate names understood by the front end.
+TWO_QUBIT_GATES = {"cx", "cnot", "cz", "cy", "ch", "swap", "cp", "cu1", "crz", "crx", "cry", "rzz", "rxx", "iswap"}
+
+#: All three-qubit gate names understood by the front end.
+THREE_QUBIT_GATES = {"ccx", "toffoli", "ccz", "cswap", "fredkin"}
+
+
+class GateError(ValueError):
+    """Raised when a gate is constructed or used incorrectly."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single quantum gate applied to one or more qubits.
+
+    Attributes:
+        name: Lower-case gate name, e.g. ``"cz"`` or ``"u3"``.
+        qubits: Tuple of qubit indices the gate acts on.  For controlled
+            gates the controls come first.
+        params: Tuple of real parameters (angles in radians).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise GateError(f"gate {self.name} has duplicate qubits {self.qubits}")
+        if self.num_qubits == 0:
+            raise GateError(f"gate {self.name} acts on no qubits")
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits this gate acts on."""
+        return len(self.qubits)
+
+    @property
+    def is_single_qubit(self) -> bool:
+        return self.num_qubits == 1
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return self.num_qubits == 2
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy of this gate with qubits relabelled via ``mapping``."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{p:.6g}" for p in self.params)
+        args = ", ".join(f"q{q}" for q in self.qubits)
+        return f"{self.name}({params}) {args}" if params else f"{self.name} {args}"
+
+
+# ---------------------------------------------------------------------------
+# Single-qubit unitaries
+# ---------------------------------------------------------------------------
+
+_SQRT2 = math.sqrt(2.0)
+
+_FIXED_1Q_MATRICES: dict[str, np.ndarray] = {
+    "id": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2,
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "t": np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex),
+    "sx": 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex),
+    "sxdg": 0.5 * np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex),
+}
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Return the standard U3(theta, phi, lambda) unitary."""
+    ct = math.cos(theta / 2.0)
+    st = math.sin(theta / 2.0)
+    return np.array(
+        [
+            [ct, -cmath.exp(1j * lam) * st],
+            [cmath.exp(1j * phi) * st, cmath.exp(1j * (phi + lam)) * ct],
+        ],
+        dtype=complex,
+    )
+
+
+def single_qubit_matrix(gate: Gate) -> np.ndarray:
+    """Return the 2x2 unitary of a single-qubit gate.
+
+    Raises:
+        GateError: if the gate is not a recognised single-qubit gate.
+    """
+    if not gate.is_single_qubit:
+        raise GateError(f"{gate.name} is not a single-qubit gate")
+    name = gate.name
+    if name in _FIXED_1Q_MATRICES:
+        return _FIXED_1Q_MATRICES[name].copy()
+    p = gate.params
+    if name == "rx":
+        return u3_matrix(p[0], -math.pi / 2, math.pi / 2)
+    if name == "ry":
+        return u3_matrix(p[0], 0.0, 0.0)
+    if name == "rz":
+        half = p[0] / 2.0
+        return np.array(
+            [[cmath.exp(-1j * half), 0], [0, cmath.exp(1j * half)]], dtype=complex
+        )
+    if name in ("p", "u1"):
+        return np.array([[1, 0], [0, cmath.exp(1j * p[0])]], dtype=complex)
+    if name == "u2":
+        return u3_matrix(math.pi / 2, p[0], p[1])
+    if name in ("u3", "u"):
+        return u3_matrix(p[0], p[1], p[2])
+    raise GateError(f"unknown single-qubit gate: {name}")
+
+
+def matrix_to_u3(matrix: np.ndarray, tol: float = 1e-9) -> tuple[float, float, float]:
+    """Decompose a 2x2 unitary into U3 angles (theta, phi, lambda).
+
+    The global phase is discarded.  The decomposition satisfies
+    ``u3_matrix(theta, phi, lam) ~ matrix`` up to a global phase.
+
+    Raises:
+        GateError: if ``matrix`` is not (approximately) unitary.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise GateError("matrix_to_u3 expects a 2x2 matrix")
+    if not np.allclose(matrix.conj().T @ matrix, np.eye(2), atol=1e-6):
+        raise GateError("matrix is not unitary")
+
+    # Remove global phase so that det == 1 (SU(2) form), then read angles.
+    det = np.linalg.det(matrix)
+    matrix = matrix / np.sqrt(det)
+
+    a = matrix[0, 0]
+    b = matrix[1, 0]
+    theta = 2.0 * math.atan2(abs(b), abs(a))
+
+    if abs(b) < tol:
+        # Diagonal: only the sum phi+lam is defined; put it all in lam.
+        phi_plus_lam = 2.0 * cmath.phase(matrix[1, 1])
+        return (0.0, 0.0, _wrap_angle(phi_plus_lam))
+    if abs(a) < tol:
+        # Anti-diagonal: only phi-lam is defined.
+        phi_minus_lam = 2.0 * cmath.phase(matrix[1, 0])
+        return (math.pi, _wrap_angle(phi_minus_lam), 0.0)
+
+    # In SU(2) form: phase(a) = -(phi+lam)/2 and phase(b) = (phi-lam)/2.
+    ang_a = cmath.phase(a)            # -(phi+lam)/2
+    ang_b = cmath.phase(b)            # (phi-lam)/2
+    phi = ang_b - ang_a
+    lam = -ang_b - ang_a
+    return (_wrap_angle(theta), _wrap_angle(phi), _wrap_angle(lam))
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle into (-pi, pi]."""
+    wrapped = math.fmod(angle, 2.0 * math.pi)
+    if wrapped <= -math.pi:
+        wrapped += 2.0 * math.pi
+    elif wrapped > math.pi:
+        wrapped -= 2.0 * math.pi
+    return wrapped
+
+
+def is_identity(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """Return True if ``matrix`` equals the identity up to a global phase."""
+    matrix = np.asarray(matrix, dtype=complex)
+    phase = matrix[0, 0]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(matrix, phase * np.eye(2), atol=tol))
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def u3(theta: float, phi: float, lam: float, qubit: int) -> Gate:
+    """Build a U3 gate."""
+    return Gate("u3", (qubit,), (theta, phi, lam))
+
+
+def cz(a: int, b: int) -> Gate:
+    """Build a CZ gate."""
+    return Gate("cz", (a, b))
+
+
+def cx(control: int, target: int) -> Gate:
+    """Build a CNOT gate."""
+    return Gate("cx", (control, target))

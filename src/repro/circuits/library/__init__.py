@@ -1,0 +1,40 @@
+"""Benchmark circuit library (QASMBench-style generators)."""
+
+from .arithmetic import cuccaro_adder, multiplier, seca
+from .bv import bernstein_vazirani
+from .ghz import cat_state, ghz, w_state
+from .ising import heisenberg_chain, ising_chain, qaoa_maxcut
+from .qft import inverse_qft, qft
+from .random_circuits import random_brickwork, random_circuit
+from .registry import (
+    PAPER_BENCHMARKS,
+    SMALL_BENCHMARKS,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+)
+from .swap_test import knn, swap_test
+
+__all__ = [
+    "PAPER_BENCHMARKS",
+    "SMALL_BENCHMARKS",
+    "all_benchmarks",
+    "benchmark_names",
+    "bernstein_vazirani",
+    "cat_state",
+    "cuccaro_adder",
+    "get_benchmark",
+    "ghz",
+    "heisenberg_chain",
+    "inverse_qft",
+    "ising_chain",
+    "knn",
+    "multiplier",
+    "qaoa_maxcut",
+    "qft",
+    "random_brickwork",
+    "random_circuit",
+    "seca",
+    "swap_test",
+    "w_state",
+]

@@ -1,0 +1,102 @@
+"""Arithmetic and cipher benchmark circuits (multiply, seca, adders).
+
+``multiply_n13`` is a small ripple-carry multiplier and ``seca_n11`` is a
+simplified cipher round; both are Toffoli-dominated circuits with moderate
+parallelism.  Exact QASMBench gate counts are not reproduced, but the
+Toffoli/CNOT mix and the dependency depth are.
+"""
+
+from __future__ import annotations
+
+from ..circuit import QuantumCircuit
+
+
+def cuccaro_adder(num_bits: int) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder on ``2 * num_bits + 2`` qubits.
+
+    Register layout: carry-in, a[0..n-1], b[0..n-1], carry-out.
+    """
+    if num_bits < 1:
+        raise ValueError("adder needs at least 1 bit")
+    n = num_bits
+    num_qubits = 2 * n + 2
+    circ = QuantumCircuit(num_qubits, name=f"adder_n{num_qubits}")
+    cin = 0
+    a = [1 + i for i in range(n)]
+    b = [1 + n + i for i in range(n)]
+    cout = 2 * n + 1
+
+    def maj(x: int, y: int, z: int) -> None:
+        circ.cx(z, y)
+        circ.cx(z, x)
+        circ.ccx(x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        circ.ccx(x, y, z)
+        circ.cx(z, x)
+        circ.cx(x, y)
+
+    maj(cin, b[0], a[0])
+    for i in range(1, n):
+        maj(a[i - 1], b[i], a[i])
+    circ.cx(a[n - 1], cout)
+    for i in range(n - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(cin, b[0], a[0])
+    return circ
+
+
+def multiplier(num_qubits: int = 13) -> QuantumCircuit:
+    """Small quantum multiplier in the style of QASMBench ``multiply_n13``.
+
+    Multiplies a 2-bit register by a 3-bit register into a product register
+    using controlled additions built from Toffoli gates.
+    """
+    if num_qubits < 7:
+        raise ValueError("multiplier needs at least 7 qubits")
+    circ = QuantumCircuit(num_qubits, name=f"multiply_n{num_qubits}")
+    # Register layout: a (2 bits), b (3 bits), product (rest).
+    a = [0, 1]
+    b = [2, 3, 4]
+    product = list(range(5, num_qubits))
+    # Initialise the inputs to non-trivial values.
+    circ.x(a[0])
+    circ.x(b[0])
+    circ.x(b[2])
+    # Shift-and-add: for each bit of a, controlled-add b into the product.
+    for i, a_bit in enumerate(a):
+        for j, b_bit in enumerate(b):
+            target = i + j
+            if target >= len(product):
+                continue
+            circ.ccx(a_bit, b_bit, product[target])
+            # Propagate carries up the product register.
+            if target + 1 < len(product):
+                circ.ccx(b_bit, product[target], product[target + 1])
+    return circ
+
+
+def seca(num_qubits: int = 11) -> QuantumCircuit:
+    """Simplified cipher-round circuit in the style of QASMBench ``seca_n11``.
+
+    Alternates substitution layers (Toffoli S-boxes) with permutation layers
+    (CNOT diffusion), producing a Toffoli-heavy circuit with mixed
+    sequential/parallel structure.
+    """
+    if num_qubits < 5:
+        raise ValueError("seca needs at least 5 qubits")
+    circ = QuantumCircuit(num_qubits, name=f"seca_n{num_qubits}")
+    for q in range(0, num_qubits, 2):
+        circ.x(q)
+    rounds = 3
+    for r in range(rounds):
+        # Substitution: overlapping Toffolis across triples.
+        for q in range(0, num_qubits - 2, 3):
+            circ.ccx(q, q + 1, q + 2)
+        # Diffusion: CNOT chain with a round-dependent stride.
+        stride = 1 + (r % 2)
+        for q in range(num_qubits - stride):
+            circ.cx(q, q + stride)
+        for q in range(num_qubits):
+            circ.t(q) if r % 2 == 0 else circ.h(q)
+    return circ

@@ -1,0 +1,42 @@
+"""Bernstein-Vazirani benchmark circuits.
+
+The paper's ``bv_nXX`` circuits use ``XX`` qubits, one of which is the oracle
+ancilla.  With an all-ones secret string the circuit contains ``XX - 1`` CNOT
+gates, all sharing the ancilla -- a fully sequential two-qubit structure,
+which is the regime where zoned architectures shine (Section VII-C).
+"""
+
+from __future__ import annotations
+
+from ..circuit import QuantumCircuit
+
+
+def bernstein_vazirani(num_qubits: int, secret: str | None = None) -> QuantumCircuit:
+    """Build a Bernstein-Vazirani circuit on ``num_qubits`` qubits.
+
+    Args:
+        num_qubits: Total qubit count (data qubits + 1 ancilla).
+        secret: Bit string of length ``num_qubits - 1``; defaults to all ones
+            (the QASMBench convention, which maximises the CNOT count).
+    """
+    if num_qubits < 2:
+        raise ValueError("Bernstein-Vazirani needs at least 2 qubits")
+    n_data = num_qubits - 1
+    if secret is None:
+        secret = "1" * n_data
+    if len(secret) != n_data or any(c not in "01" for c in secret):
+        raise ValueError(f"secret must be a {n_data}-bit string")
+
+    circ = QuantumCircuit(num_qubits, name=f"bv_n{num_qubits}")
+    ancilla = num_qubits - 1
+    for q in range(n_data):
+        circ.h(q)
+    circ.x(ancilla)
+    circ.h(ancilla)
+    for q, bit in enumerate(secret):
+        if bit == "1":
+            circ.cx(q, ancilla)
+    for q in range(n_data):
+        circ.h(q)
+    circ.h(ancilla)
+    return circ

@@ -1,0 +1,48 @@
+"""GHZ, cat-state and W-state preparation benchmarks."""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation: a Hadamard followed by a CNOT chain."""
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least 2 qubits")
+    circ = QuantumCircuit(num_qubits, name=f"ghz_n{num_qubits}")
+    circ.h(0)
+    for q in range(num_qubits - 1):
+        circ.cx(q, q + 1)
+    return circ
+
+
+def cat_state(num_qubits: int) -> QuantumCircuit:
+    """Cat-state preparation (QASMBench ``cat_nXX``).
+
+    Structurally identical to GHZ: one Hadamard plus a CNOT chain, i.e. a
+    fully sequential two-qubit circuit.
+    """
+    circ = ghz(num_qubits)
+    circ.name = f"cat_n{num_qubits}"
+    return circ
+
+
+def w_state(num_qubits: int) -> QuantumCircuit:
+    """W-state preparation (QASMBench ``wstate_nXX``).
+
+    Uses the standard cascade of controlled-Ry rotations followed by a CNOT
+    chain; each controlled rotation lowers to two CNOTs, giving roughly
+    ``3(n-1)`` two-qubit gates with a sequential dependency structure.
+    """
+    if num_qubits < 2:
+        raise ValueError("W state needs at least 2 qubits")
+    circ = QuantumCircuit(num_qubits, name=f"wstate_n{num_qubits}")
+    circ.x(num_qubits - 1)
+    # Distribute the excitation down the register with controlled rotations.
+    for q in range(num_qubits - 1, 0, -1):
+        theta = 2.0 * math.acos(math.sqrt(1.0 / (q + 1)))
+        circ.cry(theta, q, q - 1)
+        circ.cx(q - 1, q)
+    return circ

@@ -1,0 +1,97 @@
+"""Ising-model simulation and QAOA benchmark circuits.
+
+The paper's ``ising_nXX`` circuits are Trotterised 1-D transverse-field Ising
+evolutions: alternating layers of ``RZZ`` couplings on a nearest-neighbour
+chain and ``RX`` rotations.  These circuits are highly parallel -- in a chain
+of ``n`` qubits, roughly ``n/2`` two-qubit gates execute per Rydberg stage --
+which is the regime where monolithic architectures are most competitive
+(Section VII-C).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+
+
+def ising_chain(
+    num_qubits: int,
+    steps: int = 1,
+    coupling: float = 0.5,
+    field: float = 0.3,
+    periodic: bool = False,
+) -> QuantumCircuit:
+    """Trotterised transverse-field Ising evolution on a 1-D chain.
+
+    Args:
+        num_qubits: Chain length.
+        steps: Number of Trotter steps; each step adds one layer of RZZ
+            couplings (even bonds then odd bonds) and one layer of RX fields.
+        coupling: ZZ coupling angle per step.
+        field: Transverse-field angle per step.
+        periodic: Close the chain into a ring.
+    """
+    if num_qubits < 2:
+        raise ValueError("Ising chain needs at least 2 qubits")
+    circ = QuantumCircuit(num_qubits, name=f"ising_n{num_qubits}")
+    for q in range(num_qubits):
+        circ.h(q)
+    bonds = [(q, q + 1) for q in range(num_qubits - 1)]
+    if periodic and num_qubits > 2:
+        bonds.append((num_qubits - 1, 0))
+    for _ in range(steps):
+        # Even bonds first, then odd bonds: two fully parallel Rydberg stages.
+        for parity in (0, 1):
+            for a, b in bonds:
+                if a % 2 == parity:
+                    circ.rzz(2.0 * coupling, a, b)
+        for q in range(num_qubits):
+            circ.rx(2.0 * field, q)
+    return circ
+
+
+def qaoa_maxcut(
+    num_qubits: int,
+    edges: list[tuple[int, int]] | None = None,
+    layers: int = 1,
+    gamma: float = 0.7,
+    beta: float = 0.4,
+) -> QuantumCircuit:
+    """QAOA MaxCut circuit, defaulting to a ring graph.
+
+    Provided as an additional parallel-structure workload for architecture
+    exploration beyond the paper's benchmark set.
+    """
+    if num_qubits < 2:
+        raise ValueError("QAOA needs at least 2 qubits")
+    if edges is None:
+        edges = [(q, (q + 1) % num_qubits) for q in range(num_qubits)]
+    circ = QuantumCircuit(num_qubits, name=f"qaoa_n{num_qubits}")
+    for q in range(num_qubits):
+        circ.h(q)
+    for _ in range(layers):
+        for a, b in edges:
+            circ.rzz(2.0 * gamma, a, b)
+        for q in range(num_qubits):
+            circ.rx(2.0 * beta, q)
+    return circ
+
+
+def heisenberg_chain(num_qubits: int, steps: int = 1, dt: float = 0.2) -> QuantumCircuit:
+    """Trotterised Heisenberg XXZ chain (extension workload).
+
+    Each bond applies RXX and RZZ interactions, tripling the two-qubit gate
+    density relative to the Ising chain while keeping the parallel structure.
+    """
+    if num_qubits < 2:
+        raise ValueError("Heisenberg chain needs at least 2 qubits")
+    circ = QuantumCircuit(num_qubits, name=f"heisenberg_n{num_qubits}")
+    for q in range(num_qubits):
+        circ.ry(math.pi / 4, q)
+    for _ in range(steps):
+        for parity in (0, 1):
+            for a in range(parity, num_qubits - 1, 2):
+                circ.add("rxx", a, a + 1, params=(2.0 * dt,))
+                circ.rzz(2.0 * dt, a, a + 1)
+    return circ

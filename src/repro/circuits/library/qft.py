@@ -1,0 +1,42 @@
+"""Quantum Fourier transform benchmark circuits."""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+
+
+def qft(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """Standard QFT circuit with controlled-phase rotations.
+
+    ``qft_n18`` in the paper has ``n(n-1)/2`` controlled-phase gates (each of
+    which lowers to two CZs) and a dense, deeply sequential dependency
+    structure -- the hardest benchmark in the paper's set.
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least 1 qubit")
+    circ = QuantumCircuit(num_qubits, name=f"qft_n{num_qubits}")
+    for target in range(num_qubits):
+        circ.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circ.cp(angle, control, target)
+    if include_swaps:
+        for q in range(num_qubits // 2):
+            circ.swap(q, num_qubits - 1 - q)
+    return circ
+
+
+def inverse_qft(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """Inverse QFT (extension workload; same interaction structure as QFT)."""
+    circ = QuantumCircuit(num_qubits, name=f"iqft_n{num_qubits}")
+    if include_swaps:
+        for q in range(num_qubits // 2):
+            circ.swap(q, num_qubits - 1 - q)
+    for target in range(num_qubits - 1, -1, -1):
+        for control in range(num_qubits - 1, target, -1):
+            angle = -math.pi / (2 ** (control - target))
+            circ.cp(angle, control, target)
+        circ.h(target)
+    return circ

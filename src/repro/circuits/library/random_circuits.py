@@ -1,0 +1,70 @@
+"""Random circuit generators for stress tests and property-based testing."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..circuit import QuantumCircuit
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    two_qubit_fraction: float = 0.5,
+    seed: int | None = None,
+) -> QuantumCircuit:
+    """Generate a random {U3, CZ, CX, H, RZ} circuit.
+
+    Args:
+        num_qubits: Register size.
+        num_gates: Total gate count.
+        two_qubit_fraction: Probability that a gate is two-qubit.
+        seed: PRNG seed for reproducibility.
+    """
+    if num_qubits < 2:
+        raise ValueError("random circuit needs at least 2 qubits")
+    rng = random.Random(seed)
+    circ = QuantumCircuit(num_qubits, name=f"random_n{num_qubits}_g{num_gates}")
+    for _ in range(num_gates):
+        if rng.random() < two_qubit_fraction:
+            a, b = rng.sample(range(num_qubits), 2)
+            circ.cz(a, b) if rng.random() < 0.5 else circ.cx(a, b)
+        else:
+            q = rng.randrange(num_qubits)
+            choice = rng.random()
+            if choice < 0.33:
+                circ.h(q)
+            elif choice < 0.66:
+                circ.rz(rng.uniform(0, 2 * math.pi), q)
+            else:
+                circ.u3(
+                    rng.uniform(0, math.pi),
+                    rng.uniform(-math.pi, math.pi),
+                    rng.uniform(-math.pi, math.pi),
+                    q,
+                )
+    return circ
+
+
+def random_brickwork(num_qubits: int, layers: int, seed: int | None = None) -> QuantumCircuit:
+    """Brickwork random circuit: alternating even/odd CZ layers with random U3s.
+
+    Maximally parallel structure, useful for scaling studies.
+    """
+    if num_qubits < 2:
+        raise ValueError("brickwork needs at least 2 qubits")
+    rng = random.Random(seed)
+    circ = QuantumCircuit(num_qubits, name=f"brickwork_n{num_qubits}_d{layers}")
+    for layer in range(layers):
+        for q in range(num_qubits):
+            circ.u3(
+                rng.uniform(0, math.pi),
+                rng.uniform(-math.pi, math.pi),
+                rng.uniform(-math.pi, math.pi),
+                q,
+            )
+        start = layer % 2
+        for q in range(start, num_qubits - 1, 2):
+            circ.cz(q, q + 1)
+    return circ

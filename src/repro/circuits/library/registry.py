@@ -1,0 +1,75 @@
+"""Registry of the paper's 17 benchmark circuits (Section VII, Fig. 8).
+
+Each entry maps the QASMBench-style name used in the paper's figures to a
+generator that produces a circuit with the same qubit count and the same
+interaction structure (sequential vs. parallel).  Gate counts are close to,
+but not byte-identical with, the QASMBench originals -- see DESIGN.md for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..circuit import QuantumCircuit
+from .arithmetic import multiplier, seca
+from .bv import bernstein_vazirani
+from .ghz import cat_state, ghz, w_state
+from .ising import ising_chain
+from .qft import qft
+from .swap_test import knn, swap_test
+
+BenchmarkFactory = Callable[[], QuantumCircuit]
+
+#: The paper's benchmark set, in the order of Fig. 8.
+PAPER_BENCHMARKS: dict[str, BenchmarkFactory] = {
+    "bv_n14": lambda: bernstein_vazirani(14),
+    "bv_n19": lambda: bernstein_vazirani(19),
+    "bv_n30": lambda: bernstein_vazirani(30),
+    "bv_n70": lambda: bernstein_vazirani(70),
+    "cat_n22": lambda: cat_state(22),
+    "cat_n35": lambda: cat_state(35),
+    "ghz_n23": lambda: ghz(23),
+    "ghz_n40": lambda: ghz(40),
+    "ghz_n78": lambda: ghz(78),
+    "ising_n42": lambda: ising_chain(42, steps=1),
+    "ising_n98": lambda: ising_chain(98, steps=1),
+    "knn_n31": lambda: knn(31),
+    "multiply_n13": lambda: multiplier(13),
+    "qft_n18": lambda: qft(18, include_swaps=False),
+    "seca_n11": lambda: seca(11),
+    "swap_test_n25": lambda: swap_test(25),
+    "wstate_n27": lambda: w_state(27),
+}
+
+#: A smaller subset used by fast tests and the quickstart example.
+SMALL_BENCHMARKS: tuple[str, ...] = (
+    "bv_n14",
+    "ghz_n23",
+    "multiply_n13",
+    "seca_n11",
+    "qft_n18",
+)
+
+
+def benchmark_names() -> list[str]:
+    """Names of all paper benchmarks in Fig. 8 order."""
+    return list(PAPER_BENCHMARKS)
+
+
+def get_benchmark(name: str) -> QuantumCircuit:
+    """Instantiate a paper benchmark by name.
+
+    Raises:
+        KeyError: if ``name`` is not a known benchmark.
+    """
+    if name not in PAPER_BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(PAPER_BENCHMARKS)}"
+        )
+    return PAPER_BENCHMARKS[name]()
+
+
+def all_benchmarks() -> dict[str, QuantumCircuit]:
+    """Instantiate every paper benchmark, keyed by name."""
+    return {name: factory() for name, factory in PAPER_BENCHMARKS.items()}

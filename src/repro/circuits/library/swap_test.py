@@ -1,0 +1,61 @@
+"""Swap-test and quantum k-nearest-neighbour benchmark circuits.
+
+Both QASMBench circuits are built around the swap test: an ancilla controls
+Fredkin (controlled-SWAP) gates between two data registers.  Each Fredkin
+lowers to a Toffoli plus two CNOTs, so the two-qubit structure is deep and
+almost entirely sequential through the ancilla.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+
+
+def swap_test(num_qubits: int) -> QuantumCircuit:
+    """Swap-test circuit on ``num_qubits`` qubits (1 ancilla + 2 registers).
+
+    ``num_qubits`` must be odd: one ancilla and two registers of equal size.
+    """
+    if num_qubits < 3 or num_qubits % 2 == 0:
+        raise ValueError("swap test needs an odd qubit count >= 3")
+    reg = (num_qubits - 1) // 2
+    circ = QuantumCircuit(num_qubits, name=f"swap_test_n{num_qubits}")
+    ancilla = 0
+    # Prepare non-trivial register states so the test is meaningful.
+    for q in range(1, num_qubits):
+        circ.ry(math.pi / 3 + 0.1 * q, q)
+    circ.h(ancilla)
+    for i in range(reg):
+        circ.cswap(ancilla, 1 + i, 1 + reg + i)
+    circ.h(ancilla)
+    return circ
+
+
+def knn(num_qubits: int) -> QuantumCircuit:
+    """Quantum k-nearest-neighbour kernel-estimation circuit.
+
+    QASMBench's ``knn_n31`` encodes two feature vectors into amplitude
+    registers (Ry/CNOT state preparation cascades) and compares them with a
+    swap test, giving a mix of sequential ancilla-coupled Fredkins and a
+    chain-structured state-preparation prefix.
+    """
+    if num_qubits < 3 or num_qubits % 2 == 0:
+        raise ValueError("knn needs an odd qubit count >= 3")
+    reg = (num_qubits - 1) // 2
+    circ = QuantumCircuit(num_qubits, name=f"knn_n{num_qubits}")
+    ancilla = 0
+    first = list(range(1, 1 + reg))
+    second = list(range(1 + reg, 1 + 2 * reg))
+    # Amplitude-encoding cascades on both registers.
+    for regs in (first, second):
+        circ.ry(math.pi / 4, regs[0])
+        for a, b in zip(regs, regs[1:]):
+            circ.cry(math.pi / 5, a, b)
+            circ.cx(a, b)
+    circ.h(ancilla)
+    for a, b in zip(first, second):
+        circ.cswap(ancilla, a, b)
+    circ.h(ancilla)
+    return circ

@@ -1,0 +1,136 @@
+"""Minimal OpenQASM 2.0 reader and writer.
+
+Supports the subset of OpenQASM 2.0 used by QASMBench-style benchmark
+circuits: a single quantum register, the standard gate names understood by
+:mod:`repro.circuits.gates`, numeric / ``pi``-expression parameters, and
+``barrier`` / ``measure`` statements (which are ignored, since the compiler
+models unitary circuits).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .circuit import CircuitError, QuantumCircuit
+from .gates import ONE_QUBIT_GATES, THREE_QUBIT_GATES, TWO_QUBIT_GATES
+
+
+class QASMError(ValueError):
+    """Raised when a QASM program cannot be parsed."""
+
+
+_IGNORED_PREFIXES = ("OPENQASM", "include", "creg", "barrier", "measure", "//", "reset")
+
+_QREG_RE = re.compile(r"qreg\s+(?P<name>\w+)\s*\[\s*(?P<size>\d+)\s*\]")
+_GATE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_]\w*)\s*(?:\((?P<params>[^)]*)\))?\s+(?P<args>[^;]+)"
+)
+_ARG_RE = re.compile(r"(?P<reg>\w+)\s*\[\s*(?P<idx>\d+)\s*\]")
+
+_SAFE_EVAL_NAMES = {"pi": math.pi, "e": math.e}
+
+
+def _eval_param(expr: str) -> float:
+    """Evaluate a QASM parameter expression (numbers, pi, + - * /)."""
+    expr = expr.strip()
+    if not re.fullmatch(r"[\d\s\.\+\-\*/\(\)eE]*|.*pi.*", expr):
+        raise QASMError(f"unsupported parameter expression: {expr!r}")
+    if not re.fullmatch(r"[\w\s\.\+\-\*/\(\)]*", expr):
+        raise QASMError(f"unsupported parameter expression: {expr!r}")
+    try:
+        return float(eval(expr, {"__builtins__": {}}, _SAFE_EVAL_NAMES))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QASMError(f"cannot evaluate parameter {expr!r}") from exc
+
+
+def loads(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 string into a :class:`QuantumCircuit`."""
+    statements = [s.strip() for s in text.replace("\n", " ").split(";")]
+    statements = [s for s in statements if s]
+
+    register: str | None = None
+    num_qubits = 0
+    circuit: QuantumCircuit | None = None
+    pending: list[str] = []
+
+    for stmt in statements:
+        if any(stmt.startswith(p) for p in _IGNORED_PREFIXES):
+            continue
+        qreg = _QREG_RE.match(stmt)
+        if qreg:
+            if register is not None:
+                raise QASMError("only a single qreg is supported")
+            register = qreg.group("name")
+            num_qubits = int(qreg.group("size"))
+            circuit = QuantumCircuit(num_qubits, name)
+            for gate_stmt in pending:
+                _apply_gate_statement(circuit, register, gate_stmt)
+            pending.clear()
+            continue
+        if circuit is None:
+            pending.append(stmt)
+            continue
+        _apply_gate_statement(circuit, register, stmt)
+
+    if circuit is None:
+        raise QASMError("QASM program declares no qreg")
+    return circuit
+
+
+def _apply_gate_statement(circuit: QuantumCircuit, register: str, stmt: str) -> None:
+    match = _GATE_RE.match(stmt)
+    if not match:
+        raise QASMError(f"cannot parse statement: {stmt!r}")
+    name = match.group("name").lower()
+    if name == "cu3":
+        raise QASMError("cu3 is not supported; decompose it upstream")
+    known = ONE_QUBIT_GATES | TWO_QUBIT_GATES | THREE_QUBIT_GATES
+    if name not in known:
+        raise QASMError(f"unknown gate {name!r} in statement {stmt!r}")
+    params = (
+        tuple(_eval_param(p) for p in match.group("params").split(","))
+        if match.group("params")
+        else ()
+    )
+    qubits = []
+    for arg in match.group("args").split(","):
+        arg_match = _ARG_RE.search(arg)
+        if not arg_match:
+            raise QASMError(f"cannot parse qubit argument {arg!r}")
+        if arg_match.group("reg") != register:
+            raise QASMError(f"unknown register {arg_match.group('reg')!r}")
+        qubits.append(int(arg_match.group("idx")))
+    try:
+        circuit.add(name, *qubits, params=params)
+    except CircuitError as exc:
+        raise QASMError(str(exc)) from exc
+
+
+def load(path: str, name: str | None = None) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 file."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    return loads(text, name or path)
+
+
+def dumps(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        params = (
+            "(" + ",".join(f"{p:.10g}" for p in gate.params) + ")" if gate.params else ""
+        )
+        args = ",".join(f"q[{q}]" for q in gate.qubits)
+        lines.append(f"{gate.name}{params} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: QuantumCircuit, path: str) -> None:
+    """Write a circuit to an OpenQASM 2.0 file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(circuit))

@@ -1,0 +1,198 @@
+"""ASAP stage scheduling (paper Section IV, Fig. 4).
+
+After resynthesis, the circuit contains only ``u3`` and ``cz`` gates.  The
+compiler groups them into an alternating sequence of *1Q-gate stages* and
+*Rydberg stages*:
+
+* a 1Q-gate stage is a set of U3 gates, at most one per qubit;
+* a Rydberg stage is a set of CZ gates on pairwise-disjoint qubits -- one
+  global Rydberg laser exposure executes all of them in parallel.
+
+Scheduling is as-soon-as-possible: a gate joins the earliest stage for which
+all of its dependencies have already been scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+from .synthesis import resynthesize
+
+
+class SchedulingError(ValueError):
+    """Raised when a circuit cannot be staged."""
+
+
+@dataclass
+class OneQStage:
+    """A stage of single-qubit gates: at most one U3 per qubit."""
+
+    gates: list[Gate] = field(default_factory=list)
+
+    @property
+    def qubits(self) -> set[int]:
+        return {g.qubits[0] for g in self.gates}
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+@dataclass
+class RydbergStage:
+    """A stage of CZ gates on pairwise-disjoint qubit pairs."""
+
+    gates: list[Gate] = field(default_factory=list)
+
+    @property
+    def qubits(self) -> set[int]:
+        out: set[int] = set()
+        for g in self.gates:
+            out.update(g.qubits)
+        return out
+
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        """Qubit pairs of the CZ gates in this stage."""
+        return [(g.qubits[0], g.qubits[1]) for g in self.gates]
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+@dataclass
+class StagedCircuit:
+    """The preprocessed circuit: alternating 1Q and Rydberg stages.
+
+    Attributes:
+        num_qubits: Number of program qubits.
+        name: Circuit name carried through from the source circuit.
+        stages: Interleaved ``OneQStage`` / ``RydbergStage`` objects in
+            execution order.
+    """
+
+    num_qubits: int
+    name: str
+    stages: list[OneQStage | RydbergStage] = field(default_factory=list)
+
+    @property
+    def rydberg_stages(self) -> list[RydbergStage]:
+        return [s for s in self.stages if isinstance(s, RydbergStage)]
+
+    @property
+    def one_q_stages(self) -> list[OneQStage]:
+        return [s for s in self.stages if isinstance(s, OneQStage)]
+
+    @property
+    def num_rydberg_stages(self) -> int:
+        return len(self.rydberg_stages)
+
+    @property
+    def num_1q_gates(self) -> int:
+        return sum(len(s) for s in self.one_q_stages)
+
+    @property
+    def num_2q_gates(self) -> int:
+        return sum(len(s) for s in self.rydberg_stages)
+
+    def validate(self) -> None:
+        """Check the per-stage qubit-disjointness invariant."""
+        for stage in self.stages:
+            seen: set[int] = set()
+            for gate in stage.gates:
+                for q in gate.qubits:
+                    if q in seen:
+                        raise SchedulingError(
+                            f"qubit {q} appears twice in one stage of {self.name}"
+                        )
+                    seen.add(q)
+
+
+def schedule_stages(circuit: QuantumCircuit) -> StagedCircuit:
+    """ASAP-schedule a {CZ, U3} circuit into 1Q and Rydberg stages.
+
+    The schedule preserves per-qubit gate order (the only dependency that
+    matters for a circuit of 1Q and diagonal-symmetric 2Q gates).
+    """
+    for gate in circuit:
+        if gate.name not in ("u3", "cz"):
+            raise SchedulingError(
+                "schedule_stages expects a resynthesized {CZ, U3} circuit; "
+                f"found {gate.name!r} (call resynthesize first)"
+            )
+
+    # ASAP levelling: each gate's level is 1 + max level of its qubits so far,
+    # tracked separately for 1Q and 2Q gates so they interleave correctly.
+    remaining = list(circuit.gates)
+    staged = StagedCircuit(circuit.num_qubits, circuit.name)
+
+    # Per-qubit pointer into the gate list is implicit: we repeatedly sweep the
+    # remaining gates in program order and greedily pull every gate whose
+    # qubits are all "ready" (no earlier unscheduled gate touches them).
+    while remaining:
+        # 1Q stage: take ready u3 gates.
+        one_q = _take_ready(remaining, want_two_qubit=False)
+        if one_q:
+            staged.stages.append(OneQStage(one_q))
+        # Rydberg stage: take ready cz gates with disjoint qubits.
+        two_q = _take_ready(remaining, want_two_qubit=True)
+        if two_q:
+            staged.stages.append(RydbergStage(two_q))
+        if not one_q and not two_q:
+            raise SchedulingError("scheduler made no progress (internal error)")
+
+    staged.validate()
+    return staged
+
+
+def _take_ready(remaining: list[Gate], want_two_qubit: bool) -> list[Gate]:
+    """Remove and return all ready gates of one kind from ``remaining``.
+
+    A gate is ready when no earlier gate in ``remaining`` shares a qubit with
+    it.  Within one call, selected gates also block later gates on the same
+    qubits, which enforces the one-gate-per-qubit stage invariant.
+    """
+    blocked: set[int] = set()
+    taken: list[Gate] = []
+    kept: list[Gate] = []
+    for gate in remaining:
+        is_two = gate.num_qubits == 2
+        overlaps = any(q in blocked for q in gate.qubits)
+        if is_two == want_two_qubit and not overlaps:
+            taken.append(gate)
+            blocked.update(gate.qubits)
+        else:
+            kept.append(gate)
+            blocked.update(gate.qubits)
+    remaining[:] = kept
+    return taken
+
+
+def split_oversized_stages(staged: StagedCircuit, capacity: int) -> StagedCircuit:
+    """Split Rydberg stages with more gates than the architecture has sites.
+
+    A Rydberg stage can hold at most one gate per Rydberg site, so a stage
+    with more gates than the entanglement zones provide must be executed as
+    several consecutive Rydberg pulses.  Stages within the capacity are left
+    untouched.
+    """
+    if capacity <= 0:
+        raise SchedulingError("capacity must be positive")
+    out = StagedCircuit(staged.num_qubits, staged.name)
+    for stage in staged.stages:
+        if isinstance(stage, RydbergStage) and len(stage.gates) > capacity:
+            for start in range(0, len(stage.gates), capacity):
+                out.stages.append(RydbergStage(stage.gates[start : start + capacity]))
+        else:
+            out.stages.append(stage)
+    return out
+
+
+def preprocess(circuit: QuantumCircuit) -> StagedCircuit:
+    """Full preprocessing pipeline: resynthesize then ASAP-stage.
+
+    This is the paper's preprocessing step (Fig. 4) and the front end of
+    every compiler in this repository.
+    """
+    return schedule_stages(resynthesize(circuit))

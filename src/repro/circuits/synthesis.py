@@ -1,0 +1,268 @@
+"""Resynthesis to the hardware gate set {CZ, U3} and 1Q-gate optimisation.
+
+This module plays the role Qiskit plays in the paper's preprocessing step:
+
+1. Decompose every gate into CZ and single-qubit gates.
+2. Merge maximal runs of single-qubit gates on the same qubit into a single
+   U3 (dropping those that reduce to the identity).
+
+The output circuit contains only ``cz`` and ``u3`` gates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import (
+    Gate,
+    GateError,
+    is_identity,
+    matrix_to_u3,
+    single_qubit_matrix,
+)
+
+_PI = math.pi
+
+
+class SynthesisError(ValueError):
+    """Raised when a gate cannot be lowered to the native gate set."""
+
+
+# ---------------------------------------------------------------------------
+# Decomposition into {CZ, 1Q}
+# ---------------------------------------------------------------------------
+
+def _decompose_gate(gate: Gate) -> list[Gate]:
+    """Decompose a gate into CZ and single-qubit gates (recursively)."""
+    name = gate.name
+    qs = gate.qubits
+    p = gate.params
+
+    if gate.num_qubits == 1:
+        return [gate]
+    if name == "cz":
+        return [gate]
+
+    if name in ("cx", "cnot"):
+        c, t = qs
+        return [Gate("h", (t,)), Gate("cz", (c, t)), Gate("h", (t,))]
+    if name == "cy":
+        c, t = qs
+        return [Gate("sdg", (t,)), *_decompose_gate(Gate("cx", (c, t))), Gate("s", (t,))]
+    if name == "ch":
+        c, t = qs
+        # Controlled-H via the standard Ry conjugation of CZ.
+        return [
+            Gate("ry", (t,), (_PI / 4,)),
+            Gate("cz", (c, t)),
+            Gate("ry", (t,), (-_PI / 4,)),
+        ]
+    if name == "swap":
+        a, b = qs
+        return (
+            _decompose_gate(Gate("cx", (a, b)))
+            + _decompose_gate(Gate("cx", (b, a)))
+            + _decompose_gate(Gate("cx", (a, b)))
+        )
+    if name == "iswap":
+        a, b = qs
+        return (
+            [Gate("s", (a,)), Gate("s", (b,)), Gate("h", (a,))]
+            + _decompose_gate(Gate("cx", (a, b)))
+            + _decompose_gate(Gate("cx", (b, a)))
+            + [Gate("h", (b,))]
+        )
+    if name in ("cp", "cu1"):
+        c, t = qs
+        lam = p[0]
+        return [
+            Gate("p", (c,), (lam / 2,)),
+            *_decompose_gate(Gate("cx", (c, t))),
+            Gate("p", (t,), (-lam / 2,)),
+            *_decompose_gate(Gate("cx", (c, t))),
+            Gate("p", (t,), (lam / 2,)),
+        ]
+    if name == "crz":
+        c, t = qs
+        lam = p[0]
+        return [
+            Gate("rz", (t,), (lam / 2,)),
+            *_decompose_gate(Gate("cx", (c, t))),
+            Gate("rz", (t,), (-lam / 2,)),
+            *_decompose_gate(Gate("cx", (c, t))),
+        ]
+    if name == "cry":
+        c, t = qs
+        theta = p[0]
+        return [
+            Gate("ry", (t,), (theta / 2,)),
+            *_decompose_gate(Gate("cx", (c, t))),
+            Gate("ry", (t,), (-theta / 2,)),
+            *_decompose_gate(Gate("cx", (c, t))),
+        ]
+    if name == "crx":
+        c, t = qs
+        theta = p[0]
+        return [
+            Gate("h", (t,)),
+            *_decompose_gate(Gate("crz", (c, t), (theta,))),
+            Gate("h", (t,)),
+        ]
+    if name == "rzz":
+        a, b = qs
+        theta = p[0]
+        return [
+            *_decompose_gate(Gate("cx", (a, b))),
+            Gate("rz", (b,), (theta,)),
+            *_decompose_gate(Gate("cx", (a, b))),
+        ]
+    if name == "rxx":
+        a, b = qs
+        theta = p[0]
+        return [
+            Gate("h", (a,)),
+            Gate("h", (b,)),
+            *_decompose_gate(Gate("rzz", (a, b), (theta,))),
+            Gate("h", (a,)),
+            Gate("h", (b,)),
+        ]
+    if name in ("ccx", "toffoli"):
+        a, b, c = qs
+        cx = lambda x, y: _decompose_gate(Gate("cx", (x, y)))  # noqa: E731
+        return (
+            [Gate("h", (c,))]
+            + cx(b, c) + [Gate("tdg", (c,))]
+            + cx(a, c) + [Gate("t", (c,))]
+            + cx(b, c) + [Gate("tdg", (c,))]
+            + cx(a, c)
+            + [Gate("t", (b,)), Gate("t", (c,)), Gate("h", (c,))]
+            + cx(a, b) + [Gate("t", (a,)), Gate("tdg", (b,))]
+            + cx(a, b)
+        )
+    if name == "ccz":
+        a, b, c = qs
+        return (
+            [Gate("h", (c,))]
+            + _decompose_gate(Gate("ccx", (a, b, c)))
+            + [Gate("h", (c,))]
+        )
+    if name in ("cswap", "fredkin"):
+        c, a, b = qs
+        return (
+            _decompose_gate(Gate("cx", (b, a)))
+            + _decompose_gate(Gate("ccx", (c, a, b)))
+            + _decompose_gate(Gate("cx", (b, a)))
+        )
+    raise SynthesisError(f"no decomposition known for gate {name!r}")
+
+
+def decompose_to_cz(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Return an equivalent circuit containing only CZ and 1Q gates."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    for gate in circuit:
+        out.extend(_decompose_gate(gate))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 1Q-gate merging
+# ---------------------------------------------------------------------------
+
+def merge_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Merge maximal runs of 1Q gates on each qubit into single U3 gates.
+
+    The input must only contain CZ and single-qubit gates.  Runs that reduce
+    to the identity (up to a global phase) are removed entirely.
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    pending: dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None or is_identity(matrix):
+            return
+        theta, phi, lam = matrix_to_u3(matrix)
+        out.append(Gate("u3", (qubit,), (theta, phi, lam)))
+
+    for gate in circuit:
+        if gate.num_qubits == 1:
+            matrix = single_qubit_matrix(gate)
+            if gate.qubits[0] in pending:
+                pending[gate.qubits[0]] = matrix @ pending[gate.qubits[0]]
+            else:
+                pending[gate.qubits[0]] = matrix
+            continue
+        if gate.name != "cz":
+            raise SynthesisError(
+                f"merge_single_qubit_runs expects a {{CZ, 1Q}} circuit, got {gate.name}"
+            )
+        for q in gate.qubits:
+            flush(q)
+        out.append(gate)
+
+    for qubit in sorted(pending):
+        flush(qubit)
+    return out
+
+
+def resynthesize(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Full resynthesis: decompose to {CZ, 1Q} then merge 1Q runs into U3.
+
+    This mirrors the paper's preprocessing step 1 and 2 (Fig. 4) and is the
+    entry point used by :class:`repro.core.compiler.ZACCompiler`.
+    """
+    return merge_single_qubit_runs(decompose_to_cz(circuit))
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary of a small circuit (testing utility, <= ~10 qubits).
+
+    Supports the native set {CZ, U3} plus any known 1Q gate and CX; other
+    gates should be decomposed first.
+    """
+    n = circuit.num_qubits
+    if n > 12:
+        raise SynthesisError("circuit_unitary is meant for small test circuits")
+    dim = 2**n
+    total = np.eye(dim, dtype=complex)
+    for gate in circuit:
+        total = _gate_unitary(gate, n) @ total
+    return total
+
+
+def _gate_unitary(gate: Gate, num_qubits: int) -> np.ndarray:
+    """Full-register unitary of a single gate (little-endian qubit order)."""
+    dim = 2**num_qubits
+    if gate.num_qubits == 1:
+        small = single_qubit_matrix(gate)
+        return _embed_1q(small, gate.qubits[0], num_qubits)
+    if gate.name == "cz":
+        mat = np.eye(dim, dtype=complex)
+        a, b = gate.qubits
+        for idx in range(dim):
+            if (idx >> a) & 1 and (idx >> b) & 1:
+                mat[idx, idx] = -1.0
+        return mat
+    if gate.name in ("cx", "cnot"):
+        mat = np.zeros((dim, dim), dtype=complex)
+        c, t = gate.qubits
+        for idx in range(dim):
+            j = idx ^ (1 << t) if (idx >> c) & 1 else idx
+            mat[j, idx] = 1.0
+        return mat
+    raise GateError(f"unsupported gate for unitary construction: {gate.name}")
+
+
+def _embed_1q(small: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+    """Embed a 1-qubit unitary at ``qubit`` in an ``num_qubits`` register."""
+    dim = 2**num_qubits
+    mat = np.zeros((dim, dim), dtype=complex)
+    for idx in range(dim):
+        bit = (idx >> qubit) & 1
+        for new_bit in (0, 1):
+            j = (idx & ~(1 << qubit)) | (new_bit << qubit)
+            mat[j, idx] += small[new_bit, bit]
+    return mat

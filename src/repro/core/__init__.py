@@ -1,0 +1,30 @@
+"""ZAC: the reuse-aware zoned-architecture compiler (the paper's core contribution)."""
+
+from .compiler import CompilationResult, ZACCompiler
+from .config import ZACConfig
+from .model import (
+    LEFT,
+    RIGHT,
+    GatePlacementEntry,
+    Location,
+    Movement,
+    PlacementPlan,
+    StagePlan,
+    location_position,
+    location_qloc,
+)
+
+__all__ = [
+    "CompilationResult",
+    "GatePlacementEntry",
+    "LEFT",
+    "Location",
+    "Movement",
+    "PlacementPlan",
+    "RIGHT",
+    "StagePlan",
+    "ZACCompiler",
+    "ZACConfig",
+    "location_position",
+    "location_qloc",
+]

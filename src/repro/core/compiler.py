@@ -1,0 +1,137 @@
+"""The top-level ZAC compiler (paper Section IV).
+
+Pipeline: preprocessing (resynthesis + ASAP staging), reuse-aware placement
+(initial + dynamic), rearrangement-job routing, load-balanced scheduling, and
+fidelity estimation.  The result bundles the compiled ZAIR program, the raw
+execution metrics, and the fidelity breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..arch.spec import Architecture
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.scheduling import StagedCircuit, preprocess, split_oversized_stages
+from ..fidelity.model import ExecutionMetrics, FidelityBreakdown, estimate_fidelity
+from ..fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
+from ..zair.program import ZAIRProgram
+from .config import ZACConfig
+from .model import PlacementPlan
+from .placement.dynamic import DynamicPlacer
+from .placement.initial import sa_placement, trivial_placement
+from .scheduling.scheduler import Scheduler
+
+
+@dataclass
+class CompilationResult:
+    """Everything produced by one compiler run."""
+
+    circuit_name: str
+    architecture_name: str
+    program: ZAIRProgram
+    metrics: ExecutionMetrics
+    fidelity: FidelityBreakdown
+    staged: StagedCircuit
+    plan: PlacementPlan
+
+    @property
+    def total_fidelity(self) -> float:
+        return self.fidelity.total
+
+    @property
+    def duration_us(self) -> float:
+        return self.metrics.duration_us
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary of the headline numbers (for reports / CSV)."""
+        return {
+            "fidelity": self.fidelity.total,
+            "fidelity_2q": self.fidelity.two_q_gate_with_excitation,
+            "fidelity_1q": self.fidelity.one_q_gate,
+            "fidelity_transfer": self.fidelity.atom_transfer,
+            "fidelity_decoherence": self.fidelity.decoherence,
+            "duration_us": self.metrics.duration_us,
+            "num_2q_gates": self.metrics.num_2q_gates,
+            "num_1q_gates": self.metrics.num_1q_gates,
+            "num_transfers": self.metrics.num_transfers,
+            "num_excitations": self.metrics.num_excitations,
+            "num_rydberg_stages": self.metrics.num_rydberg_stages,
+            "num_movements": self.metrics.num_movements,
+            "compile_time_s": self.metrics.compile_time_s,
+        }
+
+
+class ZACCompiler:
+    """Reuse-aware compiler for zoned neutral-atom architectures.
+
+    Args:
+        architecture: Target zoned architecture.
+        config: Compiler configuration (ablation switches, SA parameters).
+        params: Hardware parameters used for timing and fidelity estimation.
+        lower_jobs: Whether to lower rearrangement jobs to machine-level
+            instructions (disable to speed up large sweeps).
+    """
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        config: ZACConfig | None = None,
+        params: NeutralAtomParams = NEUTRAL_ATOM,
+        lower_jobs: bool = True,
+    ) -> None:
+        self.architecture = architecture
+        self.config = config or ZACConfig()
+        self.params = params
+        self.lower_jobs = lower_jobs
+
+    # -- pipeline -------------------------------------------------------------
+
+    def compile(self, circuit: QuantumCircuit) -> CompilationResult:
+        """Compile a circuit end to end."""
+        start = time.perf_counter()
+        staged = preprocess(circuit)
+        result = self.compile_staged(staged, circuit_name=circuit.name)
+        result.metrics.compile_time_s = time.perf_counter() - start
+        return result
+
+    def compile_staged(
+        self, staged: StagedCircuit, circuit_name: str | None = None
+    ) -> CompilationResult:
+        """Compile an already-preprocessed (staged) circuit."""
+        start = time.perf_counter()
+        if staged.num_qubits > self.architecture.num_storage_traps:
+            raise ValueError(
+                f"circuit needs {staged.num_qubits} storage traps but the architecture "
+                f"has only {self.architecture.num_storage_traps}"
+            )
+        staged = split_oversized_stages(staged, self.architecture.num_rydberg_sites)
+        stage_pairs = [stage.pairs for stage in staged.rydberg_stages]
+
+        initial = self._initial_placement(staged.num_qubits, stage_pairs)
+        placer = DynamicPlacer(self.architecture, self.config)
+        plan = placer.run(stage_pairs, initial)
+
+        scheduler = Scheduler(self.architecture, self.params, lower_jobs=self.lower_jobs)
+        output = scheduler.run(staged, plan)
+        output.metrics.compile_time_s = time.perf_counter() - start
+        fidelity = estimate_fidelity(output.metrics, self.params)
+        return CompilationResult(
+            circuit_name=circuit_name or staged.name,
+            architecture_name=self.architecture.name,
+            program=output.program,
+            metrics=output.metrics,
+            fidelity=fidelity,
+            staged=staged,
+            plan=plan,
+        )
+
+    # -- helpers --------------------------------------------------------------
+
+    def _initial_placement(self, num_qubits, stage_pairs):
+        if self.config.use_sa_initial_placement:
+            return sa_placement(
+                self.architecture, num_qubits, stage_pairs, config=self.config
+            )
+        return trivial_placement(self.architecture, num_qubits)

@@ -1,0 +1,87 @@
+"""Configuration of the ZAC compiler.
+
+The flags mirror the paper's ablation study (Fig. 11):
+
+* ``Vanilla``          -- trivial initial placement, static qubit placement,
+                          no reuse;
+* ``dynPlace``         -- dynamic (per-stage) qubit placement, no reuse;
+* ``dynPlace+reuse``   -- dynamic placement with reuse-aware placement;
+* ``SA+dynPlace+reuse``-- adds simulated-annealing initial placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ZACConfig:
+    """Tunable parameters of the ZAC compiler.
+
+    Attributes:
+        use_sa_initial_placement: Run simulated annealing on the initial
+            storage placement (otherwise the trivial sequential placement is
+            used).
+        dynamic_placement: Re-optimise qubit storage locations between
+            Rydberg stages.  When False, every qubit always returns to its
+            home trap ("Vanilla").
+        use_reuse: Keep qubits needed by the next Rydberg stage in the
+            entanglement zone (reuse-aware placement).
+        sa_iterations: Iteration limit of the simulated-annealing search.
+        sa_initial_temperature: Starting temperature of the annealer.
+        sa_cooling: Geometric cooling factor per iteration.
+        lookahead_alpha: Weight of the related-qubit lookahead term in the
+            storage-return cost (Eq. 3).
+        neighbor_k: ``k`` for the k-neighbouring candidate storage traps.
+        candidate_expansion: Expansion factor ``delta`` (in sites) of the
+            candidate Rydberg-site window used during gate placement.
+        seed: PRNG seed for the annealer (determinism in tests).
+    """
+
+    use_sa_initial_placement: bool = True
+    dynamic_placement: bool = True
+    use_reuse: bool = True
+    sa_iterations: int = 1000
+    sa_initial_temperature: float = 2.0
+    sa_cooling: float = 0.995
+    lookahead_alpha: float = 0.1
+    neighbor_k: int = 1
+    candidate_expansion: int = 2
+    seed: int = 0
+
+    @staticmethod
+    def vanilla() -> "ZACConfig":
+        """Trivial placement, no dynamic placement, no reuse."""
+        return ZACConfig(
+            use_sa_initial_placement=False, dynamic_placement=False, use_reuse=False
+        )
+
+    @staticmethod
+    def dyn_place() -> "ZACConfig":
+        """Dynamic placement only."""
+        return ZACConfig(
+            use_sa_initial_placement=False, dynamic_placement=True, use_reuse=False
+        )
+
+    @staticmethod
+    def dyn_place_reuse() -> "ZACConfig":
+        """Dynamic placement with qubit reuse."""
+        return ZACConfig(
+            use_sa_initial_placement=False, dynamic_placement=True, use_reuse=True
+        )
+
+    @staticmethod
+    def full() -> "ZACConfig":
+        """The complete ZAC pipeline (SA + dynamic placement + reuse)."""
+        return ZACConfig()
+
+    @property
+    def label(self) -> str:
+        """Short label matching the paper's ablation legend."""
+        if not self.dynamic_placement:
+            return "Vanilla"
+        if not self.use_reuse:
+            return "dynPlace"
+        if not self.use_sa_initial_placement:
+            return "dynPlace+reuse"
+        return "SA+dynPlace+reuse"

@@ -1,0 +1,133 @@
+"""Shared data model of the ZAC compilation pipeline.
+
+The placement step produces a :class:`PlacementPlan`; the routing step turns
+its movement lists into rearrangement jobs; the scheduling step assigns jobs
+to AODs and computes the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.spec import Architecture, RydbergSite, StorageTrap
+from ..zair.instructions import QLoc
+
+#: Side index of the left trap of a Rydberg site (first SLM of the zone).
+LEFT = 0
+#: Side index of the right trap of a Rydberg site (second SLM of the zone).
+RIGHT = 1
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a qubit currently sits: a storage trap or one side of a Rydberg site."""
+
+    storage: StorageTrap | None = None
+    site: RydbergSite | None = None
+    side: int = LEFT
+
+    def __post_init__(self) -> None:
+        if (self.storage is None) == (self.site is None):
+            raise ValueError("a location is either a storage trap or a Rydberg site")
+
+    @property
+    def in_storage(self) -> bool:
+        return self.storage is not None
+
+    @property
+    def in_entanglement_zone(self) -> bool:
+        return self.site is not None
+
+    @staticmethod
+    def at_storage(trap: StorageTrap) -> "Location":
+        return Location(storage=trap)
+
+    @staticmethod
+    def at_site(site: RydbergSite, side: int) -> "Location":
+        return Location(site=site, side=side)
+
+
+def location_position(architecture: Architecture, location: Location) -> tuple[float, float]:
+    """Physical (x, y) of a location."""
+    if location.storage is not None:
+        return architecture.trap_position(location.storage)
+    assert location.site is not None
+    if location.side == LEFT:
+        return architecture.site_position(location.site)
+    return architecture.site_partner_position(location.site)
+
+
+def location_qloc(architecture: Architecture, qubit: int, location: Location) -> QLoc:
+    """ZAIR qloc of a qubit at a location."""
+    if location.storage is not None:
+        trap = location.storage
+        slm = architecture.storage_zones[trap.zone_index].slms[0]
+        return QLoc(qubit, slm.slm_id, trap.row, trap.col)
+    assert location.site is not None
+    site = location.site
+    zone = architecture.entanglement_zones[site.zone_index]
+    slm = zone.slms[location.side]
+    return QLoc(qubit, slm.slm_id, site.row, site.col)
+
+
+@dataclass(frozen=True)
+class Movement:
+    """One qubit's movement between two locations."""
+
+    qubit: int
+    source: Location
+    destination: Location
+
+    def distance_um(self, architecture: Architecture) -> float:
+        sx, sy = location_position(architecture, self.source)
+        dx, dy = location_position(architecture, self.destination)
+        return ((sx - dx) ** 2 + (sy - dy) ** 2) ** 0.5
+
+
+@dataclass
+class GatePlacementEntry:
+    """A two-qubit gate mapped onto a Rydberg site."""
+
+    qubits: tuple[int, int]
+    site: RydbergSite
+    #: Side of the first qubit of ``qubits`` (the other qubit takes the other side).
+    first_side: int = LEFT
+
+    def side_of(self, qubit: int) -> int:
+        if qubit == self.qubits[0]:
+            return self.first_side
+        if qubit == self.qubits[1]:
+            return RIGHT - self.first_side
+        raise ValueError(f"qubit {qubit} is not part of gate {self.qubits}")
+
+
+@dataclass
+class StagePlan:
+    """Placement and movement plan for one Rydberg stage."""
+
+    stage_index: int
+    gates: list[GatePlacementEntry] = field(default_factory=list)
+    #: Movements that bring gate qubits into the entanglement zone.
+    incoming: list[Movement] = field(default_factory=list)
+    #: Movements that return non-reused qubits to the storage zone afterwards.
+    outgoing: list[Movement] = field(default_factory=list)
+    #: Qubits kept at their Rydberg site for the next stage.
+    reused_qubits: set[int] = field(default_factory=set)
+    #: Entanglement zone illuminated by this stage's Rydberg pulse.
+    zone_index: int = 0
+
+
+@dataclass
+class PlacementPlan:
+    """Full placement result: initial placement plus one plan per Rydberg stage."""
+
+    initial: dict[int, StorageTrap]
+    stages: list[StagePlan] = field(default_factory=list)
+
+    @property
+    def num_movements(self) -> int:
+        return sum(len(s.incoming) + len(s.outgoing) for s in self.stages)
+
+    @property
+    def num_reuses(self) -> int:
+        return sum(len(s.reused_qubits) for s in self.stages)

@@ -1,0 +1,23 @@
+"""Reuse-aware placement: initial (SA), reuse matching, gate and storage placement."""
+
+from .annealing import AnnealingResult, anneal
+from .dynamic import DynamicPlacer
+from .gate_placement import GatePlacementError, place_gates
+from .initial import PlacementError, sa_placement, trivial_placement
+from .reuse import ReuseDecision, find_reuse_matching
+from .storage_placement import StoragePlacementError, place_returning_qubits
+
+__all__ = [
+    "AnnealingResult",
+    "DynamicPlacer",
+    "GatePlacementError",
+    "PlacementError",
+    "ReuseDecision",
+    "StoragePlacementError",
+    "anneal",
+    "find_reuse_matching",
+    "place_gates",
+    "place_returning_qubits",
+    "sa_placement",
+    "trivial_placement",
+]

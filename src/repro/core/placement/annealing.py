@@ -1,0 +1,99 @@
+"""A small, generic simulated-annealing framework (paper Section V-A).
+
+The framework is deliberately minimal: the caller provides a cost function,
+a neighbour generator that returns an *undo* callback, and the framework
+runs a geometric-cooling Metropolis loop with a fixed iteration budget.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of a simulated-annealing run."""
+
+    best_cost: float
+    initial_cost: float
+    iterations: int
+    accepted_moves: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction achieved by the search."""
+        if self.initial_cost == 0:
+            return 0.0
+        return (self.initial_cost - self.best_cost) / self.initial_cost
+
+
+def anneal(
+    cost_fn: Callable[[], float],
+    propose_fn: Callable[[random.Random], Callable[[], None] | None],
+    iterations: int = 1000,
+    initial_temperature: float = 2.0,
+    cooling: float = 0.995,
+    seed: int = 0,
+    convergence_window: int = 200,
+) -> AnnealingResult:
+    """Minimise ``cost_fn`` by locally mutating shared state.
+
+    Args:
+        cost_fn: Returns the current cost of the (externally held) state.
+        propose_fn: Mutates the state in place and returns an undo callback,
+            or None if no move could be generated this iteration.
+        iterations: Iteration limit.
+        initial_temperature: Starting temperature.
+        cooling: Geometric cooling factor applied every iteration.
+        seed: PRNG seed.
+        convergence_window: Stop early if no accepted move improved the best
+            cost within this many iterations.
+
+    Returns:
+        Statistics of the run.  The state is left at the best configuration
+        only if the caller's moves are cost-monotone; callers that need the
+        strict best state should snapshot externally (the placement code
+        keeps the final state, which in practice matches the best one because
+        late iterations run at near-zero temperature).
+    """
+    current = cost_fn()
+    initial = current
+    best = current
+    temperature = initial_temperature
+    rng = random.Random(seed)
+    accepted = 0
+    since_improvement = 0
+
+    iteration = 0
+    for iteration in range(1, iterations + 1):
+        undo = propose_fn(rng)
+        if undo is None:
+            temperature *= cooling
+            continue
+        candidate = cost_fn()
+        delta = candidate - current
+        accept = delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12))
+        if accept:
+            current = candidate
+            accepted += 1
+            if candidate < best - 1e-12:
+                best = candidate
+                since_improvement = 0
+            else:
+                since_improvement += 1
+        else:
+            undo()
+            since_improvement += 1
+        if since_improvement >= convergence_window:
+            break
+        temperature *= cooling
+
+    return AnnealingResult(
+        best_cost=min(best, current),
+        initial_cost=initial,
+        iterations=iteration,
+        accepted_moves=accepted,
+    )

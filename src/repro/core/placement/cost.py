@@ -1,0 +1,116 @@
+"""Placement cost functions (paper Section V, Eq. 1-3).
+
+The movement duration of an AOD transfer is proportional to the square root
+of the distance travelled, so every cost term uses ``sqrt(distance)`` rather
+than the raw Euclidean distance.  When the two qubits of a gate sit in the
+same SLM row they can be picked up by a single AOD row and moved to the site
+together, so the cost is the *maximum* of the two terms; otherwise the
+movements are sequential and the cost is their *sum*.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...arch.spec import Architecture, RydbergSite
+
+Point = tuple[float, float]
+
+#: Tolerance (um) when deciding whether two qubits share an SLM row.
+ROW_TOL = 1e-6
+
+
+def sqrt_distance(a: Point, b: Point) -> float:
+    """``sqrt`` of the Euclidean distance between two points."""
+    return math.sqrt(math.hypot(a[0] - b[0], a[1] - b[1]))
+
+
+def gate_cost(site_pos: Point, q_pos: Point, q2_pos: Point) -> float:
+    """Movement cost of a two-qubit gate to a Rydberg site (Eq. 1).
+
+    Args:
+        site_pos: Reference position of the Rydberg site (its left trap).
+        q_pos: Current position of the first target qubit.
+        q2_pos: Current position of the second target qubit.
+    """
+    cost_q = sqrt_distance(site_pos, q_pos)
+    cost_q2 = sqrt_distance(site_pos, q2_pos)
+    if abs(q_pos[1] - q2_pos[1]) <= ROW_TOL:
+        return max(cost_q, cost_q2)
+    return cost_q + cost_q2
+
+
+def stage_weight(stage_index: int) -> float:
+    """Weight factor of a gate scheduled in Rydberg stage ``stage_index`` (0-based).
+
+    ``w_g = max(0.1, 1 - 0.1 * t)`` with ``t`` the 0-based stage index, which
+    matches the paper's ``max(0.1, 1 - 0.1 (t - 1))`` for 1-based stages.
+    """
+    return max(0.1, 1.0 - 0.1 * stage_index)
+
+
+def nearest_gate_site(
+    architecture: Architecture,
+    q_pos: Point,
+    q2_pos: Point,
+) -> RydbergSite:
+    """Nearest Rydberg site of a gate: the middle site of its qubits' nearest sites.
+
+    If the nearest sites of the two target qubits are ``(r, c)`` and
+    ``(r', c')`` (in the same entanglement zone), the gate's nearest site is
+    ``(floor((r + r') / 2), floor((c + c') / 2))``.  When the qubits'
+    nearest sites live in different entanglement zones, the site closer to
+    the midpoint of the two qubits is used.
+    """
+    site_q = architecture.nearest_rydberg_site(*q_pos)
+    site_q2 = architecture.nearest_rydberg_site(*q2_pos)
+    if site_q.zone_index == site_q2.zone_index:
+        return RydbergSite(
+            site_q.zone_index,
+            (site_q.row + site_q2.row) // 2,
+            (site_q.col + site_q2.col) // 2,
+        )
+    midpoint = ((q_pos[0] + q2_pos[0]) / 2.0, (q_pos[1] + q2_pos[1]) / 2.0)
+    return architecture.nearest_rydberg_site(*midpoint)
+
+
+def initial_placement_cost(
+    architecture: Architecture,
+    positions: dict[int, Point],
+    weighted_gates: list[tuple[float, int, int]],
+) -> float:
+    """Total cost of an initial placement (Eq. 2).
+
+    Args:
+        architecture: Target architecture.
+        positions: Current qubit positions.
+        weighted_gates: ``(weight, q, q2)`` triples for every two-qubit gate.
+    """
+    total = 0.0
+    for weight, q, q2 in weighted_gates:
+        q_pos, q2_pos = positions[q], positions[q2]
+        site = nearest_gate_site(architecture, q_pos, q2_pos)
+        site_pos = architecture.site_position(site)
+        total += weight * gate_cost(site_pos, q_pos, q2_pos)
+    return total
+
+
+def storage_return_cost(
+    trap_pos: Point,
+    qubit_pos: Point,
+    related_pos: Point | None,
+    alpha: float = 0.1,
+) -> float:
+    """Cost of returning a qubit to a storage trap (Eq. 3).
+
+    Args:
+        trap_pos: Candidate storage-trap position.
+        qubit_pos: The qubit's current position (in the entanglement zone).
+        related_pos: Position of the qubit's related qubit (its partner in
+            the next Rydberg stage), or None if it has none.
+        alpha: Lookahead weighting factor.
+    """
+    cost = sqrt_distance(trap_pos, qubit_pos)
+    if related_pos is not None:
+        cost += alpha * sqrt_distance(trap_pos, related_pos)
+    return cost

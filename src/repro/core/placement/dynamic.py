@@ -1,0 +1,299 @@
+"""Reuse-aware dynamic placement across Rydberg stages (paper Section V-B).
+
+The :class:`DynamicPlacer` walks the Rydberg stages in order and, for each
+stage, decides
+
+1. which Rydberg site every gate executes at (forced by reuse, or chosen by
+   minimum-weight matching),
+2. which qubits move into the entanglement zone (and to which side of their
+   site), and
+3. which qubits return to the storage zone afterwards and to which traps --
+   comparing a *reuse* and a *no-reuse* solution for the following stage and
+   committing to the cheaper one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...arch.spec import Architecture, RydbergSite, StorageTrap
+from ..config import ZACConfig
+from ..model import (
+    LEFT,
+    RIGHT,
+    GatePlacementEntry,
+    Location,
+    Movement,
+    PlacementPlan,
+    StagePlan,
+    location_position,
+)
+from .cost import sqrt_distance
+from .gate_placement import place_gates
+from .reuse import find_reuse_matching
+from .storage_placement import place_returning_qubits
+
+Point = tuple[float, float]
+
+
+@dataclass
+class _ReturnOption:
+    """One evaluated return/reuse alternative for the next stage."""
+
+    cost: float
+    returning: list[int]
+    return_assignment: dict[int, StorageTrap]
+    reused_qubits: set[int]
+    forced_sites: dict[int, tuple[RydbergSite, int]]
+
+
+class DynamicPlacer:
+    """Stateful per-stage placement engine."""
+
+    def __init__(self, architecture: Architecture, config: ZACConfig | None = None) -> None:
+        self.architecture = architecture
+        self.config = config or ZACConfig()
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self,
+        rydberg_stages: list[list[tuple[int, int]]],
+        initial: dict[int, StorageTrap],
+    ) -> PlacementPlan:
+        """Produce the full placement plan for a staged circuit."""
+        self._location: dict[int, Location] = {
+            q: Location.at_storage(trap) for q, trap in initial.items()
+        }
+        self._home: dict[int, StorageTrap] = dict(initial)
+        self._occupied_storage: set[StorageTrap] = set(initial.values())
+
+        plan = PlacementPlan(initial=dict(initial))
+        forced: dict[int, tuple[RydbergSite, int]] = {}
+
+        for stage_index, gates in enumerate(rydberg_stages):
+            next_gates = (
+                rydberg_stages[stage_index + 1]
+                if stage_index + 1 < len(rydberg_stages)
+                else None
+            )
+            stage_plan, forced = self._place_stage(stage_index, gates, next_gates, forced)
+            plan.stages.append(stage_plan)
+        return plan
+
+    # -- per-stage steps ------------------------------------------------------
+
+    def _positions(self) -> dict[int, Point]:
+        return {
+            q: location_position(self.architecture, loc) for q, loc in self._location.items()
+        }
+
+    def _place_stage(
+        self,
+        stage_index: int,
+        gates: list[tuple[int, int]],
+        next_gates: list[tuple[int, int]] | None,
+        forced: dict[int, tuple[RydbergSite, int]],
+    ) -> tuple[StagePlan, dict[int, tuple[RydbergSite, int]]]:
+        plan = StagePlan(stage_index=stage_index)
+        positions = self._positions()
+
+        # 1. Gate placement: forced (reuse) gates keep their site, the rest are matched.
+        forced_sites = {site for site, _ in forced.values()}
+        unforced_indices = [i for i in range(len(gates)) if i not in forced]
+        unforced_gates = [gates[i] for i in unforced_indices]
+        placed_sites, _ = place_gates(
+            self.architecture,
+            unforced_gates,
+            positions,
+            occupied_sites=forced_sites,
+            next_stage_gates=next_gates,
+            expansion=self.config.candidate_expansion,
+        )
+        site_of_gate: dict[int, RydbergSite] = {}
+        for index, site in zip(unforced_indices, placed_sites):
+            site_of_gate[index] = site
+        for index, (site, _) in forced.items():
+            site_of_gate[index] = site
+
+        # 2. Build gate entries with side assignments, and incoming movements.
+        for index, gate in enumerate(gates):
+            site = site_of_gate[index]
+            entry = self._gate_entry(gate, site, forced.get(index), positions)
+            plan.gates.append(entry)
+            plan.zone_index = site.zone_index
+            for qubit in gate:
+                target = Location.at_site(site, entry.side_of(qubit))
+                current = self._location[qubit]
+                if current == target:
+                    continue
+                plan.incoming.append(Movement(qubit, current, target))
+                self._location[qubit] = target
+
+        # 3. Decide reuse for the next stage and return the remaining qubits.
+        in_zone = [q for q, loc in self._location.items() if loc.in_entanglement_zone]
+        option = self._choose_return_option(plan, in_zone, next_gates)
+        plan.reused_qubits = option.reused_qubits
+
+        for qubit in option.returning:
+            trap = option.return_assignment[qubit]
+            source = self._location[qubit]
+            plan.outgoing.append(Movement(qubit, source, Location.at_storage(trap)))
+            old_home = self._home[qubit]
+            if old_home != trap:
+                self._occupied_storage.discard(old_home)
+                self._occupied_storage.add(trap)
+            self._home[qubit] = trap
+            self._location[qubit] = Location.at_storage(trap)
+
+        return plan, option.forced_sites
+
+    def _gate_entry(
+        self,
+        gate: tuple[int, int],
+        site: RydbergSite,
+        forced: tuple[RydbergSite, int] | None,
+        positions: dict[int, Point],
+    ) -> GatePlacementEntry:
+        """Choose which qubit of a gate takes the left / right trap of its site."""
+        q, q2 = gate
+        if forced is not None:
+            reused = forced[1]
+            reused_loc = self._location[reused]
+            reused_side = reused_loc.side if reused_loc.in_entanglement_zone else LEFT
+            first_side = reused_side if reused == q else RIGHT - reused_side
+            return GatePlacementEntry(qubits=gate, site=site, first_side=first_side)
+        # Fresh gate: the qubit currently further left goes to the left trap.
+        first_side = LEFT if positions[q][0] <= positions[q2][0] else RIGHT
+        return GatePlacementEntry(qubits=gate, site=site, first_side=first_side)
+
+    # -- return / reuse decision ----------------------------------------------
+
+    def _choose_return_option(
+        self,
+        plan: StagePlan,
+        in_zone: list[int],
+        next_gates: list[tuple[int, int]] | None,
+    ) -> _ReturnOption:
+        no_reuse = self._evaluate_option(plan, in_zone, next_gates, use_reuse=False)
+        if not self.config.use_reuse or not next_gates:
+            return no_reuse
+        with_reuse = self._evaluate_option(plan, in_zone, next_gates, use_reuse=True)
+        if with_reuse is None:
+            return no_reuse
+        return with_reuse if with_reuse.cost <= no_reuse.cost else no_reuse
+
+    def _evaluate_option(
+        self,
+        plan: StagePlan,
+        in_zone: list[int],
+        next_gates: list[tuple[int, int]] | None,
+        use_reuse: bool,
+    ) -> _ReturnOption | None:
+        positions = self._positions()
+
+        reused_qubits: set[int] = set()
+        forced_next: dict[int, tuple[RydbergSite, int]] = {}
+        if use_reuse and next_gates:
+            decisions = find_reuse_matching(plan.gates, next_gates)
+            if not decisions:
+                return None
+            for decision in decisions:
+                prev_entry = plan.gates[decision.prev_gate_index]
+                forced_next[decision.next_gate_index] = (
+                    prev_entry.site,
+                    decision.reused_qubit,
+                )
+                # If the next gate acts on the same pair, both qubits stay put.
+                shared = set(prev_entry.qubits) & set(next_gates[decision.next_gate_index])
+                reused_qubits.update(shared)
+
+        returning = [q for q in in_zone if q not in reused_qubits]
+        related_positions = self._related_positions(returning, next_gates, positions)
+        return_assignment, return_cost = self._return_assignment(
+            returning, positions, related_positions
+        )
+
+        # Estimate the movement cost of the *next* stage under this option.
+        next_cost = 0.0
+        if next_gates:
+            next_positions = dict(positions)
+            for qubit, trap in return_assignment.items():
+                next_positions[qubit] = self.architecture.trap_position(trap)
+            occupied_sites = {site for site, _ in forced_next.values()}
+            unforced = [g for i, g in enumerate(next_gates) if i not in forced_next]
+            if unforced:
+                try:
+                    _, next_cost = place_gates(
+                        self.architecture,
+                        unforced,
+                        next_positions,
+                        occupied_sites=occupied_sites,
+                        expansion=self.config.candidate_expansion,
+                    )
+                except Exception:
+                    return None if use_reuse else _ReturnOption(
+                        float("inf"), returning, return_assignment, set(), {}
+                    )
+            for gate_index, (site, reused) in forced_next.items():
+                gate = next_gates[gate_index]
+                partners = [q for q in gate if q != reused]
+                site_pos = self.architecture.site_position(site)
+                for partner in partners:
+                    next_cost += sqrt_distance(site_pos, next_positions[partner])
+
+        return _ReturnOption(
+            cost=return_cost + next_cost,
+            returning=returning,
+            return_assignment=return_assignment,
+            reused_qubits=reused_qubits,
+            forced_sites=forced_next,
+        )
+
+    def _related_positions(
+        self,
+        returning: list[int],
+        next_gates: list[tuple[int, int]] | None,
+        positions: dict[int, Point],
+    ) -> dict[int, Point | None]:
+        related: dict[int, Point | None] = {q: None for q in returning}
+        if not next_gates:
+            return related
+        partner_of: dict[int, int] = {}
+        for q, q2 in next_gates:
+            partner_of[q] = q2
+            partner_of[q2] = q
+        for qubit in returning:
+            partner = partner_of.get(qubit)
+            if partner is not None:
+                related[qubit] = positions[partner]
+        return related
+
+    def _return_assignment(
+        self,
+        returning: list[int],
+        positions: dict[int, Point],
+        related_positions: dict[int, Point | None],
+    ) -> tuple[dict[int, StorageTrap], float]:
+        if not returning:
+            return {}, 0.0
+        if not self.config.dynamic_placement:
+            # Static placement: every qubit goes straight back to its home trap.
+            assignment = {q: self._home[q] for q in returning}
+            cost = sum(
+                sqrt_distance(self.architecture.trap_position(self._home[q]), positions[q])
+                for q in returning
+            )
+            return assignment, cost
+        occupied = set(self._occupied_storage)
+        home_traps = {q: self._home[q] for q in returning}
+        return place_returning_qubits(
+            self.architecture,
+            returning,
+            positions,
+            home_traps,
+            related_positions,
+            occupied,
+            alpha=self.config.lookahead_alpha,
+            k=self.config.neighbor_k,
+        )

@@ -1,0 +1,167 @@
+"""Gate placement onto Rydberg sites (paper Section V-B.2).
+
+Gates that do not reuse a qubit are assigned to free Rydberg sites by a
+minimum-weight full matching on a bipartite graph between gates and candidate
+sites.  The candidate sites of a gate are a window (expansion factor
+``delta``) around the gate's nearest Rydberg site; the window is grown until
+a full matching exists.  Edge weights are the movement cost of Eq. 1, plus a
+lookahead term for the partner qubit of a gate that will be reused in the
+following stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from ...arch.spec import Architecture, RydbergSite
+from .cost import gate_cost, nearest_gate_site, sqrt_distance
+
+Point = tuple[float, float]
+
+#: Cost assigned to (gate, site) pairs outside the candidate window.
+_FORBIDDEN = 1e9
+
+
+class GatePlacementError(RuntimeError):
+    """Raised when gates cannot all be assigned to free Rydberg sites."""
+
+
+def candidate_sites(
+    architecture: Architecture,
+    gate_site: RydbergSite,
+    expansion: int,
+) -> list[RydbergSite]:
+    """Sites within ``expansion`` rows/columns of ``gate_site`` (same zone)."""
+    rows, cols = architecture.site_shape(gate_site.zone_index)
+    out: list[RydbergSite] = []
+    for row in range(max(0, gate_site.row - expansion), min(rows, gate_site.row + expansion + 1)):
+        for col in range(max(0, gate_site.col - expansion), min(cols, gate_site.col + expansion + 1)):
+            out.append(RydbergSite(gate_site.zone_index, row, col))
+    return out
+
+
+def _pair_cost(
+    architecture: Architecture,
+    gate: tuple[int, int],
+    site: RydbergSite,
+    positions: dict[int, Point],
+    lookahead_qubit: int | None,
+) -> float:
+    site_pos = architecture.site_position(site)
+    cost = gate_cost(site_pos, positions[gate[0]], positions[gate[1]])
+    if lookahead_qubit is not None and lookahead_qubit in positions:
+        cost += sqrt_distance(site_pos, positions[lookahead_qubit])
+    return cost
+
+
+def _lookahead_partner(
+    gate: tuple[int, int], next_stage_gates: list[tuple[int, int]] | None
+) -> int | None:
+    """The qubit that will travel to this gate's site in the next stage, if any."""
+    if not next_stage_gates:
+        return None
+    for nxt in next_stage_gates:
+        shared = [q for q in gate if q in nxt]
+        if shared:
+            others = [q for q in nxt if q not in gate]
+            return others[0] if others else None
+    return None
+
+
+def place_gates(
+    architecture: Architecture,
+    gates: list[tuple[int, int]],
+    positions: dict[int, Point],
+    occupied_sites: set[RydbergSite],
+    next_stage_gates: list[tuple[int, int]] | None = None,
+    expansion: int = 2,
+) -> tuple[list[RydbergSite], float]:
+    """Assign every gate to a distinct free Rydberg site, minimising total cost.
+
+    Args:
+        architecture: Target architecture.
+        gates: Qubit pairs to place.
+        positions: Current physical position of every qubit.
+        occupied_sites: Sites unavailable to this matching (e.g. kept by
+            reused qubits).
+        next_stage_gates: Gates of the following Rydberg stage, used for the
+            lookahead cost term.
+        expansion: Initial candidate-window half-width ``delta``.
+
+    Returns:
+        ``(sites, total_cost)`` where ``sites[i]`` is the Rydberg site of
+        ``gates[i]``.
+
+    Raises:
+        GatePlacementError: if the architecture has fewer free sites than gates.
+    """
+    if not gates:
+        return [], 0.0
+
+    free_sites = [s for s in architecture.iter_rydberg_sites() if s not in occupied_sites]
+    if len(free_sites) < len(gates):
+        raise GatePlacementError(
+            f"{len(gates)} gates do not fit into {len(free_sites)} free Rydberg sites"
+        )
+
+    nearest = [
+        nearest_gate_site(architecture, positions[q], positions[q2]) for q, q2 in gates
+    ]
+    lookahead = [_lookahead_partner(gate, next_stage_gates) for gate in gates]
+
+    max_rows = max(architecture.site_shape(z)[0] for z in range(len(architecture.entanglement_zones)))
+    max_cols = max(architecture.site_shape(z)[1] for z in range(len(architecture.entanglement_zones)))
+    max_expansion = max(max_rows, max_cols)
+
+    current_expansion = expansion
+    while True:
+        assignment = _try_match(
+            architecture, gates, nearest, lookahead, positions, free_sites, current_expansion
+        )
+        if assignment is not None:
+            return assignment
+        if current_expansion >= max_expansion:
+            # Final fallback: every free site is a candidate for every gate.
+            assignment = _try_match(
+                architecture, gates, nearest, lookahead, positions, free_sites, None
+            )
+            if assignment is None:
+                raise GatePlacementError("no feasible gate-to-site matching found")
+            return assignment
+        current_expansion *= 2
+
+
+def _try_match(
+    architecture: Architecture,
+    gates: list[tuple[int, int]],
+    nearest: list[RydbergSite],
+    lookahead: list[int | None],
+    positions: dict[int, Point],
+    free_sites: list[RydbergSite],
+    expansion: int | None,
+) -> tuple[list[RydbergSite], float] | None:
+    """Attempt a min-weight full matching with the given candidate window."""
+    free_index = {site: j for j, site in enumerate(free_sites)}
+    num_gates, num_sites = len(gates), len(free_sites)
+    cost = np.full((num_gates, num_sites), _FORBIDDEN, dtype=float)
+
+    for i, gate in enumerate(gates):
+        if expansion is None:
+            candidates = free_sites
+        else:
+            candidates = [
+                s for s in candidate_sites(architecture, nearest[i], expansion) if s in free_index
+            ]
+            if not candidates:
+                candidates = free_sites
+        for site in candidates:
+            cost[i, free_index[site]] = _pair_cost(
+                architecture, gate, site, positions, lookahead[i]
+            )
+
+    rows, cols = linear_sum_assignment(cost)
+    total = float(cost[rows, cols].sum())
+    if total >= _FORBIDDEN:
+        return None
+    return [free_sites[j] for j in cols], total

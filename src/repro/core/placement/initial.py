@@ -1,0 +1,166 @@
+"""Initial qubit placement in the storage zone (paper Section V-A).
+
+Two strategies are provided:
+
+* :func:`trivial_placement` -- the 'Vanilla' baseline of the ablation study:
+  qubits are placed sequentially by index, starting from the first trap of
+  the storage row closest to the (first) entanglement zone.
+* :func:`sa_placement` -- simulated annealing over the weighted gate-cost
+  objective of Eq. 2, exchanging qubit locations or moving qubits to empty
+  traps near the entanglement-zone boundary.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from ...arch.spec import Architecture, StorageTrap
+from ..config import ZACConfig
+from .annealing import AnnealingResult, anneal
+from .cost import initial_placement_cost, stage_weight
+
+
+class PlacementError(RuntimeError):
+    """Raised when a legal placement cannot be constructed."""
+
+
+def storage_rows_by_proximity(architecture: Architecture, zone_index: int = 0) -> list[int]:
+    """Storage-row indices ordered from closest to farthest from the entanglement zone."""
+    storage_grid = architecture.storage_zones[zone_index].slms[0]
+    ent_zone = architecture.entanglement_zones[0]
+    ent_y = ent_zone.offset[1]
+    rows = list(range(storage_grid.num_row))
+    rows.sort(key=lambda r: abs(storage_grid.trap_position(r, 0)[1] - ent_y))
+    return rows
+
+
+def trivial_placement(architecture: Architecture, num_qubits: int) -> dict[int, StorageTrap]:
+    """Place qubits sequentially by index in the rows nearest the entanglement zone."""
+    if num_qubits > architecture.num_storage_traps:
+        raise PlacementError(
+            f"{num_qubits} qubits do not fit in {architecture.num_storage_traps} storage traps"
+        )
+    placement: dict[int, StorageTrap] = {}
+    zone_index = 0
+    grid = architecture.storage_zones[zone_index].slms[0]
+    rows = storage_rows_by_proximity(architecture, zone_index)
+    qubit = 0
+    for row in rows:
+        for col in range(grid.num_col):
+            if qubit >= num_qubits:
+                return placement
+            placement[qubit] = StorageTrap(zone_index, row, col)
+            qubit += 1
+    return placement
+
+
+def _candidate_traps(
+    architecture: Architecture, num_qubits: int, zone_index: int = 0
+) -> list[StorageTrap]:
+    """Traps considered by the annealer: the closest rows with some slack."""
+    grid = architecture.storage_zones[zone_index].slms[0]
+    rows = storage_rows_by_proximity(architecture, zone_index)
+    needed_rows = min(grid.num_row, max(2, -(-2 * num_qubits // grid.num_col)))
+    traps = [
+        StorageTrap(zone_index, row, col)
+        for row in rows[:needed_rows]
+        for col in range(grid.num_col)
+    ]
+    return traps
+
+
+def weighted_gate_list(staged_gates: list[list[tuple[int, int]]]) -> list[tuple[float, int, int]]:
+    """Attach the stage weight ``w_g`` to every two-qubit gate."""
+    weighted: list[tuple[float, int, int]] = []
+    for stage_index, gates in enumerate(staged_gates):
+        weight = stage_weight(stage_index)
+        for q, q2 in gates:
+            weighted.append((weight, q, q2))
+    return weighted
+
+
+def sa_placement(
+    architecture: Architecture,
+    num_qubits: int,
+    staged_gates: list[list[tuple[int, int]]],
+    config: ZACConfig = ZACConfig(),
+    on_result: Callable[[AnnealingResult], None] | None = None,
+) -> dict[int, StorageTrap]:
+    """Simulated-annealing initial placement minimising Eq. 2.
+
+    Args:
+        architecture: Target architecture.
+        num_qubits: Number of program qubits.
+        staged_gates: Two-qubit gates grouped by Rydberg stage (qubit pairs).
+        config: Annealing parameters.
+        on_result: Optional callback receiving the annealing statistics.
+    """
+    placement = trivial_placement(architecture, num_qubits)
+    weighted = weighted_gate_list(staged_gates)
+    if not weighted or num_qubits <= 1:
+        return placement
+
+    candidates = _candidate_traps(architecture, num_qubits)
+    trap_to_qubit: dict[StorageTrap, int] = {trap: q for q, trap in placement.items()}
+    empty_traps = [t for t in candidates if t not in trap_to_qubit]
+
+    positions = {
+        q: architecture.trap_position(trap) for q, trap in placement.items()
+    }
+
+    def cost() -> float:
+        return initial_placement_cost(architecture, positions, weighted)
+
+    def propose(rng: random.Random):
+        qubit = rng.randrange(num_qubits)
+        old_trap = placement[qubit]
+        if empty_traps and rng.random() < 0.5:
+            # Jump to a random empty candidate trap.
+            index = rng.randrange(len(empty_traps))
+            new_trap = empty_traps[index]
+            placement[qubit] = new_trap
+            positions[qubit] = architecture.trap_position(new_trap)
+            trap_to_qubit.pop(old_trap, None)
+            trap_to_qubit[new_trap] = qubit
+            empty_traps[index] = old_trap
+
+            def undo() -> None:
+                placement[qubit] = old_trap
+                positions[qubit] = architecture.trap_position(old_trap)
+                trap_to_qubit.pop(new_trap, None)
+                trap_to_qubit[old_trap] = qubit
+                empty_traps[index] = new_trap
+
+            return undo
+        # Exchange locations with another qubit.
+        other = rng.randrange(num_qubits)
+        if other == qubit:
+            return None
+        other_trap = placement[other]
+        placement[qubit], placement[other] = other_trap, old_trap
+        positions[qubit] = architecture.trap_position(other_trap)
+        positions[other] = architecture.trap_position(old_trap)
+        trap_to_qubit[other_trap] = qubit
+        trap_to_qubit[old_trap] = other
+
+        def undo_swap() -> None:
+            placement[qubit], placement[other] = old_trap, other_trap
+            positions[qubit] = architecture.trap_position(old_trap)
+            positions[other] = architecture.trap_position(other_trap)
+            trap_to_qubit[old_trap] = qubit
+            trap_to_qubit[other_trap] = other
+
+        return undo_swap
+
+    result = anneal(
+        cost,
+        propose,
+        iterations=config.sa_iterations,
+        initial_temperature=config.sa_initial_temperature,
+        cooling=config.sa_cooling,
+        seed=config.seed,
+    )
+    if on_result is not None:
+        on_result(result)
+    return placement

@@ -1,0 +1,83 @@
+"""Qubit-reuse identification via maximum bipartite matching (Section V-B.1).
+
+A qubit sitting in the entanglement zone after Rydberg stage ``t`` is
+*reusable* if it is also involved in a gate of stage ``t + 1``.  Keeping both
+qubits of a site is impossible when both would be reused by *different*
+gates, so the reuse relation is modelled as a bipartite graph between the
+gates of the two stages (edge = "shares a qubit") and a maximum-cardinality
+matching (Hopcroft-Karp) selects which gate pairs actually reuse a qubit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..model import GatePlacementEntry
+
+
+@dataclass(frozen=True)
+class ReuseDecision:
+    """One reuse pairing between consecutive Rydberg stages.
+
+    Attributes:
+        prev_gate_index: Index of the gate in the previous stage whose site
+            is being kept.
+        next_gate_index: Index of the gate in the next stage that inherits
+            the site.
+        reused_qubit: The shared qubit that stays at the Rydberg site.
+    """
+
+    prev_gate_index: int
+    next_gate_index: int
+    reused_qubit: int
+
+
+def shared_qubits(a: tuple[int, int], b: tuple[int, int]) -> list[int]:
+    """Qubits shared by two gates (0, 1 or 2 of them)."""
+    return [q for q in a if q in b]
+
+
+def find_reuse_matching(
+    prev_gates: list[GatePlacementEntry],
+    next_gates: list[tuple[int, int]],
+) -> list[ReuseDecision]:
+    """Maximum-cardinality matching of reuse opportunities.
+
+    Args:
+        prev_gates: Placed gates of the previous Rydberg stage.
+        next_gates: Qubit pairs of the next Rydberg stage.
+
+    Returns:
+        One :class:`ReuseDecision` per matched gate pair.  The reused qubit
+        of a pair is the shared qubit (ties broken towards the first listed).
+    """
+    if not prev_gates or not next_gates:
+        return []
+
+    graph = nx.Graph()
+    prev_nodes = [("prev", i) for i in range(len(prev_gates))]
+    next_nodes = [("next", j) for j in range(len(next_gates))]
+    graph.add_nodes_from(prev_nodes, bipartite=0)
+    graph.add_nodes_from(next_nodes, bipartite=1)
+    for i, prev in enumerate(prev_gates):
+        for j, nxt in enumerate(next_gates):
+            if shared_qubits(prev.qubits, nxt):
+                graph.add_edge(("prev", i), ("next", j))
+
+    if graph.number_of_edges() == 0:
+        return []
+
+    matching = nx.bipartite.hopcroft_karp_matching(graph, top_nodes=prev_nodes)
+    decisions: list[ReuseDecision] = []
+    for node, partner in matching.items():
+        if node[0] != "prev":
+            continue
+        i, j = node[1], partner[1]
+        shared = shared_qubits(prev_gates[i].qubits, next_gates[j])
+        decisions.append(
+            ReuseDecision(prev_gate_index=i, next_gate_index=j, reused_qubit=shared[0])
+        )
+    decisions.sort(key=lambda d: d.next_gate_index)
+    return decisions

@@ -1,0 +1,154 @@
+"""Non-reuse dynamic qubit placement: returning qubits to storage (Section V-B.3).
+
+After a Rydberg stage, every qubit in the entanglement zone that is not
+reused by the next stage returns to a storage trap.  The assignment of
+qubits to traps is a minimum-weight full matching between qubits and their
+candidate traps, where the candidates are (i) the qubit's reserved home
+trap, (ii) the storage traps near its current Rydberg site (k-neighbourhood),
+and (iii) the trap nearest its *related qubit* -- its partner in the next
+Rydberg stage -- all enclosed in a bounding box.  Edge weights follow Eq. 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from ...arch.spec import Architecture, StorageTrap
+from .cost import storage_return_cost
+
+Point = tuple[float, float]
+
+_FORBIDDEN = 1e9
+
+
+class StoragePlacementError(RuntimeError):
+    """Raised when returning qubits cannot be matched to storage traps."""
+
+
+def k_neighbourhood(
+    architecture: Architecture, trap: StorageTrap, k: int
+) -> list[StorageTrap]:
+    """The trap itself plus its ``k``-hop neighbours along its row and column."""
+    rows, cols = architecture.storage_shape(trap.zone_index)
+    out = [trap]
+    for offset in range(1, k + 1):
+        for dr, dc in ((offset, 0), (-offset, 0), (0, offset), (0, -offset)):
+            row, col = trap.row + dr, trap.col + dc
+            if 0 <= row < rows and 0 <= col < cols:
+                out.append(StorageTrap(trap.zone_index, row, col))
+    return out
+
+
+def _bounding_box_traps(
+    architecture: Architecture, anchors: list[StorageTrap]
+) -> list[StorageTrap]:
+    """All storage traps inside the bounding box of the anchor traps."""
+    by_zone: dict[int, list[StorageTrap]] = {}
+    for trap in anchors:
+        by_zone.setdefault(trap.zone_index, []).append(trap)
+    out: list[StorageTrap] = []
+    for zone_index, traps in by_zone.items():
+        row_lo = min(t.row for t in traps)
+        row_hi = max(t.row for t in traps)
+        col_lo = min(t.col for t in traps)
+        col_hi = max(t.col for t in traps)
+        for row in range(row_lo, row_hi + 1):
+            for col in range(col_lo, col_hi + 1):
+                out.append(StorageTrap(zone_index, row, col))
+    return out
+
+
+def candidate_traps(
+    architecture: Architecture,
+    qubit_position: Point,
+    home_trap: StorageTrap,
+    related_position: Point | None,
+    occupied: set[StorageTrap],
+    k: int = 1,
+) -> list[StorageTrap]:
+    """Candidate storage traps for one returning qubit.
+
+    The qubit's own home trap is always included (it is reserved for the
+    qubit, so a full matching always exists); every other candidate must be
+    unoccupied.
+    """
+    anchors = [home_trap]
+    near_current = architecture.nearest_storage_trap(*qubit_position)
+    anchors.extend(k_neighbourhood(architecture, near_current, k))
+    if related_position is not None:
+        anchors.append(architecture.nearest_storage_trap(*related_position))
+
+    box = _bounding_box_traps(architecture, anchors)
+    candidates = [home_trap]
+    for trap in box:
+        if trap == home_trap:
+            continue
+        if trap in occupied:
+            continue
+        candidates.append(trap)
+    return candidates
+
+
+def place_returning_qubits(
+    architecture: Architecture,
+    qubits: list[int],
+    positions: dict[int, Point],
+    home_traps: dict[int, StorageTrap],
+    related_positions: dict[int, Point | None],
+    occupied: set[StorageTrap],
+    alpha: float = 0.1,
+    k: int = 1,
+) -> tuple[dict[int, StorageTrap], float]:
+    """Assign every returning qubit a storage trap, minimising total cost.
+
+    Args:
+        architecture: Target architecture.
+        qubits: Qubits currently in the entanglement zone that must return.
+        positions: Current physical positions of all qubits.
+        home_traps: Reserved home trap of each returning qubit.
+        related_positions: Position of each qubit's related qubit (or None).
+        occupied: Storage traps that are occupied or reserved by *other*
+            qubits (home traps of the returning qubits themselves may be
+            included; each qubit's own home is re-admitted for itself).
+        alpha: Lookahead weight of Eq. 3.
+        k: Neighbourhood radius for candidate traps near the current site.
+
+    Returns:
+        ``(assignment, total_cost)``.
+    """
+    if not qubits:
+        return {}, 0.0
+
+    per_qubit_candidates: list[list[StorageTrap]] = []
+    union: list[StorageTrap] = []
+    union_index: dict[StorageTrap, int] = {}
+    for qubit in qubits:
+        cands = candidate_traps(
+            architecture,
+            positions[qubit],
+            home_traps[qubit],
+            related_positions.get(qubit),
+            occupied - {home_traps[qubit]},
+            k=k,
+        )
+        per_qubit_candidates.append(cands)
+        for trap in cands:
+            if trap not in union_index:
+                union_index[trap] = len(union)
+                union.append(trap)
+
+    cost = np.full((len(qubits), len(union)), _FORBIDDEN, dtype=float)
+    for i, qubit in enumerate(qubits):
+        for trap in per_qubit_candidates[i]:
+            trap_pos = architecture.trap_position(trap)
+            cost[i, union_index[trap]] = storage_return_cost(
+                trap_pos, positions[qubit], related_positions.get(qubit), alpha
+            )
+
+    rows, cols = linear_sum_assignment(cost)
+    total = float(cost[rows, cols].sum())
+    if total >= _FORBIDDEN:
+        raise StoragePlacementError("no feasible qubit-to-trap matching found")
+    assignment = {qubits[i]: union[j] for i, j in zip(rows, cols)}
+    return assignment, total

@@ -1,0 +1,12 @@
+"""Rearrangement-job routing: movement compatibility and MIS-based job grouping."""
+
+from .conflicts import conflict_graph, movements_compatible
+from .jobs import build_jobs, movements_to_job, partition_movements
+
+__all__ = [
+    "build_jobs",
+    "conflict_graph",
+    "movements_compatible",
+    "movements_to_job",
+    "partition_movements",
+]

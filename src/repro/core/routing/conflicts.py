@@ -1,0 +1,51 @@
+"""Movement compatibility under the AOD ordering constraints.
+
+All qubits moved by one rearrangement job are held by a single AOD, whose
+rows and columns cannot cross each other during a move.  Two movements are
+*compatible* (can share a job) when, on both axes, their source ordering is
+preserved at the destination -- and when sources that coincide on an axis
+(same AOD row or column) also coincide at the destination.
+"""
+
+from __future__ import annotations
+
+from ...arch.spec import Architecture
+from ..model import Movement, location_position
+
+#: Coordinate tolerance (um) when comparing trap positions.
+_TOL = 1e-6
+
+
+def movements_compatible(
+    architecture: Architecture, first: Movement, second: Movement
+) -> bool:
+    """Whether two movements can be executed by the same AOD simultaneously."""
+    b1 = location_position(architecture, first.source)
+    e1 = location_position(architecture, first.destination)
+    b2 = location_position(architecture, second.source)
+    e2 = location_position(architecture, second.destination)
+    for axis in (0, 1):
+        begin_delta = b1[axis] - b2[axis]
+        end_delta = e1[axis] - e2[axis]
+        if abs(begin_delta) <= _TOL:
+            if abs(end_delta) > _TOL:
+                return False
+        elif abs(end_delta) <= _TOL:
+            return False
+        elif begin_delta * end_delta < 0:
+            return False
+    return True
+
+
+def conflict_graph(
+    architecture: Architecture, movements: list[Movement]
+) -> list[set[int]]:
+    """Adjacency sets of the conflict graph over ``movements`` (by index)."""
+    n = len(movements)
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not movements_compatible(architecture, movements[i], movements[j]):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    return adjacency

@@ -1,0 +1,71 @@
+"""Rearrangement-job generation (paper Section VI).
+
+The qubit movements of one epoch (either "into the entanglement zone" or
+"back to storage") cannot always share a single AOD because of the ordering
+constraints.  Following Enola's strategy, the movements are partitioned by
+repeatedly extracting a maximal independent set of the conflict graph: each
+extracted set becomes one rearrangement job.
+"""
+
+from __future__ import annotations
+
+from ...arch.spec import Architecture
+from ...zair.instructions import RearrangeJob
+from ...zair.lowering import lower_job
+from ..model import Movement, location_qloc
+from .conflicts import conflict_graph
+
+
+def partition_movements(
+    architecture: Architecture, movements: list[Movement]
+) -> list[list[Movement]]:
+    """Split an epoch's movements into groups executable by a single AOD each.
+
+    Uses greedy maximal-independent-set peeling on the conflict graph
+    (minimum-remaining-degree first), which empirically yields a near-minimal
+    number of jobs for the grid-structured movements produced by placement.
+    """
+    if not movements:
+        return []
+    adjacency = conflict_graph(architecture, movements)
+    remaining = set(range(len(movements)))
+    groups: list[list[Movement]] = []
+    while remaining:
+        # Greedy MIS on the subgraph induced by the remaining movements.
+        degrees = {i: len(adjacency[i] & remaining) for i in remaining}
+        available = set(remaining)
+        selected: list[int] = []
+        while available:
+            node = min(available, key=lambda i: (degrees[i], i))
+            selected.append(node)
+            blocked = adjacency[node] & available
+            available.discard(node)
+            available -= blocked
+        groups.append([movements[i] for i in sorted(selected)])
+        remaining -= set(selected)
+    return groups
+
+
+def movements_to_job(
+    architecture: Architecture,
+    movements: list[Movement],
+    aod_id: int = 0,
+    lower: bool = True,
+) -> RearrangeJob:
+    """Build a ZAIR rearrangement job from a compatible movement group."""
+    begin_locs = [location_qloc(architecture, m.qubit, m.source) for m in movements]
+    end_locs = [location_qloc(architecture, m.qubit, m.destination) for m in movements]
+    job = RearrangeJob(aod_id=aod_id, begin_locs=begin_locs, end_locs=end_locs)
+    if lower:
+        job.insts = lower_job(architecture, job)
+    return job
+
+
+def build_jobs(
+    architecture: Architecture,
+    movements: list[Movement],
+    lower: bool = True,
+) -> list[RearrangeJob]:
+    """Partition an epoch's movements and build one job per group."""
+    groups = partition_movements(architecture, movements)
+    return [movements_to_job(architecture, group, lower=lower) for group in groups]

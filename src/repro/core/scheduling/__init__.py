@@ -1,0 +1,6 @@
+"""Load-balancing scheduling of rearrangement jobs over multiple AODs."""
+
+from .load_balance import JobSchedule, schedule_epoch
+from .scheduler import ScheduleOutput, Scheduler
+
+__all__ = ["JobSchedule", "ScheduleOutput", "Scheduler", "schedule_epoch"]

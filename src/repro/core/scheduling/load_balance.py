@@ -1,0 +1,52 @@
+"""Load-balanced assignment of rearrangement jobs to AODs (Section VI).
+
+Within one movement epoch the jobs are independent (no two touch the same
+qubit or trap), so assigning them to AODs is a classic identical-parallel-
+machine scheduling problem.  The paper's strategy -- allocate the
+longest-duration job to the earliest-available AOD -- is the LPT (longest
+processing time first) heuristic implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class JobSchedule:
+    """Start/end times and AOD assignment of one job within an epoch."""
+
+    job_index: int
+    aod_id: int
+    start: float
+    end: float
+
+
+def schedule_epoch(durations: list[float], num_aods: int) -> tuple[list[JobSchedule], float]:
+    """Assign jobs with the given durations to ``num_aods`` AODs using LPT.
+
+    Args:
+        durations: Duration of each job (same order as the job list).
+        num_aods: Number of available AODs.
+
+    Returns:
+        ``(schedules, makespan)`` -- per-job schedules (in original job
+        order) and the epoch makespan.
+    """
+    if num_aods <= 0:
+        raise ValueError("need at least one AOD")
+    if not durations:
+        return [], 0.0
+
+    order = sorted(range(len(durations)), key=lambda i: durations[i], reverse=True)
+    available = [0.0] * num_aods
+    schedules: dict[int, JobSchedule] = {}
+    for job_index in order:
+        aod = min(range(num_aods), key=lambda a: available[a])
+        start = available[aod]
+        end = start + durations[job_index]
+        available[aod] = end
+        schedules[job_index] = JobSchedule(job_index=job_index, aod_id=aod, start=start, end=end)
+
+    makespan = max(available)
+    return [schedules[i] for i in range(len(durations))], makespan

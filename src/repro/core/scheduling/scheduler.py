@@ -1,0 +1,193 @@
+"""Instruction scheduling: building the timed ZAIR program (Section VI).
+
+The scheduler walks the preprocessed stage list in program order, emitting
+
+* ``1qGate`` instructions (executed sequentially, conservatively),
+* rearrangement jobs for the incoming movement epoch of each Rydberg stage
+  (distributed over the available AODs with LPT load balancing),
+* the ``rydberg`` instruction itself, and
+* the outgoing movement epoch,
+
+while accumulating the :class:`~repro.fidelity.model.ExecutionMetrics` the
+fidelity model consumes: gate counts, atom transfers, idle-qubit excitations,
+per-qubit busy times, and the overall makespan.
+
+Grouped instructions are processed sequentially (movement in, gates,
+movement out), which automatically respects trap and qubit dependencies; the
+load balancer exploits parallelism *within* each movement epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...arch.spec import Architecture
+from ...circuits.scheduling import OneQStage, RydbergStage, StagedCircuit
+from ...fidelity.model import ExecutionMetrics
+from ...fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
+from ...zair.instructions import InitInst, OneQGateInst, RearrangeJob, RydbergInst
+from ...zair.lowering import job_max_distance_um, job_total_distance_um
+from ...zair.program import ZAIRProgram
+from ..model import Location, Movement, PlacementPlan, location_qloc
+from ..routing.jobs import build_jobs
+from .load_balance import schedule_epoch
+
+
+@dataclass
+class ScheduleOutput:
+    """Result of scheduling: the timed program plus its execution metrics."""
+
+    program: ZAIRProgram
+    metrics: ExecutionMetrics
+
+
+class Scheduler:
+    """Builds the timed ZAIR program from a placement plan."""
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        params: NeutralAtomParams = NEUTRAL_ATOM,
+        lower_jobs: bool = True,
+    ) -> None:
+        self.architecture = architecture
+        self.params = params
+        self.lower_jobs = lower_jobs
+
+    def run(self, staged: StagedCircuit, plan: PlacementPlan) -> ScheduleOutput:
+        """Schedule a staged circuit according to its placement plan."""
+        program = ZAIRProgram(
+            num_qubits=staged.num_qubits, architecture_name=self.architecture.name
+        )
+        metrics = ExecutionMetrics(num_qubits=staged.num_qubits)
+        metrics.qubit_busy_us = {q: 0.0 for q in range(staged.num_qubits)}
+
+        location: dict[int, Location] = {
+            q: Location.at_storage(trap) for q, trap in plan.initial.items()
+        }
+        program.instructions.append(
+            InitInst(
+                init_locs=[
+                    location_qloc(self.architecture, q, loc) for q, loc in sorted(location.items())
+                ]
+            )
+        )
+
+        clock = 0.0
+        rydberg_index = 0
+        for stage in staged.stages:
+            if isinstance(stage, OneQStage):
+                clock = self._emit_1q_stage(program, metrics, location, stage, clock)
+            elif isinstance(stage, RydbergStage):
+                if rydberg_index >= len(plan.stages):
+                    raise ValueError("placement plan has fewer stages than the circuit")
+                stage_plan = plan.stages[rydberg_index]
+                clock = self._emit_epoch(
+                    program, metrics, location, stage_plan.incoming, clock
+                )
+                clock = self._emit_rydberg(
+                    program, metrics, location, stage, stage_plan.zone_index, clock
+                )
+                clock = self._emit_epoch(
+                    program, metrics, location, stage_plan.outgoing, clock
+                )
+                rydberg_index += 1
+
+        metrics.duration_us = clock
+        metrics.num_rydberg_stages = rydberg_index
+        return ScheduleOutput(program=program, metrics=metrics)
+
+    # -- emission helpers -----------------------------------------------------
+
+    def _emit_1q_stage(
+        self,
+        program: ZAIRProgram,
+        metrics: ExecutionMetrics,
+        location: dict[int, Location],
+        stage: OneQStage,
+        clock: float,
+    ) -> float:
+        if not stage.gates:
+            return clock
+        locs = []
+        unitaries = []
+        for gate in stage.gates:
+            qubit = gate.qubits[0]
+            locs.append(location_qloc(self.architecture, qubit, location[qubit]))
+            unitaries.append(tuple(gate.params) if gate.params else (0.0, 0.0, 0.0))
+            metrics.qubit_busy_us[qubit] += self.params.t_1q_us
+        # Conservative model: 1Q gates execute sequentially (Section VII-B).
+        duration = len(stage.gates) * self.params.t_1q_us
+        inst = OneQGateInst(
+            locs=locs, unitaries=unitaries, begin_time=clock, end_time=clock + duration
+        )
+        program.instructions.append(inst)
+        metrics.num_1q_gates += len(stage.gates)
+        return clock + duration
+
+    def _emit_epoch(
+        self,
+        program: ZAIRProgram,
+        metrics: ExecutionMetrics,
+        location: dict[int, Location],
+        movements: list[Movement],
+        clock: float,
+    ) -> float:
+        if not movements:
+            return clock
+        jobs = build_jobs(self.architecture, movements, lower=self.lower_jobs)
+        durations = [self._job_duration(job) for job in jobs]
+        schedules, makespan = schedule_epoch(durations, self.architecture.num_aods)
+        for job, slot in zip(jobs, schedules):
+            job.aod_id = slot.aod_id
+            job.begin_time = clock + slot.start
+            job.end_time = clock + slot.end
+            metrics.num_transfers += 2 * job.num_qubits
+            metrics.num_movements += job.num_qubits
+            metrics.total_move_distance_um += job_total_distance_um(self.architecture, job)
+            for qubit in job.qubits:
+                metrics.qubit_busy_us[qubit] += 2.0 * self.params.t_transfer_us
+        for job in sorted(jobs, key=lambda j: j.begin_time):
+            program.instructions.append(job)
+        for movement in movements:
+            location[movement.qubit] = movement.destination
+        return clock + makespan
+
+    def _job_duration(self, job: RearrangeJob) -> float:
+        move = job_max_distance_um(self.architecture, job)
+        from ...fidelity.movement import movement_time_us
+
+        return 2.0 * self.params.t_transfer_us + movement_time_us(move, self.params)
+
+    def _emit_rydberg(
+        self,
+        program: ZAIRProgram,
+        metrics: ExecutionMetrics,
+        location: dict[int, Location],
+        stage: RydbergStage,
+        zone_index: int,
+        clock: float,
+    ) -> float:
+        duration = self.params.t_2q_us
+        inst = RydbergInst(
+            zone_id=zone_index,
+            gates=list(stage.pairs),
+            begin_time=clock,
+            end_time=clock + duration,
+        )
+        program.instructions.append(inst)
+        gate_qubits = stage.qubits
+        for qubit in gate_qubits:
+            metrics.qubit_busy_us[qubit] += duration
+        metrics.num_2q_gates += len(stage.gates)
+        # Idle qubits caught inside the illuminated zone suffer excitation errors.
+        idle_in_zone = [
+            q
+            for q, loc in location.items()
+            if loc.in_entanglement_zone
+            and loc.site is not None
+            and loc.site.zone_index == zone_index
+            and q not in gate_qubits
+        ]
+        metrics.num_excitations += len(idle_in_zone)
+        return clock + duration

@@ -1,0 +1,63 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+=================  ==========================================================
+Paper artifact     Module
+=================  ==========================================================
+Fig. 8             :mod:`repro.experiments.architecture_comparison`
+Fig. 9             :mod:`repro.experiments.fidelity_breakdown`
+Fig. 10            :mod:`repro.experiments.duration_comparison`
+Fig. 11            :mod:`repro.experiments.ablation`
+Fig. 12            :mod:`repro.experiments.scalability`
+Fig. 13            :mod:`repro.experiments.optimality`
+Fig. 14            :mod:`repro.experiments.aod_sweep`
+Table II           :mod:`repro.experiments.table2`
+Section VII-H      :mod:`repro.experiments.multi_zone`
+Section VIII       :mod:`repro.experiments.ftqc_hiqp`
+Section IX         :mod:`repro.experiments.zair_stats`
+=================  ==========================================================
+"""
+
+from .ablation import ABLATION_CONFIGS, run_ablation
+from .aod_sweep import AOD_COUNTS, run_aod_sweep
+from .architecture_comparison import improvement_summary, run_architecture_comparison
+from .duration_comparison import run_duration_comparison
+from .fidelity_breakdown import run_fidelity_breakdown
+from .ftqc_hiqp import run_ftqc_hiqp
+from .harness import (
+    RunRecord,
+    benchmark_circuits,
+    default_compilers,
+    geometric_mean,
+    run_compiler,
+)
+from .multi_zone import run_multi_zone
+from .optimality import run_optimality
+from .reporting import format_table, to_csv, write_csv
+from .scalability import run_scalability
+from .table2 import run_table2
+from .zair_stats import run_zair_stats
+
+__all__ = [
+    "ABLATION_CONFIGS",
+    "AOD_COUNTS",
+    "RunRecord",
+    "benchmark_circuits",
+    "default_compilers",
+    "format_table",
+    "geometric_mean",
+    "improvement_summary",
+    "run_ablation",
+    "run_aod_sweep",
+    "run_architecture_comparison",
+    "run_compiler",
+    "run_duration_comparison",
+    "run_fidelity_breakdown",
+    "run_ftqc_hiqp",
+    "run_multi_zone",
+    "run_optimality",
+    "run_scalability",
+    "run_table2",
+    "run_zair_stats",
+    "to_csv",
+    "write_csv",
+]

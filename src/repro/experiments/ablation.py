@@ -1,0 +1,92 @@
+"""Experiment E4 -- Fig. 11: ablation of ZAC's compilation techniques.
+
+Compares the four ZAC settings of the paper: ``Vanilla`` (trivial, static
+placement, no reuse), ``dynPlace`` (dynamic placement), ``dynPlace+reuse``
+(adds reuse-aware placement) and ``SA+dynPlace+reuse`` (adds the simulated-
+annealing initial placement).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..arch.presets import reference_zoned_architecture
+from ..core.compiler import ZACCompiler
+from ..core.config import ZACConfig
+from .harness import (
+    RunRecord,
+    benchmark_circuits,
+    geometric_mean,
+    records_by_compiler,
+    run_compiler,
+)
+from .reporting import format_table
+
+#: The four ablation settings in the paper's legend order.
+ABLATION_CONFIGS: dict[str, ZACConfig] = {
+    "Vanilla": ZACConfig.vanilla(),
+    "dynPlace": ZACConfig.dyn_place(),
+    "dynPlace+reuse": ZACConfig.dyn_place_reuse(),
+    "SA+dynPlace+reuse": ZACConfig.full(),
+}
+
+
+def run_ablation(
+    circuit_names: Sequence[str] | None = None,
+    architecture=None,
+    configs: dict[str, ZACConfig] | None = None,
+) -> list[RunRecord]:
+    """Run every ablation setting on every benchmark."""
+    arch = architecture or reference_zoned_architecture()
+    configs = configs or ABLATION_CONFIGS
+    records: list[RunRecord] = []
+    for _, circuit in benchmark_circuits(circuit_names):
+        for label, config in configs.items():
+            compiler = ZACCompiler(arch, config)
+            records.append(run_compiler(compiler, circuit, compiler_name=label))
+    return records
+
+
+def ablation_table(records: list[RunRecord]) -> list[dict[str, object]]:
+    """One row per circuit with a fidelity column per ablation setting."""
+    grouped = records_by_compiler(records)
+    settings = list(grouped)
+    circuits = [r.circuit for r in grouped[settings[0]]]
+    rows: list[dict[str, object]] = []
+    for index, circuit in enumerate(circuits):
+        row: dict[str, object] = {"circuit": circuit}
+        for setting in settings:
+            row[setting] = grouped[setting][index].fidelity
+        rows.append(row)
+    gmean_row: dict[str, object] = {"circuit": "GMean"}
+    for setting in settings:
+        gmean_row[setting] = geometric_mean(r.fidelity for r in grouped[setting])
+    rows.append(gmean_row)
+    return rows
+
+
+def stepwise_improvements(records: list[RunRecord]) -> dict[str, float]:
+    """Relative geomean fidelity gain of each setting over the previous one."""
+    grouped = records_by_compiler(records)
+    order = [s for s in ABLATION_CONFIGS if s in grouped]
+    gains: dict[str, float] = {}
+    previous = None
+    for setting in order:
+        value = geometric_mean(r.fidelity for r in grouped[setting])
+        if previous is not None:
+            gains[setting] = value / previous - 1.0
+        previous = value
+    return gains
+
+
+def main(circuit_names: Sequence[str] | None = None) -> str:
+    """Run the experiment and return the formatted Fig. 11 table."""
+    records = run_ablation(circuit_names)
+    lines = [format_table(ablation_table(records)), "", "Step-wise geomean gains:"]
+    for setting, gain in stepwise_improvements(records).items():
+        lines.append(f"  {setting}: {gain * 100:+.1f}%")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

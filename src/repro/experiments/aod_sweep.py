@@ -1,0 +1,64 @@
+"""Experiment E7 -- Fig. 14: effect of the number of AODs on fidelity.
+
+Runs ZAC on the reference zoned architecture equipped with 1 to 4 AODs.
+More AODs let rearrangement jobs of one epoch run in parallel, shortening
+the schedule and reducing decoherence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..arch.presets import reference_zoned_architecture, with_num_aods
+from ..core.compiler import ZACCompiler
+from .harness import benchmark_circuits, geometric_mean
+from .reporting import format_table
+
+#: AOD counts swept in Fig. 14.
+AOD_COUNTS = (1, 2, 3, 4)
+
+
+def run_aod_sweep(
+    circuit_names: Sequence[str] | None = None,
+    aod_counts: Sequence[int] = AOD_COUNTS,
+) -> list[dict[str, object]]:
+    """One row per circuit with a fidelity column per AOD count."""
+    base = reference_zoned_architecture()
+    compilers = {
+        f"{count}AOD": ZACCompiler(with_num_aods(base, count)) for count in aod_counts
+    }
+    rows: list[dict[str, object]] = []
+    for name, circuit in benchmark_circuits(circuit_names):
+        row: dict[str, object] = {"circuit": name}
+        for label, compiler in compilers.items():
+            row[label] = compiler.compile(circuit).total_fidelity
+        rows.append(row)
+    gmean: dict[str, object] = {"circuit": "GMean"}
+    for label in compilers:
+        gmean[label] = geometric_mean(float(row[label]) for row in rows)
+    rows.append(gmean)
+    return rows
+
+
+def aod_gains(rows: list[dict[str, object]]) -> dict[str, float]:
+    """Relative geomean fidelity gain of each AOD count over a single AOD."""
+    gmean_row = rows[-1]
+    base = float(gmean_row["1AOD"])
+    return {
+        label: float(value) / base - 1.0
+        for label, value in gmean_row.items()
+        if label not in ("circuit", "1AOD")
+    }
+
+
+def main(circuit_names: Sequence[str] | None = None) -> str:
+    """Run the experiment and return the formatted Fig. 14 table."""
+    rows = run_aod_sweep(circuit_names)
+    lines = [format_table(rows), "", "Gain over 1 AOD (geomean):"]
+    for label, gain in aod_gains(rows).items():
+        lines.append(f"  {label}: {gain * 100:+.1f}%")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

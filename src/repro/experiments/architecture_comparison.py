@@ -1,0 +1,77 @@
+"""Experiment E1 -- Fig. 8: circuit fidelity across architectures.
+
+Compares the six compiler/architecture combinations of the paper (SC-Heron,
+SC-Grid, Monolithic-Atomique, Monolithic-Enola, Zoned-NALAC, Zoned-ZAC) on
+the benchmark set and reports per-circuit fidelity plus the geometric mean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .harness import (
+    RunRecord,
+    benchmark_circuits,
+    default_compilers,
+    geometric_mean,
+    records_by_compiler,
+    run_compiler,
+)
+from .reporting import format_table
+
+
+def run_architecture_comparison(
+    circuit_names: Sequence[str] | None = None,
+    compilers: dict[str, object] | None = None,
+) -> list[RunRecord]:
+    """Run every compiler on every benchmark and return the raw records."""
+    compilers = compilers or default_compilers()
+    records: list[RunRecord] = []
+    for _, circuit in benchmark_circuits(circuit_names):
+        for label, compiler in compilers.items():
+            records.append(run_compiler(compiler, circuit, compiler_name=label))
+    return records
+
+
+def fidelity_table(records: list[RunRecord]) -> list[dict[str, object]]:
+    """Pivot the records into one row per circuit with a column per compiler."""
+    grouped = records_by_compiler(records)
+    compilers = list(grouped)
+    circuits = [r.circuit for r in grouped[compilers[0]]]
+    rows: list[dict[str, object]] = []
+    for index, circuit in enumerate(circuits):
+        row: dict[str, object] = {"circuit": circuit}
+        for compiler in compilers:
+            row[compiler] = grouped[compiler][index].fidelity
+        rows.append(row)
+    gmean_row: dict[str, object] = {"circuit": "GMean"}
+    for compiler in compilers:
+        gmean_row[compiler] = geometric_mean(r.fidelity for r in grouped[compiler])
+    rows.append(gmean_row)
+    return rows
+
+
+def improvement_summary(records: list[RunRecord]) -> dict[str, float]:
+    """Geometric-mean fidelity improvement of ZAC over every baseline."""
+    grouped = records_by_compiler(records)
+    zac = geometric_mean(r.fidelity for r in grouped.get("Zoned-ZAC", []))
+    return {
+        label: zac / geometric_mean(r.fidelity for r in rows)
+        for label, rows in grouped.items()
+        if label != "Zoned-ZAC" and rows
+    }
+
+
+def main(circuit_names: Sequence[str] | None = None) -> str:
+    """Run the experiment and return the formatted Fig. 8 table."""
+    records = run_architecture_comparison(circuit_names)
+    table = format_table(fidelity_table(records))
+    ratios = improvement_summary(records)
+    lines = [table, "", "ZAC fidelity improvement (geometric mean):"]
+    for label, ratio in ratios.items():
+        lines.append(f"  vs {label}: {ratio:.2f}x")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

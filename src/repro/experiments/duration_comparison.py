@@ -1,0 +1,61 @@
+"""Experiment E3 -- Fig. 10: circuit duration across neutral-atom compilers."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .fidelity_breakdown import breakdown_compilers, run_fidelity_breakdown
+from .harness import RunRecord, geometric_mean, records_by_compiler
+from .reporting import format_table
+
+
+def run_duration_comparison(
+    circuit_names: Sequence[str] | None = None,
+    compilers: dict[str, object] | None = None,
+) -> list[RunRecord]:
+    """Same runs as the fidelity breakdown; the duration fields are reused."""
+    return run_fidelity_breakdown(circuit_names, compilers or breakdown_compilers())
+
+
+def duration_table(records: list[RunRecord]) -> list[dict[str, object]]:
+    """One row per circuit with a duration (ms) column per compiler."""
+    grouped = records_by_compiler(records)
+    compilers = list(grouped)
+    circuits = [r.circuit for r in grouped[compilers[0]]]
+    rows: list[dict[str, object]] = []
+    for index, circuit in enumerate(circuits):
+        row: dict[str, object] = {"circuit": circuit}
+        for compiler in compilers:
+            row[f"{compiler}_ms"] = grouped[compiler][index].duration_us / 1000.0
+        rows.append(row)
+    mean_row: dict[str, object] = {"circuit": "GMean"}
+    for compiler in compilers:
+        mean_row[f"{compiler}_ms"] = geometric_mean(
+            r.duration_us / 1000.0 for r in grouped[compiler]
+        )
+    rows.append(mean_row)
+    return rows
+
+
+def duration_ratios(records: list[RunRecord]) -> dict[str, float]:
+    """ZAC duration relative to each baseline (values < 1 mean ZAC is shorter)."""
+    grouped = records_by_compiler(records)
+    zac = geometric_mean(r.duration_us for r in grouped.get("ZAC", []))
+    return {
+        label: zac / geometric_mean(r.duration_us for r in rows)
+        for label, rows in grouped.items()
+        if label != "ZAC" and rows
+    }
+
+
+def main(circuit_names: Sequence[str] | None = None) -> str:
+    """Run the experiment and return the formatted Fig. 10 table."""
+    records = run_duration_comparison(circuit_names)
+    lines = [format_table(duration_table(records)), "", "ZAC duration ratio (geomean):"]
+    for label, ratio in duration_ratios(records).items():
+        lines.append(f"  vs {label}: {ratio:.2f}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

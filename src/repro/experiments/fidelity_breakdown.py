@@ -1,0 +1,80 @@
+"""Experiment E2 -- Fig. 9: fidelity breakdown per error source.
+
+For Atomique, Enola, NALAC and ZAC, reports the two-qubit-gate fidelity
+(including Rydberg-excitation errors), the atom-transfer fidelity, and the
+decoherence fidelity per circuit plus geometric means.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..arch.presets import reference_zoned_architecture
+from ..baselines import AtomiqueCompiler, EnolaCompiler, NALACCompiler
+from ..core.compiler import ZACCompiler
+from .harness import (
+    RunRecord,
+    benchmark_circuits,
+    geometric_mean,
+    records_by_compiler,
+    run_compiler,
+)
+from .reporting import format_table
+
+
+def breakdown_compilers(architecture=None) -> dict[str, object]:
+    """The four neutral-atom compilers compared in Fig. 9."""
+    arch = architecture or reference_zoned_architecture()
+    return {
+        "Atomique": AtomiqueCompiler(),
+        "Enola": EnolaCompiler(),
+        "NALAC": NALACCompiler(arch),
+        "ZAC": ZACCompiler(arch),
+    }
+
+
+def run_fidelity_breakdown(
+    circuit_names: Sequence[str] | None = None,
+    compilers: dict[str, object] | None = None,
+) -> list[RunRecord]:
+    """Collect per-error-source fidelity records."""
+    compilers = compilers or breakdown_compilers()
+    records: list[RunRecord] = []
+    for _, circuit in benchmark_circuits(circuit_names):
+        for label, compiler in compilers.items():
+            records.append(run_compiler(compiler, circuit, compiler_name=label))
+    return records
+
+
+def breakdown_table(records: list[RunRecord]) -> list[dict[str, object]]:
+    """One row per (circuit, compiler) with the three Fig. 9 panels."""
+    rows = [
+        {
+            "circuit": r.circuit,
+            "compiler": r.compiler,
+            "2q_gate": r.fidelity_2q,
+            "atom_transfer": r.fidelity_transfer,
+            "decoherence": r.fidelity_decoherence,
+        }
+        for r in records
+    ]
+    for compiler, group in records_by_compiler(records).items():
+        rows.append(
+            {
+                "circuit": "GMean",
+                "compiler": compiler,
+                "2q_gate": geometric_mean(r.fidelity_2q for r in group),
+                "atom_transfer": geometric_mean(r.fidelity_transfer for r in group),
+                "decoherence": geometric_mean(r.fidelity_decoherence for r in group),
+            }
+        )
+    return rows
+
+
+def main(circuit_names: Sequence[str] | None = None) -> str:
+    """Run the experiment and return the formatted Fig. 9 table."""
+    return format_table(breakdown_table(run_fidelity_breakdown(circuit_names)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

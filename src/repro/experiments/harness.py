@@ -1,0 +1,107 @@
+"""Shared experiment harness.
+
+Every experiment module runs one or more *compilers* (objects exposing
+``compile(circuit)`` and a ``name``) over a set of benchmark circuits and
+collects :class:`RunRecord` rows.  Helper functions compute geometric means
+and render the rows as text tables or CSV, mirroring the data behind each
+figure and table of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..arch.presets import reference_zoned_architecture
+from ..arch.spec import Architecture
+from ..baselines import (
+    AtomiqueCompiler,
+    EnolaCompiler,
+    NALACCompiler,
+    SuperconductingCompiler,
+)
+from ..circuits.library.registry import PAPER_BENCHMARKS, get_benchmark
+from ..core.compiler import ZACCompiler
+from ..core.config import ZACConfig
+
+
+@dataclass
+class RunRecord:
+    """One (circuit, compiler) data point."""
+
+    circuit: str
+    compiler: str
+    fidelity: float
+    fidelity_2q: float
+    fidelity_1q: float
+    fidelity_transfer: float
+    fidelity_decoherence: float
+    duration_us: float
+    num_2q_gates: int
+    num_transfers: int
+    num_excitations: int
+    num_rydberg_stages: int
+    compile_time_s: float
+
+
+def run_compiler(compiler, circuit, compiler_name: str | None = None) -> RunRecord:
+    """Compile ``circuit`` with ``compiler`` and flatten the result."""
+    result = compiler.compile(circuit)
+    summary = result.summary()
+    name = compiler_name or getattr(compiler, "name", type(compiler).__name__)
+    return RunRecord(
+        circuit=circuit.name,
+        compiler=name,
+        fidelity=summary["fidelity"],
+        fidelity_2q=summary["fidelity_2q"],
+        fidelity_1q=summary["fidelity_1q"],
+        fidelity_transfer=summary["fidelity_transfer"],
+        fidelity_decoherence=summary["fidelity_decoherence"],
+        duration_us=summary["duration_us"],
+        num_2q_gates=int(summary["num_2q_gates"]),
+        num_transfers=int(summary["num_transfers"]),
+        num_excitations=int(summary["num_excitations"]),
+        num_rydberg_stages=int(summary["num_rydberg_stages"]),
+        compile_time_s=summary["compile_time_s"],
+    )
+
+
+def geometric_mean(values: Iterable[float], floor: float = 1e-12) -> float:
+    """Geometric mean, flooring non-positive values at ``floor``."""
+    values = [max(float(v), floor) for v in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def benchmark_circuits(names: Sequence[str] | None = None):
+    """Instantiate the requested benchmarks (default: the full paper set)."""
+    selected = list(names) if names is not None else list(PAPER_BENCHMARKS)
+    return [(name, get_benchmark(name)) for name in selected]
+
+
+def default_compilers(
+    architecture: Architecture | None = None,
+    zac_config: ZACConfig | None = None,
+    include_superconducting: bool = True,
+) -> dict[str, object]:
+    """The six compilers compared in Fig. 8, keyed by their legend label."""
+    arch = architecture or reference_zoned_architecture()
+    compilers: dict[str, object] = {}
+    if include_superconducting:
+        compilers["SC-Heron"] = SuperconductingCompiler.heron()
+        compilers["SC-Grid"] = SuperconductingCompiler.grid()
+    compilers["Monolithic-Atomique"] = AtomiqueCompiler()
+    compilers["Monolithic-Enola"] = EnolaCompiler()
+    compilers["Zoned-NALAC"] = NALACCompiler(arch)
+    compilers["Zoned-ZAC"] = ZACCompiler(arch, zac_config or ZACConfig.full())
+    return compilers
+
+
+def records_by_compiler(records: list[RunRecord]) -> dict[str, list[RunRecord]]:
+    """Group run records by compiler name, preserving circuit order."""
+    grouped: dict[str, list[RunRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.compiler, []).append(record)
+    return grouped

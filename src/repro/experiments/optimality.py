@@ -1,0 +1,68 @@
+"""Experiment E6 -- Fig. 13: optimality gap of ZAC against ideal bounds.
+
+Compares ZAC's fidelity with the perfect-movement, perfect-placement and
+perfect-reuse upper bounds derived from the same compilation (Section VII-F).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..arch.presets import reference_zoned_architecture
+from ..baselines.ideal import (
+    PERFECT_MOVEMENT,
+    PERFECT_PLACEMENT,
+    PERFECT_REUSE,
+    idealized_result,
+)
+from ..core.compiler import ZACCompiler
+from .harness import benchmark_circuits, geometric_mean
+from .reporting import format_table
+
+#: Fig. 13 legend order.
+IDEAL_MODES = (PERFECT_REUSE, PERFECT_PLACEMENT, PERFECT_MOVEMENT)
+
+
+def run_optimality(
+    circuit_names: Sequence[str] | None = None,
+    architecture=None,
+) -> list[dict[str, object]]:
+    """One row per circuit: ZAC fidelity and the three ideal-bound fidelities."""
+    arch = architecture or reference_zoned_architecture()
+    compiler = ZACCompiler(arch)
+    rows: list[dict[str, object]] = []
+    for name, circuit in benchmark_circuits(circuit_names):
+        zac = compiler.compile(circuit)
+        row: dict[str, object] = {"circuit": name, "ZAC": zac.total_fidelity}
+        for mode in IDEAL_MODES:
+            row[mode] = idealized_result(zac, arch, mode).total_fidelity
+        rows.append(row)
+    gmean: dict[str, object] = {"circuit": "GMean"}
+    for key in ("ZAC", *IDEAL_MODES):
+        gmean[key] = geometric_mean(row[key] for row in rows)
+    rows.append(gmean)
+    return rows
+
+
+def optimality_gaps(rows: list[dict[str, object]]) -> dict[str, float]:
+    """Geomean relative gap of ZAC below each ideal bound (paper: 3%/7%/10%)."""
+    gmean_row = rows[-1]
+    gaps = {}
+    for mode in IDEAL_MODES:
+        bound = float(gmean_row[mode])
+        zac = float(gmean_row["ZAC"])
+        gaps[mode] = 1.0 - zac / bound if bound > 0 else 0.0
+    return gaps
+
+
+def main(circuit_names: Sequence[str] | None = None) -> str:
+    """Run the experiment and return the formatted Fig. 13 table."""
+    rows = run_optimality(circuit_names)
+    lines = [format_table(rows), "", "Optimality gaps (geomean):"]
+    for mode, gap in optimality_gaps(rows).items():
+        lines.append(f"  vs {mode}: {gap * 100:.1f}%")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,59 @@
+"""Rendering experiment data as text tables and CSV."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    if not rows:
+        return "(no data)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max(len(line[i]) for line in table)) for i in range(len(columns))
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in table
+    )
+    return "\n".join([header, separator, body])
+
+
+def to_csv(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render a list of dictionaries as CSV text."""
+    if not rows:
+        return ""
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def escape(value: object) -> str:
+        text = f"{value}"
+        if "," in text or '"' in text:
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(escape(row.get(col, "")) for col in columns))
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(path: str, rows: Sequence[Mapping[str, object]], columns=None) -> None:
+    """Write rows to a CSV file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_csv(rows, columns))

@@ -1,0 +1,69 @@
+"""Experiment E5 -- Fig. 12: compilation time versus achieved fidelity.
+
+For every compiler (and every ZAC ablation setting) this reports the average
+compilation time and the geometric-mean circuit fidelity over the benchmark
+set -- the two axes of the paper's scatter plot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..arch.presets import reference_zoned_architecture
+from ..baselines import AtomiqueCompiler, EnolaCompiler, NALACCompiler
+from ..core.compiler import ZACCompiler
+from .ablation import ABLATION_CONFIGS
+from .harness import RunRecord, benchmark_circuits, geometric_mean, run_compiler
+from .reporting import format_table
+
+
+def scalability_compilers(architecture=None) -> dict[str, object]:
+    """Baselines plus every ZAC ablation setting (Fig. 12 markers)."""
+    arch = architecture or reference_zoned_architecture()
+    compilers: dict[str, object] = {
+        "Atomique": AtomiqueCompiler(),
+        "Enola": EnolaCompiler(),
+        "NALAC": NALACCompiler(arch),
+    }
+    for label, config in ABLATION_CONFIGS.items():
+        compilers[f"ZAC-{label}"] = ZACCompiler(arch, config)
+    return compilers
+
+
+def run_scalability(
+    circuit_names: Sequence[str] | None = None,
+    compilers: dict[str, object] | None = None,
+) -> list[RunRecord]:
+    """Collect (compile time, fidelity) records for every compiler."""
+    compilers = compilers or scalability_compilers()
+    records: list[RunRecord] = []
+    for _, circuit in benchmark_circuits(circuit_names):
+        for label, compiler in compilers.items():
+            records.append(run_compiler(compiler, circuit, compiler_name=label))
+    return records
+
+
+def scalability_table(records: list[RunRecord]) -> list[dict[str, object]]:
+    """One row per compiler: mean compile time and geomean fidelity."""
+    by_compiler: dict[str, list[RunRecord]] = {}
+    for record in records:
+        by_compiler.setdefault(record.compiler, []).append(record)
+    rows = []
+    for compiler, group in by_compiler.items():
+        rows.append(
+            {
+                "compiler": compiler,
+                "mean_compile_time_s": sum(r.compile_time_s for r in group) / len(group),
+                "gmean_fidelity": geometric_mean(r.fidelity for r in group),
+            }
+        )
+    return rows
+
+
+def main(circuit_names: Sequence[str] | None = None) -> str:
+    """Run the experiment and return the formatted Fig. 12 table."""
+    return format_table(scalability_table(run_scalability(circuit_names)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

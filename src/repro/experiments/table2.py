@@ -1,0 +1,51 @@
+"""Experiment E8 -- Table II: fidelity breakdown and average duration, SC vs ZAC.
+
+Reports, as geometric means over the benchmark set, the per-error-source
+fidelity of the superconducting grid baseline and of ZAC on the reference
+zoned architecture, plus the average circuit duration of each.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..arch.presets import reference_zoned_architecture
+from ..baselines import SuperconductingCompiler
+from ..core.compiler import ZACCompiler
+from .harness import benchmark_circuits, geometric_mean, run_compiler
+from .reporting import format_table
+
+
+def run_table2(circuit_names: Sequence[str] | None = None) -> list[dict[str, object]]:
+    """Two rows (SC grid, ZAC) with the Table II columns."""
+    arch = reference_zoned_architecture()
+    compilers = {"SC": SuperconductingCompiler.grid(), "ZAC": ZACCompiler(arch)}
+    rows: list[dict[str, object]] = []
+    for label, compiler in compilers.items():
+        records = [
+            run_compiler(compiler, circuit, compiler_name=label)
+            for _, circuit in benchmark_circuits(circuit_names)
+        ]
+        rows.append(
+            {
+                "platform": label,
+                "2q_gate": geometric_mean(r.fidelity_2q for r in records),
+                "1q_gate": geometric_mean(r.fidelity_1q for r in records),
+                "transfer": geometric_mean(r.fidelity_transfer for r in records)
+                if label == "ZAC"
+                else float("nan"),
+                "decoherence": geometric_mean(r.fidelity_decoherence for r in records),
+                "total": geometric_mean(r.fidelity for r in records),
+                "avg_duration_us": sum(r.duration_us for r in records) / len(records),
+            }
+        )
+    return rows
+
+
+def main(circuit_names: Sequence[str] | None = None) -> str:
+    """Run the experiment and return the formatted Table II."""
+    return format_table(run_table2(circuit_names))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

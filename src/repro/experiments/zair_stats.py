@@ -1,0 +1,55 @@
+"""Experiment E11 -- Section IX: ZAIR instruction statistics.
+
+Reports the number of ZAIR (program-level) instructions per circuit gate and
+the number of machine-level instructions per gate across the benchmark set.
+The paper reports geometric means of 0.85 and 1.77 respectively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..arch.presets import reference_zoned_architecture
+from ..core.compiler import ZACCompiler
+from .harness import benchmark_circuits, geometric_mean
+from .reporting import format_table
+
+
+def run_zair_stats(
+    circuit_names: Sequence[str] | None = None,
+) -> list[dict[str, object]]:
+    """One row per circuit with instruction-per-gate ratios."""
+    arch = reference_zoned_architecture()
+    compiler = ZACCompiler(arch, lower_jobs=True)
+    rows: list[dict[str, object]] = []
+    for name, circuit in benchmark_circuits(circuit_names):
+        result = compiler.compile(circuit)
+        program = result.program
+        rows.append(
+            {
+                "circuit": name,
+                "zair_per_gate": program.zair_instructions_per_gate(),
+                "machine_per_gate": program.machine_instructions_per_gate(),
+                "num_zair_instructions": program.num_zair_instructions,
+                "num_machine_instructions": program.num_machine_instructions,
+            }
+        )
+    rows.append(
+        {
+            "circuit": "GMean",
+            "zair_per_gate": geometric_mean(float(r["zair_per_gate"]) for r in rows),
+            "machine_per_gate": geometric_mean(float(r["machine_per_gate"]) for r in rows),
+            "num_zair_instructions": "",
+            "num_machine_instructions": "",
+        }
+    )
+    return rows
+
+
+def main(circuit_names: Sequence[str] | None = None) -> str:
+    """Run the experiment and return the formatted Section IX statistics."""
+    return format_table(run_zair_stats(circuit_names))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,30 @@
+"""Fidelity and timing models for neutral-atom and superconducting machines."""
+
+from .model import ExecutionMetrics, FidelityBreakdown, estimate_fidelity
+from .movement import movement_distance_um, movement_time_us, rearrangement_time_us
+from .params import (
+    NEUTRAL_ATOM,
+    SC_GRID,
+    SC_HERON,
+    NeutralAtomParams,
+    SuperconductingParams,
+    neutral_atom_params_from_spec,
+)
+from .sc_model import SCExecutionMetrics, estimate_sc_fidelity
+
+__all__ = [
+    "ExecutionMetrics",
+    "FidelityBreakdown",
+    "NEUTRAL_ATOM",
+    "NeutralAtomParams",
+    "SC_GRID",
+    "SC_HERON",
+    "SCExecutionMetrics",
+    "SuperconductingParams",
+    "estimate_fidelity",
+    "estimate_sc_fidelity",
+    "movement_distance_um",
+    "movement_time_us",
+    "neutral_atom_params_from_spec",
+    "rearrangement_time_us",
+]

@@ -1,0 +1,119 @@
+"""Circuit-fidelity model for neutral-atom architectures (Section VII-B).
+
+The total circuit fidelity is the product of five terms::
+
+    f = f_1q**g1 * f_2q**g2 * f_exc**N_exc * f_tran**N_tran * prod_q (1 - t_q / T2)
+
+where ``g1`` / ``g2`` are the single- and two-qubit gate counts, ``N_exc`` is
+the number of idle-qubit Rydberg excitations (qubits inside an illuminated
+entanglement zone that are not performing a gate), ``N_tran`` is the number
+of atom transfers, and ``t_q`` is the idle time of qubit ``q`` (time spent
+neither in a gate nor in an atom transfer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .params import NEUTRAL_ATOM, NeutralAtomParams
+
+
+@dataclass
+class ExecutionMetrics:
+    """Raw counts and timings produced by compiling + simulating a circuit.
+
+    This is the common currency between every compiler in the repository
+    (ZAC, the baselines, and the ideal bounds) and the fidelity model.
+
+    Attributes:
+        num_qubits: Number of program qubits.
+        num_1q_gates: Single-qubit gate count.
+        num_2q_gates: Two-qubit (CZ) gate count.
+        num_excitations: Idle-qubit Rydberg-laser exposures.
+        num_transfers: Atom-transfer count (pickup and drop-off each count 1
+            per qubit moved).
+        duration_us: Total circuit execution time.
+        qubit_busy_us: Per-qubit time spent in gates or atom transfers;
+            idle time is ``duration_us - busy``.
+        num_rydberg_stages: Number of Rydberg laser exposures.
+        num_movements: Number of individual qubit movements.
+        total_move_distance_um: Sum of all movement distances.
+        compile_time_s: Wall-clock compilation time (scalability study).
+    """
+
+    num_qubits: int
+    num_1q_gates: int = 0
+    num_2q_gates: int = 0
+    num_excitations: int = 0
+    num_transfers: int = 0
+    duration_us: float = 0.0
+    qubit_busy_us: dict[int, float] = field(default_factory=dict)
+    num_rydberg_stages: int = 0
+    num_movements: int = 0
+    total_move_distance_um: float = 0.0
+    compile_time_s: float = 0.0
+
+    def idle_time_us(self, qubit: int) -> float:
+        """Idle time of one qubit: total duration minus its busy time."""
+        return max(0.0, self.duration_us - self.qubit_busy_us.get(qubit, 0.0))
+
+
+@dataclass(frozen=True)
+class FidelityBreakdown:
+    """Per-error-source fidelity terms (paper Fig. 9 / Table II)."""
+
+    one_q_gate: float
+    two_q_gate: float
+    excitation: float
+    atom_transfer: float
+    decoherence: float
+
+    @property
+    def two_q_gate_with_excitation(self) -> float:
+        """The paper's '2Q gate' bar: CZ fidelity including excitation errors."""
+        return self.two_q_gate * self.excitation
+
+    @property
+    def total(self) -> float:
+        """Overall circuit fidelity."""
+        return (
+            self.one_q_gate
+            * self.two_q_gate
+            * self.excitation
+            * self.atom_transfer
+            * self.decoherence
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "1q_gate": self.one_q_gate,
+            "2q_gate": self.two_q_gate,
+            "excitation": self.excitation,
+            "atom_transfer": self.atom_transfer,
+            "decoherence": self.decoherence,
+            "total": self.total,
+        }
+
+
+def estimate_fidelity(
+    metrics: ExecutionMetrics,
+    params: NeutralAtomParams = NEUTRAL_ATOM,
+) -> FidelityBreakdown:
+    """Evaluate the neutral-atom fidelity model on compiled-circuit metrics."""
+    one_q = params.f_1q**metrics.num_1q_gates
+    two_q = params.f_2q**metrics.num_2q_gates
+    excitation = params.f_excitation**metrics.num_excitations
+    transfer = params.f_transfer**metrics.num_transfers
+
+    decoherence = 1.0
+    for qubit in range(metrics.num_qubits):
+        idle = metrics.idle_time_us(qubit)
+        decoherence *= max(0.0, 1.0 - idle / params.t2_us)
+
+    return FidelityBreakdown(
+        one_q_gate=one_q,
+        two_q_gate=two_q,
+        excitation=excitation,
+        atom_transfer=transfer,
+        decoherence=decoherence,
+    )

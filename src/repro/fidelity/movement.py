@@ -1,0 +1,54 @@
+"""Qubit-movement timing model.
+
+The paper (and Ref. [5], Bluvstein et al. 2022) models AOD movement with a
+constant-jerk profile whose duration scales with the square root of the
+distance: ``d / t**2 = a`` with ``a`` = 2750 m/s^2.  At this speed the
+movement itself introduces no additional infidelity or atom loss, so only the
+elapsed time (through decoherence) matters.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .params import NEUTRAL_ATOM, NeutralAtomParams
+
+
+def movement_time_us(distance_um: float, params: NeutralAtomParams = NEUTRAL_ATOM) -> float:
+    """Time (us) to move a qubit ``distance_um`` micrometres.
+
+    Solves ``d = a * t**2`` for ``t``.  A zero distance takes zero time.
+    """
+    if distance_um < 0:
+        raise ValueError("distance must be non-negative")
+    if distance_um == 0:
+        return 0.0
+    return math.sqrt(distance_um / params.acceleration_um_per_us2)
+
+
+def movement_distance_um(time_us: float, params: NeutralAtomParams = NEUTRAL_ATOM) -> float:
+    """Distance (um) covered by a movement of duration ``time_us``."""
+    if time_us < 0:
+        raise ValueError("time must be non-negative")
+    return params.acceleration_um_per_us2 * time_us * time_us
+
+
+def rearrangement_time_us(
+    max_distance_um: float,
+    params: NeutralAtomParams = NEUTRAL_ATOM,
+    num_transfer_steps: int = 2,
+) -> float:
+    """Duration of one rearrangement job.
+
+    A job consists of picking up all qubits (one parallel transfer), moving
+    them (duration set by the longest individual movement), and dropping them
+    off (another parallel transfer).
+
+    Args:
+        max_distance_um: Longest single-qubit movement distance in the job.
+        params: Hardware parameters.
+        num_transfer_steps: Number of transfer phases (2 = pickup + drop-off).
+    """
+    return num_transfer_steps * params.t_transfer_us + movement_time_us(
+        max_distance_um, params
+    )

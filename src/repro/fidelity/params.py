@@ -1,0 +1,104 @@
+"""Hardware parameters (paper Table I and Section VII-B).
+
+All durations are in microseconds and all distances in micrometres, matching
+the unit conventions used throughout the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class NeutralAtomParams:
+    """Physical parameters of a neutral-atom (zoned or monolithic) machine.
+
+    Attributes:
+        f_2q: Two-qubit (CZ) gate fidelity.
+        f_1q: Single-qubit gate fidelity.
+        f_excitation: Fidelity of an idle qubit exposed to the Rydberg laser.
+        f_transfer: Fidelity of one atom transfer (pickup or drop-off).
+        t_2q_us: Duration of a Rydberg (CZ) exposure.
+        t_1q_us: Duration of one single-qubit gate.
+        t_transfer_us: Duration of one (parallel) atom-transfer step.
+        t2_us: Qubit coherence time T2.
+        acceleration_um_per_us2: Movement constant ``a`` in d = a * t**2
+            (2750 m/s^2 expressed in um/us^2).
+    """
+
+    f_2q: float = 0.995
+    f_1q: float = 0.9997
+    f_excitation: float = 0.9975
+    f_transfer: float = 0.999
+    t_2q_us: float = 0.36
+    t_1q_us: float = 52.0
+    t_transfer_us: float = 15.0
+    t2_us: float = 1.5e6
+    acceleration_um_per_us2: float = 2750e6 * 1e-12  # 2750 m/s^2 -> 2.75e-3 um/us^2
+
+    def as_dict(self) -> dict[str, Any]:
+        """Dictionary form, e.g. for JSON reports."""
+        return {
+            "f_2q": self.f_2q,
+            "f_1q": self.f_1q,
+            "f_excitation": self.f_excitation,
+            "f_transfer": self.f_transfer,
+            "t_2q_us": self.t_2q_us,
+            "t_1q_us": self.t_1q_us,
+            "t_transfer_us": self.t_transfer_us,
+            "t2_us": self.t2_us,
+            "acceleration_um_per_us2": self.acceleration_um_per_us2,
+        }
+
+
+@dataclass(frozen=True)
+class SuperconductingParams:
+    """Physical parameters of a superconducting baseline machine.
+
+    Attributes:
+        f_2q: Two-qubit gate fidelity.
+        f_1q: Single-qubit gate fidelity.
+        t_2q_us: Two-qubit gate duration.
+        t_1q_us: Single-qubit gate duration.
+        t2_us: Coherence time T2.
+    """
+
+    f_2q: float = 0.999
+    f_1q: float = 0.9997
+    t_2q_us: float = 0.068
+    t_1q_us: float = 0.025
+    t2_us: float = 311.0
+
+
+#: Leading neutral-atom hardware (Bluvstein et al. 2024) -- Table I row 1.
+NEUTRAL_ATOM = NeutralAtomParams()
+
+#: IBM Heron (ibm_torino heavy-hexagon) -- Table I row 2.
+SC_HERON = SuperconductingParams(t_2q_us=0.068, t2_us=311.0)
+
+#: Google Sycamore-style grid -- Table I row 3.
+SC_GRID = SuperconductingParams(t_2q_us=0.042, t2_us=89.0)
+
+
+def neutral_atom_params_from_spec(data: dict[str, Any]) -> NeutralAtomParams:
+    """Parse the paper's architecture-JSON hardware keys (Fig. 20).
+
+    Accepts the ``operation_duration`` / ``operation_fidelity`` /
+    ``qubit_spec`` sub-dictionaries and falls back to Table I defaults for
+    anything missing.
+    """
+    duration = data.get("operation_duration", {})
+    fidelity = data.get("operation_fidelity", {})
+    qubit = data.get("qubit_spec", {})
+    defaults = NeutralAtomParams()
+    return NeutralAtomParams(
+        f_2q=float(fidelity.get("two_qubit_gate", defaults.f_2q)),
+        f_1q=float(fidelity.get("single_qubit_gate", defaults.f_1q)),
+        f_excitation=float(fidelity.get("excitation", defaults.f_excitation)),
+        f_transfer=float(fidelity.get("atom_transfer", defaults.f_transfer)),
+        t_2q_us=float(duration.get("rydberg", defaults.t_2q_us)),
+        t_1q_us=float(duration.get("1qGate", defaults.t_1q_us)),
+        t_transfer_us=float(duration.get("atom_transfer", defaults.t_transfer_us)),
+        t2_us=float(qubit.get("T", defaults.t2_us)),
+    )

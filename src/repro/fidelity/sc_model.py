@@ -1,0 +1,59 @@
+"""Fidelity model for the superconducting baselines (Section VII-B).
+
+Superconducting machines have no atom transfers or Rydberg excitation; their
+fidelity is the product of gate fidelities and a per-qubit decoherence term
+using the same linear ``1 - t_idle / T2`` approximation as the neutral-atom
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import FidelityBreakdown
+from .params import SC_HERON, SuperconductingParams
+
+
+@dataclass
+class SCExecutionMetrics:
+    """Counts and timings for a routed superconducting circuit.
+
+    Attributes:
+        num_qubits: Number of physical qubits used.
+        num_1q_gates: Single-qubit gate count after routing.
+        num_2q_gates: Two-qubit gate count after routing (including SWAP
+            decompositions).
+        duration_us: Scheduled circuit duration.
+        qubit_busy_us: Per-qubit gate time.
+        compile_time_s: Wall-clock transpilation time.
+    """
+
+    num_qubits: int
+    num_1q_gates: int = 0
+    num_2q_gates: int = 0
+    duration_us: float = 0.0
+    qubit_busy_us: dict[int, float] = field(default_factory=dict)
+    compile_time_s: float = 0.0
+
+    def idle_time_us(self, qubit: int) -> float:
+        return max(0.0, self.duration_us - self.qubit_busy_us.get(qubit, 0.0))
+
+
+def estimate_sc_fidelity(
+    metrics: SCExecutionMetrics,
+    params: SuperconductingParams = SC_HERON,
+) -> FidelityBreakdown:
+    """Evaluate the superconducting fidelity model on routed-circuit metrics."""
+    one_q = params.f_1q**metrics.num_1q_gates
+    two_q = params.f_2q**metrics.num_2q_gates
+    decoherence = 1.0
+    for qubit in range(metrics.num_qubits):
+        idle = metrics.idle_time_us(qubit)
+        decoherence *= max(0.0, 1.0 - idle / params.t2_us)
+    return FidelityBreakdown(
+        one_q_gate=one_q,
+        two_q_gate=two_q,
+        excitation=1.0,
+        atom_transfer=1.0,
+        decoherence=decoherence,
+    )

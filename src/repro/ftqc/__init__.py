@@ -1,0 +1,40 @@
+"""Fault-tolerant quantum computing support: [[8,3,2]] blocks and hIQP compilation."""
+
+from .code832 import (
+    BLOCK_COLS,
+    BLOCK_ROWS,
+    DISTANCE,
+    LOGICAL_QUBITS_PER_BLOCK,
+    PHYSICAL_QUBITS_PER_BLOCK,
+    CodeBlock,
+    in_block_gate_physical_ops,
+    make_blocks,
+    transversal_cnot_physical_ops,
+)
+from .hiqp import (
+    BlockGate,
+    HIQPCircuit,
+    hiqp_block_interaction_circuit,
+    hiqp_circuit,
+    hiqp_physical_circuit,
+)
+from .logical import LogicalBlockCompiler, LogicalCompilationResult
+
+__all__ = [
+    "BLOCK_COLS",
+    "BLOCK_ROWS",
+    "BlockGate",
+    "CodeBlock",
+    "DISTANCE",
+    "HIQPCircuit",
+    "LOGICAL_QUBITS_PER_BLOCK",
+    "LogicalBlockCompiler",
+    "LogicalCompilationResult",
+    "PHYSICAL_QUBITS_PER_BLOCK",
+    "hiqp_block_interaction_circuit",
+    "hiqp_circuit",
+    "hiqp_physical_circuit",
+    "in_block_gate_physical_ops",
+    "make_blocks",
+    "transversal_cnot_physical_ops",
+]

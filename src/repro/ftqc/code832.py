@@ -1,0 +1,112 @@
+"""The [[8,3,2]] colour code block (paper Section VIII, Fig. 16a).
+
+The [[8,3,2]] code encodes 3 logical qubits into 8 physical qubits with
+distance 2 (detecting any single-qubit error).  On a reconfigurable atom
+array the 8 physical qubits of a block are laid out as a 2-row by 4-column
+patch and always move together.
+
+Two transversal logical operations matter for the hIQP workload:
+
+* the **in-block gate** -- physical ``T``-dagger on every qubit of a block
+  realises a combination of logical CCZ, CZ and Z gates;
+* the **inter-block CNOT** -- physical CNOTs between corresponding qubits of
+  two blocks realise transversal logical CNOTs on corresponding logical
+  qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of physical qubits per code block.
+PHYSICAL_QUBITS_PER_BLOCK = 8
+#: Number of logical qubits encoded per block.
+LOGICAL_QUBITS_PER_BLOCK = 3
+#: Code distance.
+DISTANCE = 2
+#: Physical layout of one block on the atom array (rows x columns of traps).
+BLOCK_ROWS = 2
+BLOCK_COLS = 4
+
+#: Stabiliser generators of the [[8,3,2]] code (the cube code): X on all 8
+#: qubits, Z on the 4 qubits of each cube face.  Qubits are indexed as the
+#: vertices of a cube, numbered 0-7 with bit i of the index giving the
+#: coordinate along axis i.
+X_STABILIZER: tuple[int, ...] = tuple(range(8))
+Z_STABILIZERS: tuple[tuple[int, ...], ...] = (
+    (0, 1, 2, 3),  # face z = 0
+    (4, 5, 6, 7),  # face z = 1
+    (0, 1, 4, 5),  # face y = 0
+    (0, 2, 4, 6),  # face x = 0
+)
+
+
+@dataclass(frozen=True)
+class CodeBlock:
+    """One [[8,3,2]] code block and the physical qubits it owns.
+
+    Attributes:
+        block_id: Index of the block within the computation.
+        physical_qubits: The 8 physical qubit indices of this block, ordered
+            by cube vertex (row-major within the 2x4 physical patch).
+    """
+
+    block_id: int
+    physical_qubits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.physical_qubits) != PHYSICAL_QUBITS_PER_BLOCK:
+            raise ValueError("an [[8,3,2]] block owns exactly 8 physical qubits")
+
+    @property
+    def logical_qubits(self) -> tuple[int, ...]:
+        """Global indices of the 3 logical qubits this block encodes."""
+        base = self.block_id * LOGICAL_QUBITS_PER_BLOCK
+        return (base, base + 1, base + 2)
+
+    def physical_layout(self) -> dict[int, tuple[int, int]]:
+        """Map physical qubit -> (row, col) within the 2x4 block patch."""
+        layout = {}
+        for index, qubit in enumerate(self.physical_qubits):
+            layout[qubit] = (index // BLOCK_COLS, index % BLOCK_COLS)
+        return layout
+
+
+def make_blocks(num_blocks: int) -> list[CodeBlock]:
+    """Allocate ``num_blocks`` code blocks over a contiguous physical register."""
+    if num_blocks <= 0:
+        raise ValueError("need at least one code block")
+    return [
+        CodeBlock(
+            block_id=b,
+            physical_qubits=tuple(
+                b * PHYSICAL_QUBITS_PER_BLOCK + i for i in range(PHYSICAL_QUBITS_PER_BLOCK)
+            ),
+        )
+        for b in range(num_blocks)
+    ]
+
+
+def stabilizer_weight_parity_ok() -> bool:
+    """Sanity property: all Z stabilisers have even weight (CSS, distance 2)."""
+    return all(len(s) % 2 == 0 for s in Z_STABILIZERS)
+
+
+def in_block_gate_physical_ops(block: CodeBlock) -> list[tuple[str, int]]:
+    """Physical operations of the in-block logical gate: T-dagger on every qubit."""
+    return [("tdg", q) for q in block.physical_qubits]
+
+
+def transversal_cnot_physical_ops(
+    control: CodeBlock, target: CodeBlock
+) -> list[tuple[str, int, int]]:
+    """Physical operations of an inter-block transversal CNOT.
+
+    CNOTs act between corresponding physical qubits of the two blocks, so no
+    physical gate couples qubits within one block and errors cannot spread
+    inside a block (the transversality property).
+    """
+    return [
+        ("cx", c, t)
+        for c, t in zip(control.physical_qubits, target.physical_qubits)
+    ]

@@ -1,0 +1,152 @@
+"""Hypercube IQP (hIQP) logical circuits (paper Section VIII, Fig. 16b).
+
+The hIQP workload is a logical circuit on ``2**k`` [[8,3,2]] code blocks:
+layers of in-block gates (transversal T-dagger, realising logical CCZ/CZ/Z)
+interleaved with layers of inter-block transversal CNOTs whose stride doubles
+every layer, producing hypercube connectivity between the blocks.  All
+logical qubits start in ``|+>`` and are measured in the X basis.
+
+For compilation purposes the circuit is represented at the *block* level:
+each block is one movable unit, an in-block layer touches every block
+individually, and a CNOT layer is a perfect matching between blocks at a
+given stride.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuits.circuit import QuantumCircuit
+from .code832 import CodeBlock, make_blocks
+
+
+@dataclass(frozen=True)
+class BlockGate:
+    """A logical-level operation on one or two code blocks."""
+
+    name: str
+    blocks: tuple[int, ...]
+
+    @property
+    def is_two_block(self) -> bool:
+        return len(self.blocks) == 2
+
+
+@dataclass
+class HIQPCircuit:
+    """A block-level hIQP circuit.
+
+    Attributes:
+        num_blocks: Number of [[8,3,2]] code blocks (must be a power of two).
+        layers: Alternating in-block and CNOT layers, each a list of
+            :class:`BlockGate`.
+    """
+
+    num_blocks: int
+    layers: list[list[BlockGate]] = field(default_factory=list)
+
+    @property
+    def num_logical_qubits(self) -> int:
+        return 3 * self.num_blocks
+
+    @property
+    def num_physical_qubits(self) -> int:
+        return 8 * self.num_blocks
+
+    @property
+    def cnot_layers(self) -> list[list[BlockGate]]:
+        return [layer for layer in self.layers if layer and layer[0].is_two_block]
+
+    @property
+    def in_block_layers(self) -> list[list[BlockGate]]:
+        return [layer for layer in self.layers if layer and not layer[0].is_two_block]
+
+    @property
+    def num_transversal_cnots(self) -> int:
+        """Inter-block transversal CNOT count (the paper's 448 for 128 blocks)."""
+        return sum(len(layer) for layer in self.cnot_layers)
+
+    @property
+    def num_block_gates(self) -> int:
+        """Total block-level gate count (in-block gates + transversal CNOTs)."""
+        return sum(len(layer) for layer in self.layers)
+
+    def block_pairs(self) -> list[list[tuple[int, int]]]:
+        """The inter-block CNOT layers as lists of block-index pairs."""
+        return [
+            [(g.blocks[0], g.blocks[1]) for g in layer] for layer in self.cnot_layers
+        ]
+
+
+def hiqp_circuit(num_blocks: int = 128) -> HIQPCircuit:
+    """Build the hIQP circuit on ``num_blocks`` code blocks.
+
+    The construction follows Fig. 16b: ``log2(num_blocks) + 1`` in-block
+    layers interleaved with ``log2(num_blocks)`` CNOT layers whose stride
+    doubles each time (1, 2, 4, ...).  For 128 blocks this yields 8 in-block
+    layers and 7 CNOT layers of 64 transversal CNOTs each -- the paper's 448
+    transversal gates.
+    """
+    if num_blocks < 2 or num_blocks & (num_blocks - 1):
+        raise ValueError("the hIQP construction needs a power-of-two block count")
+
+    circuit = HIQPCircuit(num_blocks=num_blocks)
+    num_cnot_layers = num_blocks.bit_length() - 1  # log2(num_blocks)
+
+    def in_block_layer() -> list[BlockGate]:
+        return [BlockGate("in_block", (b,)) for b in range(num_blocks)]
+
+    circuit.layers.append(in_block_layer())
+    stride = 1
+    for _ in range(num_cnot_layers):
+        layer = []
+        for start in range(0, num_blocks, 2 * stride):
+            for offset in range(stride):
+                a = start + offset
+                b = start + offset + stride
+                layer.append(BlockGate("cnot", (a, b)))
+        circuit.layers.append(layer)
+        circuit.layers.append(in_block_layer())
+        stride *= 2
+    return circuit
+
+
+def hiqp_block_interaction_circuit(num_blocks: int = 128) -> QuantumCircuit:
+    """Block-level two-'qubit' circuit for the CNOT layers only.
+
+    Each code block is treated as a single movable qubit; in-block layers do
+    not induce movement (the whole block is already together) so only the
+    inter-block CNOT layers appear, as CZ-equivalent interactions.  This is
+    the input handed to ZAC to plan the logical block movements.
+    """
+    circuit_model = hiqp_circuit(num_blocks)
+    out = QuantumCircuit(num_blocks, name=f"hiqp_{num_blocks}blocks")
+    for layer in circuit_model.block_pairs():
+        for a, b in layer:
+            out.cz(a, b)
+    return out
+
+
+def hiqp_physical_circuit(num_blocks: int = 8) -> QuantumCircuit:
+    """Fully expanded physical circuit (for small block counts / testing).
+
+    Expands in-block layers to physical T-dagger gates and CNOT layers to
+    transversal physical CNOTs.  Intended for validation on small instances;
+    the 128-block instance has 1024 physical qubits and is compiled at the
+    block level instead.
+    """
+    circuit_model = hiqp_circuit(num_blocks)
+    blocks: list[CodeBlock] = make_blocks(num_blocks)
+    out = QuantumCircuit(8 * num_blocks, name=f"hiqp_physical_{num_blocks}blocks")
+    for qubit in range(out.num_qubits):
+        out.h(qubit)  # prepare |+> on every physical qubit
+    for layer in circuit_model.layers:
+        for gate in layer:
+            if gate.is_two_block:
+                control, target = blocks[gate.blocks[0]], blocks[gate.blocks[1]]
+                for c, t in zip(control.physical_qubits, target.physical_qubits):
+                    out.cx(c, t)
+            else:
+                for qubit in blocks[gate.blocks[0]].physical_qubits:
+                    out.tdg(qubit)
+    return out

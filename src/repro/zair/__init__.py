@@ -1,0 +1,47 @@
+"""ZAIR: the zoned-architecture intermediate representation."""
+
+from .instructions import (
+    ActivateInst,
+    DeactivateInst,
+    InitInst,
+    MachineInst,
+    MoveInst,
+    OneQGateInst,
+    QLoc,
+    RearrangeJob,
+    RydbergInst,
+    ZAIRInstruction,
+)
+from .lowering import (
+    job_duration_us,
+    job_max_distance_um,
+    job_total_distance_um,
+    lower_job,
+    lower_program_jobs,
+    qloc_position,
+)
+from .program import ZAIRProgram
+from .validation import ValidationError, validate_job_ordering, validate_program
+
+__all__ = [
+    "ActivateInst",
+    "DeactivateInst",
+    "InitInst",
+    "MachineInst",
+    "MoveInst",
+    "OneQGateInst",
+    "QLoc",
+    "RearrangeJob",
+    "RydbergInst",
+    "ValidationError",
+    "ZAIRInstruction",
+    "ZAIRProgram",
+    "job_duration_us",
+    "job_max_distance_um",
+    "job_total_distance_um",
+    "lower_job",
+    "lower_program_jobs",
+    "qloc_position",
+    "validate_job_ordering",
+    "validate_program",
+]

@@ -1,0 +1,218 @@
+"""ZAIR instruction set (paper Section IX, Fig. 17).
+
+ZAIR (Zoned Architecture Intermediate Representation) has four program-level
+instruction types -- ``init``, ``1qGate``, ``rydberg`` and ``rearrangeJob`` --
+plus three machine-level instructions (``activate``, ``deactivate``, ``move``)
+that a rearrangement job is lowered into.
+
+A qubit location (``qloc``) is the 4-tuple ``(qubit, slm_id, row, col)``:
+qubit ``q`` sits at row ``r`` / column ``c`` of SLM array ``a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class QLoc:
+    """Location of one qubit in an SLM trap."""
+
+    qubit: int
+    slm_id: int
+    row: int
+    col: int
+
+    def to_list(self) -> list[int]:
+        """The paper's 4-element list form ``[q, a, r, c]``."""
+        return [self.qubit, self.slm_id, self.row, self.col]
+
+    @classmethod
+    def from_list(cls, data: list[int]) -> "QLoc":
+        return cls(int(data[0]), int(data[1]), int(data[2]), int(data[3]))
+
+    @property
+    def trap(self) -> tuple[int, int, int]:
+        """The physical trap (slm_id, row, col) without the qubit."""
+        return (self.slm_id, self.row, self.col)
+
+
+@dataclass
+class Instruction:
+    """Base class for ZAIR instructions with schedule times (us)."""
+
+    begin_time: float = field(default=0.0, kw_only=True)
+    end_time: float = field(default=0.0, kw_only=True)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_time - self.begin_time
+
+
+@dataclass
+class InitInst(Instruction):
+    """Initial qubit placement; appears exactly once, first."""
+
+    init_locs: list[QLoc] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "init", "init_locs": [loc.to_list() for loc in self.init_locs]}
+
+
+@dataclass
+class OneQGateInst(Instruction):
+    """A stage of single-qubit (U3) gates applied by the Raman laser.
+
+    ``locs`` gives where each affected qubit sits; ``unitaries`` holds the
+    matching (theta, phi, lambda) angles in the same order.
+    """
+
+    locs: list[QLoc] = field(default_factory=list)
+    unitaries: list[tuple[float, float, float]] = field(default_factory=list)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.locs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "1qGate",
+            "unitary": [list(u) for u in self.unitaries],
+            "locs": [loc.to_list() for loc in self.locs],
+            "begin_time": self.begin_time,
+            "end_time": self.end_time,
+        }
+
+
+@dataclass
+class RydbergInst(Instruction):
+    """One global Rydberg exposure of entanglement zone ``zone_id``.
+
+    ``gates`` records which qubit pairs are entangled (bookkeeping only; the
+    hardware instruction is just "turn on the laser over the zone").
+    """
+
+    zone_id: int = 0
+    gates: list[tuple[int, int]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "rydberg",
+            "zone_id": self.zone_id,
+            "gates": [list(g) for g in self.gates],
+            "begin_time": self.begin_time,
+            "end_time": self.end_time,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Machine-level instructions inside a rearrangement job
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ActivateInst:
+    """Turn on AOD rows/columns at the given physical coordinates."""
+
+    row_id: list[int] = field(default_factory=list)
+    row_y: list[float] = field(default_factory=list)
+    col_id: list[int] = field(default_factory=list)
+    col_x: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "activate",
+            "row_id": self.row_id,
+            "row_y": self.row_y,
+            "col_id": self.col_id,
+            "col_x": self.col_x,
+        }
+
+
+@dataclass
+class DeactivateInst:
+    """Turn off AOD rows/columns, dropping their qubits into SLM traps."""
+
+    row_id: list[int] = field(default_factory=list)
+    col_id: list[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "deactivate", "row_id": self.row_id, "col_id": self.col_id}
+
+
+@dataclass
+class MoveInst:
+    """Continuously move activated AOD rows/columns between coordinates."""
+
+    row_id: list[int] = field(default_factory=list)
+    row_y_begin: list[float] = field(default_factory=list)
+    row_y_end: list[float] = field(default_factory=list)
+    col_id: list[int] = field(default_factory=list)
+    col_x_begin: list[float] = field(default_factory=list)
+    col_x_end: list[float] = field(default_factory=list)
+
+    @property
+    def max_displacement_um(self) -> float:
+        """Largest coordinate change of any row or column in this move."""
+        dys = [abs(b - e) for b, e in zip(self.row_y_begin, self.row_y_end)]
+        dxs = [abs(b - e) for b, e in zip(self.col_x_begin, self.col_x_end)]
+        return max(dys + dxs, default=0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "move",
+            "row_id": self.row_id,
+            "row_y_begin": self.row_y_begin,
+            "row_y_end": self.row_y_end,
+            "col_id": self.col_id,
+            "col_x_begin": self.col_x_begin,
+            "col_x_end": self.col_x_end,
+        }
+
+
+MachineInst = ActivateInst | DeactivateInst | MoveInst
+
+
+@dataclass
+class RearrangeJob(Instruction):
+    """A rearrangement job: one AOD moves a batch of qubits between traps.
+
+    ``begin_locs`` and ``end_locs`` have identical shape; qubit ``i`` of the
+    job starts at ``begin_locs[i]`` and finishes at ``end_locs[i]``.
+    """
+
+    aod_id: int = 0
+    begin_locs: list[QLoc] = field(default_factory=list)
+    end_locs: list[QLoc] = field(default_factory=list)
+    insts: list[MachineInst] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.begin_locs) != len(self.end_locs):
+            raise ValueError("begin_locs and end_locs must have the same length")
+        begin_qubits = [loc.qubit for loc in self.begin_locs]
+        end_qubits = [loc.qubit for loc in self.end_locs]
+        if begin_qubits != end_qubits:
+            raise ValueError("begin_locs and end_locs must list the same qubits in order")
+
+    @property
+    def qubits(self) -> list[int]:
+        """Qubits moved by this job."""
+        return [loc.qubit for loc in self.begin_locs]
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.begin_locs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "rearrangeJob",
+            "aod_id": self.aod_id,
+            "begin_locs": [loc.to_list() for loc in self.begin_locs],
+            "end_locs": [loc.to_list() for loc in self.end_locs],
+            "insts": [inst.to_dict() for inst in self.insts],
+            "begin_time": self.begin_time,
+            "end_time": self.end_time,
+        }
+
+
+ZAIRInstruction = InitInst | OneQGateInst | RydbergInst | RearrangeJob

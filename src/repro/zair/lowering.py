@@ -1,0 +1,165 @@
+"""Lowering rearrangement jobs to machine-level AOD instructions.
+
+A job is executed in three phases (Section VI / Section IX):
+
+1. **Pickup** -- AOD rows are activated one SLM row at a time (following the
+   OLSQ-DPQA strategy), with small *parking* moves inserted between rows when
+   an already-activated column would otherwise capture a qubit that is not
+   part of the job.
+2. **Move** -- all activated rows/columns translate together to the target
+   coordinates (duration proportional to the square root of the longest
+   displacement).
+3. **Drop-off** -- rows/columns are deactivated, releasing qubits into the
+   destination SLM traps.
+"""
+
+from __future__ import annotations
+
+from ..arch.spec import Architecture
+from ..fidelity.movement import movement_time_us
+from ..fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
+from .instructions import (
+    ActivateInst,
+    DeactivateInst,
+    MachineInst,
+    MoveInst,
+    QLoc,
+    RearrangeJob,
+)
+
+#: Displacement (um) used for a parking micro-move during pickup.
+PARKING_SHIFT_UM = 1.0
+
+
+def qloc_position(architecture: Architecture, loc: QLoc) -> tuple[float, float]:
+    """Physical (x, y) of a qubit location."""
+    return architecture.slm_by_id(loc.slm_id).trap_position(loc.row, loc.col)
+
+
+def job_max_distance_um(architecture: Architecture, job: RearrangeJob) -> float:
+    """Longest single-qubit movement distance in a job."""
+    longest = 0.0
+    for begin, end in zip(job.begin_locs, job.end_locs):
+        bx, by = qloc_position(architecture, begin)
+        ex, ey = qloc_position(architecture, end)
+        longest = max(longest, ((bx - ex) ** 2 + (by - ey) ** 2) ** 0.5)
+    return longest
+
+
+def job_total_distance_um(architecture: Architecture, job: RearrangeJob) -> float:
+    """Sum of all single-qubit movement distances in a job."""
+    total = 0.0
+    for begin, end in zip(job.begin_locs, job.end_locs):
+        bx, by = qloc_position(architecture, begin)
+        ex, ey = qloc_position(architecture, end)
+        total += ((bx - ex) ** 2 + (by - ey) ** 2) ** 0.5
+    return total
+
+
+def job_duration_us(
+    architecture: Architecture,
+    job: RearrangeJob,
+    params: NeutralAtomParams = NEUTRAL_ATOM,
+) -> float:
+    """Duration of a job: pickup transfer + move + drop-off transfer.
+
+    Atom transfers within one phase happen in parallel (one ``t_transfer``
+    each for pickup and drop-off); the move takes the time of the longest
+    individual displacement.
+    """
+    move = movement_time_us(job_max_distance_um(architecture, job), params)
+    return 2.0 * params.t_transfer_us + move
+
+
+def lower_job(architecture: Architecture, job: RearrangeJob) -> list[MachineInst]:
+    """Generate the machine-level instruction list for one job.
+
+    The pickup phase activates one AOD row per distinct source SLM row
+    (bottom-up), inserting a parking move between successive activations so
+    that already-held qubits cannot collide with traps of rows picked later.
+    The main move then translates every row/column to its destination, and a
+    single deactivate drops all qubits off.
+    """
+    if not job.begin_locs:
+        return []
+
+    begin_pts = [qloc_position(architecture, loc) for loc in job.begin_locs]
+    end_pts = [qloc_position(architecture, loc) for loc in job.end_locs]
+
+    # Group source qubits by their physical row (y coordinate).
+    rows: dict[float, list[int]] = {}
+    for index, (_, y) in enumerate(begin_pts):
+        rows.setdefault(y, []).append(index)
+    sorted_ys = sorted(rows)
+
+    # Column assignment: one AOD column per distinct source x coordinate.
+    col_xs = sorted({x for x, _ in begin_pts})
+    col_id_of_x = {x: i for i, x in enumerate(col_xs)}
+
+    insts: list[MachineInst] = []
+    parked_offset = 0.0
+    for phase, y in enumerate(sorted_ys):
+        indices = rows[y]
+        xs = sorted({begin_pts[i][0] for i in indices})
+        insts.append(
+            ActivateInst(
+                row_id=[phase],
+                row_y=[y + parked_offset],
+                col_id=[col_id_of_x[x] for x in xs],
+                col_x=list(xs),
+            )
+        )
+        more_rows_left = phase < len(sorted_ys) - 1
+        if more_rows_left:
+            # Parking: nudge already-activated rows off the SLM grid so the
+            # next activation cannot capture unrelated qubits.
+            insts.append(
+                MoveInst(
+                    row_id=list(range(phase + 1)),
+                    row_y_begin=[sorted_ys[i] + parked_offset for i in range(phase + 1)],
+                    row_y_end=[sorted_ys[i] + PARKING_SHIFT_UM for i in range(phase + 1)],
+                    col_id=[],
+                    col_x_begin=[],
+                    col_x_end=[],
+                )
+            )
+            parked_offset = PARKING_SHIFT_UM
+
+    # Main move: translate each AOD row to the destination y of its qubits and
+    # each column to the destination x.
+    row_of_index = {}
+    for phase, y in enumerate(sorted_ys):
+        for index in rows[y]:
+            row_of_index[index] = phase
+    row_y_begin = [y + parked_offset for y in sorted_ys]
+    row_y_end = list(sorted_ys)
+    for index, (_, ey) in enumerate(end_pts):
+        row_y_end[row_of_index[index]] = ey
+    col_x_begin = list(col_xs)
+    col_x_end = list(col_xs)
+    for index, (ex, _) in enumerate(end_pts):
+        col_x_end[col_id_of_x[begin_pts[index][0]]] = ex
+
+    insts.append(
+        MoveInst(
+            row_id=list(range(len(sorted_ys))),
+            row_y_begin=row_y_begin,
+            row_y_end=row_y_end,
+            col_id=list(range(len(col_xs))),
+            col_x_begin=col_x_begin,
+            col_x_end=col_x_end,
+        )
+    )
+    insts.append(
+        DeactivateInst(
+            row_id=list(range(len(sorted_ys))),
+            col_id=list(range(len(col_xs))),
+        )
+    )
+    return insts
+
+
+def lower_program_jobs(architecture: Architecture, jobs: list[RearrangeJob]) -> None:
+    """Populate ``insts`` for every job in place."""
+    for job in jobs:
+        job.insts = lower_job(architecture, job)

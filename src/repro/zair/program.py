@@ -1,0 +1,135 @@
+"""ZAIR program container and statistics."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .instructions import (
+    InitInst,
+    OneQGateInst,
+    QLoc,
+    RearrangeJob,
+    RydbergInst,
+    ZAIRInstruction,
+)
+
+
+@dataclass
+class ZAIRProgram:
+    """A compiled program in the zoned-architecture IR.
+
+    Attributes:
+        num_qubits: Number of program qubits.
+        architecture_name: Name of the target architecture.
+        instructions: Program-level ZAIR instructions in issue order (the
+            first must be the single ``InitInst``).
+    """
+
+    num_qubits: int
+    architecture_name: str = ""
+    instructions: list[ZAIRInstruction] = field(default_factory=list)
+
+    # -- structural queries --------------------------------------------------
+
+    @property
+    def init(self) -> InitInst:
+        """The init instruction (must be first)."""
+        if not self.instructions or not isinstance(self.instructions[0], InitInst):
+            raise ValueError("program does not start with an init instruction")
+        return self.instructions[0]
+
+    @property
+    def rearrange_jobs(self) -> list[RearrangeJob]:
+        return [i for i in self.instructions if isinstance(i, RearrangeJob)]
+
+    @property
+    def rydberg_insts(self) -> list[RydbergInst]:
+        return [i for i in self.instructions if isinstance(i, RydbergInst)]
+
+    @property
+    def one_q_insts(self) -> list[OneQGateInst]:
+        return [i for i in self.instructions if isinstance(i, OneQGateInst)]
+
+    @property
+    def num_rydberg_stages(self) -> int:
+        return len(self.rydberg_insts)
+
+    @property
+    def num_2q_gates(self) -> int:
+        return sum(len(r.gates) for r in self.rydberg_insts)
+
+    @property
+    def num_1q_gates(self) -> int:
+        return sum(inst.num_gates for inst in self.one_q_insts)
+
+    @property
+    def num_movements(self) -> int:
+        """Total individual qubit movements across all jobs."""
+        return sum(job.num_qubits for job in self.rearrange_jobs)
+
+    @property
+    def duration_us(self) -> float:
+        """Makespan: latest end time over all scheduled instructions."""
+        times = [i.end_time for i in self.instructions if not isinstance(i, InitInst)]
+        return max(times, default=0.0)
+
+    # -- statistics (paper Section IX) ---------------------------------------
+
+    @property
+    def num_zair_instructions(self) -> int:
+        """Program-level instruction count (excluding init)."""
+        return sum(1 for i in self.instructions if not isinstance(i, InitInst))
+
+    @property
+    def num_machine_instructions(self) -> int:
+        """Machine-level instruction count after lowering.
+
+        1Q and Rydberg instructions are already machine level (1 each);
+        rearrangement jobs contribute their lowered instruction lists.
+        """
+        total = 0
+        for inst in self.instructions:
+            if isinstance(inst, (OneQGateInst, RydbergInst)):
+                total += 1
+            elif isinstance(inst, RearrangeJob):
+                total += max(len(inst.insts), 3)
+        return total
+
+    def zair_instructions_per_gate(self) -> float:
+        """ZAIR instructions per circuit gate (paper reports 0.85 geomean)."""
+        gates = self.num_1q_gates + self.num_2q_gates
+        return self.num_zair_instructions / gates if gates else 0.0
+
+    def machine_instructions_per_gate(self) -> float:
+        """Machine instructions per circuit gate (paper reports 1.77 geomean)."""
+        gates = self.num_1q_gates + self.num_2q_gates
+        return self.num_machine_instructions / gates if gates else 0.0
+
+    # -- qubit-location tracking ---------------------------------------------
+
+    def final_locations(self) -> dict[int, QLoc]:
+        """Replay all rearrangement jobs to find each qubit's final location."""
+        locations = {loc.qubit: loc for loc in self.init.init_locs}
+        for job in self.rearrange_jobs:
+            for loc in job.end_locs:
+                locations[loc.qubit] = loc
+        return locations
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "num_qubits": self.num_qubits,
+            "architecture": self.architecture_name,
+            "instructions": [inst.to_dict() for inst in self.instructions],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def dump(self, path: str) -> None:
+        """Write the program to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())

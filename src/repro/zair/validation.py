@@ -1,0 +1,177 @@
+"""Semantic validation of ZAIR programs.
+
+The validator replays a program against an architecture and checks the
+physical invariants the hardware imposes:
+
+* every qubit starts at a unique, existing SLM trap;
+* a rearrangement job only picks up qubits from where they actually are;
+* no two qubits ever occupy the same trap;
+* within one job, the AOD row/column ordering constraint holds (rows and
+  columns of one AOD cannot cross, and co-located rows/columns must stay
+  co-located);
+* a ``rydberg`` instruction only entangles pairs that sit in the left/right
+  traps of the same Rydberg site of the referenced entanglement zone.
+
+This is used both by the test suite (as an oracle for compiler correctness)
+and exposed publicly so users can check hand-written programs.
+"""
+
+from __future__ import annotations
+
+from ..arch.spec import Architecture, ArchitectureError
+from .instructions import InitInst, OneQGateInst, QLoc, RearrangeJob, RydbergInst
+from .lowering import qloc_position
+from .program import ZAIRProgram
+
+
+class ValidationError(ValueError):
+    """Raised when a ZAIR program violates a hardware invariant."""
+
+
+def validate_job_ordering(architecture: Architecture, job: RearrangeJob) -> None:
+    """Check the AOD non-crossing constraint for a single job.
+
+    Two qubits held by the same AOD must keep their relative x order
+    (columns cannot cross) and relative y order (rows cannot cross).  Qubits
+    sharing a column (equal begin x) must share the destination x, and
+    likewise for rows.
+    """
+    begin = [qloc_position(architecture, loc) for loc in job.begin_locs]
+    end = [qloc_position(architecture, loc) for loc in job.end_locs]
+    n = len(begin)
+    tol = 1e-9
+    for i in range(n):
+        for j in range(i + 1, n):
+            for axis in (0, 1):
+                b_i, b_j = begin[i][axis], begin[j][axis]
+                e_i, e_j = end[i][axis], end[j][axis]
+                if abs(b_i - b_j) <= tol:
+                    if abs(e_i - e_j) > tol:
+                        raise ValidationError(
+                            f"job on AOD {job.aod_id}: qubits {job.begin_locs[i].qubit} "
+                            f"and {job.begin_locs[j].qubit} share an AOD "
+                            f"{'column' if axis == 0 else 'row'} but end at different "
+                            "coordinates"
+                        )
+                elif (b_i - b_j) * (e_i - e_j) < 0:
+                    raise ValidationError(
+                        f"job on AOD {job.aod_id}: qubits {job.begin_locs[i].qubit} and "
+                        f"{job.begin_locs[j].qubit} cross in "
+                        f"{'x' if axis == 0 else 'y'}"
+                    )
+
+
+def _check_trap_exists(architecture: Architecture, loc: QLoc) -> None:
+    try:
+        architecture.slm_by_id(loc.slm_id).trap_position(loc.row, loc.col)
+    except ArchitectureError as exc:
+        raise ValidationError(f"qubit {loc.qubit}: invalid trap {loc.trap}: {exc}") from exc
+
+
+def validate_program(architecture: Architecture, program: ZAIRProgram) -> None:
+    """Replay ``program`` on ``architecture`` and check all invariants.
+
+    Raises:
+        ValidationError: on the first violated invariant.
+    """
+    if not program.instructions or not isinstance(program.instructions[0], InitInst):
+        raise ValidationError("program must start with an init instruction")
+
+    init = program.instructions[0]
+    location: dict[int, QLoc] = {}
+    occupied: dict[tuple[int, int, int], int] = {}
+    for loc in init.init_locs:
+        _check_trap_exists(architecture, loc)
+        if loc.qubit in location:
+            raise ValidationError(f"qubit {loc.qubit} initialised twice")
+        if loc.trap in occupied:
+            raise ValidationError(
+                f"trap {loc.trap} initialised with two qubits "
+                f"({occupied[loc.trap]} and {loc.qubit})"
+            )
+        location[loc.qubit] = loc
+        occupied[loc.trap] = loc.qubit
+
+    ent_slm_pairs = [
+        (zone.slms[0].slm_id, zone.slms[1].slm_id)
+        for zone in architecture.entanglement_zones
+    ]
+
+    for inst in program.instructions[1:]:
+        if isinstance(inst, InitInst):
+            raise ValidationError("init may only appear once, at the beginning")
+        if isinstance(inst, RearrangeJob):
+            _replay_job(architecture, inst, location, occupied)
+        elif isinstance(inst, RydbergInst):
+            _check_rydberg(architecture, inst, location, ent_slm_pairs)
+        elif isinstance(inst, OneQGateInst):
+            for loc in inst.locs:
+                if loc.qubit not in location:
+                    raise ValidationError(f"1qGate on unknown qubit {loc.qubit}")
+                if location[loc.qubit].trap != loc.trap:
+                    raise ValidationError(
+                        f"1qGate expects qubit {loc.qubit} at {loc.trap}, but it is at "
+                        f"{location[loc.qubit].trap}"
+                    )
+
+
+def _replay_job(
+    architecture: Architecture,
+    job: RearrangeJob,
+    location: dict[int, QLoc],
+    occupied: dict[tuple[int, int, int], int],
+) -> None:
+    validate_job_ordering(architecture, job)
+    # Pickup: all begin locations must match the current qubit positions.
+    for loc in job.begin_locs:
+        _check_trap_exists(architecture, loc)
+        if loc.qubit not in location:
+            raise ValidationError(f"job moves unknown qubit {loc.qubit}")
+        if location[loc.qubit].trap != loc.trap:
+            raise ValidationError(
+                f"job picks up qubit {loc.qubit} at {loc.trap}, but it is at "
+                f"{location[loc.qubit].trap}"
+            )
+        del occupied[loc.trap]
+    # Drop-off: all end traps must be free and pairwise distinct.
+    seen_targets: set[tuple[int, int, int]] = set()
+    for loc in job.end_locs:
+        _check_trap_exists(architecture, loc)
+        if loc.trap in seen_targets:
+            raise ValidationError(f"job drops two qubits at trap {loc.trap}")
+        if loc.trap in occupied:
+            raise ValidationError(
+                f"job drops qubit {loc.qubit} at occupied trap {loc.trap} "
+                f"(held by qubit {occupied[loc.trap]})"
+            )
+        seen_targets.add(loc.trap)
+    for loc in job.end_locs:
+        location[loc.qubit] = loc
+        occupied[loc.trap] = loc.qubit
+
+
+def _check_rydberg(
+    architecture: Architecture,
+    inst: RydbergInst,
+    location: dict[int, QLoc],
+    ent_slm_pairs: list[tuple[int, int]],
+) -> None:
+    if not 0 <= inst.zone_id < len(architecture.entanglement_zones):
+        raise ValidationError(f"rydberg references unknown zone {inst.zone_id}")
+    left_id, right_id = ent_slm_pairs[inst.zone_id]
+    for a, b in inst.gates:
+        for qubit in (a, b):
+            if qubit not in location:
+                raise ValidationError(f"rydberg gate on unknown qubit {qubit}")
+        loc_a, loc_b = location[a], location[b]
+        slm_ids = {loc_a.slm_id, loc_b.slm_id}
+        if slm_ids != {left_id, right_id}:
+            raise ValidationError(
+                f"gate ({a}, {b}): qubits are not in the left/right traps of "
+                f"entanglement zone {inst.zone_id} (SLMs {slm_ids})"
+            )
+        if (loc_a.row, loc_a.col) != (loc_b.row, loc_b.col):
+            raise ValidationError(
+                f"gate ({a}, {b}): qubits occupy different Rydberg sites "
+                f"({loc_a.row},{loc_a.col}) vs ({loc_b.row},{loc_b.col})"
+            )

@@ -1,0 +1,246 @@
+"""Unit tests for the architecture specification, presets and serialization."""
+
+import math
+
+import pytest
+
+from repro.arch import (
+    AODArray,
+    Architecture,
+    ArchitectureError,
+    D_RYD,
+    RydbergSite,
+    SLMArray,
+    StorageTrap,
+    Zone,
+    distance,
+    from_spec_dict,
+    logical_block_architecture,
+    monolithic_architecture,
+    reference_zoned_architecture,
+    small_dual_zone_architecture,
+    small_single_zone_architecture,
+    to_spec_dict,
+    with_num_aods,
+)
+from repro.arch import serialization
+
+
+class TestSLMArray:
+    def test_trap_positions(self):
+        slm = SLMArray(slm_id=0, sep=(3.0, 4.0), num_row=5, num_col=6, offset=(10.0, 20.0))
+        assert slm.trap_position(0, 0) == (10.0, 20.0)
+        assert slm.trap_position(2, 3) == (10.0 + 9.0, 20.0 + 8.0)
+        assert slm.num_traps == 30
+
+    def test_out_of_range_trap(self):
+        slm = SLMArray(slm_id=0, sep=(3.0, 3.0), num_row=2, num_col=2, offset=(0.0, 0.0))
+        with pytest.raises(ArchitectureError):
+            slm.trap_position(2, 0)
+
+    def test_nearest_trap_clamps(self):
+        slm = SLMArray(slm_id=0, sep=(3.0, 3.0), num_row=4, num_col=4, offset=(0.0, 0.0))
+        assert slm.nearest_trap(4.0, 4.0) == (1, 1)
+        assert slm.nearest_trap(-50.0, 1000.0) == (3, 0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ArchitectureError):
+            SLMArray(slm_id=0, sep=(3.0, 3.0), num_row=0, num_col=2, offset=(0.0, 0.0))
+        with pytest.raises(ArchitectureError):
+            SLMArray(slm_id=0, sep=(0.0, 3.0), num_row=2, num_col=2, offset=(0.0, 0.0))
+
+
+class TestReferenceArchitecture:
+    def test_counts_match_paper(self):
+        arch = reference_zoned_architecture()
+        assert arch.num_storage_traps == 100 * 100
+        assert arch.num_rydberg_sites == 7 * 20
+        assert arch.num_aods == 1
+
+    def test_site_geometry_matches_fig2(self):
+        arch = reference_zoned_architecture()
+        site = RydbergSite(0, 0, 0)
+        assert arch.site_position(site) == (35.0, 307.0)
+        # The partner trap sits d_Ryd = 2 um to the right.
+        left = arch.site_position(site)
+        right = arch.site_partner_position(site)
+        assert distance(left, right) == pytest.approx(D_RYD)
+
+    def test_storage_geometry(self):
+        arch = reference_zoned_architecture()
+        assert arch.trap_position(StorageTrap(0, 0, 0)) == (0.0, 0.0)
+        assert arch.trap_position(StorageTrap(0, 99, 1)) == (3.0, 297.0)
+
+    def test_nearest_lookups(self):
+        arch = reference_zoned_architecture()
+        assert arch.nearest_rydberg_site(36.0, 306.0) == RydbergSite(0, 0, 0)
+        assert arch.nearest_storage_trap(1.4, 1.4) == StorageTrap(0, 0, 0)
+
+    def test_iterators_cover_everything(self):
+        arch = reference_zoned_architecture()
+        assert sum(1 for _ in arch.iter_rydberg_sites()) == arch.num_rydberg_sites
+        sites = list(arch.iter_rydberg_sites())
+        assert len(set(sites)) == len(sites)
+
+    def test_multi_aod_variant(self):
+        arch = with_num_aods(reference_zoned_architecture(), 3)
+        assert arch.num_aods == 3
+        assert [a.aod_id for a in arch.aods] == [0, 1, 2]
+
+    def test_with_num_aods_rejects_zero(self):
+        with pytest.raises(ValueError):
+            with_num_aods(reference_zoned_architecture(), 0)
+
+
+class TestOtherPresets:
+    def test_monolithic_has_no_storage(self):
+        arch = monolithic_architecture()
+        assert arch.num_storage_traps == 0
+        assert arch.num_rydberg_sites == 100
+
+    def test_small_architectures(self):
+        arch1 = small_single_zone_architecture()
+        arch2 = small_dual_zone_architecture()
+        assert arch1.num_storage_traps == 120
+        assert arch1.num_rydberg_sites == 60
+        assert arch2.num_storage_traps == 120
+        assert arch2.num_rydberg_sites == 60
+        assert len(arch2.entanglement_zones) == 2
+
+    def test_dual_zone_zones_do_not_overlap_storage(self):
+        arch = small_dual_zone_architecture()
+        storage = arch.storage_zones[0]
+        for zone in arch.entanglement_zones:
+            overlap_y = not (
+                zone.offset[1] + zone.dimension[1] <= storage.offset[1]
+                or zone.offset[1] >= storage.offset[1] + storage.dimension[1]
+            )
+            assert not overlap_y
+
+    def test_logical_architecture_shapes(self):
+        arch = logical_block_architecture(128)
+        assert arch.site_shape(0) == (3, 5)
+        assert arch.num_storage_traps >= 128
+
+
+class TestValidation:
+    def test_requires_aod(self):
+        zone = reference_zoned_architecture().entanglement_zones[0]
+        with pytest.raises(ArchitectureError):
+            Architecture("bad", [], [], [zone])
+
+    def test_requires_entanglement_zone(self):
+        with pytest.raises(ArchitectureError):
+            Architecture("bad", [AODArray(0)], [], [])
+
+    def test_entanglement_zone_needs_two_slms(self):
+        slm = SLMArray(slm_id=0, sep=(12.0, 10.0), num_row=2, num_col=2, offset=(0.0, 0.0))
+        zone = Zone(zone_id=0, offset=(0.0, 0.0), dimension=(24.0, 20.0), slms=(slm,))
+        with pytest.raises(ArchitectureError):
+            Architecture("bad", [AODArray(0)], [], [zone])
+
+    def test_duplicate_slm_ids_rejected(self):
+        arch = reference_zoned_architecture()
+        storage = arch.storage_zones[0]
+        clash = Zone(
+            zone_id=1,
+            offset=(500.0, 0.0),
+            dimension=(10.0, 10.0),
+            slms=(storage.slms[0],),
+        )
+        with pytest.raises(ArchitectureError):
+            Architecture(
+                "bad",
+                arch.aods,
+                [storage, clash],
+                arch.entanglement_zones,
+            )
+
+    def test_duplicate_aod_ids_rejected(self):
+        arch = reference_zoned_architecture()
+        with pytest.raises(ArchitectureError):
+            Architecture(
+                "bad",
+                [AODArray(0), AODArray(0)],
+                arch.storage_zones,
+                arch.entanglement_zones,
+            )
+
+    def test_slm_by_id_lookup(self):
+        arch = reference_zoned_architecture()
+        assert arch.slm_by_id(0).num_row == 100
+        with pytest.raises(ArchitectureError):
+            arch.slm_by_id(99)
+
+    def test_zone_contains(self):
+        zone = reference_zoned_architecture().storage_zones[0]
+        assert zone.contains(150.0, 150.0)
+        assert not zone.contains(-1.0, 0.0)
+
+
+class TestSerialization:
+    def test_roundtrip_reference(self):
+        arch = reference_zoned_architecture()
+        restored = from_spec_dict(to_spec_dict(arch))
+        assert restored.num_rydberg_sites == arch.num_rydberg_sites
+        assert restored.num_storage_traps == arch.num_storage_traps
+        assert restored.num_aods == arch.num_aods
+        assert restored.site_position(RydbergSite(0, 0, 0)) == arch.site_position(
+            RydbergSite(0, 0, 0)
+        )
+
+    def test_roundtrip_dual_zone(self):
+        arch = small_dual_zone_architecture()
+        restored = serialization.loads(serialization.dumps(arch))
+        assert len(restored.entanglement_zones) == 2
+
+    def test_paper_fig20_style_dict(self):
+        spec = {
+            "name": "full_compute_store_architecture",
+            "storage_zones": [
+                {
+                    "zone_id": 0,
+                    "slms": [
+                        {"id": 0, "site_seperation": [3, 3], "r": 100, "c": 100, "location": [0, 0]}
+                    ],
+                    "offset": [0, 0],
+                    "dimenstion": [300, 300],
+                }
+            ],
+            "entanglement_zones": [
+                {
+                    "zone_id": 0,
+                    "slms": [
+                        {"id": 1, "site_seperation": [12, 10], "r": 7, "c": 20, "location": [35, 307]},
+                        {"id": 2, "site_seperation": [12, 10], "r": 7, "c": 20, "location": [37, 307]},
+                    ],
+                    "offset": [35, 307],
+                    "dimension": [240, 70],
+                }
+            ],
+            "aods": [{"id": 0, "site_seperation": 2, "r": 100, "c": 100}],
+        }
+        arch = from_spec_dict(spec)
+        assert arch.num_rydberg_sites == 140
+        assert arch.site_position(RydbergSite(0, 0, 0)) == (35.0, 307.0)
+
+    def test_file_roundtrip(self, tmp_path):
+        arch = reference_zoned_architecture()
+        path = tmp_path / "arch.json"
+        serialization.dump(arch, str(path))
+        restored = serialization.load(str(path))
+        assert restored.name == arch.name
+
+    def test_missing_dimension_raises(self):
+        with pytest.raises(ArchitectureError):
+            from_spec_dict(
+                {
+                    "entanglement_zones": [{"zone_id": 0, "slms": []}],
+                    "aods": [{"id": 0}],
+                }
+            )
+
+
+def test_distance_helper():
+    assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+    assert distance((1.0, 1.0), (1.0, 1.0)) == 0.0

@@ -1,0 +1,178 @@
+"""Tests for the baseline compilers and the ideal bounds."""
+
+import networkx as nx
+import pytest
+
+from repro.arch import reference_zoned_architecture
+from repro.baselines import (
+    AtomiqueCompiler,
+    EnolaCompiler,
+    IdealBound,
+    NALACCompiler,
+    SuperconductingCompiler,
+    grid_coupling,
+    heavy_hex_coupling,
+    maximal_reuse_count,
+    partition_qubits,
+    route,
+)
+from repro.baselines.ideal import PERFECT_MOVEMENT, PERFECT_PLACEMENT, PERFECT_REUSE, idealized_result
+from repro.circuits.library import get_benchmark, ghz, ising_chain
+from repro.circuits.synthesis import decompose_to_cz, merge_single_qubit_runs
+from repro.core import ZACCompiler
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return reference_zoned_architecture()
+
+
+@pytest.fixture(scope="module")
+def bv14():
+    return get_benchmark("bv_n14")
+
+
+class TestEnola:
+    def test_monolithic_excites_idle_qubits(self, bv14):
+        result = EnolaCompiler().compile(bv14)
+        # Sequential circuit: 12 idle qubits per Rydberg stage, 13 stages.
+        assert result.metrics.num_excitations == 12 * 13
+        assert result.metrics.num_2q_gates == 13
+
+    def test_every_gate_needs_movement(self):
+        result = EnolaCompiler().compile(ghz(10))
+        assert result.metrics.num_movements >= 9
+
+    def test_architecture_grows_for_large_circuits(self):
+        result = EnolaCompiler().compile(ising_chain(150, steps=1))
+        assert result.metrics.num_2q_gates == 298
+        assert result.total_fidelity >= 0.0
+
+    def test_zac_beats_enola_on_sequential_circuits(self, arch, bv14):
+        zac = ZACCompiler(arch).compile(bv14)
+        enola = EnolaCompiler().compile(bv14)
+        assert zac.total_fidelity > enola.total_fidelity
+
+
+class TestAtomique:
+    def test_partition_is_a_bipartition(self, bv14):
+        slm, aod = partition_qubits(bv14)
+        assert slm | aod == set(range(bv14.num_qubits))
+        assert not slm & aod
+
+    def test_partition_cuts_star_graph_well(self, bv14):
+        slm, aod = partition_qubits(bv14)
+        ancilla_side = slm if 13 in slm else aod
+        # The BV ancilla interacts with everyone; a good cut isolates it.
+        assert len(ancilla_side) <= 2
+
+    def test_intra_array_gates_add_swap_overhead(self):
+        circuit = ghz(8)
+        result = AtomiqueCompiler().compile(circuit)
+        assert result.metrics.num_2q_gates >= circuit.num_qubits - 1
+        assert result.metrics.num_excitations > 0
+
+    def test_no_atom_transfers(self, bv14):
+        result = AtomiqueCompiler().compile(bv14)
+        assert result.metrics.num_transfers == 0
+        assert result.fidelity.atom_transfer == 1.0
+
+
+class TestNALAC:
+    def test_keeps_reused_qubits_but_pays_excitation(self, arch):
+        circuit = get_benchmark("knn_n31")
+        result = NALACCompiler(arch).compile(circuit)
+        assert result.metrics.num_excitations > 0
+        assert result.metrics.num_transfers > 0
+
+    def test_zac_beats_nalac_on_geomean_subset(self, arch):
+        from repro.experiments import geometric_mean
+
+        names = ["bv_n30", "ghz_n40", "qft_n18", "knn_n31"]
+        zac_f, nalac_f = [], []
+        for name in names:
+            circuit = get_benchmark(name)
+            zac_f.append(ZACCompiler(arch).compile(circuit).total_fidelity)
+            nalac_f.append(NALACCompiler(arch).compile(circuit).total_fidelity)
+        assert geometric_mean(zac_f) > geometric_mean(nalac_f)
+
+    def test_splits_wide_stages_across_pulses(self, arch):
+        circuit = ising_chain(98, steps=1)
+        result = NALACCompiler(arch).compile(circuit)
+        # 49-gate stages exceed the 20-site row -> more Rydberg pulses than stages.
+        assert result.metrics.num_rydberg_stages > 4
+
+
+class TestSuperconducting:
+    def test_coupling_graphs_connected(self):
+        assert nx.is_connected(grid_coupling(11, 11))
+        heavy = heavy_hex_coupling(7)
+        assert nx.is_connected(heavy)
+        assert heavy.number_of_nodes() >= 127
+
+    def test_grid_size(self):
+        assert grid_coupling(11, 11).number_of_nodes() == 121
+
+    def test_routing_respects_coupling(self):
+        coupling = grid_coupling(6, 6)
+        circuit = merge_single_qubit_runs(decompose_to_cz(get_benchmark("multiply_n13")))
+        routed = route(circuit, coupling)
+        for gate in routed.circuit:
+            if gate.num_qubits == 2:
+                assert coupling.has_edge(*gate.qubits)
+
+    def test_routing_executes_all_gates(self):
+        coupling = grid_coupling(6, 6)
+        circuit = merge_single_qubit_runs(decompose_to_cz(ghz(12)))
+        routed = route(circuit, coupling)
+        non_swap_2q = sum(
+            1 for g in routed.circuit if g.num_qubits == 2 and g.name != "swap"
+        )
+        assert non_swap_2q == circuit.num_2q_gates
+
+    def test_chain_maps_with_few_swaps(self):
+        coupling = grid_coupling(6, 6)
+        circuit = merge_single_qubit_runs(decompose_to_cz(ghz(12)))
+        routed = route(circuit, coupling)
+        assert routed.num_swaps <= 4
+
+    def test_compiler_end_to_end(self, bv14):
+        heron = SuperconductingCompiler.heron().compile(bv14)
+        grid = SuperconductingCompiler.grid().compile(bv14)
+        assert 0 < heron.total_fidelity < 1
+        assert 0 < grid.total_fidelity < 1
+        assert heron.fidelity.atom_transfer == 1.0
+
+    def test_circuit_too_large_for_device(self):
+        with pytest.raises(Exception):
+            SuperconductingCompiler.grid().compile(ghz(200))
+
+
+class TestIdealBounds:
+    def test_maximal_reuse_count_chain(self):
+        stages = [[(0, 1)], [(1, 2)], [(2, 3)]]
+        assert maximal_reuse_count(stages) == 2
+
+    def test_maximal_reuse_count_disjoint(self):
+        stages = [[(0, 1)], [(2, 3)]]
+        assert maximal_reuse_count(stages) == 0
+
+    @pytest.mark.parametrize("name", ["bv_n14", "ghz_n23", "ising_n42"])
+    def test_bounds_dominate_zac(self, arch, name):
+        zac = ZACCompiler(arch).compile(get_benchmark(name))
+        movement = idealized_result(zac, arch, PERFECT_MOVEMENT)
+        placement = idealized_result(zac, arch, PERFECT_PLACEMENT)
+        reuse = idealized_result(zac, arch, PERFECT_REUSE)
+        assert movement.total_fidelity >= zac.total_fidelity * 0.999
+        assert placement.total_fidelity >= movement.total_fidelity * 0.999
+        assert reuse.total_fidelity >= placement.total_fidelity * 0.999
+
+    def test_wrapper_compiles_directly(self, bv14):
+        bound = IdealBound(PERFECT_REUSE)
+        result = bound.compile(bv14)
+        assert result.compiler_name == "Perfect Reuse"
+        assert 0 < result.total_fidelity <= 1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            IdealBound("perfect_everything")

@@ -1,0 +1,82 @@
+"""Unit tests for repro.circuits.circuit."""
+
+import pytest
+
+from repro.circuits.circuit import CircuitError, QuantumCircuit
+from repro.circuits.gates import Gate, GateError
+
+
+class TestConstruction:
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_append_validates_indices(self):
+        circ = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circ.append(Gate("cz", (0, 5)))
+
+    def test_add_unknown_gate(self):
+        circ = QuantumCircuit(2)
+        with pytest.raises(GateError):
+            circ.add("frobnicate", 0)
+
+    def test_named_helpers(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.ccx(0, 1, 2)
+        circ.rz(0.5, 2)
+        assert len(circ) == 4
+        assert circ.count_ops() == {"h": 1, "cx": 1, "ccx": 1, "rz": 1}
+
+    def test_extend_and_iter(self):
+        circ = QuantumCircuit(2)
+        circ.extend([Gate("h", (0,)), Gate("cz", (0, 1))])
+        assert [g.name for g in circ] == ["h", "cz"]
+
+
+class TestQueries:
+    def make(self) -> QuantumCircuit:
+        circ = QuantumCircuit(4, name="probe")
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.cx(1, 2)
+        circ.cx(0, 1)
+        circ.h(3)
+        return circ
+
+    def test_counts(self):
+        circ = self.make()
+        assert circ.num_1q_gates == 2
+        assert circ.num_2q_gates == 3
+
+    def test_depth(self):
+        circ = self.make()
+        # h(0); cx(0,1); cx(1,2); cx(0,1) -> depth 4 on qubit 1's path.
+        assert circ.depth() == 4
+        assert circ.two_qubit_depth() == 3
+
+    def test_depth_of_parallel_gates(self):
+        circ = QuantumCircuit(4)
+        circ.cz(0, 1)
+        circ.cz(2, 3)
+        assert circ.depth() == 1
+
+    def test_used_qubits(self):
+        circ = self.make()
+        assert circ.used_qubits() == {0, 1, 2, 3}
+
+    def test_interaction_graph_weights(self):
+        circ = self.make()
+        graph = circ.interaction_graph()
+        assert graph[0][1]["weight"] == 2
+        assert graph[1][2]["weight"] == 1
+        assert not graph.has_edge(0, 3)
+
+    def test_copy_is_independent(self):
+        circ = self.make()
+        clone = circ.copy("clone")
+        clone.h(0)
+        assert len(clone) == len(circ) + 1
+        assert clone.name == "clone"

@@ -1,0 +1,137 @@
+"""Integration tests: the full ZAC pipeline on real benchmark circuits."""
+
+import pytest
+
+from repro.arch import (
+    reference_zoned_architecture,
+    small_dual_zone_architecture,
+    with_num_aods,
+)
+from repro.circuits.library import get_benchmark, ghz, ising_chain
+from repro.core import ZACCompiler, ZACConfig
+from repro.zair import validate_program
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return reference_zoned_architecture()
+
+
+@pytest.fixture(scope="module")
+def compiled_bv(arch):
+    return ZACCompiler(arch).compile(get_benchmark("bv_n14"))
+
+
+class TestEndToEnd:
+    def test_program_is_physically_valid(self, arch, compiled_bv):
+        validate_program(arch, compiled_bv.program)
+
+    def test_gate_counts_preserved(self, compiled_bv):
+        assert compiled_bv.metrics.num_2q_gates == 13
+        assert compiled_bv.program.num_2q_gates == 13
+        assert compiled_bv.metrics.num_1q_gates == compiled_bv.staged.num_1q_gates
+
+    def test_no_excitation_errors_for_zac(self, compiled_bv):
+        """ZAC never leaves an idle qubit inside the illuminated zone."""
+        assert compiled_bv.metrics.num_excitations == 0
+
+    def test_fidelity_in_unit_interval(self, compiled_bv):
+        assert 0.0 < compiled_bv.total_fidelity < 1.0
+
+    def test_duration_positive_and_consistent(self, compiled_bv):
+        assert compiled_bv.duration_us > 0
+        assert compiled_bv.program.duration_us == pytest.approx(
+            compiled_bv.metrics.duration_us, rel=1e-6
+        )
+
+    def test_summary_keys(self, compiled_bv):
+        summary = compiled_bv.summary()
+        assert summary["fidelity"] == pytest.approx(compiled_bv.total_fidelity)
+        assert summary["num_2q_gates"] == 13
+
+    @pytest.mark.parametrize("name", ["ghz_n23", "multiply_n13", "seca_n11"])
+    def test_more_benchmarks_validate(self, arch, name):
+        result = ZACCompiler(arch).compile(get_benchmark(name))
+        validate_program(arch, result.program)
+        assert result.metrics.num_excitations == 0
+        assert result.total_fidelity > 0
+
+    def test_too_many_qubits_rejected(self):
+        from repro.arch import small_single_zone_architecture
+
+        small = small_single_zone_architecture()
+        with pytest.raises(ValueError):
+            ZACCompiler(small).compile(ghz(500))
+
+    def test_oversized_stage_is_split(self, arch):
+        # 300 parallel CZ gates cannot fit the 140-site entanglement zone.
+        circuit = ising_chain(600, steps=1)
+        # Restrict to the first bond layer to keep the test fast.
+        result = ZACCompiler(arch, ZACConfig(use_sa_initial_placement=False)).compile(
+            ghz(150)
+        )
+        assert result.metrics.num_rydberg_stages >= 149
+        del circuit
+
+    def test_dual_zone_architecture_supported(self):
+        arch = small_dual_zone_architecture()
+        result = ZACCompiler(arch).compile(get_benchmark("bv_n14"))
+        validate_program(arch, result.program)
+        zones_used = {inst.zone_id for inst in result.program.rydberg_insts}
+        assert zones_used <= {0, 1}
+
+
+class TestReuseBehaviour:
+    def test_reuse_reduces_transfers(self, arch):
+        circuit = get_benchmark("ghz_n23")
+        with_reuse = ZACCompiler(arch, ZACConfig.dyn_place_reuse()).compile(circuit)
+        without = ZACCompiler(arch, ZACConfig.dyn_place()).compile(circuit)
+        assert with_reuse.plan.num_reuses > 0
+        assert with_reuse.metrics.num_transfers < without.metrics.num_transfers
+
+    def test_same_pair_stages_keep_both_qubits(self, arch):
+        """Two consecutive CZs on the same pair must not trigger any return trip."""
+        from repro.circuits import QuantumCircuit
+
+        circ = QuantumCircuit(2, name="double_cz")
+        circ.cz(0, 1)
+        circ.rz(0.3, 0)
+        circ.cz(0, 1)
+        result = ZACCompiler(arch, ZACConfig.dyn_place_reuse()).compile(circ)
+        validate_program(arch, result.program)
+        # 2 qubits enter once and leave once: 2 movements in, 2 movements out.
+        assert result.metrics.num_movements == 4
+
+    def test_vanilla_config_label(self):
+        assert ZACConfig.vanilla().label == "Vanilla"
+        assert ZACConfig.dyn_place().label == "dynPlace"
+        assert ZACConfig.dyn_place_reuse().label == "dynPlace+reuse"
+        assert ZACConfig.full().label == "SA+dynPlace+reuse"
+
+    def test_ablation_ordering_on_ghz(self, arch):
+        """Reuse should not lower fidelity relative to plain dynamic placement."""
+        circuit = get_benchmark("ghz_n23")
+        results = {
+            label: ZACCompiler(arch, config).compile(circuit).total_fidelity
+            for label, config in {
+                "dynPlace": ZACConfig.dyn_place(),
+                "dynPlace+reuse": ZACConfig.dyn_place_reuse(),
+            }.items()
+        }
+        assert results["dynPlace+reuse"] >= results["dynPlace"] * 0.999
+
+
+class TestMultiAOD:
+    def test_multiple_aods_never_slower(self, arch):
+        circuit = get_benchmark("ising_n42")
+        one = ZACCompiler(with_num_aods(arch, 1)).compile(circuit)
+        two = ZACCompiler(with_num_aods(arch, 2)).compile(circuit)
+        assert two.duration_us <= one.duration_us + 1e-6
+        assert two.total_fidelity >= one.total_fidelity * 0.999
+
+    def test_aod_assignment_recorded(self, arch):
+        circuit = get_benchmark("ising_n42")
+        result = ZACCompiler(with_num_aods(arch, 3)).compile(circuit)
+        used_aods = {job.aod_id for job in result.program.rearrange_jobs}
+        assert used_aods <= {0, 1, 2}
+        assert len(used_aods) >= 2

@@ -1,0 +1,136 @@
+"""Tests for the experiment harnesses (run on small circuit subsets)."""
+
+import pytest
+
+from repro.experiments import (
+    ABLATION_CONFIGS,
+    benchmark_circuits,
+    default_compilers,
+    format_table,
+    geometric_mean,
+    run_compiler,
+    to_csv,
+)
+from repro.experiments.ablation import ablation_table, run_ablation, stepwise_improvements
+from repro.experiments.aod_sweep import aod_gains, run_aod_sweep
+from repro.experiments.architecture_comparison import (
+    fidelity_table,
+    improvement_summary,
+    run_architecture_comparison,
+)
+from repro.experiments.duration_comparison import duration_table, run_duration_comparison
+from repro.experiments.fidelity_breakdown import breakdown_table, run_fidelity_breakdown
+from repro.experiments.multi_zone import improvement, run_multi_zone
+from repro.experiments.optimality import optimality_gaps, run_optimality
+from repro.experiments.scalability import run_scalability, scalability_table
+from repro.experiments.table2 import run_table2
+from repro.experiments.zair_stats import run_zair_stats
+
+SMALL = ["bv_n14", "ghz_n23"]
+
+
+class TestHarness:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 1.0]) > 0.0
+
+    def test_benchmark_circuits_default_full_set(self):
+        assert len(benchmark_circuits()) == 17
+        assert [name for name, _ in benchmark_circuits(SMALL)] == SMALL
+
+    def test_default_compilers_labels(self):
+        labels = set(default_compilers())
+        assert {"Zoned-ZAC", "Zoned-NALAC", "Monolithic-Enola", "Monolithic-Atomique"} <= labels
+
+    def test_run_compiler_record(self):
+        from repro.arch import reference_zoned_architecture
+        from repro.core import ZACCompiler
+
+        name, circuit = benchmark_circuits(["bv_n14"])[0]
+        record = run_compiler(ZACCompiler(reference_zoned_architecture()), circuit)
+        assert record.circuit == "bv_n14"
+        assert 0 < record.fidelity <= 1
+        assert record.num_2q_gates == 13
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_csv_escaping(self):
+        text = to_csv([{"name": "x,y", "value": 1}])
+        assert '"x,y"' in text
+
+
+class TestFigureExperiments:
+    def test_fig8_architecture_comparison(self):
+        records = run_architecture_comparison(
+            SMALL, compilers=default_compilers(include_superconducting=False)
+        )
+        table = fidelity_table(records)
+        assert table[-1]["circuit"] == "GMean"
+        ratios = improvement_summary(records)
+        # ZAC dominates the monolithic compilers on sequential circuits.
+        assert ratios["Monolithic-Enola"] > 1.0
+        assert ratios["Monolithic-Atomique"] > 1.0
+
+    def test_fig9_breakdown(self):
+        records = run_fidelity_breakdown(["bv_n14"])
+        rows = breakdown_table(records)
+        zac_rows = [r for r in rows if r["compiler"] == "ZAC" and r["circuit"] == "bv_n14"]
+        enola_rows = [r for r in rows if r["compiler"] == "Enola" and r["circuit"] == "bv_n14"]
+        assert zac_rows[0]["2q_gate"] > enola_rows[0]["2q_gate"]
+
+    def test_fig10_duration(self):
+        records = run_duration_comparison(["bv_n14"])
+        rows = duration_table(records)
+        assert rows[-1]["circuit"] == "GMean"
+        assert all(value > 0 for key, value in rows[0].items() if key != "circuit")
+
+    def test_fig11_ablation(self):
+        records = run_ablation(SMALL)
+        rows = ablation_table(records)
+        assert set(ABLATION_CONFIGS) <= set(rows[0]) - {"circuit"}
+        gains = stepwise_improvements(records)
+        assert "dynPlace+reuse" in gains
+
+    def test_fig12_scalability(self):
+        records = run_scalability(["bv_n14"])
+        rows = scalability_table(records)
+        assert any(r["compiler"] == "ZAC-SA+dynPlace+reuse" for r in rows)
+        assert all(r["mean_compile_time_s"] >= 0 for r in rows)
+
+    def test_fig13_optimality(self):
+        rows = run_optimality(SMALL)
+        gaps = optimality_gaps(rows)
+        for gap in gaps.values():
+            assert -1e-6 <= gap < 0.5
+
+    def test_fig14_aod_sweep(self):
+        rows = run_aod_sweep(["ising_n42"], aod_counts=(1, 2))
+        gains = aod_gains(rows)
+        assert gains["2AOD"] >= -1e-6
+
+    def test_table2(self):
+        rows = run_table2(SMALL)
+        assert {r["platform"] for r in rows} == {"SC", "ZAC"}
+        zac_row = next(r for r in rows if r["platform"] == "ZAC")
+        assert 0 < zac_row["total"] <= 1
+
+    def test_sec7h_multi_zone(self):
+        rows = run_multi_zone("ising_n98")
+        stats = improvement(rows)
+        assert stats["fidelity_gain"] > 0
+
+    def test_sec9_zair_stats(self):
+        rows = run_zair_stats(["bv_n14"])
+        gmean_row = rows[-1]
+        assert float(gmean_row["zair_per_gate"]) > 0
+        assert float(gmean_row["machine_per_gate"]) >= float(gmean_row["zair_per_gate"])

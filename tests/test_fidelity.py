@@ -1,0 +1,171 @@
+"""Unit tests for the fidelity and timing models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fidelity import (
+    NEUTRAL_ATOM,
+    SC_GRID,
+    SC_HERON,
+    ExecutionMetrics,
+    NeutralAtomParams,
+    SCExecutionMetrics,
+    estimate_fidelity,
+    estimate_sc_fidelity,
+    movement_distance_um,
+    movement_time_us,
+    neutral_atom_params_from_spec,
+    rearrangement_time_us,
+)
+
+
+class TestMovementModel:
+    def test_zero_distance(self):
+        assert movement_time_us(0.0) == 0.0
+
+    def test_ten_micrometres(self):
+        # d / t^2 = 2750 m/s^2  =>  t = sqrt(10 um / 2.75e-3 um/us^2) ~ 60.3 us.
+        assert movement_time_us(10.0) == pytest.approx(60.30, abs=0.05)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            movement_time_us(-1.0)
+
+    def test_inverse_relation(self):
+        t = movement_time_us(42.0)
+        assert movement_distance_um(t) == pytest.approx(42.0)
+
+    def test_rearrangement_time_includes_transfers(self):
+        t = rearrangement_time_us(10.0)
+        assert t == pytest.approx(2 * NEUTRAL_ATOM.t_transfer_us + movement_time_us(10.0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(d=st.floats(0.001, 1000.0))
+    def test_sqrt_scaling(self, d):
+        # Doubling the distance multiplies the time by sqrt(2).
+        assert movement_time_us(2 * d) == pytest.approx(
+            math.sqrt(2) * movement_time_us(d), rel=1e-9
+        )
+
+
+class TestNeutralAtomFidelity:
+    def test_table1_defaults(self):
+        assert NEUTRAL_ATOM.f_2q == 0.995
+        assert NEUTRAL_ATOM.f_1q == 0.9997
+        assert NEUTRAL_ATOM.t_2q_us == pytest.approx(0.36)
+        assert NEUTRAL_ATOM.t_1q_us == 52.0
+        assert NEUTRAL_ATOM.t2_us == pytest.approx(1.5e6)
+
+    def test_gate_only_fidelity(self):
+        metrics = ExecutionMetrics(num_qubits=2, num_1q_gates=3, num_2q_gates=2)
+        breakdown = estimate_fidelity(metrics)
+        assert breakdown.one_q_gate == pytest.approx(0.9997**3)
+        assert breakdown.two_q_gate == pytest.approx(0.995**2)
+        assert breakdown.decoherence == 1.0
+        assert breakdown.total == pytest.approx(0.9997**3 * 0.995**2)
+
+    def test_excitation_and_transfer_terms(self):
+        metrics = ExecutionMetrics(
+            num_qubits=1, num_excitations=10, num_transfers=20
+        )
+        breakdown = estimate_fidelity(metrics)
+        assert breakdown.excitation == pytest.approx(0.9975**10)
+        assert breakdown.atom_transfer == pytest.approx(0.999**20)
+        assert breakdown.two_q_gate_with_excitation == pytest.approx(0.9975**10)
+
+    def test_decoherence_uses_idle_time(self):
+        metrics = ExecutionMetrics(
+            num_qubits=2,
+            duration_us=1000.0,
+            qubit_busy_us={0: 1000.0, 1: 250.0},
+        )
+        breakdown = estimate_fidelity(metrics)
+        expected = 1.0 * (1.0 - 750.0 / NEUTRAL_ATOM.t2_us)
+        assert breakdown.decoherence == pytest.approx(expected)
+
+    def test_decoherence_floor_at_zero(self):
+        metrics = ExecutionMetrics(num_qubits=1, duration_us=1e9)
+        breakdown = estimate_fidelity(metrics)
+        assert breakdown.decoherence == 0.0
+        assert breakdown.total == 0.0
+
+    def test_idle_time_never_negative(self):
+        metrics = ExecutionMetrics(
+            num_qubits=1, duration_us=5.0, qubit_busy_us={0: 50.0}
+        )
+        assert metrics.idle_time_us(0) == 0.0
+
+    def test_breakdown_as_dict(self):
+        metrics = ExecutionMetrics(num_qubits=1, num_2q_gates=1)
+        d = estimate_fidelity(metrics).as_dict()
+        assert set(d) == {"1q_gate", "2q_gate", "excitation", "atom_transfer", "decoherence", "total"}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        g1=st.integers(0, 200),
+        g2=st.integers(0, 200),
+        exc=st.integers(0, 200),
+        tran=st.integers(0, 200),
+    )
+    def test_fidelity_bounded_and_monotone(self, g1, g2, exc, tran):
+        metrics = ExecutionMetrics(
+            num_qubits=3,
+            num_1q_gates=g1,
+            num_2q_gates=g2,
+            num_excitations=exc,
+            num_transfers=tran,
+        )
+        f = estimate_fidelity(metrics)
+        assert 0.0 <= f.total <= 1.0
+        worse = ExecutionMetrics(
+            num_qubits=3,
+            num_1q_gates=g1 + 1,
+            num_2q_gates=g2 + 1,
+            num_excitations=exc + 1,
+            num_transfers=tran + 1,
+        )
+        assert estimate_fidelity(worse).total <= f.total
+
+
+class TestSuperconductingFidelity:
+    def test_parameters_from_table1(self):
+        assert SC_HERON.t_2q_us == pytest.approx(0.068)
+        assert SC_GRID.t_2q_us == pytest.approx(0.042)
+        assert SC_GRID.t2_us == pytest.approx(89.0)
+
+    def test_sc_model_has_no_transfer_or_excitation(self):
+        metrics = SCExecutionMetrics(num_qubits=2, num_1q_gates=5, num_2q_gates=3)
+        breakdown = estimate_sc_fidelity(metrics, SC_HERON)
+        assert breakdown.excitation == 1.0
+        assert breakdown.atom_transfer == 1.0
+        assert breakdown.two_q_gate == pytest.approx(0.999**3)
+
+    def test_sc_decoherence(self):
+        metrics = SCExecutionMetrics(
+            num_qubits=1, duration_us=89.0, qubit_busy_us={0: 0.0}
+        )
+        breakdown = estimate_sc_fidelity(metrics, SC_GRID)
+        assert breakdown.decoherence == pytest.approx(0.0)
+
+
+class TestParamsFromSpec:
+    def test_parses_paper_json_keys(self):
+        params = neutral_atom_params_from_spec(
+            {
+                "operation_duration": {"rydberg": 0.36, "1qGate": 52, "atom_transfer": 15},
+                "operation_fidelity": {
+                    "two_qubit_gate": 0.995,
+                    "single_qubit_gate": 0.9997,
+                    "atom_transfer": 0.999,
+                },
+                "qubit_spec": {"T": 1.5e6},
+            }
+        )
+        assert params == NeutralAtomParams()
+
+    def test_missing_keys_fall_back_to_defaults(self):
+        params = neutral_atom_params_from_spec({})
+        assert params == NeutralAtomParams()

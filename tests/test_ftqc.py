@@ -1,0 +1,121 @@
+"""Tests for the FTQC package: [[8,3,2]] blocks, hIQP circuits, logical compilation."""
+
+import pytest
+
+from repro.ftqc import (
+    BLOCK_COLS,
+    BLOCK_ROWS,
+    CodeBlock,
+    LOGICAL_QUBITS_PER_BLOCK,
+    LogicalBlockCompiler,
+    PHYSICAL_QUBITS_PER_BLOCK,
+    hiqp_block_interaction_circuit,
+    hiqp_circuit,
+    hiqp_physical_circuit,
+    in_block_gate_physical_ops,
+    make_blocks,
+    transversal_cnot_physical_ops,
+)
+from repro.ftqc.code832 import X_STABILIZER, Z_STABILIZERS, stabilizer_weight_parity_ok
+
+
+class TestCodeBlock:
+    def test_code_parameters(self):
+        assert PHYSICAL_QUBITS_PER_BLOCK == 8
+        assert LOGICAL_QUBITS_PER_BLOCK == 3
+        assert BLOCK_ROWS * BLOCK_COLS == 8
+
+    def test_stabilizers_are_even_weight(self):
+        assert stabilizer_weight_parity_ok()
+        assert len(X_STABILIZER) == 8
+        for stab in Z_STABILIZERS:
+            assert len(stab) == 4
+
+    def test_make_blocks_disjoint_registers(self):
+        blocks = make_blocks(4)
+        qubits = [q for b in blocks for q in b.physical_qubits]
+        assert len(qubits) == len(set(qubits)) == 32
+        assert blocks[2].logical_qubits == (6, 7, 8)
+
+    def test_block_layout_is_2x4(self):
+        block = make_blocks(1)[0]
+        layout = block.physical_layout()
+        rows = {r for r, _ in layout.values()}
+        cols = {c for _, c in layout.values()}
+        assert rows == {0, 1}
+        assert cols == {0, 1, 2, 3}
+
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            CodeBlock(block_id=0, physical_qubits=(0, 1, 2))
+
+    def test_in_block_gate_is_transversal_tdg(self):
+        block = make_blocks(1)[0]
+        ops = in_block_gate_physical_ops(block)
+        assert len(ops) == 8
+        assert all(name == "tdg" for name, _ in ops)
+
+    def test_transversal_cnot_pairs_corresponding_qubits(self):
+        a, b = make_blocks(2)
+        ops = transversal_cnot_physical_ops(a, b)
+        assert len(ops) == 8
+        for _, control, target in ops:
+            assert target - control == 8
+
+
+class TestHIQPCircuit:
+    def test_paper_instance_counts(self):
+        model = hiqp_circuit(128)
+        assert model.num_logical_qubits == 384
+        assert model.num_physical_qubits == 1024
+        assert model.num_transversal_cnots == 448
+        assert len(model.cnot_layers) == 7
+        assert len(model.in_block_layers) == 8
+
+    def test_stride_doubles(self):
+        model = hiqp_circuit(8)
+        layers = model.block_pairs()
+        assert layers[0][0] == (0, 1)
+        assert layers[1][0] == (0, 2)
+        assert layers[2][0] == (0, 4)
+
+    def test_each_cnot_layer_is_a_perfect_matching(self):
+        model = hiqp_circuit(16)
+        for layer in model.block_pairs():
+            blocks = [b for pair in layer for b in pair]
+            assert sorted(blocks) == list(range(16))
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            hiqp_circuit(12)
+
+    def test_block_interaction_circuit(self):
+        circuit = hiqp_block_interaction_circuit(8)
+        assert circuit.num_qubits == 8
+        assert circuit.num_2q_gates == 3 * 4
+
+    def test_physical_expansion_small(self):
+        circuit = hiqp_physical_circuit(4)
+        assert circuit.num_qubits == 32
+        ops = circuit.count_ops()
+        assert ops["cx"] == 2 * 2 * 8  # 2 CNOT layers x 2 block pairs x 8 physical CNOTs
+        assert ops["tdg"] == 3 * 4 * 8  # 3 in-block layers x 4 blocks x 8 qubits
+        assert ops["h"] == 32
+
+
+class TestLogicalCompilation:
+    def test_small_instance(self):
+        result = LogicalBlockCompiler().compile_hiqp(8)
+        assert result.num_blocks == 8
+        assert result.num_transversal_cnots == 3 * 4
+        assert result.num_rydberg_stages >= 3
+        assert result.duration_us > 0
+
+    def test_paper_instance_stage_count(self):
+        """128 blocks on the 3x5-site logical architecture need 35 Rydberg stages."""
+        result = LogicalBlockCompiler().compile_hiqp(128)
+        assert result.num_rydberg_stages == 35
+        assert result.num_logical_qubits == 384
+        assert result.num_physical_qubits == 1024
+        summary = result.summary()
+        assert summary["num_transversal_cnots"] == 448

@@ -1,0 +1,156 @@
+"""Unit tests for repro.circuits.gates."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    Gate,
+    GateError,
+    cx,
+    cz,
+    is_identity,
+    matrix_to_u3,
+    single_qubit_matrix,
+    u3,
+    u3_matrix,
+)
+
+
+class TestGateConstruction:
+    def test_basic_fields(self):
+        gate = Gate("cz", (0, 1))
+        assert gate.num_qubits == 2
+        assert gate.is_two_qubit
+        assert not gate.is_single_qubit
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(GateError):
+            Gate("cz", (1, 1))
+
+    def test_empty_qubits_rejected(self):
+        with pytest.raises(GateError):
+            Gate("x", ())
+
+    def test_remapped(self):
+        gate = Gate("cz", (0, 1)).remapped({0: 5, 1: 7})
+        assert gate.qubits == (5, 7)
+
+    def test_convenience_constructors(self):
+        assert u3(1.0, 2.0, 3.0, 4).name == "u3"
+        assert cz(0, 1).qubits == (0, 1)
+        assert cx(2, 3).name == "cx"
+
+
+class TestSingleQubitMatrices:
+    def test_hadamard_is_unitary_and_self_inverse(self):
+        h = single_qubit_matrix(Gate("h", (0,)))
+        assert np.allclose(h @ h, np.eye(2), atol=1e-12)
+
+    def test_x_matrix(self):
+        x = single_qubit_matrix(Gate("x", (0,)))
+        assert np.allclose(x, [[0, 1], [1, 0]])
+
+    def test_s_squared_is_z(self):
+        s = single_qubit_matrix(Gate("s", (0,)))
+        z = single_qubit_matrix(Gate("z", (0,)))
+        assert np.allclose(s @ s, z)
+
+    def test_t_squared_is_s(self):
+        t = single_qubit_matrix(Gate("t", (0,)))
+        s = single_qubit_matrix(Gate("s", (0,)))
+        assert np.allclose(t @ t, s)
+
+    def test_rz_phase_relation(self):
+        rz = single_qubit_matrix(Gate("rz", (0,), (math.pi,)))
+        z = single_qubit_matrix(Gate("z", (0,)))
+        # Rz(pi) equals Z up to a global phase.
+        ratio = rz[0, 0] / z[0, 0]
+        assert np.allclose(rz, ratio * z)
+
+    def test_u2_is_u3_special_case(self):
+        a = single_qubit_matrix(Gate("u2", (0,), (0.3, 0.7)))
+        b = u3_matrix(math.pi / 2, 0.3, 0.7)
+        assert np.allclose(a, b)
+
+    def test_two_qubit_gate_rejected(self):
+        with pytest.raises(GateError):
+            single_qubit_matrix(Gate("cz", (0, 1)))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(GateError):
+            single_qubit_matrix(Gate("nonsense", (0,)))
+
+    @pytest.mark.parametrize(
+        "name", ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg"]
+    )
+    def test_all_fixed_gates_are_unitary(self, name):
+        matrix = single_qubit_matrix(Gate(name, (0,)))
+        assert np.allclose(matrix.conj().T @ matrix, np.eye(2), atol=1e-12)
+
+
+class TestU3Decomposition:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("h", ()),
+            ("x", ()),
+            ("t", ()),
+            ("sdg", ()),
+            ("rx", (0.7,)),
+            ("ry", (1.3,)),
+            ("rz", (-2.1,)),
+            ("u3", (0.5, 1.0, -0.75)),
+        ],
+    )
+    def test_roundtrip_named_gates(self, name, params):
+        matrix = single_qubit_matrix(Gate(name, (0,), params))
+        theta, phi, lam = matrix_to_u3(matrix)
+        rebuilt = u3_matrix(theta, phi, lam)
+        phase = matrix[np.unravel_index(np.argmax(np.abs(matrix)), (2, 2))]
+        rebuilt_ref = rebuilt[np.unravel_index(np.argmax(np.abs(matrix)), (2, 2))]
+        assert np.allclose(matrix / phase, rebuilt / rebuilt_ref, atol=1e-9)
+
+    def test_identity_detection(self):
+        assert is_identity(np.eye(2))
+        assert is_identity(np.exp(1j * 0.4) * np.eye(2))
+        assert not is_identity(single_qubit_matrix(Gate("x", (0,))))
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(GateError):
+            matrix_to_u3(np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(GateError):
+            matrix_to_u3(np.eye(3))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        theta=st.floats(0, math.pi),
+        phi=st.floats(-math.pi, math.pi),
+        lam=st.floats(-math.pi, math.pi),
+    )
+    def test_roundtrip_random_angles(self, theta, phi, lam):
+        matrix = u3_matrix(theta, phi, lam)
+        angles = matrix_to_u3(matrix)
+        rebuilt = u3_matrix(*angles)
+        # Compare up to global phase by normalising on the largest entry.
+        index = np.unravel_index(np.argmax(np.abs(matrix)), (2, 2))
+        assert abs(matrix[index]) > 1e-8
+        assert np.allclose(matrix / matrix[index], rebuilt / rebuilt[index], atol=1e-7)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.lists(st.floats(-3, 3), min_size=4, max_size=4))
+    def test_random_product_roundtrip(self, data):
+        a = u3_matrix(abs(data[0]), data[1], data[2])
+        b = u3_matrix(abs(data[3]), data[1] / 2, data[2] / 2)
+        product = a @ b
+        angles = matrix_to_u3(product)
+        rebuilt = u3_matrix(*angles)
+        index = np.unravel_index(np.argmax(np.abs(product)), (2, 2))
+        assert np.allclose(
+            product / product[index], rebuilt / rebuilt[index], atol=1e-7
+        )

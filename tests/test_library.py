@@ -1,0 +1,143 @@
+"""Unit tests for the benchmark circuit library."""
+
+import pytest
+
+from repro.circuits.library import (
+    PAPER_BENCHMARKS,
+    bernstein_vazirani,
+    cat_state,
+    cuccaro_adder,
+    get_benchmark,
+    ghz,
+    heisenberg_chain,
+    inverse_qft,
+    ising_chain,
+    knn,
+    multiplier,
+    qaoa_maxcut,
+    qft,
+    random_brickwork,
+    random_circuit,
+    seca,
+    swap_test,
+    w_state,
+)
+from repro.circuits.scheduling import preprocess
+
+
+class TestRegistry:
+    def test_all_seventeen_benchmarks_present(self):
+        assert len(PAPER_BENCHMARKS) == 17
+
+    @pytest.mark.parametrize("name", list(PAPER_BENCHMARKS))
+    def test_qubit_count_matches_name(self, name):
+        circuit = get_benchmark(name)
+        expected = int(name.rsplit("_n", 1)[1])
+        assert circuit.num_qubits == expected
+        assert circuit.name == name
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("does_not_exist")
+
+    @pytest.mark.parametrize("name", list(PAPER_BENCHMARKS))
+    def test_benchmarks_preprocess_cleanly(self, name):
+        staged = preprocess(get_benchmark(name))
+        staged.validate()
+        assert staged.num_2q_gates > 0
+
+
+class TestGenerators:
+    def test_bv_gate_structure(self):
+        circ = bernstein_vazirani(14)
+        # All-ones secret: 13 CNOTs sharing the ancilla.
+        assert circ.count_ops()["cx"] == 13
+        graph = circ.interaction_graph()
+        assert graph.degree(13) == 13
+
+    def test_bv_custom_secret(self):
+        circ = bernstein_vazirani(6, secret="10101")
+        assert circ.count_ops()["cx"] == 3
+
+    def test_bv_rejects_bad_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani(6, secret="111")
+
+    def test_ghz_and_cat_are_chains(self):
+        for factory in (ghz, cat_state):
+            circ = factory(10)
+            assert circ.count_ops()["cx"] == 9
+            assert circ.count_ops()["h"] == 1
+
+    def test_wstate_structure(self):
+        circ = w_state(8)
+        ops = circ.count_ops()
+        assert ops["cry"] == 7
+        assert ops["cx"] == 7
+
+    def test_ising_parallelism(self):
+        circ = ising_chain(20, steps=1)
+        staged = preprocess(circ)
+        # Even/odd bond layers each split into two CZ stages -> 4 stages total.
+        assert staged.num_rydberg_stages == 4
+        assert max(len(s.gates) for s in staged.rydberg_stages) >= 9
+
+    def test_ising_periodic_adds_bond(self):
+        open_chain = ising_chain(10, steps=1)
+        ring = ising_chain(10, steps=1, periodic=True)
+        assert ring.num_2q_gates == open_chain.num_2q_gates + 1
+
+    def test_qft_gate_count(self):
+        circ = qft(18, include_swaps=False)
+        assert circ.count_ops()["cp"] == 18 * 17 // 2
+
+    def test_qft_with_swaps(self):
+        assert qft(6).count_ops()["swap"] == 3
+
+    def test_inverse_qft_mirrors_qft(self):
+        forward = qft(6, include_swaps=False)
+        backward = inverse_qft(6, include_swaps=False)
+        assert forward.num_2q_gates == backward.num_2q_gates
+
+    def test_swap_test_requires_odd(self):
+        with pytest.raises(ValueError):
+            swap_test(10)
+
+    def test_swap_test_structure(self):
+        circ = swap_test(25)
+        assert circ.count_ops()["cswap"] == 12
+
+    def test_knn_structure(self):
+        circ = knn(31)
+        assert circ.count_ops()["cswap"] == 15
+
+    def test_multiplier_toffoli_heavy(self):
+        circ = multiplier(13)
+        assert circ.count_ops()["ccx"] > 5
+
+    def test_seca_has_rounds(self):
+        circ = seca(11)
+        assert circ.count_ops()["ccx"] >= 9
+
+    def test_adder_width(self):
+        circ = cuccaro_adder(4)
+        assert circ.num_qubits == 10
+
+    def test_qaoa_default_ring(self):
+        circ = qaoa_maxcut(8)
+        assert circ.count_ops()["rzz"] == 8
+
+    def test_heisenberg_has_two_body_terms(self):
+        circ = heisenberg_chain(6, steps=2)
+        ops = circ.count_ops()
+        assert ops["rxx"] == ops["rzz"] > 0
+
+    def test_random_circuit_determinism(self):
+        a = random_circuit(5, 30, seed=7)
+        b = random_circuit(5, 30, seed=7)
+        assert [g.name for g in a] == [g.name for g in b]
+        assert [g.qubits for g in a] == [g.qubits for g in b]
+
+    def test_random_brickwork_layers(self):
+        circ = random_brickwork(6, layers=4, seed=1)
+        assert circ.num_2q_gates == 2 * 2 + 3 * 2

@@ -1,0 +1,294 @@
+"""Unit tests for the ZAC placement components (cost, SA, reuse, matchings)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import RydbergSite, StorageTrap, reference_zoned_architecture
+from repro.core import ZACConfig
+from repro.core.model import GatePlacementEntry
+from repro.core.placement.annealing import anneal
+from repro.core.placement.cost import (
+    gate_cost,
+    initial_placement_cost,
+    nearest_gate_site,
+    sqrt_distance,
+    stage_weight,
+    storage_return_cost,
+)
+from repro.core.placement.gate_placement import (
+    GatePlacementError,
+    candidate_sites,
+    place_gates,
+)
+from repro.core.placement.initial import (
+    PlacementError,
+    sa_placement,
+    storage_rows_by_proximity,
+    trivial_placement,
+)
+from repro.core.placement.reuse import find_reuse_matching, shared_qubits
+from repro.core.placement.storage_placement import (
+    k_neighbourhood,
+    place_returning_qubits,
+)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return reference_zoned_architecture()
+
+
+class TestCostFunctions:
+    def test_stage_weights(self):
+        assert stage_weight(0) == 1.0
+        assert stage_weight(1) == pytest.approx(0.9)
+        assert stage_weight(50) == pytest.approx(0.1)
+
+    def test_paper_example_gate_cost(self):
+        """Section V-A worked example: cost of g0 at site (0, 0) is 4.05."""
+        site = (0.0, 19.0)
+        q0 = (13.0, 9.0)
+        q1 = (1.0, 9.0)
+        assert math.hypot(site[0] - q0[0], site[1] - q0[1]) == pytest.approx(16.40, abs=0.01)
+        assert math.hypot(site[0] - q1[0], site[1] - q1[1]) == pytest.approx(10.05, abs=0.01)
+        # Same storage row -> parallel movement -> max of the square roots.
+        assert gate_cost(site, q0, q1) == pytest.approx(4.05, abs=0.01)
+
+    def test_gate_cost_sum_when_rows_differ(self):
+        site = (0.0, 0.0)
+        a, b = (3.0, 4.0), (6.0, 8.0)
+        assert gate_cost(site, a, b) == pytest.approx(math.sqrt(5.0) + math.sqrt(10.0))
+
+    def test_sqrt_distance(self):
+        assert sqrt_distance((0.0, 0.0), (0.0, 16.0)) == pytest.approx(4.0)
+
+    def test_nearest_gate_site_middle(self, arch):
+        pos_a = arch.trap_position(StorageTrap(0, 99, 0))
+        pos_b = arch.trap_position(StorageTrap(0, 99, 99))
+        site = nearest_gate_site(arch, pos_a, pos_b)
+        near_a = arch.nearest_rydberg_site(*pos_a)
+        near_b = arch.nearest_rydberg_site(*pos_b)
+        assert site.col == (near_a.col + near_b.col) // 2
+
+    def test_storage_return_cost_lookahead(self):
+        base = storage_return_cost((0.0, 0.0), (0.0, 9.0), None)
+        with_related = storage_return_cost((0.0, 0.0), (0.0, 9.0), (0.0, 4.0), alpha=0.1)
+        assert with_related == pytest.approx(base + 0.1 * 2.0)
+
+    def test_initial_placement_cost_weights(self, arch):
+        positions = {
+            0: arch.trap_position(StorageTrap(0, 99, 0)),
+            1: arch.trap_position(StorageTrap(0, 99, 1)),
+        }
+        single = initial_placement_cost(arch, positions, [(1.0, 0, 1)])
+        halved = initial_placement_cost(arch, positions, [(0.5, 0, 1)])
+        assert halved == pytest.approx(single / 2)
+
+
+class TestAnnealingFramework:
+    def test_minimises_simple_quadratic(self):
+        state = {"x": 10.0}
+
+        def cost():
+            return (state["x"] - 3.0) ** 2
+
+        def propose(rng):
+            old = state["x"]
+            state["x"] = old + rng.uniform(-1.0, 1.0)
+
+            def undo():
+                state["x"] = old
+
+            return undo
+
+        result = anneal(cost, propose, iterations=2000, seed=1)
+        assert result.best_cost < 1.0
+        assert result.best_cost <= result.initial_cost
+        assert result.improvement > 0.9
+
+    def test_handles_no_proposals(self):
+        result = anneal(lambda: 5.0, lambda rng: None, iterations=10)
+        assert result.best_cost == 5.0
+        assert result.accepted_moves == 0
+
+
+class TestInitialPlacement:
+    def test_trivial_starts_in_row_nearest_entanglement_zone(self, arch):
+        placement = trivial_placement(arch, 5)
+        rows = storage_rows_by_proximity(arch)
+        assert all(trap.row == rows[0] for trap in placement.values())
+        assert [trap.col for trap in placement.values()] == [0, 1, 2, 3, 4]
+
+    def test_trivial_overflows_to_next_row(self, arch):
+        placement = trivial_placement(arch, 150)
+        assert len(set(placement.values())) == 150
+
+    def test_trivial_rejects_too_many_qubits(self, arch):
+        with pytest.raises(PlacementError):
+            trivial_placement(arch, arch.num_storage_traps + 1)
+
+    def test_sa_placement_no_worse_than_trivial(self, arch):
+        staged_gates = [[(0, 5)], [(1, 4)], [(2, 3)]]
+        from repro.core.placement.initial import weighted_gate_list
+
+        weighted = weighted_gate_list(staged_gates)
+
+        def cost_of(placement):
+            positions = {q: arch.trap_position(t) for q, t in placement.items()}
+            return initial_placement_cost(arch, positions, weighted)
+
+        trivial = trivial_placement(arch, 6)
+        config = ZACConfig(sa_iterations=300, seed=2)
+        annealed = sa_placement(arch, 6, staged_gates, config)
+        assert cost_of(annealed) <= cost_of(trivial) + 1e-9
+        assert len(set(annealed.values())) == 6
+
+    def test_sa_placement_deterministic_for_fixed_seed(self, arch):
+        staged_gates = [[(0, 3), (1, 2)]]
+        a = sa_placement(arch, 4, staged_gates, ZACConfig(sa_iterations=100, seed=7))
+        b = sa_placement(arch, 4, staged_gates, ZACConfig(sa_iterations=100, seed=7))
+        assert a == b
+
+    def test_sa_placement_trivial_when_no_gates(self, arch):
+        assert sa_placement(arch, 3, []) == trivial_placement(arch, 3)
+
+
+class TestReuseMatching:
+    def gate(self, qubits, site):
+        return GatePlacementEntry(qubits=qubits, site=site)
+
+    def test_shared_qubits(self):
+        assert shared_qubits((0, 1), (1, 2)) == [1]
+        assert shared_qubits((0, 1), (0, 1)) == [0, 1]
+        assert shared_qubits((0, 1), (2, 3)) == []
+
+    def test_empty_inputs(self):
+        assert find_reuse_matching([], [(0, 1)]) == []
+        assert find_reuse_matching([self.gate((0, 1), RydbergSite(0, 0, 0))], []) == []
+
+    def test_simple_chain(self):
+        prev = [self.gate((0, 1), RydbergSite(0, 0, 0))]
+        decisions = find_reuse_matching(prev, [(1, 2)])
+        assert len(decisions) == 1
+        assert decisions[0].reused_qubit == 1
+        assert decisions[0].prev_gate_index == 0
+
+    def test_conflicting_reuses_resolved_by_matching(self):
+        """Fig. 6a: both qubits of g0 reusable by different gates -> only one reuse per gate."""
+        prev = [
+            self.gate((0, 1), RydbergSite(0, 0, 0)),
+            self.gate((3, 4), RydbergSite(0, 0, 1)),
+        ]
+        nxt = [(1, 2), (3, 5), (0, 4)]
+        decisions = find_reuse_matching(prev, nxt)
+        assert len(decisions) == 2
+        assert len({d.prev_gate_index for d in decisions}) == 2
+        assert len({d.next_gate_index for d in decisions}) == 2
+
+    def test_maximum_cardinality(self):
+        prev = [
+            self.gate((0, 1), RydbergSite(0, 0, 0)),
+            self.gate((2, 3), RydbergSite(0, 0, 1)),
+            self.gate((4, 5), RydbergSite(0, 0, 2)),
+        ]
+        nxt = [(1, 2), (3, 4), (5, 0)]
+        decisions = find_reuse_matching(prev, nxt)
+        assert len(decisions) == 3
+
+
+class TestGatePlacement:
+    def test_candidate_window_clipping(self, arch):
+        sites = candidate_sites(arch, RydbergSite(0, 0, 0), expansion=1)
+        assert len(sites) == 4  # 2 rows x 2 cols at the corner
+
+    def test_places_each_gate_on_distinct_free_site(self, arch):
+        positions = {
+            q: arch.trap_position(StorageTrap(0, 99, q)) for q in range(6)
+        }
+        gates = [(0, 1), (2, 3), (4, 5)]
+        sites, cost = place_gates(arch, gates, positions, occupied_sites=set())
+        assert len(sites) == 3
+        assert len(set(sites)) == 3
+        assert cost > 0
+
+    def test_respects_occupied_sites(self, arch):
+        positions = {q: arch.trap_position(StorageTrap(0, 99, q)) for q in range(2)}
+        occupied = {s for s in arch.iter_rydberg_sites() if s != RydbergSite(0, 6, 19)}
+        sites, _ = place_gates(arch, [(0, 1)], positions, occupied_sites=occupied)
+        assert sites == [RydbergSite(0, 6, 19)]
+
+    def test_too_many_gates_raises(self, arch):
+        positions = {q: arch.trap_position(StorageTrap(0, 99, q % 100)) for q in range(4)}
+        occupied = set(arch.iter_rydberg_sites())
+        with pytest.raises(GatePlacementError):
+            place_gates(arch, [(0, 1), (2, 3)], positions, occupied_sites=occupied)
+
+    def test_empty_gate_list(self, arch):
+        assert place_gates(arch, [], {}, occupied_sites=set()) == ([], 0.0)
+
+    def test_nearby_qubits_get_nearby_sites(self, arch):
+        # Qubits under the left edge of the zone should be placed on the left side.
+        positions = {0: (35.0, 297.0), 1: (38.0, 297.0)}
+        sites, _ = place_gates(arch, [(0, 1)], positions, occupied_sites=set())
+        assert sites[0].col <= 2
+        assert sites[0].row == 0
+
+
+class TestStoragePlacement:
+    def test_k_neighbourhood_size(self, arch):
+        centre = StorageTrap(0, 50, 50)
+        assert len(k_neighbourhood(arch, centre, 1)) == 5
+        corner = StorageTrap(0, 0, 0)
+        assert len(k_neighbourhood(arch, corner, 1)) == 3
+
+    def test_returns_to_home_when_nothing_better(self, arch):
+        home = {0: StorageTrap(0, 99, 0)}
+        positions = {0: arch.site_position(RydbergSite(0, 0, 0))}
+        occupied = {StorageTrap(0, 99, 0)}
+        assignment, cost = place_returning_qubits(
+            arch, [0], positions, home, {0: None}, occupied
+        )
+        assert assignment[0].zone_index == 0
+        assert cost > 0
+
+    def test_distinct_traps_for_multiple_qubits(self, arch):
+        home = {q: StorageTrap(0, 99, q) for q in range(4)}
+        positions = {q: arch.site_position(RydbergSite(0, 0, q)) for q in range(4)}
+        occupied = set(home.values())
+        assignment, _ = place_returning_qubits(
+            arch, list(range(4)), positions, home, {q: None for q in range(4)}, occupied
+        )
+        assert len(set(assignment.values())) == 4
+
+    def test_related_qubit_pulls_assignment_closer(self, arch):
+        home = {0: StorageTrap(0, 99, 0)}
+        positions = {0: arch.site_position(RydbergSite(0, 0, 10))}
+        related = arch.trap_position(StorageTrap(0, 99, 60))
+        occupied = {StorageTrap(0, 99, 0)}
+        with_related, _ = place_returning_qubits(
+            arch, [0], positions, home, {0: related}, occupied, alpha=1.0
+        )
+        without_related, _ = place_returning_qubits(
+            arch, [0], positions, home, {0: None}, occupied
+        )
+        rel_col = 60
+        assert abs(with_related[0].col - rel_col) <= abs(without_related[0].col - rel_col)
+
+    def test_empty_input(self, arch):
+        assert place_returning_qubits(arch, [], {}, {}, {}, set()) == ({}, 0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(1, 8))
+    def test_property_all_assigned_traps_unique_and_unoccupied(self, arch, n):
+        home = {q: StorageTrap(0, 99, q) for q in range(n)}
+        positions = {q: arch.site_position(RydbergSite(0, 0, q % 20)) for q in range(n)}
+        occupied = set(home.values()) | {StorageTrap(0, 98, c) for c in range(50)}
+        assignment, _ = place_returning_qubits(
+            arch, list(range(n)), positions, home, {q: None for q in range(n)}, occupied
+        )
+        assert len(set(assignment.values())) == n
+        for qubit, trap in assignment.items():
+            assert trap == home[qubit] or trap not in occupied

@@ -1,0 +1,74 @@
+"""Unit tests for the OpenQASM 2.0 reader/writer."""
+
+import math
+
+import pytest
+
+from repro.circuits import qasm
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import qft
+
+EXAMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+rz(pi/4) q[2];
+ccx q[0], q[1], q[2];
+barrier q[0], q[1];
+measure q[0] -> c[0];
+"""
+
+
+class TestParsing:
+    def test_parses_example(self):
+        circ = qasm.loads(EXAMPLE)
+        assert circ.num_qubits == 3
+        assert [g.name for g in circ] == ["h", "cx", "rz", "ccx"]
+        assert circ.gates[2].params[0] == pytest.approx(math.pi / 4)
+
+    def test_rejects_unknown_gate(self):
+        with pytest.raises(qasm.QASMError):
+            qasm.loads("qreg q[1]; bogus q[0];")
+
+    def test_rejects_missing_qreg(self):
+        with pytest.raises(qasm.QASMError):
+            qasm.loads("h q[0];")
+
+    def test_rejects_unknown_register(self):
+        with pytest.raises(qasm.QASMError):
+            qasm.loads("qreg q[2]; h r[0];")
+
+    def test_parameter_expressions(self):
+        circ = qasm.loads("qreg q[1]; rz(2*pi/8) q[0]; rx(-0.5) q[0];")
+        assert circ.gates[0].params[0] == pytest.approx(math.pi / 4)
+        assert circ.gates[1].params[0] == pytest.approx(-0.5)
+
+
+class TestRoundtrip:
+    def test_dumps_loads_roundtrip(self):
+        circ = QuantumCircuit(3, name="rt")
+        circ.h(0)
+        circ.cp(0.3, 0, 1)
+        circ.ccx(0, 1, 2)
+        text = qasm.dumps(circ)
+        parsed = qasm.loads(text)
+        assert parsed.num_qubits == 3
+        assert [g.name for g in parsed] == [g.name for g in circ]
+        assert [g.qubits for g in parsed] == [g.qubits for g in circ]
+
+    def test_qft_roundtrip_preserves_counts(self):
+        circ = qft(5)
+        parsed = qasm.loads(qasm.dumps(circ))
+        assert parsed.count_ops() == circ.count_ops()
+
+    def test_file_roundtrip(self, tmp_path):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.cz(0, 1)
+        path = tmp_path / "circ.qasm"
+        qasm.dump(circ, str(path))
+        loaded = qasm.load(str(path))
+        assert [g.name for g in loaded] == ["h", "cz"]

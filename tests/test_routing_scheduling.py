@@ -1,0 +1,168 @@
+"""Unit tests for movement routing (conflicts, jobs) and AOD scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import RydbergSite, StorageTrap, reference_zoned_architecture
+from repro.core.model import LEFT, RIGHT, Location, Movement
+from repro.core.routing.conflicts import conflict_graph, movements_compatible
+from repro.core.routing.jobs import build_jobs, movements_to_job, partition_movements
+from repro.core.scheduling.load_balance import schedule_epoch
+from repro.zair import validate_job_ordering
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return reference_zoned_architecture()
+
+
+def storage(row, col):
+    return Location.at_storage(StorageTrap(0, row, col))
+
+
+def site(row, col, side=LEFT):
+    return Location.at_site(RydbergSite(0, row, col), side)
+
+
+class TestCompatibility:
+    def test_parallel_movements_compatible(self, arch):
+        a = Movement(0, storage(99, 0), site(0, 0, LEFT))
+        b = Movement(1, storage(99, 10), site(0, 1, LEFT))
+        assert movements_compatible(arch, a, b)
+
+    def test_crossing_movements_incompatible(self, arch):
+        a = Movement(0, storage(99, 0), site(0, 5, LEFT))
+        b = Movement(1, storage(99, 10), site(0, 1, LEFT))
+        assert not movements_compatible(arch, a, b)
+
+    def test_row_merge_incompatible(self, arch):
+        # Different storage rows ending at the same y coordinate.
+        a = Movement(0, storage(99, 0), site(0, 0, LEFT))
+        b = Movement(1, storage(98, 5), site(0, 1, LEFT))
+        assert not movements_compatible(arch, a, b)
+
+    def test_same_column_split_incompatible(self, arch):
+        # Same storage column (same x) ending at different x coordinates.
+        a = Movement(0, storage(99, 0), site(0, 0, LEFT))
+        b = Movement(1, storage(98, 0), site(0, 3, LEFT))
+        assert not movements_compatible(arch, a, b)
+
+    def test_conflict_graph_symmetry(self, arch):
+        movements = [
+            Movement(0, storage(99, 0), site(0, 5, LEFT)),
+            Movement(1, storage(99, 10), site(0, 1, LEFT)),
+            Movement(2, storage(99, 20), site(0, 6, LEFT)),
+        ]
+        adjacency = conflict_graph(arch, movements)
+        for i, neighbours in enumerate(adjacency):
+            for j in neighbours:
+                assert i in adjacency[j]
+
+
+class TestJobPartitioning:
+    def test_empty_epoch(self, arch):
+        assert partition_movements(arch, []) == []
+        assert build_jobs(arch, []) == []
+
+    def test_compatible_epoch_single_job(self, arch):
+        movements = [
+            Movement(q, storage(99, q * 3), site(0, q, LEFT)) for q in range(5)
+        ]
+        groups = partition_movements(arch, movements)
+        assert len(groups) == 1
+        assert len(groups[0]) == 5
+
+    def test_groups_are_internally_compatible(self, arch):
+        movements = [
+            Movement(0, storage(99, 0), site(0, 5, LEFT)),
+            Movement(1, storage(99, 10), site(0, 1, LEFT)),
+            Movement(2, storage(99, 20), site(0, 6, LEFT)),
+            Movement(3, storage(98, 5), site(1, 0, LEFT)),
+        ]
+        groups = partition_movements(arch, movements)
+        assert sum(len(g) for g in groups) == len(movements)
+        for group in groups:
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    assert movements_compatible(arch, group[i], group[j])
+
+    def test_jobs_pass_zair_ordering_validation(self, arch):
+        movements = [
+            Movement(0, storage(99, 0), site(0, 5, LEFT)),
+            Movement(1, storage(99, 10), site(0, 1, LEFT)),
+            Movement(2, storage(99, 20), site(0, 6, RIGHT)),
+        ]
+        for job in build_jobs(arch, movements):
+            validate_job_ordering(arch, job)
+            assert job.insts  # lowered machine instructions present
+
+    def test_movements_to_job_preserves_qubits(self, arch):
+        movements = [Movement(7, storage(99, 0), site(0, 0, LEFT))]
+        job = movements_to_job(arch, movements, aod_id=2)
+        assert job.aod_id == 2
+        assert job.qubits == [7]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(2, 12))
+    def test_property_partition_is_exact_cover(self, arch, seed, n):
+        import random
+
+        rng = random.Random(seed)
+        cols = rng.sample(range(60), n)
+        sites = rng.sample(range(20), n)
+        movements = [
+            Movement(q, storage(99, cols[q]), site(0, sites[q], LEFT)) for q in range(n)
+        ]
+        groups = partition_movements(arch, movements)
+        flattened = [m.qubit for g in groups for m in g]
+        assert sorted(flattened) == list(range(n))
+        for group in groups:
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    assert movements_compatible(arch, group[i], group[j])
+
+
+class TestLoadBalancing:
+    def test_empty(self):
+        assert schedule_epoch([], 2) == ([], 0.0)
+
+    def test_single_aod_is_sequential(self):
+        schedules, makespan = schedule_epoch([3.0, 1.0, 2.0], 1)
+        assert makespan == pytest.approx(6.0)
+        spans = sorted((s.start, s.end) for s in schedules)
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert b_start >= a_end - 1e-9
+
+    def test_two_aods_balance(self):
+        schedules, makespan = schedule_epoch([4.0, 3.0, 2.0, 1.0], 2)
+        assert makespan == pytest.approx(5.0)
+        assert {s.aod_id for s in schedules} == {0, 1}
+
+    def test_more_aods_never_hurt(self):
+        durations = [5.0, 4.0, 3.0, 2.0, 1.0]
+        makespans = [schedule_epoch(durations, k)[1] for k in range(1, 5)]
+        assert all(a >= b - 1e-9 for a, b in zip(makespans, makespans[1:]))
+        assert makespans[0] == pytest.approx(sum(durations))
+
+    def test_rejects_zero_aods(self):
+        with pytest.raises(ValueError):
+            schedule_epoch([1.0], 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        durations=st.lists(st.floats(0.1, 100.0), min_size=1, max_size=12),
+        num_aods=st.integers(1, 4),
+    )
+    def test_property_makespan_bounds(self, durations, num_aods):
+        schedules, makespan = schedule_epoch(durations, num_aods)
+        assert makespan >= max(durations) - 1e-9
+        assert makespan <= sum(durations) + 1e-9
+        # Jobs on the same AOD never overlap.
+        by_aod = {}
+        for s in schedules:
+            by_aod.setdefault(s.aod_id, []).append((s.start, s.end))
+        for spans in by_aod.values():
+            spans.sort()
+            for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+                assert b_start >= a_end - 1e-9

@@ -1,0 +1,129 @@
+"""Unit tests for ASAP stage scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import random_circuit
+from repro.circuits.scheduling import (
+    OneQStage,
+    RydbergStage,
+    SchedulingError,
+    preprocess,
+    schedule_stages,
+    split_oversized_stages,
+)
+from repro.circuits.synthesis import resynthesize
+
+
+class TestScheduleStages:
+    def test_rejects_unresynthesized_input(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        with pytest.raises(SchedulingError):
+            schedule_stages(circ)
+
+    def test_alternating_structure(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.h(2)
+        circ.cx(1, 2)
+        staged = preprocess(circ)
+        staged.validate()
+        assert staged.num_rydberg_stages == 2
+        assert staged.num_2q_gates == 2
+
+    def test_qubit_disjointness_per_stage(self):
+        circ = QuantumCircuit(4)
+        circ.cz(0, 1)
+        circ.cz(2, 3)
+        circ.cz(0, 2)
+        staged = preprocess(circ)
+        first = staged.rydberg_stages[0]
+        assert len(first.gates) == 2
+        assert len(first.qubits) == 4
+        second = staged.rydberg_stages[1]
+        assert second.pairs == [(0, 2)]
+
+    def test_parallel_gates_in_one_stage(self):
+        circ = QuantumCircuit(6)
+        for q in range(0, 6, 2):
+            circ.cz(q, q + 1)
+        staged = preprocess(circ)
+        assert staged.num_rydberg_stages == 1
+        assert len(staged.rydberg_stages[0].gates) == 3
+
+    def test_dependency_order_preserved(self):
+        circ = QuantumCircuit(2)
+        circ.cz(0, 1)
+        circ.h(0)
+        circ.cz(0, 1)
+        staged = preprocess(circ)
+        kinds = [type(s).__name__ for s in staged.stages]
+        assert kinds == ["RydbergStage", "OneQStage", "RydbergStage"]
+
+    def test_gate_counts_preserved(self):
+        circ = random_circuit(6, 40, seed=3)
+        native = resynthesize(circ)
+        staged = schedule_stages(native)
+        assert staged.num_2q_gates == native.num_2q_gates
+        assert staged.num_1q_gates == native.num_1q_gates
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), num_qubits=st.integers(2, 8))
+    def test_property_stage_invariants(self, seed, num_qubits):
+        circ = random_circuit(num_qubits, 30, seed=seed)
+        staged = preprocess(circ)
+        staged.validate()
+        # Per-qubit CZ order must match the resynthesized circuit's order.
+        native = resynthesize(circ)
+        expected = [tuple(sorted(g.qubits)) for g in native if g.name == "cz"]
+        produced = []
+        for stage in staged.rydberg_stages:
+            produced.extend(sorted(tuple(sorted(p)) for p in stage.pairs))
+        assert sorted(expected) == sorted(produced)
+
+
+class TestSplitOversizedStages:
+    def test_splits_when_over_capacity(self):
+        circ = QuantumCircuit(10)
+        for q in range(0, 10, 2):
+            circ.cz(q, q + 1)
+        staged = preprocess(circ)
+        assert len(staged.rydberg_stages[0].gates) == 5
+        split = split_oversized_stages(staged, capacity=2)
+        sizes = [len(s.gates) for s in split.rydberg_stages]
+        assert sizes == [2, 2, 1]
+        assert split.num_2q_gates == staged.num_2q_gates
+
+    def test_no_change_when_under_capacity(self):
+        circ = QuantumCircuit(4)
+        circ.cz(0, 1)
+        circ.cz(2, 3)
+        staged = preprocess(circ)
+        split = split_oversized_stages(staged, capacity=10)
+        assert len(split.stages) == len(staged.stages)
+
+    def test_rejects_nonpositive_capacity(self):
+        circ = QuantumCircuit(2)
+        circ.cz(0, 1)
+        with pytest.raises(SchedulingError):
+            split_oversized_stages(preprocess(circ), capacity=0)
+
+
+class TestStageContainers:
+    def test_one_q_stage_qubits(self):
+        from repro.circuits.gates import Gate
+
+        stage = OneQStage([Gate("u3", (1,), (0.1, 0.2, 0.3)), Gate("u3", (4,), (0.0, 0.0, 0.0))])
+        assert stage.qubits == {1, 4}
+        assert len(stage) == 2
+
+    def test_rydberg_stage_pairs(self):
+        from repro.circuits.gates import Gate
+
+        stage = RydbergStage([Gate("cz", (0, 3)), Gate("cz", (5, 2))])
+        assert stage.pairs == [(0, 3), (5, 2)]
+        assert stage.qubits == {0, 2, 3, 5}

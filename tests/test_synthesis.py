@@ -1,0 +1,148 @@
+"""Unit tests for resynthesis to the {CZ, U3} gate set."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import random_circuit
+from repro.circuits.synthesis import (
+    SynthesisError,
+    circuit_unitary,
+    decompose_to_cz,
+    merge_single_qubit_runs,
+    resynthesize,
+)
+
+
+def unitaries_equal_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-7) -> bool:
+    index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    if abs(a[index]) < 1e-9 or abs(b[index]) < 1e-9:
+        return False
+    return np.allclose(a / a[index], b / b[index], atol=atol)
+
+
+def build(num_qubits, ops):
+    circ = QuantumCircuit(num_qubits)
+    for name, qubits, params in ops:
+        circ.add(name, *qubits, params=params)
+    return circ
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "ops,num_qubits",
+        [
+            ([("cx", (0, 1), ())], 2),
+            ([("swap", (0, 1), ())], 2),
+            ([("cy", (0, 1), ())], 2),
+            ([("ch", (0, 1), ())], 2),
+            ([("cp", (0, 1), (0.7,))], 2),
+            ([("crz", (0, 1), (1.1,))], 2),
+            ([("cry", (0, 1), (0.9,))], 2),
+            ([("crx", (0, 1), (0.4,))], 2),
+            ([("rzz", (0, 1), (0.8,))], 2),
+            ([("rxx", (0, 1), (0.6,))], 2),
+            ([("iswap", (0, 1), ())], 2),
+            ([("ccx", (0, 1, 2), ())], 3),
+            ([("ccz", (0, 1, 2), ())], 3),
+            ([("cswap", (0, 1, 2), ())], 3),
+        ],
+    )
+    def test_decomposition_preserves_unitary(self, ops, num_qubits):
+        original = build(num_qubits, ops)
+        decomposed = decompose_to_cz(original)
+        assert all(g.name == "cz" or g.num_qubits == 1 for g in decomposed)
+        u_orig = circuit_unitary(_expand_for_reference(original))
+        u_new = circuit_unitary(decomposed)
+        assert unitaries_equal_up_to_phase(u_orig, u_new)
+
+    def test_unknown_gate_raises(self):
+        from repro.circuits.gates import Gate
+
+        circ = QuantumCircuit(4)
+        # Bypass add() validation to simulate a foreign gate name.
+        circ._gates.append(Gate("weird4q", (0, 1, 2, 3)))
+        with pytest.raises(SynthesisError):
+            decompose_to_cz(circ)
+
+
+def _expand_for_reference(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Expand gates unsupported by circuit_unitary into cx/cz/1q first."""
+    return decompose_to_cz(circuit)
+
+
+class TestMerging:
+    def test_merges_run_into_single_u3(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        circ.t(0)
+        circ.h(0)
+        merged = merge_single_qubit_runs(circ)
+        assert len(merged) == 1
+        assert merged.gates[0].name == "u3"
+
+    def test_identity_run_removed(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        circ.h(0)
+        merged = merge_single_qubit_runs(circ)
+        assert len(merged) == 0
+
+    def test_cz_flushes_pending(self):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.cz(0, 1)
+        circ.h(0)
+        merged = merge_single_qubit_runs(circ)
+        names = [g.name for g in merged]
+        assert names == ["u3", "cz", "u3"]
+
+    def test_rejects_non_cz_two_qubit(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        with pytest.raises(SynthesisError):
+            merge_single_qubit_runs(circ)
+
+
+class TestResynthesis:
+    def test_output_gate_set(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.ccx(0, 1, 2)
+        circ.cp(0.3, 1, 2)
+        out = resynthesize(circ)
+        assert set(g.name for g in out) <= {"u3", "cz"}
+
+    def test_preserves_unitary_small(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.ccx(0, 1, 2)
+        circ.rz(0.3, 2)
+        out = resynthesize(circ)
+        reference = circuit_unitary(decompose_to_cz(circ))
+        produced = circuit_unitary(out)
+        assert unitaries_equal_up_to_phase(reference, produced)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_circuits_preserve_unitary(self, seed):
+        circ = random_circuit(3, 12, two_qubit_fraction=0.4, seed=seed)
+        out = resynthesize(circ)
+        assert set(g.name for g in out) <= {"u3", "cz"}
+        reference = circuit_unitary(decompose_to_cz(circ))
+        produced = circuit_unitary(out)
+        assert unitaries_equal_up_to_phase(reference, produced)
+
+    def test_resynthesis_never_increases_2q_count_for_native_circuits(self):
+        circ = QuantumCircuit(4)
+        for _ in range(3):
+            circ.cz(0, 1)
+            circ.cz(2, 3)
+            circ.rz(0.1, 0)
+        out = resynthesize(circ)
+        assert out.num_2q_gates == circ.num_2q_gates

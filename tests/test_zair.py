@@ -1,0 +1,248 @@
+"""Unit tests for ZAIR instructions, programs, lowering and validation."""
+
+import pytest
+
+from repro.arch import RydbergSite, StorageTrap, reference_zoned_architecture
+from repro.core.model import LEFT, RIGHT, Location, location_qloc
+from repro.zair import (
+    ActivateInst,
+    DeactivateInst,
+    InitInst,
+    MoveInst,
+    OneQGateInst,
+    QLoc,
+    RearrangeJob,
+    RydbergInst,
+    ValidationError,
+    ZAIRProgram,
+    job_duration_us,
+    job_max_distance_um,
+    job_total_distance_um,
+    lower_job,
+    qloc_position,
+    validate_job_ordering,
+    validate_program,
+)
+from repro.fidelity import NEUTRAL_ATOM, movement_time_us
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return reference_zoned_architecture()
+
+
+def storage_qloc(qubit, row, col):
+    return QLoc(qubit, 0, row, col)
+
+
+def make_job(arch, pairs):
+    """Build a job from (qubit, begin(row,col in storage), end(site row,col, side))."""
+    begin, end = [], []
+    for qubit, (brow, bcol), (srow, scol, side) in pairs:
+        begin.append(storage_qloc(qubit, brow, bcol))
+        end.append(
+            location_qloc(arch, qubit, Location.at_site(RydbergSite(0, srow, scol), side))
+        )
+    return RearrangeJob(aod_id=0, begin_locs=begin, end_locs=end)
+
+
+class TestInstructions:
+    def test_qloc_list_roundtrip(self):
+        loc = QLoc(3, 1, 4, 5)
+        assert QLoc.from_list(loc.to_list()) == loc
+        assert loc.trap == (1, 4, 5)
+
+    def test_rearrange_job_shape_check(self):
+        with pytest.raises(ValueError):
+            RearrangeJob(begin_locs=[QLoc(0, 0, 0, 0)], end_locs=[])
+
+    def test_rearrange_job_qubit_order_check(self):
+        with pytest.raises(ValueError):
+            RearrangeJob(
+                begin_locs=[QLoc(0, 0, 0, 0), QLoc(1, 0, 0, 1)],
+                end_locs=[QLoc(1, 1, 0, 0), QLoc(0, 2, 0, 0)],
+            )
+
+    def test_instruction_dict_forms(self):
+        init = InitInst(init_locs=[QLoc(0, 0, 0, 0)])
+        assert init.to_dict()["type"] == "init"
+        ryd = RydbergInst(zone_id=0, gates=[(0, 1)])
+        assert ryd.to_dict()["gates"] == [[0, 1]]
+        one_q = OneQGateInst(locs=[QLoc(0, 0, 0, 0)], unitaries=[(0.1, 0.2, 0.3)])
+        assert one_q.num_gates == 1
+        move = MoveInst(row_id=[0], row_y_begin=[0.0], row_y_end=[5.0])
+        assert move.max_displacement_um == 5.0
+        assert ActivateInst().to_dict()["type"] == "activate"
+        assert DeactivateInst().to_dict()["type"] == "deactivate"
+
+    def test_job_duration_property(self):
+        job = RearrangeJob(begin_time=10.0, end_time=25.0)
+        assert job.duration_us == 15.0
+
+
+class TestLowering:
+    def test_positions(self, arch):
+        assert qloc_position(arch, QLoc(0, 0, 99, 1)) == (3.0, 297.0)
+        assert qloc_position(arch, QLoc(0, 1, 0, 0)) == (35.0, 307.0)
+
+    def test_distances_and_duration(self, arch):
+        job = make_job(arch, [(0, (99, 0), (0, 0, LEFT))])
+        distance = job_max_distance_um(arch, job)
+        assert distance == pytest.approx((35.0**2 + 10.0**2) ** 0.5)
+        assert job_total_distance_um(arch, job) == pytest.approx(distance)
+        expected = 2 * NEUTRAL_ATOM.t_transfer_us + movement_time_us(distance)
+        assert job_duration_us(arch, job) == pytest.approx(expected)
+
+    def test_lowering_single_row_pickup(self, arch):
+        job = make_job(arch, [(0, (99, 0), (0, 0, LEFT)), (1, (99, 3), (0, 0, RIGHT))])
+        insts = lower_job(arch, job)
+        kinds = [type(i).__name__ for i in insts]
+        assert kinds == ["ActivateInst", "MoveInst", "DeactivateInst"]
+        activate = insts[0]
+        assert len(activate.col_id) == 2
+
+    def test_lowering_multi_row_pickup_inserts_parking(self, arch):
+        job = make_job(
+            arch,
+            [(0, (99, 0), (0, 0, LEFT)), (1, (98, 5), (0, 1, LEFT))],
+        )
+        insts = lower_job(arch, job)
+        kinds = [type(i).__name__ for i in insts]
+        # Two activations (one per source row) with a parking move between them.
+        assert kinds.count("ActivateInst") == 2
+        assert kinds.count("MoveInst") >= 2
+        assert kinds[-1] == "DeactivateInst"
+
+    def test_empty_job_lowers_to_nothing(self, arch):
+        assert lower_job(arch, RearrangeJob()) == []
+
+
+class TestJobOrderingValidation:
+    def test_compatible_job_passes(self, arch):
+        job = make_job(arch, [(0, (99, 0), (0, 0, LEFT)), (1, (99, 10), (0, 1, LEFT))])
+        validate_job_ordering(arch, job)
+
+    def test_crossing_columns_rejected(self, arch):
+        job = make_job(arch, [(0, (99, 0), (0, 5, LEFT)), (1, (99, 10), (0, 1, LEFT))])
+        with pytest.raises(ValidationError):
+            validate_job_ordering(arch, job)
+
+    def test_column_merge_rejected(self, arch):
+        # Two qubits start in different AOD columns but end at the same x.
+        begin = [storage_qloc(0, 99, 0), storage_qloc(1, 99, 10)]
+        end = [storage_qloc(0, 50, 5), storage_qloc(1, 51, 5)]
+        with pytest.raises(ValidationError):
+            validate_job_ordering(arch, RearrangeJob(begin_locs=begin, end_locs=end))
+
+    def test_shared_row_must_stay_shared(self, arch):
+        begin = [storage_qloc(0, 99, 0), storage_qloc(1, 99, 10)]
+        end = [storage_qloc(0, 98, 0), storage_qloc(1, 97, 10)]
+        with pytest.raises(ValidationError):
+            validate_job_ordering(arch, RearrangeJob(begin_locs=begin, end_locs=end))
+
+
+class TestProgramValidation:
+    def build_valid_program(self, arch):
+        program = ZAIRProgram(num_qubits=2, architecture_name=arch.name)
+        program.instructions.append(
+            InitInst(init_locs=[storage_qloc(0, 99, 0), storage_qloc(1, 99, 1)])
+        )
+        job = make_job(arch, [(0, (99, 0), (0, 0, LEFT)), (1, (99, 1), (0, 0, RIGHT))])
+        program.instructions.append(job)
+        program.instructions.append(RydbergInst(zone_id=0, gates=[(0, 1)]))
+        return program
+
+    def test_valid_program_passes(self, arch):
+        validate_program(arch, self.build_valid_program(arch))
+
+    def test_program_must_start_with_init(self, arch):
+        program = ZAIRProgram(num_qubits=1)
+        program.instructions.append(RydbergInst())
+        with pytest.raises(ValidationError):
+            validate_program(arch, program)
+
+    def test_duplicate_init_trap_rejected(self, arch):
+        program = ZAIRProgram(num_qubits=2)
+        program.instructions.append(
+            InitInst(init_locs=[storage_qloc(0, 0, 0), storage_qloc(1, 0, 0)])
+        )
+        with pytest.raises(ValidationError):
+            validate_program(arch, program)
+
+    def test_pickup_from_wrong_trap_rejected(self, arch):
+        program = self.build_valid_program(arch)
+        bad_job = make_job(arch, [(0, (98, 0), (0, 1, LEFT))])
+        program.instructions.append(bad_job)
+        with pytest.raises(ValidationError):
+            validate_program(arch, program)
+
+    def test_dropoff_on_occupied_trap_rejected(self, arch):
+        program = ZAIRProgram(num_qubits=2)
+        program.instructions.append(
+            InitInst(init_locs=[storage_qloc(0, 99, 0), storage_qloc(1, 99, 1)])
+        )
+        job = RearrangeJob(
+            begin_locs=[storage_qloc(0, 99, 0)],
+            end_locs=[storage_qloc(0, 99, 1)],
+        )
+        program.instructions.append(job)
+        with pytest.raises(ValidationError):
+            validate_program(arch, program)
+
+    def test_rydberg_on_mismatched_sites_rejected(self, arch):
+        program = ZAIRProgram(num_qubits=2)
+        program.instructions.append(
+            InitInst(init_locs=[storage_qloc(0, 99, 0), storage_qloc(1, 99, 1)])
+        )
+        job = make_job(arch, [(0, (99, 0), (0, 0, LEFT)), (1, (99, 1), (0, 1, RIGHT))])
+        program.instructions.append(job)
+        program.instructions.append(RydbergInst(zone_id=0, gates=[(0, 1)]))
+        with pytest.raises(ValidationError):
+            validate_program(arch, program)
+
+    def test_rydberg_on_storage_qubits_rejected(self, arch):
+        program = ZAIRProgram(num_qubits=2)
+        program.instructions.append(
+            InitInst(init_locs=[storage_qloc(0, 99, 0), storage_qloc(1, 99, 1)])
+        )
+        program.instructions.append(RydbergInst(zone_id=0, gates=[(0, 1)]))
+        with pytest.raises(ValidationError):
+            validate_program(arch, program)
+
+
+class TestProgramStatistics:
+    def test_counts_and_final_locations(self, arch):
+        program = ZAIRProgram(num_qubits=2)
+        program.instructions.append(
+            InitInst(init_locs=[storage_qloc(0, 99, 0), storage_qloc(1, 99, 1)])
+        )
+        job = make_job(arch, [(0, (99, 0), (0, 0, LEFT)), (1, (99, 1), (0, 0, RIGHT))])
+        job.begin_time, job.end_time = 0.0, 100.0
+        program.instructions.append(job)
+        program.instructions.append(
+            RydbergInst(zone_id=0, gates=[(0, 1)], begin_time=100.0, end_time=100.36)
+        )
+        program.instructions.append(
+            OneQGateInst(
+                locs=[location_qloc(arch, 0, Location.at_site(RydbergSite(0, 0, 0), LEFT))],
+                unitaries=[(0.0, 0.0, 0.0)],
+                begin_time=100.36,
+                end_time=152.36,
+            )
+        )
+        assert program.num_rydberg_stages == 1
+        assert program.num_2q_gates == 1
+        assert program.num_1q_gates == 1
+        assert program.num_movements == 2
+        assert program.duration_us == pytest.approx(152.36)
+        assert program.num_zair_instructions == 3
+        final = program.final_locations()
+        assert final[0].slm_id == 1
+        assert final[1].slm_id == 2
+        text = program.to_json()
+        assert '"rearrangeJob"' in text
+
+    def test_missing_init_raises(self):
+        program = ZAIRProgram(num_qubits=1)
+        with pytest.raises(ValueError):
+            _ = program.init
