@@ -1,0 +1,18 @@
+# Entry points for the tier-1 test suite and the perf-tracking benchmarks.
+
+PYTEST ?= python -m pytest
+
+.PHONY: test bench bench-full
+
+## Tier-1: the full unit + benchmark suite (what CI gates on).
+test:
+	$(PYTEST) -x -q
+
+## Tier-1 tests plus the compile-speed regression benchmark (writes
+## BENCH_compile_speed.json with the fast-vs-naive speedup numbers).
+bench:
+	$(PYTEST) -x -q tests benchmarks/test_bench_compile_speed.py
+
+## Every paper benchmark on the full 17-circuit set (slow).
+bench-full:
+	$(PYTEST) -q benchmarks --paper-full

@@ -1,0 +1,87 @@
+"""Compile-speed regression benchmark.
+
+Times the end-to-end ZAC compile of the ``FAST_SUBSET`` circuits twice: with
+the optimised hot paths (incremental SA cost, cached geometry, vectorized
+conflict graph, heap-based partitioning) and with the retained naive
+reference implementations (``ZACConfig(use_fast_paths=False)``), which match
+the seed implementation's asymptotics.  The per-circuit numbers and the
+aggregate speedup are recorded to ``BENCH_compile_speed.json`` at the repo
+root so the performance trajectory is tracked from PR to PR.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.arch.presets import reference_zoned_architecture
+from repro.circuits.library.registry import get_benchmark
+from repro.core.compiler import ZACCompiler
+from repro.core.config import ZACConfig
+
+from conftest import FAST_SUBSET
+
+#: Aggregate speedup the fast paths must sustain over the naive references.
+MIN_SPEEDUP = 3.0
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_compile_speed.json"
+
+
+def _best_compile_time_s(compiler: ZACCompiler, circuit, repeats: int) -> tuple[float, dict]:
+    best = float("inf")
+    phases: dict[str, float] = {}
+    for _ in range(repeats):
+        result = compiler.compile(circuit)
+        if result.metrics.compile_time_s < best:
+            best = result.metrics.compile_time_s
+            phases = dict(result.metrics.phase_times_s)
+    return best, phases
+
+
+def test_bench_compile_speed():
+    architecture = reference_zoned_architecture()
+    fast_config = ZACConfig.full()
+    naive_config = dataclasses.replace(fast_config, use_fast_paths=False)
+
+    rows = []
+    total_fast = total_naive = 0.0
+    for name in FAST_SUBSET:
+        circuit = get_benchmark(name)
+        fast_s, fast_phases = _best_compile_time_s(
+            ZACCompiler(architecture, fast_config), circuit, repeats=3
+        )
+        naive_s, _ = _best_compile_time_s(
+            ZACCompiler(architecture, naive_config), circuit, repeats=2
+        )
+        total_fast += fast_s
+        total_naive += naive_s
+        rows.append(
+            {
+                "circuit": name,
+                "fast_s": round(fast_s, 6),
+                "naive_s": round(naive_s, 6),
+                "speedup": round(naive_s / fast_s, 3),
+                "fast_phase_times_s": {k: round(v, 6) for k, v in fast_phases.items()},
+            }
+        )
+
+    speedup = total_naive / total_fast
+    payload = {
+        "benchmark": "end_to_end_zac_compile",
+        "circuits": rows,
+        "total_fast_s": round(total_fast, 6),
+        "total_naive_s": round(total_naive, 6),
+        "speedup": round(speedup, 3),
+        "min_required_speedup": MIN_SPEEDUP,
+        "recorded_unix_time": time.time(),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\n[compile speed] fast={total_fast:.3f}s naive={total_naive:.3f}s "
+          f"speedup={speedup:.2f}x -> {RESULT_PATH.name}")
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast paths only {speedup:.2f}x faster than the naive references "
+        f"(required: {MIN_SPEEDUP}x); see {RESULT_PATH}"
+    )

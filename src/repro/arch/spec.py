@@ -165,6 +165,35 @@ class Architecture:
         self.readout_zones = list(readout_zones or [])
         self.zone_separation = zone_separation
         self.validate()
+        self._build_geometry_cache()
+
+    # -- geometry cache ------------------------------------------------------
+
+    @staticmethod
+    def _grid_axes(slm: SLMArray) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        xs = tuple(slm.offset[0] + col * slm.sep[0] for col in range(slm.num_col))
+        ys = tuple(slm.offset[1] + row * slm.sep[1] for row in range(slm.num_row))
+        return xs, ys
+
+    def _build_geometry_cache(self) -> None:
+        """Precompute per-grid coordinate axes so position lookups are O(1).
+
+        Position queries sit on the hottest paths of the compiler (placement
+        cost evaluation, conflict-graph construction), so the trap coordinates
+        of every SLM grid are tabulated once here instead of being recomputed
+        from offset/separation on every call.  The zone lists are treated as
+        immutable after construction; callers that need a different geometry
+        build a new :class:`Architecture`.
+        """
+        self._storage_axes = tuple(
+            self._grid_axes(zone.slms[0]) for zone in self.storage_zones
+        )
+        self._ent_axes_left = tuple(
+            self._grid_axes(zone.slms[0]) for zone in self.entanglement_zones
+        )
+        self._ent_axes_right = tuple(
+            self._grid_axes(zone.slms[1]) for zone in self.entanglement_zones
+        )
 
     # -- validation ---------------------------------------------------------
 
@@ -220,25 +249,32 @@ class Architecture:
         grid = self.entanglement_zones[zone_index].slms[0]
         return (grid.num_row, grid.num_col)
 
+    def site_axes(self, zone_index: int = 0) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Cached (xs, ys) coordinate axes of one entanglement zone's left grid."""
+        return self._ent_axes_left[zone_index]
+
     def site_position(self, site: RydbergSite) -> tuple[float, float]:
         """Reference location of a Rydberg site (its left trap, per the paper)."""
-        zone = self.entanglement_zones[site.zone_index]
-        return zone.slms[0].trap_position(site.row, site.col)
+        xs, ys = self._ent_axes_left[site.zone_index]
+        if not (0 <= site.row < len(ys) and 0 <= site.col < len(xs)):
+            raise ArchitectureError(f"site ({site.row}, {site.col}) out of range")
+        return (xs[site.col], ys[site.row])
 
     def site_partner_position(self, site: RydbergSite) -> tuple[float, float]:
         """Location of the right trap of a Rydberg site."""
-        zone = self.entanglement_zones[site.zone_index]
-        return zone.slms[1].trap_position(site.row, site.col)
+        xs, ys = self._ent_axes_right[site.zone_index]
+        if not (0 <= site.row < len(ys) and 0 <= site.col < len(xs)):
+            raise ArchitectureError(f"site ({site.row}, {site.col}) out of range")
+        return (xs[site.col], ys[site.row])
 
     def nearest_rydberg_site(self, x: float, y: float) -> RydbergSite:
         """Rydberg site whose reference trap is closest to (x, y)."""
         best: RydbergSite | None = None
         best_dist = math.inf
         for zone_index, zone in enumerate(self.entanglement_zones):
-            grid = zone.slms[0]
-            row, col = grid.nearest_trap(x, y)
-            px, py = grid.trap_position(row, col)
-            dist = (px - x) ** 2 + (py - y) ** 2
+            row, col = zone.slms[0].nearest_trap(x, y)
+            xs, ys = self._ent_axes_left[zone_index]
+            dist = (xs[col] - x) ** 2 + (ys[row] - y) ** 2
             if dist < best_dist:
                 best_dist = dist
                 best = RydbergSite(zone_index, row, col)
@@ -266,18 +302,19 @@ class Architecture:
 
     def trap_position(self, trap: StorageTrap) -> tuple[float, float]:
         """Physical position of a storage trap."""
-        zone = self.storage_zones[trap.zone_index]
-        return zone.slms[0].trap_position(trap.row, trap.col)
+        xs, ys = self._storage_axes[trap.zone_index]
+        if not (0 <= trap.row < len(ys) and 0 <= trap.col < len(xs)):
+            raise ArchitectureError(f"trap ({trap.row}, {trap.col}) out of range")
+        return (xs[trap.col], ys[trap.row])
 
     def nearest_storage_trap(self, x: float, y: float) -> StorageTrap:
         """Storage trap closest to (x, y)."""
         best: StorageTrap | None = None
         best_dist = math.inf
         for zone_index, zone in enumerate(self.storage_zones):
-            grid = zone.slms[0]
-            row, col = grid.nearest_trap(x, y)
-            px, py = grid.trap_position(row, col)
-            dist = (px - x) ** 2 + (py - y) ** 2
+            row, col = zone.slms[0].nearest_trap(x, y)
+            xs, ys = self._storage_axes[zone_index]
+            dist = (xs[col] - x) ** 2 + (ys[row] - y) ** 2
             if dist < best_dist:
                 best_dist = dist
                 best = StorageTrap(zone_index, row, col)

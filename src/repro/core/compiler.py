@@ -44,9 +44,12 @@ class CompilationResult:
     def duration_us(self) -> float:
         return self.metrics.duration_us
 
+    #: Compilation phases surfaced in :meth:`summary` (in pipeline order).
+    PHASES = ("preprocess", "place", "route", "schedule", "fidelity")
+
     def summary(self) -> dict[str, float]:
         """Flat dictionary of the headline numbers (for reports / CSV)."""
-        return {
+        summary = {
             "fidelity": self.fidelity.total,
             "fidelity_2q": self.fidelity.two_q_gate_with_excitation,
             "fidelity_1q": self.fidelity.one_q_gate,
@@ -61,6 +64,9 @@ class CompilationResult:
             "num_movements": self.metrics.num_movements,
             "compile_time_s": self.metrics.compile_time_s,
         }
+        for phase in self.PHASES:
+            summary[f"time_{phase}_s"] = self.metrics.phase_times_s.get(phase, 0.0)
+        return summary
 
 
 class ZACCompiler:
@@ -92,7 +98,11 @@ class ZACCompiler:
         """Compile a circuit end to end."""
         start = time.perf_counter()
         staged = preprocess(circuit)
+        preprocess_s = time.perf_counter() - start
         result = self.compile_staged(staged, circuit_name=circuit.name)
+        result.metrics.phase_times_s["preprocess"] = (
+            result.metrics.phase_times_s.get("preprocess", 0.0) + preprocess_s
+        )
         result.metrics.compile_time_s = time.perf_counter() - start
         return result
 
@@ -108,15 +118,27 @@ class ZACCompiler:
             )
         staged = split_oversized_stages(staged, self.architecture.num_rydberg_sites)
         stage_pairs = [stage.pairs for stage in staged.rydberg_stages]
+        preprocess_s = time.perf_counter() - start
 
+        place_start = time.perf_counter()
         initial = self._initial_placement(staged.num_qubits, stage_pairs)
         placer = DynamicPlacer(self.architecture, self.config)
         plan = placer.run(stage_pairs, initial)
+        place_s = time.perf_counter() - place_start
 
-        scheduler = Scheduler(self.architecture, self.params, lower_jobs=self.lower_jobs)
+        scheduler = Scheduler(
+            self.architecture,
+            self.params,
+            lower_jobs=self.lower_jobs,
+            fast_routing=self.config.use_fast_paths,
+        )
         output = scheduler.run(staged, plan)
-        output.metrics.compile_time_s = time.perf_counter() - start
+        fidelity_start = time.perf_counter()
         fidelity = estimate_fidelity(output.metrics, self.params)
+        output.metrics.phase_times_s["preprocess"] = preprocess_s
+        output.metrics.phase_times_s["place"] = place_s
+        output.metrics.phase_times_s["fidelity"] = time.perf_counter() - fidelity_start
+        output.metrics.compile_time_s = time.perf_counter() - start
         return CompilationResult(
             circuit_name=circuit_name or staged.name,
             architecture_name=self.architecture.name,

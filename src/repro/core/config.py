@@ -36,6 +36,11 @@ class ZACConfig:
         candidate_expansion: Expansion factor ``delta`` (in sites) of the
             candidate Rydberg-site window used during gate placement.
         seed: PRNG seed for the annealer (determinism in tests).
+        use_fast_paths: Use the optimised hot paths (incremental SA cost,
+            vectorized conflict graph, heap-based job partitioning).  Set to
+            False to run the retained naive reference implementations, which
+            exist for equivalence testing and compile-speed regression
+            benchmarking.
     """
 
     use_sa_initial_placement: bool = True
@@ -48,6 +53,7 @@ class ZACConfig:
     neighbor_k: int = 1
     candidate_expansion: int = 2
     seed: int = 0
+    use_fast_paths: bool = True
 
     @staticmethod
     def vanilla() -> "ZACConfig":

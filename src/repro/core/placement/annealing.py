@@ -3,6 +3,20 @@
 The framework is deliberately minimal: the caller provides a cost function,
 a neighbour generator that returns an *undo* callback, and the framework
 runs a geometric-cooling Metropolis loop with a fixed iteration budget.
+
+Two proposal protocols are supported:
+
+* **Full re-evaluation** (legacy): ``propose_fn`` mutates the state and
+  returns an undo callback; the framework calls ``cost_fn`` to price the
+  candidate.  Simple, but O(cost evaluation) per iteration.
+* **Delta-cost**: ``propose_fn`` returns ``(undo, delta)`` where ``delta``
+  is the exact cost change of the move.  ``cost_fn`` is then only called
+  once, before the loop, and every Metropolis step is O(move), which turns
+  placement annealing from O(iterations x gates) into O(iterations x deg(q)).
+
+The loop keeps an undo journal of the moves accepted since the best state
+was last seen, and rewinds it before returning, so the caller's state is
+left at the *best* configuration found -- not merely the final one.
 """
 
 from __future__ import annotations
@@ -11,6 +25,13 @@ import math
 import random
 from collections.abc import Callable
 from dataclasses import dataclass
+
+Undo = Callable[[], None]
+#: A proposal: nothing, a bare undo callback, or an ``(undo, delta)`` pair.
+Proposal = Undo | tuple[Undo, float] | None
+
+#: Cost comparisons tighter than this are treated as ties.
+_EPS = 1e-12
 
 
 @dataclass
@@ -32,18 +53,21 @@ class AnnealingResult:
 
 def anneal(
     cost_fn: Callable[[], float],
-    propose_fn: Callable[[random.Random], Callable[[], None] | None],
+    propose_fn: Callable[[random.Random], Proposal],
     iterations: int = 1000,
     initial_temperature: float = 2.0,
     cooling: float = 0.995,
     seed: int = 0,
     convergence_window: int = 200,
+    restore_best: bool = True,
 ) -> AnnealingResult:
     """Minimise ``cost_fn`` by locally mutating shared state.
 
     Args:
         cost_fn: Returns the current cost of the (externally held) state.
+            With delta-cost proposals this is evaluated exactly once.
         propose_fn: Mutates the state in place and returns an undo callback,
+            an ``(undo, delta)`` pair with the exact cost change of the move,
             or None if no move could be generated this iteration.
         iterations: Iteration limit.
         initial_temperature: Starting temperature.
@@ -51,13 +75,13 @@ def anneal(
         seed: PRNG seed.
         convergence_window: Stop early if no accepted move improved the best
             cost within this many iterations.
+        restore_best: Rewind the state to the best configuration seen before
+            returning (via the journal of accepted undo callbacks).  Disable
+            only when the caller snapshots externally.
 
     Returns:
-        Statistics of the run.  The state is left at the best configuration
-        only if the caller's moves are cost-monotone; callers that need the
-        strict best state should snapshot externally (the placement code
-        keeps the final state, which in practice matches the best one because
-        late iterations run at near-zero temperature).
+        Statistics of the run.  With ``restore_best`` (the default) the state
+        is left at the best configuration found and ``best_cost`` is its cost.
     """
     current = cost_fn()
     initial = current
@@ -66,21 +90,30 @@ def anneal(
     rng = random.Random(seed)
     accepted = 0
     since_improvement = 0
+    #: Undos of moves accepted since the best-so-far state, newest last.
+    journal: list[Undo] = []
 
     iteration = 0
     for iteration in range(1, iterations + 1):
-        undo = propose_fn(rng)
-        if undo is None:
+        proposal = propose_fn(rng)
+        if proposal is None:
             temperature *= cooling
             continue
-        candidate = cost_fn()
-        delta = candidate - current
-        accept = delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12))
+        if isinstance(proposal, tuple):
+            undo, delta = proposal
+            candidate = current + delta
+        else:
+            undo = proposal
+            candidate = cost_fn()
+            delta = candidate - current
+        accept = delta <= 0 or rng.random() < math.exp(-delta / max(temperature, _EPS))
         if accept:
             current = candidate
             accepted += 1
-            if candidate < best - 1e-12:
+            journal.append(undo)
+            if candidate < best - _EPS:
                 best = candidate
+                journal.clear()
                 since_improvement = 0
             else:
                 since_improvement += 1
@@ -91,8 +124,17 @@ def anneal(
             break
         temperature *= cooling
 
+    if current <= best:
+        # The final state is at least as good as any recorded best.
+        best = current
+    elif restore_best and journal:
+        for undo in reversed(journal):
+            undo()
+    else:
+        best = min(best, current)
+
     return AnnealingResult(
-        best_cost=min(best, current),
+        best_cost=best,
         initial_cost=initial,
         iterations=iteration,
         accepted_moves=accepted,

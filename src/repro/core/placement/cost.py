@@ -11,6 +11,7 @@ movements are sequential and the cost is their *sum*.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 
 from ...arch.spec import Architecture, RydbergSite
 
@@ -93,6 +94,101 @@ def initial_placement_cost(
         site_pos = architecture.site_position(site)
         total += weight * gate_cost(site_pos, q_pos, q2_pos)
     return total
+
+
+class IncrementalPlacementCost:
+    """Eq. 2 cost maintained incrementally under qubit-position updates.
+
+    The naive :func:`initial_placement_cost` re-prices every weighted gate,
+    which makes a Metropolis loop O(iterations x gates).  This tracker keeps
+    one cached cost per gate plus a qubit -> gate index, so a move touching
+    qubits ``S`` re-prices only the gates incident to ``S`` -- O(deg(q)) per
+    move.  The caller owns the shared ``positions`` dict and mutates it
+    *before* calling :meth:`reevaluate`.
+    """
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        positions: dict[int, Point],
+        weighted_gates: list[tuple[float, int, int]],
+    ) -> None:
+        self.architecture = architecture
+        self.positions = positions
+        self.gates = list(weighted_gates)
+        self.gates_of: dict[int, list[int]] = {}
+        for index, (_, q, q2) in enumerate(self.gates):
+            self.gates_of.setdefault(q, []).append(index)
+            if q2 != q:
+                self.gates_of.setdefault(q2, []).append(index)
+        # With a single entanglement zone the gate's nearest site reduces to
+        # pure grid arithmetic (round, clamp, midpoint) on the cached axes --
+        # identical floats to nearest_gate_site, without the per-call site
+        # objects.  Multi-zone architectures fall back to the general path.
+        # The inlined round/clamp below must stay arithmetically identical to
+        # SLMArray.nearest_trap; tests/test_fast_paths.py compares this
+        # tracker against initial_placement_cost and catches any drift.
+        if len(architecture.entanglement_zones) == 1:
+            grid = architecture.entanglement_zones[0].slms[0]
+            xs, ys = architecture.site_axes(0)
+            self._single_zone = (xs, ys, grid.sep[0], grid.sep[1], grid.num_col, grid.num_row)
+        else:
+            self._single_zone = None
+        self.gate_costs = [self._price(index) for index in range(len(self.gates))]
+        self.total = math.fsum(self.gate_costs)
+
+    def _price(self, index: int) -> float:
+        weight, q, q2 = self.gates[index]
+        q_pos, q2_pos = self.positions[q], self.positions[q2]
+        single = self._single_zone
+        if single is not None:
+            xs, ys, sep_x, sep_y, num_col, num_row = single
+            qx, qy = q_pos
+            q2x, q2y = q2_pos
+            col = min(max(round((qx - xs[0]) / sep_x), 0), num_col - 1)
+            row = min(max(round((qy - ys[0]) / sep_y), 0), num_row - 1)
+            col2 = min(max(round((q2x - xs[0]) / sep_x), 0), num_col - 1)
+            row2 = min(max(round((q2y - ys[0]) / sep_y), 0), num_row - 1)
+            site_x = xs[(col + col2) // 2]
+            site_y = ys[(row + row2) // 2]
+            cost_q = math.sqrt(math.hypot(site_x - qx, site_y - qy))
+            cost_q2 = math.sqrt(math.hypot(site_x - q2x, site_y - q2y))
+            if abs(qy - q2y) <= ROW_TOL:
+                return weight * (cost_q if cost_q >= cost_q2 else cost_q2)
+            return weight * (cost_q + cost_q2)
+        site = nearest_gate_site(self.architecture, q_pos, q2_pos)
+        site_pos = self.architecture.site_position(site)
+        return weight * gate_cost(site_pos, q_pos, q2_pos)
+
+    def reevaluate(self, moved_qubits: tuple[int, ...]) -> tuple[float, Callable[[], None]]:
+        """Re-price the gates touching ``moved_qubits`` (positions already updated).
+
+        Returns:
+            ``(delta, undo)`` where ``delta`` is the cost change and ``undo``
+            restores the tracker's cached per-gate costs (the caller undoes
+            the position mutation itself).
+        """
+        affected: list[int] = []
+        seen: set[int] = set()
+        for qubit in moved_qubits:
+            for index in self.gates_of.get(qubit, ()):
+                if index not in seen:
+                    seen.add(index)
+                    affected.append(index)
+        saved = [self.gate_costs[index] for index in affected]
+        delta = 0.0
+        for index in affected:
+            new_cost = self._price(index)
+            delta += new_cost - self.gate_costs[index]
+            self.gate_costs[index] = new_cost
+        self.total += delta
+
+        def undo() -> None:
+            for index, old_cost in zip(affected, saved):
+                self.gate_costs[index] = old_cost
+            self.total -= delta
+
+        return delta, undo
 
 
 def storage_return_cost(

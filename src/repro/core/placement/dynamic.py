@@ -65,6 +65,12 @@ class DynamicPlacer:
         self._location: dict[int, Location] = {
             q: Location.at_storage(trap) for q, trap in initial.items()
         }
+        # Position cache maintained incrementally alongside ``_location`` so
+        # the per-stage option evaluations don't recompute every coordinate.
+        self._pos: dict[int, Point] = {
+            q: location_position(self.architecture, loc)
+            for q, loc in self._location.items()
+        }
         self._home: dict[int, StorageTrap] = dict(initial)
         self._occupied_storage: set[StorageTrap] = set(initial.values())
 
@@ -84,9 +90,12 @@ class DynamicPlacer:
     # -- per-stage steps ------------------------------------------------------
 
     def _positions(self) -> dict[int, Point]:
-        return {
-            q: location_position(self.architecture, loc) for q, loc in self._location.items()
-        }
+        """Snapshot of the cached qubit positions (copied: callers mutate it)."""
+        return dict(self._pos)
+
+    def _move_to(self, qubit: int, location: Location) -> None:
+        self._location[qubit] = location
+        self._pos[qubit] = location_position(self.architecture, location)
 
     def _place_stage(
         self,
@@ -128,7 +137,7 @@ class DynamicPlacer:
                 if current == target:
                     continue
                 plan.incoming.append(Movement(qubit, current, target))
-                self._location[qubit] = target
+                self._move_to(qubit, target)
 
         # 3. Decide reuse for the next stage and return the remaining qubits.
         in_zone = [q for q, loc in self._location.items() if loc.in_entanglement_zone]
@@ -144,7 +153,7 @@ class DynamicPlacer:
                 self._occupied_storage.discard(old_home)
                 self._occupied_storage.add(trap)
             self._home[qubit] = trap
-            self._location[qubit] = Location.at_storage(trap)
+            self._move_to(qubit, Location.at_storage(trap))
 
         return plan, option.forced_sites
 

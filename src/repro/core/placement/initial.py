@@ -18,7 +18,7 @@ from collections.abc import Callable
 from ...arch.spec import Architecture, StorageTrap
 from ..config import ZACConfig
 from .annealing import AnnealingResult, anneal
-from .cost import initial_placement_cost, stage_weight
+from .cost import IncrementalPlacementCost, initial_placement_cost, stage_weight
 
 
 class PlacementError(RuntimeError):
@@ -109,10 +109,8 @@ def sa_placement(
         q: architecture.trap_position(trap) for q, trap in placement.items()
     }
 
-    def cost() -> float:
-        return initial_placement_cost(architecture, positions, weighted)
-
-    def propose(rng: random.Random):
+    def propose_move(rng: random.Random):
+        """Mutate placement/positions; return ``(undo, moved_qubits)`` or None."""
         qubit = rng.randrange(num_qubits)
         old_trap = placement[qubit]
         if empty_traps and rng.random() < 0.5:
@@ -132,7 +130,7 @@ def sa_placement(
                 trap_to_qubit[old_trap] = qubit
                 empty_traps[index] = new_trap
 
-            return undo
+            return undo, (qubit,)
         # Exchange locations with another qubit.
         other = rng.randrange(num_qubits)
         if other == qubit:
@@ -151,7 +149,38 @@ def sa_placement(
             trap_to_qubit[old_trap] = qubit
             trap_to_qubit[other_trap] = other
 
-        return undo_swap
+        return undo_swap, (qubit, other)
+
+    if config.use_fast_paths:
+        # Delta-cost protocol: only the gates touching the moved qubits are
+        # re-priced per Metropolis step (O(deg(q)) instead of O(gates)).
+        tracker = IncrementalPlacementCost(architecture, positions, weighted)
+
+        def cost() -> float:
+            return tracker.total
+
+        def propose(rng: random.Random):
+            move = propose_move(rng)
+            if move is None:
+                return None
+            undo_positions, moved = move
+            delta, undo_costs = tracker.reevaluate(moved)
+
+            def undo() -> None:
+                undo_costs()
+                undo_positions()
+
+            return undo, delta
+
+    else:
+        # Naive reference path (retained for equivalence tests and the
+        # compile-speed regression benchmark): full Eq. 2 re-evaluation.
+        def cost() -> float:
+            return initial_placement_cost(architecture, positions, weighted)
+
+        def propose(rng: random.Random):
+            move = propose_move(rng)
+            return None if move is None else move[0]
 
     result = anneal(
         cost,

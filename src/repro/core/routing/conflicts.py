@@ -5,9 +5,17 @@ rows and columns cannot cross each other during a move.  Two movements are
 *compatible* (can share a job) when, on both axes, their source ordering is
 preserved at the destination -- and when sources that coincide on an axis
 (same AOD row or column) also coincide at the destination.
+
+:func:`conflict_graph` extracts each movement's begin/end coordinates once
+and evaluates every pairwise ordering check as a vectorized array operation,
+instead of the naive all-pairs loop with four position lookups per pair
+(retained as :func:`conflict_graph_naive` for equivalence tests and
+regression benchmarking).
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ...arch.spec import Architecture
 from ..model import Movement, location_position
@@ -37,10 +45,53 @@ def movements_compatible(
     return True
 
 
+def movement_endpoints(
+    architecture: Architecture, movements: list[Movement]
+) -> tuple[np.ndarray, np.ndarray]:
+    """(n, 2) begin and end coordinate arrays, one position lookup per movement."""
+    begins = np.empty((len(movements), 2))
+    ends = np.empty((len(movements), 2))
+    for index, movement in enumerate(movements):
+        begins[index] = location_position(architecture, movement.source)
+        ends[index] = location_position(architecture, movement.destination)
+    return begins, ends
+
+
 def conflict_graph(
     architecture: Architecture, movements: list[Movement]
 ) -> list[set[int]]:
-    """Adjacency sets of the conflict graph over ``movements`` (by index)."""
+    """Adjacency sets of the conflict graph over ``movements`` (by index).
+
+    Evaluates the same per-axis predicate as :func:`movements_compatible`
+    on broadcast coordinate arrays: two movements conflict when, on either
+    axis, they coincide at the source but not the destination (a row/column
+    would have to split), coincide at the destination but not the source
+    (a merge), or swap their ordering (a crossing).
+    """
+    n = len(movements)
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    if n <= 1:
+        return adjacency
+    begins, ends = movement_endpoints(architecture, movements)
+    conflict = np.zeros((n, n), dtype=bool)
+    for axis in (0, 1):
+        begin_delta = begins[:, axis, None] - begins[None, :, axis]
+        end_delta = ends[:, axis, None] - ends[None, :, axis]
+        same_begin = np.abs(begin_delta) <= _TOL
+        same_end = np.abs(end_delta) <= _TOL
+        conflict |= same_begin ^ same_end
+        conflict |= ~same_begin & ~same_end & (begin_delta * end_delta < 0)
+    rows, cols = np.nonzero(np.triu(conflict, k=1))
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        adjacency[i].add(j)
+        adjacency[j].add(i)
+    return adjacency
+
+
+def conflict_graph_naive(
+    architecture: Architecture, movements: list[Movement]
+) -> list[set[int]]:
+    """All-pairs reference implementation of :func:`conflict_graph`."""
     n = len(movements)
     adjacency: list[set[int]] = [set() for _ in range(n)]
     for i in range(n):

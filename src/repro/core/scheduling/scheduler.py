@@ -19,6 +19,7 @@ load balancer exploits parallelism *within* each movement epoch.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ...arch.spec import Architecture
@@ -49,13 +50,18 @@ class Scheduler:
         architecture: Architecture,
         params: NeutralAtomParams = NEUTRAL_ATOM,
         lower_jobs: bool = True,
+        fast_routing: bool = True,
     ) -> None:
         self.architecture = architecture
         self.params = params
         self.lower_jobs = lower_jobs
+        self.fast_routing = fast_routing
+        self._route_time_s = 0.0
 
     def run(self, staged: StagedCircuit, plan: PlacementPlan) -> ScheduleOutput:
         """Schedule a staged circuit according to its placement plan."""
+        run_start = time.perf_counter()
+        self._route_time_s = 0.0
         program = ZAIRProgram(
             num_qubits=staged.num_qubits, architecture_name=self.architecture.name
         )
@@ -95,6 +101,9 @@ class Scheduler:
 
         metrics.duration_us = clock
         metrics.num_rydberg_stages = rydberg_index
+        total = time.perf_counter() - run_start
+        metrics.phase_times_s["route"] = self._route_time_s
+        metrics.phase_times_s["schedule"] = max(0.0, total - self._route_time_s)
         return ScheduleOutput(program=program, metrics=metrics)
 
     # -- emission helpers -----------------------------------------------------
@@ -135,7 +144,11 @@ class Scheduler:
     ) -> float:
         if not movements:
             return clock
-        jobs = build_jobs(self.architecture, movements, lower=self.lower_jobs)
+        route_start = time.perf_counter()
+        jobs = build_jobs(
+            self.architecture, movements, lower=self.lower_jobs, fast=self.fast_routing
+        )
+        self._route_time_s += time.perf_counter() - route_start
         durations = [self._job_duration(job) for job in jobs]
         schedules, makespan = schedule_epoch(durations, self.architecture.num_aods)
         for job, slot in zip(jobs, schedules):

@@ -29,6 +29,7 @@ from .harness import (
     default_compilers,
     geometric_mean,
     run_compiler,
+    run_matrix,
 )
 from .multi_zone import run_multi_zone
 from .optimality import run_optimality
@@ -53,6 +54,7 @@ __all__ = [
     "run_duration_comparison",
     "run_fidelity_breakdown",
     "run_ftqc_hiqp",
+    "run_matrix",
     "run_multi_zone",
     "run_optimality",
     "run_scalability",

@@ -11,11 +11,9 @@ from collections.abc import Sequence
 
 from .harness import (
     RunRecord,
-    benchmark_circuits,
-    default_compilers,
     geometric_mean,
     records_by_compiler,
-    run_compiler,
+    run_matrix,
 )
 from .reporting import format_table
 
@@ -23,14 +21,14 @@ from .reporting import format_table
 def run_architecture_comparison(
     circuit_names: Sequence[str] | None = None,
     compilers: dict[str, object] | None = None,
+    parallel: int | bool = 0,
 ) -> list[RunRecord]:
-    """Run every compiler on every benchmark and return the raw records."""
-    compilers = compilers or default_compilers()
-    records: list[RunRecord] = []
-    for _, circuit in benchmark_circuits(circuit_names):
-        for label, compiler in compilers.items():
-            records.append(run_compiler(compiler, circuit, compiler_name=label))
-    return records
+    """Run every compiler on every benchmark and return the raw records.
+
+    ``parallel`` fans the (circuit, compiler) runs out over worker processes
+    (see :func:`repro.experiments.harness.run_matrix`).
+    """
+    return run_matrix(circuit_names, compilers, parallel=parallel)
 
 
 def fidelity_table(records: list[RunRecord]) -> list[dict[str, object]]:

@@ -5,12 +5,18 @@ Every experiment module runs one or more *compilers* (objects exposing
 collects :class:`RunRecord` rows.  Helper functions compute geometric means
 and render the rows as text tables or CSV, mirroring the data behind each
 figure and table of the paper.
+
+:func:`run_matrix` executes a full (circuit x compiler) sweep and can fan
+the independent runs out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``parallel=``), since every pair is an isolated compilation.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..arch.presets import reference_zoned_architecture
@@ -65,6 +71,47 @@ def run_compiler(compiler, circuit, compiler_name: str | None = None) -> RunReco
         num_rydberg_stages=int(summary["num_rydberg_stages"]),
         compile_time_s=summary["compile_time_s"],
     )
+
+
+def _run_pair(pair: tuple[str, object, object]) -> RunRecord:
+    """Top-level worker (picklable) compiling one (compiler, circuit) pair."""
+    label, compiler, circuit = pair
+    return run_compiler(compiler, circuit, compiler_name=label)
+
+
+def run_matrix(
+    circuit_names: Sequence[str] | None = None,
+    compilers: dict[str, object] | None = None,
+    parallel: int | bool = 0,
+) -> list[RunRecord]:
+    """Run every (circuit, compiler) pair and return the records in sweep order.
+
+    Args:
+        circuit_names: Benchmarks to run (None means the full paper set).
+        compilers: Compilers keyed by legend label (default: Fig. 8 set).
+        parallel: Worker-process count for fanning the runs out over a
+            ``ProcessPoolExecutor``; ``True`` means one per CPU, ``0``/``1``/
+            ``False`` run serially.  Compilers and circuits must be picklable
+            (all in-repo ones are).  With the ``spawn`` start method the
+            ``repro`` package must be importable in workers (``PYTHONPATH``
+            must include ``src`` or the package must be installed); the
+            default ``fork`` start method on Linux needs no setup.
+
+    Returns:
+        One record per pair, ordered circuits-outer / compilers-inner
+        regardless of ``parallel``, so grouping helpers see a stable order.
+    """
+    compilers = compilers or default_compilers()
+    pairs = [
+        (label, compiler, circuit)
+        for _, circuit in benchmark_circuits(circuit_names)
+        for label, compiler in compilers.items()
+    ]
+    workers = (os.cpu_count() or 1) if parallel is True else int(parallel)
+    if workers <= 1 or len(pairs) <= 1:
+        return [_run_pair(pair) for pair in pairs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(pairs))) as executor:
+        return list(executor.map(_run_pair, pairs))
 
 
 def geometric_mean(values: Iterable[float], floor: float = 1e-12) -> float:

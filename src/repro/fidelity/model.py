@@ -39,6 +39,10 @@ class ExecutionMetrics:
         num_movements: Number of individual qubit movements.
         total_move_distance_um: Sum of all movement distances.
         compile_time_s: Wall-clock compilation time (scalability study).
+        phase_times_s: Wall-clock time per compilation phase
+            (``preprocess`` / ``place`` / ``route`` / ``schedule`` /
+            ``fidelity``); populated by the ZAC pipeline, empty for
+            baselines that don't instrument their phases.
     """
 
     num_qubits: int
@@ -52,6 +56,7 @@ class ExecutionMetrics:
     num_movements: int = 0
     total_move_distance_um: float = 0.0
     compile_time_s: float = 0.0
+    phase_times_s: dict[str, float] = field(default_factory=dict)
 
     def idle_time_us(self, qubit: int) -> float:
         """Idle time of one qubit: total duration minus its busy time."""

@@ -9,6 +9,7 @@ from repro.experiments import (
     format_table,
     geometric_mean,
     run_compiler,
+    run_matrix,
     to_csv,
 )
 from repro.experiments.ablation import ablation_table, run_ablation, stepwise_improvements
@@ -52,6 +53,34 @@ class TestHarness:
         assert record.circuit == "bv_n14"
         assert 0 < record.fidelity <= 1
         assert record.num_2q_gates == 13
+
+    def test_phase_timings_in_summary(self):
+        from repro.arch import reference_zoned_architecture
+        from repro.core import ZACCompiler
+
+        _, circuit = benchmark_circuits(["bv_n14"])[0]
+        result = ZACCompiler(reference_zoned_architecture()).compile(circuit)
+        summary = result.summary()
+        phase_keys = [f"time_{p}_s" for p in result.PHASES]
+        assert all(key in summary for key in phase_keys)
+        assert all(summary[key] >= 0.0 for key in phase_keys)
+        # The instrumented phases account for (most of) the compile time.
+        assert sum(summary[key] for key in phase_keys) <= summary["compile_time_s"]
+        assert summary["time_place_s"] > 0.0
+
+    def test_run_matrix_parallel_matches_serial(self):
+        import dataclasses
+
+        compilers = default_compilers(include_superconducting=False)
+        serial = run_matrix(SMALL, compilers, parallel=0)
+        parallel = run_matrix(SMALL, compilers, parallel=2)
+        assert len(serial) == len(parallel) == len(SMALL) * len(compilers)
+        for a, b in zip(serial, parallel):
+            left, right = dataclasses.asdict(a), dataclasses.asdict(b)
+            # Wall-clock differs between processes; everything else must match.
+            left.pop("compile_time_s")
+            right.pop("compile_time_s")
+            assert left == right
 
 
 class TestReporting:

@@ -1,0 +1,207 @@
+"""Equivalence tests for the optimised hot paths.
+
+Every fast implementation (incremental SA cost, vectorized conflict graph,
+heap-based job partitioning) is checked against its retained naive reference
+on seeded randomized instances: the fast paths must be *exactly* as correct,
+not merely approximately.
+"""
+
+import random
+
+import pytest
+
+from repro.arch import (
+    RydbergSite,
+    StorageTrap,
+    reference_zoned_architecture,
+    small_dual_zone_architecture,
+)
+from repro.core import ZACConfig
+from repro.core.model import LEFT, RIGHT, Location, Movement
+from repro.core.placement.cost import IncrementalPlacementCost, initial_placement_cost
+from repro.core.placement.initial import (
+    sa_placement,
+    trivial_placement,
+    weighted_gate_list,
+)
+from repro.core.routing.conflicts import conflict_graph, conflict_graph_naive
+from repro.core.routing.jobs import partition_movements
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return reference_zoned_architecture()
+
+
+def random_movements(rng: random.Random, n: int) -> list[Movement]:
+    """Random storage<->site movements (the two epoch shapes routing sees)."""
+    movements = []
+    for qubit in range(n):
+        storage = Location.at_storage(
+            StorageTrap(0, rng.randrange(100), rng.randrange(100))
+        )
+        site = Location.at_site(
+            RydbergSite(0, rng.randrange(7), rng.randrange(20)),
+            rng.choice([LEFT, RIGHT]),
+        )
+        if rng.random() < 0.5:
+            movements.append(Movement(qubit, storage, site))
+        else:
+            movements.append(Movement(qubit, site, storage))
+    return movements
+
+
+class TestConflictGraphEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_vectorized_matches_naive(self, arch, seed):
+        rng = random.Random(seed)
+        movements = random_movements(rng, rng.randint(2, 40))
+        assert conflict_graph(arch, movements) == conflict_graph_naive(arch, movements)
+
+    def test_coincident_sources_and_destinations(self, arch):
+        # Duplicated rows/columns exercise the tolerance branches.
+        movements = [
+            Movement(0, Location.at_storage(StorageTrap(0, 99, 0)),
+                     Location.at_site(RydbergSite(0, 0, 0), LEFT)),
+            Movement(1, Location.at_storage(StorageTrap(0, 99, 5)),
+                     Location.at_site(RydbergSite(0, 0, 0), RIGHT)),
+            Movement(2, Location.at_storage(StorageTrap(0, 98, 0)),
+                     Location.at_site(RydbergSite(0, 1, 0), LEFT)),
+            Movement(3, Location.at_storage(StorageTrap(0, 99, 0)),
+                     Location.at_site(RydbergSite(0, 2, 3), LEFT)),
+        ]
+        assert conflict_graph(arch, movements) == conflict_graph_naive(arch, movements)
+
+    def test_trivial_sizes(self, arch):
+        assert conflict_graph(arch, []) == []
+        single = random_movements(random.Random(0), 1)
+        assert conflict_graph(arch, single) == [set()]
+
+
+class TestPartitionEquivalence:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_fast_partition_matches_naive(self, arch, seed):
+        rng = random.Random(seed)
+        movements = random_movements(rng, rng.randint(2, 35))
+        fast = partition_movements(arch, movements, fast=True)
+        naive = partition_movements(arch, movements, fast=False)
+        assert fast == naive
+
+    def test_partition_deterministic_across_runs(self, arch):
+        movements = random_movements(random.Random(42), 25)
+        first = partition_movements(arch, movements)
+        for _ in range(3):
+            assert partition_movements(arch, movements) == first
+
+
+def random_placement_instance(arch, rng: random.Random, num_qubits: int):
+    """A random placement + weighted gate list over the storage grid."""
+    traps = rng.sample(
+        [(r, c) for r in range(90, 100) for c in range(100)], num_qubits
+    )
+    positions = {
+        q: arch.trap_position(StorageTrap(0, r, c)) for q, (r, c) in enumerate(traps)
+    }
+    gates = []
+    for _ in range(rng.randint(1, 3 * num_qubits)):
+        q, q2 = rng.sample(range(num_qubits), 2)
+        gates.append((rng.choice([1.0, 0.9, 0.5, 0.1]), q, q2))
+    return positions, gates
+
+
+class TestIncrementalCostEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_tracker_matches_naive_over_random_moves(self, arch, seed):
+        rng = random.Random(seed)
+        num_qubits = rng.randint(4, 20)
+        positions, gates = random_placement_instance(arch, rng, num_qubits)
+        tracker = IncrementalPlacementCost(arch, positions, gates)
+        assert tracker.total == pytest.approx(
+            initial_placement_cost(arch, positions, gates), abs=1e-9
+        )
+        free = [(r, c) for r in range(80, 90) for c in range(0, 40)]
+        for _ in range(60):
+            if rng.random() < 0.5:
+                # Move one qubit to a fresh trap.
+                qubit = rng.randrange(num_qubits)
+                positions[qubit] = arch.trap_position(StorageTrap(0, *rng.choice(free)))
+                moved = (qubit,)
+            else:
+                # Swap two qubits.
+                q, q2 = rng.sample(range(num_qubits), 2)
+                positions[q], positions[q2] = positions[q2], positions[q]
+                moved = (q, q2)
+            tracker.reevaluate(moved)
+            assert tracker.total == pytest.approx(
+                initial_placement_cost(arch, positions, gates), abs=1e-9
+            )
+
+    def test_undo_restores_cost_state(self, arch):
+        rng = random.Random(7)
+        positions, gates = random_placement_instance(arch, rng, 10)
+        tracker = IncrementalPlacementCost(arch, positions, gates)
+        before_total = tracker.total
+        before_costs = list(tracker.gate_costs)
+        old_pos = positions[3]
+        positions[3] = arch.trap_position(StorageTrap(0, 80, 17))
+        delta, undo = tracker.reevaluate((3,))
+        assert tracker.total == pytest.approx(before_total + delta, abs=1e-12)
+        undo()
+        positions[3] = old_pos
+        assert tracker.total == pytest.approx(before_total, abs=1e-12)
+        assert tracker.gate_costs == before_costs
+
+    def test_multi_zone_falls_back_to_general_path(self):
+        arch = small_dual_zone_architecture()
+        rng = random.Random(3)
+        num_qubits = 8
+        rows, cols = arch.storage_shape(0)
+        traps = rng.sample([(r, c) for r in range(rows) for c in range(cols)], num_qubits)
+        positions = {
+            q: arch.trap_position(StorageTrap(0, r, c))
+            for q, (r, c) in enumerate(traps)
+        }
+        gates = [(1.0, 0, 1), (0.9, 2, 3), (0.5, 4, 5), (0.1, 6, 7), (1.0, 1, 6)]
+        tracker = IncrementalPlacementCost(arch, positions, gates)
+        assert tracker._single_zone is None
+        assert tracker.total == pytest.approx(
+            initial_placement_cost(arch, positions, gates), abs=1e-9
+        )
+
+
+class TestSAPlacementFastVsNaive:
+    def test_both_paths_no_worse_than_trivial(self, arch):
+        staged_gates = [[(0, 5), (1, 4)], [(2, 3)], [(0, 2)]]
+        weighted = weighted_gate_list(staged_gates)
+
+        def cost_of(placement):
+            positions = {q: arch.trap_position(t) for q, t in placement.items()}
+            return initial_placement_cost(arch, positions, weighted)
+
+        trivial_cost = cost_of(trivial_placement(arch, 6))
+        for fast in (True, False):
+            config = ZACConfig(sa_iterations=300, seed=5, use_fast_paths=fast)
+            annealed = sa_placement(arch, 6, staged_gates, config)
+            assert cost_of(annealed) <= trivial_cost + 1e-9
+            assert len(set(annealed.values())) == 6
+
+    def test_fast_path_deterministic(self, arch):
+        staged_gates = [[(0, 3), (1, 2)]]
+        config = ZACConfig(sa_iterations=150, seed=11)
+        a = sa_placement(arch, 4, staged_gates, config)
+        b = sa_placement(arch, 4, staged_gates, config)
+        assert a == b
+
+    def test_fast_path_never_calls_full_cost_function(self, arch, monkeypatch):
+        """The Metropolis loop must price moves incrementally only."""
+        import repro.core.placement.initial as initial_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("full-circuit cost evaluated on the fast path")
+
+        monkeypatch.setattr(initial_module, "initial_placement_cost", forbidden)
+        staged_gates = [[(0, 5), (1, 4)], [(2, 3)]]
+        placement = sa_placement(
+            arch, 6, staged_gates, ZACConfig(sa_iterations=200, seed=1)
+        )
+        assert len(set(placement.values())) == 6

@@ -114,6 +114,88 @@ class TestAnnealingFramework:
         assert result.best_cost == 5.0
         assert result.accepted_moves == 0
 
+    def test_restores_best_state_at_high_final_temperature(self):
+        """With no cooling the walk drifts away from the optimum; the caller
+        must still get the best configuration back, not the final one."""
+        state = {"x": 10.0}
+
+        def cost():
+            return (state["x"] - 3.0) ** 2
+
+        def propose(rng):
+            old = state["x"]
+            state["x"] = old + rng.uniform(-2.0, 2.0)
+
+            def undo():
+                state["x"] = old
+
+            return undo
+
+        result = anneal(
+            cost,
+            propose,
+            iterations=500,
+            initial_temperature=50.0,
+            cooling=1.0,  # stays hot: worse moves keep being accepted
+            seed=3,
+            convergence_window=10_000,
+        )
+        # The returned state must be exactly the best-cost state.
+        assert cost() == pytest.approx(result.best_cost, abs=1e-12)
+
+    def test_restore_best_disabled_keeps_final_state(self):
+        state = {"x": 10.0}
+
+        def cost():
+            return (state["x"] - 3.0) ** 2
+
+        def propose(rng):
+            old = state["x"]
+            state["x"] = old + rng.uniform(-2.0, 2.0)
+
+            def undo():
+                state["x"] = old
+
+            return undo
+
+        result = anneal(
+            cost,
+            propose,
+            iterations=500,
+            initial_temperature=50.0,
+            cooling=1.0,
+            seed=3,
+            convergence_window=10_000,
+            restore_best=False,
+        )
+        # The hot walk ends away from the best state (legacy caveat).
+        assert cost() > result.best_cost + 1e-9
+
+    def test_delta_protocol_skips_cost_function(self):
+        """With (undo, delta) proposals, cost_fn is evaluated exactly once."""
+        state = {"x": 10.0}
+        calls = {"n": 0}
+
+        def cost():
+            calls["n"] += 1
+            return (state["x"] - 3.0) ** 2
+
+        def propose(rng):
+            old = state["x"]
+            new = old + rng.uniform(-1.0, 1.0)
+            state["x"] = new
+            delta = (new - 3.0) ** 2 - (old - 3.0) ** 2
+
+            def undo():
+                state["x"] = old
+
+            return undo, delta
+
+        result = anneal(cost, propose, iterations=1000, seed=1)
+        assert calls["n"] == 1
+        assert result.best_cost < 1.0
+        assert (state["x"] - 3.0) ** 2 == pytest.approx(result.best_cost, abs=1e-9)
+
 
 class TestInitialPlacement:
     def test_trivial_starts_in_row_nearest_entanglement_zone(self, arch):
