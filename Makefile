@@ -1,12 +1,20 @@
 # Entry points for the tier-1 test suite and the perf-tracking benchmarks.
 
 PYTEST ?= python -m pytest
+PY_SRC ?= PYTHONPATH=src python
 
-.PHONY: test bench bench-full
+.PHONY: test smoke bench bench-full
 
-## Tier-1: the full unit + benchmark suite (what CI gates on).
-test:
+## Tier-1: CLI smoke check plus the full unit + benchmark suite (what CI gates on).
+test: smoke
 	$(PYTEST) -x -q
+
+## Fast end-to-end check of the public API through the CLI: the registry
+## lists its backends and one benchmark compiles to a serializable result.
+smoke:
+	$(PY_SRC) -m repro backends
+	$(PY_SRC) -m repro compile bv_n14 --backend zac --json > /dev/null
+	@echo "smoke ok"
 
 ## Tier-1 tests plus the compile-speed regression benchmark (writes
 ## BENCH_compile_speed.json with the fast-vs-naive speedup numbers).

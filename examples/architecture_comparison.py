@@ -1,12 +1,15 @@
 """Compare architectures and compilers on a slice of the paper's benchmark set.
 
 Reproduces a small version of Fig. 8 / Fig. 10: fidelity and duration of the
-superconducting baselines, the monolithic compilers, NALAC and ZAC.
+superconducting baselines, the monolithic compilers, NALAC and ZAC.  Every
+compiler is built through the backend registry, so a newly registered backend
+shows up in the sweep by adding one ``create_backend`` line.
 
 Run with::
 
-    python examples/architecture_comparison.py            # fast subset
-    python examples/architecture_comparison.py --full     # all 17 circuits
+    python examples/architecture_comparison.py              # fast subset
+    python examples/architecture_comparison.py --full       # all 17 circuits
+    python examples/architecture_comparison.py --parallel 4 # fan out workers
 """
 
 import argparse
@@ -16,16 +19,24 @@ from repro.experiments.architecture_comparison import (
     improvement_summary,
     run_architecture_comparison,
 )
+from repro.experiments.harness import default_compilers
 from repro.experiments.reporting import format_table
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="run all 17 paper benchmarks")
+    parser.add_argument(
+        "--parallel", type=int, default=0, help="worker processes for the sweep"
+    )
     args = parser.parse_args()
 
     subset = None if args.full else ["bv_n14", "ghz_n23", "ising_n42", "qft_n18"]
-    records = run_architecture_comparison(subset)
+    # default_compilers() builds the Fig. 8 set via repro.api.create_backend;
+    # pass your own {label: create_backend(...)} dict to sweep other backends.
+    records = run_architecture_comparison(
+        subset, compilers=default_compilers(), parallel=args.parallel
+    )
 
     print("Circuit fidelity across architectures (Fig. 8)")
     print(format_table(fidelity_table(records)))

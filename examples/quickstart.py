@@ -1,19 +1,20 @@
-"""Quickstart: compile a circuit for the reference zoned architecture with ZAC.
+"""Quickstart: compile a circuit with the unified backend API.
+
+``repro.compile`` looks the backend up in the registry, compiles the circuit,
+and returns a :class:`repro.CompileResult` that serializes to JSON.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.arch import reference_zoned_architecture
-from repro.circuits import QuantumCircuit
-from repro.core import ZACCompiler, ZACConfig
+import repro
 from repro.zair import validate_program
 
 
-def build_circuit() -> QuantumCircuit:
+def build_circuit() -> repro.QuantumCircuit:
     """A small GHZ-style circuit with a few extra entangling layers."""
-    circuit = QuantumCircuit(6, name="quickstart_ghz6")
+    circuit = repro.QuantumCircuit(6, name="quickstart_ghz6")
     circuit.h(0)
     for q in range(5):
         circuit.cx(q, q + 1)
@@ -25,16 +26,18 @@ def build_circuit() -> QuantumCircuit:
 
 
 def main() -> None:
-    architecture = reference_zoned_architecture()
     circuit = build_circuit()
 
-    compiler = ZACCompiler(architecture, ZACConfig.full())
-    result = compiler.compile(circuit)
+    # One call: registry lookup, backend construction, compilation.  Swap
+    # backend="zac" for any name in repro.available_backends() ("enola",
+    # "atomique", "nalac", "sc", "ideal") to retarget the same circuit.
+    result = repro.compile(circuit, backend="zac", config=repro.ZACConfig.full())
 
     # The compiled ZAIR program can be checked against the hardware rules and
     # serialised to JSON for a hardware backend.
-    validate_program(architecture, result.program)
+    validate_program(repro.reference_zoned_architecture(), result.program)
 
+    print(f"backends available : {', '.join(repro.available_backends())}")
     print(f"circuit: {result.circuit_name} on {result.architecture_name}")
     print(f"  2Q gates           : {result.metrics.num_2q_gates}")
     print(f"  Rydberg stages     : {result.metrics.num_rydberg_stages}")
@@ -47,6 +50,11 @@ def main() -> None:
     print("fidelity breakdown:")
     for term, value in result.fidelity.as_dict().items():
         print(f"  {term:14s}: {value:.4f}")
+    print()
+
+    # Results round-trip through JSON, so sweeps can be persisted and merged.
+    restored = repro.CompileResult.from_json(result.to_json())
+    print(f"JSON round-trip fidelity: {restored.total_fidelity:.4f}")
     print()
     print("first few ZAIR instructions:")
     for inst in result.program.instructions[:5]:

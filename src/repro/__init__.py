@@ -1,29 +1,66 @@
 """repro: reproduction of ZAC -- Reuse-Aware Compilation for Zoned Quantum
 Architectures Based on Neutral Atoms (HPCA 2025).
 
+The public API is the backend registry::
+
+    import repro
+
+    result = repro.compile("bv_n14", backend="zac")   # or any QuantumCircuit
+    repro.available_backends()  # ["zac", "enola", "atomique", "nalac", "sc", "ideal"]
+    results = repro.compile_many(["bv_n14", "ghz_n23"], backend="nalac", parallel=4)
+    print(result.to_json())     # CompileResult round-trips via from_json/from_dict
+
+``repro.compile`` returns the unified :class:`~repro.core.result.CompileResult`
+for every backend; ``repro.register_backend`` plugs new compilers into the
+same harness.  A CLI smoke entry is available as ``python -m repro``.
+
 The package is organised as:
 
+* :mod:`repro.api`       -- backend registry, ``compile``/``compile_many``, options
 * :mod:`repro.circuits`   -- circuit IR, QASM I/O, resynthesis, benchmark library
 * :mod:`repro.arch`       -- zoned-architecture specification and presets
 * :mod:`repro.zair`       -- the ZAIR intermediate representation
 * :mod:`repro.fidelity`   -- fidelity / timing models (neutral atom + superconducting)
-* :mod:`repro.core`       -- the ZAC compiler (placement, routing, scheduling)
+* :mod:`repro.core`       -- the ZAC compiler as a pass pipeline
+                             (preprocess -> place -> route -> schedule -> fidelity)
 * :mod:`repro.baselines`  -- Enola / Atomique / NALAC / superconducting / ideal bounds
 * :mod:`repro.ftqc`       -- [[8,3,2]] code blocks and hIQP transversal-gate compilation
 * :mod:`repro.experiments`-- harnesses regenerating every table and figure
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from .api import (
+    CompileResult,
+    UnknownBackendError,
+    available_backends,
+    compile,
+    compile_many,
+    create_backend,
+    load_results,
+    merge_results,
+    register_backend,
+    save_results,
+)
 from .arch import reference_zoned_architecture
 from .circuits import QuantumCircuit
 from .core import CompilationResult, ZACCompiler, ZACConfig
 
 __all__ = [
-    "CompilationResult",
+    "CompilationResult",  # deprecated alias of CompileResult
+    "CompileResult",
     "QuantumCircuit",
+    "UnknownBackendError",
     "ZACCompiler",
     "ZACConfig",
+    "available_backends",
+    "compile",
+    "compile_many",
+    "create_backend",
+    "load_results",
+    "merge_results",
     "reference_zoned_architecture",
+    "register_backend",
+    "save_results",
     "__version__",
 ]

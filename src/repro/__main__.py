@@ -1,0 +1,160 @@
+"""CLI smoke entry: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro compile bv_n14 --backend zac --json
+    python -m repro compile circuit.qasm --backend nalac
+    python -m repro backends
+    python -m repro benchmarks
+
+``compile`` accepts a paper-benchmark name or a path to an OpenQASM 2 file,
+runs the requested registry backend, and prints the unified result summary
+(``--json`` prints the serialized ``CompileResult`` instead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+from collections.abc import Sequence
+
+# Die silently on a closed pipe (e.g. `python -m repro benchmarks | head`).
+if hasattr(signal, "SIGPIPE"):  # pragma: no branch - absent only on Windows
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+from . import api
+from .circuits import qasm
+from .circuits.circuit import QuantumCircuit
+from .circuits.library.registry import PAPER_BENCHMARKS
+
+
+def _resolve_circuit(spec: str) -> QuantumCircuit:
+    if spec in PAPER_BENCHMARKS:
+        return PAPER_BENCHMARKS[spec]()
+    if os.path.exists(spec):
+        return qasm.load(spec)
+    raise SystemExit(
+        f"error: {spec!r} is neither a paper benchmark nor a QASM file "
+        f"(benchmarks: {', '.join(PAPER_BENCHMARKS)})"
+    )
+
+
+#: ZACConfig presets addressable from the CLI via --option config=<preset>.
+_ZAC_CONFIG_PRESETS = ("vanilla", "dyn_place", "dyn_place_reuse", "full")
+
+
+def _coerce_option(backend: str, key: str, value: str) -> object:
+    """Turn a CLI ``key=value`` string into a typed backend option.
+
+    Scalars are parsed as JSON (``lower_jobs=false`` -> ``False``,
+    ``mode=perfect_reuse`` stays a string); for the ``zac`` backend,
+    ``config=<preset>`` names a :class:`repro.ZACConfig` factory.
+    """
+    if backend == "zac" and key == "config":
+        from .core.config import ZACConfig
+
+        if value not in _ZAC_CONFIG_PRESETS:
+            raise SystemExit(
+                f"error: unknown zac config preset {value!r}; "
+                f"choose from: {', '.join(_ZAC_CONFIG_PRESETS)}"
+            )
+        return getattr(ZACConfig, value)()
+    try:
+        parsed = json.loads(value)
+    except json.JSONDecodeError:
+        return value
+    if isinstance(parsed, (dict, list)):
+        raise SystemExit(
+            f"error: option {key}={value!r} must be a scalar (string/number/bool)"
+        )
+    return parsed
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    options = {
+        key: _coerce_option(args.backend, key, value)
+        for key, value in (args.options or ())
+    }
+    try:
+        result = api.compile(circuit, backend=args.backend, **options)
+    except (api.UnknownBackendError, TypeError, ValueError) as exc:
+        # Unknown backend, rejected option, bad variant/mode, circuit too
+        # large for the architecture, ... -- all user errors, not tracebacks.
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(f"circuit      : {result.circuit_name}")
+    print(f"backend      : {args.backend} ({result.compiler_name})")
+    print(f"architecture : {result.architecture_name}")
+    for key, value in result.summary().items():
+        print(f"  {key:22s}: {value:.6g}")
+    return 0
+
+
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    for name in api.available_backends():
+        spec = api.backend_spec(name)
+        print(f"{name:10s} {spec.description}")
+    return 0
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    for name in PAPER_BENCHMARKS:
+        print(name)
+    return 0
+
+
+def _parse_option(text: str) -> tuple[str, object]:
+    """Parse a ``key=value`` backend option (values stay strings)."""
+    key, sep, value = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"option {text!r} is not of the form key=value")
+    return key, value
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ZAC reproduction: compile circuits via the backend registry."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser(
+        "compile", help="compile a benchmark (or QASM file) with a registered backend"
+    )
+    compile_parser.add_argument("circuit", help="paper benchmark name or QASM file path")
+    compile_parser.add_argument(
+        "--backend", default="zac", help="registry backend name (see `backends`)"
+    )
+    compile_parser.add_argument(
+        "--json", action="store_true", help="print the serialized CompileResult"
+    )
+    compile_parser.add_argument(
+        "--option",
+        dest="options",
+        action="append",
+        type=_parse_option,
+        metavar="KEY=VALUE",
+        help=(
+            "backend option; values parse as JSON scalars (lower_jobs=false), "
+            "and --backend zac accepts config=<vanilla|dyn_place|dyn_place_reuse|full>"
+        ),
+    )
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    backends_parser = sub.add_parser("backends", help="list registered backends")
+    backends_parser.set_defaults(func=_cmd_backends)
+
+    benchmarks_parser = sub.add_parser("benchmarks", help="list paper benchmarks")
+    benchmarks_parser.set_defaults(func=_cmd_benchmarks)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

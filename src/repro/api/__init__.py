@@ -1,0 +1,139 @@
+"""The public compilation API: backend registry + one-call compilation.
+
+Typical use::
+
+    import repro
+
+    result = repro.compile("bv_n14", backend="zac")          # one benchmark
+    results = repro.compile_many(                            # batch, fanned out
+        ["bv_n14", "ghz_n23"], backend="nalac", parallel=4
+    )
+    repro.available_backends()                               # -> ["zac", ...]
+
+``compile`` accepts a :class:`~repro.circuits.circuit.QuantumCircuit` or a
+paper-benchmark name, instantiates the requested backend through the
+registry, and returns the unified
+:class:`~repro.core.result.CompileResult`, which serializes with
+``to_dict``/``to_json`` and round-trips with ``from_dict``/``from_json``.
+New backends plug in via :func:`register_backend` and instantly work with
+every experiment harness that builds its compilers through the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from ..arch.spec import Architecture
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.library.registry import get_benchmark
+from ..core.result import (
+    CompileResult,
+    load_results,
+    merge_results,
+    results_from_json,
+    results_to_json,
+    save_results,
+)
+from . import backends as _backends  # noqa: F401  (registers the built-ins)
+from .options import (
+    AtomiqueOptions,
+    EnolaOptions,
+    IdealOptions,
+    NalacOptions,
+    SCOptions,
+    ZacOptions,
+)
+from .parallel import fanout_map
+from .registry import (
+    BackendSpec,
+    Compiler,
+    UnknownBackendError,
+    available_backends,
+    backend_spec,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+
+CircuitLike = Union[QuantumCircuit, str]
+
+
+def _as_circuit(circuit: CircuitLike) -> QuantumCircuit:
+    if isinstance(circuit, str):
+        return get_benchmark(circuit)
+    return circuit
+
+
+def compile(
+    circuit: CircuitLike,
+    backend: str = "zac",
+    arch: Architecture | None = None,
+    **options: Any,
+) -> CompileResult:
+    """Compile a circuit (or paper-benchmark name) with a registered backend.
+
+    Args:
+        circuit: A :class:`~repro.circuits.circuit.QuantumCircuit`, or the
+            name of a paper benchmark (e.g. ``"bv_n14"``).
+        backend: Registry name of the compiler (see
+            :func:`available_backends`).
+        arch: Target architecture; ``None`` selects the backend's default.
+        **options: Backend-specific options (validated against the backend's
+            option dataclass, e.g. ``config=ZACConfig.vanilla()`` for ZAC).
+
+    Returns:
+        The unified, JSON-serializable compilation result.
+    """
+    compiler = create_backend(backend, arch=arch, **options)
+    return compiler.compile(_as_circuit(circuit))
+
+
+def _compile_one(pair: tuple[Compiler, QuantumCircuit]) -> CompileResult:
+    """Top-level worker (picklable) compiling one circuit."""
+    compiler, circuit = pair
+    return compiler.compile(circuit)
+
+
+def compile_many(
+    circuits: list[CircuitLike],
+    backend: str = "zac",
+    arch: Architecture | None = None,
+    parallel: int | bool = 0,
+    **options: Any,
+) -> list[CompileResult]:
+    """Compile a batch of circuits with one backend, in input order.
+
+    The independent runs fan out over a process pool (the same fan-out the
+    experiment harness's ``run_matrix`` uses); ``parallel=True`` means one
+    worker per CPU, ``0``/``1``/``False`` run serially.
+    """
+    compiler = create_backend(backend, arch=arch, **options)
+    pairs = [(compiler, _as_circuit(circuit)) for circuit in circuits]
+    return fanout_map(_compile_one, pairs, parallel=parallel)
+
+
+__all__ = [
+    "AtomiqueOptions",
+    "BackendSpec",
+    "Compiler",
+    "CompileResult",
+    "EnolaOptions",
+    "IdealOptions",
+    "NalacOptions",
+    "SCOptions",
+    "UnknownBackendError",
+    "ZacOptions",
+    "available_backends",
+    "backend_spec",
+    "compile",
+    "compile_many",
+    "create_backend",
+    "fanout_map",
+    "load_results",
+    "merge_results",
+    "register_backend",
+    "results_from_json",
+    "results_to_json",
+    "save_results",
+    "unregister_backend",
+]

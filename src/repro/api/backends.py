@@ -1,0 +1,88 @@
+"""Factories registering the six built-in backends.
+
+Importing this module (done by :mod:`repro.api`) populates the registry with
+``zac``, ``enola``, ``atomique``, ``nalac``, ``sc``, and ``ideal``.
+"""
+
+from __future__ import annotations
+
+from ..arch.presets import reference_zoned_architecture
+from ..arch.spec import Architecture
+from ..baselines.ideal import IdealBound
+from ..baselines.monolithic.atomique import AtomiqueCompiler
+from ..baselines.monolithic.enola import EnolaCompiler
+from ..baselines.superconducting.transpiler import SuperconductingCompiler
+from ..baselines.zoned.nalac import NALACCompiler
+from ..core.compiler import ZACCompiler
+from .options import (
+    AtomiqueOptions,
+    EnolaOptions,
+    IdealOptions,
+    NalacOptions,
+    SCOptions,
+    ZacOptions,
+)
+from .registry import register_backend
+
+
+def _zac_factory(arch: Architecture | None, options: ZacOptions) -> ZACCompiler:
+    return ZACCompiler(
+        arch or reference_zoned_architecture(),
+        config=options.config,
+        params=options.params,
+        lower_jobs=options.lower_jobs,
+        pipeline=options.pipeline,
+    )
+
+
+def _enola_factory(arch: Architecture | None, options: EnolaOptions) -> EnolaCompiler:
+    return EnolaCompiler(architecture=arch, params=options.params)
+
+
+def _atomique_factory(
+    arch: Architecture | None, options: AtomiqueOptions
+) -> AtomiqueCompiler:
+    return AtomiqueCompiler(architecture=arch, params=options.params)
+
+
+def _nalac_factory(arch: Architecture | None, options: NalacOptions) -> NALACCompiler:
+    return NALACCompiler(architecture=arch, params=options.params)
+
+
+def _sc_factory(
+    arch: Architecture | None, options: SCOptions
+) -> SuperconductingCompiler:
+    if arch is not None:
+        raise ValueError(
+            "the 'sc' backend targets fixed coupling graphs; pick variant='heron' "
+            "or variant='grid' instead of passing a zoned architecture"
+        )
+    if options.variant == "heron":
+        return SuperconductingCompiler.heron()
+    if options.variant == "grid":
+        return SuperconductingCompiler.grid()
+    raise ValueError(f"unknown sc variant {options.variant!r}; use 'heron' or 'grid'")
+
+
+def _ideal_factory(arch: Architecture | None, options: IdealOptions) -> IdealBound:
+    return IdealBound(options.mode, architecture=arch, params=options.params)
+
+
+register_backend(
+    "zac", _zac_factory, ZacOptions, "Reuse-aware zoned compiler (the paper's ZAC)"
+)
+register_backend(
+    "enola", _enola_factory, EnolaOptions, "Monolithic movement-based baseline (Enola)"
+)
+register_backend(
+    "atomique", _atomique_factory, AtomiqueOptions, "Monolithic SLM/AOD baseline (Atomique)"
+)
+register_backend(
+    "nalac", _nalac_factory, NalacOptions, "Zoned single-row baseline (NALAC)"
+)
+register_backend(
+    "sc", _sc_factory, SCOptions, "Superconducting transpiler (Heron / grid)"
+)
+register_backend(
+    "ideal", _ideal_factory, IdealOptions, "Idealised upper bounds on a ZAC run"
+)

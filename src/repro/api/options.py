@@ -1,0 +1,75 @@
+"""Per-backend option dataclasses for the backend registry.
+
+Keyword arguments passed to :func:`repro.compile` /
+:func:`repro.api.create_backend` are validated by constructing the backend's
+option dataclass, so a typo'd option fails fast with the list of valid
+fields instead of being silently ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..baselines.ideal import PERFECT_MOVEMENT
+from ..core.config import ZACConfig
+from ..fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.pipeline import PassPipeline
+
+
+@dataclass(frozen=True)
+class ZacOptions:
+    """Options of the ``"zac"`` backend (the paper's compiler)."""
+
+    config: ZACConfig | None = None
+    params: NeutralAtomParams = NEUTRAL_ATOM
+    lower_jobs: bool = True
+    pipeline: "PassPipeline | None" = None
+
+
+@dataclass(frozen=True)
+class EnolaOptions:
+    """Options of the ``"enola"`` monolithic baseline."""
+
+    params: NeutralAtomParams = NEUTRAL_ATOM
+
+
+@dataclass(frozen=True)
+class AtomiqueOptions:
+    """Options of the ``"atomique"`` monolithic baseline."""
+
+    params: NeutralAtomParams = NEUTRAL_ATOM
+
+
+@dataclass(frozen=True)
+class NalacOptions:
+    """Options of the ``"nalac"`` zoned baseline."""
+
+    params: NeutralAtomParams = NEUTRAL_ATOM
+
+
+@dataclass(frozen=True)
+class SCOptions:
+    """Options of the ``"sc"`` superconducting baseline.
+
+    Attributes:
+        variant: ``"grid"`` (Google-style 11x11 grid, the paper's Table II
+            device) or ``"heron"`` (IBM Heron heavy-hexagon).
+    """
+
+    variant: str = "grid"
+
+
+@dataclass(frozen=True)
+class IdealOptions:
+    """Options of the ``"ideal"`` upper-bound backend.
+
+    Attributes:
+        mode: One of ``perfect_movement`` / ``perfect_placement`` /
+            ``perfect_reuse`` (see :mod:`repro.baselines.ideal`).
+    """
+
+    mode: str = PERFECT_MOVEMENT
+    params: NeutralAtomParams = NEUTRAL_ATOM

@@ -1,0 +1,52 @@
+"""Process-pool fan-out shared by ``compile_many`` and the experiment harness.
+
+Every (compiler, circuit) run is an isolated compilation, so batches can be
+mapped over a :class:`~concurrent.futures.ProcessPoolExecutor`.  The helper
+keeps the submission order in the results, falls back to a serial loop for
+``parallel in (0, 1, False)`` or single-item batches, and caps the worker
+count at the batch size.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def resolve_workers(parallel: int | bool) -> int:
+    """Turn a ``parallel=`` argument into a worker count (``True`` = one per CPU)."""
+    if parallel is True:
+        return os.cpu_count() or 1
+    return int(parallel)
+
+
+def fanout_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Iterable[ItemT] | Sequence[ItemT],
+    parallel: int | bool = 0,
+) -> list[ResultT]:
+    """Map ``fn`` over ``items``, optionally fanning out over worker processes.
+
+    Args:
+        fn: A picklable (module-level) callable.
+        items: The work items; each must be picklable when running in parallel.
+        parallel: Worker-process count; ``True`` means one per CPU, ``0`` /
+            ``1`` / ``False`` run serially.  With the ``spawn`` start method
+            the ``repro`` package must be importable in workers (``PYTHONPATH``
+            must include ``src`` or the package must be installed); the default
+            ``fork`` start method on Linux needs no setup.
+
+    Returns:
+        The results in submission order, regardless of ``parallel``.
+    """
+    items = list(items)
+    workers = resolve_workers(parallel)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as executor:
+        return list(executor.map(fn, items))

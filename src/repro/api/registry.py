@@ -1,0 +1,139 @@
+"""The backend registry: one uniform construction path for every compiler.
+
+A *backend* is a named factory producing objects satisfying the
+:class:`Compiler` protocol (``name`` + ``compile(circuit) -> CompileResult``).
+The built-in backends (``zac``, ``enola``, ``atomique``, ``nalac``, ``sc``,
+``ideal``) are registered by :mod:`repro.api.backends`; new targets register
+themselves with :func:`register_backend` and immediately work with
+:func:`repro.compile`, :func:`repro.compile_many`, and every experiment
+module that builds its compiler dictionary through the registry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+from ..arch.spec import Architecture
+from ..core.result import CompileResult
+
+
+@runtime_checkable
+class Compiler(Protocol):
+    """What the harness needs from a compiler: a name and ``compile``."""
+
+    name: str
+
+    def compile(self, circuit: Any) -> CompileResult:  # pragma: no cover - protocol
+        ...
+
+
+class UnknownBackendError(KeyError):
+    """Raised when a backend name is not in the registry."""
+
+    def __init__(self, name: str, known: list[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return f"unknown backend {self.name!r}; registered backends: {', '.join(self.known)}"
+
+
+#: A factory builds a compiler from a target architecture (may be ``None``,
+#: meaning the backend's default device) and its validated options object.
+BackendFactory = Callable[[Architecture | None, Any], Compiler]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registry entry."""
+
+    name: str
+    factory: BackendFactory
+    options: type | None = None
+    description: str = ""
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str,
+    factory: BackendFactory,
+    options: type | None = None,
+    description: str = "",
+    overwrite: bool = False,
+) -> BackendSpec:
+    """Register a compiler backend under ``name``.
+
+    Args:
+        name: Registry key, e.g. ``"zac"``.
+        factory: ``factory(arch, options) -> Compiler``.
+        options: Optional dataclass validating the backend's keyword options.
+        description: One-line description shown by the CLI.
+        overwrite: Allow replacing an existing registration.
+
+    Raises:
+        ValueError: If ``name`` is already registered and not ``overwrite``.
+    """
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    spec = BackendSpec(name=name, factory=factory, options=options, description=description)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend registration (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends, in registration order."""
+    return list(_REGISTRY)
+
+
+def backend_spec(name: str) -> BackendSpec:
+    """Look up a backend registration.
+
+    Raises:
+        UnknownBackendError: If ``name`` is not registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(name, available_backends()) from None
+
+
+def create_backend(
+    name: str, arch: Architecture | None = None, **options: Any
+) -> Compiler:
+    """Instantiate a registered backend.
+
+    Args:
+        name: Registry key (see :func:`available_backends`).
+        arch: Target architecture; ``None`` selects the backend's default.
+        **options: Backend-specific options, validated against the backend's
+            option dataclass.
+
+    Raises:
+        UnknownBackendError: If ``name`` is not registered.
+        TypeError: If an option is not accepted by the backend.
+    """
+    spec = backend_spec(name)
+    if spec.options is not None:
+        try:
+            validated = spec.options(**options)
+        except TypeError as exc:
+            raise TypeError(f"invalid options for backend {name!r}: {exc}") from None
+    else:
+        if options:
+            raise TypeError(
+                f"backend {name!r} accepts no options, got: {', '.join(options)}"
+            )
+        validated = None
+    return spec.factory(arch, validated)

@@ -4,7 +4,7 @@ superconducting (Heron / grid), and idealised upper bounds."""
 from .ideal import IdealBound, maximal_reuse_count
 from .monolithic.atomique import AtomiqueCompiler, partition_qubits
 from .monolithic.enola import EnolaCompiler
-from .result import BaselineResult
+from .result import BaselineResult, CompileResult
 from .superconducting.coupling import grid_coupling, heavy_hex_coupling
 from .superconducting.routing import RoutedCircuit, RoutingError, route
 from .superconducting.transpiler import SuperconductingCompiler
@@ -13,6 +13,7 @@ from .zoned.nalac import NALACCompiler
 __all__ = [
     "AtomiqueCompiler",
     "BaselineResult",
+    "CompileResult",
     "EnolaCompiler",
     "IdealBound",
     "NALACCompiler",

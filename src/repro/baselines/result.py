@@ -1,50 +1,18 @@
-"""Common result type for the baseline compilers.
+"""Deprecated alias module: baseline results are plain ``CompileResult``\\ s.
 
 Baseline compilers (Enola, Atomique, NALAC, the superconducting transpiler,
 and the ideal bounds) do not emit full ZAIR programs; they produce execution
-metrics and a fidelity breakdown that the experiment harness consumes through
-the same interface as :class:`repro.core.compiler.CompilationResult`.
+metrics and a fidelity breakdown.  Since the result unification they return
+the same :class:`repro.core.result.CompileResult` as the ZAC compiler, with
+the program/staged/plan artifacts left as ``None``.  ``BaselineResult`` is
+kept as an alias so pre-registry imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..core.result import CompileResult
 
-from ..fidelity.model import ExecutionMetrics, FidelityBreakdown
+#: Deprecated alias, kept for the pre-registry API.
+BaselineResult = CompileResult
 
-
-@dataclass
-class BaselineResult:
-    """Metrics and fidelity of one baseline compilation."""
-
-    circuit_name: str
-    architecture_name: str
-    compiler_name: str
-    metrics: ExecutionMetrics
-    fidelity: FidelityBreakdown
-
-    @property
-    def total_fidelity(self) -> float:
-        return self.fidelity.total
-
-    @property
-    def duration_us(self) -> float:
-        return self.metrics.duration_us
-
-    def summary(self) -> dict[str, float]:
-        """Flat dictionary of the headline numbers (for reports / CSV)."""
-        return {
-            "fidelity": self.fidelity.total,
-            "fidelity_2q": self.fidelity.two_q_gate_with_excitation,
-            "fidelity_1q": self.fidelity.one_q_gate,
-            "fidelity_transfer": self.fidelity.atom_transfer,
-            "fidelity_decoherence": self.fidelity.decoherence,
-            "duration_us": self.metrics.duration_us,
-            "num_2q_gates": self.metrics.num_2q_gates,
-            "num_1q_gates": self.metrics.num_1q_gates,
-            "num_transfers": self.metrics.num_transfers,
-            "num_excitations": self.metrics.num_excitations,
-            "num_rydberg_stages": self.metrics.num_rydberg_stages,
-            "num_movements": self.metrics.num_movements,
-            "compile_time_s": self.metrics.compile_time_s,
-        }
+__all__ = ["BaselineResult", "CompileResult"]

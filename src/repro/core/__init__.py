@@ -2,6 +2,26 @@
 
 from .compiler import CompilationResult, ZACCompiler
 from .config import ZACConfig
+from .pipeline import (
+    FidelityPass,
+    Pass,
+    PassContext,
+    PassPipeline,
+    PipelineError,
+    PlacePass,
+    PreprocessPass,
+    RoutePass,
+    SchedulePass,
+    default_pipeline,
+)
+from .result import (
+    CompileResult,
+    load_results,
+    merge_results,
+    results_from_json,
+    results_to_json,
+    save_results,
+)
 from .model import (
     LEFT,
     RIGHT,
@@ -16,15 +36,31 @@ from .model import (
 
 __all__ = [
     "CompilationResult",
+    "CompileResult",
+    "FidelityPass",
     "GatePlacementEntry",
     "LEFT",
     "Location",
     "Movement",
+    "Pass",
+    "PassContext",
+    "PassPipeline",
+    "PipelineError",
+    "PlacePass",
     "PlacementPlan",
+    "PreprocessPass",
     "RIGHT",
+    "RoutePass",
+    "SchedulePass",
     "StagePlan",
     "ZACCompiler",
     "ZACConfig",
+    "default_pipeline",
+    "load_results",
     "location_position",
     "location_qloc",
+    "merge_results",
+    "results_from_json",
+    "results_to_json",
+    "save_results",
 ]

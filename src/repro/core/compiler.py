@@ -1,72 +1,29 @@
 """The top-level ZAC compiler (paper Section IV).
 
-Pipeline: preprocessing (resynthesis + ASAP staging), reuse-aware placement
-(initial + dynamic), rearrangement-job routing, load-balanced scheduling, and
-fidelity estimation.  The result bundles the compiled ZAIR program, the raw
-execution metrics, and the fidelity breakdown.
+The compiler is a thin driver around the explicit pass pipeline of
+:mod:`repro.core.pipeline`: preprocessing (resynthesis + ASAP staging),
+reuse-aware placement (initial + dynamic), rearrangement-job routing,
+load-balanced scheduling, and fidelity estimation.  The result is the
+unified :class:`~repro.core.result.CompileResult` bundling the compiled ZAIR
+program, the raw execution metrics, and the fidelity breakdown.
+
+``CompilationResult`` is kept as a deprecated alias of ``CompileResult``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
 from ..arch.spec import Architecture
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.scheduling import StagedCircuit, preprocess, split_oversized_stages
-from ..fidelity.model import ExecutionMetrics, FidelityBreakdown, estimate_fidelity
+from ..circuits.scheduling import StagedCircuit
 from ..fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
-from ..zair.program import ZAIRProgram
 from .config import ZACConfig
-from .model import PlacementPlan
-from .placement.dynamic import DynamicPlacer
-from .placement.initial import sa_placement, trivial_placement
-from .scheduling.scheduler import Scheduler
+from .pipeline import PassContext, PassPipeline, default_pipeline
+from .result import CompileResult
 
-
-@dataclass
-class CompilationResult:
-    """Everything produced by one compiler run."""
-
-    circuit_name: str
-    architecture_name: str
-    program: ZAIRProgram
-    metrics: ExecutionMetrics
-    fidelity: FidelityBreakdown
-    staged: StagedCircuit
-    plan: PlacementPlan
-
-    @property
-    def total_fidelity(self) -> float:
-        return self.fidelity.total
-
-    @property
-    def duration_us(self) -> float:
-        return self.metrics.duration_us
-
-    #: Compilation phases surfaced in :meth:`summary` (in pipeline order).
-    PHASES = ("preprocess", "place", "route", "schedule", "fidelity")
-
-    def summary(self) -> dict[str, float]:
-        """Flat dictionary of the headline numbers (for reports / CSV)."""
-        summary = {
-            "fidelity": self.fidelity.total,
-            "fidelity_2q": self.fidelity.two_q_gate_with_excitation,
-            "fidelity_1q": self.fidelity.one_q_gate,
-            "fidelity_transfer": self.fidelity.atom_transfer,
-            "fidelity_decoherence": self.fidelity.decoherence,
-            "duration_us": self.metrics.duration_us,
-            "num_2q_gates": self.metrics.num_2q_gates,
-            "num_1q_gates": self.metrics.num_1q_gates,
-            "num_transfers": self.metrics.num_transfers,
-            "num_excitations": self.metrics.num_excitations,
-            "num_rydberg_stages": self.metrics.num_rydberg_stages,
-            "num_movements": self.metrics.num_movements,
-            "compile_time_s": self.metrics.compile_time_s,
-        }
-        for phase in self.PHASES:
-            summary[f"time_{phase}_s"] = self.metrics.phase_times_s.get(phase, 0.0)
-        return summary
+#: Deprecated alias, kept for the pre-registry API.
+CompilationResult = CompileResult
 
 
 class ZACCompiler:
@@ -78,7 +35,11 @@ class ZACCompiler:
         params: Hardware parameters used for timing and fidelity estimation.
         lower_jobs: Whether to lower rearrangement jobs to machine-level
             instructions (disable to speed up large sweeps).
+        pipeline: Custom pass pipeline; defaults to
+            :func:`repro.core.pipeline.default_pipeline` for ``config``.
     """
+
+    name = "Zoned-ZAC"
 
     def __init__(
         self,
@@ -86,74 +47,51 @@ class ZACCompiler:
         config: ZACConfig | None = None,
         params: NeutralAtomParams = NEUTRAL_ATOM,
         lower_jobs: bool = True,
+        pipeline: PassPipeline | None = None,
     ) -> None:
         self.architecture = architecture
         self.config = config or ZACConfig()
         self.params = params
         self.lower_jobs = lower_jobs
+        self.pipeline = pipeline or default_pipeline(self.config)
 
     # -- pipeline -------------------------------------------------------------
 
-    def compile(self, circuit: QuantumCircuit) -> CompilationResult:
+    def compile(self, circuit: QuantumCircuit) -> CompileResult:
         """Compile a circuit end to end."""
-        start = time.perf_counter()
-        staged = preprocess(circuit)
-        preprocess_s = time.perf_counter() - start
-        result = self.compile_staged(staged, circuit_name=circuit.name)
-        result.metrics.phase_times_s["preprocess"] = (
-            result.metrics.phase_times_s.get("preprocess", 0.0) + preprocess_s
-        )
-        result.metrics.compile_time_s = time.perf_counter() - start
-        return result
+        return self._run(self._context(circuit=circuit, circuit_name=circuit.name))
 
     def compile_staged(
         self, staged: StagedCircuit, circuit_name: str | None = None
-    ) -> CompilationResult:
+    ) -> CompileResult:
         """Compile an already-preprocessed (staged) circuit."""
-        start = time.perf_counter()
-        if staged.num_qubits > self.architecture.num_storage_traps:
-            raise ValueError(
-                f"circuit needs {staged.num_qubits} storage traps but the architecture "
-                f"has only {self.architecture.num_storage_traps}"
-            )
-        staged = split_oversized_stages(staged, self.architecture.num_rydberg_sites)
-        stage_pairs = [stage.pairs for stage in staged.rydberg_stages]
-        preprocess_s = time.perf_counter() - start
-
-        place_start = time.perf_counter()
-        initial = self._initial_placement(staged.num_qubits, stage_pairs)
-        placer = DynamicPlacer(self.architecture, self.config)
-        plan = placer.run(stage_pairs, initial)
-        place_s = time.perf_counter() - place_start
-
-        scheduler = Scheduler(
-            self.architecture,
-            self.params,
-            lower_jobs=self.lower_jobs,
-            fast_routing=self.config.use_fast_paths,
-        )
-        output = scheduler.run(staged, plan)
-        fidelity_start = time.perf_counter()
-        fidelity = estimate_fidelity(output.metrics, self.params)
-        output.metrics.phase_times_s["preprocess"] = preprocess_s
-        output.metrics.phase_times_s["place"] = place_s
-        output.metrics.phase_times_s["fidelity"] = time.perf_counter() - fidelity_start
-        output.metrics.compile_time_s = time.perf_counter() - start
-        return CompilationResult(
-            circuit_name=circuit_name or staged.name,
-            architecture_name=self.architecture.name,
-            program=output.program,
-            metrics=output.metrics,
-            fidelity=fidelity,
-            staged=staged,
-            plan=plan,
+        return self._run(
+            self._context(staged=staged, circuit_name=circuit_name or staged.name)
         )
 
     # -- helpers --------------------------------------------------------------
 
-    def _initial_placement(self, num_qubits, stage_pairs):
-        if self.config.use_sa_initial_placement:
-            return sa_placement(
-                self.architecture, num_qubits, stage_pairs, config=self.config
-            )
-        return trivial_placement(self.architecture, num_qubits)
+    def _context(self, **state) -> PassContext:
+        return PassContext(
+            architecture=self.architecture,
+            config=self.config,
+            params=self.params,
+            lower_jobs=self.lower_jobs,
+            **state,
+        )
+
+    def _run(self, ctx: PassContext) -> CompileResult:
+        start = time.perf_counter()
+        self.pipeline.run(ctx)
+        if ctx.metrics is not None:
+            ctx.metrics.compile_time_s = time.perf_counter() - start
+        return CompileResult(
+            circuit_name=ctx.circuit_name,
+            architecture_name=self.architecture.name,
+            compiler_name=self.name,
+            metrics=ctx.metrics,
+            fidelity=ctx.fidelity,
+            program=ctx.program,
+            staged=ctx.staged,
+            plan=ctx.plan,
+        )

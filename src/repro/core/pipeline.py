@@ -1,0 +1,287 @@
+"""The ZAC compiler as an explicit pass pipeline.
+
+The end-to-end compilation (preprocess -> place -> route -> schedule ->
+fidelity) is expressed as :class:`Pass` objects sharing one
+:class:`PassContext`.  :func:`default_pipeline` composes the standard
+pipeline for a :class:`~repro.core.config.ZACConfig`; the ablation presets
+(``ZACConfig.vanilla()`` etc.) differ only in which pass variants are
+composed.  Custom passes can be injected with
+:meth:`PassPipeline.with_pass` / :meth:`PassPipeline.replace` to open new
+scenarios without touching the compiler core.
+
+The pipeline records per-pass wall-clock time into
+``ExecutionMetrics.phase_times_s`` (the ``time_<phase>_s`` columns of
+:meth:`repro.core.result.CompileResult.summary`), and it supports pre/post
+hooks -- callables ``hook(pass_obj, ctx)`` invoked around every pass -- for
+tracing, debugging, and test instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..arch.spec import Architecture
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.scheduling import StagedCircuit, preprocess, split_oversized_stages
+from ..fidelity.model import ExecutionMetrics, FidelityBreakdown, estimate_fidelity
+from ..fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
+from ..zair.program import ZAIRProgram
+from .config import ZACConfig
+from .model import PlacementPlan
+from .placement.dynamic import DynamicPlacer
+from .placement.initial import sa_placement, trivial_placement
+from .routing.jobs import build_jobs
+from .scheduling.scheduler import Scheduler
+
+
+class PipelineError(RuntimeError):
+    """A pass ran before the context state it depends on was produced."""
+
+
+@dataclass
+class PassContext:
+    """Mutable state threaded through the passes of one compilation.
+
+    The standard passes populate the fields top to bottom; custom passes may
+    stash extra state in :attr:`data`.
+    """
+
+    architecture: Architecture
+    config: ZACConfig
+    params: NeutralAtomParams = NEUTRAL_ATOM
+    lower_jobs: bool = True
+    circuit: QuantumCircuit | None = None
+    circuit_name: str | None = None
+    staged: StagedCircuit | None = None
+    stage_pairs: list[list[tuple[int, int]]] | None = None
+    initial: dict[int, Any] | None = None
+    plan: PlacementPlan | None = None
+    routed_jobs: dict[tuple[int, str], list] | None = None
+    program: ZAIRProgram | None = None
+    metrics: ExecutionMetrics | None = None
+    fidelity: FidelityBreakdown | None = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def require(self, *names: str) -> None:
+        """Raise :class:`PipelineError` if any named field is still unset."""
+        missing = [name for name in names if getattr(self, name) is None]
+        if missing:
+            raise PipelineError(
+                f"pass prerequisites missing from context: {', '.join(missing)} "
+                "(did an earlier pass get removed from the pipeline?)"
+            )
+
+
+class Pass:
+    """One stage of the compilation pipeline.
+
+    Subclasses set :attr:`name` (the key used for per-pass timing in
+    ``phase_times_s`` and for :meth:`PassPipeline.replace`) and implement
+    :meth:`run`, mutating the shared context in place.
+    """
+
+    name: str = "pass"
+
+    def run(self, ctx: PassContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PreprocessPass(Pass):
+    """Resynthesis + ASAP staging, capacity check, oversized-stage splitting."""
+
+    name = "preprocess"
+
+    def run(self, ctx: PassContext) -> None:
+        if ctx.staged is None:
+            ctx.require("circuit")
+            ctx.staged = preprocess(ctx.circuit)
+        if ctx.circuit_name is None:
+            ctx.circuit_name = ctx.staged.name
+        if ctx.staged.num_qubits > ctx.architecture.num_storage_traps:
+            raise ValueError(
+                f"circuit needs {ctx.staged.num_qubits} storage traps but the "
+                f"architecture has only {ctx.architecture.num_storage_traps}"
+            )
+        ctx.staged = split_oversized_stages(ctx.staged, ctx.architecture.num_rydberg_sites)
+        ctx.stage_pairs = [stage.pairs for stage in ctx.staged.rydberg_stages]
+
+
+class PlacePass(Pass):
+    """Initial placement (SA or trivial) followed by dynamic placement."""
+
+    name = "place"
+
+    def __init__(self, initial: str = "sa") -> None:
+        if initial not in ("sa", "trivial"):
+            raise ValueError(f"unknown initial-placement strategy {initial!r}")
+        self.initial = initial
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.require("staged", "stage_pairs")
+        if self.initial == "sa":
+            ctx.initial = sa_placement(
+                ctx.architecture, ctx.staged.num_qubits, ctx.stage_pairs, config=ctx.config
+            )
+        else:
+            ctx.initial = trivial_placement(ctx.architecture, ctx.staged.num_qubits)
+        placer = DynamicPlacer(ctx.architecture, ctx.config)
+        ctx.plan = placer.run(ctx.stage_pairs, ctx.initial)
+
+
+class RoutePass(Pass):
+    """Build the rearrangement jobs for every movement epoch of the plan.
+
+    Jobs are keyed by ``(rydberg_stage_index, "in"|"out")`` and consumed by
+    the scheduler, which only has to time and emit them.
+    """
+
+    name = "route"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.require("plan")
+        jobs: dict[tuple[int, str], list] = {}
+        for index, stage_plan in enumerate(ctx.plan.stages):
+            for direction, movements in (
+                ("in", stage_plan.incoming),
+                ("out", stage_plan.outgoing),
+            ):
+                if movements:
+                    jobs[(index, direction)] = build_jobs(
+                        ctx.architecture,
+                        movements,
+                        lower=ctx.lower_jobs,
+                        fast=ctx.config.use_fast_paths,
+                    )
+        ctx.routed_jobs = jobs
+
+
+class SchedulePass(Pass):
+    """Time the routed jobs and emit the ZAIR program + execution metrics."""
+
+    name = "schedule"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.require("staged", "plan")
+        scheduler = Scheduler(
+            ctx.architecture,
+            ctx.params,
+            lower_jobs=ctx.lower_jobs,
+            fast_routing=ctx.config.use_fast_paths,
+        )
+        output = scheduler.run(ctx.staged, ctx.plan, prebuilt_jobs=ctx.routed_jobs)
+        ctx.program = output.program
+        ctx.metrics = output.metrics
+
+
+class FidelityPass(Pass):
+    """Evaluate the neutral-atom fidelity model on the execution metrics."""
+
+    name = "fidelity"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.require("metrics")
+        ctx.fidelity = estimate_fidelity(
+            ctx.metrics, ctx.params, vectorized=ctx.config.use_fast_paths
+        )
+
+
+#: Signature of pipeline hooks: called as ``hook(pass_obj, ctx)``.
+Hook = Callable[[Pass, PassContext], None]
+
+
+class PassPipeline:
+    """An ordered list of passes with pre/post hooks and per-pass timing."""
+
+    def __init__(
+        self,
+        passes: Sequence[Pass],
+        pre_hooks: Iterable[Hook] = (),
+        post_hooks: Iterable[Hook] = (),
+    ) -> None:
+        self.passes = list(passes)
+        self.pre_hooks = list(pre_hooks)
+        self.post_hooks = list(post_hooks)
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+    def add_pre_hook(self, hook: Hook) -> "PassPipeline":
+        self.pre_hooks.append(hook)
+        return self
+
+    def add_post_hook(self, hook: Hook) -> "PassPipeline":
+        self.post_hooks.append(hook)
+        return self
+
+    def _index_of(self, name: str) -> int:
+        for index, p in enumerate(self.passes):
+            if p.name == name:
+                return index
+        raise KeyError(f"no pass named {name!r} in pipeline {self.names}")
+
+    def replace(self, name: str, new_pass: Pass) -> "PassPipeline":
+        """Return a new pipeline with the named pass swapped out."""
+        passes = list(self.passes)
+        passes[self._index_of(name)] = new_pass
+        return PassPipeline(passes, self.pre_hooks, self.post_hooks)
+
+    def with_pass(
+        self, new_pass: Pass, *, before: str | None = None, after: str | None = None
+    ) -> "PassPipeline":
+        """Return a new pipeline with an extra pass inserted (default: append)."""
+        if before is not None and after is not None:
+            raise ValueError("pass either before= or after=, not both")
+        passes = list(self.passes)
+        if before is not None:
+            passes.insert(self._index_of(before), new_pass)
+        elif after is not None:
+            passes.insert(self._index_of(after) + 1, new_pass)
+        else:
+            passes.append(new_pass)
+        return PassPipeline(passes, self.pre_hooks, self.post_hooks)
+
+    def run(self, ctx: PassContext) -> PassContext:
+        """Run every pass in order, timing each one (hooks excluded)."""
+        timings: dict[str, float] = {}
+        for pass_obj in self.passes:
+            for hook in self.pre_hooks:
+                hook(pass_obj, ctx)
+            start = time.perf_counter()
+            pass_obj.run(ctx)
+            elapsed = time.perf_counter() - start
+            timings[pass_obj.name] = timings.get(pass_obj.name, 0.0) + elapsed
+            for hook in self.post_hooks:
+                hook(pass_obj, ctx)
+        if ctx.metrics is not None:
+            # Pipeline-level timings supersede any internal attribution (the
+            # scheduler's own route/schedule split) under the same keys.
+            ctx.metrics.phase_times_s.update(timings)
+        return ctx
+
+
+def default_pipeline(config: ZACConfig | None = None) -> PassPipeline:
+    """The standard ZAC pipeline for a configuration.
+
+    The ablation presets are pipeline compositions: ``vanilla()`` /
+    ``dyn_place()`` / ``dyn_place_reuse()`` compose the trivial initial
+    placement, ``full()`` the simulated-annealing one (dynamic placement and
+    reuse stay config switches consumed by the shared placement engine).
+    """
+    config = config or ZACConfig()
+    initial = "sa" if config.use_sa_initial_placement else "trivial"
+    return PassPipeline(
+        [
+            PreprocessPass(),
+            PlacePass(initial=initial),
+            RoutePass(),
+            SchedulePass(),
+            FidelityPass(),
+        ]
+    )

@@ -1,0 +1,242 @@
+"""The unified compilation result shared by every backend.
+
+:class:`CompileResult` is the single result type produced by ZAC and by all
+baseline compilers (Enola, Atomique, NALAC, the superconducting transpiler,
+and the ideal bounds).  It bundles the execution metrics and the fidelity
+breakdown that every backend emits, plus the ZAC-only artifacts (the ZAIR
+program, the staged circuit, and the placement plan) when available.
+
+The type is JSON-serializable: :meth:`CompileResult.to_dict` /
+:meth:`CompileResult.to_json` and :meth:`CompileResult.from_dict` /
+:meth:`CompileResult.from_json` round-trip the metrics and fidelity payload,
+so sweep results can be persisted to disk, sharded across workers, and merged
+afterwards (:func:`save_results` / :func:`load_results` / :func:`merge_results`).
+The in-memory-only artifacts (``program`` / ``staged`` / ``plan``) are not
+serialized; use :meth:`repro.zair.program.ZAIRProgram.dump` for the program.
+
+The legacy names ``repro.core.compiler.CompilationResult`` and
+``repro.baselines.result.BaselineResult`` are deprecated aliases of this
+class.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any
+
+from ..fidelity.model import ExecutionMetrics, FidelityBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..circuits.scheduling import StagedCircuit
+    from ..zair.program import ZAIRProgram
+    from .model import PlacementPlan
+
+#: Version tag written into serialized results (bump on incompatible changes).
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by one compiler run, for any backend.
+
+    Attributes:
+        circuit_name: Name of the compiled circuit.
+        architecture_name: Name of the target architecture / device.
+        compiler_name: Name of the compiler (backend) that produced the result.
+        metrics: Raw execution counts and timings.
+        fidelity: Per-error-source fidelity breakdown.
+        program: Compiled ZAIR program (ZAC-family backends only).
+        staged: Preprocessed staged circuit (ZAC-family backends only).
+        plan: Placement plan (ZAC-family backends only).
+    """
+
+    circuit_name: str
+    architecture_name: str
+    compiler_name: str = ""
+    metrics: ExecutionMetrics | None = None
+    fidelity: FidelityBreakdown | None = None
+    program: ZAIRProgram | None = None
+    staged: StagedCircuit | None = None
+    plan: PlacementPlan | None = None
+
+    #: Compilation phases surfaced in :meth:`summary` (in pipeline order).
+    PHASES = ("preprocess", "place", "route", "schedule", "fidelity")
+
+    # -- convenience accessors ------------------------------------------------
+
+    def _require(self, *names: str) -> None:
+        missing = [name for name in names if getattr(self, name) is None]
+        if missing:
+            raise ValueError(
+                f"CompileResult for {self.circuit_name!r} has no {', '.join(missing)} "
+                "(was the pipeline run without the schedule/fidelity passes?)"
+            )
+
+    @property
+    def total_fidelity(self) -> float:
+        self._require("fidelity")
+        return self.fidelity.total
+
+    @property
+    def duration_us(self) -> float:
+        self._require("metrics")
+        return self.metrics.duration_us
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary of the headline numbers (for reports / CSV)."""
+        self._require("metrics", "fidelity")
+        summary = {
+            "fidelity": self.fidelity.total,
+            "fidelity_2q": self.fidelity.two_q_gate_with_excitation,
+            "fidelity_1q": self.fidelity.one_q_gate,
+            "fidelity_transfer": self.fidelity.atom_transfer,
+            "fidelity_decoherence": self.fidelity.decoherence,
+            "duration_us": self.metrics.duration_us,
+            "num_2q_gates": self.metrics.num_2q_gates,
+            "num_1q_gates": self.metrics.num_1q_gates,
+            "num_transfers": self.metrics.num_transfers,
+            "num_excitations": self.metrics.num_excitations,
+            "num_rydberg_stages": self.metrics.num_rydberg_stages,
+            "num_movements": self.metrics.num_movements,
+            "compile_time_s": self.metrics.compile_time_s,
+        }
+        for phase in self.PHASES:
+            summary[f"time_{phase}_s"] = self.metrics.phase_times_s.get(phase, 0.0)
+        return summary
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self, include_program: bool = False) -> dict[str, Any]:
+        """Serialize the result into a JSON-compatible dictionary.
+
+        Args:
+            include_program: Also embed the ZAIR program dictionary (write-only
+                payload; :meth:`from_dict` does not reconstruct it).
+        """
+        self._require("metrics", "fidelity")
+        data: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "circuit_name": self.circuit_name,
+            "architecture_name": self.architecture_name,
+            "compiler_name": self.compiler_name,
+            "metrics": _metrics_to_dict(self.metrics),
+            "fidelity": _fidelity_to_dict(self.fidelity),
+        }
+        if include_program and self.program is not None:
+            data["program"] = self.program.to_dict()
+        return data
+
+    def to_json(self, indent: int | None = None, include_program: bool = False) -> str:
+        return json.dumps(
+            self.to_dict(include_program=include_program), indent=indent, sort_keys=True
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CompileResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The in-memory artifacts (``program`` / ``staged`` / ``plan``) are not
+        part of the serialized payload and come back as ``None``.
+
+        Raises:
+            ValueError: If the payload was written by an incompatible schema.
+        """
+        schema = data.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"serialized CompileResult has schema {schema}, "
+                f"this version reads schema {SCHEMA_VERSION}"
+            )
+        return cls(
+            circuit_name=data["circuit_name"],
+            architecture_name=data["architecture_name"],
+            compiler_name=data.get("compiler_name", ""),
+            metrics=_metrics_from_dict(data["metrics"]),
+            fidelity=_fidelity_from_dict(data["fidelity"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompileResult":
+        return cls.from_dict(json.loads(text))
+
+
+# -- (de)serialization of the component types ---------------------------------
+
+
+def _metrics_to_dict(metrics: ExecutionMetrics) -> dict[str, Any]:
+    data: dict[str, Any] = {}
+    for spec in fields(ExecutionMetrics):
+        value = getattr(metrics, spec.name)
+        if spec.name == "qubit_busy_us":
+            # JSON object keys are strings; emit them that way so that
+            # to_json(from_json(text)) is byte-identical to text.
+            value = {str(qubit): busy for qubit, busy in sorted(value.items())}
+        data[spec.name] = value
+    return data
+
+
+def _metrics_from_dict(data: dict[str, Any]) -> ExecutionMetrics:
+    known = {spec.name for spec in fields(ExecutionMetrics)}
+    kwargs = {key: value for key, value in data.items() if key in known}
+    kwargs["qubit_busy_us"] = {
+        int(qubit): float(busy) for qubit, busy in data.get("qubit_busy_us", {}).items()
+    }
+    kwargs["phase_times_s"] = dict(data.get("phase_times_s", {}))
+    return ExecutionMetrics(**kwargs)
+
+
+def _fidelity_to_dict(fidelity: FidelityBreakdown) -> dict[str, float]:
+    return {spec.name: getattr(fidelity, spec.name) for spec in fields(FidelityBreakdown)}
+
+
+def _fidelity_from_dict(data: dict[str, Any]) -> FidelityBreakdown:
+    return FidelityBreakdown(
+        **{spec.name: float(data[spec.name]) for spec in fields(FidelityBreakdown)}
+    )
+
+
+# -- persisted sweeps: save / load / merge -------------------------------------
+
+
+def results_to_json(results: list[CompileResult], indent: int | None = 2) -> str:
+    """Serialize a list of results (one shard of a sweep) to JSON."""
+    return json.dumps([r.to_dict() for r in results], indent=indent, sort_keys=True)
+
+
+def results_from_json(text: str) -> list[CompileResult]:
+    """Parse a list of results serialized by :func:`results_to_json`."""
+    return [CompileResult.from_dict(entry) for entry in json.loads(text)]
+
+
+def save_results(path: str, results: list[CompileResult]) -> None:
+    """Write one shard of sweep results to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(results_to_json(results))
+
+
+def load_results(path: str) -> list[CompileResult]:
+    """Read one shard of sweep results from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return results_from_json(handle.read())
+
+
+def merge_results(*shards: list[CompileResult]) -> list[CompileResult]:
+    """Merge result shards, dropping exact duplicates.
+
+    Duplicates are detected on the full serialized payload, so re-merging a
+    shard (or loading the same file twice) is idempotent, while runs that
+    share a (circuit, compiler, architecture) key but differ in their data
+    -- e.g. the same circuit under two ZAC configs, which both report
+    ``compiler_name == "Zoned-ZAC"`` -- are all kept.
+    """
+    merged: list[CompileResult] = []
+    seen: set[str] = set()
+    for shard in shards:
+        for result in shard:
+            key = result.to_json()
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(result)
+    return merged

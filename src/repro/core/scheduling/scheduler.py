@@ -58,8 +58,22 @@ class Scheduler:
         self.fast_routing = fast_routing
         self._route_time_s = 0.0
 
-    def run(self, staged: StagedCircuit, plan: PlacementPlan) -> ScheduleOutput:
-        """Schedule a staged circuit according to its placement plan."""
+    def run(
+        self,
+        staged: StagedCircuit,
+        plan: PlacementPlan,
+        prebuilt_jobs: dict[tuple[int, str], list[RearrangeJob]] | None = None,
+    ) -> ScheduleOutput:
+        """Schedule a staged circuit according to its placement plan.
+
+        Args:
+            staged: The preprocessed circuit.
+            plan: Placement plan with one entry per Rydberg stage.
+            prebuilt_jobs: Rearrangement jobs already built by a routing pass,
+                keyed by ``(rydberg_stage_index, "in"|"out")``.  Epochs missing
+                from the mapping (or the whole mapping, when ``None``) are
+                routed here on the fly.
+        """
         run_start = time.perf_counter()
         self._route_time_s = 0.0
         program = ZAIRProgram(
@@ -81,6 +95,7 @@ class Scheduler:
 
         clock = 0.0
         rydberg_index = 0
+        prebuilt = prebuilt_jobs or {}
         for stage in staged.stages:
             if isinstance(stage, OneQStage):
                 clock = self._emit_1q_stage(program, metrics, location, stage, clock)
@@ -89,13 +104,23 @@ class Scheduler:
                     raise ValueError("placement plan has fewer stages than the circuit")
                 stage_plan = plan.stages[rydberg_index]
                 clock = self._emit_epoch(
-                    program, metrics, location, stage_plan.incoming, clock
+                    program,
+                    metrics,
+                    location,
+                    stage_plan.incoming,
+                    clock,
+                    jobs=prebuilt.get((rydberg_index, "in")),
                 )
                 clock = self._emit_rydberg(
                     program, metrics, location, stage, stage_plan.zone_index, clock
                 )
                 clock = self._emit_epoch(
-                    program, metrics, location, stage_plan.outgoing, clock
+                    program,
+                    metrics,
+                    location,
+                    stage_plan.outgoing,
+                    clock,
+                    jobs=prebuilt.get((rydberg_index, "out")),
                 )
                 rydberg_index += 1
 
@@ -141,14 +166,16 @@ class Scheduler:
         location: dict[int, Location],
         movements: list[Movement],
         clock: float,
+        jobs: list[RearrangeJob] | None = None,
     ) -> float:
         if not movements:
             return clock
-        route_start = time.perf_counter()
-        jobs = build_jobs(
-            self.architecture, movements, lower=self.lower_jobs, fast=self.fast_routing
-        )
-        self._route_time_s += time.perf_counter() - route_start
+        if jobs is None:
+            route_start = time.perf_counter()
+            jobs = build_jobs(
+                self.architecture, movements, lower=self.lower_jobs, fast=self.fast_routing
+            )
+            self._route_time_s += time.perf_counter() - route_start
         durations = [self._job_duration(job) for job in jobs]
         schedules, makespan = schedule_epoch(durations, self.architecture.num_aods)
         for job, slot in zip(jobs, schedules):

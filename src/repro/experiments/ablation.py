@@ -10,15 +10,14 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..api import create_backend
 from ..arch.presets import reference_zoned_architecture
-from ..core.compiler import ZACCompiler
 from ..core.config import ZACConfig
 from .harness import (
     RunRecord,
-    benchmark_circuits,
     geometric_mean,
     records_by_compiler,
-    run_compiler,
+    run_matrix,
 )
 from .reporting import format_table
 
@@ -35,16 +34,20 @@ def run_ablation(
     circuit_names: Sequence[str] | None = None,
     architecture=None,
     configs: dict[str, ZACConfig] | None = None,
+    parallel: int | bool = 0,
 ) -> list[RunRecord]:
-    """Run every ablation setting on every benchmark."""
+    """Run every ablation setting on every benchmark.
+
+    Each ablation setting is a ``zac`` backend instance whose pass pipeline
+    is composed for that configuration.
+    """
     arch = architecture or reference_zoned_architecture()
     configs = configs or ABLATION_CONFIGS
-    records: list[RunRecord] = []
-    for _, circuit in benchmark_circuits(circuit_names):
-        for label, config in configs.items():
-            compiler = ZACCompiler(arch, config)
-            records.append(run_compiler(compiler, circuit, compiler_name=label))
-    return records
+    compilers = {
+        label: create_backend("zac", arch=arch, config=config)
+        for label, config in configs.items()
+    }
+    return run_matrix(circuit_names, compilers, parallel=parallel)
 
 
 def ablation_table(records: list[RunRecord]) -> list[dict[str, object]]:
@@ -79,9 +82,11 @@ def stepwise_improvements(records: list[RunRecord]) -> dict[str, float]:
     return gains
 
 
-def main(circuit_names: Sequence[str] | None = None) -> str:
+def main(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> str:
     """Run the experiment and return the formatted Fig. 11 table."""
-    records = run_ablation(circuit_names)
+    records = run_ablation(circuit_names, parallel=parallel)
     lines = [format_table(ablation_table(records)), "", "Step-wise geomean gains:"]
     for setting, gain in stepwise_improvements(records).items():
         lines.append(f"  {setting}: {gain * 100:+.1f}%")

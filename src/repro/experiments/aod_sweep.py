@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..api import create_backend
 from ..arch.presets import reference_zoned_architecture, with_num_aods
-from ..core.compiler import ZACCompiler
-from .harness import benchmark_circuits, geometric_mean
+from .harness import geometric_mean, records_by_compiler, run_matrix
 from .reporting import format_table
 
 #: AOD counts swept in Fig. 14.
@@ -21,17 +21,21 @@ AOD_COUNTS = (1, 2, 3, 4)
 def run_aod_sweep(
     circuit_names: Sequence[str] | None = None,
     aod_counts: Sequence[int] = AOD_COUNTS,
+    parallel: int | bool = 0,
 ) -> list[dict[str, object]]:
     """One row per circuit with a fidelity column per AOD count."""
     base = reference_zoned_architecture()
     compilers = {
-        f"{count}AOD": ZACCompiler(with_num_aods(base, count)) for count in aod_counts
+        f"{count}AOD": create_backend("zac", arch=with_num_aods(base, count))
+        for count in aod_counts
     }
+    grouped = records_by_compiler(run_matrix(circuit_names, compilers, parallel=parallel))
+    circuits = [record.circuit for record in grouped[next(iter(compilers))]]
     rows: list[dict[str, object]] = []
-    for name, circuit in benchmark_circuits(circuit_names):
+    for index, name in enumerate(circuits):
         row: dict[str, object] = {"circuit": name}
-        for label, compiler in compilers.items():
-            row[label] = compiler.compile(circuit).total_fidelity
+        for label in compilers:
+            row[label] = grouped[label][index].fidelity
         rows.append(row)
     gmean: dict[str, object] = {"circuit": "GMean"}
     for label in compilers:
@@ -51,9 +55,11 @@ def aod_gains(rows: list[dict[str, object]]) -> dict[str, float]:
     }
 
 
-def main(circuit_names: Sequence[str] | None = None) -> str:
+def main(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> str:
     """Run the experiment and return the formatted Fig. 14 table."""
-    rows = run_aod_sweep(circuit_names)
+    rows = run_aod_sweep(circuit_names, parallel=parallel)
     lines = [format_table(rows), "", "Gain over 1 AOD (geomean):"]
     for label, gain in aod_gains(rows).items():
         lines.append(f"  {label}: {gain * 100:+.1f}%")

@@ -60,9 +60,11 @@ def improvement_summary(records: list[RunRecord]) -> dict[str, float]:
     }
 
 
-def main(circuit_names: Sequence[str] | None = None) -> str:
+def main(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> str:
     """Run the experiment and return the formatted Fig. 8 table."""
-    records = run_architecture_comparison(circuit_names)
+    records = run_architecture_comparison(circuit_names, parallel=parallel)
     table = format_table(fidelity_table(records))
     ratios = improvement_summary(records)
     lines = [table, "", "ZAC fidelity improvement (geometric mean):"]

@@ -12,9 +12,12 @@ from .reporting import format_table
 def run_duration_comparison(
     circuit_names: Sequence[str] | None = None,
     compilers: dict[str, object] | None = None,
+    parallel: int | bool = 0,
 ) -> list[RunRecord]:
     """Same runs as the fidelity breakdown; the duration fields are reused."""
-    return run_fidelity_breakdown(circuit_names, compilers or breakdown_compilers())
+    return run_fidelity_breakdown(
+        circuit_names, compilers or breakdown_compilers(), parallel=parallel
+    )
 
 
 def duration_table(records: list[RunRecord]) -> list[dict[str, object]]:
@@ -48,9 +51,11 @@ def duration_ratios(records: list[RunRecord]) -> dict[str, float]:
     }
 
 
-def main(circuit_names: Sequence[str] | None = None) -> str:
+def main(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> str:
     """Run the experiment and return the formatted Fig. 10 table."""
-    records = run_duration_comparison(circuit_names)
+    records = run_duration_comparison(circuit_names, parallel=parallel)
     lines = [format_table(duration_table(records)), "", "ZAC duration ratio (geomean):"]
     for label, ratio in duration_ratios(records).items():
         lines.append(f"  vs {label}: {ratio:.2f}")

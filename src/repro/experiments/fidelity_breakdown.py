@@ -9,41 +9,37 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..api import Compiler, create_backend
 from ..arch.presets import reference_zoned_architecture
-from ..baselines import AtomiqueCompiler, EnolaCompiler, NALACCompiler
-from ..core.compiler import ZACCompiler
 from .harness import (
     RunRecord,
-    benchmark_circuits,
     geometric_mean,
     records_by_compiler,
-    run_compiler,
+    run_matrix,
 )
 from .reporting import format_table
 
 
-def breakdown_compilers(architecture=None) -> dict[str, object]:
+def breakdown_compilers(architecture=None) -> dict[str, Compiler]:
     """The four neutral-atom compilers compared in Fig. 9."""
     arch = architecture or reference_zoned_architecture()
     return {
-        "Atomique": AtomiqueCompiler(),
-        "Enola": EnolaCompiler(),
-        "NALAC": NALACCompiler(arch),
-        "ZAC": ZACCompiler(arch),
+        "Atomique": create_backend("atomique"),
+        "Enola": create_backend("enola"),
+        "NALAC": create_backend("nalac", arch=arch),
+        "ZAC": create_backend("zac", arch=arch),
     }
 
 
 def run_fidelity_breakdown(
     circuit_names: Sequence[str] | None = None,
-    compilers: dict[str, object] | None = None,
+    compilers: dict[str, Compiler] | None = None,
+    parallel: int | bool = 0,
 ) -> list[RunRecord]:
     """Collect per-error-source fidelity records."""
-    compilers = compilers or breakdown_compilers()
-    records: list[RunRecord] = []
-    for _, circuit in benchmark_circuits(circuit_names):
-        for label, compiler in compilers.items():
-            records.append(run_compiler(compiler, circuit, compiler_name=label))
-    return records
+    return run_matrix(
+        circuit_names, compilers or breakdown_compilers(), parallel=parallel
+    )
 
 
 def breakdown_table(records: list[RunRecord]) -> list[dict[str, object]]:
@@ -71,9 +67,13 @@ def breakdown_table(records: list[RunRecord]) -> list[dict[str, object]]:
     return rows
 
 
-def main(circuit_names: Sequence[str] | None = None) -> str:
+def main(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> str:
     """Run the experiment and return the formatted Fig. 9 table."""
-    return format_table(breakdown_table(run_fidelity_breakdown(circuit_names)))
+    return format_table(
+        breakdown_table(run_fidelity_breakdown(circuit_names, parallel=parallel))
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,34 +1,28 @@
 """Shared experiment harness.
 
-Every experiment module runs one or more *compilers* (objects exposing
-``compile(circuit)`` and a ``name``) over a set of benchmark circuits and
-collects :class:`RunRecord` rows.  Helper functions compute geometric means
-and render the rows as text tables or CSV, mirroring the data behind each
-figure and table of the paper.
+Every experiment module runs one or more *compilers* (objects satisfying the
+:class:`repro.api.Compiler` protocol) over a set of benchmark circuits and
+collects :class:`RunRecord` rows.  Compiler dictionaries are built through
+the backend registry (:func:`repro.api.create_backend`), so a newly
+registered backend automatically becomes sweepable.  Helper functions
+compute geometric means and render the rows as text tables or CSV, mirroring
+the data behind each figure and table of the paper.
 
 :func:`run_matrix` executes a full (circuit x compiler) sweep and can fan
-the independent runs out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-(``parallel=``), since every pair is an isolated compilation.
+the independent runs out over a process pool (``parallel=``, via
+:func:`repro.api.fanout_map`), since every pair is an isolated compilation.
 """
 
 from __future__ import annotations
 
 import math
-import os
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from ..api import Compiler, create_backend, fanout_map
 from ..arch.presets import reference_zoned_architecture
 from ..arch.spec import Architecture
-from ..baselines import (
-    AtomiqueCompiler,
-    EnolaCompiler,
-    NALACCompiler,
-    SuperconductingCompiler,
-)
 from ..circuits.library.registry import PAPER_BENCHMARKS, get_benchmark
-from ..core.compiler import ZACCompiler
 from ..core.config import ZACConfig
 
 
@@ -81,7 +75,7 @@ def _run_pair(pair: tuple[str, object, object]) -> RunRecord:
 
 def run_matrix(
     circuit_names: Sequence[str] | None = None,
-    compilers: dict[str, object] | None = None,
+    compilers: dict[str, Compiler] | None = None,
     parallel: int | bool = 0,
 ) -> list[RunRecord]:
     """Run every (circuit, compiler) pair and return the records in sweep order.
@@ -90,12 +84,9 @@ def run_matrix(
         circuit_names: Benchmarks to run (None means the full paper set).
         compilers: Compilers keyed by legend label (default: Fig. 8 set).
         parallel: Worker-process count for fanning the runs out over a
-            ``ProcessPoolExecutor``; ``True`` means one per CPU, ``0``/``1``/
-            ``False`` run serially.  Compilers and circuits must be picklable
-            (all in-repo ones are).  With the ``spawn`` start method the
-            ``repro`` package must be importable in workers (``PYTHONPATH``
-            must include ``src`` or the package must be installed); the
-            default ``fork`` start method on Linux needs no setup.
+            process pool (see :func:`repro.api.fanout_map`); ``True`` means
+            one per CPU, ``0``/``1``/``False`` run serially.  Compilers and
+            circuits must be picklable (all in-repo ones are).
 
     Returns:
         One record per pair, ordered circuits-outer / compilers-inner
@@ -107,11 +98,7 @@ def run_matrix(
         for _, circuit in benchmark_circuits(circuit_names)
         for label, compiler in compilers.items()
     ]
-    workers = (os.cpu_count() or 1) if parallel is True else int(parallel)
-    if workers <= 1 or len(pairs) <= 1:
-        return [_run_pair(pair) for pair in pairs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(pairs))) as executor:
-        return list(executor.map(_run_pair, pairs))
+    return fanout_map(_run_pair, pairs, parallel=parallel)
 
 
 def geometric_mean(values: Iterable[float], floor: float = 1e-12) -> float:
@@ -132,17 +119,19 @@ def default_compilers(
     architecture: Architecture | None = None,
     zac_config: ZACConfig | None = None,
     include_superconducting: bool = True,
-) -> dict[str, object]:
+) -> dict[str, Compiler]:
     """The six compilers compared in Fig. 8, keyed by their legend label."""
     arch = architecture or reference_zoned_architecture()
-    compilers: dict[str, object] = {}
+    compilers: dict[str, Compiler] = {}
     if include_superconducting:
-        compilers["SC-Heron"] = SuperconductingCompiler.heron()
-        compilers["SC-Grid"] = SuperconductingCompiler.grid()
-    compilers["Monolithic-Atomique"] = AtomiqueCompiler()
-    compilers["Monolithic-Enola"] = EnolaCompiler()
-    compilers["Zoned-NALAC"] = NALACCompiler(arch)
-    compilers["Zoned-ZAC"] = ZACCompiler(arch, zac_config or ZACConfig.full())
+        compilers["SC-Heron"] = create_backend("sc", variant="heron")
+        compilers["SC-Grid"] = create_backend("sc", variant="grid")
+    compilers["Monolithic-Atomique"] = create_backend("atomique")
+    compilers["Monolithic-Enola"] = create_backend("enola")
+    compilers["Zoned-NALAC"] = create_backend("nalac", arch=arch)
+    compilers["Zoned-ZAC"] = create_backend(
+        "zac", arch=arch, config=zac_config or ZACConfig.full()
+    )
     return compilers
 
 

@@ -8,9 +8,9 @@ Arch2 should achieve higher fidelity and shorter duration.
 
 from __future__ import annotations
 
+from ..api import compile as api_compile
 from ..arch.presets import small_dual_zone_architecture, small_single_zone_architecture
 from ..circuits.library.registry import get_benchmark
-from ..core.compiler import ZACCompiler
 from .reporting import format_table
 
 
@@ -23,7 +23,7 @@ def run_multi_zone(circuit_name: str = "ising_n98") -> list[dict[str, object]]:
     }
     rows: list[dict[str, object]] = []
     for label, arch in architectures.items():
-        result = ZACCompiler(arch).compile(circuit)
+        result = api_compile(circuit, backend="zac", arch=arch)
         rows.append(
             {
                 "architecture": label,

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..api import compile_many
 from ..arch.presets import reference_zoned_architecture
 from ..baselines.ideal import (
     PERFECT_MOVEMENT,
@@ -15,7 +16,6 @@ from ..baselines.ideal import (
     PERFECT_REUSE,
     idealized_result,
 )
-from ..core.compiler import ZACCompiler
 from .harness import benchmark_circuits, geometric_mean
 from .reporting import format_table
 
@@ -26,13 +26,19 @@ IDEAL_MODES = (PERFECT_REUSE, PERFECT_PLACEMENT, PERFECT_MOVEMENT)
 def run_optimality(
     circuit_names: Sequence[str] | None = None,
     architecture=None,
+    parallel: int | bool = 0,
 ) -> list[dict[str, object]]:
     """One row per circuit: ZAC fidelity and the three ideal-bound fidelities."""
     arch = architecture or reference_zoned_architecture()
-    compiler = ZACCompiler(arch)
+    names_and_circuits = benchmark_circuits(circuit_names)
+    results = compile_many(
+        [circuit for _, circuit in names_and_circuits],
+        backend="zac",
+        arch=arch,
+        parallel=parallel,
+    )
     rows: list[dict[str, object]] = []
-    for name, circuit in benchmark_circuits(circuit_names):
-        zac = compiler.compile(circuit)
+    for (name, _), zac in zip(names_and_circuits, results):
         row: dict[str, object] = {"circuit": name, "ZAC": zac.total_fidelity}
         for mode in IDEAL_MODES:
             row[mode] = idealized_result(zac, arch, mode).total_fidelity
@@ -55,9 +61,11 @@ def optimality_gaps(rows: list[dict[str, object]]) -> dict[str, float]:
     return gaps
 
 
-def main(circuit_names: Sequence[str] | None = None) -> str:
+def main(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> str:
     """Run the experiment and return the formatted Fig. 13 table."""
-    rows = run_optimality(circuit_names)
+    rows = run_optimality(circuit_names, parallel=parallel)
     lines = [format_table(rows), "", "Optimality gaps (geomean):"]
     for mode, gap in optimality_gaps(rows).items():
         lines.append(f"  vs {mode}: {gap * 100:.1f}%")

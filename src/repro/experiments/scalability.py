@@ -2,45 +2,44 @@
 
 For every compiler (and every ZAC ablation setting) this reports the average
 compilation time and the geometric-mean circuit fidelity over the benchmark
-set -- the two axes of the paper's scatter plot.
+set -- the two axes of the paper's scatter plot.  The (circuit x compiler)
+sweep runs through :func:`repro.experiments.harness.run_matrix`, so it fans
+out over worker processes with ``parallel=``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..api import Compiler, create_backend
 from ..arch.presets import reference_zoned_architecture
-from ..baselines import AtomiqueCompiler, EnolaCompiler, NALACCompiler
-from ..core.compiler import ZACCompiler
 from .ablation import ABLATION_CONFIGS
-from .harness import RunRecord, benchmark_circuits, geometric_mean, run_compiler
+from .harness import RunRecord, geometric_mean, run_matrix
 from .reporting import format_table
 
 
-def scalability_compilers(architecture=None) -> dict[str, object]:
+def scalability_compilers(architecture=None) -> dict[str, Compiler]:
     """Baselines plus every ZAC ablation setting (Fig. 12 markers)."""
     arch = architecture or reference_zoned_architecture()
-    compilers: dict[str, object] = {
-        "Atomique": AtomiqueCompiler(),
-        "Enola": EnolaCompiler(),
-        "NALAC": NALACCompiler(arch),
+    compilers: dict[str, Compiler] = {
+        "Atomique": create_backend("atomique"),
+        "Enola": create_backend("enola"),
+        "NALAC": create_backend("nalac", arch=arch),
     }
     for label, config in ABLATION_CONFIGS.items():
-        compilers[f"ZAC-{label}"] = ZACCompiler(arch, config)
+        compilers[f"ZAC-{label}"] = create_backend("zac", arch=arch, config=config)
     return compilers
 
 
 def run_scalability(
     circuit_names: Sequence[str] | None = None,
-    compilers: dict[str, object] | None = None,
+    compilers: dict[str, Compiler] | None = None,
+    parallel: int | bool = 0,
 ) -> list[RunRecord]:
     """Collect (compile time, fidelity) records for every compiler."""
-    compilers = compilers or scalability_compilers()
-    records: list[RunRecord] = []
-    for _, circuit in benchmark_circuits(circuit_names):
-        for label, compiler in compilers.items():
-            records.append(run_compiler(compiler, circuit, compiler_name=label))
-    return records
+    return run_matrix(
+        circuit_names, compilers or scalability_compilers(), parallel=parallel
+    )
 
 
 def scalability_table(records: list[RunRecord]) -> list[dict[str, object]]:
@@ -60,9 +59,11 @@ def scalability_table(records: list[RunRecord]) -> list[dict[str, object]]:
     return rows
 
 
-def main(circuit_names: Sequence[str] | None = None) -> str:
+def main(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> str:
     """Run the experiment and return the formatted Fig. 12 table."""
-    return format_table(scalability_table(run_scalability(circuit_names)))
+    return format_table(scalability_table(run_scalability(circuit_names, parallel=parallel)))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,23 +9,25 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..api import create_backend
 from ..arch.presets import reference_zoned_architecture
-from ..baselines import SuperconductingCompiler
-from ..core.compiler import ZACCompiler
-from .harness import benchmark_circuits, geometric_mean, run_compiler
+from .harness import geometric_mean, records_by_compiler, run_matrix
 from .reporting import format_table
 
 
-def run_table2(circuit_names: Sequence[str] | None = None) -> list[dict[str, object]]:
+def run_table2(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> list[dict[str, object]]:
     """Two rows (SC grid, ZAC) with the Table II columns."""
     arch = reference_zoned_architecture()
-    compilers = {"SC": SuperconductingCompiler.grid(), "ZAC": ZACCompiler(arch)}
+    compilers = {
+        "SC": create_backend("sc", variant="grid"),
+        "ZAC": create_backend("zac", arch=arch),
+    }
+    grouped = records_by_compiler(run_matrix(circuit_names, compilers, parallel=parallel))
     rows: list[dict[str, object]] = []
-    for label, compiler in compilers.items():
-        records = [
-            run_compiler(compiler, circuit, compiler_name=label)
-            for _, circuit in benchmark_circuits(circuit_names)
-        ]
+    for label in compilers:
+        records = grouped[label]
         rows.append(
             {
                 "platform": label,
@@ -42,9 +44,11 @@ def run_table2(circuit_names: Sequence[str] | None = None) -> list[dict[str, obj
     return rows
 
 
-def main(circuit_names: Sequence[str] | None = None) -> str:
+def main(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> str:
     """Run the experiment and return the formatted Table II."""
-    return format_table(run_table2(circuit_names))
+    return format_table(run_table2(circuit_names, parallel=parallel))
 
 
 if __name__ == "__main__":  # pragma: no cover

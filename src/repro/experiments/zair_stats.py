@@ -9,21 +9,28 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..api import compile_many
 from ..arch.presets import reference_zoned_architecture
-from ..core.compiler import ZACCompiler
 from .harness import benchmark_circuits, geometric_mean
 from .reporting import format_table
 
 
 def run_zair_stats(
     circuit_names: Sequence[str] | None = None,
+    parallel: int | bool = 0,
 ) -> list[dict[str, object]]:
     """One row per circuit with instruction-per-gate ratios."""
     arch = reference_zoned_architecture()
-    compiler = ZACCompiler(arch, lower_jobs=True)
+    names_and_circuits = benchmark_circuits(circuit_names)
+    results = compile_many(
+        [circuit for _, circuit in names_and_circuits],
+        backend="zac",
+        arch=arch,
+        lower_jobs=True,
+        parallel=parallel,
+    )
     rows: list[dict[str, object]] = []
-    for name, circuit in benchmark_circuits(circuit_names):
-        result = compiler.compile(circuit)
+    for (name, _), result in zip(names_and_circuits, results):
         program = result.program
         rows.append(
             {
@@ -46,9 +53,11 @@ def run_zair_stats(
     return rows
 
 
-def main(circuit_names: Sequence[str] | None = None) -> str:
+def main(
+    circuit_names: Sequence[str] | None = None, parallel: int | bool = 0
+) -> str:
     """Run the experiment and return the formatted Section IX statistics."""
-    return format_table(run_zair_stats(circuit_names))
+    return format_table(run_zair_stats(circuit_names, parallel=parallel))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,278 @@
+"""Tests for the public API: backend registry, repro.compile, serialization."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro
+from repro.api import (
+    UnknownBackendError,
+    available_backends,
+    backend_spec,
+    compile_many,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.arch import reference_zoned_architecture
+from repro.baselines import IdealBound, NALACCompiler, SuperconductingCompiler
+from repro.baselines.ideal import PERFECT_MOVEMENT
+from repro.baselines.monolithic.atomique import AtomiqueCompiler
+from repro.baselines.monolithic.enola import EnolaCompiler
+from repro.circuits.library import get_benchmark
+from repro.core import ZACCompiler, ZACConfig
+from repro.core.result import (
+    CompileResult,
+    load_results,
+    merge_results,
+    save_results,
+)
+
+BUILTIN_BACKENDS = ("zac", "enola", "atomique", "nalac", "sc", "ideal")
+
+
+@pytest.fixture(scope="module")
+def bv14():
+    return get_benchmark("bv_n14")
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return reference_zoned_architecture()
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTIN_BACKENDS) <= set(available_backends())
+
+    def test_unknown_backend_raises(self, bv14):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            repro.compile(bv14, backend="no_such_backend")
+        # The error names the offender, lists the alternatives, and is a KeyError.
+        assert "no_such_backend" in str(excinfo.value)
+        assert "zac" in str(excinfo.value)
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_unknown_option_raises(self, bv14):
+        with pytest.raises(TypeError, match="zac"):
+            create_backend("zac", not_an_option=1)
+
+    def test_duplicate_registration_rejected(self):
+        spec = backend_spec("zac")
+        with pytest.raises(ValueError):
+            register_backend("zac", spec.factory)
+
+    def test_custom_backend_round_trip(self, bv14):
+        class EchoCompiler:
+            name = "Echo"
+
+            def compile(self, circuit):
+                return EnolaCompiler().compile(circuit)
+
+        register_backend("echo-test", lambda arch, options: EchoCompiler())
+        try:
+            assert "echo-test" in available_backends()
+            result = repro.compile(bv14, backend="echo-test")
+            assert result.total_fidelity > 0
+        finally:
+            unregister_backend("echo-test")
+        assert "echo-test" not in available_backends()
+
+    def test_backend_descriptions_present(self):
+        for name in BUILTIN_BACKENDS:
+            assert backend_spec(name).description
+
+    def test_sc_variant_validation(self):
+        with pytest.raises(ValueError):
+            create_backend("sc", variant="trapped_ion")
+
+    def test_sc_rejects_architecture(self, arch):
+        with pytest.raises(ValueError):
+            create_backend("sc", arch=arch)
+
+
+class TestCompileParity:
+    """repro.compile(circuit, backend=b) matches the direct compiler calls."""
+
+    def direct_compilers(self, arch):
+        return {
+            "zac": ZACCompiler(arch),
+            "enola": EnolaCompiler(),
+            "atomique": AtomiqueCompiler(),
+            "nalac": NALACCompiler(arch),
+            "sc": SuperconductingCompiler.grid(),
+            "ideal": IdealBound(PERFECT_MOVEMENT, arch),
+        }
+
+    @pytest.mark.parametrize("backend", BUILTIN_BACKENDS)
+    def test_parity_with_direct_compiler(self, backend, arch, bv14):
+        kwargs = {"arch": arch} if backend in ("zac", "nalac", "ideal") else {}
+        via_registry = repro.compile(bv14, backend=backend, **kwargs)
+        direct = self.direct_compilers(arch)[backend].compile(bv14)
+        assert isinstance(via_registry, CompileResult)
+        assert via_registry.total_fidelity == pytest.approx(direct.total_fidelity)
+        assert via_registry.duration_us == pytest.approx(direct.duration_us)
+        assert via_registry.metrics.num_2q_gates == direct.metrics.num_2q_gates
+        assert via_registry.metrics.num_transfers == direct.metrics.num_transfers
+
+    def test_benchmark_name_accepted(self, bv14):
+        by_name = repro.compile("bv_n14", backend="enola")
+        by_circuit = repro.compile(bv14, backend="enola")
+        assert by_name.total_fidelity == pytest.approx(by_circuit.total_fidelity)
+
+    def test_zac_options_forwarded(self, arch, bv14):
+        vanilla = repro.compile(bv14, backend="zac", arch=arch, config=ZACConfig.vanilla())
+        full = repro.compile(bv14, backend="zac", arch=arch, config=ZACConfig.full())
+        assert full.total_fidelity >= vanilla.total_fidelity * 0.999
+
+
+class TestCompileMany:
+    def test_order_and_parity(self, arch):
+        names = ["bv_n14", "ghz_n23"]
+        results = compile_many(names, backend="nalac", arch=arch)
+        assert [r.circuit_name for r in results] == names
+        singles = [repro.compile(n, backend="nalac", arch=arch) for n in names]
+        for batch, single in zip(results, singles):
+            assert batch.total_fidelity == pytest.approx(single.total_fidelity)
+
+    def test_parallel_matches_serial(self, arch):
+        names = ["bv_n14", "ghz_n23"]
+        serial = compile_many(names, backend="zac", arch=arch, parallel=0)
+        parallel = compile_many(names, backend="zac", arch=arch, parallel=2)
+        for a, b in zip(serial, parallel):
+            assert a.circuit_name == b.circuit_name
+            assert a.total_fidelity == pytest.approx(b.total_fidelity)
+            assert a.metrics.num_movements == b.metrics.num_movements
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("backend", BUILTIN_BACKENDS)
+    def test_json_round_trip(self, backend, bv14):
+        result = repro.compile(bv14, backend=backend)
+        restored = CompileResult.from_json(result.to_json())
+        # Byte-identical re-serialization and field-level equality.
+        assert restored.to_json() == result.to_json()
+        assert restored.metrics == result.metrics
+        assert restored.fidelity == result.fidelity
+        assert restored.summary() == result.summary()
+
+    def test_from_dict_drops_artifacts(self, bv14):
+        result = repro.compile(bv14, backend="zac")
+        assert result.program is not None
+        restored = CompileResult.from_dict(result.to_dict())
+        assert restored.program is None and restored.staged is None
+
+    def test_to_dict_include_program(self, bv14):
+        result = repro.compile(bv14, backend="zac")
+        data = result.to_dict(include_program=True)
+        assert data["program"] == result.program.to_dict()
+        assert "program" not in result.to_dict()
+
+    def test_qubit_busy_keys_restored_as_ints(self, bv14):
+        result = repro.compile(bv14, backend="enola")
+        restored = CompileResult.from_dict(json.loads(result.to_json()))
+        assert all(isinstance(q, int) for q in restored.metrics.qubit_busy_us)
+
+    def test_save_load_merge(self, tmp_path, bv14):
+        zac = repro.compile(bv14, backend="zac")
+        enola = repro.compile(bv14, backend="enola")
+        shard_a, shard_b = tmp_path / "a.json", tmp_path / "b.json"
+        save_results(str(shard_a), [zac])
+        save_results(str(shard_b), [enola, zac])  # zac duplicated across shards
+        merged = merge_results(load_results(str(shard_a)), load_results(str(shard_b)))
+        assert len(merged) == 2
+        assert {r.compiler_name for r in merged} == {zac.compiler_name, enola.compiler_name}
+
+    def test_merge_keeps_same_label_different_config_runs(self, arch, bv14):
+        # Both report compiler_name "Zoned-ZAC" but carry different data; a
+        # sharded ablation sweep must not collapse them into one entry.
+        vanilla = repro.compile(bv14, backend="zac", arch=arch, config=ZACConfig.vanilla())
+        full = repro.compile(bv14, backend="zac", arch=arch, config=ZACConfig.full())
+        assert vanilla.compiler_name == full.compiler_name
+        merged = merge_results([vanilla], [full])
+        assert len(merged) == 2
+
+    def test_schema_version_checked(self, bv14):
+        data = repro.compile(bv14, backend="enola").to_dict()
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            CompileResult.from_dict(data)
+
+    def test_partial_result_raises_clearly(self):
+        partial = CompileResult(circuit_name="x", architecture_name="y")
+        with pytest.raises(ValueError, match="metrics"):
+            partial.summary()
+        with pytest.raises(ValueError, match="fidelity"):
+            _ = partial.total_fidelity
+        with pytest.raises(ValueError, match="metrics"):
+            partial.to_dict()
+
+    def test_legacy_aliases_are_compile_result(self):
+        from repro.baselines import BaselineResult
+        from repro.core import CompilationResult
+
+        assert CompilationResult is CompileResult
+        assert BaselineResult is CompileResult
+
+
+class TestUnifiedSummary:
+    def test_baseline_and_zac_summaries_share_keys(self, arch, bv14):
+        zac = repro.compile(bv14, backend="zac", arch=arch)
+        enola = repro.compile(bv14, backend="enola")
+        assert set(zac.summary()) == set(enola.summary())
+        # Baselines don't instrument phases; the columns exist and are zero.
+        assert enola.summary()["time_place_s"] == 0.0
+        assert zac.summary()["time_place_s"] > 0.0
+
+    def test_record_fields_covered(self, bv14):
+        summary = repro.compile(bv14, backend="nalac").summary()
+        record_fields = {
+            f.name
+            for f in dataclasses.fields(
+                __import__("repro.experiments.harness", fromlist=["RunRecord"]).RunRecord
+            )
+        } - {"circuit", "compiler"}
+        assert record_fields <= set(summary)
+
+
+class TestCLI:
+    def test_compile_json(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compile", "bv_n14", "--backend", "enola", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        restored = CompileResult.from_dict(payload)
+        assert restored.circuit_name == "bv_n14"
+        assert 0 < restored.total_fidelity < 1
+
+    def test_backends_listing(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_BACKENDS:
+            assert name in out
+
+    def test_unknown_circuit_exits(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["compile", "not_a_benchmark"])
+
+    def test_option_values_coerced(self, capsys):
+        from repro.__main__ import main
+
+        # JSON-scalar coercion: lower_jobs=false must reach ZacOptions as a bool.
+        assert main(
+            ["compile", "bv_n14", "--backend", "zac", "--option", "lower_jobs=false",
+             "--option", "config=vanilla", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["circuit_name"] == "bv_n14"
+
+    def test_bad_config_preset_exits(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit, match="preset"):
+            main(["compile", "bv_n14", "--backend", "zac", "--option", "config=best"])

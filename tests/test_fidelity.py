@@ -105,6 +105,42 @@ class TestNeutralAtomFidelity:
 
     @settings(max_examples=30, deadline=None)
     @given(
+        busy=st.lists(st.floats(0.0, 2000.0), min_size=0, max_size=200),
+        duration=st.floats(0.0, 2000.0),
+    )
+    def test_vectorized_decoherence_matches_naive(self, busy, duration):
+        from repro.fidelity.model import decoherence_naive, decoherence_vectorized
+
+        metrics = ExecutionMetrics(
+            num_qubits=len(busy),
+            duration_us=duration,
+            qubit_busy_us={q: b for q, b in enumerate(busy)},
+        )
+        fast = decoherence_vectorized(metrics, NEUTRAL_ATOM)
+        naive = decoherence_naive(metrics, NEUTRAL_ATOM)
+        assert fast == pytest.approx(naive, rel=1e-12, abs=1e-15)
+        # And through the public entry point (scalar below the size cutoff).
+        assert estimate_fidelity(metrics, vectorized=True).decoherence == pytest.approx(
+            estimate_fidelity(metrics, vectorized=False).decoherence, rel=1e-12, abs=1e-15
+        )
+
+    def test_vectorized_decoherence_on_compiled_circuit(self):
+        from repro.arch import reference_zoned_architecture
+        from repro.circuits.library import get_benchmark
+        from repro.core import ZACCompiler
+        from repro.fidelity.model import decoherence_naive, decoherence_vectorized
+
+        # ghz_n78 crosses VECTORIZE_MIN_QUBITS, so the numpy path really runs.
+        result = ZACCompiler(reference_zoned_architecture()).compile(get_benchmark("ghz_n78"))
+        fast = estimate_fidelity(result.metrics, vectorized=True)
+        naive = estimate_fidelity(result.metrics, vectorized=False)
+        assert fast.decoherence == pytest.approx(naive.decoherence, rel=1e-12)
+        assert decoherence_vectorized(result.metrics, NEUTRAL_ATOM) == pytest.approx(
+            decoherence_naive(result.metrics, NEUTRAL_ATOM), rel=1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
         g1=st.integers(0, 200),
         g2=st.integers(0, 200),
         exc=st.integers(0, 200),

@@ -1,0 +1,140 @@
+"""Tests for the explicit pass pipeline of the ZAC compiler."""
+
+import pytest
+
+from repro.arch import reference_zoned_architecture
+from repro.circuits.library import get_benchmark
+from repro.core import ZACCompiler, ZACConfig
+from repro.core.pipeline import (
+    FidelityPass,
+    Pass,
+    PassContext,
+    PassPipeline,
+    PipelineError,
+    PlacePass,
+    PreprocessPass,
+    RoutePass,
+    SchedulePass,
+    default_pipeline,
+)
+
+STANDARD_ORDER = ["preprocess", "place", "route", "schedule", "fidelity"]
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return reference_zoned_architecture()
+
+
+@pytest.fixture(scope="module")
+def bv14():
+    return get_benchmark("bv_n14")
+
+
+class TestComposition:
+    def test_default_pipeline_order(self):
+        assert default_pipeline().names == STANDARD_ORDER
+
+    def test_ablation_configs_compose_different_pipelines(self):
+        full = default_pipeline(ZACConfig.full())
+        vanilla = default_pipeline(ZACConfig.vanilla())
+        assert full.names == vanilla.names == STANDARD_ORDER
+        assert full.passes[1].initial == "sa"
+        assert vanilla.passes[1].initial == "trivial"
+
+    def test_unknown_initial_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            PlacePass(initial="oracle")
+
+    def test_replace_and_with_pass(self):
+        class ExtraPass(Pass):
+            name = "extra"
+
+            def run(self, ctx):
+                pass
+
+        pipeline = default_pipeline().with_pass(ExtraPass(), after="place")
+        assert pipeline.names == ["preprocess", "place", "extra", "route", "schedule", "fidelity"]
+        pipeline = pipeline.replace("extra", PlacePass(initial="trivial"))
+        assert pipeline.names.count("place") == 2
+        with pytest.raises(KeyError):
+            default_pipeline().replace("nonexistent", ExtraPass())
+        with pytest.raises(ValueError):
+            default_pipeline().with_pass(ExtraPass(), before="place", after="place")
+
+
+class TestHooks:
+    def test_pre_post_hook_ordering(self, arch, bv14):
+        events = []
+        pipeline = default_pipeline()
+        pipeline.add_pre_hook(lambda p, ctx: events.append(("pre", p.name)))
+        pipeline.add_post_hook(lambda p, ctx: events.append(("post", p.name)))
+        ZACCompiler(arch, pipeline=pipeline).compile(bv14)
+        expected = [
+            (kind, name) for name in STANDARD_ORDER for kind in ("pre", "post")
+        ]
+        assert events == expected
+
+    def test_post_hook_sees_pass_output(self, arch, bv14):
+        observed = {}
+
+        def capture(pass_obj, ctx):
+            if pass_obj.name == "place":
+                observed["plan"] = ctx.plan
+
+        pipeline = default_pipeline().add_post_hook(capture)
+        result = ZACCompiler(arch, pipeline=pipeline).compile(bv14)
+        assert observed["plan"] is result.plan
+
+
+class TestExecution:
+    def test_custom_noop_pass_preserves_result(self, arch, bv14):
+        class NoopPass(Pass):
+            name = "noop"
+
+            def run(self, ctx):
+                ctx.data["noop_ran"] = True
+
+        pipeline = default_pipeline().with_pass(NoopPass(), before="fidelity")
+        custom = ZACCompiler(arch, pipeline=pipeline).compile(bv14)
+        default = ZACCompiler(arch).compile(bv14)
+        assert custom.total_fidelity == pytest.approx(default.total_fidelity)
+        assert custom.duration_us == pytest.approx(default.duration_us)
+
+    def test_missing_prerequisite_raises_pipeline_error(self, arch, bv14):
+        broken = PassPipeline([PreprocessPass(), RoutePass()])  # no place pass
+        with pytest.raises(PipelineError, match="plan"):
+            ZACCompiler(arch, pipeline=broken).compile(bv14)
+
+    def test_phase_times_recorded_per_pass(self, arch, bv14):
+        result = ZACCompiler(arch).compile(bv14)
+        times = result.metrics.phase_times_s
+        assert set(STANDARD_ORDER) <= set(times)
+        assert all(times[name] >= 0.0 for name in STANDARD_ORDER)
+        assert sum(times[name] for name in STANDARD_ORDER) <= result.metrics.compile_time_s
+
+    def test_prebuilt_routing_matches_inline_routing(self, arch, bv14):
+        """The route pass prebuilding jobs must not change the schedule."""
+        inline = PassPipeline(
+            [PreprocessPass(), PlacePass(), SchedulePass(), FidelityPass()]
+        )
+        with_route = default_pipeline()
+        a = ZACCompiler(arch, pipeline=inline).compile(bv14)
+        b = ZACCompiler(arch, pipeline=with_route).compile(bv14)
+        assert a.duration_us == pytest.approx(b.duration_us)
+        assert a.total_fidelity == pytest.approx(b.total_fidelity)
+        assert a.metrics.num_movements == b.metrics.num_movements
+        assert len(a.program.instructions) == len(b.program.instructions)
+
+    def test_compile_staged_skips_nothing(self, arch, bv14):
+        from repro.circuits.scheduling import preprocess
+
+        staged = preprocess(bv14)
+        result = ZACCompiler(arch).compile_staged(staged, circuit_name="bv_n14")
+        assert result.circuit_name == "bv_n14"
+        assert result.metrics.num_2q_gates == 13
+
+    def test_context_require_lists_missing_fields(self, arch):
+        ctx = PassContext(architecture=arch, config=ZACConfig())
+        with pytest.raises(PipelineError, match="staged"):
+            ctx.require("staged", "architecture")
