@@ -3,17 +3,31 @@
 PYTEST ?= python -m pytest
 PY_SRC ?= PYTHONPATH=src python
 
-.PHONY: test smoke bench bench-full
+.PHONY: test lint smoke bench bench-full
 
-## Tier-1: CLI smoke check plus the full unit + benchmark suite (what CI gates on).
-test: smoke
+## Tier-1: lint + CLI smoke check plus the full unit + benchmark suite
+## (what CI gates on).
+test: lint smoke
 	$(PYTEST) -x -q
 
+## Static checks (configured in pyproject.toml).  Skips with a notice when
+## ruff is not installed (the pinned CI image ships it; minimal containers
+## may not).
+lint:
+	@if command -v ruff > /dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "lint skipped: ruff not installed"; \
+	fi
+
 ## Fast end-to-end check of the public API through the CLI: the registry
-## lists its backends and one benchmark compiles to a serializable result.
+## lists its backends, one benchmark compiles to a serializable result, and
+## two backends' ZAIR programs validate against the hardware invariants.
 smoke:
 	$(PY_SRC) -m repro backends
 	$(PY_SRC) -m repro compile bv_n14 --backend zac --json > /dev/null
+	$(PY_SRC) -m repro validate bv_n14 --backend zac > /dev/null
+	$(PY_SRC) -m repro validate bv_n14 --backend enola > /dev/null
 	@echo "smoke ok"
 
 ## Tier-1 tests plus the compile-speed regression benchmark (writes

@@ -1,0 +1,85 @@
+"""Inspect a compiled ZAIR program, for any backend.
+
+Every registered backend lowers its schedule to a
+:class:`repro.zair.ZAIRProgram`; this example compiles one benchmark on
+three very different backends (zoned ZAC, monolithic Enola, superconducting
+transpiler), walks the instruction streams, and shows that the reported
+metrics are exactly what the shared interpreter derives from the program.
+
+Run with::
+
+    python examples/inspect_program.py
+"""
+
+import repro
+from repro.api import create_backend
+from repro.zair import (
+    GateLayerInst,
+    InitInst,
+    OneQGateInst,
+    RearrangeJob,
+    RydbergInst,
+    interpret_program,
+    validate_program,
+)
+
+BENCHMARK = "bv_n14"
+
+
+def describe(inst) -> str:
+    """One human-readable line per program-level instruction."""
+    window = f"[{inst.begin_time:9.2f}, {inst.end_time:9.2f}] us"
+    if isinstance(inst, OneQGateInst):
+        return f"{window}  1qGate   x{inst.num_gates}"
+    if isinstance(inst, RydbergInst):
+        return f"{window}  rydberg  zone={inst.zone_id} gates={len(inst.gates)}"
+    if isinstance(inst, RearrangeJob):
+        qubits = ",".join(str(q) for q in inst.qubits[:6])
+        more = "..." if inst.num_qubits > 6 else ""
+        return f"{window}  rearrange aod={inst.aod_id} qubits=[{qubits}{more}]"
+    if isinstance(inst, GateLayerInst):
+        return f"{window}  gateLayer x{len(inst.gates)}"
+    return f"{window}  {type(inst).__name__}"
+
+
+def main() -> None:
+    for backend in ("zac", "enola", "sc"):
+        result = repro.compile(BENCHMARK, backend=backend)
+        program = result.program
+
+        # The registry compile path has already validated the program; doing
+        # it again here shows the public API for hand-written programs.
+        validate_program(result.architecture, program)
+
+        print(f"== {backend} ({result.compiler_name}) on {program.architecture_name} ==")
+        print(
+            f"   {program.num_zair_instructions} ZAIR instructions "
+            f"({program.num_machine_instructions} machine-level), "
+            f"{program.num_rydberg_stages} Rydberg stages, "
+            f"{program.num_movements} qubit movements"
+        )
+        for inst in program.instructions[:6]:
+            if isinstance(inst, InitInst):
+                print(f"   init of {len(inst.init_locs)} qubits")
+                continue
+            print(f"   {describe(inst)}")
+        if len(program.instructions) > 6:
+            print(f"   ... {len(program.instructions) - 6} more")
+
+        # The reported numbers ARE the interpreter's replay of the program.
+        replay = interpret_program(
+            program,
+            architecture=result.architecture,
+            params=create_backend(backend).params,
+        )
+        assert replay.metrics.duration_us == result.metrics.duration_us
+        assert replay.fidelity.total == result.fidelity.total
+        print(
+            f"   replayed: duration {replay.metrics.duration_us:.2f} us, "
+            f"fidelity {replay.fidelity.total:.4f} (matches result)"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -4,12 +4,15 @@ Subcommands::
 
     python -m repro compile bv_n14 --backend zac --json
     python -m repro compile circuit.qasm --backend nalac
+    python -m repro validate bv_n14 --backend enola
     python -m repro backends
     python -m repro benchmarks
 
 ``compile`` accepts a paper-benchmark name or a path to an OpenQASM 2 file,
 runs the requested registry backend, and prints the unified result summary
-(``--json`` prints the serialized ``CompileResult`` instead).
+(``--json`` prints the serialized ``CompileResult`` instead).  ``validate``
+compiles, checks the emitted ZAIR program against the hardware invariants,
+and prints an instruction-count / epoch summary of the program.
 """
 
 from __future__ import annotations
@@ -96,6 +99,66 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .zair import ValidationError, validate_program
+    from .zair.instructions import InitInst
+
+    circuit = _resolve_circuit(args.circuit)
+    options = {
+        key: _coerce_option(args.backend, key, value)
+        for key, value in (args.options or ())
+    }
+    try:
+        # compile() already validates; run it explicitly anyway so a failure
+        # is reported as such even if validation is ever made optional.
+        result = api.compile(circuit, backend=args.backend, validate=False, **options)
+    except (api.UnknownBackendError, TypeError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    program = result.program
+    if program is None:
+        raise SystemExit(
+            f"error: backend {args.backend!r} attached no ZAIR program to its result"
+        )
+    try:
+        validate_program(result.architecture, program)
+    except ValidationError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+
+    type_tags = {
+        "OneQGateInst": "1qGate",
+        "RydbergInst": "rydberg",
+        "RearrangeJob": "rearrangeJob",
+        "GateLayerInst": "gateLayer",
+        "GlobalPulseInst": "globalPulse",
+        "ArrayMoveInst": "arrayMove",
+        "TransferEpochInst": "transferEpoch",
+    }
+    counts: dict[str, int] = {}
+    for inst in program.instructions:
+        if isinstance(inst, InitInst):
+            continue
+        key = type_tags.get(type(inst).__name__, type(inst).__name__)
+        counts[key] = counts.get(key, 0) + 1
+    print(f"circuit      : {result.circuit_name}")
+    print(f"backend      : {args.backend} ({result.compiler_name})")
+    print(f"architecture : {program.architecture_name}")
+    print(f"qubits       : {program.num_qubits}")
+    print("instructions :")
+    for key in sorted(counts):
+        print(f"  {key:14s}: {counts[key]}")
+    print(f"  {'total':14s}: {program.num_zair_instructions}")
+    print(f"  {'machine':14s}: {program.num_machine_instructions}")
+    print("epochs/gates :")
+    print(f"  rydberg stages : {program.num_rydberg_stages}")
+    print(f"  movements      : {program.num_movements}")
+    print(f"  1q gates       : {program.num_1q_gates}")
+    print(f"  2q gates       : {program.num_2q_gates}")
+    print(f"  duration_us    : {program.duration_us:.6g}")
+    print("validation   : ok")
+    return 0
+
+
 def _cmd_backends(_args: argparse.Namespace) -> int:
     for name in api.available_backends():
         spec = api.backend_spec(name)
@@ -145,6 +208,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     compile_parser.set_defaults(func=_cmd_compile)
+
+    validate_parser = sub.add_parser(
+        "validate",
+        help="compile, validate the emitted ZAIR program, and print a program summary",
+    )
+    validate_parser.add_argument("circuit", help="paper benchmark name or QASM file path")
+    validate_parser.add_argument(
+        "--backend", default="zac", help="registry backend name (see `backends`)"
+    )
+    validate_parser.add_argument(
+        "--option",
+        dest="options",
+        action="append",
+        type=_parse_option,
+        metavar="KEY=VALUE",
+        help="backend option (same syntax as `compile`)",
+    )
+    validate_parser.set_defaults(func=_cmd_validate)
 
     backends_parser = sub.add_parser("backends", help="list registered backends")
     backends_parser.set_defaults(func=_cmd_backends)

@@ -34,6 +34,7 @@ from ..core.result import (
     results_to_json,
     save_results,
 )
+from ..zair.validation import validate_program
 from . import backends as _backends  # noqa: F401  (registers the built-ins)
 from .options import (
     AtomiqueOptions,
@@ -64,10 +65,26 @@ def _as_circuit(circuit: CircuitLike) -> QuantumCircuit:
     return circuit
 
 
+def _validated(result: CompileResult) -> CompileResult:
+    """Check the emitted ZAIR program against the hardware invariants.
+
+    Every built-in backend attaches its compiled program (and, for
+    location-based programs, the target architecture); user-registered
+    backends that emit no program are passed through unchecked.
+
+    Raises:
+        repro.zair.ValidationError: if the program violates an invariant.
+    """
+    if result.program is not None:
+        validate_program(result.architecture, result.program)
+    return result
+
+
 def compile(
     circuit: CircuitLike,
     backend: str = "zac",
     arch: Architecture | None = None,
+    validate: bool = True,
     **options: Any,
 ) -> CompileResult:
     """Compile a circuit (or paper-benchmark name) with a registered backend.
@@ -78,6 +95,9 @@ def compile(
         backend: Registry name of the compiler (see
             :func:`available_backends`).
         arch: Target architecture; ``None`` selects the backend's default.
+        validate: Replay the emitted ZAIR program through
+            :func:`repro.zair.validate_program` before returning, so every
+            reported number describes a physically executable schedule.
         **options: Backend-specific options (validated against the backend's
             option dataclass, e.g. ``config=ZACConfig.vanilla()`` for ZAC).
 
@@ -85,13 +105,15 @@ def compile(
         The unified, JSON-serializable compilation result.
     """
     compiler = create_backend(backend, arch=arch, **options)
-    return compiler.compile(_as_circuit(circuit))
+    result = compiler.compile(_as_circuit(circuit))
+    return _validated(result) if validate else result
 
 
-def _compile_one(pair: tuple[Compiler, QuantumCircuit]) -> CompileResult:
+def _compile_one(task: tuple[Compiler, QuantumCircuit, bool]) -> CompileResult:
     """Top-level worker (picklable) compiling one circuit."""
-    compiler, circuit = pair
-    return compiler.compile(circuit)
+    compiler, circuit, validate = task
+    result = compiler.compile(circuit)
+    return _validated(result) if validate else result
 
 
 def compile_many(
@@ -99,17 +121,19 @@ def compile_many(
     backend: str = "zac",
     arch: Architecture | None = None,
     parallel: int | bool = 0,
+    validate: bool = True,
     **options: Any,
 ) -> list[CompileResult]:
     """Compile a batch of circuits with one backend, in input order.
 
     The independent runs fan out over a process pool (the same fan-out the
     experiment harness's ``run_matrix`` uses); ``parallel=True`` means one
-    worker per CPU, ``0``/``1``/``False`` run serially.
+    worker per CPU, ``0``/``1``/``False`` run serially.  Each worker
+    validates its emitted ZAIR program unless ``validate=False``.
     """
     compiler = create_backend(backend, arch=arch, **options)
-    pairs = [(compiler, _as_circuit(circuit)) for circuit in circuits]
-    return fanout_map(_compile_one, pairs, parallel=parallel)
+    tasks = [(compiler, _as_circuit(circuit), validate) for circuit in circuits]
+    return fanout_map(_compile_one, tasks, parallel=parallel)
 
 
 __all__ = [

@@ -1,7 +1,8 @@
 """Baseline compilers: monolithic (Enola, Atomique), zoned (NALAC),
 superconducting (Heron / grid), and idealised upper bounds."""
 
-from .ideal import IdealBound, maximal_reuse_count
+from .ideal import IdealBound, idealized_result, idealized_result_legacy, maximal_reuse_count
+from .lowering import BaselineProgramBuilder
 from .monolithic.atomique import AtomiqueCompiler, partition_qubits
 from .monolithic.enola import EnolaCompiler
 from .result import BaselineResult, CompileResult
@@ -12,6 +13,7 @@ from .zoned.nalac import NALACCompiler
 
 __all__ = [
     "AtomiqueCompiler",
+    "BaselineProgramBuilder",
     "BaselineResult",
     "CompileResult",
     "EnolaCompiler",
@@ -22,6 +24,8 @@ __all__ = [
     "SuperconductingCompiler",
     "grid_coupling",
     "heavy_hex_coupling",
+    "idealized_result",
+    "idealized_result_legacy",
     "maximal_reuse_count",
     "partition_qubits",
     "route",

@@ -1,0 +1,174 @@
+"""Shared ZAIR emission for the baseline compilers.
+
+The movement-based baselines (Enola, NALAC) plan their schedules in terms of
+:class:`~repro.core.model.Location` / :class:`~repro.core.model.Movement`
+just like ZAC's scheduler; this module turns those plans into a timed
+:class:`~repro.zair.program.ZAIRProgram` so the shared interpreter
+(:mod:`repro.zair.interpret`) can derive their metrics and fidelity from the
+same instruction stream the validator checks.
+
+Timing follows the legacy per-backend accounting exactly: one-qubit stages
+run sequentially, a movement epoch is partitioned into AOD-compatible
+rearrangement jobs whose durations (pickup + move + drop-off) are
+load-balanced over the available AODs, and each Rydberg pulse takes
+``t_2q``.
+"""
+
+from __future__ import annotations
+
+from ..arch.spec import Architecture
+from ..circuits.scheduling import OneQStage
+from ..core.model import Location, Movement, location_qloc
+from ..core.routing.jobs import movements_to_job, partition_movements_staged
+from ..core.scheduling.load_balance import schedule_epoch
+from ..fidelity.movement import movement_time_us
+from ..fidelity.params import NeutralAtomParams
+from ..zair.instructions import InitInst, OneQGateInst, RearrangeJob, RydbergInst
+from ..zair.lowering import job_max_distance_um
+from ..zair.program import ZAIRProgram
+
+Trap = tuple[int, int, int]
+
+
+class BaselineProgramBuilder:
+    """Accumulates a timed ZAIR program while a baseline walks its stages.
+
+    Besides appending instructions, the builder tracks trap occupancy so the
+    jobs of one movement epoch can be appended in a *replay-feasible* order:
+    the epoch's jobs execute concurrently on the hardware, but the program
+    stream is replayed sequentially by the validator, so a job dropping a
+    qubit onto a trap that another job of the same epoch vacates must come
+    second.
+    """
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        num_qubits: int,
+        params: NeutralAtomParams,
+    ) -> None:
+        self.architecture = architecture
+        self.params = params
+        self.program = ZAIRProgram(
+            num_qubits=num_qubits, architecture_name=architecture.name
+        )
+        self._trap_of: dict[int, Trap] = {}
+        self._occupied: set[Trap] = set()
+
+    # -- emission -------------------------------------------------------------
+
+    def emit_init(self, location: dict[int, Location]) -> None:
+        """Emit the init instruction from the initial qubit locations."""
+        init_locs = [
+            location_qloc(self.architecture, qubit, loc)
+            for qubit, loc in sorted(location.items())
+        ]
+        self.program.instructions.append(InitInst(init_locs=init_locs))
+        for loc in init_locs:
+            self._trap_of[loc.qubit] = loc.trap
+            self._occupied.add(loc.trap)
+
+    def emit_1q_stage(
+        self, stage: OneQStage, location: dict[int, Location], clock: float
+    ) -> float:
+        """Emit a sequential single-qubit gate stage; returns the new clock."""
+        if not stage.gates:
+            return clock
+        locs = []
+        unitaries = []
+        for gate in stage.gates:
+            qubit = gate.qubits[0]
+            locs.append(location_qloc(self.architecture, qubit, location[qubit]))
+            unitaries.append(tuple(gate.params) if gate.params else (0.0, 0.0, 0.0))
+        duration = len(stage.gates) * self.params.t_1q_us
+        self.program.instructions.append(
+            OneQGateInst(
+                locs=locs, unitaries=unitaries, begin_time=clock, end_time=clock + duration
+            )
+        )
+        return clock + duration
+
+    def emit_epoch(
+        self, movements: list[Movement], clock: float, fast: bool = True
+    ) -> float:
+        """Emit one movement epoch as load-balanced rearrangement jobs."""
+        if not movements:
+            return clock
+        groups = partition_movements_staged(self.architecture, movements, fast=fast)
+        jobs = [movements_to_job(self.architecture, group, lower=False) for group in groups]
+        durations = [
+            2.0 * self.params.t_transfer_us
+            + movement_time_us(job_max_distance_um(self.architecture, job), self.params)
+            for job in jobs
+        ]
+        slots, makespan = schedule_epoch(durations, self.architecture.num_aods)
+        for job, slot in zip(jobs, slots):
+            job.aod_id = slot.aod_id
+            job.begin_time = clock + slot.start
+            job.end_time = clock + slot.end
+        for job in self._replay_order(jobs):
+            self.program.instructions.append(job)
+            self._apply_job(job)
+        return clock + makespan
+
+    def emit_rydberg(
+        self, pairs: list[tuple[int, int]], zone_id: int, clock: float
+    ) -> float:
+        """Emit one Rydberg pulse over ``zone_id``; returns the new clock."""
+        duration = self.params.t_2q_us
+        self.program.instructions.append(
+            RydbergInst(
+                zone_id=zone_id,
+                gates=list(pairs),
+                begin_time=clock,
+                end_time=clock + duration,
+            )
+        )
+        return clock + duration
+
+    # -- replay-order bookkeeping ---------------------------------------------
+
+    def _apply_job(self, job: RearrangeJob) -> None:
+        for loc in job.begin_locs:
+            self._occupied.discard(loc.trap)
+        for loc in job.end_locs:
+            self._trap_of[loc.qubit] = loc.trap
+            self._occupied.add(loc.trap)
+
+    def _job_feasible(self, job: RearrangeJob) -> bool:
+        picked = {loc.trap for loc in job.begin_locs}
+        for loc in job.begin_locs:
+            if self._trap_of.get(loc.qubit) != loc.trap:
+                return False
+        for loc in job.end_locs:
+            if loc.trap in self._occupied and loc.trap not in picked:
+                return False
+        return True
+
+    def _replay_order(self, jobs: list[RearrangeJob]) -> list[RearrangeJob]:
+        """Order an epoch's jobs so sequential replay respects occupancy.
+
+        The staged partition already yields groups in a replay-feasible
+        (planning) order, so this normally returns the jobs unchanged; the
+        greedy feasibility scan is kept as a safety net for job lists built
+        another way.  If no job is feasible, fall back to the given order
+        and let validation report the conflict.
+        """
+        pending = list(jobs)
+        ordered: list[RearrangeJob] = []
+        # Snapshot: _apply_job during ordering, then restore before the real
+        # emission loop applies them again.
+        trap_backup = dict(self._trap_of)
+        occupied_backup = set(self._occupied)
+        while pending:
+            for index, job in enumerate(pending):
+                if self._job_feasible(job):
+                    break
+            else:
+                index = 0
+            job = pending.pop(index)
+            self._apply_job(job)
+            ordered.append(job)
+        self._trap_of = trap_backup
+        self._occupied = occupied_backup
+        return ordered

@@ -1,11 +1,11 @@
 """Deprecated alias module: baseline results are plain ``CompileResult``\\ s.
 
 Baseline compilers (Enola, Atomique, NALAC, the superconducting transpiler,
-and the ideal bounds) do not emit full ZAIR programs; they produce execution
-metrics and a fidelity breakdown.  Since the result unification they return
-the same :class:`repro.core.result.CompileResult` as the ZAC compiler, with
-the program/staged/plan artifacts left as ``None``.  ``BaselineResult`` is
-kept as an alias so pre-registry imports keep working.
+and the ideal bounds) lower their schedules to ZAIR like ZAC does and return
+the same :class:`repro.core.result.CompileResult`, with the emitted program
+attached and the metrics/fidelity derived by the shared interpreter
+(:mod:`repro.zair.interpret`).  ``BaselineResult`` is kept as an alias so
+pre-registry imports keep working.
 """
 
 from __future__ import annotations

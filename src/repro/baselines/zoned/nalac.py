@@ -25,11 +25,13 @@ from ...circuits.circuit import QuantumCircuit
 from ...circuits.scheduling import OneQStage, RydbergStage, preprocess
 from ...core.model import LEFT, RIGHT, Location, Movement
 from ...core.placement.initial import trivial_placement
-from ...core.routing.jobs import partition_movements
+from ...core.routing.jobs import partition_movements_staged
 from ...core.scheduling.load_balance import schedule_epoch
 from ...fidelity.model import ExecutionMetrics, estimate_fidelity
 from ...fidelity.movement import movement_time_us
 from ...fidelity.params import NEUTRAL_ATOM, NeutralAtomParams
+from ...zair.interpret import interpret_program
+from ..lowering import BaselineProgramBuilder
 from ..result import BaselineResult
 
 
@@ -47,6 +49,48 @@ class NALACCompiler:
         self.params = params
 
     def compile(self, circuit: QuantumCircuit) -> BaselineResult:
+        """Compile by lowering the NALAC schedule to ZAIR.
+
+        Both this path and :meth:`compile_legacy` consume the same stage
+        event stream (:meth:`_events`), so the planned schedule is identical
+        by construction; here the events become instructions and all
+        reported numbers are derived by the shared interpreter.
+        """
+        start = time.perf_counter()
+        staged = preprocess(circuit)
+        arch = self.architecture
+
+        initial = trivial_placement(arch, staged.num_qubits)
+        location: dict[int, Location] = {
+            q: Location.at_storage(t) for q, t in initial.items()
+        }
+        builder = BaselineProgramBuilder(arch, staged.num_qubits, self.params)
+        builder.emit_init(location)
+
+        clock = 0.0
+        for kind, payload in self._events(staged, location, dict(initial)):
+            if kind == "1q":
+                clock = builder.emit_1q_stage(payload, location, clock)
+            elif kind == "epoch":
+                clock = builder.emit_epoch(payload, clock)
+            else:  # pulse
+                clock = builder.emit_rydberg(payload, 0, clock)
+
+        program = builder.program
+        replay = interpret_program(program, architecture=arch, params=self.params)
+        replay.metrics.compile_time_s = time.perf_counter() - start
+        return BaselineResult(
+            circuit_name=circuit.name,
+            architecture_name=arch.name,
+            compiler_name=self.name,
+            metrics=replay.metrics,
+            fidelity=replay.fidelity,
+            program=program,
+            architecture=arch,
+        )
+
+    def compile_legacy(self, circuit: QuantumCircuit) -> BaselineResult:
+        """Hand-accumulated metrics path (conformance oracle for ``compile``)."""
         start = time.perf_counter()
         staged = preprocess(circuit)
         arch = self.architecture
@@ -58,33 +102,31 @@ class NALACCompiler:
         location: dict[int, Location] = {
             q: Location.at_storage(t) for q, t in initial.items()
         }
-        home: dict[int, StorageTrap] = dict(initial)
 
-        rydberg_pairs = [s.pairs for s in staged.rydberg_stages]
         clock = 0.0
-        rydberg_index = 0
-        for stage in staged.stages:
-            if isinstance(stage, OneQStage):
-                duration = len(stage.gates) * self.params.t_1q_us
-                for gate in stage.gates:
+        for kind, payload in self._events(staged, location, dict(initial)):
+            if kind == "1q":
+                duration = len(payload.gates) * self.params.t_1q_us
+                for gate in payload.gates:
                     metrics.qubit_busy_us[gate.qubits[0]] += self.params.t_1q_us
-                metrics.num_1q_gates += len(stage.gates)
+                metrics.num_1q_gates += len(payload.gates)
                 clock += duration
-            elif isinstance(stage, RydbergStage):
-                future = rydberg_pairs[rydberg_index + 1 :]
-                clock = self._run_rydberg_stage(
-                    arch, stage, location, home, future, metrics, clock
-                )
-                rydberg_index += 1
-
-        # Final drain: everything left in the entanglement zone returns home.
-        clock += self._return_qubits(
-            arch,
-            [q for q, loc in location.items() if loc.in_entanglement_zone],
-            location,
-            home,
-            metrics,
-        )
+            elif kind == "epoch":
+                clock += self._execute_movements(arch, payload, metrics)
+            else:  # pulse
+                chunk_qubits = {q for g in payload for q in g}
+                # Idle qubits parked in the zone are excited by this pulse.
+                idle_in_zone = [
+                    q
+                    for q, loc in location.items()
+                    if loc.in_entanglement_zone and q not in chunk_qubits
+                ]
+                metrics.num_excitations += len(idle_in_zone)
+                for qubit in chunk_qubits:
+                    metrics.qubit_busy_us[qubit] += self.params.t_2q_us
+                metrics.num_2q_gates += len(payload)
+                metrics.num_rydberg_stages += 1
+                clock += self.params.t_2q_us
 
         metrics.duration_us = clock
         metrics.compile_time_s = time.perf_counter() - start
@@ -97,23 +139,44 @@ class NALACCompiler:
             fidelity=fidelity,
         )
 
-    # -- stage handling --------------------------------------------------------
+    # -- stage planning --------------------------------------------------------
 
-    def _run_rydberg_stage(
+    def _events(
+        self,
+        staged,
+        location: dict[int, Location],
+        home: dict[int, StorageTrap],
+    ):
+        """Yield the schedule as ``("1q", stage)`` / ``("epoch", movements)`` /
+        ``("pulse", pairs)`` events, mutating ``location`` as qubits move.
+
+        Consumers must process each event before advancing the generator:
+        the pulse excitation accounting reads ``location`` at yield time.
+        """
+        arch = self.architecture
+        rydberg_pairs = [s.pairs for s in staged.rydberg_stages]
+        rydberg_index = 0
+        for stage in staged.stages:
+            if isinstance(stage, OneQStage):
+                yield ("1q", stage)
+            elif isinstance(stage, RydbergStage):
+                future = rydberg_pairs[rydberg_index + 1 :]
+                yield from self._stage_events(arch, stage, location, home, future)
+                rydberg_index += 1
+        # Final drain: everything left in the entanglement zone returns home.
+        leftover = [q for q, loc in location.items() if loc.in_entanglement_zone]
+        movements = self._plan_returns(leftover, location, home)
+        if movements:
+            yield ("epoch", movements)
+
+    def _stage_events(
         self,
         arch: Architecture,
         stage: RydbergStage,
         location: dict[int, Location],
         home: dict[int, StorageTrap],
         future_stages: list[list[tuple[int, int]]],
-        metrics: ExecutionMetrics,
-        clock: float,
-    ) -> float:
-        _, cols = arch.site_shape(0)
-        pairs = list(stage.pairs)
-        # Single-row placement: split the stage into chunks of at most one row.
-        chunks = [pairs[i : i + cols] for i in range(0, len(pairs), cols)]
-
+    ):
         # Qubits needed in the next stage are kept in the zone (greedy reuse).
         lookahead_qubits: set[int] = set()
         for future in future_stages[:1]:
@@ -121,16 +184,16 @@ class NALACCompiler:
                 lookahead_qubits.add(q)
                 lookahead_qubits.add(q2)
 
-        for chunk in chunks:
-            clock = self._run_chunk(arch, chunk, location, metrics, clock)
-            # Idle qubits currently parked in the zone are excited by this pulse.
-            chunk_qubits = {q for g in chunk for q in g}
-            idle_in_zone = [
-                q
-                for q, loc in location.items()
-                if loc.in_entanglement_zone and q not in chunk_qubits
-            ]
-            metrics.num_excitations += len(idle_in_zone)
+        # Single-row placement: each pulse takes as many gates as the gate
+        # row has free sites, so stages wider than the (remaining) row split
+        # across several Rydberg pulses.
+        pending = list(stage.pairs)
+        while pending:
+            chunk, movements = self._plan_chunk(arch, pending, location, home)
+            pending = pending[len(chunk) :]
+            if movements:
+                yield ("epoch", movements)
+            yield ("pulse", chunk)
 
         # NALAC reuses at the granularity of Rydberg-site pairs: a qubit stays
         # in the zone if it -- or the qubit sharing its site -- is needed in the
@@ -149,28 +212,99 @@ class NALACCompiler:
             for q, loc in location.items()
             if loc.in_entanglement_zone and q not in keep
         ]
-        clock += self._return_qubits(arch, leaving, location, home, metrics)
-        return clock
+        movements = self._plan_returns(leaving, location, home)
+        if movements:
+            yield ("epoch", movements)
 
-    def _run_chunk(
+    def _plan_chunk(
         self,
         arch: Architecture,
-        chunk: list[tuple[int, int]],
+        pending: list[tuple[int, int]],
         location: dict[int, Location],
-        metrics: ExecutionMetrics,
-        clock: float,
-    ) -> float:
-        # Greedy first-fit placement of the chunk's gates into row 0, left to right.
+        home: dict[int, StorageTrap],
+    ) -> tuple[list[tuple[int, int]], list[Movement]]:
+        """Greedy first-fit placement of one pulse's gates into row 0.
+
+        Consumes a prefix of ``pending``: gates are placed left to right
+        until the gate row runs out of free sites (gates anchored on a
+        reused row-0 qubit don't consume a new column); the remaining gates
+        form later pulses.  Returns ``(chunk, movements)``.
+
+        A trap needed by an incoming qubit may be held by a parked qubit (the
+        idle partner of a previously reused site, or an overflow leftover).
+        Faithful to NALAC's aggressive reuse, such blockers stay inside the
+        entanglement zone -- they are parked on the nearest free trap (above
+        the single gate row), where they keep accumulating Rydberg-excitation
+        errors -- and only fall back to their home storage trap when the zone
+        is full.  Either way the planned schedule never stacks two qubits on
+        one trap.
+        """
         movements: list[Movement] = []
+        occupant: dict[tuple[int, int, int, int], int] = {}
+        for qubit, loc in location.items():
+            if loc.in_entanglement_zone and loc.site is not None:
+                occupant[
+                    (loc.site.zone_index, loc.site.row, loc.site.col, loc.side)
+                ] = qubit
+        # Zone traps vacated by this epoch's movements.  Parking only targets
+        # traps untouched so far, keeping the epoch's trap-dependency graph
+        # acyclic (see the same invariant in Enola's movement planning).
+        vacated: set[tuple[int, int, int, int]] = set()
+
+        def move_qubit(qubit: int, destination: Location) -> None:
+            source = location[qubit]
+            if source == destination:
+                return
+            if source.in_entanglement_zone and source.site is not None:
+                key = (source.site.zone_index, source.site.row, source.site.col, source.side)
+                occupant.pop(key, None)
+                vacated.add(key)
+            movements.append(Movement(qubit, source, destination))
+            if destination.in_entanglement_zone and destination.site is not None:
+                occupant[
+                    (
+                        destination.site.zone_index,
+                        destination.site.row,
+                        destination.site.col,
+                        destination.side,
+                    )
+                ] = qubit
+            location[qubit] = destination
+
+        def parking_spot(near_col: int) -> Location | None:
+            """First free zone trap above the gate row, nearest ``near_col``."""
+            rows, cols = arch.site_shape(0)
+            for row in range(1, rows):
+                for offset in range(cols):
+                    for col in (near_col - offset, near_col + offset):
+                        if not 0 <= col < cols:
+                            continue
+                        for side in (LEFT, RIGHT):
+                            key = (0, row, col, side)
+                            if key not in occupant and key not in vacated:
+                                return Location.at_site(RydbergSite(0, row, col), side)
+            return None
+
+        def ensure_free(site: RydbergSite, side: int, gate: tuple[int, int]) -> None:
+            blocker = occupant.get((site.zone_index, site.row, site.col, side))
+            if blocker is None or blocker in gate:
+                return
+            spot = parking_spot(site.col)
+            if spot is None:
+                spot = Location.at_storage(home[blocker])
+            move_qubit(blocker, spot)
+
+        _, cols = arch.site_shape(0)
         occupied_cols = {
             loc.site.col
             for loc in location.values()
             if loc.in_entanglement_zone and loc.site is not None and loc.site.row == 0
         }
+        chunk: list[tuple[int, int]] = []
         next_col = 0
-        for q, q2 in chunk:
+        for q, q2 in pending:
             loc_q, loc_q2 = location[q], location[q2]
-            # If one operand already sits in row 0, reuse its site.
+            # If one operand already sits in row 0, reuse its site (no new column).
             anchor = None
             if loc_q.in_entanglement_zone and loc_q.site.row == 0:
                 anchor = (q, q2)
@@ -180,38 +314,49 @@ class NALACCompiler:
                 stay, move = anchor
                 site = location[stay].site
                 target_side = RIGHT - location[stay].side
-                destination = Location.at_site(site, target_side)
-                if location[move] != destination:
-                    movements.append(Movement(move, location[move], destination))
-                    location[move] = destination
+                ensure_free(site, target_side, (q, q2))
+                move_qubit(move, Location.at_site(site, target_side))
+                chunk.append((q, q2))
                 continue
             while next_col in occupied_cols:
                 next_col += 1
-            site = RydbergSite(0, 0, min(next_col, arch.site_shape(0)[1] - 1))
+            if next_col >= cols:
+                if chunk:
+                    break  # the gate row is full; later pulses take the rest
+                # Even an empty pulse has no free column (parked reuse qubits
+                # fill the row): clear the leftmost column.  The operands
+                # cannot sit in row 0 here (they would have anchored), so
+                # ensure_free never touches them.
+                next_col = 0
+            site = RydbergSite(0, 0, next_col)
             occupied_cols.add(next_col)
             for qubit, side in ((q, LEFT), (q2, RIGHT)):
-                destination = Location.at_site(site, side)
-                if location[qubit] != destination:
-                    movements.append(Movement(qubit, location[qubit], destination))
-                    location[qubit] = destination
+                ensure_free(site, side, (q, q2))
+                move_qubit(qubit, Location.at_site(site, side))
+            chunk.append((q, q2))
+        return chunk, movements
 
-        clock += self._execute_movements(arch, movements, metrics)
+    def _plan_returns(
+        self,
+        qubits: list[int],
+        location: dict[int, Location],
+        home: dict[int, StorageTrap],
+    ) -> list[Movement]:
+        movements = []
+        for qubit in qubits:
+            destination = Location.at_storage(home[qubit])
+            movements.append(Movement(qubit, location[qubit], destination))
+            location[qubit] = destination
+        return movements
 
-        gate_qubits = {q for g in chunk for q in g}
-        for qubit in gate_qubits:
-            metrics.qubit_busy_us[qubit] += self.params.t_2q_us
-        metrics.num_2q_gates += len(chunk)
-        metrics.num_rydberg_stages += 1
-        return clock + self.params.t_2q_us
-
-    # -- movement helpers ------------------------------------------------------
+    # -- movement execution (legacy accounting) --------------------------------
 
     def _execute_movements(
         self, arch: Architecture, movements: list[Movement], metrics: ExecutionMetrics
     ) -> float:
         if not movements:
             return 0.0
-        groups = partition_movements(arch, movements)
+        groups = partition_movements_staged(arch, movements)
         durations = []
         for group in groups:
             longest = max(m.distance_um(arch) for m in group)
@@ -225,18 +370,3 @@ class NALACCompiler:
                 metrics.qubit_busy_us[move.qubit] += 2.0 * self.params.t_transfer_us
         _, makespan = schedule_epoch(durations, arch.num_aods)
         return makespan
-
-    def _return_qubits(
-        self,
-        arch: Architecture,
-        qubits: list[int],
-        location: dict[int, Location],
-        home: dict[int, StorageTrap],
-        metrics: ExecutionMetrics,
-    ) -> float:
-        movements = []
-        for qubit in qubits:
-            destination = Location.at_storage(home[qubit])
-            movements.append(Movement(qubit, location[qubit], destination))
-            location[qubit] = destination
-        return self._execute_movements(arch, movements, metrics)

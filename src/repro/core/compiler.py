@@ -94,4 +94,5 @@ class ZACCompiler:
             program=ctx.program,
             staged=ctx.staged,
             plan=ctx.plan,
+            architecture=self.architecture,
         )

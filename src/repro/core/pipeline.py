@@ -180,12 +180,42 @@ class SchedulePass(Pass):
 
 
 class FidelityPass(Pass):
-    """Evaluate the neutral-atom fidelity model on the execution metrics."""
+    """Derive the canonical metrics + fidelity from the compiled program.
+
+    By default the emitted ZAIR program is replayed through the shared
+    interpreter (:func:`repro.zair.interpret.interpret_program`), making the
+    instruction stream -- not the scheduler's internal accounting -- the
+    source of the reported numbers.  The scheduler's own accumulation is
+    kept in ``ctx.data["scheduler_metrics"]`` as the conformance oracle;
+    ``FidelityPass(interpret=False)`` restores the legacy behaviour of
+    reporting it directly.
+    """
 
     name = "fidelity"
 
+    def __init__(self, interpret: bool = True) -> None:
+        self.interpret = interpret
+
     def run(self, ctx: PassContext) -> None:
         ctx.require("metrics")
+        if self.interpret and ctx.program is not None:
+            from ..zair.interpret import interpret_program
+
+            scheduler_metrics = ctx.metrics
+            ctx.data["scheduler_metrics"] = scheduler_metrics
+            replay = interpret_program(
+                ctx.program,
+                architecture=ctx.architecture,
+                params=ctx.params,
+                vectorized=ctx.config.use_fast_paths,
+            )
+            # Wall-clock instrumentation is not derivable from the program;
+            # carry it over from the scheduler's accounting.
+            replay.metrics.compile_time_s = scheduler_metrics.compile_time_s
+            replay.metrics.phase_times_s = dict(scheduler_metrics.phase_times_s)
+            ctx.metrics = replay.metrics
+            ctx.fidelity = replay.fidelity
+            return
         ctx.fidelity = estimate_fidelity(
             ctx.metrics, ctx.params, vectorized=ctx.config.use_fast_paths
         )

@@ -56,15 +56,20 @@ def find_reuse_matching(
     if not prev_gates or not next_gates:
         return []
 
+    # Integer node ids (prev gate i -> i, next gate j -> num_prev + j): the
+    # matching routine iterates internal sets of nodes, and int hashes -- unlike
+    # the hashes of ("prev", i) string tuples -- do not depend on
+    # PYTHONHASHSEED, so the selected maximum matching is identical across
+    # processes.
+    num_prev = len(prev_gates)
     graph = nx.Graph()
-    prev_nodes = [("prev", i) for i in range(len(prev_gates))]
-    next_nodes = [("next", j) for j in range(len(next_gates))]
+    prev_nodes = list(range(num_prev))
     graph.add_nodes_from(prev_nodes, bipartite=0)
-    graph.add_nodes_from(next_nodes, bipartite=1)
+    graph.add_nodes_from((num_prev + j for j in range(len(next_gates))), bipartite=1)
     for i, prev in enumerate(prev_gates):
         for j, nxt in enumerate(next_gates):
             if shared_qubits(prev.qubits, nxt):
-                graph.add_edge(("prev", i), ("next", j))
+                graph.add_edge(i, num_prev + j)
 
     if graph.number_of_edges() == 0:
         return []
@@ -72,9 +77,9 @@ def find_reuse_matching(
     matching = nx.bipartite.hopcroft_karp_matching(graph, top_nodes=prev_nodes)
     decisions: list[ReuseDecision] = []
     for node, partner in matching.items():
-        if node[0] != "prev":
+        if node >= num_prev:
             continue
-        i, j = node[1], partner[1]
+        i, j = node, partner - num_prev
         shared = shared_qubits(prev_gates[i].qubits, next_gates[j])
         decisions.append(
             ReuseDecision(prev_gate_index=i, next_gate_index=j, reused_qubit=shared[0])

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any
 from ..fidelity.model import ExecutionMetrics, FidelityBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..arch.spec import Architecture
     from ..circuits.scheduling import StagedCircuit
     from ..zair.program import ZAIRProgram
     from .model import PlacementPlan
@@ -46,9 +47,14 @@ class CompileResult:
         compiler_name: Name of the compiler (backend) that produced the result.
         metrics: Raw execution counts and timings.
         fidelity: Per-error-source fidelity breakdown.
-        program: Compiled ZAIR program (ZAC-family backends only).
+        program: Compiled ZAIR program (every registered backend emits one;
+            in-memory-only, like ``staged`` / ``plan``).
         staged: Preprocessed staged circuit (ZAC-family backends only).
         plan: Placement plan (ZAC-family backends only).
+        architecture: The architecture the program targets (``None`` for
+            fixed-coupling programs, which carry their coupling graph on the
+            program itself).  In-memory-only; used to validate and replay
+            ``program``.
     """
 
     circuit_name: str
@@ -59,6 +65,7 @@ class CompileResult:
     program: ZAIRProgram | None = None
     staged: StagedCircuit | None = None
     plan: PlacementPlan | None = None
+    architecture: Architecture | None = None
 
     #: Compilation phases surfaced in :meth:`summary` (in pipeline order).
     PHASES = ("preprocess", "place", "route", "schedule", "fidelity")

@@ -100,6 +100,51 @@ def _mis_partition_naive(adjacency: list[set[int]]) -> list[list[int]]:
     return groups
 
 
+def partition_movements_staged(
+    architecture: Architecture, movements: list[Movement], fast: bool = True
+) -> list[list[Movement]]:
+    """Partition an epoch into AOD-compatible groups, respecting planning order.
+
+    The movement-based baselines plan their epochs sequentially: each
+    movement's target trap is free *at its planning time*, possibly because
+    an earlier movement of the same epoch vacates it, and one qubit may move
+    more than once (a blocker is parked, then later enters its own gate
+    site).  A partition that reorders movements across groups (as the MIS
+    peeling of :func:`partition_movements` may) can therefore produce groups
+    with cyclic trap dependencies that no sequential replay satisfies.
+
+    Here the groups are *consecutive runs* of the planning order instead: a
+    group closes when the next movement conflicts with a member under the
+    AOD ordering constraints, or when it moves a qubit the group already
+    moves (a batch picks everything up before dropping anything off, so a
+    chained movement cannot share the batch of its predecessor).  Because
+    the concatenated groups preserve planning order exactly, replaying them
+    in emission order is always occupancy-feasible.
+    """
+    if not movements:
+        return []
+    adjacency = (
+        conflict_graph(architecture, movements)
+        if fast
+        else conflict_graph_naive(architecture, movements)
+    )
+    groups: list[list[Movement]] = []
+    current: list[int] = []
+    current_qubits: set[int] = set()
+    for index, movement in enumerate(movements):
+        if movement.qubit in current_qubits or any(
+            member in adjacency[index] for member in current
+        ):
+            groups.append([movements[member] for member in current])
+            current = []
+            current_qubits = set()
+        current.append(index)
+        current_qubits.add(movement.qubit)
+    if current:
+        groups.append([movements[member] for member in current])
+    return groups
+
+
 def movements_to_job(
     architecture: Architecture,
     movements: list[Movement],

@@ -111,9 +111,7 @@ class Scheduler:
                     clock,
                     jobs=prebuilt.get((rydberg_index, "in")),
                 )
-                clock = self._emit_rydberg(
-                    program, metrics, location, stage, stage_plan.zone_index, clock
-                )
+                clock = self._emit_rydberg(program, metrics, location, stage_plan, clock)
                 clock = self._emit_epoch(
                     program,
                     metrics,
@@ -125,7 +123,6 @@ class Scheduler:
                 rydberg_index += 1
 
         metrics.duration_us = clock
-        metrics.num_rydberg_stages = rydberg_index
         total = time.perf_counter() - run_start
         metrics.phase_times_s["route"] = self._route_time_s
         metrics.phase_times_s["schedule"] = max(0.0, total - self._route_time_s)
@@ -182,13 +179,15 @@ class Scheduler:
             job.aod_id = slot.aod_id
             job.begin_time = clock + slot.start
             job.end_time = clock + slot.end
+        # Accumulate in program (begin-time) order so float sums match the
+        # interpreter's replay of the emitted instruction stream exactly.
+        for job in sorted(jobs, key=lambda j: j.begin_time):
+            program.instructions.append(job)
             metrics.num_transfers += 2 * job.num_qubits
             metrics.num_movements += job.num_qubits
             metrics.total_move_distance_um += job_total_distance_um(self.architecture, job)
             for qubit in job.qubits:
                 metrics.qubit_busy_us[qubit] += 2.0 * self.params.t_transfer_us
-        for job in sorted(jobs, key=lambda j: j.begin_time):
-            program.instructions.append(job)
         for movement in movements:
             location[movement.qubit] = movement.destination
         return clock + makespan
@@ -204,30 +203,43 @@ class Scheduler:
         program: ZAIRProgram,
         metrics: ExecutionMetrics,
         location: dict[int, Location],
-        stage: RydbergStage,
-        zone_index: int,
+        stage_plan,
         clock: float,
     ) -> float:
+        """Emit the stage's Rydberg pulses, one per illuminated zone.
+
+        On a multi-zone architecture a stage's gates may be placed across
+        several entanglement zones; each zone's laser fires its own pulse
+        (simultaneously -- the zones are independent), so one ``rydberg``
+        instruction is emitted per zone with exactly that zone's gates.
+        """
         duration = self.params.t_2q_us
-        inst = RydbergInst(
-            zone_id=zone_index,
-            gates=list(stage.pairs),
-            begin_time=clock,
-            end_time=clock + duration,
-        )
-        program.instructions.append(inst)
-        gate_qubits = stage.qubits
-        for qubit in gate_qubits:
-            metrics.qubit_busy_us[qubit] += duration
-        metrics.num_2q_gates += len(stage.gates)
-        # Idle qubits caught inside the illuminated zone suffer excitation errors.
-        idle_in_zone = [
-            q
-            for q, loc in location.items()
-            if loc.in_entanglement_zone
-            and loc.site is not None
-            and loc.site.zone_index == zone_index
-            and q not in gate_qubits
-        ]
-        metrics.num_excitations += len(idle_in_zone)
+        gates_by_zone: dict[int, list[tuple[int, int]]] = {}
+        for entry in stage_plan.gates:
+            gates_by_zone.setdefault(entry.site.zone_index, []).append(tuple(entry.qubits))
+        for zone_index in sorted(gates_by_zone):
+            gates = gates_by_zone[zone_index]
+            inst = RydbergInst(
+                zone_id=zone_index,
+                gates=gates,
+                begin_time=clock,
+                end_time=clock + duration,
+            )
+            program.instructions.append(inst)
+            gate_qubits = {q for gate in gates for q in gate}
+            for qubit in gate_qubits:
+                metrics.qubit_busy_us[qubit] += duration
+            metrics.num_2q_gates += len(gates)
+            metrics.num_rydberg_stages += 1
+            # Idle qubits caught inside the illuminated zone suffer excitation
+            # errors.
+            idle_in_zone = [
+                q
+                for q, loc in location.items()
+                if loc.in_entanglement_zone
+                and loc.site is not None
+                and loc.site.zone_index == zone_index
+                and q not in gate_qubits
+            ]
+            metrics.num_excitations += len(idle_in_zone)
         return clock + duration

@@ -2,7 +2,11 @@
 
 from .instructions import (
     ActivateInst,
+    ArrayMoveInst,
     DeactivateInst,
+    FixedGate,
+    GateLayerInst,
+    GlobalPulseInst,
     InitInst,
     MachineInst,
     MoveInst,
@@ -10,8 +14,10 @@ from .instructions import (
     QLoc,
     RearrangeJob,
     RydbergInst,
+    TransferEpochInst,
     ZAIRInstruction,
 )
+from .interpret import InterpretedExecution, InterpreterError, interpret_program
 from .lowering import (
     job_duration_us,
     job_max_distance_um,
@@ -25,17 +31,25 @@ from .validation import ValidationError, validate_job_ordering, validate_program
 
 __all__ = [
     "ActivateInst",
+    "ArrayMoveInst",
     "DeactivateInst",
+    "FixedGate",
+    "GateLayerInst",
+    "GlobalPulseInst",
     "InitInst",
+    "InterpretedExecution",
+    "InterpreterError",
     "MachineInst",
     "MoveInst",
     "OneQGateInst",
     "QLoc",
     "RearrangeJob",
     "RydbergInst",
+    "TransferEpochInst",
     "ValidationError",
     "ZAIRInstruction",
     "ZAIRProgram",
+    "interpret_program",
     "job_duration_us",
     "job_max_distance_um",
     "job_total_distance_um",

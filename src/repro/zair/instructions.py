@@ -173,6 +173,176 @@ class MoveInst:
 MachineInst = ActivateInst | DeactivateInst | MoveInst
 
 
+# ---------------------------------------------------------------------------
+# Baseline-backend instructions
+#
+# The baseline compilers lower to ZAIR too, but some of their execution
+# models are more abstract than the zoned machine model: the superconducting
+# transpiler schedules gates on a fixed coupling graph, Atomique translates a
+# whole AOD array at once, and the idealised bounds assume every movement of
+# an epoch is compatible.  The instructions below capture those semantics so
+# one interpreter (:mod:`repro.zair.interpret`) can replay any backend's
+# program.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedGate:
+    """One gate of a fixed-coupling (superconducting-style) schedule.
+
+    ``kind`` is ``"1q"``, ``"2q"`` or ``"swap"`` (a SWAP counts as three
+    native two-qubit gates).  ``duration_us`` is stored separately from the
+    derived end time so replays accumulate exactly the durations the
+    scheduler used.
+    """
+
+    kind: str
+    qubits: tuple[int, ...]
+    begin_time: float = 0.0
+    duration_us: float = 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.begin_time + self.duration_us
+
+    @property
+    def num_1q_gates(self) -> int:
+        return 1 if self.kind == "1q" else 0
+
+    @property
+    def num_2q_gates(self) -> int:
+        if self.kind == "2q":
+            return 1
+        if self.kind == "swap":
+            return 3
+        return 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "qubits": list(self.qubits),
+            "begin_time": self.begin_time,
+            "duration_us": self.duration_us,
+        }
+
+
+@dataclass
+class GateLayerInst(Instruction):
+    """A batch of gates addressed by qubit index (no trap semantics).
+
+    Used by the fixed-coupling superconducting backend (where qubits are
+    nodes of a coupling graph) and for abstract single-qubit layers of
+    monolithic baselines that do not track trap positions.  Per-gate
+    schedule times are embedded; the instruction's own ``begin_time`` /
+    ``end_time`` are the envelope.
+    """
+
+    gates: list[FixedGate] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "gateLayer",
+            "gates": [gate.to_dict() for gate in self.gates],
+            "begin_time": self.begin_time,
+            "end_time": self.end_time,
+        }
+
+
+@dataclass
+class GlobalPulseInst(Instruction):
+    """A global Rydberg exposure of a whole monolithic array (Atomique model).
+
+    Unlike :class:`RydbergInst` there is no trap co-location requirement: the
+    laser covers every qubit.  ``active_qubits`` are the qubits engaged in
+    gates or shuttling during the pulse (they accrue gate time, everyone else
+    accrues an excitation error); ``extra_1q_gates`` folds in the
+    single-qubit conjugations of SWAP insertions that have no schedule
+    footprint of their own.
+    """
+
+    gates: list[tuple[int, int]] = field(default_factory=list)
+    active_qubits: list[int] = field(default_factory=list)
+    extra_1q_gates: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "globalPulse",
+            "gates": [list(g) for g in self.gates],
+            "active_qubits": list(self.active_qubits),
+            "extra_1q_gates": self.extra_1q_gates,
+            "begin_time": self.begin_time,
+            "end_time": self.end_time,
+        }
+
+
+@dataclass
+class ArrayMoveInst(Instruction):
+    """A rigid translation of a whole AOD array (Atomique model).
+
+    No per-qubit atom transfers happen (the array moves as one body), so the
+    instruction contributes time but neither transfers nor movements.
+    """
+
+    distance_um: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "arrayMove",
+            "distance_um": self.distance_um,
+            "begin_time": self.begin_time,
+            "end_time": self.end_time,
+        }
+
+
+@dataclass
+class TransferEpochInst(Instruction):
+    """An abstract movement epoch without a concrete per-AOD schedule.
+
+    Used by the idealised bounds (Section VII-F), which assume every movement
+    of an epoch is compatible -- an assumption a concrete
+    :class:`RearrangeJob` could not satisfy without violating the AOD
+    ordering constraints.  Trap occupancy is still replayed and validated;
+    only the AOD non-crossing check is waived.
+
+    ``transfer_count`` overrides the default two atom transfers per moved
+    qubit (the perfect-reuse bound credits saved round trips).
+    """
+
+    begin_locs: list[QLoc] = field(default_factory=list)
+    end_locs: list[QLoc] = field(default_factory=list)
+    transfer_count: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.begin_locs) != len(self.end_locs):
+            raise ValueError("begin_locs and end_locs must have the same length")
+        if [l.qubit for l in self.begin_locs] != [l.qubit for l in self.end_locs]:
+            raise ValueError("begin_locs and end_locs must list the same qubits in order")
+
+    @property
+    def qubits(self) -> list[int]:
+        return [loc.qubit for loc in self.begin_locs]
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.begin_locs)
+
+    @property
+    def num_transfers(self) -> int:
+        if self.transfer_count is not None:
+            return self.transfer_count
+        return 2 * self.num_qubits
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "transferEpoch",
+            "begin_locs": [loc.to_list() for loc in self.begin_locs],
+            "end_locs": [loc.to_list() for loc in self.end_locs],
+            "transfer_count": self.transfer_count,
+            "begin_time": self.begin_time,
+            "end_time": self.end_time,
+        }
+
+
 @dataclass
 class RearrangeJob(Instruction):
     """A rearrangement job: one AOD moves a batch of qubits between traps.
@@ -215,4 +385,17 @@ class RearrangeJob(Instruction):
         }
 
 
-ZAIRInstruction = InitInst | OneQGateInst | RydbergInst | RearrangeJob
+ZAIRInstruction = (
+    InitInst
+    | OneQGateInst
+    | RydbergInst
+    | RearrangeJob
+    | GateLayerInst
+    | GlobalPulseInst
+    | ArrayMoveInst
+    | TransferEpochInst
+)
+
+#: Instruction types whose semantics reference trap locations; a program
+#: containing any of these must begin with an ``InitInst``.
+LOCATION_INSTRUCTIONS = (InitInst, OneQGateInst, RydbergInst, RearrangeJob, TransferEpochInst)

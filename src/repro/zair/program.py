@@ -7,11 +7,15 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from .instructions import (
+    ArrayMoveInst,
+    GateLayerInst,
+    GlobalPulseInst,
     InitInst,
     OneQGateInst,
     QLoc,
     RearrangeJob,
     RydbergInst,
+    TransferEpochInst,
     ZAIRInstruction,
 )
 
@@ -24,12 +28,17 @@ class ZAIRProgram:
         num_qubits: Number of program qubits.
         architecture_name: Name of the target architecture.
         instructions: Program-level ZAIR instructions in issue order (the
-            first must be the single ``InitInst``).
+            first must be the single ``InitInst`` whenever the program uses
+            location-based instructions).
+        coupling_edges: For fixed-coupling (superconducting) programs, the
+            undirected edges of the device coupling graph; ``None`` for
+            neutral-atom programs.
     """
 
     num_qubits: int
     architecture_name: str = ""
     instructions: list[ZAIRInstruction] = field(default_factory=list)
+    coupling_edges: list[tuple[int, int]] | None = None
 
     # -- structural queries --------------------------------------------------
 
@@ -54,20 +63,39 @@ class ZAIRProgram:
 
     @property
     def num_rydberg_stages(self) -> int:
-        return len(self.rydberg_insts)
+        """Rydberg exposures, counting zoned and global (monolithic) pulses."""
+        return len(self.rydberg_insts) + sum(
+            1 for i in self.instructions if isinstance(i, GlobalPulseInst)
+        )
 
     @property
     def num_2q_gates(self) -> int:
-        return sum(len(r.gates) for r in self.rydberg_insts)
+        total = sum(len(r.gates) for r in self.rydberg_insts)
+        for inst in self.instructions:
+            if isinstance(inst, GlobalPulseInst):
+                total += len(inst.gates)
+            elif isinstance(inst, GateLayerInst):
+                total += sum(gate.num_2q_gates for gate in inst.gates)
+        return total
 
     @property
     def num_1q_gates(self) -> int:
-        return sum(inst.num_gates for inst in self.one_q_insts)
+        total = sum(inst.num_gates for inst in self.one_q_insts)
+        for inst in self.instructions:
+            if isinstance(inst, GlobalPulseInst):
+                total += inst.extra_1q_gates
+            elif isinstance(inst, GateLayerInst):
+                total += sum(gate.num_1q_gates for gate in inst.gates)
+        return total
 
     @property
     def num_movements(self) -> int:
-        """Total individual qubit movements across all jobs."""
-        return sum(job.num_qubits for job in self.rearrange_jobs)
+        """Total individual qubit movements across all jobs and epochs."""
+        return sum(job.num_qubits for job in self.rearrange_jobs) + sum(
+            inst.num_qubits
+            for inst in self.instructions
+            if isinstance(inst, TransferEpochInst)
+        )
 
     @property
     def duration_us(self) -> float:
@@ -91,10 +119,15 @@ class ZAIRProgram:
         """
         total = 0
         for inst in self.instructions:
-            if isinstance(inst, (OneQGateInst, RydbergInst)):
+            if isinstance(inst, (OneQGateInst, RydbergInst, GlobalPulseInst, ArrayMoveInst)):
                 total += 1
             elif isinstance(inst, RearrangeJob):
                 total += max(len(inst.insts), 3)
+            elif isinstance(inst, TransferEpochInst):
+                # Abstract epoch: at least pickup + move + drop-off.
+                total += 3
+            elif isinstance(inst, GateLayerInst):
+                total += len(inst.gates)
         return total
 
     def zair_instructions_per_gate(self) -> float:
@@ -110,21 +143,25 @@ class ZAIRProgram:
     # -- qubit-location tracking ---------------------------------------------
 
     def final_locations(self) -> dict[int, QLoc]:
-        """Replay all rearrangement jobs to find each qubit's final location."""
+        """Replay all movement instructions to find each qubit's final location."""
         locations = {loc.qubit: loc for loc in self.init.init_locs}
-        for job in self.rearrange_jobs:
-            for loc in job.end_locs:
-                locations[loc.qubit] = loc
+        for inst in self.instructions:
+            if isinstance(inst, (RearrangeJob, TransferEpochInst)):
+                for loc in inst.end_locs:
+                    locations[loc.qubit] = loc
         return locations
 
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data: dict[str, Any] = {
             "num_qubits": self.num_qubits,
             "architecture": self.architecture_name,
             "instructions": [inst.to_dict() for inst in self.instructions],
         }
+        if self.coupling_edges is not None:
+            data["coupling_edges"] = [list(edge) for edge in self.coupling_edges]
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

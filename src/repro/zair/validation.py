@@ -12,16 +12,45 @@ physical invariants the hardware imposes:
 * a ``rydberg`` instruction only entangles pairs that sit in the left/right
   traps of the same Rydberg site of the referenced entanglement zone.
 
+Abstract baseline instructions have their own (weaker) invariants:
+
+* ``transferEpoch`` replays trap occupancy like a rearrangement job but
+  waives the AOD non-crossing check (the idealised bounds assume away AOD
+  conflicts by construction);
+* ``gateLayer`` / ``globalPulse`` / ``arrayMove`` address qubits by index;
+  every index must be in range, two-qubit gates of a fixed-coupling program
+  must run on coupling-graph edges, and no qubit may be in two gates at
+  once.
+
+Location-free programs (the superconducting and Atomique backends) skip the
+``init`` requirement; a program mixing location-based and index-based gate
+instructions is rejected.
+
 This is used both by the test suite (as an oracle for compiler correctness)
-and exposed publicly so users can check hand-written programs.
+and by the registry compile path (:func:`repro.api.compile`), which
+validates every backend's emitted program.
 """
 
 from __future__ import annotations
 
 from ..arch.spec import Architecture, ArchitectureError
-from .instructions import InitInst, OneQGateInst, QLoc, RearrangeJob, RydbergInst
+from .instructions import (
+    LOCATION_INSTRUCTIONS,
+    ArrayMoveInst,
+    GateLayerInst,
+    GlobalPulseInst,
+    InitInst,
+    OneQGateInst,
+    QLoc,
+    RearrangeJob,
+    RydbergInst,
+    TransferEpochInst,
+)
 from .lowering import qloc_position
 from .program import ZAIRProgram
+
+#: Slack allowed when checking that gates on one qubit do not overlap in time.
+_TIME_TOL = 1e-9
 
 
 class ValidationError(ValueError):
@@ -68,12 +97,29 @@ def _check_trap_exists(architecture: Architecture, loc: QLoc) -> None:
         raise ValidationError(f"qubit {loc.qubit}: invalid trap {loc.trap}: {exc}") from exc
 
 
-def validate_program(architecture: Architecture, program: ZAIRProgram) -> None:
-    """Replay ``program`` on ``architecture`` and check all invariants.
+def validate_program(architecture: Architecture | None, program: ZAIRProgram) -> None:
+    """Replay ``program`` and check all invariants.
+
+    Args:
+        architecture: The target architecture.  May be ``None`` for
+            location-free programs (fixed-coupling / abstract monolithic
+            backends), which are validated purely on qubit indices, coupling
+            edges, and schedule consistency.
+        program: The program to check.
 
     Raises:
         ValidationError: on the first violated invariant.
     """
+    uses_locations = any(
+        isinstance(inst, LOCATION_INSTRUCTIONS) for inst in program.instructions
+    )
+    if not uses_locations:
+        _validate_abstract_program(program)
+        return
+    if architecture is None:
+        raise ValidationError(
+            "program uses trap locations; an architecture is required to validate it"
+        )
     if not program.instructions or not isinstance(program.instructions[0], InitInst):
         raise ValidationError("program must start with an init instruction")
 
@@ -100,8 +146,15 @@ def validate_program(architecture: Architecture, program: ZAIRProgram) -> None:
     for inst in program.instructions[1:]:
         if isinstance(inst, InitInst):
             raise ValidationError("init may only appear once, at the beginning")
+        if isinstance(inst, (GateLayerInst, GlobalPulseInst, ArrayMoveInst)):
+            raise ValidationError(
+                f"{type(inst).__name__} has no trap semantics and cannot appear "
+                "in a program that tracks trap locations"
+            )
         if isinstance(inst, RearrangeJob):
             _replay_job(architecture, inst, location, occupied)
+        elif isinstance(inst, TransferEpochInst):
+            _replay_transfer_epoch(architecture, inst, location, occupied)
         elif isinstance(inst, RydbergInst):
             _check_rydberg(architecture, inst, location, ent_slm_pairs)
         elif isinstance(inst, OneQGateInst):
@@ -115,6 +168,43 @@ def validate_program(architecture: Architecture, program: ZAIRProgram) -> None:
                     )
 
 
+def _replay_moves(
+    architecture: Architecture,
+    label: str,
+    begin_locs: list[QLoc],
+    end_locs: list[QLoc],
+    location: dict[int, QLoc],
+    occupied: dict[tuple[int, int, int], int],
+) -> None:
+    """Replay one batch of movements (pickup everything, then drop everything)."""
+    # Pickup: all begin locations must match the current qubit positions.
+    for loc in begin_locs:
+        _check_trap_exists(architecture, loc)
+        if loc.qubit not in location:
+            raise ValidationError(f"{label} moves unknown qubit {loc.qubit}")
+        if location[loc.qubit].trap != loc.trap:
+            raise ValidationError(
+                f"{label} picks up qubit {loc.qubit} at {loc.trap}, but it is at "
+                f"{location[loc.qubit].trap}"
+            )
+        del occupied[loc.trap]
+    # Drop-off: all end traps must be free and pairwise distinct.
+    seen_targets: set[tuple[int, int, int]] = set()
+    for loc in end_locs:
+        _check_trap_exists(architecture, loc)
+        if loc.trap in seen_targets:
+            raise ValidationError(f"{label} drops two qubits at trap {loc.trap}")
+        if loc.trap in occupied:
+            raise ValidationError(
+                f"{label} drops qubit {loc.qubit} at occupied trap {loc.trap} "
+                f"(held by qubit {occupied[loc.trap]})"
+            )
+        seen_targets.add(loc.trap)
+    for loc in end_locs:
+        location[loc.qubit] = loc
+        occupied[loc.trap] = loc.qubit
+
+
 def _replay_job(
     architecture: Architecture,
     job: RearrangeJob,
@@ -122,32 +212,110 @@ def _replay_job(
     occupied: dict[tuple[int, int, int], int],
 ) -> None:
     validate_job_ordering(architecture, job)
-    # Pickup: all begin locations must match the current qubit positions.
-    for loc in job.begin_locs:
-        _check_trap_exists(architecture, loc)
-        if loc.qubit not in location:
-            raise ValidationError(f"job moves unknown qubit {loc.qubit}")
-        if location[loc.qubit].trap != loc.trap:
+    _replay_moves(
+        architecture,
+        f"job on AOD {job.aod_id}",
+        job.begin_locs,
+        job.end_locs,
+        location,
+        occupied,
+    )
+
+
+def _replay_transfer_epoch(
+    architecture: Architecture,
+    inst: TransferEpochInst,
+    location: dict[int, QLoc],
+    occupied: dict[tuple[int, int, int], int],
+) -> None:
+    """Occupancy replay of an abstract epoch (no AOD ordering constraint)."""
+    if inst.transfer_count is not None and not 0 <= inst.transfer_count <= 2 * inst.num_qubits:
+        raise ValidationError(
+            f"transfer epoch claims {inst.transfer_count} transfers for "
+            f"{inst.num_qubits} moved qubits"
+        )
+    _replay_moves(
+        architecture, "transfer epoch", inst.begin_locs, inst.end_locs, location, occupied
+    )
+
+
+def _validate_abstract_program(program: ZAIRProgram) -> None:
+    """Validate a location-free (index-addressed) program.
+
+    Checks qubit-index ranges, fixed-coupling edges, and that no qubit is in
+    two gates at overlapping times.
+    """
+    edges: set[frozenset[int]] | None = None
+    if program.coupling_edges is not None:
+        edges = {frozenset(edge) for edge in program.coupling_edges}
+    busy_until: dict[int, float] = {}
+
+    def check_qubit(qubit: int, context: str) -> None:
+        if not 0 <= qubit < program.num_qubits:
             raise ValidationError(
-                f"job picks up qubit {loc.qubit} at {loc.trap}, but it is at "
-                f"{location[loc.qubit].trap}"
+                f"{context}: qubit {qubit} out of range for a "
+                f"{program.num_qubits}-qubit program"
             )
-        del occupied[loc.trap]
-    # Drop-off: all end traps must be free and pairwise distinct.
-    seen_targets: set[tuple[int, int, int]] = set()
-    for loc in job.end_locs:
-        _check_trap_exists(architecture, loc)
-        if loc.trap in seen_targets:
-            raise ValidationError(f"job drops two qubits at trap {loc.trap}")
-        if loc.trap in occupied:
+
+    def occupy(qubits: tuple[int, ...] | list[int], begin: float, end: float, context: str) -> None:
+        for qubit in qubits:
+            if begin < busy_until.get(qubit, float("-inf")) - _TIME_TOL:
+                raise ValidationError(
+                    f"{context}: qubit {qubit} is still busy at t={begin:.6g}"
+                )
+            busy_until[qubit] = max(busy_until.get(qubit, 0.0), end)
+
+    for inst in program.instructions:
+        if isinstance(inst, GateLayerInst):
+            for gate in inst.gates:
+                if gate.kind not in ("1q", "2q", "swap"):
+                    raise ValidationError(f"gate layer: unknown gate kind {gate.kind!r}")
+                expected_arity = 1 if gate.kind == "1q" else 2
+                if len(gate.qubits) != expected_arity:
+                    raise ValidationError(
+                        f"gate layer: {gate.kind} gate on {len(gate.qubits)} qubits"
+                    )
+                for qubit in gate.qubits:
+                    check_qubit(qubit, "gate layer")
+                if gate.kind != "1q":
+                    if len(set(gate.qubits)) != 2:
+                        raise ValidationError(
+                            f"gate layer: two-qubit gate on identical qubits {gate.qubits}"
+                        )
+                    if edges is not None and frozenset(gate.qubits) not in edges:
+                        raise ValidationError(
+                            f"gate layer: gate {gate.qubits} is not an edge of the "
+                            "coupling graph"
+                        )
+                occupy(gate.qubits, gate.begin_time, gate.end_time, "gate layer")
+        elif isinstance(inst, GlobalPulseInst):
+            active = set(inst.active_qubits)
+            for qubit in inst.active_qubits:
+                check_qubit(qubit, "global pulse")
+            in_gate: set[int] = set()
+            for a, b in inst.gates:
+                if a == b:
+                    raise ValidationError(f"global pulse: gate on identical qubits ({a}, {b})")
+                for qubit in (a, b):
+                    check_qubit(qubit, "global pulse")
+                    if qubit not in active:
+                        raise ValidationError(
+                            f"global pulse: gate qubit {qubit} missing from active_qubits"
+                        )
+                    if qubit in in_gate:
+                        raise ValidationError(
+                            f"global pulse: qubit {qubit} is in two gates of one pulse"
+                        )
+                    in_gate.add(qubit)
+            if inst.extra_1q_gates < 0:
+                raise ValidationError("global pulse: negative extra_1q_gates")
+        elif isinstance(inst, ArrayMoveInst):
+            if inst.distance_um < 0:
+                raise ValidationError("array move: negative distance")
+        else:  # pragma: no cover - guarded by uses_locations dispatch
             raise ValidationError(
-                f"job drops qubit {loc.qubit} at occupied trap {loc.trap} "
-                f"(held by qubit {occupied[loc.trap]})"
+                f"unexpected {type(inst).__name__} in a location-free program"
             )
-        seen_targets.add(loc.trap)
-    for loc in job.end_locs:
-        location[loc.qubit] = loc
-        occupied[loc.trap] = loc.qubit
 
 
 def _check_rydberg(

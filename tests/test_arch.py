@@ -1,6 +1,5 @@
 """Unit tests for the architecture specification, presets and serialization."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,125 @@
+"""Backend conformance: ZAIR everywhere.
+
+Every registered backend must (a) attach a ZAIR program to its result that
+passes :func:`repro.zair.validate_program`, and (b) report numbers the
+shared interpreter reproduces from that program -- bit-identical to the ZAC
+scheduler's own accounting, and within 1e-9 relative of the legacy
+hand-accumulated paths kept on the baselines as conformance oracles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api as api
+from repro.arch.presets import reference_zoned_architecture
+from repro.baselines.ideal import (
+    PERFECT_MOVEMENT,
+    PERFECT_PLACEMENT,
+    PERFECT_REUSE,
+    IdealBound,
+    idealized_result_legacy,
+)
+from repro.circuits.library import get_benchmark
+from repro.core.compiler import ZACCompiler
+from repro.core.config import ZACConfig
+from repro.core.pipeline import FidelityPass, default_pipeline
+from repro.zair import interpret_program, validate_program
+
+CIRCUIT = "bv_n14"
+
+COUNT_FIELDS = (
+    "num_1q_gates",
+    "num_2q_gates",
+    "num_excitations",
+    "num_transfers",
+    "num_rydberg_stages",
+    "num_movements",
+)
+
+
+def assert_equivalent(new, old, rel=1.0e-9):
+    """New (interpreter-derived) result must match the legacy accounting."""
+    for field in COUNT_FIELDS:
+        assert getattr(new.metrics, field) == getattr(old.metrics, field), field
+    assert new.metrics.num_qubits == old.metrics.num_qubits
+    assert new.metrics.duration_us == pytest.approx(old.metrics.duration_us, rel=rel)
+    assert new.fidelity.total == pytest.approx(old.fidelity.total, rel=rel)
+    for name, value in old.fidelity.as_dict().items():
+        assert new.fidelity.as_dict()[name] == pytest.approx(value, rel=rel), name
+    for qubit, busy in old.metrics.qubit_busy_us.items():
+        assert new.metrics.qubit_busy_us[qubit] == pytest.approx(busy, rel=rel)
+
+
+@pytest.mark.parametrize("backend", api.available_backends())
+class TestEveryBackendEmitsZAIR:
+    def test_program_attached_and_valid(self, backend):
+        result = api.compile(CIRCUIT, backend=backend, validate=False)
+        assert result.program is not None
+        validate_program(result.architecture, result.program)
+
+    def test_registry_compile_path_validates(self, backend):
+        # validate=True (the default) must replay the program without error.
+        result = api.compile(CIRCUIT, backend=backend)
+        assert result.program is not None
+
+    def test_interpreter_reproduces_reported_numbers(self, backend):
+        """result.metrics/fidelity ARE the interpreter's replay of result.program."""
+        result = api.compile(CIRCUIT, backend=backend, validate=False)
+        params = api.create_backend(backend).params
+        replay = interpret_program(
+            result.program, architecture=result.architecture, params=params
+        )
+        assert replay.metrics.duration_us == result.metrics.duration_us
+        assert replay.fidelity.total == result.fidelity.total
+
+
+class TestZacConformance:
+    def test_interpreter_bit_identical_to_scheduler(self):
+        """ZAC: interpreter replay == scheduler accounting, bit for bit."""
+        arch = reference_zoned_architecture()
+        circuit = get_benchmark(CIRCUIT)
+        new = ZACCompiler(arch).compile(circuit)
+        legacy_pipeline = default_pipeline(ZACConfig()).replace(
+            "fidelity", FidelityPass(interpret=False)
+        )
+        old = ZACCompiler(arch, pipeline=legacy_pipeline).compile(circuit)
+        for field in COUNT_FIELDS:
+            assert getattr(new.metrics, field) == getattr(old.metrics, field), field
+        assert new.metrics.duration_us == old.metrics.duration_us
+        assert new.metrics.qubit_busy_us == old.metrics.qubit_busy_us
+        assert new.metrics.total_move_distance_um == old.metrics.total_move_distance_um
+        assert new.fidelity.as_dict() == old.fidelity.as_dict()
+
+    def test_scheduler_metrics_kept_as_oracle(self):
+        arch = reference_zoned_architecture()
+        compiler = ZACCompiler(arch)
+        captured = {}
+
+        def capture(pass_obj, ctx):
+            if pass_obj.name == "fidelity":
+                captured.update(ctx.data)
+
+        compiler.pipeline.add_post_hook(capture)
+        compiler.compile(get_benchmark(CIRCUIT))
+        assert "scheduler_metrics" in captured
+
+
+@pytest.mark.parametrize("backend", ["enola", "atomique", "nalac", "sc"])
+class TestBaselineConformance:
+    def test_interpreter_matches_legacy(self, backend):
+        compiler = api.create_backend(backend)
+        circuit = get_benchmark(CIRCUIT)
+        assert_equivalent(compiler.compile(circuit), compiler.compile_legacy(circuit))
+
+
+@pytest.mark.parametrize("mode", [PERFECT_MOVEMENT, PERFECT_PLACEMENT, PERFECT_REUSE])
+class TestIdealConformance:
+    def test_interpreter_matches_legacy(self, mode):
+        bound = IdealBound(mode)
+        zac = ZACCompiler(bound.architecture, lower_jobs=False)
+        zac_result = zac.compile(get_benchmark(CIRCUIT))
+        new = bound.from_result(zac_result)
+        old = idealized_result_legacy(zac_result, bound.architecture, mode)
+        assert_equivalent(new, old)
+        validate_program(bound.architecture, new.program)

@@ -1,6 +1,5 @@
 """Unit tests for resynthesis to the {CZ, U3} gate set."""
 
-import math
 
 import numpy as np
 import pytest

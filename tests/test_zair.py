@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import RydbergSite, StorageTrap, reference_zoned_architecture
+from repro.arch import RydbergSite, reference_zoned_architecture
 from repro.core.model import LEFT, RIGHT, Location, location_qloc
 from repro.zair import (
     ActivateInst,
@@ -246,3 +246,213 @@ class TestProgramStatistics:
         program = ZAIRProgram(num_qubits=1)
         with pytest.raises(ValueError):
             _ = program.init
+
+
+# ---------------------------------------------------------------------------
+# Baseline-backend instructions: gate layers, global pulses, transfer epochs
+# ---------------------------------------------------------------------------
+
+from repro.fidelity.params import SC_GRID  # noqa: E402
+from repro.zair import (  # noqa: E402
+    ArrayMoveInst,
+    FixedGate,
+    GateLayerInst,
+    GlobalPulseInst,
+    TransferEpochInst,
+    interpret_program,
+)
+
+
+def coupling_program(gates, num_qubits=3, edges=((0, 1), (1, 2))):
+    layer = GateLayerInst(
+        gates=gates,
+        begin_time=min((g.begin_time for g in gates), default=0.0),
+        end_time=max((g.end_time for g in gates), default=0.0),
+    )
+    return ZAIRProgram(
+        num_qubits=num_qubits,
+        architecture_name="sc-test",
+        instructions=[layer],
+        coupling_edges=[tuple(e) for e in edges],
+    )
+
+
+class TestAbstractValidation:
+    def test_coupling_program_passes(self):
+        program = coupling_program(
+            [
+                FixedGate("1q", (0,), 0.0, 1.0),
+                FixedGate("2q", (0, 1), 1.0, 2.0),
+                FixedGate("swap", (1, 2), 3.0, 6.0),
+            ]
+        )
+        validate_program(None, program)
+
+    def test_off_coupling_gate_rejected(self):
+        program = coupling_program([FixedGate("2q", (0, 2), 0.0, 2.0)])
+        with pytest.raises(ValidationError, match="not an edge"):
+            validate_program(None, program)
+
+    def test_overlapping_gates_on_one_qubit_rejected(self):
+        program = coupling_program(
+            [FixedGate("2q", (0, 1), 0.0, 2.0), FixedGate("1q", (1,), 1.0, 1.0)]
+        )
+        with pytest.raises(ValidationError, match="still busy"):
+            validate_program(None, program)
+
+    def test_out_of_range_qubit_rejected(self):
+        program = coupling_program([FixedGate("1q", (7,), 0.0, 1.0)])
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_program(None, program)
+
+    def test_global_pulse_requires_gate_qubits_active(self):
+        program = ZAIRProgram(
+            num_qubits=4,
+            instructions=[GlobalPulseInst(gates=[(0, 1)], active_qubits=[0])],
+        )
+        with pytest.raises(ValidationError, match="active_qubits"):
+            validate_program(None, program)
+
+    def test_index_instructions_rejected_in_location_program(self, arch):
+        program = ZAIRProgram(
+            num_qubits=1,
+            instructions=[
+                InitInst(init_locs=[storage_qloc(0, 0, 0)]),
+                GlobalPulseInst(gates=[], active_qubits=[0]),
+            ],
+        )
+        with pytest.raises(ValidationError, match="no trap semantics"):
+            validate_program(arch, program)
+
+    def test_location_program_requires_architecture(self):
+        program = ZAIRProgram(
+            num_qubits=1, instructions=[InitInst(init_locs=[storage_qloc(0, 0, 0)])]
+        )
+        with pytest.raises(ValidationError, match="architecture is required"):
+            validate_program(None, program)
+
+
+class TestTransferEpoch:
+    def test_occupancy_replayed_without_aod_ordering(self, arch):
+        # Two crossing movements: invalid as one RearrangeJob, fine as an
+        # abstract transfer epoch.
+        begin = [storage_qloc(0, 0, 0), storage_qloc(1, 0, 1)]
+        end = [storage_qloc(0, 5, 1), storage_qloc(1, 5, 0)]
+        program = ZAIRProgram(
+            num_qubits=2,
+            instructions=[
+                InitInst(init_locs=list(begin)),
+                TransferEpochInst(begin_locs=begin, end_locs=end),
+            ],
+        )
+        validate_program(arch, program)
+        with pytest.raises(ValidationError):
+            validate_program(
+                arch,
+                ZAIRProgram(
+                    num_qubits=2,
+                    instructions=[
+                        InitInst(init_locs=list(begin)),
+                        RearrangeJob(begin_locs=begin, end_locs=end),
+                    ],
+                ),
+            )
+
+    def test_drop_on_occupied_trap_rejected(self, arch):
+        program = ZAIRProgram(
+            num_qubits=2,
+            instructions=[
+                InitInst(init_locs=[storage_qloc(0, 0, 0), storage_qloc(1, 0, 1)]),
+                TransferEpochInst(
+                    begin_locs=[storage_qloc(0, 0, 0)],
+                    end_locs=[storage_qloc(0, 0, 1)],
+                ),
+            ],
+        )
+        with pytest.raises(ValidationError, match="occupied trap"):
+            validate_program(arch, program)
+
+    def test_transfer_count_override_bounds(self, arch):
+        epoch = TransferEpochInst(
+            begin_locs=[storage_qloc(0, 0, 0)],
+            end_locs=[storage_qloc(0, 1, 0)],
+            transfer_count=9,
+        )
+        program = ZAIRProgram(
+            num_qubits=1,
+            instructions=[InitInst(init_locs=[storage_qloc(0, 0, 0)]), epoch],
+        )
+        with pytest.raises(ValidationError, match="claims"):
+            validate_program(arch, program)
+        epoch.transfer_count = 0
+        validate_program(arch, program)
+        assert epoch.num_transfers == 0
+
+
+class TestInterpreter:
+    def test_neutral_atom_replay_counts(self, arch):
+        params = NEUTRAL_ATOM
+        epoch = TransferEpochInst(
+            begin_locs=[storage_qloc(0, 0, 0)],
+            end_locs=[
+                location_qloc(arch, 0, Location.at_site(RydbergSite(0, 0, 0), LEFT))
+            ],
+            begin_time=0.0,
+            end_time=40.0,
+        )
+        pulse = RydbergInst(zone_id=0, gates=[(0, 1)], begin_time=40.0, end_time=40.36)
+        init = InitInst(
+            init_locs=[
+                storage_qloc(0, 0, 0),
+                location_qloc(arch, 1, Location.at_site(RydbergSite(0, 0, 0), RIGHT)),
+                location_qloc(arch, 2, Location.at_site(RydbergSite(0, 3, 3), LEFT)),
+            ]
+        )
+        program = ZAIRProgram(num_qubits=3, instructions=[init, epoch, pulse])
+        validate_program(arch, program)
+        replay = interpret_program(program, architecture=arch, params=params)
+        metrics = replay.metrics
+        assert metrics.num_2q_gates == 1
+        assert metrics.num_transfers == 2
+        assert metrics.num_movements == 1
+        # Qubit 2 idles inside the illuminated zone during the pulse.
+        assert metrics.num_excitations == 1
+        assert metrics.duration_us == pytest.approx(40.36)
+        assert metrics.qubit_busy_us[0] == pytest.approx(
+            2.0 * params.t_transfer_us + params.t_2q_us
+        )
+        assert metrics.qubit_busy_us[2] == 0.0
+
+    def test_superconducting_replay_uses_sc_model(self):
+        program = coupling_program(
+            [FixedGate("2q", (0, 1), 0.0, SC_GRID.t_2q_us)], num_qubits=3
+        )
+        replay = interpret_program(program, params=SC_GRID)
+        # Only the touched qubits decohere (legacy transpiler convention).
+        assert replay.metrics.num_qubits == 2
+        assert replay.fidelity.excitation == 1.0
+        assert replay.fidelity.atom_transfer == 1.0
+        assert replay.fidelity.two_q_gate == pytest.approx(SC_GRID.f_2q)
+
+    def test_global_pulse_replay(self):
+        params = NEUTRAL_ATOM
+        program = ZAIRProgram(
+            num_qubits=5,
+            instructions=[
+                GlobalPulseInst(
+                    gates=[(0, 1)],
+                    active_qubits=[0, 1, 2],
+                    extra_1q_gates=4,
+                    begin_time=0.0,
+                    end_time=params.t_2q_us,
+                ),
+                ArrayMoveInst(distance_um=20.0, begin_time=1.0, end_time=2.0),
+            ],
+        )
+        validate_program(None, program)
+        replay = interpret_program(program, params=params)
+        assert replay.metrics.num_2q_gates == 1
+        assert replay.metrics.num_1q_gates == 4
+        assert replay.metrics.num_excitations == 2
+        assert replay.metrics.num_rydberg_stages == 1
+        assert replay.metrics.qubit_busy_us[2] == pytest.approx(params.t_2q_us)
