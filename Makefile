@@ -3,11 +3,19 @@
 PYTEST ?= python -m pytest
 PY_SRC ?= PYTHONPATH=src python
 
-.PHONY: test lint smoke bench bench-full
+# Small-budget differential fuzz run gating `make test` (see `make fuzz`).
+FUZZ_BUDGET ?= 6
+FUZZ_SEED ?= 0
 
-## Tier-1: lint + CLI smoke check plus the full unit + benchmark suite
-## (what CI gates on).
-test: lint smoke
+# Coverage floor for the ZAIR layer (the correctness oracle every backend
+# and the fuzz harness lean on).
+COV_FLOOR ?= 80
+
+.PHONY: test lint smoke fuzz cov bench bench-full
+
+## Tier-1: lint + CLI smoke check + small-budget differential fuzz plus the
+## full unit + benchmark suite (what CI gates on).
+test: lint smoke fuzz
 	$(PYTEST) -x -q
 
 ## Static checks (configured in pyproject.toml).  Skips with a notice when
@@ -22,18 +30,38 @@ lint:
 
 ## Fast end-to-end check of the public API through the CLI: the registry
 ## lists its backends, one benchmark compiles to a serializable result, and
-## two backends' ZAIR programs validate against the hardware invariants.
+## EVERY registered backend's ZAIR program validates against the hardware
+## invariants.  The validation matrix is derived from the registry itself,
+## so a newly registered backend cannot silently skip validation.
 smoke:
 	$(PY_SRC) -m repro backends
 	$(PY_SRC) -m repro compile bv_n14 --backend zac --json > /dev/null
-	$(PY_SRC) -m repro validate bv_n14 --backend zac > /dev/null
-	$(PY_SRC) -m repro validate bv_n14 --backend enola > /dev/null
+	@for backend in $$($(PY_SRC) -m repro backends | awk '{print $$1}'); do \
+		echo "validate bv_n14 --backend $$backend"; \
+		$(PY_SRC) -m repro validate bv_n14 --backend $$backend > /dev/null || exit 1; \
+	done
 	@echo "smoke ok"
 
-## Tier-1 tests plus the compile-speed regression benchmark (writes
-## BENCH_compile_speed.json with the fast-vs-naive speedup numbers).
+## Small-budget cross-backend differential fuzz over generated workloads.
+## Failures are minimized and dumped as replayable bundles under
+## fuzz_failures/.  Raise FUZZ_BUDGET for a deeper sweep.
+fuzz:
+	$(PY_SRC) -m repro fuzz --budget $(FUZZ_BUDGET) --seed $(FUZZ_SEED) --backend all
+
+## Unit tests under coverage with a floor on the ZAIR layer.  Skips with a
+## notice when pytest-cov is not installed (ships with the `test` extra).
+cov:
+	@if python -c "import pytest_cov" > /dev/null 2>&1; then \
+		$(PYTEST) -q tests --cov=repro.zair --cov-report=term \
+			--cov-fail-under=$(COV_FLOOR); \
+	else \
+		echo "coverage skipped: pytest-cov not installed"; \
+	fi
+
+## Tier-1 tests plus the compile-speed and fuzz-throughput regression
+## benchmarks (write BENCH_*.json with the trajectory numbers).
 bench:
-	$(PYTEST) -x -q tests benchmarks/test_bench_compile_speed.py
+	$(PYTEST) -x -q tests benchmarks/test_bench_compile_speed.py benchmarks/test_bench_fuzz_throughput.py
 
 ## Every paper benchmark on the full 17-circuit set (slow).
 bench-full:

@@ -1,0 +1,55 @@
+"""Fuzz-throughput regression benchmark.
+
+Runs the full differential harness (compile on every backend, validate,
+check all metamorphic invariants) over a fixed seeded workload sample and
+records circuits-fuzzed-per-second to ``BENCH_fuzz_throughput.json`` at the
+repo root, so the fuzzing throughput trajectory is tracked from PR to PR
+alongside the compile-speed numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.fuzz import run_fuzz
+
+#: Throughput floor (circuits fully fuzzed per second across all 6 backends).
+#: Set well below observed (~0.6-2/s) so only a real regression trips it.
+MIN_CIRCUITS_PER_S = 0.15
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fuzz_throughput.json"
+
+
+def test_bench_fuzz_throughput(request):
+    budget = 20 if request.config.getoption("--paper-full") else 8
+    report = run_fuzz(budget=budget, seed=0, parallel=0, out_dir=None)
+
+    assert report.ok, [f.message for f in report.failures]
+
+    payload = {
+        "benchmark": "differential_fuzz_throughput",
+        "budget": report.budget,
+        "seed": report.seed,
+        "backends": report.backends,
+        "num_circuits": report.num_circuits,
+        "num_compiles": report.num_compiles,
+        "invariant_checks": report.invariant_checks,
+        "elapsed_s": round(report.elapsed_s, 3),
+        "circuits_per_s": round(report.circuits_per_s, 3),
+        "compiles_per_s": round(report.compiles_per_s, 3),
+        "min_required_circuits_per_s": MIN_CIRCUITS_PER_S,
+        "recorded_unix_time": time.time(),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"\n[fuzz throughput] {report.num_circuits} circuits x "
+        f"{len(report.backends)} backends in {report.elapsed_s:.1f}s "
+        f"({report.circuits_per_s:.2f} circuits/s) -> {RESULT_PATH.name}"
+    )
+    assert report.circuits_per_s >= MIN_CIRCUITS_PER_S, (
+        f"fuzz throughput {report.circuits_per_s:.2f} circuits/s below the "
+        f"{MIN_CIRCUITS_PER_S} floor; see {RESULT_PATH}"
+    )

@@ -1,0 +1,115 @@
+"""Walkthrough: generate random workloads and differentially fuzz the backends.
+
+The curated 17-benchmark set only covers a fixed slice of circuit space.
+This example shows the three layers of the fuzzing subsystem:
+
+1. **Workload generation** (`repro.generate`): seeded random circuits with a
+   reproducible descriptor -- `(generator, seed, params)` regenerates the
+   identical gate list.
+2. **The differential harness** (`repro.experiments.run_fuzz`): compile every
+   workload on every registered backend, validate each emitted ZAIR program,
+   and check the cross-backend metamorphic invariants (positive durations,
+   the ideal bound dominating ZAC, seeded determinism, interpreter-vs-legacy
+   conformance, depth monotonicity).
+3. **Fault injection + repro bundles**: a deliberately broken backend is
+   registered; the harness catches it, bisects the failing circuit down to a
+   minimal reproducer, and dumps a replayable JSON bundle.  The same check
+   runs from the CLI: ``python -m repro fuzz --replay <bundle.json>``.
+
+Run with::
+
+    python examples/fuzz_backends.py
+"""
+
+import json
+import tempfile
+
+import repro
+from repro.experiments import run_fuzz, replay_bundle, sample_workloads
+from repro.zair.instructions import QLoc
+
+
+def show_workload_generation() -> None:
+    workload = repro.generate("qaoa_erdos_renyi", seed=7, num_qubits=10, depth=4)
+    print(f"generated  : {workload.circuit.name}")
+    print(f"  gates    : {len(workload.circuit)} (depth {workload.circuit.depth()})")
+    print(f"  descriptor: {workload.descriptor.to_dict()}")
+    rebuilt = workload.descriptor.build()
+    print(f"  descriptor rebuilds identical circuit: {rebuilt.gates == workload.circuit.gates}")
+    print()
+    print("a small sample from the default size/shape grid:")
+    for sampled in sample_workloads(5, seed=0):
+        print(f"  {sampled.circuit.name:55s} {len(sampled.circuit):4d} gates")
+    print()
+
+
+def run_clean_fuzz() -> None:
+    print("fuzzing every registered backend (small budget)...")
+    report = run_fuzz(budget=5, seed=0)
+    for line in report.summary_lines():
+        print(line)
+    print()
+
+
+class BrokenEnola:
+    """Enola with a re-introduced double-occupancy bug (for demonstration)."""
+
+    name = "broken-enola"
+
+    def __init__(self) -> None:
+        self._inner = repro.create_backend("enola")
+
+    def compile(self, circuit):
+        result = self._inner.compile(circuit)
+        init = result.program.instructions[0]
+        if len(init.init_locs) >= 2:
+            first, second = init.init_locs[0], init.init_locs[1]
+            init.init_locs[1] = QLoc(second.qubit, first.slm_id, first.row, first.col)
+        return result
+
+
+def run_fault_injection() -> None:
+    print("injecting a fault: registering a backend with a double-occupancy bug...")
+    repro.register_backend(
+        "broken-enola", lambda arch, options: BrokenEnola(), overwrite=True
+    )
+    try:
+        out_dir = tempfile.mkdtemp(prefix="fuzz_demo_")
+        report = run_fuzz(
+            budget=2,
+            seed=1,
+            backends=["broken-enola"],
+            out_dir=out_dir,
+            check_depth_monotonic=False,
+            check_determinism=False,
+        )
+        failure = report.failures[0]
+        print(f"  caught    : [{failure.check}] {failure.message}")
+        print(
+            f"  minimized : {failure.original_num_gates} gates -> "
+            f"{failure.minimized_num_gates}"
+        )
+        print(f"  bundle    : {failure.bundle_path}")
+        with open(failure.bundle_path, encoding="utf-8") as handle:
+            bundle = json.load(handle)
+        print(f"  bundle keys: {sorted(bundle)}")
+        reproduced, message = replay_bundle(failure.bundle_path)
+        print(f"  replay    : reproduced={reproduced} ({message})")
+    finally:
+        from repro.api import unregister_backend
+
+        unregister_backend("broken-enola")
+    print()
+
+
+def main() -> None:
+    show_workload_generation()
+    run_clean_fuzz()
+    run_fault_injection()
+    print("CLI equivalents:")
+    print("  python -m repro fuzz --budget 50 --seed 0 --backend all")
+    print("  python -m repro fuzz --replay fuzz_failures/fuzz_fail_000.json")
+
+
+if __name__ == "__main__":
+    main()

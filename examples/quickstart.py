@@ -6,6 +6,10 @@ and returns a :class:`repro.CompileResult` that serializes to JSON.
 Run with::
 
     python examples/quickstart.py
+
+Beyond the curated benchmarks, generated workloads can stress every backend
+differentially: ``python -m repro fuzz --budget 50 --seed 0 --backend all``
+(see ``examples/fuzz_backends.py``).
 """
 
 import repro

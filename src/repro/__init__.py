@@ -25,10 +25,12 @@ The package is organised as:
                              (preprocess -> place -> route -> schedule -> fidelity)
 * :mod:`repro.baselines`  -- Enola / Atomique / NALAC / superconducting / ideal bounds
 * :mod:`repro.ftqc`       -- [[8,3,2]] code blocks and hIQP transversal-gate compilation
-* :mod:`repro.experiments`-- harnesses regenerating every table and figure
+* :mod:`repro.experiments`-- harnesses regenerating every table and figure,
+                             plus cross-backend differential fuzzing
+                             (``python -m repro fuzz``)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .api import (
     CompileResult,
@@ -43,7 +45,7 @@ from .api import (
     save_results,
 )
 from .arch import reference_zoned_architecture
-from .circuits import QuantumCircuit
+from .circuits import QuantumCircuit, Workload, WorkloadDescriptor, generate
 from .core import CompilationResult, ZACCompiler, ZACConfig
 
 __all__ = [
@@ -51,12 +53,15 @@ __all__ = [
     "CompileResult",
     "QuantumCircuit",
     "UnknownBackendError",
+    "Workload",
+    "WorkloadDescriptor",
     "ZACCompiler",
     "ZACConfig",
     "available_backends",
     "compile",
     "compile_many",
     "create_backend",
+    "generate",
     "load_results",
     "merge_results",
     "reference_zoned_architecture",

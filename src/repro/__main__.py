@@ -5,6 +5,8 @@ Subcommands::
     python -m repro compile bv_n14 --backend zac --json
     python -m repro compile circuit.qasm --backend nalac
     python -m repro validate bv_n14 --backend enola
+    python -m repro fuzz --budget 50 --seed 0 --backend all
+    python -m repro fuzz --replay fuzz_failures/fuzz_fail_000.json
     python -m repro backends
     python -m repro benchmarks
 
@@ -12,7 +14,10 @@ Subcommands::
 runs the requested registry backend, and prints the unified result summary
 (``--json`` prints the serialized ``CompileResult`` instead).  ``validate``
 compiles, checks the emitted ZAIR program against the hardware invariants,
-and prints an instruction-count / epoch summary of the program.
+and prints an instruction-count / epoch summary of the program.  ``fuzz``
+differentially fuzzes the registered backends with generated workloads
+(:mod:`repro.experiments.fuzz`), dumping any failure as a replayable JSON
+repro bundle; ``--replay`` re-runs a bundle's failed check.
 """
 
 from __future__ import annotations
@@ -159,6 +164,36 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .experiments.fuzz import FuzzError, replay_bundle, run_fuzz
+
+    if args.replay:
+        try:
+            reproduced, message = replay_bundle(args.replay)
+        except (FuzzError, OSError, KeyError, ValueError) as exc:
+            raise SystemExit(f"error: cannot replay {args.replay}: {exc}")
+        print(f"{'REPRODUCED' if reproduced else 'not reproduced'}: {message}")
+        return 1 if reproduced else 0
+
+    if args.backend == "all":
+        backends = None
+    else:
+        backends = [name.strip() for name in args.backend.split(",") if name.strip()]
+    try:
+        report = run_fuzz(
+            budget=args.budget,
+            seed=args.seed,
+            backends=backends,
+            parallel=args.parallel,
+            out_dir=args.out,
+        )
+    except (api.UnknownBackendError, FuzzError) as exc:
+        raise SystemExit(f"error: {exc}")
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def _cmd_backends(_args: argparse.Namespace) -> int:
     for name in api.available_backends():
         spec = api.backend_spec(name)
@@ -226,6 +261,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="backend option (same syntax as `compile`)",
     )
     validate_parser.set_defaults(func=_cmd_validate)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the registered backends with generated workloads",
+    )
+    fuzz_parser.add_argument(
+        "--budget", type=int, default=50, help="number of workloads to sample (default 50)"
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, help="master seed; (budget, seed) is reproducible"
+    )
+    fuzz_parser.add_argument(
+        "--backend",
+        default="all",
+        help="'all' (default) or a comma-separated list of registry backend names",
+    )
+    fuzz_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        help="worker processes for the compile fan-out (0 = serial)",
+    )
+    fuzz_parser.add_argument(
+        "--out",
+        default="fuzz_failures",
+        help="directory for replayable repro bundles (created on first failure)",
+    )
+    fuzz_parser.add_argument(
+        "--replay",
+        metavar="BUNDLE",
+        help="re-run the failed check recorded in a repro bundle and exit",
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     backends_parser = sub.add_parser("backends", help="list registered backends")
     backends_parser.set_defaults(func=_cmd_backends)

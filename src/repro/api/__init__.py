@@ -109,11 +109,21 @@ def compile(
     return _validated(result) if validate else result
 
 
-def _compile_one(task: tuple[Compiler, QuantumCircuit, bool]) -> CompileResult:
+def _compile_one(
+    task: tuple[Compiler, QuantumCircuit, bool, bool],
+) -> CompileResult | Exception:
     """Top-level worker (picklable) compiling one circuit."""
-    compiler, circuit, validate = task
-    result = compiler.compile(circuit)
-    return _validated(result) if validate else result
+    compiler, circuit, validate, return_exceptions = task
+    try:
+        result = compiler.compile(circuit)
+        return _validated(result) if validate else result
+    except Exception as exc:
+        if not return_exceptions:
+            raise
+        # Strip exception chains before pickling the error back: a __cause__
+        # may reference unpicklable compiler state.
+        exc.__cause__ = exc.__context__ = None
+        return exc
 
 
 def compile_many(
@@ -122,17 +132,26 @@ def compile_many(
     arch: Architecture | None = None,
     parallel: int | bool = 0,
     validate: bool = True,
+    return_exceptions: bool = False,
     **options: Any,
-) -> list[CompileResult]:
+) -> list[CompileResult | Exception]:
     """Compile a batch of circuits with one backend, in input order.
 
     The independent runs fan out over a process pool (the same fan-out the
     experiment harness's ``run_matrix`` uses); ``parallel=True`` means one
     worker per CPU, ``0``/``1``/``False`` run serially.  Each worker
     validates its emitted ZAIR program unless ``validate=False``.
+
+    With ``return_exceptions=True`` a failing compilation does not abort the
+    batch: the raised exception is returned in that circuit's slot instead
+    (mirroring ``asyncio.gather``), so sweeps over generated workloads can
+    record per-circuit failures.
     """
     compiler = create_backend(backend, arch=arch, **options)
-    tasks = [(compiler, _as_circuit(circuit), validate) for circuit in circuits]
+    tasks = [
+        (compiler, _as_circuit(circuit), validate, return_exceptions)
+        for circuit in circuits
+    ]
     return fanout_map(_compile_one, tasks, parallel=parallel)
 
 

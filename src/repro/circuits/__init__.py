@@ -1,7 +1,18 @@
-"""Quantum circuit front end: IR, QASM I/O, resynthesis, stage scheduling."""
+"""Quantum circuit front end: IR, QASM I/O, resynthesis, stage scheduling,
+and seeded random workload generators."""
 
 from .circuit import CircuitError, QuantumCircuit
 from .gates import Gate, GateError, cx, cz, u3
+from .random import (
+    GENERATORS,
+    GeneratorError,
+    Workload,
+    WorkloadDescriptor,
+    generate,
+    generator_names,
+    inverse_circuit,
+    inverse_gate,
+)
 from .scheduling import (
     OneQStage,
     RydbergStage,
@@ -13,18 +24,26 @@ from .scheduling import (
 from .synthesis import SynthesisError, decompose_to_cz, merge_single_qubit_runs, resynthesize
 
 __all__ = [
+    "GENERATORS",
     "CircuitError",
     "Gate",
     "GateError",
+    "GeneratorError",
     "OneQStage",
     "QuantumCircuit",
     "RydbergStage",
     "SchedulingError",
     "StagedCircuit",
     "SynthesisError",
+    "Workload",
+    "WorkloadDescriptor",
     "cx",
     "cz",
     "decompose_to_cz",
+    "generate",
+    "generator_names",
+    "inverse_circuit",
+    "inverse_gate",
     "merge_single_qubit_runs",
     "preprocess",
     "resynthesize",

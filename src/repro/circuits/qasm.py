@@ -122,8 +122,10 @@ def dumps(circuit: QuantumCircuit) -> str:
         f"qreg q[{circuit.num_qubits}];",
     ]
     for gate in circuit:
+        # repr() emits the shortest decimal that round-trips the exact float,
+        # so loads(dumps(circuit)) reproduces parameters bit for bit.
         params = (
-            "(" + ",".join(f"{p:.10g}" for p in gate.params) + ")" if gate.params else ""
+            "(" + ",".join(repr(float(p)) for p in gate.params) + ")" if gate.params else ""
         )
         args = ",".join(f"q[{q}]" for q in gate.qubits)
         lines.append(f"{gate.name}{params} {args};")

@@ -1,0 +1,364 @@
+"""Seeded random workload generators for stress testing and differential fuzzing.
+
+The curated 17-benchmark set exercises a fixed slice of circuit space; the
+generators here synthesise workloads that probe the corners it never reaches.
+Every generator draws all randomness from one ``numpy.random.Generator``
+seeded by the caller, so a workload is fully reproduced by its
+:class:`WorkloadDescriptor` -- the ``(generator, seed, params)`` triple that
+:func:`generate` turns back into the identical circuit, gate for gate.
+
+Available generators (see :data:`GENERATORS`):
+
+``clifford_t``
+    Layers of random Clifford+T single-qubit gates with a random CZ/CX
+    matching per layer.
+``qaoa_erdos_renyi`` / ``qaoa_regular``
+    QAOA ansatz (RZZ cost + RX mixer rounds) on an Erdős–Rényi or random
+    regular graph.
+``hardware_efficient``
+    Hardware-efficient ansatz: RY/RZ rotation layers with a linear CX
+    entangler ladder.
+``brickwork``
+    Brickwork entangler: random U3 on every qubit, alternating even/odd CZ
+    pairs.
+``mirror``
+    ``C · C⁻¹`` mirror circuits over any of the other generators; the ideal
+    result is the identity, which makes them self-checking workloads.
+
+Each generator consumes its random draws layer by layer, so for a fixed seed
+the circuit at depth ``d`` is a gate-list prefix of the circuit at any depth
+``d' > d`` -- except ``mirror``, whose appended inverse half depends on the
+total depth.  The fuzz harness (:mod:`repro.experiments.fuzz`) relies on this
+prefix property for its depth-monotonicity invariant, which is why its depth
+ladders never use ``mirror``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+
+class GeneratorError(ValueError):
+    """Raised for unknown generators or invalid generator parameters."""
+
+
+# ---------------------------------------------------------------------------
+# Descriptors: the reproducible identity of a generated workload
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadDescriptor:
+    """Everything needed to regenerate a workload: ``(generator, seed, params)``."""
+
+    generator: str
+    seed: int
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "generator": self.generator,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WorkloadDescriptor":
+        return cls(
+            generator=str(data["generator"]),
+            seed=int(data["seed"]),
+            params=dict(data.get("params", {})),
+        )
+
+    def build(self) -> QuantumCircuit:
+        """Regenerate the described circuit (identical gate list)."""
+        return generate(self.generator, seed=self.seed, **self.params).circuit
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated circuit together with its reproducible descriptor."""
+
+    circuit: QuantumCircuit
+    descriptor: WorkloadDescriptor
+
+
+# ---------------------------------------------------------------------------
+# Generator registry
+# ---------------------------------------------------------------------------
+
+#: Registered generator functions ``fn(rng, *, num_qubits, depth, **extra)``.
+GENERATORS: dict[str, Callable[..., QuantumCircuit]] = {}
+
+
+def _register(name: str):
+    def decorator(fn: Callable[..., QuantumCircuit]):
+        GENERATORS[name] = fn
+        return fn
+
+    return decorator
+
+
+def generator_names() -> list[str]:
+    """Names of all registered workload generators, in registration order."""
+    return list(GENERATORS)
+
+
+def generate(generator: str, seed: int = 0, **params: Any) -> Workload:
+    """Run a registered generator and tag the circuit with its provenance.
+
+    Args:
+        generator: Name in :data:`GENERATORS` (see :func:`generator_names`).
+        seed: Seed for the ``numpy.random.Generator`` handed to the generator.
+        **params: Generator parameters (all take ``num_qubits`` and ``depth``).
+
+    Returns:
+        The tagged circuit plus the descriptor that regenerates it.
+
+    Raises:
+        GeneratorError: for an unknown generator name or invalid parameters.
+    """
+    if generator not in GENERATORS:
+        raise GeneratorError(
+            f"unknown generator {generator!r}; known: {', '.join(GENERATORS)}"
+        )
+    rng = np.random.default_rng(seed)
+    try:
+        circuit = GENERATORS[generator](rng, **params)
+    except TypeError as exc:
+        raise GeneratorError(f"invalid parameters for {generator!r}: {exc}") from None
+    tag = ",".join(f"{key}={params[key]}" for key in sorted(params))
+    circuit.name = f"{generator}[{tag},seed={seed}]" if tag else f"{generator}[seed={seed}]"
+    return Workload(circuit, WorkloadDescriptor(generator, int(seed), dict(params)))
+
+
+def _require_size(num_qubits: int, depth: int) -> None:
+    if num_qubits < 2:
+        raise GeneratorError("generated workloads need at least 2 qubits")
+    if depth < 1:
+        raise GeneratorError("generated workloads need depth >= 1")
+
+
+# ---------------------------------------------------------------------------
+# Circuit inversion (for mirror workloads)
+# ---------------------------------------------------------------------------
+
+#: Gates that are their own inverse.
+_SELF_INVERSE = {
+    "id", "x", "y", "z", "h", "cx", "cnot", "cz", "cy", "ch", "swap",
+    "ccx", "toffoli", "ccz", "cswap", "fredkin",
+}
+
+#: Parameter-free gates whose inverse is another named gate.
+_NAMED_INVERSE = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t", "sx": "sxdg", "sxdg": "sx"}
+
+#: Rotation-style gates inverted by negating every parameter.
+_NEGATE_PARAMS = {"rx", "ry", "rz", "p", "u1", "cp", "cu1", "crz", "crx", "cry", "rzz", "rxx"}
+
+
+def inverse_gate(gate: Gate) -> Gate:
+    """Return the inverse of ``gate``.
+
+    Raises:
+        GeneratorError: if the gate has no known symbolic inverse.
+    """
+    if gate.name in _SELF_INVERSE:
+        return gate
+    if gate.name in _NAMED_INVERSE:
+        return Gate(_NAMED_INVERSE[gate.name], gate.qubits)
+    if gate.name in _NEGATE_PARAMS:
+        return Gate(gate.name, gate.qubits, tuple(-p for p in gate.params))
+    if gate.name in ("u3", "u"):
+        theta, phi, lam = gate.params
+        return Gate(gate.name, gate.qubits, (-theta, -lam, -phi))
+    if gate.name == "u2":
+        phi, lam = gate.params
+        # u2(phi, lam) == u3(pi/2, phi, lam), so the inverse is a u3.
+        return Gate("u3", gate.qubits, (-math.pi / 2.0, -lam, -phi))
+    raise GeneratorError(f"no symbolic inverse for gate {gate.name!r}")
+
+
+def inverse_circuit(circuit: QuantumCircuit, name: str | None = None) -> QuantumCircuit:
+    """Return ``circuit``'s inverse: every gate inverted, in reverse order."""
+    out = QuantumCircuit(circuit.num_qubits, name or f"{circuit.name}_inv")
+    for gate in reversed(circuit.gates):
+        out.append(inverse_gate(gate))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+_CLIFFORD_T_1Q = ("h", "s", "sdg", "t", "tdg", "x", "z")
+
+
+def _random_matching(rng: np.random.Generator, num_qubits: int, pair_prob: float) -> list[tuple[int, int]]:
+    """Pair up a random shuffle of the qubits, keeping each pair with ``pair_prob``."""
+    order = [int(q) for q in rng.permutation(num_qubits)]
+    pairs = []
+    for i in range(0, num_qubits - 1, 2):
+        if rng.random() < pair_prob:
+            pairs.append((order[i], order[i + 1]))
+    return pairs
+
+
+@_register("clifford_t")
+def clifford_t_layers(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+    one_q_prob: float = 0.6,
+    pair_prob: float = 0.7,
+) -> QuantumCircuit:
+    """Random Clifford+T layers: 1Q gates plus a random CZ/CX matching per layer."""
+    _require_size(num_qubits, depth)
+    circ = QuantumCircuit(num_qubits, "clifford_t")
+    for _ in range(depth):
+        for q in range(num_qubits):
+            if rng.random() < one_q_prob:
+                circ.add(_CLIFFORD_T_1Q[int(rng.integers(len(_CLIFFORD_T_1Q)))], q)
+        for a, b in _random_matching(rng, num_qubits, pair_prob):
+            if rng.random() < 0.5:
+                circ.cz(a, b)
+            else:
+                circ.cx(a, b)
+    if len(circ) == 0:  # vanishingly unlikely, but keep circuits non-empty
+        circ.h(0)
+    return circ
+
+
+def _qaoa_rounds(
+    rng: np.random.Generator,
+    circ: QuantumCircuit,
+    edges: list[tuple[int, int]],
+    rounds: int,
+) -> QuantumCircuit:
+    for q in range(circ.num_qubits):
+        circ.h(q)
+    for _ in range(rounds):
+        gamma = float(rng.uniform(0.0, 2.0 * math.pi))
+        beta = float(rng.uniform(0.0, math.pi))
+        for a, b in edges:
+            circ.rzz(gamma, a, b)
+        for q in range(circ.num_qubits):
+            circ.rx(beta, q)
+    return circ
+
+
+@_register("qaoa_erdos_renyi")
+def qaoa_erdos_renyi(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+    edge_prob: float = 0.4,
+) -> QuantumCircuit:
+    """QAOA on an Erdős–Rényi ``G(n, p)`` graph; ``depth`` counts rounds."""
+    _require_size(num_qubits, depth)
+    graph = nx.gnp_random_graph(num_qubits, edge_prob, seed=int(rng.integers(2**31)))
+    edges = sorted((min(a, b), max(a, b)) for a, b in graph.edges)
+    if not edges:
+        edges = [(0, 1)]
+    return _qaoa_rounds(rng, QuantumCircuit(num_qubits, "qaoa_er"), edges, depth)
+
+
+@_register("qaoa_regular")
+def qaoa_regular(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+    degree: int = 3,
+) -> QuantumCircuit:
+    """QAOA on a random ``degree``-regular graph; ``depth`` counts rounds.
+
+    The degree is clamped to ``num_qubits - 1`` and decremented if needed so
+    that ``num_qubits * degree`` is even (a regular graph must exist).
+    """
+    _require_size(num_qubits, depth)
+    d = min(int(degree), num_qubits - 1)
+    if (num_qubits * d) % 2 == 1:
+        d -= 1
+    if d <= 0:
+        edges = [(q, q + 1) for q in range(num_qubits - 1)]
+    else:
+        graph = nx.random_regular_graph(d, num_qubits, seed=int(rng.integers(2**31)))
+        edges = sorted((min(a, b), max(a, b)) for a, b in graph.edges)
+    return _qaoa_rounds(rng, QuantumCircuit(num_qubits, "qaoa_reg"), edges, depth)
+
+
+@_register("hardware_efficient")
+def hardware_efficient(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+) -> QuantumCircuit:
+    """Hardware-efficient ansatz: RY/RZ rotations plus a linear CX ladder per layer."""
+    _require_size(num_qubits, depth)
+    circ = QuantumCircuit(num_qubits, "hardware_efficient")
+    for _ in range(depth):
+        for q in range(num_qubits):
+            circ.ry(float(rng.uniform(0.0, math.pi)), q)
+            circ.rz(float(rng.uniform(-math.pi, math.pi)), q)
+        for q in range(num_qubits - 1):
+            circ.cx(q, q + 1)
+    return circ
+
+
+@_register("brickwork")
+def brickwork(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+) -> QuantumCircuit:
+    """Brickwork entangler: random U3 on every qubit, alternating even/odd CZ pairs."""
+    _require_size(num_qubits, depth)
+    circ = QuantumCircuit(num_qubits, "brickwork")
+    for layer in range(depth):
+        for q in range(num_qubits):
+            circ.u3(
+                float(rng.uniform(0.0, math.pi)),
+                float(rng.uniform(-math.pi, math.pi)),
+                float(rng.uniform(-math.pi, math.pi)),
+                q,
+            )
+        for q in range(layer % 2, num_qubits - 1, 2):
+            circ.cz(q, q + 1)
+    return circ
+
+
+@_register("mirror")
+def mirror(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+    base: str = "brickwork",
+    **base_params: Any,
+) -> QuantumCircuit:
+    """Mirror circuit ``C · C⁻¹`` over any other generator (a known identity).
+
+    ``depth`` is the *total* depth budget; the base half uses ``depth // 2``
+    layers (at least one).
+    """
+    _require_size(num_qubits, depth)
+    if base == "mirror":
+        raise GeneratorError("mirror circuits cannot mirror themselves")
+    if base not in GENERATORS:
+        raise GeneratorError(
+            f"unknown mirror base {base!r}; known: {', '.join(GENERATORS)}"
+        )
+    half = GENERATORS[base](
+        rng, num_qubits=num_qubits, depth=max(1, depth // 2), **base_params
+    )
+    circ = QuantumCircuit(num_qubits, f"mirror_{base}")
+    circ.extend(half.gates)
+    circ.extend(inverse_circuit(half).gates)
+    return circ

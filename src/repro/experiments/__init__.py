@@ -15,6 +15,10 @@ Section VII-H      :mod:`repro.experiments.multi_zone`
 Section VIII       :mod:`repro.experiments.ftqc_hiqp`
 Section IX         :mod:`repro.experiments.zair_stats`
 =================  ==========================================================
+
+Beyond the paper's artifacts, :mod:`repro.experiments.fuzz` differentially
+fuzzes every registered backend with generated workloads
+(``python -m repro fuzz``).
 """
 
 from .ablation import ABLATION_CONFIGS, run_ablation
@@ -23,6 +27,14 @@ from .architecture_comparison import improvement_summary, run_architecture_compa
 from .duration_comparison import run_duration_comparison
 from .fidelity_breakdown import run_fidelity_breakdown
 from .ftqc_hiqp import run_ftqc_hiqp
+from .fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    minimize_circuit,
+    replay_bundle,
+    run_fuzz,
+    sample_workloads,
+)
 from .harness import (
     RunRecord,
     benchmark_circuits,
@@ -41,12 +53,18 @@ from .zair_stats import run_zair_stats
 __all__ = [
     "ABLATION_CONFIGS",
     "AOD_COUNTS",
+    "FuzzFailure",
+    "FuzzReport",
     "RunRecord",
     "benchmark_circuits",
     "default_compilers",
     "format_table",
     "geometric_mean",
     "improvement_summary",
+    "minimize_circuit",
+    "replay_bundle",
+    "run_fuzz",
+    "sample_workloads",
     "run_ablation",
     "run_aod_sweep",
     "run_architecture_comparison",

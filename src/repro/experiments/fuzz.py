@@ -1,0 +1,661 @@
+"""Cross-backend differential fuzzing over generated workloads.
+
+The harness samples random workloads from a size/shape grid
+(:func:`sample_workloads`), compiles every one on every registered backend
+(:func:`repro.compile_many` with ``return_exceptions=True``), replays each
+emitted ZAIR program through :func:`repro.zair.validate_program`, and checks
+the cross-backend metamorphic invariants:
+
+``duration-positive``
+    Every backend reports a strictly positive duration for a non-empty
+    circuit.
+``ideal-dominates``
+    The idealised upper bound's fidelity is at least the real ZAC run's.
+    (The bound idealises a *ZAC* compilation -- see
+    :mod:`repro.baselines.ideal` -- so it dominates ZAC by construction.
+    Backends with different device models are deliberately not compared
+    against it: the superconducting error model, for one, has no movement
+    term and can legitimately beat a movement-laden neutral-atom bound.)
+``determinism``
+    Two seeded runs of the same (circuit, backend) pair produce identical
+    results (modulo wall-clock timing fields).
+``legacy-conformance``
+    Where a backend retains its hand-accumulated ``compile_legacy`` path, the
+    interpreter-derived numbers match it within 1e-9.
+``depth-monotonic``
+    For a fixed generator and seed, circuit duration is non-decreasing in
+    depth (the generators guarantee the shallower circuit is a gate-list
+    prefix of the deeper one).
+
+Failures are shrunk by bisecting the gate list (:func:`minimize_circuit`)
+until no chunk can be removed without losing the failure, then dumped as
+replayable JSON repro bundles: descriptor + minimized QASM + the serialized
+results involved.  ``python -m repro fuzz --replay <bundle.json>`` re-runs
+exactly the failed check (see :func:`replay_bundle`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .. import api
+from ..circuits import qasm
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.random import WorkloadDescriptor, Workload, generate, generator_names
+from ..core.result import CompileResult
+from ..zair.validation import ValidationError, validate_program
+
+#: Generators sampled by default (every registered one).
+DEFAULT_GENERATORS: tuple[str, ...] = tuple(generator_names())
+
+#: Qubit-count axis of the default size/shape grid.
+DEFAULT_NUM_QUBITS: tuple[int, ...] = (4, 6, 8, 12, 16)
+
+#: Depth axis of the default size/shape grid.
+DEFAULT_DEPTHS: tuple[int, ...] = (2, 4, 8)
+
+#: Backends that retain a hand-accumulated ``compile_legacy`` oracle.
+LEGACY_BACKENDS: tuple[str, ...] = ("enola", "atomique", "nalac", "sc")
+
+#: Relative tolerance for the legacy-conformance invariant.
+CONFORMANCE_REL_TOL = 1.0e-9
+
+#: Metric count fields compared bit-exactly against the legacy oracles.
+_COUNT_FIELDS = (
+    "num_1q_gates",
+    "num_2q_gates",
+    "num_excitations",
+    "num_transfers",
+    "num_rydberg_stages",
+    "num_movements",
+)
+
+#: Bundle schema version.
+BUNDLE_SCHEMA = 1
+
+
+class FuzzError(ValueError):
+    """Raised for invalid fuzz-harness arguments or malformed repro bundles."""
+
+
+# ---------------------------------------------------------------------------
+# Workload sampling
+# ---------------------------------------------------------------------------
+
+
+def sample_workloads(
+    budget: int,
+    seed: int = 0,
+    generators: tuple[str, ...] | None = None,
+    num_qubits: tuple[int, ...] = DEFAULT_NUM_QUBITS,
+    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+) -> list[Workload]:
+    """Sample ``budget`` workloads from the (generator x qubits x depth) grid.
+
+    One master ``numpy.random.Generator`` seeded with ``seed`` drives grid
+    choices and per-workload sub-seeds, so a (budget, seed) pair names a
+    reproducible workload set.
+    """
+    if budget < 1:
+        raise FuzzError("fuzz budget must be at least 1")
+    generators = tuple(generators or DEFAULT_GENERATORS)
+    rng = np.random.default_rng(seed)
+    workloads = []
+    for _ in range(budget):
+        name = generators[int(rng.integers(len(generators)))]
+        n = int(num_qubits[int(rng.integers(len(num_qubits)))])
+        depth = int(depths[int(rng.integers(len(depths)))])
+        sub_seed = int(rng.integers(2**31))
+        workloads.append(generate(name, seed=sub_seed, num_qubits=n, depth=depth))
+    return workloads
+
+
+# ---------------------------------------------------------------------------
+# Failures and reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzFailure:
+    """One check that failed during a fuzz run."""
+
+    check: str  #: e.g. ``"validation:trap-occupancy"`` or ``"invariant:determinism"``
+    backend: str
+    message: str
+    descriptor: dict[str, Any]
+    circuit_qasm: str | None = None  #: minimized reproducer (QASM text)
+    original_num_gates: int | None = None
+    minimized_num_gates: int | None = None
+    results: list[dict[str, Any]] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)  #: check-specific context
+    bundle_path: str | None = None
+
+    def to_bundle(self) -> dict[str, Any]:
+        """The replayable JSON payload written to disk."""
+        return {
+            "kind": "fuzz-repro",
+            "schema": BUNDLE_SCHEMA,
+            "check": self.check,
+            "backend": self.backend,
+            "message": self.message,
+            "descriptor": self.descriptor,
+            "circuit_qasm": self.circuit_qasm,
+            "original_num_gates": self.original_num_gates,
+            "minimized_num_gates": self.minimized_num_gates,
+            "results": self.results,
+            "extra": self.extra,
+            "replay": "python -m repro fuzz --replay <this file>",
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` sweep."""
+
+    budget: int
+    seed: int
+    backends: list[str]
+    num_circuits: int = 0
+    num_compiles: int = 0
+    invariant_checks: dict[str, int] = field(default_factory=dict)
+    failures: list[FuzzFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def circuits_per_s(self) -> float:
+        return self.num_circuits / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def compiles_per_s(self) -> float:
+        return self.num_compiles / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"fuzzed {self.num_circuits} circuits x {len(self.backends)} backends "
+            f"({', '.join(self.backends)})",
+            f"  seed={self.seed} compiles={self.num_compiles} "
+            f"elapsed={self.elapsed_s:.1f}s "
+            f"({self.circuits_per_s:.2f} circuits/s, {self.compiles_per_s:.1f} compiles/s)",
+        ]
+        for name in sorted(self.invariant_checks):
+            lines.append(f"  checked {name:18s}: {self.invariant_checks[name]}")
+        if self.ok:
+            lines.append("  all checks passed")
+        else:
+            lines.append(f"  FAILURES: {len(self.failures)}")
+            for failure in self.failures:
+                where = f" -> {failure.bundle_path}" if failure.bundle_path else ""
+                lines.append(
+                    f"    [{failure.check}] backend={failure.backend}: "
+                    f"{failure.message}{where}"
+                )
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# Failure minimization (gate-list bisection)
+# ---------------------------------------------------------------------------
+
+
+def minimize_circuit(
+    circuit: QuantumCircuit,
+    failing,
+    max_attempts: int = 120,
+) -> QuantumCircuit:
+    """Shrink ``circuit`` by bisecting its gate list while ``failing`` holds.
+
+    Classic delta-debugging over the gate list: repeatedly try dropping
+    contiguous chunks (halving the chunk size down to single gates), keeping
+    any reduction for which ``failing(smaller_circuit)`` is still true.  Each
+    predicate call typically recompiles, so ``max_attempts`` bounds the work.
+    """
+    gates = list(circuit.gates)
+
+    def rebuild(kept: list) -> QuantumCircuit:
+        out = QuantumCircuit(circuit.num_qubits, f"{circuit.name}_min")
+        out.extend(kept)
+        return out
+
+    attempts = 0
+    chunk = max(1, len(gates) // 2)
+    while chunk >= 1 and attempts < max_attempts:
+        index = 0
+        while index < len(gates) and attempts < max_attempts:
+            trial = gates[:index] + gates[index + chunk:]
+            attempts += 1
+            if trial and failing(rebuild(trial)):
+                gates = trial
+            else:
+                index += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return rebuild(gates)
+
+
+def _validation_check(backend: str, circuit: QuantumCircuit) -> str | None:
+    """Compile + validate; return the failed check tag, or None if clean."""
+    try:
+        result = api.compile(circuit, backend=backend, validate=False)
+        validate_program(result.architecture, result.program)
+        return None
+    except ValidationError as exc:
+        return f"validation:{exc.check}"
+    except Exception as exc:
+        return f"compile-error:{type(exc).__name__}"
+
+
+# ---------------------------------------------------------------------------
+# The differential harness
+# ---------------------------------------------------------------------------
+
+
+def _stable_payload(result: CompileResult) -> dict[str, Any]:
+    """Serialized result with wall-clock-dependent fields removed."""
+    data = result.to_dict()
+    data["metrics"].pop("compile_time_s", None)
+    data["metrics"].pop("phase_times_s", None)
+    return data
+
+
+def _result_dict(result: CompileResult, backend: str) -> dict[str, Any]:
+    data = result.to_dict()
+    data["backend"] = backend
+    return data
+
+
+def run_fuzz(
+    budget: int = 50,
+    seed: int = 0,
+    backends: list[str] | None = None,
+    parallel: int | bool = 0,
+    out_dir: str | None = None,
+    generators: tuple[str, ...] | None = None,
+    num_qubits: tuple[int, ...] = DEFAULT_NUM_QUBITS,
+    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+    check_determinism: bool = True,
+    check_legacy: bool = True,
+    check_depth_monotonic: bool = True,
+    minimize: bool = True,
+    max_minimize_attempts: int = 120,
+) -> FuzzReport:
+    """Differentially fuzz the registered backends with generated workloads.
+
+    Args:
+        budget: Number of workloads to sample.
+        seed: Master seed; a (budget, seed) pair is fully reproducible.
+        backends: Backend names to fuzz (default: every registered backend).
+        parallel: Worker processes for the compile fan-out (see
+            :func:`repro.compile_many`).
+        out_dir: Directory for repro bundles; created lazily on the first
+            failure (``None`` disables bundle dumping).
+        generators / num_qubits / depths: The sampling grid.
+        check_determinism: Recompile a subsample twice and require identical
+            results.
+        check_legacy: Compare interpreter metrics against ``compile_legacy``
+            on a subsample for the backends that retain the legacy oracle.
+        check_depth_monotonic: Compile depth ladders (prefix circuits of
+            increasing depth) and require non-decreasing durations.
+        minimize: Shrink failing circuits by gate-list bisection.
+        max_minimize_attempts: Compile budget per minimization.
+
+    Returns:
+        A :class:`FuzzReport`; ``report.ok`` is True when nothing failed.
+    """
+    start = time.monotonic()
+    backends = list(backends) if backends else api.available_backends()
+    for name in backends:
+        api.backend_spec(name)  # fail fast on unknown backends
+    workloads = sample_workloads(
+        budget, seed=seed, generators=generators, num_qubits=num_qubits, depths=depths
+    )
+    circuits = [w.circuit for w in workloads]
+    report = FuzzReport(budget=budget, seed=seed, backends=backends)
+    report.num_circuits = len(circuits)
+
+    def fail(
+        check: str,
+        backend: str,
+        message: str,
+        workload: Workload,
+        results: list[tuple[str, CompileResult]] = (),
+        minimize_predicate=None,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
+        failure = FuzzFailure(
+            check=check,
+            backend=backend,
+            message=message,
+            descriptor=workload.descriptor.to_dict(),
+            original_num_gates=len(workload.circuit),
+            results=[_result_dict(r, b) for b, r in results],
+            extra=extra or {},
+        )
+        circuit = workload.circuit
+        if minimize and minimize_predicate is not None:
+            circuit = minimize_circuit(
+                workload.circuit, minimize_predicate, max_attempts=max_minimize_attempts
+            )
+            failure.minimized_num_gates = len(circuit)
+        failure.circuit_qasm = qasm.dumps(circuit)
+        if out_dir is not None:
+            os.makedirs(out_dir, exist_ok=True)
+            path = os.path.join(out_dir, f"fuzz_fail_{len(report.failures):03d}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(failure.to_bundle(), handle, indent=2, sort_keys=True)
+            failure.bundle_path = path
+        report.failures.append(failure)
+
+    # -- compile everything on every backend (failures captured per slot) ----
+    outcomes: dict[str, list[CompileResult | Exception]] = {}
+    for backend in backends:
+        outcomes[backend] = api.compile_many(
+            circuits,
+            backend=backend,
+            parallel=parallel,
+            validate=False,
+            return_exceptions=True,
+        )
+        report.num_compiles += len(circuits)
+
+    good: dict[str, list[CompileResult | None]] = {b: [None] * len(circuits) for b in backends}
+    for backend in backends:
+        for index, outcome in enumerate(outcomes[backend]):
+            workload = workloads[index]
+            if isinstance(outcome, Exception):
+                expected = f"compile-error:{type(outcome).__name__}"
+                fail(
+                    expected,
+                    backend,
+                    f"{workload.circuit.name}: {outcome}",
+                    workload,
+                    minimize_predicate=lambda c, b=backend, e=expected: (
+                        _validation_check(b, c) == e
+                    ),
+                )
+                continue
+            try:
+                validate_program(outcome.architecture, outcome.program)
+            except ValidationError as exc:
+                expected = f"validation:{exc.check}"
+                fail(
+                    expected,
+                    backend,
+                    f"{workload.circuit.name}: {exc}",
+                    workload,
+                    results=[(backend, outcome)],
+                    minimize_predicate=lambda c, b=backend, e=expected: (
+                        _validation_check(b, c) == e
+                    ),
+                )
+                continue
+            good[backend][index] = outcome
+            report.invariant_checks["validation"] = (
+                report.invariant_checks.get("validation", 0) + 1
+            )
+
+    # -- invariant: duration strictly positive -------------------------------
+    for backend in backends:
+        for index, result in enumerate(good[backend]):
+            if result is None:
+                continue
+            report.invariant_checks["duration-positive"] = (
+                report.invariant_checks.get("duration-positive", 0) + 1
+            )
+            if not result.duration_us > 0.0:
+                fail(
+                    "invariant:duration-positive",
+                    backend,
+                    f"{workloads[index].circuit.name}: duration {result.duration_us}",
+                    workloads[index],
+                    results=[(backend, result)],
+                )
+
+    # -- invariant: the ideal bound dominates the real ZAC run ---------------
+    # The bound is an idealisation of a ZAC compilation (perfect movement /
+    # placement / reuse on the same gate counts), so it must dominate ZAC's
+    # fidelity.  Other backends target different device models and are not
+    # bounded by it.
+    if "ideal" in backends and "zac" in backends:
+        for index, ideal in enumerate(good["ideal"]):
+            zac_result = good["zac"][index]
+            if ideal is None or zac_result is None:
+                continue
+            report.invariant_checks["ideal-dominates"] = (
+                report.invariant_checks.get("ideal-dominates", 0) + 1
+            )
+            if zac_result.total_fidelity > ideal.total_fidelity + 1e-9:
+                fail(
+                    "invariant:ideal-dominates",
+                    "zac",
+                    f"{workloads[index].circuit.name}: zac fidelity "
+                    f"{zac_result.total_fidelity:.6g} exceeds ideal bound "
+                    f"{ideal.total_fidelity:.6g}",
+                    workloads[index],
+                    results=[("ideal", ideal), ("zac", zac_result)],
+                )
+
+    # A fixed stride keeps the expensive replay-based invariants affordable
+    # while still touching every backend and most generators.
+    subsample = range(0, len(circuits), max(1, len(circuits) // 8))
+
+    # -- invariant: seeded determinism ---------------------------------------
+    if check_determinism:
+        for index in subsample:
+            for backend in backends:
+                first = good[backend][index]
+                if first is None:
+                    continue
+                report.invariant_checks["determinism"] = (
+                    report.invariant_checks.get("determinism", 0) + 1
+                )
+                second = api.compile(circuits[index], backend=backend, validate=False)
+                report.num_compiles += 1
+                if _stable_payload(first) != _stable_payload(second):
+                    fail(
+                        "invariant:determinism",
+                        backend,
+                        f"{workloads[index].circuit.name}: two runs disagree",
+                        workloads[index],
+                        results=[(backend, first), (backend, second)],
+                    )
+
+    # -- invariant: interpreter == legacy accounting -------------------------
+    if check_legacy:
+        legacy_compilers = {
+            backend: api.create_backend(backend)
+            for backend in backends
+            if backend in LEGACY_BACKENDS
+        }
+        for index in subsample:
+            for backend in backends:
+                if backend not in legacy_compilers or good[backend][index] is None:
+                    continue
+                report.invariant_checks["legacy-conformance"] = (
+                    report.invariant_checks.get("legacy-conformance", 0) + 1
+                )
+                legacy = legacy_compilers[backend].compile_legacy(circuits[index])
+                report.num_compiles += 1
+                mismatch = _conformance_mismatch(good[backend][index], legacy)
+                if mismatch:
+                    fail(
+                        "invariant:legacy-conformance",
+                        backend,
+                        f"{workloads[index].circuit.name}: {mismatch}",
+                        workloads[index],
+                        results=[(backend, good[backend][index]), (backend, legacy)],
+                    )
+
+    # -- invariant: duration monotone in circuit depth -----------------------
+    if check_depth_monotonic:
+        ladder_rng = np.random.default_rng(seed)
+        ladder_depths = sorted(set(depths))
+        for generator in ("brickwork", "qaoa_erdos_renyi"):
+            n = int(num_qubits[int(ladder_rng.integers(len(num_qubits)))])
+            ladder_seed = int(ladder_rng.integers(2**31))
+            rungs = [
+                generate(generator, seed=ladder_seed, num_qubits=n, depth=d)
+                for d in ladder_depths
+            ]
+            for backend in backends:
+                previous = None
+                previous_rung = None
+                for rung in rungs:
+                    try:
+                        result = api.compile(rung.circuit, backend=backend)
+                    except ValidationError as exc:
+                        expected = f"validation:{exc.check}"
+                        fail(
+                            expected,
+                            backend,
+                            f"{rung.circuit.name}: {exc}",
+                            rung,
+                            minimize_predicate=lambda c, b=backend, e=expected: (
+                                _validation_check(b, c) == e
+                            ),
+                        )
+                        break
+                    except Exception as exc:
+                        fail(
+                            f"compile-error:{type(exc).__name__}",
+                            backend,
+                            f"{rung.circuit.name}: {exc}",
+                            rung,
+                        )
+                        break
+                    report.num_compiles += 1
+                    report.invariant_checks["depth-monotonic"] = (
+                        report.invariant_checks.get("depth-monotonic", 0) + 1
+                    )
+                    if (
+                        previous is not None
+                        and result.duration_us < previous.duration_us * (1.0 - 1e-9)
+                    ):
+                        fail(
+                            "invariant:depth-monotonic",
+                            backend,
+                            f"{rung.circuit.name}: duration {result.duration_us:.6g} "
+                            f"below shallower circuit's {previous.duration_us:.6g}",
+                            rung,
+                            results=[(backend, previous), (backend, result)],
+                            extra={"shallower": previous_rung.descriptor.to_dict()},
+                        )
+                    previous = result
+                    previous_rung = rung
+
+    report.elapsed_s = time.monotonic() - start
+    return report
+
+
+def _conformance_mismatch(new: CompileResult, old: CompileResult) -> str | None:
+    """First interpreter-vs-legacy discrepancy beyond tolerance, or None."""
+    for name in _COUNT_FIELDS:
+        if getattr(new.metrics, name) != getattr(old.metrics, name):
+            return (
+                f"{name}: interpreter {getattr(new.metrics, name)} "
+                f"!= legacy {getattr(old.metrics, name)}"
+            )
+    pairs = [
+        ("duration_us", new.metrics.duration_us, old.metrics.duration_us),
+        ("fidelity", new.fidelity.total, old.fidelity.total),
+    ]
+    for name, a, b in pairs:
+        if abs(a - b) > CONFORMANCE_REL_TOL * max(abs(a), abs(b), 1.0):
+            return f"{name}: interpreter {a!r} != legacy {b!r}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+def replay_bundle(path: str) -> tuple[bool, str]:
+    """Re-run the check recorded in a repro bundle.
+
+    Returns:
+        ``(reproduced, message)`` -- ``reproduced`` is True when the recorded
+        failure still occurs on the current code.
+
+    Raises:
+        FuzzError: if the file is not a fuzz repro bundle.
+    """
+    with open(path, encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    if bundle.get("kind") != "fuzz-repro":
+        raise FuzzError(f"{path} is not a fuzz repro bundle")
+    backend = bundle["backend"]
+    check = bundle["check"]
+    if bundle.get("circuit_qasm"):
+        circuit = qasm.loads(bundle["circuit_qasm"], name="fuzz_repro")
+    else:
+        circuit = WorkloadDescriptor.from_dict(bundle["descriptor"]).build()
+
+    if check.startswith(("validation:", "compile-error:")):
+        observed = _validation_check(backend, circuit)
+        if observed == check:
+            return True, f"{check} still reproduces on backend {backend}"
+        return False, f"expected {check}, observed {observed or 'clean compile'}"
+
+    if check == "invariant:duration-positive":
+        result = api.compile(circuit, backend=backend)
+        if not result.duration_us > 0.0:
+            return True, f"duration still non-positive ({result.duration_us})"
+        return False, f"duration now positive ({result.duration_us:.6g})"
+
+    if check == "invariant:ideal-dominates":
+        ideal = api.compile(circuit, backend="ideal")
+        result = api.compile(circuit, backend=backend)
+        if result.total_fidelity > ideal.total_fidelity + 1e-9:
+            return True, (
+                f"{backend} fidelity {result.total_fidelity:.6g} still exceeds "
+                f"ideal {ideal.total_fidelity:.6g}"
+            )
+        return False, "ideal bound dominates again"
+
+    if check == "invariant:determinism":
+        first = api.compile(circuit, backend=backend, validate=False)
+        second = api.compile(circuit, backend=backend, validate=False)
+        if _stable_payload(first) != _stable_payload(second):
+            return True, "two runs still disagree"
+        return False, "runs agree again"
+
+    if check == "invariant:legacy-conformance":
+        compiler = api.create_backend(backend)
+        mismatch = _conformance_mismatch(
+            compiler.compile(circuit), compiler.compile_legacy(circuit)
+        )
+        if mismatch:
+            return True, f"still mismatching: {mismatch}"
+        return False, "interpreter matches legacy again"
+
+    if check == "invariant:depth-monotonic":
+        # The bundle's descriptor names the deeper rung; the shallower rung's
+        # descriptor is recorded alongside it (fall back to a halved depth for
+        # bundles written before the "extra" field existed).
+        descriptor = WorkloadDescriptor.from_dict(bundle["descriptor"])
+        shallower = bundle.get("extra", {}).get("shallower")
+        if shallower is not None:
+            shallow = WorkloadDescriptor.from_dict(shallower).build()
+        else:
+            depth = int(descriptor.params.get("depth", 2))
+            params = dict(descriptor.params, depth=max(1, depth // 2))
+            shallow = generate(descriptor.generator, seed=descriptor.seed, **params).circuit
+        deep = descriptor.build()
+        d_shallow = api.compile(shallow, backend=backend).duration_us
+        d_deep = api.compile(deep, backend=backend).duration_us
+        if d_deep < d_shallow * (1.0 - 1e-9):
+            return True, f"duration still shrinks with depth ({d_shallow:.6g} -> {d_deep:.6g})"
+        return False, "duration monotone again"
+
+    raise FuzzError(f"bundle has unknown check {check!r}")

@@ -54,7 +54,19 @@ _TIME_TOL = 1e-9
 
 
 class ValidationError(ValueError):
-    """Raised when a ZAIR program violates a hardware invariant."""
+    """Raised when a ZAIR program violates a hardware invariant.
+
+    Attributes:
+        check: Stable, machine-readable identifier of the violated invariant
+            (e.g. ``"trap-occupancy"`` or ``"coupling-edge"``).  The fuzz
+            harness uses it to classify failures and to confirm that a
+            minimized reproducer still trips the *same* check; humans get the
+            message.
+    """
+
+    def __init__(self, message: str, *, check: str = "generic") -> None:
+        super().__init__(message)
+        self.check = check
 
 
 def validate_job_ordering(architecture: Architecture, job: RearrangeJob) -> None:
@@ -80,13 +92,13 @@ def validate_job_ordering(architecture: Architecture, job: RearrangeJob) -> None
                             f"job on AOD {job.aod_id}: qubits {job.begin_locs[i].qubit} "
                             f"and {job.begin_locs[j].qubit} share an AOD "
                             f"{'column' if axis == 0 else 'row'} but end at different "
-                            "coordinates"
+                            "coordinates", check="aod-order"
                         )
                 elif (b_i - b_j) * (e_i - e_j) < 0:
                     raise ValidationError(
                         f"job on AOD {job.aod_id}: qubits {job.begin_locs[i].qubit} and "
                         f"{job.begin_locs[j].qubit} cross in "
-                        f"{'x' if axis == 0 else 'y'}"
+                        f"{'x' if axis == 0 else 'y'}", check="aod-order"
                     )
 
 
@@ -94,7 +106,7 @@ def _check_trap_exists(architecture: Architecture, loc: QLoc) -> None:
     try:
         architecture.slm_by_id(loc.slm_id).trap_position(loc.row, loc.col)
     except ArchitectureError as exc:
-        raise ValidationError(f"qubit {loc.qubit}: invalid trap {loc.trap}: {exc}") from exc
+        raise ValidationError(f"qubit {loc.qubit}: invalid trap {loc.trap}: {exc}", check="trap-exists") from exc
 
 
 def validate_program(architecture: Architecture | None, program: ZAIRProgram) -> None:
@@ -118,10 +130,11 @@ def validate_program(architecture: Architecture | None, program: ZAIRProgram) ->
         return
     if architecture is None:
         raise ValidationError(
-            "program uses trap locations; an architecture is required to validate it"
+            "program uses trap locations; an architecture is required to validate it",
+            check="structure",
         )
     if not program.instructions or not isinstance(program.instructions[0], InitInst):
-        raise ValidationError("program must start with an init instruction")
+        raise ValidationError("program must start with an init instruction", check="structure")
 
     init = program.instructions[0]
     location: dict[int, QLoc] = {}
@@ -129,11 +142,11 @@ def validate_program(architecture: Architecture | None, program: ZAIRProgram) ->
     for loc in init.init_locs:
         _check_trap_exists(architecture, loc)
         if loc.qubit in location:
-            raise ValidationError(f"qubit {loc.qubit} initialised twice")
+            raise ValidationError(f"qubit {loc.qubit} initialised twice", check="init-duplicate")
         if loc.trap in occupied:
             raise ValidationError(
                 f"trap {loc.trap} initialised with two qubits "
-                f"({occupied[loc.trap]} and {loc.qubit})"
+                f"({occupied[loc.trap]} and {loc.qubit})", check="trap-occupancy"
             )
         location[loc.qubit] = loc
         occupied[loc.trap] = loc.qubit
@@ -145,11 +158,11 @@ def validate_program(architecture: Architecture | None, program: ZAIRProgram) ->
 
     for inst in program.instructions[1:]:
         if isinstance(inst, InitInst):
-            raise ValidationError("init may only appear once, at the beginning")
+            raise ValidationError("init may only appear once, at the beginning", check="structure")
         if isinstance(inst, (GateLayerInst, GlobalPulseInst, ArrayMoveInst)):
             raise ValidationError(
                 f"{type(inst).__name__} has no trap semantics and cannot appear "
-                "in a program that tracks trap locations"
+                "in a program that tracks trap locations", check="structure"
             )
         if isinstance(inst, RearrangeJob):
             _replay_job(architecture, inst, location, occupied)
@@ -160,11 +173,11 @@ def validate_program(architecture: Architecture | None, program: ZAIRProgram) ->
         elif isinstance(inst, OneQGateInst):
             for loc in inst.locs:
                 if loc.qubit not in location:
-                    raise ValidationError(f"1qGate on unknown qubit {loc.qubit}")
+                    raise ValidationError(f"1qGate on unknown qubit {loc.qubit}", check="unknown-qubit")
                 if location[loc.qubit].trap != loc.trap:
                     raise ValidationError(
                         f"1qGate expects qubit {loc.qubit} at {loc.trap}, but it is at "
-                        f"{location[loc.qubit].trap}"
+                        f"{location[loc.qubit].trap}", check="location-mismatch"
                     )
 
 
@@ -181,11 +194,11 @@ def _replay_moves(
     for loc in begin_locs:
         _check_trap_exists(architecture, loc)
         if loc.qubit not in location:
-            raise ValidationError(f"{label} moves unknown qubit {loc.qubit}")
+            raise ValidationError(f"{label} moves unknown qubit {loc.qubit}", check="unknown-qubit")
         if location[loc.qubit].trap != loc.trap:
             raise ValidationError(
                 f"{label} picks up qubit {loc.qubit} at {loc.trap}, but it is at "
-                f"{location[loc.qubit].trap}"
+                f"{location[loc.qubit].trap}", check="location-mismatch"
             )
         del occupied[loc.trap]
     # Drop-off: all end traps must be free and pairwise distinct.
@@ -193,11 +206,11 @@ def _replay_moves(
     for loc in end_locs:
         _check_trap_exists(architecture, loc)
         if loc.trap in seen_targets:
-            raise ValidationError(f"{label} drops two qubits at trap {loc.trap}")
+            raise ValidationError(f"{label} drops two qubits at trap {loc.trap}", check="trap-occupancy")
         if loc.trap in occupied:
             raise ValidationError(
                 f"{label} drops qubit {loc.qubit} at occupied trap {loc.trap} "
-                f"(held by qubit {occupied[loc.trap]})"
+                f"(held by qubit {occupied[loc.trap]})", check="trap-occupancy"
             )
         seen_targets.add(loc.trap)
     for loc in end_locs:
@@ -232,7 +245,7 @@ def _replay_transfer_epoch(
     if inst.transfer_count is not None and not 0 <= inst.transfer_count <= 2 * inst.num_qubits:
         raise ValidationError(
             f"transfer epoch claims {inst.transfer_count} transfers for "
-            f"{inst.num_qubits} moved qubits"
+            f"{inst.num_qubits} moved qubits", check="transfer-count"
         )
     _replay_moves(
         architecture, "transfer epoch", inst.begin_locs, inst.end_locs, location, occupied
@@ -254,14 +267,14 @@ def _validate_abstract_program(program: ZAIRProgram) -> None:
         if not 0 <= qubit < program.num_qubits:
             raise ValidationError(
                 f"{context}: qubit {qubit} out of range for a "
-                f"{program.num_qubits}-qubit program"
+                f"{program.num_qubits}-qubit program", check="index-range"
             )
 
     def occupy(qubits: tuple[int, ...] | list[int], begin: float, end: float, context: str) -> None:
         for qubit in qubits:
             if begin < busy_until.get(qubit, float("-inf")) - _TIME_TOL:
                 raise ValidationError(
-                    f"{context}: qubit {qubit} is still busy at t={begin:.6g}"
+                    f"{context}: qubit {qubit} is still busy at t={begin:.6g}", check="schedule-overlap"
                 )
             busy_until[qubit] = max(busy_until.get(qubit, 0.0), end)
 
@@ -269,23 +282,23 @@ def _validate_abstract_program(program: ZAIRProgram) -> None:
         if isinstance(inst, GateLayerInst):
             for gate in inst.gates:
                 if gate.kind not in ("1q", "2q", "swap"):
-                    raise ValidationError(f"gate layer: unknown gate kind {gate.kind!r}")
+                    raise ValidationError(f"gate layer: unknown gate kind {gate.kind!r}", check="gate-kind")
                 expected_arity = 1 if gate.kind == "1q" else 2
                 if len(gate.qubits) != expected_arity:
                     raise ValidationError(
-                        f"gate layer: {gate.kind} gate on {len(gate.qubits)} qubits"
+                        f"gate layer: {gate.kind} gate on {len(gate.qubits)} qubits", check="gate-kind"
                     )
                 for qubit in gate.qubits:
                     check_qubit(qubit, "gate layer")
                 if gate.kind != "1q":
                     if len(set(gate.qubits)) != 2:
                         raise ValidationError(
-                            f"gate layer: two-qubit gate on identical qubits {gate.qubits}"
+                            f"gate layer: two-qubit gate on identical qubits {gate.qubits}", check="gate-kind"
                         )
                     if edges is not None and frozenset(gate.qubits) not in edges:
                         raise ValidationError(
                             f"gate layer: gate {gate.qubits} is not an edge of the "
-                            "coupling graph"
+                            "coupling graph", check="coupling-edge"
                         )
                 occupy(gate.qubits, gate.begin_time, gate.end_time, "gate layer")
         elif isinstance(inst, GlobalPulseInst):
@@ -295,26 +308,26 @@ def _validate_abstract_program(program: ZAIRProgram) -> None:
             in_gate: set[int] = set()
             for a, b in inst.gates:
                 if a == b:
-                    raise ValidationError(f"global pulse: gate on identical qubits ({a}, {b})")
+                    raise ValidationError(f"global pulse: gate on identical qubits ({a}, {b})", check="gate-kind")
                 for qubit in (a, b):
                     check_qubit(qubit, "global pulse")
                     if qubit not in active:
                         raise ValidationError(
-                            f"global pulse: gate qubit {qubit} missing from active_qubits"
+                            f"global pulse: gate qubit {qubit} missing from active_qubits", check="pulse-active"
                         )
                     if qubit in in_gate:
                         raise ValidationError(
-                            f"global pulse: qubit {qubit} is in two gates of one pulse"
+                            f"global pulse: qubit {qubit} is in two gates of one pulse", check="pulse-overlap"
                         )
                     in_gate.add(qubit)
             if inst.extra_1q_gates < 0:
-                raise ValidationError("global pulse: negative extra_1q_gates")
+                raise ValidationError("global pulse: negative extra_1q_gates", check="pulse-counts")
         elif isinstance(inst, ArrayMoveInst):
             if inst.distance_um < 0:
-                raise ValidationError("array move: negative distance")
+                raise ValidationError("array move: negative distance", check="move-distance")
         else:  # pragma: no cover - guarded by uses_locations dispatch
             raise ValidationError(
-                f"unexpected {type(inst).__name__} in a location-free program"
+                f"unexpected {type(inst).__name__} in a location-free program", check="structure"
             )
 
 
@@ -325,21 +338,21 @@ def _check_rydberg(
     ent_slm_pairs: list[tuple[int, int]],
 ) -> None:
     if not 0 <= inst.zone_id < len(architecture.entanglement_zones):
-        raise ValidationError(f"rydberg references unknown zone {inst.zone_id}")
+        raise ValidationError(f"rydberg references unknown zone {inst.zone_id}", check="rydberg-zone")
     left_id, right_id = ent_slm_pairs[inst.zone_id]
     for a, b in inst.gates:
         for qubit in (a, b):
             if qubit not in location:
-                raise ValidationError(f"rydberg gate on unknown qubit {qubit}")
+                raise ValidationError(f"rydberg gate on unknown qubit {qubit}", check="unknown-qubit")
         loc_a, loc_b = location[a], location[b]
         slm_ids = {loc_a.slm_id, loc_b.slm_id}
         if slm_ids != {left_id, right_id}:
             raise ValidationError(
                 f"gate ({a}, {b}): qubits are not in the left/right traps of "
-                f"entanglement zone {inst.zone_id} (SLMs {slm_ids})"
+                f"entanglement zone {inst.zone_id} (SLMs {slm_ids})", check="rydberg-site"
             )
         if (loc_a.row, loc_a.col) != (loc_b.row, loc_b.col):
             raise ValidationError(
                 f"gate ({a}, {b}): qubits occupy different Rydberg sites "
-                f"({loc_a.row},{loc_a.col}) vs ({loc_b.row},{loc_b.col})"
+                f"({loc_a.row},{loc_a.col}) vs ({loc_b.row},{loc_b.col})", check="rydberg-site"
             )

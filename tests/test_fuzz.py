@@ -1,0 +1,250 @@
+"""Tests for the cross-backend differential fuzz harness (experiments/fuzz.py)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.__main__ import main
+from repro.circuits.circuit import QuantumCircuit
+from repro.experiments.fuzz import (
+    FuzzError,
+    minimize_circuit,
+    replay_bundle,
+    run_fuzz,
+    sample_workloads,
+)
+from repro.zair.instructions import QLoc
+
+FAST_BACKENDS = ["enola", "atomique", "sc"]
+
+
+class BrokenBackend:
+    """Enola wrapper that re-introduces a double-occupancy modeling bug.
+
+    Mimics the class of fault PR 3's validation pass caught in NALAC (a qubit
+    stacked onto an occupied trap): the emitted program initialises the
+    second qubit on top of the first one's trap.
+    """
+
+    name = "broken-for-test"
+
+    def __init__(self) -> None:
+        self._inner = api.create_backend("enola")
+
+    def compile(self, circuit):
+        result = self._inner.compile(circuit)
+        init = result.program.instructions[0]
+        if len(init.init_locs) >= 2:
+            first, second = init.init_locs[0], init.init_locs[1]
+            init.init_locs[1] = QLoc(second.qubit, first.slm_id, first.row, first.col)
+        return result
+
+
+@pytest.fixture
+def broken_backend():
+    api.register_backend(
+        "broken-for-test", lambda arch, options: BrokenBackend(), overwrite=True
+    )
+    try:
+        yield "broken-for-test"
+    finally:
+        api.unregister_backend("broken-for-test")
+
+
+class TestSampling:
+    def test_reproducible_for_fixed_seed(self):
+        first = sample_workloads(6, seed=42)
+        second = sample_workloads(6, seed=42)
+        assert [w.descriptor for w in first] == [w.descriptor for w in second]
+        assert [w.circuit.gates for w in first] == [w.circuit.gates for w in second]
+
+    def test_seed_changes_the_sample(self):
+        a = sample_workloads(6, seed=1)
+        b = sample_workloads(6, seed=2)
+        assert [w.descriptor for w in a] != [w.descriptor for w in b]
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(FuzzError):
+            sample_workloads(0)
+
+
+class TestCompileManyReturnExceptions:
+    def test_failures_fill_their_slot(self):
+        good = repro.generate("brickwork", seed=0, num_qubits=4, depth=2).circuit
+        too_big = QuantumCircuit(300, name="too_big")
+        too_big.h(0)
+        too_big.cz(0, 299)
+        outcomes = api.compile_many(
+            [good, too_big, good], backend="sc", return_exceptions=True
+        )
+        assert outcomes[0].program is not None
+        assert isinstance(outcomes[1], Exception)
+        assert outcomes[2].program is not None
+
+    def test_default_still_raises(self):
+        too_big = QuantumCircuit(300, name="too_big")
+        too_big.h(0)
+        too_big.cz(0, 299)
+        with pytest.raises(Exception):
+            api.compile_many([too_big], backend="sc")
+
+
+class TestMinimizeCircuit:
+    def test_shrinks_to_the_culprit_gate(self):
+        circuit = repro.generate("clifford_t", seed=3, num_qubits=6, depth=6).circuit
+        assert len(circuit) > 10
+
+        def failing(candidate):
+            return any(g.name == "cz" for g in candidate.gates)
+
+        minimized = minimize_circuit(circuit, failing)
+        assert len(minimized) == 1
+        assert minimized.gates[0].name == "cz"
+
+    def test_respects_attempt_budget(self):
+        circuit = repro.generate("brickwork", seed=0, num_qubits=8, depth=8).circuit
+        calls = []
+
+        def failing(candidate):
+            calls.append(1)
+            return True
+
+        minimize_circuit(circuit, failing, max_attempts=5)
+        assert len(calls) <= 5
+
+
+class TestCleanFuzz:
+    def test_clean_run_has_no_failures(self):
+        report = run_fuzz(
+            budget=3,
+            seed=0,
+            backends=FAST_BACKENDS,
+            check_depth_monotonic=False,
+        )
+        assert report.ok
+        assert report.num_circuits == 3
+        assert report.invariant_checks["validation"] == 3 * len(FAST_BACKENDS)
+        assert report.invariant_checks["duration-positive"] == 3 * len(FAST_BACKENDS)
+        assert report.invariant_checks["determinism"] > 0
+        assert report.invariant_checks["legacy-conformance"] > 0
+        assert report.circuits_per_s > 0
+        assert any("all checks passed" in line for line in report.summary_lines())
+
+    def test_unknown_backend_fails_fast(self):
+        with pytest.raises(api.UnknownBackendError):
+            run_fuzz(budget=1, backends=["nope"])
+
+
+class TestInjectedFault:
+    def test_fault_is_caught_minimized_and_replayable(self, broken_backend, tmp_path):
+        report = run_fuzz(
+            budget=3,
+            seed=1,
+            backends=[broken_backend],
+            out_dir=str(tmp_path),
+            check_depth_monotonic=False,
+            check_determinism=False,
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.check == "validation:trap-occupancy"
+        assert "two qubits" in failure.message
+        # Bisection shrank the reproducer.
+        assert failure.minimized_num_gates < failure.original_num_gates
+        assert failure.minimized_num_gates <= 3
+        # The bundle is on disk and replayable.
+        assert failure.bundle_path is not None
+        bundle = json.loads((tmp_path / "fuzz_fail_000.json").read_text())
+        assert bundle["kind"] == "fuzz-repro"
+        assert bundle["check"] == "validation:trap-occupancy"
+        assert bundle["descriptor"]["generator"]
+        assert "qreg" in bundle["circuit_qasm"]
+        reproduced, message = replay_bundle(failure.bundle_path)
+        assert reproduced
+        assert "trap-occupancy" in message
+
+    def test_replay_reports_fixed_bug_as_not_reproduced(self, broken_backend, tmp_path):
+        report = run_fuzz(
+            budget=1,
+            seed=1,
+            backends=[broken_backend],
+            out_dir=str(tmp_path),
+            check_depth_monotonic=False,
+            check_determinism=False,
+        )
+        path = report.failures[0].bundle_path
+        # "Fix" the bug by replaying against the healthy backend.
+        bundle = json.loads(open(path).read())
+        bundle["backend"] = "enola"
+        with open(path, "w") as handle:
+            json.dump(bundle, handle)
+        reproduced, _ = replay_bundle(path)
+        assert not reproduced
+
+    def test_depth_monotonic_replay_uses_recorded_shallower_rung(self, tmp_path):
+        """Replay compares the exact rungs the run compared, not a halved depth."""
+        shallow = {"generator": "brickwork", "seed": 5, "params": {"num_qubits": 4, "depth": 3}}
+        deep = {"generator": "brickwork", "seed": 5, "params": {"num_qubits": 4, "depth": 5}}
+        bundle = {
+            "kind": "fuzz-repro",
+            "schema": 1,
+            "check": "invariant:depth-monotonic",
+            "backend": "enola",
+            "message": "synthetic",
+            "descriptor": deep,
+            "extra": {"shallower": shallow},
+        }
+        path = tmp_path / "ladder.json"
+        path.write_text(json.dumps(bundle))
+        reproduced, message = replay_bundle(str(path))
+        # The invariant holds on healthy code, so the failure must not reproduce.
+        assert not reproduced
+        assert "monotone" in message
+
+    def test_replay_rejects_non_bundles(self, tmp_path):
+        path = tmp_path / "not_a_bundle.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(FuzzError):
+            replay_bundle(str(path))
+
+
+class TestCLI:
+    def test_fuzz_cli_clean_run(self, capsys):
+        code = main(
+            ["fuzz", "--budget", "1", "--seed", "0", "--backend", "enola,atomique"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all checks passed" in out
+
+    def test_fuzz_cli_failure_exit_code_and_replay(
+        self, broken_backend, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "fuzz",
+                "--budget",
+                "1",
+                "--seed",
+                "1",
+                "--backend",
+                broken_backend,
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "validation:trap-occupancy" in out
+        bundle = next(tmp_path.glob("fuzz_fail_*.json"))
+        code = main(["fuzz", "--replay", str(bundle)])
+        assert code == 1
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_fuzz_cli_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["fuzz", "--budget", "1", "--backend", "nope"])

@@ -1,0 +1,80 @@
+"""Property-based tests: QASM parse -> emit -> parse is an identity.
+
+Circuits are drawn by ``hypothesis`` over the front end's full gate
+vocabulary with arbitrary finite float parameters.  The writer emits
+``repr()`` floats (the shortest decimal that round-trips the exact value),
+so the property is *exact* structural equality, not approximate.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import qasm
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.circuits.random import generate, generator_names
+
+#: (name, arity, number of parameters) for every gate the strategy may draw.
+GATE_SPECS = [
+    ("id", 1, 0), ("x", 1, 0), ("y", 1, 0), ("z", 1, 0), ("h", 1, 0),
+    ("s", 1, 0), ("sdg", 1, 0), ("t", 1, 0), ("tdg", 1, 0),
+    ("sx", 1, 0), ("sxdg", 1, 0),
+    ("rx", 1, 1), ("ry", 1, 1), ("rz", 1, 1), ("p", 1, 1), ("u1", 1, 1),
+    ("u2", 1, 2), ("u3", 1, 3), ("u", 1, 3),
+    ("cx", 2, 0), ("cz", 2, 0), ("cy", 2, 0), ("ch", 2, 0), ("swap", 2, 0),
+    ("iswap", 2, 0),
+    ("cp", 2, 1), ("cu1", 2, 1), ("crz", 2, 1), ("crx", 2, 1), ("cry", 2, 1),
+    ("rzz", 2, 1), ("rxx", 2, 1),
+    ("ccx", 3, 0), ("ccz", 3, 0), ("cswap", 3, 0),
+]
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@st.composite
+def circuits(draw) -> QuantumCircuit:
+    num_qubits = draw(st.integers(min_value=2, max_value=8))
+    num_gates = draw(st.integers(min_value=0, max_value=25))
+    specs = [spec for spec in GATE_SPECS if spec[1] <= num_qubits]
+    circuit = QuantumCircuit(num_qubits, name="hypothesis")
+    for _ in range(num_gates):
+        name, arity, num_params = draw(st.sampled_from(specs))
+        qubits = tuple(draw(st.permutations(range(num_qubits)))[:arity])
+        params = tuple(draw(finite_floats) for _ in range(num_params))
+        circuit.append(Gate(name, qubits, params))
+    return circuit
+
+
+@given(circuits())
+@settings(max_examples=150, deadline=None)
+def test_parse_emit_parse_is_identity(circuit):
+    text = qasm.dumps(circuit)
+    parsed = qasm.loads(text)
+    assert parsed.num_qubits == circuit.num_qubits
+    assert parsed.gates == circuit.gates
+    # And the emitted text is a fixed point: emitting the parse changes nothing.
+    assert qasm.dumps(parsed) == text
+
+
+@given(circuits())
+@settings(max_examples=50, deadline=None)
+def test_emitted_text_is_well_formed(circuit):
+    text = qasm.dumps(circuit)
+    assert text.startswith("OPENQASM 2.0;")
+    assert f"qreg q[{circuit.num_qubits}];" in text
+    # one statement per gate after the three header lines
+    assert len(text.strip().splitlines()) == 3 + len(circuit)
+
+
+@given(
+    name=st.sampled_from(generator_names()),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_generated_workloads_roundtrip_through_qasm(name, seed):
+    """Every fuzz-generator circuit survives the QASM round trip gate for gate."""
+    circuit = generate(name, seed=seed, num_qubits=5, depth=3).circuit
+    parsed = qasm.loads(qasm.dumps(circuit))
+    assert parsed.gates == circuit.gates

@@ -1,0 +1,198 @@
+"""Tests for the seeded random workload generators (circuits/random.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, single_qubit_matrix
+from repro.circuits.random import (
+    GENERATORS,
+    GeneratorError,
+    WorkloadDescriptor,
+    generate,
+    generator_names,
+    inverse_circuit,
+    inverse_gate,
+)
+
+ALL_GENERATORS = generator_names()
+
+
+# ---------------------------------------------------------------------------
+# A small dense-unitary oracle (fine for <= 6 qubits)
+# ---------------------------------------------------------------------------
+
+
+def _two_qubit_matrix(gate: Gate) -> np.ndarray:
+    if gate.name == "cz":
+        return np.diag([1, 1, 1, -1]).astype(complex)
+    if gate.name in ("cx", "cnot"):
+        return np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+    if gate.name == "swap":
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+        )
+    if gate.name == "rzz":
+        half = gate.params[0] / 2.0
+        phase = np.exp(1j * half)
+        return np.diag([1 / phase, phase, phase, 1 / phase]).astype(complex)
+    if gate.name in ("cp", "cu1"):
+        return np.diag([1, 1, 1, np.exp(1j * gate.params[0])]).astype(complex)
+    raise NotImplementedError(gate.name)
+
+
+def _apply(unitary: np.ndarray, qubits: tuple[int, ...], state: np.ndarray, n: int) -> np.ndarray:
+    dim = 1 << n
+    k = len(qubits)
+    full = np.zeros((dim, dim), dtype=complex)
+    for col in range(dim):
+        bits = [(col >> (n - 1 - q)) & 1 for q in range(n)]
+        sub_in = 0
+        for q in qubits:
+            sub_in = (sub_in << 1) | bits[q]
+        for sub_out in range(1 << k):
+            amp = unitary[sub_out, sub_in]
+            if amp == 0:
+                continue
+            new_bits = list(bits)
+            for index, q in enumerate(qubits):
+                new_bits[q] = (sub_out >> (k - 1 - index)) & 1
+            row = 0
+            for bit in new_bits:
+                row = (row << 1) | bit
+            full[row, col] += amp
+    return full @ state
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary of a small circuit (test oracle, exponential in qubits)."""
+    state = np.eye(1 << circuit.num_qubits, dtype=complex)
+    for gate in circuit:
+        if gate.num_qubits == 1:
+            matrix = single_qubit_matrix(gate)
+        else:
+            matrix = _two_qubit_matrix(gate)
+        state = _apply(matrix, gate.qubits, state, circuit.num_qubits)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Generator contracts
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_GENERATORS)
+class TestGeneratorContracts:
+    def test_deterministic_under_fixed_seed(self, name):
+        first = generate(name, seed=11, num_qubits=8, depth=4)
+        second = generate(name, seed=11, num_qubits=8, depth=4)
+        assert first.circuit.gates == second.circuit.gates
+        assert first.circuit.name == second.circuit.name
+        assert first.descriptor == second.descriptor
+
+    def test_different_seeds_differ(self, name):
+        a = generate(name, seed=1, num_qubits=8, depth=4).circuit
+        b = generate(name, seed=2, num_qubits=8, depth=4).circuit
+        assert a.gates != b.gates
+
+    @pytest.mark.parametrize("num_qubits,depth", [(2, 1), (5, 3), (12, 8)])
+    def test_respects_qubit_and_depth_bounds(self, name, num_qubits, depth):
+        circuit = generate(name, seed=0, num_qubits=num_qubits, depth=depth).circuit
+        assert circuit.num_qubits == num_qubits
+        assert len(circuit) > 0
+        assert circuit.used_qubits() <= set(range(num_qubits))
+        # Each requested layer contributes a bounded number of gate levels,
+        # so circuit depth cannot blow up past the per-layer gate count.
+        assert 1 <= circuit.depth() <= (depth + 1) * (num_qubits + 2)
+
+    def test_descriptor_rebuilds_identical_circuit(self, name):
+        workload = generate(name, seed=5, num_qubits=6, depth=3)
+        rebuilt = WorkloadDescriptor.from_dict(workload.descriptor.to_dict()).build()
+        assert rebuilt.gates == workload.circuit.gates
+
+    def test_rejects_degenerate_sizes(self, name):
+        with pytest.raises(GeneratorError):
+            generate(name, seed=0, num_qubits=1, depth=2)
+        with pytest.raises(GeneratorError):
+            generate(name, seed=0, num_qubits=4, depth=0)
+
+    def test_prefix_property_of_depth(self, name):
+        """Fixed seed: the depth-d circuit is a gate prefix of the depth-2d one."""
+        if name == "mirror":
+            pytest.skip("mirror appends the inverse half, so it is not a prefix family")
+        shallow = generate(name, seed=9, num_qubits=6, depth=3).circuit
+        deep = generate(name, seed=9, num_qubits=6, depth=6).circuit
+        assert deep.gates[: len(shallow.gates)] == shallow.gates
+
+
+def test_unknown_generator_rejected():
+    with pytest.raises(GeneratorError, match="unknown generator"):
+        generate("nope", seed=0, num_qubits=4, depth=2)
+    with pytest.raises(GeneratorError, match="invalid parameters"):
+        generate("brickwork", seed=0, num_qubits=4, depth=2, bogus=1)
+
+
+def test_registry_lists_all_expected_generators():
+    assert set(GENERATORS) >= {
+        "clifford_t",
+        "qaoa_erdos_renyi",
+        "qaoa_regular",
+        "hardware_efficient",
+        "brickwork",
+        "mirror",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Inverses and mirror circuits
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "gate",
+    [
+        Gate("h", (0,)),
+        Gate("t", (0,)),
+        Gate("sdg", (0,)),
+        Gate("rx", (0,), (0.7,)),
+        Gate("rz", (0,), (-1.2,)),
+        Gate("u3", (0,), (0.4, 1.1, -0.3)),
+        Gate("u2", (0,), (0.5, -0.8)),
+    ],
+)
+def test_single_qubit_inverse_is_exact_dagger(gate):
+    matrix = single_qubit_matrix(gate)
+    inverse = single_qubit_matrix(inverse_gate(gate))
+    assert np.allclose(inverse @ matrix, np.eye(2), atol=1e-12)
+
+
+def test_inverse_gate_rejects_unknown():
+    with pytest.raises(GeneratorError):
+        inverse_gate(Gate("iswap", (0, 1)))
+
+
+def test_inverse_circuit_reverses_order():
+    circuit = QuantumCircuit(2)
+    circuit.h(0)
+    circuit.cz(0, 1)
+    circuit.t(1)
+    inverse = inverse_circuit(circuit)
+    assert [g.name for g in inverse] == ["tdg", "cz", "h"]
+
+
+@pytest.mark.parametrize("base", ["brickwork", "clifford_t", "hardware_efficient", "qaoa_erdos_renyi"])
+def test_mirror_circuits_are_the_identity(base):
+    circuit = generate("mirror", seed=17, num_qubits=4, depth=4, base=base).circuit
+    unitary = circuit_unitary(circuit)
+    phase = unitary[0, 0]
+    assert abs(abs(phase) - 1.0) < 1e-9
+    assert np.allclose(unitary, phase * np.eye(unitary.shape[0]), atol=1e-9)
+
+
+def test_mirror_rejects_recursive_base():
+    with pytest.raises(GeneratorError):
+        generate("mirror", seed=0, num_qubits=4, depth=2, base="mirror")

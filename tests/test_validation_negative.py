@@ -1,0 +1,143 @@
+"""Negative-path validator tests: mutated known-good programs must be rejected.
+
+Each test takes a valid ZAIR program (compiled by a real backend, or a
+minimal hand-built one on the reference architecture), breaks exactly one
+hardware invariant, and asserts :func:`validate_program` rejects it with a
+pointed message and the matching machine-readable ``check`` tag.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+import repro.api as api
+from repro.arch.presets import reference_zoned_architecture
+from repro.zair.instructions import FixedGate, GateLayerInst, InitInst, QLoc, RearrangeJob
+from repro.zair.program import ZAIRProgram
+from repro.zair.validation import ValidationError, validate_program
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return reference_zoned_architecture()
+
+
+@pytest.fixture(scope="module")
+def zac_result():
+    return api.compile("bv_n14", backend="zac")
+
+
+@pytest.fixture(scope="module")
+def sc_result():
+    return api.compile("bv_n14", backend="sc")
+
+
+def _expect_rejection(architecture, program, match: str, check: str) -> None:
+    with pytest.raises(ValidationError, match=match) as excinfo:
+        validate_program(architecture, program)
+    assert excinfo.value.check == check
+
+
+class TestLocationPrograms:
+    def test_duplicate_trap_occupancy_in_init(self, arch, zac_result):
+        program = copy.deepcopy(zac_result.program)
+        init = program.instructions[0]
+        assert isinstance(init, InitInst) and len(init.init_locs) >= 2
+        first, second = init.init_locs[0], init.init_locs[1]
+        init.init_locs[1] = QLoc(second.qubit, first.slm_id, first.row, first.col)
+        _expect_rejection(
+            arch, program, match="initialised with two qubits", check="trap-occupancy"
+        )
+
+    def test_crossing_aod_rows(self, arch):
+        # Two qubits picked up with q0 below q1 (storage rows 0 and 1) and
+        # dropped with the order flipped (rows 3 and 2): their AOD rows cross.
+        program = ZAIRProgram(num_qubits=2, architecture_name=arch.name)
+        program.instructions.append(
+            InitInst(init_locs=[QLoc(0, 0, 0, 0), QLoc(1, 0, 1, 0)])
+        )
+        program.instructions.append(
+            RearrangeJob(
+                aod_id=0,
+                begin_locs=[QLoc(0, 0, 0, 0), QLoc(1, 0, 1, 0)],
+                end_locs=[QLoc(0, 0, 3, 0), QLoc(1, 0, 2, 0)],
+            )
+        )
+        _expect_rejection(arch, program, match="cross in y", check="aod-order")
+
+    def test_dropoff_onto_occupied_trap(self, arch):
+        program = ZAIRProgram(num_qubits=2, architecture_name=arch.name)
+        program.instructions.append(
+            InitInst(init_locs=[QLoc(0, 0, 0, 0), QLoc(1, 0, 5, 5)])
+        )
+        program.instructions.append(
+            RearrangeJob(
+                aod_id=0,
+                begin_locs=[QLoc(0, 0, 0, 0)],
+                end_locs=[QLoc(0, 0, 5, 5)],  # qubit 1 already lives here
+            )
+        )
+        _expect_rejection(arch, program, match="occupied trap", check="trap-occupancy")
+
+
+class TestAbstractPrograms:
+    def test_out_of_range_qubit_index(self, sc_result):
+        program = copy.deepcopy(sc_result.program)
+        layer = next(i for i in program.instructions if isinstance(i, GateLayerInst))
+        gate = layer.gates[0]
+        layer.gates[0] = FixedGate(
+            gate.kind,
+            (program.num_qubits + 3,) * len(gate.qubits),
+            gate.begin_time,
+            gate.duration_us,
+        )
+        # A 2q gate on identical out-of-range qubits trips the range check first.
+        _expect_rejection(None, program, match="out of range", check="index-range")
+
+    def test_overlapping_per_qubit_schedule(self):
+        program = ZAIRProgram(num_qubits=2)
+        program.instructions.append(
+            GateLayerInst(
+                gates=[
+                    FixedGate("1q", (0,), begin_time=0.0, duration_us=1.0),
+                    FixedGate("1q", (0,), begin_time=0.5, duration_us=1.0),
+                ]
+            )
+        )
+        _expect_rejection(None, program, match="still busy", check="schedule-overlap")
+
+    def test_bogus_coupling_edge(self, sc_result):
+        program = copy.deepcopy(sc_result.program)
+        assert program.coupling_edges is not None
+        edges = {frozenset(edge) for edge in program.coupling_edges}
+        bogus = next(
+            (a, b)
+            for a in range(program.num_qubits)
+            for b in range(a + 1, program.num_qubits)
+            if frozenset((a, b)) not in edges
+        )
+        layer = next(
+            i
+            for i in program.instructions
+            if isinstance(i, GateLayerInst)
+            and any(g.kind != "1q" for g in i.gates)
+        )
+        index, gate = next(
+            (k, g) for k, g in enumerate(layer.gates) if g.kind != "1q"
+        )
+        layer.gates[index] = FixedGate(gate.kind, bogus, gate.begin_time, gate.duration_us)
+        _expect_rejection(
+            None, program, match="not an edge of the", check="coupling-edge"
+        )
+
+
+class TestUnmutatedProgramsStayValid:
+    """The fixtures really are known-good; the mutations above are the cause."""
+
+    def test_zac_program_valid(self, arch, zac_result):
+        validate_program(arch, zac_result.program)
+
+    def test_sc_program_valid(self, sc_result):
+        validate_program(None, sc_result.program)
