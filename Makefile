@@ -11,7 +11,7 @@ FUZZ_SEED ?= 0
 # and the fuzz harness lean on).
 COV_FLOOR ?= 80
 
-.PHONY: test lint smoke fuzz cov bench bench-full
+.PHONY: test lint smoke fuzz cov bench bench-smoke bench-full
 
 ## Tier-1: lint + CLI smoke check + small-budget differential fuzz plus the
 ## full unit + benchmark suite (what CI gates on).
@@ -58,10 +58,16 @@ cov:
 		echo "coverage skipped: pytest-cov not installed"; \
 	fi
 
-## Tier-1 tests plus the compile-speed and fuzz-throughput regression
-## benchmarks (write BENCH_*.json with the trajectory numbers).
+## Tier-1 tests plus the compile-speed, verify-speed, and fuzz-throughput
+## regression benchmarks (write BENCH_*.json with the trajectory numbers).
 bench:
-	$(PYTEST) -x -q tests benchmarks/test_bench_compile_speed.py benchmarks/test_bench_fuzz_throughput.py
+	$(PYTEST) -x -q tests benchmarks/test_bench_compile_speed.py benchmarks/test_bench_verify_speed.py benchmarks/test_bench_fuzz_throughput.py
+
+## Just the perf-tracking benchmarks (no unit tests) -- CI runs this as a
+## non-gating step and uploads the regenerated BENCH_*.json as artifacts so
+## the perf trajectory is visible per PR.
+bench-smoke:
+	$(PYTEST) -q benchmarks/test_bench_compile_speed.py benchmarks/test_bench_verify_speed.py benchmarks/test_bench_fuzz_throughput.py
 
 ## Every paper benchmark on the full 17-circuit set (slow).
 bench-full:

@@ -1,29 +1,50 @@
 """Fuzz-throughput regression benchmark.
 
-Runs the full differential harness (compile on every backend, validate,
-check all metamorphic invariants) over a fixed seeded workload sample and
-records circuits-fuzzed-per-second to ``BENCH_fuzz_throughput.json`` at the
-repo root, so the fuzzing throughput trajectory is tracked from PR to PR
-alongside the compile-speed numbers.
+Runs the full differential harness (compile on every backend through the
+warm compile service, validate in-compile, check all metamorphic
+invariants) over a fixed seeded workload sample and records
+circuits-fuzzed-per-second and compiles-per-second to
+``BENCH_fuzz_throughput.json`` at the repo root, so the fuzzing throughput
+trajectory is tracked from PR to PR alongside the compile-speed and
+verify-speed numbers.
+
+History of the gated floor (same budget=8 / seed=0 sample):
+
+* PR 4 (per-call pools, double validation, full-SA compiles): ~14.6
+  compiles/s.
+* PR 5 (warm pool + compile cache, validated-once results, shared staging
+  cache, vectorized verify, throughput compile profile): ~50 compiles/s.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from pathlib import Path
 
+from repro.api import get_compile_service
+from repro.circuits.scheduling import clear_preprocess_cache
 from repro.experiments.fuzz import run_fuzz
 
-#: Throughput floor (circuits fully fuzzed per second across all 6 backends).
-#: Set well below observed (~0.6-2/s) so only a real regression trips it.
-MIN_CIRCUITS_PER_S = 0.15
+#: Throughput floors.  Observed ~2.7 circuits/s and ~50 compiles/s on the
+#: reference container when run standalone (the committed
+#: BENCH_fuzz_throughput.json records the standalone numbers); the gated
+#: floors sit ~2x lower so heap/GC pressure from a full-suite run or a slow
+#: shared runner doesn't flake the gate, while still catching any real
+#: regression toward the PR-4 baseline (~14.6 compiles/s, 0.7 circuits/s).
+MIN_CIRCUITS_PER_S = 1.5
+MIN_COMPILES_PER_S = 30.0
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fuzz_throughput.json"
 
 
 def test_bench_fuzz_throughput(request):
     budget = 20 if request.config.getoption("--paper-full") else 8
+    service = get_compile_service()
+    service.clear_cache()
+    clear_preprocess_cache()
+    gc.collect()  # don't bill garbage from earlier suite tests to the sweep
     report = run_fuzz(budget=budget, seed=0, parallel=0, out_dir=None)
 
     assert report.ok, [f.message for f in report.failures]
@@ -36,10 +57,12 @@ def test_bench_fuzz_throughput(request):
         "num_circuits": report.num_circuits,
         "num_compiles": report.num_compiles,
         "invariant_checks": report.invariant_checks,
+        "compile_cache": service.cache.stats(),
         "elapsed_s": round(report.elapsed_s, 3),
         "circuits_per_s": round(report.circuits_per_s, 3),
         "compiles_per_s": round(report.compiles_per_s, 3),
         "min_required_circuits_per_s": MIN_CIRCUITS_PER_S,
+        "min_required_compiles_per_s": MIN_COMPILES_PER_S,
         "recorded_unix_time": time.time(),
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -47,9 +70,14 @@ def test_bench_fuzz_throughput(request):
     print(
         f"\n[fuzz throughput] {report.num_circuits} circuits x "
         f"{len(report.backends)} backends in {report.elapsed_s:.1f}s "
-        f"({report.circuits_per_s:.2f} circuits/s) -> {RESULT_PATH.name}"
+        f"({report.circuits_per_s:.2f} circuits/s, "
+        f"{report.compiles_per_s:.1f} compiles/s) -> {RESULT_PATH.name}"
     )
     assert report.circuits_per_s >= MIN_CIRCUITS_PER_S, (
         f"fuzz throughput {report.circuits_per_s:.2f} circuits/s below the "
         f"{MIN_CIRCUITS_PER_S} floor; see {RESULT_PATH}"
+    )
+    assert report.compiles_per_s >= MIN_COMPILES_PER_S, (
+        f"fuzz throughput {report.compiles_per_s:.1f} compiles/s below the "
+        f"{MIN_COMPILES_PER_S} floor; see {RESULT_PATH}"
     )

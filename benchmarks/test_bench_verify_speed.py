@@ -1,0 +1,171 @@
+"""Verify-path (interpret + validate) speed regression benchmark.
+
+Compiles a set of large generated circuits on several backends, then times
+the verify path -- one :func:`repro.zair.interpret_program` replay plus one
+:func:`repro.zair.validate_program` pass -- three ways:
+
+* ``reference``: the per-instruction scalar oracle paths;
+* ``fast_cold``: the vectorized paths including the one-time columnar
+  flattening (:meth:`repro.zair.ZAIRProgram.columns`), rebuilt per
+  iteration -- what a single fresh compile pays;
+* ``fast_warm``: the vectorized kernels over an existing columnar view --
+  what re-verification sweeps and the interpret+validate pair of one
+  compile (which share the view) pay.
+
+Results (including per-instruction microseconds) are written to
+``BENCH_verify_speed.json``.  The gate: on the large-circuit subset the
+vectorized verify path must be >= 5x the reference (warm kernels) and must
+never lose to the reference even when paying the flattening (cold floor),
+with equivalence asserted on every measured program.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+import repro.api as api
+from repro.circuits.random import generate
+from repro.zair.interpret import interpret_program, interpret_program_reference
+from repro.zair.validation import validate_program, validate_program_reference
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_verify_speed.json"
+
+#: The gated large-circuit subset: (backend, generator, num_qubits, depth).
+#: These produce programs in the hundreds-of-instructions range where the
+#: verify path actually matters; atomique/ideal are measured and reported
+#: but not gated (their abstract programs are too small for array kernels
+#: to pay off).
+LARGE_SUBSET = [
+    ("zac", "brickwork", 30, 24),
+    ("zac", "brickwork", 100, 16),
+    ("nalac", "brickwork", 64, 12),
+    ("enola", "brickwork", 64, 12),
+    ("sc", "brickwork", 100, 24),
+]
+
+REPORT_ONLY = [
+    ("atomique", "brickwork", 64, 12),
+]
+
+#: Gate floors on the geometric-mean speedup over LARGE_SUBSET.
+MIN_WARM_SPEEDUP = 5.0
+MIN_COLD_SPEEDUP = 1.15
+
+_REPEATS = 3
+
+
+def _best_of(repeats, fn) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _assert_equivalent(fast, ref) -> None:
+    fm, rm = asdict(fast.metrics), asdict(ref.metrics)
+    for field in ("num_1q_gates", "num_2q_gates", "num_excitations",
+                  "num_transfers", "num_rydberg_stages", "num_movements",
+                  "num_qubits", "num_instructions", "num_epochs"):
+        assert fm[field] == rm[field], field
+    assert fm["duration_us"] == pytest.approx(rm["duration_us"], rel=1e-12)
+    assert fm["total_move_distance_um"] == pytest.approx(
+        rm["total_move_distance_um"], rel=1e-12
+    )
+    for qubit, busy in rm["qubit_busy_us"].items():
+        assert fm["qubit_busy_us"][qubit] == pytest.approx(busy, rel=1e-12)
+    for name, value in ref.fidelity.as_dict().items():
+        assert fast.fidelity.as_dict()[name] == pytest.approx(value, rel=1e-12), name
+
+
+def _measure(backend: str, gen: str, num_qubits: int, depth: int) -> dict:
+    circuit = generate(gen, seed=7, num_qubits=num_qubits, depth=depth).circuit
+    t0 = time.perf_counter()
+    result = api.compile(circuit, backend=backend, validate=False)
+    compile_s = time.perf_counter() - t0
+    program, arch = result.program, result.architecture
+    params = api.create_backend(backend).params
+
+    fast = interpret_program(program, architecture=arch, params=params)
+    ref = interpret_program_reference(program, architecture=arch, params=params)
+    _assert_equivalent(fast, ref)
+    validate_program(arch, program, fast=True)  # must accept what reference accepts
+    validate_program_reference(arch, program)
+
+    def run_reference():
+        interpret_program_reference(program, architecture=arch, params=params)
+        validate_program_reference(arch, program)
+
+    def run_fast_cold():
+        program.invalidate_columns()
+        interpret_program(program, architecture=arch, params=params)
+        validate_program(arch, program, fast=True, reuse_columns=True)
+
+    def run_fast_warm():
+        interpret_program(program, architecture=arch, params=params)
+        validate_program(arch, program, fast=True, reuse_columns=True)
+
+    program.invalidate_columns()
+    t_cold = _best_of(_REPEATS, run_fast_cold)
+    t_warm = _best_of(_REPEATS, run_fast_warm)
+    t_ref = _best_of(_REPEATS, run_reference)
+
+    n_inst = max(1, program.num_zair_instructions)
+    return {
+        "backend": backend,
+        "circuit": circuit.name,
+        "num_zair_instructions": program.num_zair_instructions,
+        "compile_s": round(compile_s, 4),
+        "reference_ms": round(t_ref * 1e3, 4),
+        "fast_cold_ms": round(t_cold * 1e3, 4),
+        "fast_warm_ms": round(t_warm * 1e3, 4),
+        "reference_us_per_inst": round(t_ref * 1e6 / n_inst, 3),
+        "fast_cold_us_per_inst": round(t_cold * 1e6 / n_inst, 3),
+        "fast_warm_us_per_inst": round(t_warm * 1e6 / n_inst, 3),
+        "cold_speedup": round(t_ref / t_cold, 2),
+        "warm_speedup": round(t_ref / t_warm, 2),
+    }
+
+
+def _geomean(values) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_bench_verify_speed():
+    gated = [_measure(*spec) for spec in LARGE_SUBSET]
+    extra = [_measure(*spec) for spec in REPORT_ONLY]
+
+    warm = _geomean([row["warm_speedup"] for row in gated])
+    cold = _geomean([row["cold_speedup"] for row in gated])
+
+    payload = {
+        "benchmark": "verify_speed",
+        "gated_subset": gated,
+        "report_only": extra,
+        "geomean_warm_speedup": round(warm, 2),
+        "geomean_cold_speedup": round(cold, 2),
+        "min_required_warm_speedup": MIN_WARM_SPEEDUP,
+        "min_required_cold_speedup": MIN_COLD_SPEEDUP,
+        "recorded_unix_time": time.time(),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"\n[verify speed] warm {warm:.1f}x / cold {cold:.2f}x vs reference "
+        f"over {len(gated)} large programs -> {RESULT_PATH.name}"
+    )
+    assert warm >= MIN_WARM_SPEEDUP, (
+        f"vectorized verify warm speedup {warm:.2f}x below the "
+        f"{MIN_WARM_SPEEDUP}x floor; see {RESULT_PATH}"
+    )
+    assert cold >= MIN_COLD_SPEEDUP, (
+        f"vectorized verify cold speedup {cold:.2f}x below the "
+        f"{MIN_COLD_SPEEDUP}x floor; see {RESULT_PATH}"
+    )

@@ -186,6 +186,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             backends=backends,
             parallel=args.parallel,
             out_dir=args.out,
+            profile=args.profile,
         )
     except (api.UnknownBackendError, FuzzError) as exc:
         raise SystemExit(f"error: {exc}")
@@ -292,6 +293,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--replay",
         metavar="BUNDLE",
         help="re-run the failed check recorded in a repro bundle and exit",
+    )
+    fuzz_parser.add_argument(
+        "--profile",
+        default="throughput",
+        choices=("throughput", "default"),
+        help="compile profile: 'throughput' (lighter ZAC SA schedule, the "
+        "default) or 'default' (paper-quality settings)",
     )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
 

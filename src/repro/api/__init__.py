@@ -34,7 +34,6 @@ from ..core.result import (
     results_to_json,
     save_results,
 )
-from ..zair.validation import validate_program
 from . import backends as _backends  # noqa: F401  (registers the built-ins)
 from .options import (
     AtomiqueOptions,
@@ -44,7 +43,15 @@ from .options import (
     SCOptions,
     ZacOptions,
 )
-from .parallel import fanout_map
+from .parallel import (
+    CompileCache,
+    CompileService,
+    WorkerPool,
+    _mark_validated,
+    fanout_map,
+    get_compile_service,
+    get_worker_pool,
+)
 from .registry import (
     BackendSpec,
     Compiler,
@@ -70,14 +77,14 @@ def _validated(result: CompileResult) -> CompileResult:
 
     Every built-in backend attaches its compiled program (and, for
     location-based programs, the target architecture); user-registered
-    backends that emit no program are passed through unchecked.
+    backends that emit no program are passed through unchecked.  Shared with
+    the batch compile service so the single- and batch-compile paths cannot
+    diverge.
 
     Raises:
         repro.zair.ValidationError: if the program violates an invariant.
     """
-    if result.program is not None:
-        validate_program(result.architecture, result.program)
-    return result
+    return _mark_validated(result)
 
 
 def compile(
@@ -109,23 +116,6 @@ def compile(
     return _validated(result) if validate else result
 
 
-def _compile_one(
-    task: tuple[Compiler, QuantumCircuit, bool, bool],
-) -> CompileResult | Exception:
-    """Top-level worker (picklable) compiling one circuit."""
-    compiler, circuit, validate, return_exceptions = task
-    try:
-        result = compiler.compile(circuit)
-        return _validated(result) if validate else result
-    except Exception as exc:
-        if not return_exceptions:
-            raise
-        # Strip exception chains before pickling the error back: a __cause__
-        # may reference unpicklable compiler state.
-        exc.__cause__ = exc.__context__ = None
-        return exc
-
-
 def compile_many(
     circuits: list[CircuitLike],
     backend: str = "zac",
@@ -133,31 +123,49 @@ def compile_many(
     parallel: int | bool = 0,
     validate: bool = True,
     return_exceptions: bool = False,
+    cache: bool = False,
+    fresh: bool = False,
+    keep_programs: bool = True,
     **options: Any,
 ) -> list[CompileResult | Exception]:
     """Compile a batch of circuits with one backend, in input order.
 
-    The independent runs fan out over a process pool (the same fan-out the
-    experiment harness's ``run_matrix`` uses); ``parallel=True`` means one
-    worker per CPU, ``0``/``1``/``False`` run serially.  Each worker
-    validates its emitted ZAIR program unless ``validate=False``.
+    Batches route through the process-wide
+    :class:`~repro.api.parallel.CompileService`: independent runs fan out
+    over a **warm** process pool (``parallel=True`` means one worker per
+    CPU, ``0``/``1``/``False`` and small batches run inline), each worker
+    validates its emitted ZAIR program unless ``validate=False``, and with
+    ``cache=True`` repeated (circuit, backend, architecture, options) cells
+    are served from the content-addressed compile cache instead of
+    recompiling (``fresh=True`` forces a genuine recompile, e.g. for
+    determinism checks).  ``keep_programs=False`` strips the in-memory
+    program/plan artifacts in the worker, so metrics-only sweeps don't pay
+    to pickle them back.
 
     With ``return_exceptions=True`` a failing compilation does not abort the
     batch: the raised exception is returned in that circuit's slot instead
     (mirroring ``asyncio.gather``), so sweeps over generated workloads can
     record per-circuit failures.
     """
-    compiler = create_backend(backend, arch=arch, **options)
-    tasks = [
-        (compiler, _as_circuit(circuit), validate, return_exceptions)
-        for circuit in circuits
-    ]
-    return fanout_map(_compile_one, tasks, parallel=parallel)
+    return get_compile_service().compile_batch(
+        [_as_circuit(circuit) for circuit in circuits],
+        backend,
+        arch,
+        parallel=parallel,
+        validate=validate,
+        return_exceptions=return_exceptions,
+        cache=cache,
+        fresh=fresh,
+        keep_programs=keep_programs,
+        **options,
+    )
 
 
 __all__ = [
     "AtomiqueOptions",
     "BackendSpec",
+    "CompileCache",
+    "CompileService",
     "Compiler",
     "CompileResult",
     "EnolaOptions",
@@ -165,6 +173,7 @@ __all__ = [
     "NalacOptions",
     "SCOptions",
     "UnknownBackendError",
+    "WorkerPool",
     "ZacOptions",
     "available_backends",
     "backend_spec",
@@ -172,6 +181,8 @@ __all__ = [
     "compile_many",
     "create_backend",
     "fanout_map",
+    "get_compile_service",
+    "get_worker_pool",
     "load_results",
     "merge_results",
     "register_backend",

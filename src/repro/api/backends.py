@@ -65,7 +65,9 @@ def _sc_factory(
 
 
 def _ideal_factory(arch: Architecture | None, options: IdealOptions) -> IdealBound:
-    return IdealBound(options.mode, architecture=arch, params=options.params)
+    return IdealBound(
+        options.mode, architecture=arch, params=options.params, config=options.config
+    )
 
 
 register_backend(

@@ -21,9 +21,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class ZacOptions:
-    """Options of the ``"zac"`` backend (the paper's compiler)."""
+    """Options of the ``"zac"`` backend (the paper's compiler).
 
-    config: ZACConfig | None = None
+    ``config`` defaults to the full pipeline configuration (rather than
+    ``None``) so that equal compile requests produce equal option ``repr``
+    s -- the compile service's content-addressed cache keys on it.
+    """
+
+    config: ZACConfig | None = ZACConfig()
     params: NeutralAtomParams = NEUTRAL_ATOM
     lower_jobs: bool = True
     pipeline: "PassPipeline | None" = None
@@ -69,7 +74,12 @@ class IdealOptions:
     Attributes:
         mode: One of ``perfect_movement`` / ``perfect_placement`` /
             ``perfect_reuse`` (see :mod:`repro.baselines.ideal`).
+        config: Configuration of the *underlying* ZAC run the bound
+            idealises.  Pass the same config as the ``zac`` backend so the
+            compile service can share the cached ZAC compilation between
+            the two.
     """
 
     mode: str = PERFECT_MOVEMENT
     params: NeutralAtomParams = NEUTRAL_ATOM
+    config: ZACConfig | None = None

@@ -1,21 +1,56 @@
-"""Process-pool fan-out shared by ``compile_many`` and the experiment harness.
+"""The batch compile service: warm worker pool + content-addressed cache.
 
-Every (compiler, circuit) run is an isolated compilation, so batches can be
-mapped over a :class:`~concurrent.futures.ProcessPoolExecutor`.  The helper
-keeps the submission order in the results, falls back to a serial loop for
-``parallel in (0, 1, False)`` or single-item batches, and caps the worker
-count at the batch size.
+Process-pool fan-out shared by :func:`repro.compile_many` and the experiment
+harness.  Every (compiler, circuit) run is an isolated compilation, so
+batches can be mapped over worker processes.  Three throughput layers live
+here:
+
+* :class:`WorkerPool` -- a **persistent** ``ProcessPoolExecutor`` reused
+  across calls (historically every ``fanout_map`` call paid executor
+  spin-up), with chunked dispatch so repeated per-task state (the compiler
+  object, the architecture) pickles once per chunk, and an inline fallback
+  for serial runs and small batches where pool startup would dominate.
+* :class:`CompileCache` -- a content-addressed result cache keyed by
+  ``(circuit content, backend, architecture fingerprint, options)``.  Fuzz
+  depth-ladders and repeated sweep cells never recompile; explicitly
+  ``fresh`` requests (the fuzz determinism invariant) bypass it.
+* slim results -- when a caller only needs metrics (``keep_programs=False``)
+  the in-memory artifacts (program / staged / plan / architecture) are
+  stripped in the worker *after* validation, so they are never pickled back.
+
+Cache-invalidation rules: entries are keyed by the full circuit content
+(name, qubit count, exact gate list), the backend name, the architecture
+geometry fingerprint, and ``repr`` of the backend's validated option
+dataclass -- any change to any of these misses.  Re-registering a backend
+under an existing name does NOT invalidate entries; call
+``get_compile_service().clear_cache()`` (test fixtures that overwrite
+backends should do so).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Any, TypeVar
+
+from ..core.result import CompileResult
+from ..zair.validation import validate_program
+from .registry import backend_spec, create_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..arch.spec import Architecture
+    from ..circuits.circuit import QuantumCircuit
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
+
+#: Below this batch size ``fanout_map`` runs inline even when workers were
+#: requested: for a couple of items the (one-time) pool spin-up plus the
+#: per-item pickling costs more than the parallelism recovers.
+MIN_PARALLEL_ITEMS = 4
 
 
 def resolve_workers(parallel: int | bool) -> int:
@@ -23,6 +58,66 @@ def resolve_workers(parallel: int | bool) -> int:
     if parallel is True:
         return os.cpu_count() or 1
     return int(parallel)
+
+
+class WorkerPool:
+    """A lazily started, persistent process pool.
+
+    The executor is created on first parallel use and reused for every
+    subsequent batch (worker processes stay warm, imports and forked state
+    amortize across calls).  ``map`` falls back to an inline loop for serial
+    requests and small batches.
+    """
+
+    def __init__(self) -> None:
+        self._executor: ProcessPoolExecutor | None = None
+        self._max_workers = 0
+
+    def executor(self, workers: int) -> ProcessPoolExecutor:
+        """The shared executor, (re)created when more workers are needed."""
+        if self._executor is None or self._max_workers < workers:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+            self._max_workers = workers
+        return self._executor
+
+    def map(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Sequence[ItemT],
+        workers: int,
+    ) -> list[ResultT]:
+        """Map ``fn`` over ``items`` on the warm pool (inline when small)."""
+        if workers <= 1 or len(items) < MIN_PARALLEL_ITEMS:
+            return [fn(item) for item in items]
+        workers = min(workers, len(items))
+        chunksize = max(1, len(items) // (workers * 4))
+        executor = self.executor(workers)
+        try:
+            return list(executor.map(fn, items, chunksize=chunksize))
+        except BrokenProcessPool:
+            # A worker died (e.g. an unpicklable task poisoned it).  The
+            # batch is lost, but drop the executor so the *next* batch gets
+            # a healthy pool instead of inheriting the broken one (the
+            # per-call executors of old could not be poisoned across calls).
+            self.shutdown()
+            raise
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._max_workers = 0
+
+
+_POOL = WorkerPool()
+atexit.register(_POOL.shutdown)
+
+
+def get_worker_pool() -> WorkerPool:
+    """The process-wide warm worker pool."""
+    return _POOL
 
 
 def fanout_map(
@@ -36,17 +131,311 @@ def fanout_map(
         fn: A picklable (module-level) callable.
         items: The work items; each must be picklable when running in parallel.
         parallel: Worker-process count; ``True`` means one per CPU, ``0`` /
-            ``1`` / ``False`` run serially.  With the ``spawn`` start method
-            the ``repro`` package must be importable in workers (``PYTHONPATH``
-            must include ``src`` or the package must be installed); the default
-            ``fork`` start method on Linux needs no setup.
+            ``1`` / ``False`` run serially.  Batches smaller than
+            :data:`MIN_PARALLEL_ITEMS` run inline regardless (per-call
+            executor startup would dominate).  With the ``spawn`` start
+            method the ``repro`` package must be importable in workers
+            (``PYTHONPATH`` must include ``src`` or the package must be
+            installed); the default ``fork`` start method on Linux needs no
+            setup.
 
     Returns:
         The results in submission order, regardless of ``parallel``.
     """
     items = list(items)
-    workers = resolve_workers(parallel)
-    if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as executor:
-        return list(executor.map(fn, items))
+    return _POOL.map(fn, items, resolve_workers(parallel))
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed compile cache + batch compile service
+# ---------------------------------------------------------------------------
+
+
+def circuit_content_key(circuit: QuantumCircuit) -> tuple:
+    """Content key of a circuit: name, width, and the exact gate list."""
+    return (circuit.name, circuit.num_qubits, circuit.gates)
+
+
+def architecture_fingerprint(arch: Architecture | None) -> tuple | None:
+    """Value-based architecture key (default architectures are rebuilt per
+    backend instantiation, so identity-based keys would never hit)."""
+    if arch is None:
+        return None
+    zones = []
+    for zone in arch.all_zones():
+        zones.append(
+            (
+                zone.zone_id,
+                zone.offset,
+                zone.dimension,
+                tuple(
+                    (s.slm_id, s.sep, s.num_row, s.num_col, s.offset)
+                    for s in zone.slms
+                ),
+            )
+        )
+    return (
+        arch.name,
+        arch.zone_separation,
+        tuple(
+            (a.aod_id, a.max_num_row, a.max_num_col, a.min_sep)
+            for a in getattr(arch, "aods", ())
+        ),
+        tuple(zones),
+    )
+
+
+class CompileCache:
+    """Bounded FIFO content-addressed cache of :class:`CompileResult`."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._entries: dict[tuple, tuple[CompileResult, bool]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple, need_programs: bool) -> CompileResult | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        result, has_programs = entry
+        if need_programs and not has_programs:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: tuple, result: CompileResult, has_programs: bool) -> None:
+        if len(self._entries) >= self.max_entries:
+            # FIFO eviction: drop the oldest insertion.
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = (result, has_programs)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+
+def _strip_result(result: CompileResult) -> CompileResult:
+    """Drop the in-memory artifacts (slim pickles for metrics-only callers)."""
+    result.program = None
+    result.staged = None
+    result.plan = None
+    result.architecture = None
+    return result
+
+
+def _mark_validated(result: CompileResult) -> CompileResult:
+    if result.program is not None:
+        validate_program(result.architecture, result.program)
+    result.validated = True
+    return result
+
+
+def _compile_task(
+    task: tuple[Any, QuantumCircuit, bool, bool, bool],
+) -> CompileResult | Exception:
+    """Top-level worker (picklable) compiling one circuit.
+
+    The compiler object repeats across the tasks of one chunk, so chunked
+    dispatch pickles it once per chunk (pickle memoizes shared objects).
+    """
+    compiler, circuit, validate, return_exceptions, keep_programs = task
+    try:
+        result = compiler.compile(circuit)
+        if validate:
+            _mark_validated(result)
+        if not keep_programs:
+            _strip_result(result)
+        return result
+    except Exception as exc:
+        if not return_exceptions:
+            raise
+        # Strip exception chains before pickling the error back: a __cause__
+        # may reference unpicklable compiler state.
+        exc.__cause__ = exc.__context__ = None
+        return exc
+
+
+class CompileService:
+    """Warm-pool batch compilation with an optional content-addressed cache.
+
+    ``repro.compile_many``, the fuzz harness, and the experiment harness all
+    route through one process-wide instance (:func:`get_compile_service`).
+    """
+
+    def __init__(self) -> None:
+        self.cache = CompileCache()
+        self.pool = _POOL
+
+    # -- keys -----------------------------------------------------------------
+
+    def _key_parts(self, backend: str, arch, options: dict) -> tuple:
+        spec = backend_spec(backend)
+        validated = spec.options(**options) if spec.options is not None else None
+        return (backend, architecture_fingerprint(arch), repr(validated))
+
+    def cache_key(self, circuit, backend: str, arch, options: dict) -> tuple:
+        return self._key_parts(backend, arch, options) + (
+            circuit_content_key(circuit),
+        )
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile_batch(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        backend: str = "zac",
+        arch=None,
+        *,
+        parallel: int | bool = 0,
+        validate: bool = True,
+        return_exceptions: bool = False,
+        cache: bool = False,
+        fresh: bool = False,
+        keep_programs: bool = True,
+        **options: Any,
+    ) -> list[CompileResult | Exception]:
+        """Compile a batch of circuits, serving repeats from the cache.
+
+        Args:
+            circuits: The circuits (already instantiated).
+            backend: Registry backend name.
+            arch: Target architecture (``None`` = backend default).
+            parallel: Worker count for the fan-out (warm pool).
+            validate: Replay each emitted program through the validator; a
+                cache hit that was not validated when it was stored is
+                validated on the way out (``CompileResult.validated`` tracks
+                this).
+            return_exceptions: Failures fill their slot instead of raising.
+            cache: Serve and populate the content-addressed compile cache.
+            fresh: Bypass cache *reads* (and skip the write) -- used by the
+                fuzz determinism invariant, which must genuinely recompile.
+            keep_programs: When False, strip programs/plans/architectures
+                from the results (slim pickles for metrics-only sweeps).
+            **options: Backend options (validated by the registry).
+
+        Returns:
+            Results (or exceptions) in input order.
+        """
+        compiler = create_backend(backend, arch=arch, **options)
+        use_cache = cache and not fresh
+        if use_cache:
+            # Only when serving from / populating the cache: a fresh request
+            # must genuinely recompile, including the ideal bound's inner
+            # ZAC run.
+            self._wire_ideal_resolver(compiler, backend, arch, options)
+
+        # Key on the *resolved* architecture: backends instantiate their
+        # default device when ``arch`` is None, and the fingerprint is
+        # value-based, so "default by omission" and "default passed
+        # explicitly" address the same cache cells.
+        key_arch = getattr(compiler, "architecture", None) or arch
+
+        keys: list[tuple | None] = [None] * len(circuits)
+        results: list[CompileResult | Exception | None] = [None] * len(circuits)
+        miss_indices: list[int] = []
+        if use_cache:
+            key_prefix = self._key_parts(backend, key_arch, options)
+            for index, circuit in enumerate(circuits):
+                key = key_prefix + (circuit_content_key(circuit),)
+                keys[index] = key
+                hit = self.cache.get(key, need_programs=keep_programs)
+                if hit is None:
+                    miss_indices.append(index)
+                    continue
+                if validate and not hit.validated:
+                    if hit.program is None:
+                        # A stripped (slim) entry cannot be validated after
+                        # the fact; recompile rather than claim validation
+                        # (and account it as the miss it effectively is).
+                        self.cache.hits -= 1
+                        self.cache.misses += 1
+                        miss_indices.append(index)
+                        continue
+                    try:
+                        _mark_validated(hit)
+                    except Exception as exc:
+                        if not return_exceptions:
+                            raise
+                        exc.__cause__ = exc.__context__ = None
+                        results[index] = exc
+                        continue
+                results[index] = hit
+        else:
+            miss_indices = list(range(len(circuits)))
+
+        tasks = [
+            (compiler, circuits[index], validate, return_exceptions, keep_programs)
+            for index in miss_indices
+        ]
+        outcomes = self.pool.map(_compile_task, tasks, resolve_workers(parallel))
+        for index, outcome in zip(miss_indices, outcomes):
+            results[index] = outcome
+            if (
+                use_cache
+                and keys[index] is not None
+                and not isinstance(outcome, Exception)
+            ):
+                self.cache.put(keys[index], outcome, has_programs=keep_programs)
+        return results  # type: ignore[return-value]
+
+    def compile_one(
+        self,
+        circuit: QuantumCircuit,
+        backend: str = "zac",
+        arch=None,
+        **kwargs: Any,
+    ) -> CompileResult:
+        """Single-circuit convenience wrapper over :meth:`compile_batch`."""
+        return self.compile_batch([circuit], backend, arch, **kwargs)[0]
+
+    # -- the ideal backend reuses cached ZAC sub-compilations -----------------
+
+    def _wire_ideal_resolver(self, compiler, backend: str, arch, options: dict) -> None:
+        """Let the ``ideal`` bound reuse a cached ZAC run on the same inputs.
+
+        The idealised bounds post-process a ZAC compilation (staged circuit +
+        placement plan); with the cache on, that inner compile is served
+        through the service under the equivalent ``zac`` key, so a sweep
+        that compiles both ``zac`` and ``ideal`` on one circuit pays for the
+        ZAC pipeline once.
+        """
+        if backend != "ideal" or not hasattr(compiler, "zac_resolver"):
+            return
+        zac_options = {
+            "config": getattr(compiler, "config", None),
+            "params": compiler.params,
+        }
+        target_arch = compiler.architecture
+
+        def resolve(circuit):
+            return self.compile_one(
+                circuit,
+                "zac",
+                target_arch,
+                validate=False,
+                cache=True,
+                **zac_options,
+            )
+
+        compiler.zac_resolver = resolve
+
+    def clear_cache(self) -> None:
+        self.cache.clear()
+
+
+_SERVICE = CompileService()
+
+
+def get_compile_service() -> CompileService:
+    """The process-wide compile service (warm pool + compile cache)."""
+    return _SERVICE

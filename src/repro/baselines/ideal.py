@@ -272,6 +272,15 @@ class IdealBound:
 
     Prefer :func:`idealized_result` when a ZAC result is already available
     (it avoids recompiling).
+
+    Attributes:
+        zac_resolver: Optional hook ``resolver(circuit) -> CompileResult``
+            supplying the underlying ZAC compilation.  The registry compile
+            service sets this when its content-addressed cache is enabled,
+            so a sweep compiling both ``zac`` and ``ideal`` on one circuit
+            pays for the ZAC pipeline once (the idealisation only reads the
+            staged circuit and placement plan, which are identical whether
+            or not jobs were lowered).
     """
 
     PERFECT_MOVEMENT = PERFECT_MOVEMENT
@@ -283,21 +292,29 @@ class IdealBound:
         mode: str,
         architecture: Architecture | None = None,
         params: NeutralAtomParams = NEUTRAL_ATOM,
+        config: "ZACConfig | None" = None,
     ) -> None:
         from ..arch.presets import reference_zoned_architecture
+        from ..core.config import ZACConfig
 
         if mode not in _MODE_NAMES:
             raise ValueError(f"unknown ideal mode {mode!r}")
         self.mode = mode
         self.architecture = architecture or reference_zoned_architecture()
         self.params = params
+        self.config = config or ZACConfig()
         self.name = _MODE_NAMES[mode]
+        self.zac_resolver = None
 
     def compile(self, circuit) -> BaselineResult:
         """Compile with ZAC, then recompute the metrics under the ideal scenario."""
+        if self.zac_resolver is not None:
+            return self.from_result(self.zac_resolver(circuit))
         from ..core.compiler import ZACCompiler
 
-        zac = ZACCompiler(self.architecture, params=self.params, lower_jobs=False)
+        zac = ZACCompiler(
+            self.architecture, config=self.config, params=self.params, lower_jobs=False
+        )
         result = zac.compile(circuit)
         return self.from_result(result)
 

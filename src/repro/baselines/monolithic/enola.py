@@ -202,16 +202,26 @@ class EnolaCompiler:
         # stays acyclic and the emitted jobs replay in *some* sequential order.
         touched: set[tuple[int, int, int, int]] = set()
 
-        def free_traps() -> list[tuple[int, int, int, int]]:
-            rows, cols = arch.site_shape(0)
-            out = []
-            for row in range(rows):
-                for col in range(cols):
-                    for side in (LEFT, RIGHT):
-                        key = (0, row, col, side)
-                        if key not in occupied and key not in touched:
-                            out.append(key)
-            return out
+        # (key, position) of every trap, in the same row/col/side enumeration
+        # order the eviction search has always used; computed once per
+        # architecture (the per-candidate RydbergSite construction and
+        # position method calls used to dominate eviction planning).
+        trap_table = self._trap_table(arch)
+
+        def nearest_free_trap(pos: tuple[float, float]) -> tuple[int, int, int, int]:
+            px, py = pos
+            best_key = None
+            best_d2 = float("inf")
+            for key, (tx, ty) in trap_table:
+                if key in occupied or key in touched:
+                    continue
+                d2 = (tx - px) ** 2 + (ty - py) ** 2
+                if d2 < best_d2:
+                    best_d2 = d2
+                    best_key = key
+            if best_key is None:
+                raise ValueError("no free trap available for eviction")
+            return best_key
 
         def relocate(qubit: int, target: tuple[int, int, int, int]) -> None:
             loc = location[qubit]
@@ -239,19 +249,33 @@ class EnolaCompiler:
             )
             blocker = occupied.get(target)
             if blocker is not None and blocker != q2:
-                candidates = free_traps()
                 blocker_pos = (
                     arch.site_position(location[blocker].site)
                     if location[blocker].side == LEFT
                     else arch.site_partner_position(location[blocker].site)
                 )
-                best = min(
-                    candidates,
-                    key=lambda t: self._trap_distance(arch, t, blocker_pos),
-                )
-                relocate(blocker, best)
+                relocate(blocker, nearest_free_trap(blocker_pos))
             relocate(q2, target)
         return movements
+
+    def _trap_table(
+        self, arch: Architecture
+    ) -> list[tuple[tuple[int, int, int, int], tuple[float, float]]]:
+        """(trap key, physical position) for every zone-0 trap, cached per arch."""
+        cache = getattr(self, "_trap_table_cache", None)
+        if cache is not None and cache[0] is arch:
+            return cache[1]
+        rows, cols = arch.site_shape(0)
+        table = []
+        for row in range(rows):
+            for col in range(cols):
+                site = RydbergSite(0, row, col)
+                left_pos = arch.site_position(site)
+                right_pos = arch.site_partner_position(site)
+                table.append(((0, row, col, LEFT), left_pos))
+                table.append(((0, row, col, RIGHT), right_pos))
+        self._trap_table_cache = (arch, table)
+        return table
 
     @staticmethod
     def _trap_distance(

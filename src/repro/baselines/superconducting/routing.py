@@ -203,9 +203,13 @@ def route(circuit: QuantumCircuit, coupling: nx.Graph) -> RoutedCircuit:
 
         # All remaining ready gates are blocked two-qubit gates; pick a SWAP.
         front = [i for i in ready if gates[i].num_qubits == 2]
-        lookahead = [
-            i for i in range(len(gates)) if not executed[i] and i not in ready
-        ][:_LOOKAHEAD_SIZE]
+        ready_set = set(ready)
+        lookahead = []
+        for i in range(len(gates)):
+            if not executed[i] and i not in ready_set:
+                lookahead.append(i)
+                if len(lookahead) >= _LOOKAHEAD_SIZE:
+                    break
 
         inverse = {phys: prog for prog, phys in phys_of.items()}
 
@@ -245,18 +249,34 @@ def route(circuit: QuantumCircuit, coupling: nx.Graph) -> RoutedCircuit:
                 for neighbour in coupling.neighbors(phys):
                     candidate_swaps.add(tuple(sorted((phys, neighbour))))
 
+        def front_score_swapped(
+            gate_indices: list[int], prog_a, prog_b, a: int, b: int
+        ) -> float:
+            """front_score under "swap a<->b", without copying the mapping.
+
+            Iterates the same gates in the same order and sums the same
+            distance values as building a trial dict would, so scores (and
+            therefore swap choices) are bit-identical to the reference
+            formulation.
+            """
+            total = 0.0
+            for index in gate_indices:
+                gate = gates[index]
+                if gate.num_qubits != 2:
+                    continue
+                qa, qb = gate.qubits
+                x = b if qa == prog_a else (a if qa == prog_b else phys_of[qa])
+                y = b if qb == prog_a else (a if qb == prog_b else phys_of[qb])
+                total += distances[x][y]
+            return total
+
         best_swap = None
         best_score = float("inf")
         for a, b in candidate_swaps:
-            trial = dict(phys_of)
             prog_a, prog_b = inverse.get(a), inverse.get(b)
-            if prog_a is not None:
-                trial[prog_a] = b
-            if prog_b is not None:
-                trial[prog_b] = a
-            score = front_score(trial, front) + _LOOKAHEAD_WEIGHT * front_score(
-                trial, lookahead
-            )
+            score = front_score_swapped(
+                front, prog_a, prog_b, a, b
+            ) + _LOOKAHEAD_WEIGHT * front_score_swapped(lookahead, prog_a, prog_b, a, b)
             if score < best_score:
                 best_score = score
                 best_swap = (a, b)

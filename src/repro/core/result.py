@@ -55,6 +55,11 @@ class CompileResult:
             fixed-coupling programs, which carry their coupling graph on the
             program itself).  In-memory-only; used to validate and replay
             ``program``.
+        validated: The emitted program has already passed
+            :func:`repro.zair.validate_program` (set by the registry compile
+            path); consumers such as the fuzz harness skip a redundant second
+            validation pass when this is set.  In-memory bookkeeping, not
+            serialized.
     """
 
     circuit_name: str
@@ -66,6 +71,7 @@ class CompileResult:
     staged: StagedCircuit | None = None
     plan: PlacementPlan | None = None
     architecture: Architecture | None = None
+    validated: bool = False
 
     #: Compilation phases surfaced in :meth:`summary` (in pipeline order).
     PHASES = ("preprocess", "place", "route", "schedule", "fidelity")
@@ -106,10 +112,17 @@ class CompileResult:
             "num_excitations": self.metrics.num_excitations,
             "num_rydberg_stages": self.metrics.num_rydberg_stages,
             "num_movements": self.metrics.num_movements,
+            "num_instructions": self.metrics.num_instructions,
+            "num_epochs": self.metrics.num_epochs,
             "compile_time_s": self.metrics.compile_time_s,
         }
         for phase in self.PHASES:
             summary[f"time_{phase}_s"] = self.metrics.phase_times_s.get(phase, 0.0)
+        # Total wall clock of the compile: the per-phase sum when the pipeline
+        # instrumented its phases, otherwise the end-to-end timer -- so sweep
+        # reports can compute throughput without re-walking programs.
+        phase_total = sum(self.metrics.phase_times_s.values())
+        summary["time_total_s"] = phase_total if phase_total > 0.0 else self.metrics.compile_time_s
         return summary
 
     # -- serialization --------------------------------------------------------

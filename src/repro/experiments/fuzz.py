@@ -48,11 +48,41 @@ from .. import api
 from ..circuits import qasm
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.random import WorkloadDescriptor, Workload, generate, generator_names
+from ..circuits.scheduling import forget_preprocess
+from ..core.config import ZACConfig
 from ..core.result import CompileResult
-from ..zair.validation import ValidationError, validate_program
+from ..zair.validation import ValidationError
 
 #: Generators sampled by default (every registered one).
 DEFAULT_GENERATORS: tuple[str, ...] = tuple(generator_names())
+
+#: ZAC configuration of the "throughput" compile profile: a lighter SA
+#: schedule (the full pipeline and every ablation switch stay on).  The fuzz
+#: harness checks hardware invariants and cross-backend metamorphic
+#: properties -- not placement quality -- so it trades annealing effort for
+#: sweep throughput.  The `ideal` bound idealises the same configuration, so
+#: the ideal-dominates invariant is unaffected.
+FUZZ_ZAC_CONFIG = ZACConfig(sa_iterations=100)
+
+#: Named per-backend option profiles used by :func:`run_fuzz`.  Repro
+#: bundles record the profile name so replays compile exactly as the sweep
+#: did.
+COMPILE_PROFILES: dict[str, dict[str, dict]] = {
+    "default": {},
+    "throughput": {
+        "zac": {"config": FUZZ_ZAC_CONFIG},
+        "ideal": {"config": FUZZ_ZAC_CONFIG},
+    },
+}
+
+
+def _profile_options(profile: str) -> dict[str, dict]:
+    try:
+        return COMPILE_PROFILES[profile]
+    except KeyError:
+        raise FuzzError(
+            f"unknown compile profile {profile!r}; known: {', '.join(COMPILE_PROFILES)}"
+        ) from None
 
 #: Qubit-count axis of the default size/shape grid.
 DEFAULT_NUM_QUBITS: tuple[int, ...] = (4, 6, 8, 12, 16)
@@ -135,6 +165,7 @@ class FuzzFailure:
     results: list[dict[str, Any]] = field(default_factory=list)
     extra: dict[str, Any] = field(default_factory=dict)  #: check-specific context
     bundle_path: str | None = None
+    profile: str = "default"  #: compile profile the sweep ran under
 
     def to_bundle(self) -> dict[str, Any]:
         """The replayable JSON payload written to disk."""
@@ -142,6 +173,7 @@ class FuzzFailure:
             "kind": "fuzz-repro",
             "schema": BUNDLE_SCHEMA,
             "check": self.check,
+            "profile": self.profile,
             "backend": self.backend,
             "message": self.message,
             "descriptor": self.descriptor,
@@ -243,11 +275,12 @@ def minimize_circuit(
     return rebuild(gates)
 
 
-def _validation_check(backend: str, circuit: QuantumCircuit) -> str | None:
+def _validation_check(
+    backend: str, circuit: QuantumCircuit, options: dict | None = None
+) -> str | None:
     """Compile + validate; return the failed check tag, or None if clean."""
     try:
-        result = api.compile(circuit, backend=backend, validate=False)
-        validate_program(result.architecture, result.program)
+        api.compile(circuit, backend=backend, validate=True, **(options or {}))
         return None
     except ValidationError as exc:
         return f"validation:{exc.check}"
@@ -288,8 +321,19 @@ def run_fuzz(
     check_depth_monotonic: bool = True,
     minimize: bool = True,
     max_minimize_attempts: int = 120,
+    profile: str = "throughput",
+    use_cache: bool = True,
 ) -> FuzzReport:
     """Differentially fuzz the registered backends with generated workloads.
+
+    Compiles route through the warm compile service
+    (:func:`repro.api.get_compile_service`): every emitted program is
+    validated once *inside* the compile (no redundant second pass -- the
+    ``validation`` counter counts these in-compile checks), repeated cells
+    (e.g. the deepest rung of a depth ladder that equals a sampled workload,
+    or the ideal bound's inner ZAC run) are served from the
+    content-addressed cache, and the determinism invariant explicitly
+    recompiles with ``fresh=True``.
 
     Args:
         budget: Number of workloads to sample.
@@ -300,14 +344,19 @@ def run_fuzz(
         out_dir: Directory for repro bundles; created lazily on the first
             failure (``None`` disables bundle dumping).
         generators / num_qubits / depths: The sampling grid.
-        check_determinism: Recompile a subsample twice and require identical
-            results.
+        check_determinism: Recompile a subsample twice (cache bypassed) and
+            require identical results.
         check_legacy: Compare interpreter metrics against ``compile_legacy``
             on a subsample for the backends that retain the legacy oracle.
         check_depth_monotonic: Compile depth ladders (prefix circuits of
             increasing depth) and require non-decreasing durations.
         minimize: Shrink failing circuits by gate-list bisection.
         max_minimize_attempts: Compile budget per minimization.
+        profile: Compile profile name (see :data:`COMPILE_PROFILES`);
+            ``"throughput"`` runs ZAC with a lighter SA schedule, recorded
+            in repro bundles so replays match.
+        use_cache: Route compiles through the content-addressed compile
+            cache (the determinism invariant always bypasses it).
 
     Returns:
         A :class:`FuzzReport`; ``report.ok`` is True when nothing failed.
@@ -316,6 +365,11 @@ def run_fuzz(
     backends = list(backends) if backends else api.available_backends()
     for name in backends:
         api.backend_spec(name)  # fail fast on unknown backends
+    profile_opts = _profile_options(profile)
+
+    def options_for(backend: str) -> dict:
+        return profile_opts.get(backend, {})
+
     workloads = sample_workloads(
         budget, seed=seed, generators=generators, num_qubits=num_qubits, depths=depths
     )
@@ -340,6 +394,7 @@ def run_fuzz(
             original_num_gates=len(workload.circuit),
             results=[_result_dict(r, b) for b, r in results],
             extra=extra or {},
+            profile=profile,
         )
         circuit = workload.circuit
         if minimize and minimize_predicate is not None:
@@ -357,14 +412,19 @@ def run_fuzz(
         report.failures.append(failure)
 
     # -- compile everything on every backend (failures captured per slot) ----
+    # validate=True runs the validator once, inside the compile; the results
+    # come back with ``validated`` set, so there is no second pass here --
+    # the "validation" counter counts those in-compile (cached) checks.
     outcomes: dict[str, list[CompileResult | Exception]] = {}
     for backend in backends:
         outcomes[backend] = api.compile_many(
             circuits,
             backend=backend,
             parallel=parallel,
-            validate=False,
+            validate=True,
             return_exceptions=True,
+            cache=use_cache,
+            **options_for(backend),
         )
         report.num_compiles += len(circuits)
 
@@ -372,6 +432,18 @@ def run_fuzz(
     for backend in backends:
         for index, outcome in enumerate(outcomes[backend]):
             workload = workloads[index]
+            if isinstance(outcome, ValidationError):
+                expected = f"validation:{outcome.check}"
+                fail(
+                    expected,
+                    backend,
+                    f"{workload.circuit.name}: {outcome}",
+                    workload,
+                    minimize_predicate=lambda c, b=backend, e=expected: (
+                        _validation_check(b, c, options_for(b)) == e
+                    ),
+                )
+                continue
             if isinstance(outcome, Exception):
                 expected = f"compile-error:{type(outcome).__name__}"
                 fail(
@@ -380,25 +452,11 @@ def run_fuzz(
                     f"{workload.circuit.name}: {outcome}",
                     workload,
                     minimize_predicate=lambda c, b=backend, e=expected: (
-                        _validation_check(b, c) == e
+                        _validation_check(b, c, options_for(b)) == e
                     ),
                 )
                 continue
-            try:
-                validate_program(outcome.architecture, outcome.program)
-            except ValidationError as exc:
-                expected = f"validation:{exc.check}"
-                fail(
-                    expected,
-                    backend,
-                    f"{workload.circuit.name}: {exc}",
-                    workload,
-                    results=[(backend, outcome)],
-                    minimize_predicate=lambda c, b=backend, e=expected: (
-                        _validation_check(b, c) == e
-                    ),
-                )
-                continue
+            assert outcome.validated, "compile_many(validate=True) must validate"
             good[backend][index] = outcome
             report.invariant_checks["validation"] = (
                 report.invariant_checks.get("validation", 0) + 1
@@ -445,13 +503,21 @@ def run_fuzz(
                     results=[("ideal", ideal), ("zac", zac_result)],
                 )
 
-    # A fixed stride keeps the expensive replay-based invariants affordable
-    # while still touching every backend and most generators.
-    subsample = range(0, len(circuits), max(1, len(circuits) // 8))
+    # A fixed stride keeps the expensive replay-based invariants (full
+    # recompiles per circuit x backend) affordable while still touching
+    # every backend and most generators: target ~6 sampled circuits
+    # regardless of budget.  (The previous ``len // 8`` stride degenerated
+    # to *every* circuit for budgets <= 15, which made the replay checks
+    # dominate small sweeps.)
+    subsample = range(0, len(circuits), max(1, -(-len(circuits) // 6)))
 
     # -- invariant: seeded determinism ---------------------------------------
+    # The second compile passes fresh=True (bypassing the compile cache) and
+    # drops the circuit's staging-cache entry first: it must genuinely
+    # recompile end to end, not be served any layer of the first run back.
     if check_determinism:
         for index in subsample:
+            forget_preprocess(circuits[index])
             for backend in backends:
                 first = good[backend][index]
                 if first is None:
@@ -459,7 +525,13 @@ def run_fuzz(
                 report.invariant_checks["determinism"] = (
                     report.invariant_checks.get("determinism", 0) + 1
                 )
-                second = api.compile(circuits[index], backend=backend, validate=False)
+                second = api.compile_many(
+                    [circuits[index]],
+                    backend=backend,
+                    validate=False,
+                    fresh=True,
+                    **options_for(backend),
+                )[0]
                 report.num_compiles += 1
                 if _stable_payload(first) != _stable_payload(second):
                     fail(
@@ -473,7 +545,7 @@ def run_fuzz(
     # -- invariant: interpreter == legacy accounting -------------------------
     if check_legacy:
         legacy_compilers = {
-            backend: api.create_backend(backend)
+            backend: api.create_backend(backend, **options_for(backend))
             for backend in backends
             if backend in LEGACY_BACKENDS
         }
@@ -497,22 +569,49 @@ def run_fuzz(
                     )
 
     # -- invariant: duration monotone in circuit depth -----------------------
+    # Ladders are derived from *sampled* workloads where possible: the
+    # generators guarantee depth-prefix circuits under a fixed seed, so the
+    # deepest rung IS the sampled workload and its compile is served from
+    # the compile cache instead of recompiling (fresh ladders are generated
+    # only when the sample contains no suitable workload).
     if check_depth_monotonic:
         ladder_rng = np.random.default_rng(seed)
         ladder_depths = sorted(set(depths))
         for generator in ("brickwork", "qaoa_erdos_renyi"):
-            n = int(num_qubits[int(ladder_rng.integers(len(num_qubits)))])
-            ladder_seed = int(ladder_rng.integers(2**31))
+            sampled = next(
+                (w for w in workloads if w.descriptor.generator == generator), None
+            )
+            if sampled is not None:
+                n = int(sampled.descriptor.params["num_qubits"])
+                ladder_seed = int(sampled.descriptor.seed)
+                top_depth = int(sampled.descriptor.params["depth"])
+                rung_depths = sorted(
+                    {d for d in ladder_depths if d < top_depth} | {top_depth}
+                )
+                if len(rung_depths) < 2:
+                    # A minimum-depth workload alone is no ladder: extend it
+                    # upward so the monotonicity comparison actually runs.
+                    above = [d for d in ladder_depths if d > top_depth]
+                    rung_depths.append(above[0] if above else 2 * top_depth)
+            else:
+                n = int(num_qubits[int(ladder_rng.integers(len(num_qubits)))])
+                ladder_seed = int(ladder_rng.integers(2**31))
+                rung_depths = ladder_depths
             rungs = [
                 generate(generator, seed=ladder_seed, num_qubits=n, depth=d)
-                for d in ladder_depths
+                for d in rung_depths
             ]
             for backend in backends:
                 previous = None
                 previous_rung = None
                 for rung in rungs:
                     try:
-                        result = api.compile(rung.circuit, backend=backend)
+                        result = api.compile_many(
+                            [rung.circuit],
+                            backend=backend,
+                            cache=use_cache,
+                            **options_for(backend),
+                        )[0]
                     except ValidationError as exc:
                         expected = f"validation:{exc.check}"
                         fail(
@@ -521,7 +620,7 @@ def run_fuzz(
                             f"{rung.circuit.name}: {exc}",
                             rung,
                             minimize_predicate=lambda c, b=backend, e=expected: (
-                                _validation_check(b, c) == e
+                                _validation_check(b, c, options_for(b)) == e
                             ),
                         )
                         break
@@ -596,26 +695,32 @@ def replay_bundle(path: str) -> tuple[bool, str]:
         raise FuzzError(f"{path} is not a fuzz repro bundle")
     backend = bundle["backend"]
     check = bundle["check"]
+    profile_opts = _profile_options(bundle.get("profile", "default"))
+
+    def options_for(name: str) -> dict:
+        return profile_opts.get(name, {})
+
+    opts = options_for(backend)
     if bundle.get("circuit_qasm"):
         circuit = qasm.loads(bundle["circuit_qasm"], name="fuzz_repro")
     else:
         circuit = WorkloadDescriptor.from_dict(bundle["descriptor"]).build()
 
     if check.startswith(("validation:", "compile-error:")):
-        observed = _validation_check(backend, circuit)
+        observed = _validation_check(backend, circuit, opts)
         if observed == check:
             return True, f"{check} still reproduces on backend {backend}"
         return False, f"expected {check}, observed {observed or 'clean compile'}"
 
     if check == "invariant:duration-positive":
-        result = api.compile(circuit, backend=backend)
+        result = api.compile(circuit, backend=backend, **opts)
         if not result.duration_us > 0.0:
             return True, f"duration still non-positive ({result.duration_us})"
         return False, f"duration now positive ({result.duration_us:.6g})"
 
     if check == "invariant:ideal-dominates":
-        ideal = api.compile(circuit, backend="ideal")
-        result = api.compile(circuit, backend=backend)
+        ideal = api.compile(circuit, backend="ideal", **options_for("ideal"))
+        result = api.compile(circuit, backend=backend, **opts)
         if result.total_fidelity > ideal.total_fidelity + 1e-9:
             return True, (
                 f"{backend} fidelity {result.total_fidelity:.6g} still exceeds "
@@ -624,14 +729,14 @@ def replay_bundle(path: str) -> tuple[bool, str]:
         return False, "ideal bound dominates again"
 
     if check == "invariant:determinism":
-        first = api.compile(circuit, backend=backend, validate=False)
-        second = api.compile(circuit, backend=backend, validate=False)
+        first = api.compile(circuit, backend=backend, validate=False, **opts)
+        second = api.compile(circuit, backend=backend, validate=False, **opts)
         if _stable_payload(first) != _stable_payload(second):
             return True, "two runs still disagree"
         return False, "runs agree again"
 
     if check == "invariant:legacy-conformance":
-        compiler = api.create_backend(backend)
+        compiler = api.create_backend(backend, **opts)
         mismatch = _conformance_mismatch(
             compiler.compile(circuit), compiler.compile_legacy(circuit)
         )
@@ -652,8 +757,8 @@ def replay_bundle(path: str) -> tuple[bool, str]:
             params = dict(descriptor.params, depth=max(1, depth // 2))
             shallow = generate(descriptor.generator, seed=descriptor.seed, **params).circuit
         deep = descriptor.build()
-        d_shallow = api.compile(shallow, backend=backend).duration_us
-        d_deep = api.compile(deep, backend=backend).duration_us
+        d_shallow = api.compile(shallow, backend=backend, **opts).duration_us
+        d_deep = api.compile(deep, backend=backend, **opts).duration_us
         if d_deep < d_shallow * (1.0 - 1e-9):
             return True, f"duration still shrinks with depth ({d_shallow:.6g} -> {d_deep:.6g})"
         return False, "duration monotone again"

@@ -39,6 +39,12 @@ class ExecutionMetrics:
             idle time is ``duration_us - busy``.
         num_rydberg_stages: Number of Rydberg laser exposures.
         num_movements: Number of individual qubit movements.
+        num_instructions: Program-level ZAIR instruction count (excluding
+            ``init``); recorded by the interpreter so sweeps can report
+            per-instruction throughput without re-walking programs.
+        num_epochs: Movement-epoch count (rearrangement jobs + abstract
+            transfer epochs); recorded by the interpreter alongside
+            ``num_instructions``.
         total_move_distance_um: Sum of all movement distances.
         compile_time_s: Wall-clock compilation time (scalability study).
         phase_times_s: Wall-clock time per compilation phase
@@ -56,6 +62,8 @@ class ExecutionMetrics:
     qubit_busy_us: dict[int, float] = field(default_factory=dict)
     num_rydberg_stages: int = 0
     num_movements: int = 0
+    num_instructions: int = 0
+    num_epochs: int = 0
     total_move_distance_um: float = 0.0
     compile_time_s: float = 0.0
     phase_times_s: dict[str, float] = field(default_factory=dict)

@@ -17,7 +17,13 @@ from .instructions import (
     TransferEpochInst,
     ZAIRInstruction,
 )
-from .interpret import InterpretedExecution, InterpreterError, interpret_program
+from .columns import ZAIRColumns, build_columns
+from .interpret import (
+    InterpretedExecution,
+    InterpreterError,
+    interpret_program,
+    interpret_program_reference,
+)
 from .lowering import (
     job_duration_us,
     job_max_distance_um,
@@ -27,7 +33,12 @@ from .lowering import (
     qloc_position,
 )
 from .program import ZAIRProgram
-from .validation import ValidationError, validate_job_ordering, validate_program
+from .validation import (
+    ValidationError,
+    validate_job_ordering,
+    validate_program,
+    validate_program_reference,
+)
 
 __all__ = [
     "ActivateInst",
@@ -47,9 +58,12 @@ __all__ = [
     "RydbergInst",
     "TransferEpochInst",
     "ValidationError",
+    "ZAIRColumns",
     "ZAIRInstruction",
     "ZAIRProgram",
+    "build_columns",
     "interpret_program",
+    "interpret_program_reference",
     "job_duration_us",
     "job_max_distance_um",
     "job_total_distance_um",
@@ -58,4 +72,5 @@ __all__ = [
     "qloc_position",
     "validate_job_ordering",
     "validate_program",
+    "validate_program_reference",
 ]

@@ -38,10 +38,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..arch.spec import Architecture
 from ..fidelity.model import ExecutionMetrics, FidelityBreakdown, estimate_fidelity
 from ..fidelity.params import NEUTRAL_ATOM, NeutralAtomParams, SuperconductingParams
 from ..fidelity.sc_model import SCExecutionMetrics, estimate_sc_fidelity
+from .columns import (
+    BUSY_1Q,
+    BUSY_2Q,
+    BUSY_TRANSFER,
+    OP_INIT,
+    OP_LAYER,
+)
 from .instructions import (
     ArrayMoveInst,
     GateLayerInst,
@@ -74,6 +83,7 @@ def interpret_program(
     architecture: Architecture | None = None,
     params: NeutralAtomParams | SuperconductingParams = NEUTRAL_ATOM,
     vectorized: bool = True,
+    fast: bool = True,
 ) -> InterpretedExecution:
     """Replay a ZAIR program and derive its execution metrics and fidelity.
 
@@ -86,14 +96,155 @@ def interpret_program(
             selects the superconducting fidelity model.
         vectorized: Evaluate the decoherence product with numpy for large
             qubit counts (neutral-atom model only).
+        fast: Derive the metrics from the program's cached columnar view
+            (:meth:`~repro.zair.program.ZAIRProgram.columns`) with array
+            operations instead of the per-instruction reference replay.
+            Both paths are equivalent -- bit-identical for integral counts
+            and identically ordered float accumulations, within 1e-12
+            otherwise (see :func:`interpret_program_reference`).
 
     Raises:
         InterpreterError: if the program references locations but no
             architecture was given.
     """
     if isinstance(params, SuperconductingParams):
+        if fast:
+            return _interpret_fixed_coupling_fast(program, params)
         return _interpret_fixed_coupling(program, params)
+    if fast:
+        return _interpret_neutral_atom_fast(program, architecture, params, vectorized)
     return _interpret_neutral_atom(program, architecture, params, vectorized)
+
+
+def interpret_program_reference(
+    program: ZAIRProgram,
+    architecture: Architecture | None = None,
+    params: NeutralAtomParams | SuperconductingParams = NEUTRAL_ATOM,
+    vectorized: bool = True,
+) -> InterpretedExecution:
+    """The per-instruction reference replay (equivalence oracle).
+
+    This is the original scalar interpreter, kept as the oracle the
+    vectorized path is pinned against (``tests/test_verify_equivalence.py``):
+    integral metrics and identically ordered float accumulations (per-qubit
+    busy times, movement distances) must match bit for bit, everything else
+    within 1e-12 relative.
+    """
+    return interpret_program(
+        program, architecture=architecture, params=params, vectorized=vectorized,
+        fast=False,
+    )
+
+
+# -- columnar fast paths -------------------------------------------------------
+
+
+def _busy_from_columns(cols, params: NeutralAtomParams) -> np.ndarray | None:
+    """Per-qubit busy times via ``np.bincount`` (program-order accumulation).
+
+    Returns ``None`` when a qubit index falls outside ``[0, num_qubits)`` --
+    the caller falls back to the reference replay so that error behaviour
+    (``KeyError`` on unknown qubits) matches exactly.
+    """
+    qubits = cols.busy_qubits
+    if qubits.size == 0:
+        return np.zeros(cols.num_qubits, dtype=np.float64)
+    if int(qubits.min()) < 0 or int(qubits.max()) >= cols.num_qubits:
+        return None
+    kinds = cols.busy_kinds
+    weights = np.where(
+        kinds == BUSY_1Q,
+        params.t_1q_us,
+        np.where(
+            kinds == BUSY_2Q,
+            params.t_2q_us,
+            np.where(kinds == BUSY_TRANSFER, 2.0 * params.t_transfer_us, cols.busy_durations),
+        ),
+    )
+    return np.bincount(qubits, weights=weights, minlength=cols.num_qubits)
+
+
+def _interpret_neutral_atom_fast(
+    program: ZAIRProgram,
+    architecture: Architecture | None,
+    params: NeutralAtomParams,
+    vectorized: bool,
+) -> InterpretedExecution:
+    cols = program.columns(architecture)
+    if cols.missing_architecture is not None:
+        raise InterpreterError(cols.missing_architecture)
+    if not cols.move_locs_valid:
+        # A movement names a nonexistent trap: the reference replay raises
+        # ArchitectureError from qloc_position -- reproduce it exactly.
+        return _interpret_neutral_atom(program, architecture, params, vectorized)
+    busy = _busy_from_columns(cols, params)
+    if busy is None:  # out-of-range qubit indices: mirror the reference errors
+        return _interpret_neutral_atom(program, architecture, params, vectorized)
+
+    metrics = ExecutionMetrics(num_qubits=program.num_qubits)
+    metrics.qubit_busy_us = dict(enumerate(busy.tolist()))
+    metrics.num_1q_gates = cols.num_1q_gates
+    metrics.num_2q_gates = cols.num_2q_gates
+    metrics.num_rydberg_stages = cols.num_rydberg_stages
+    metrics.num_transfers = cols.num_transfers
+    metrics.num_movements = cols.num_movements
+    metrics.num_excitations = cols.num_excitations
+    metrics.total_move_distance_um = cols.total_move_distance_um
+    metrics.duration_us = cols.duration_us
+    _attach_program_counts(metrics, cols)
+    fidelity = estimate_fidelity(metrics, params, vectorized=vectorized)
+    return InterpretedExecution(metrics=metrics, fidelity=fidelity)
+
+
+def _interpret_fixed_coupling_fast(
+    program: ZAIRProgram, params: SuperconductingParams
+) -> InterpretedExecution:
+    cols = program.columns(None)
+    non_layer = cols.opcodes != OP_LAYER
+    if bool(non_layer.any()):
+        first = program.instructions[int(np.argmax(non_layer))]
+        raise InterpreterError(
+            f"superconducting replay supports gate layers only, got "
+            f"{type(first).__name__}"
+        )
+    qubits = cols.busy_qubits
+    if qubits.size and (int(qubits.min()) < 0 or int(qubits.max()) >= 4 * cols.num_qubits + 1024):
+        # Pathological indices (invalid program): the dict-based reference
+        # handles them without allocating huge count arrays.
+        return _interpret_fixed_coupling(program, params)
+
+    if qubits.size:
+        sums = np.bincount(qubits, weights=cols.busy_durations)
+        touched = np.unique(qubits)
+        busy_sorted = sums[touched]
+        makespan = float(cols.fg_end.max()) if cols.fg_end is not None else 0.0
+    else:
+        touched = np.empty(0, dtype=np.int64)
+        busy_sorted = np.empty(0, dtype=np.float64)
+        makespan = 0.0
+
+    sc_metrics = SCExecutionMetrics(num_qubits=len(touched))
+    sc_metrics.num_1q_gates = cols.num_1q_gates
+    sc_metrics.num_2q_gates = cols.num_2q_gates
+    sc_metrics.duration_us = makespan
+    sc_metrics.qubit_busy_us = dict(enumerate(busy_sorted.tolist()))
+    fidelity = estimate_sc_fidelity(sc_metrics, params)
+
+    metrics = ExecutionMetrics(num_qubits=sc_metrics.num_qubits)
+    metrics.num_1q_gates = cols.num_1q_gates
+    metrics.num_2q_gates = cols.num_2q_gates
+    metrics.duration_us = makespan
+    metrics.qubit_busy_us = dict(sc_metrics.qubit_busy_us)
+    _attach_program_counts(metrics, cols)
+    return InterpretedExecution(metrics=metrics, fidelity=fidelity)
+
+
+def _attach_program_counts(metrics: ExecutionMetrics, cols) -> None:
+    """Per-program instruction/epoch counts for throughput reporting."""
+    metrics.num_instructions = cols.num_instructions - int(
+        (cols.opcodes == OP_INIT).sum()
+    )
+    metrics.num_epochs = cols.num_epochs
 
 
 # -- neutral-atom replay -------------------------------------------------------
@@ -181,8 +332,21 @@ def _interpret_neutral_atom(
             pass  # time only: the whole array moves, no per-qubit transfers
 
     metrics.duration_us = program.duration_us
+    _attach_program_counts_reference(metrics, program)
     fidelity = estimate_fidelity(metrics, params, vectorized=vectorized)
     return InterpretedExecution(metrics=metrics, fidelity=fidelity)
+
+
+def _attach_program_counts_reference(
+    metrics: ExecutionMetrics, program: ZAIRProgram
+) -> None:
+    """Reference twin of :func:`_attach_program_counts` (no columns needed)."""
+    metrics.num_instructions = program.num_zair_instructions
+    metrics.num_epochs = sum(
+        1
+        for inst in program.instructions
+        if isinstance(inst, (RearrangeJob, TransferEpochInst))
+    )
 
 
 # -- fixed-coupling (superconducting) replay -----------------------------------
@@ -228,4 +392,5 @@ def _interpret_fixed_coupling(
     metrics.num_2q_gates = num_2q
     metrics.duration_us = makespan
     metrics.qubit_busy_us = dict(sc_metrics.qubit_busy_us)
+    _attach_program_counts_reference(metrics, program)
     return InterpretedExecution(metrics=metrics, fidelity=fidelity)

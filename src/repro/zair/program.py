@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+from .columns import ZAIRColumns, build_columns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..arch.spec import Architecture
 
 from .instructions import (
     ArrayMoveInst,
@@ -39,6 +44,44 @@ class ZAIRProgram:
     architecture_name: str = ""
     instructions: list[ZAIRInstruction] = field(default_factory=list)
     coupling_edges: list[tuple[int, int]] | None = None
+    #: Cached columnar views keyed by architecture identity (see
+    #: :meth:`columns`); never serialized, dropped on pickle/deepcopy.
+    _columns_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    # -- columnar view -------------------------------------------------------
+
+    def columns(self, architecture: "Architecture | None" = None) -> ZAIRColumns:
+        """The columnar (structure-of-arrays) view of this program.
+
+        Built once per (program, architecture) pair and cached, so one
+        compile's interpret + validate pair shares the flattening work.  The
+        cache assumes the program is frozen after compilation: pickling and
+        ``copy.deepcopy`` drop it automatically, and in-place mutation must
+        be followed by :meth:`invalidate_columns` (the test-suite convention
+        is to mutate deep copies instead).
+        """
+        key = id(architecture) if architecture is not None else None
+        view = self._columns_cache.get(key)
+        if view is None:
+            view = build_columns(self, architecture)
+            self._columns_cache.clear()  # keep at most one view alive
+            self._columns_cache[key] = view
+        return view
+
+    def invalidate_columns(self) -> None:
+        """Drop cached columnar views after an in-place mutation."""
+        self._columns_cache.clear()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_columns_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_columns_cache", {})
 
     # -- structural queries --------------------------------------------------
 

@@ -29,11 +29,42 @@ instructions is rejected.
 This is used both by the test suite (as an oracle for compiler correctness)
 and by the registry compile path (:func:`repro.api.compile`), which
 validates every backend's emitted program.
+
+Fast path
+---------
+
+:func:`validate_program` replays large programs with **vectorized kernels**
+over the program's cached columnar view
+(:meth:`~repro.zair.program.ZAIRProgram.columns`): trap occupancy becomes
+array indexing into an occupancy vector, the AOD non-crossing check becomes
+one pairwise numpy comparison per job (the reference is O(n^2) Python), and
+the coupling-edge / schedule-overlap checks of fixed-coupling programs
+become `np.isin` / grouped cummax sweeps.  The kernels only *detect*
+violations; on the first detection the per-instruction reference replay
+(:func:`validate_program_reference`) is re-run to raise the exact error
+message and machine-readable ``check`` tag, so the two paths are
+behaviourally identical by construction.  Small programs dispatch straight
+to the reference path (the array setup would cost more than it saves) --
+force a path with ``fast=True`` / ``fast=False``.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..arch.spec import Architecture, ArchitectureError
+from .columns import (
+    OP_ARRAY_MOVE,
+    OP_INIT,
+    OP_LAYER,
+    OP_PULSE,
+    ROLE_1Q,
+    ROLE_DROP,
+    ROLE_INIT,
+    ROLE_PICKUP,
+    ZAIRColumns,
+    build_columns,
+)
 from .instructions import (
     LOCATION_INSTRUCTIONS,
     ArrayMoveInst,
@@ -67,6 +98,16 @@ class ValidationError(ValueError):
     def __init__(self, message: str, *, check: str = "generic") -> None:
         super().__init__(message)
         self.check = check
+
+    def __reduce__(self):
+        # Preserve the check tag across pickling (compile_many workers send
+        # validation failures back through the process pool; the default
+        # exception reduction would re-init with check="generic").
+        return (_rebuild_validation_error, (self.args[0] if self.args else "", self.check))
+
+
+def _rebuild_validation_error(message: str, check: str) -> "ValidationError":
+    return ValidationError(message, check=check)
 
 
 def validate_job_ordering(architecture: Architecture, job: RearrangeJob) -> None:
@@ -109,8 +150,15 @@ def _check_trap_exists(architecture: Architecture, loc: QLoc) -> None:
         raise ValidationError(f"qubit {loc.qubit}: invalid trap {loc.trap}: {exc}", check="trap-exists") from exc
 
 
-def validate_program(architecture: Architecture | None, program: ZAIRProgram) -> None:
-    """Replay ``program`` and check all invariants.
+def validate_program_reference(
+    architecture: Architecture | None, program: ZAIRProgram
+) -> None:
+    """Per-instruction reference replay of every invariant (the oracle).
+
+    This is the original scalar validator.  :func:`validate_program` uses it
+    both as the small-program path and as the error reporter of the
+    vectorized path, so message text and ``check`` tags always come from
+    here.
 
     Args:
         architecture: The target architecture.  May be ``None`` for
@@ -356,3 +404,384 @@ def _check_rydberg(
                 f"gate ({a}, {b}): qubits occupy different Rydberg sites "
                 f"({loc_a.row},{loc_a.col}) vs ({loc_b.row},{loc_b.col})", check="rydberg-site"
             )
+
+# ---------------------------------------------------------------------------
+# Vectorized validation over the columnar view
+# ---------------------------------------------------------------------------
+
+#: Below this instruction count ``validate_program`` (fast=None) dispatches to
+#: the reference replay unless a columnar view is already cached -- for tiny
+#: programs the array setup costs more than it saves.
+FAST_MIN_INSTRUCTIONS = 24
+
+_AOD_TOL = 1e-9
+
+
+def validate_program(
+    architecture: Architecture | None,
+    program: ZAIRProgram,
+    fast: bool | None = None,
+    reuse_columns: bool = False,
+) -> None:
+    """Replay ``program`` and check all invariants (vectorized on large programs).
+
+    Args:
+        architecture: The target architecture (``None`` for location-free
+            programs).
+        program: The program to check.
+        fast: ``True`` forces the vectorized kernels, ``False`` the
+            per-instruction reference replay; ``None`` (default) picks by
+            program size.  Both paths raise identical errors: the vectorized
+            kernels only *detect* violations and delegate the raise to
+            :func:`validate_program_reference`.
+        reuse_columns: Use the program's cached columnar view instead of
+            re-flattening the instructions.  The validator is the
+            correctness oracle, so by default it does NOT trust a cached
+            view (a buggy backend may have mutated the program after the
+            view was built); pass True only when the caller guarantees the
+            program has been frozen since :meth:`ZAIRProgram.columns` ran
+            (e.g. re-verification sweeps over immutable results).
+
+    Raises:
+        ValidationError: on the first violated invariant.
+    """
+    if fast is False or (
+        fast is None and len(program.instructions) < FAST_MIN_INSTRUCTIONS
+    ):
+        validate_program_reference(architecture, program)
+        return
+    cols = (
+        program.columns(architecture)
+        if reuse_columns
+        else build_columns(program, architecture)
+    )
+    _validate_fast(architecture, program, cols)
+
+
+def _delegate(architecture: Architecture | None, program: ZAIRProgram) -> None:
+    """A kernel detected a violation: let the reference raise the exact error."""
+    validate_program_reference(architecture, program)
+    raise ValidationError(
+        "vectorized validator flagged a violation the reference replay did "
+        "not reproduce (fast/reference divergence)",
+        check="fast-path-divergence",
+    )
+
+
+def _validate_fast(
+    architecture: Architecture | None, program: ZAIRProgram, cols: ZAIRColumns
+) -> None:
+    if not cols.uses_locations:
+        _validate_abstract_fast(architecture, program, cols)
+        return
+    if architecture is None:
+        raise ValidationError(
+            "program uses trap locations; an architecture is required to validate it",
+            check="structure",
+        )
+    _validate_location_fast(architecture, program, cols)
+
+
+def _validate_location_fast(
+    architecture: Architecture, program: ZAIRProgram, cols: ZAIRColumns
+) -> None:
+    opcodes = cols.opcodes
+
+    # -- structure: init first and only, no index-addressed instructions -----
+    if cols.num_instructions == 0 or opcodes[0] != OP_INIT:
+        _delegate(architecture, program)
+    tail = opcodes[1:]
+    if bool((tail == OP_INIT).any()) or bool(
+        np.isin(tail, (OP_LAYER, OP_PULSE, OP_ARRAY_MOVE)).any()
+    ):
+        _delegate(architecture, program)
+
+    role = cols.loc_role
+    # -- trap existence for init and movement locations (reference does not
+    # -- check 1qGate locations for existence, only for occupancy) -----------
+    structural = role != ROLE_1Q
+    if not bool(cols.loc_valid[structural].all()):
+        _delegate(architecture, program)
+
+    # -- init: each qubit initialised at most once ---------------------------
+    init_qubits = cols.loc_qubit[role == ROLE_INIT]
+    if np.unique(init_qubits).size != init_qubits.size:
+        _delegate(architecture, program)
+
+    # -- transfer epochs: claimed transfer counts in range -------------------
+    for claimed, n_moved in cols.epoch_claims:
+        if claimed is not None and not 0 <= claimed <= 2 * n_moved:
+            _delegate(architecture, program)
+
+    # -- trap occupancy: one global event sort -------------------------------
+    # Every occupancy-relevant event is (trap, seq, kind, qubit) with
+    # seq = 2*inst for pickups and 2*inst + 1 for placements (init, drops),
+    # so a chronological per-trap scan sees pickups before same-instruction
+    # drops.  A replay is valid iff, per trap, events alternate
+    # place/remove starting with a place and every remove takes the qubit
+    # the preceding place put there.  Together with the structural
+    # begin/end-qubit pairing of jobs and epochs (enforced at construction)
+    # this is equivalent to the reference dict replay: double occupancy,
+    # pickups from wrong traps, moves of unknown qubits, and duplicate
+    # drop targets all break alternation or qubit matching.
+    is_place = (role == ROLE_INIT) | (role == ROLE_DROP)
+    is_remove = role == ROLE_PICKUP
+    ev_mask = is_place | is_remove
+    if bool(ev_mask.any()):
+        ev_trap = cols.loc_trap[ev_mask]
+        ev_qubit = cols.loc_qubit[ev_mask]
+        ev_kind = is_remove[ev_mask].astype(np.int8)  # 0 = place, 1 = remove
+        ev_seq = (2 * cols.loc_inst + np.where(role == ROLE_PICKUP, 0, 1))[ev_mask]
+        order = np.lexsort((np.arange(ev_trap.size), ev_seq, ev_trap))
+        t = ev_trap[order]
+        k = ev_kind[order]
+        q = ev_qubit[order]
+        new_group = np.empty(t.size, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = t[1:] != t[:-1]
+        if bool((k[new_group] == 1).any()):  # remove from an empty trap
+            _delegate(architecture, program)
+        same = ~new_group[1:]
+        if bool((same & (k[1:] == k[:-1])).any()):  # place-place / remove-remove
+            _delegate(architecture, program)
+        if bool((same & (k[1:] == 1) & (q[1:] != q[:-1])).any()):
+            _delegate(architecture, program)  # pickup of the wrong qubit
+
+    # -- AOD non-crossing, all rearrangement jobs in one batch ---------------
+    if _aod_ordering_violated(cols):
+        _delegate(architecture, program)
+
+    # -- rydberg zone ids must exist (checked even for gate-less pulses) -----
+    if cols.rydberg_insts:
+        n_zones = len(architecture.entanglement_zones)
+        for _, zone_id in cols.rydberg_insts:
+            if not 0 <= zone_id < n_zones:
+                _delegate(architecture, program)
+
+    # -- current-location queries (1qGate assertions, rydberg co-location) ---
+    one_q_idx = np.flatnonzero(role == ROLE_1Q)
+    n_ry = len(cols.ry_a) if cols.ry_a is not None else 0
+    n_queries = one_q_idx.size + 2 * n_ry
+    if n_queries == 0:
+        return
+    place_idx = np.flatnonzero(is_place)
+    q_qubit_parts = [cols.loc_qubit[one_q_idx]]
+    q_seq_parts = [2 * cols.loc_inst[one_q_idx]]
+    if n_ry:
+        q_qubit_parts += [cols.ry_a, cols.ry_b]
+        q_seq_parts += [2 * cols.ry_inst, 2 * cols.ry_inst]
+    q_qubit = np.concatenate(q_qubit_parts)
+    q_seq = np.concatenate(q_seq_parts)
+
+    all_qubit = np.concatenate((cols.loc_qubit[place_idx], q_qubit))
+    all_seq = np.concatenate((cols.loc_inst[place_idx] * 2 + 1, q_seq))
+    flag = np.concatenate(
+        (np.zeros(place_idx.size, dtype=np.int8), np.ones(n_queries, dtype=np.int8))
+    )
+    payload = np.concatenate((place_idx, np.arange(n_queries)))
+    order = np.lexsort((flag, all_seq, all_qubit))
+    s_qubit = all_qubit[order]
+    s_flag = flag[order]
+    s_payload = payload[order]
+    pos = np.arange(order.size)
+    fill = np.maximum.accumulate(np.where(s_flag == 0, pos, -1))
+    q_pos = np.flatnonzero(s_flag == 1)
+    fp = fill[q_pos]
+    fp_clipped = np.maximum(fp, 0)
+    known = (fp >= 0) & (s_qubit[fp_clipped] == s_qubit[q_pos])
+    if not bool(known.all()):
+        _delegate(architecture, program)  # gate on an unknown qubit
+    current = np.empty(n_queries, dtype=np.int64)  # loc-table index per query
+    current[s_payload[q_pos]] = s_payload[fp]
+
+    # 1qGate: the asserted trap must be the qubit's current trap.
+    n_1q = one_q_idx.size
+    if n_1q:
+        if bool(
+            (cols.loc_trap[current[:n_1q]] != cols.loc_trap[one_q_idx]).any()
+        ):
+            _delegate(architecture, program)
+
+    # Rydberg: pairs in the left/right SLMs of the zone, both qubits on the
+    # same Rydberg site.
+    if n_ry:
+        pairs = [
+            (zone.slms[0].slm_id, zone.slms[1].slm_id)
+            for zone in architecture.entanglement_zones
+        ]
+        lefts = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        rights = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        ca = current[n_1q : n_1q + n_ry]
+        cb = current[n_1q + n_ry :]
+        sa = cols.loc_slm[ca]
+        sb = cols.loc_slm[cb]
+        left = lefts[cols.ry_zone]
+        right = rights[cols.ry_zone]
+        paired = ((sa == left) & (sb == right)) | ((sa == right) & (sb == left))
+        if not bool(paired.all()):
+            _delegate(architecture, program)
+        if bool((cols.loc_row[ca] != cols.loc_row[cb]).any()) or bool(
+            (cols.loc_col[ca] != cols.loc_col[cb]).any()
+        ):
+            _delegate(architecture, program)
+
+
+def _aod_ordering_violated(cols: ZAIRColumns) -> bool:
+    """Batched twin of :func:`validate_job_ordering` (detection only).
+
+    Enumerates every within-job qubit pair of every rearrangement job with
+    one vectorized triangular-index decode, then evaluates all non-crossing
+    constraints in a handful of array operations.  All comparisons are
+    single IEEE operations on coordinates computed by the same affine map as
+    the reference, so the decisions are bit-identical.
+    """
+    jobs = [
+        seg for seg in cols.move_segments
+        if seg.is_job and seg.begin_stop - seg.begin_start >= 2
+    ]
+    if not jobs:
+        return False
+    sizes = np.asarray([seg.begin_stop - seg.begin_start for seg in jobs], dtype=np.int64)
+    b_off = np.asarray([seg.begin_start for seg in jobs], dtype=np.int64)
+    e_off = np.asarray([seg.end_start for seg in jobs], dtype=np.int64)
+    pairs_per_job = sizes * (sizes - 1) // 2
+    total = int(pairs_per_job.sum())
+    if total == 0:
+        return False
+    job_of_pair = np.repeat(np.arange(len(jobs)), pairs_per_job)
+    first_pair = np.concatenate(([0], np.cumsum(pairs_per_job)[:-1]))
+    rank = np.arange(total) - first_pair[job_of_pair]
+    # Decode the local pair (i < j) from its triangular rank: j is the
+    # largest integer with j*(j-1)/2 <= rank (float sqrt + exact correction).
+    j = ((1.0 + np.sqrt(1.0 + 8.0 * rank)) * 0.5).astype(np.int64)
+    j = np.where(j * (j - 1) // 2 > rank, j - 1, j)
+    j = np.where((j + 1) * j // 2 <= rank, j + 1, j)
+    i = rank - j * (j - 1) // 2
+    bi = b_off[job_of_pair] + i
+    bj = b_off[job_of_pair] + j
+    ei = e_off[job_of_pair] + i
+    ej = e_off[job_of_pair] + j
+    for coord in (cols.loc_x, cols.loc_y):
+        db = coord[bi] - coord[bj]
+        de = coord[ei] - coord[ej]
+        share = np.abs(db) <= _AOD_TOL
+        bad = (share & (np.abs(de) > _AOD_TOL)) | (~share & (db * de < 0))
+        if bool(bad.any()):
+            return True
+    return False
+
+
+def _validate_abstract_fast(
+    architecture: Architecture | None, program: ZAIRProgram, cols: ZAIRColumns
+) -> None:
+    n = program.num_qubits
+
+    # -- gate layers: one global vectorized sweep ----------------------------
+    if cols.fg_kind is not None:
+        kind, arity = cols.fg_kind, cols.fg_arity
+        q0, q1 = cols.fg_q0, cols.fg_q1
+        if bool((kind < 0).any()):
+            _delegate(architecture, program)
+        expected = np.where(kind == 0, 1, 2)
+        if bool((arity != expected).any()):
+            _delegate(architecture, program)
+        if bool(((q0 < 0) | (q0 >= n)).any()):
+            _delegate(architecture, program)
+        two_q = kind != 0
+        if bool(two_q.any()):
+            q1_2 = q1[two_q]
+            if bool(((q1_2 < 0) | (q1_2 >= n)).any()):
+                _delegate(architecture, program)
+            if bool((q0[two_q] == q1_2).any()):
+                _delegate(architecture, program)
+            if program.coupling_edges is not None:
+                lo = np.minimum(q0[two_q], q1_2)
+                hi = np.maximum(q0[two_q], q1_2)
+                codes = lo * np.int64(n) + hi
+                edges = np.fromiter(
+                    (min(a, b) * n + max(a, b) for a, b in program.coupling_edges),
+                    dtype=np.int64,
+                    count=len(program.coupling_edges),
+                )
+                if not bool(np.isin(codes, edges).all()):
+                    _delegate(architecture, program)
+        if _schedule_overlap_violated(cols):
+            _delegate(architecture, program)
+
+    # -- global pulses / array moves: scalar per-instruction checks ----------
+    for inst in program.instructions:
+        if isinstance(inst, GlobalPulseInst):
+            if _global_pulse_violated(inst, n):
+                _delegate(architecture, program)
+        elif isinstance(inst, ArrayMoveInst):
+            if inst.distance_um < 0:
+                _delegate(architecture, program)
+
+
+def _schedule_overlap_violated(cols: ZAIRColumns) -> bool:
+    """Per-qubit schedule-overlap detection, grouped cummax over incidences.
+
+    Replays the reference condition exactly: processing gate incidences in
+    program order per qubit, gate ``k`` must start no earlier than
+    ``max(0, end_1..end_{k-1}) - _TIME_TOL``.
+    """
+    n_gates = len(cols.fg_kind)
+    counts = np.where(cols.fg_arity >= 2, 2, 1)
+    gate_index = np.repeat(np.arange(n_gates), counts)
+    pair = np.stack([cols.fg_q0, cols.fg_q1], axis=1).ravel()
+    keep = np.stack(
+        [np.ones(n_gates, dtype=bool), cols.fg_arity >= 2], axis=1
+    ).ravel()
+    inc_qubit = pair[keep]
+    inc_begin = cols.fg_begin[gate_index]
+    inc_end = cols.fg_end[gate_index]
+    if inc_qubit.size < 2:
+        return False
+    order = np.argsort(inc_qubit, kind="stable")
+    qs = inc_qubit[order]
+    begins = inc_begin[order]
+    ends = inc_end[order]
+    boundaries = np.flatnonzero(np.diff(qs)) + 1
+    starts = np.concatenate(([0], boundaries))
+    sizes = np.diff(np.concatenate((starts, [qs.size])))
+    n_groups = starts.size
+    width = int(sizes.max())
+    if width < 2:
+        return False
+    if n_groups * width <= 5_000_000:
+        # Segmented running max via one padded 2D cummax (fully vectorized).
+        group_id = np.repeat(np.arange(n_groups), sizes)
+        ordinal = np.arange(qs.size) - np.repeat(starts, sizes)
+        mat = np.full((n_groups, width), -np.inf)
+        mat[group_id, ordinal] = ends
+        run = np.maximum(np.maximum.accumulate(mat, axis=1), 0.0)
+        later = ordinal >= 1
+        prev_stored = run[group_id[later], ordinal[later] - 1]
+        return bool((begins[later] < prev_stored - _TIME_TOL).any())
+    for lo, size in zip(starts, sizes):  # degenerate shapes: per-group sweep
+        hi = lo + size
+        if size < 2:
+            continue
+        stored = np.maximum(np.maximum.accumulate(ends[lo : hi - 1]), 0.0)
+        if bool((begins[lo + 1 : hi] < stored - _TIME_TOL).any()):
+            return True
+    return False
+
+
+def _global_pulse_violated(inst: GlobalPulseInst, num_qubits: int) -> bool:
+    """Detection twin of the reference global-pulse checks."""
+    if inst.extra_1q_gates < 0:
+        return True
+    active = set(inst.active_qubits)
+    for qubit in inst.active_qubits:
+        if not 0 <= qubit < num_qubits:
+            return True
+    in_gate: set[int] = set()
+    for a, b in inst.gates:
+        if a == b:
+            return True
+        for qubit in (a, b):
+            if not 0 <= qubit < num_qubits or qubit not in active or qubit in in_gate:
+                return True
+            in_gate.add(qubit)
+    return False

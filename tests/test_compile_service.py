@@ -1,0 +1,170 @@
+"""Warm-pool batch compile service: cache, fresh, slim, and fan-out rules."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api as api
+from repro.api import get_compile_service, get_worker_pool
+from repro.api.parallel import (
+    MIN_PARALLEL_ITEMS,
+    architecture_fingerprint,
+    circuit_content_key,
+    fanout_map,
+)
+from repro.arch.presets import reference_zoned_architecture
+from repro.circuits.random import generate
+from repro.experiments.fuzz import FUZZ_ZAC_CONFIG
+
+
+@pytest.fixture()
+def service():
+    svc = get_compile_service()
+    svc.clear_cache()
+    yield svc
+    svc.clear_cache()
+
+
+def _circuit(seed=0, n=5, depth=2):
+    return generate("brickwork", seed=seed, num_qubits=n, depth=depth).circuit
+
+
+class TestCompileCache:
+    def test_repeated_cells_hit(self, service):
+        circuit = _circuit()
+        first = api.compile_many([circuit], backend="enola", cache=True)[0]
+        second = api.compile_many([circuit], backend="enola", cache=True)[0]
+        assert second is first
+        assert service.cache.stats()["hits"] == 1
+
+    def test_fresh_bypasses_the_cache(self, service):
+        circuit = _circuit()
+        first = api.compile_many([circuit], backend="enola", cache=True)[0]
+        fresh = api.compile_many(
+            [circuit], backend="enola", cache=True, fresh=True
+        )[0]
+        assert fresh is not first
+        # ... but it is the same compilation result.
+        assert fresh.to_dict()["metrics"]["duration_us"] == first.duration_us
+
+    def test_key_discriminates_circuit_content(self, service):
+        a = _circuit(seed=1)
+        b = _circuit(seed=2)
+        api.compile_many([a], backend="enola", cache=True)
+        api.compile_many([b], backend="enola", cache=True)
+        assert service.cache.stats()["hits"] == 0
+
+    def test_key_discriminates_options(self, service):
+        circuit = _circuit()
+        api.compile_many([circuit], backend="zac", cache=True)
+        api.compile_many(
+            [circuit], backend="zac", cache=True, config=FUZZ_ZAC_CONFIG
+        )
+        assert service.cache.stats()["hits"] == 0
+
+    def test_default_arch_by_omission_and_explicitly_share_cells(self, service):
+        circuit = _circuit()
+        api.compile_many([circuit], backend="zac", cache=True)
+        explicit = reference_zoned_architecture()
+        api.compile_many([circuit], backend="zac", arch=explicit, cache=True)
+        assert service.cache.stats()["hits"] == 1
+
+    def test_validated_flag_set_on_hits(self, service):
+        circuit = _circuit()
+        api.compile_many([circuit], backend="enola", cache=True, validate=False)
+        hit = api.compile_many([circuit], backend="enola", cache=True)[0]
+        assert hit.validated
+
+    def test_cache_off_by_default(self, service):
+        circuit = _circuit()
+        api.compile_many([circuit], backend="enola")
+        api.compile_many([circuit], backend="enola")
+        assert len(service.cache) == 0
+
+
+class TestIdealSharesZacCompiles:
+    def test_ideal_after_zac_hits(self, service):
+        circuit = _circuit()
+        api.compile_many([circuit], backend="zac", cache=True)
+        ideal = api.compile_many([circuit], backend="ideal", cache=True)[0]
+        assert service.cache.stats()["hits"] >= 1
+        uncached = api.compile(circuit, backend="ideal")
+        assert ideal.total_fidelity == pytest.approx(
+            uncached.total_fidelity, rel=1e-12
+        )
+        assert ideal.duration_us == pytest.approx(uncached.duration_us, rel=1e-12)
+
+    def test_zac_after_ideal_hits(self, service):
+        circuit = _circuit()
+        api.compile_many([circuit], backend="ideal", cache=True)
+        api.compile_many([circuit], backend="zac", cache=True)
+        assert service.cache.stats()["hits"] >= 1
+
+    def test_fresh_ideal_recompiles_its_inner_zac(self, service):
+        circuit = _circuit()
+        api.compile_many([circuit], backend="zac", cache=True)
+        hits_before = service.cache.stats()["hits"]
+        api.compile_many([circuit], backend="ideal", cache=True, fresh=True)
+        assert service.cache.stats()["hits"] == hits_before
+
+
+class TestSlimResults:
+    def test_keep_programs_false_strips_artifacts(self, service):
+        result = api.compile_many(
+            [_circuit()], backend="zac", keep_programs=False
+        )[0]
+        assert result.program is None
+        assert result.staged is None
+        assert result.plan is None
+        assert result.architecture is None
+        assert result.metrics is not None and result.fidelity is not None
+        assert result.validated  # validation ran before stripping
+
+    def test_slim_cache_entry_does_not_serve_full_requests(self, service):
+        circuit = _circuit()
+        api.compile_many([circuit], backend="enola", cache=True, keep_programs=False)
+        full = api.compile_many([circuit], backend="enola", cache=True)[0]
+        assert full.program is not None
+
+    def test_slim_unvalidated_entry_never_fakes_validation(self, service):
+        # A stripped entry cannot be validated after the fact: a later
+        # validate=True request must recompile, not claim validation.
+        circuit = _circuit()
+        api.compile_many(
+            [circuit], backend="enola", cache=True, keep_programs=False,
+            validate=False,
+        )
+        result = api.compile_many(
+            [circuit], backend="enola", cache=True, keep_programs=False
+        )[0]
+        assert result.validated
+        assert service.cache.stats()["misses"] >= 2  # genuinely recompiled
+
+
+class TestFanout:
+    def test_small_batches_run_inline(self):
+        pool = get_worker_pool()
+        pool.shutdown()
+        items = list(range(MIN_PARALLEL_ITEMS - 1))
+        assert fanout_map(abs, items, parallel=8) == items
+        # No executor was spun up for the tiny batch.
+        assert pool._executor is None
+
+    def test_results_keep_submission_order(self):
+        items = list(range(12))
+        assert fanout_map(abs, items, parallel=2) == items
+
+
+class TestKeys:
+    def test_circuit_content_key_tracks_gates(self):
+        a = _circuit(seed=3)
+        b = a.copy()
+        assert circuit_content_key(a) == circuit_content_key(b)
+        b.h(0)
+        assert circuit_content_key(a) != circuit_content_key(b)
+
+    def test_architecture_fingerprint_is_value_based(self):
+        assert architecture_fingerprint(
+            reference_zoned_architecture()
+        ) == architecture_fingerprint(reference_zoned_architecture())
+        assert architecture_fingerprint(None) is None

@@ -1,0 +1,311 @@
+"""Fast-vs-reference equivalence for the vectorized verify path.
+
+The columnar (vectorized) interpreter and validator must be observationally
+identical to the per-instruction reference oracles:
+
+* on every backend's emitted program for generated workloads, the fast
+  interpreter reproduces the reference metrics and fidelity (bit-identical
+  counts and identically ordered float accumulations, 1e-12 otherwise) and
+  the fast validator accepts exactly what the reference accepts;
+* mutated programs must be rejected with the *same* machine-readable
+  ``check`` tag through both paths;
+* the linear-time staging scheduler emits exactly the reference stages, and
+  preprocessing (which the content cache assumes is pure) is deterministic.
+
+Workloads are drawn by ``hypothesis`` over the seeded generators of
+``circuits/random.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.api as api
+from repro.arch.presets import reference_zoned_architecture
+from repro.circuits.random import generate, generator_names
+from repro.circuits.scheduling import (
+    _schedule_stages_fast,
+    _schedule_stages_reference,
+    clear_preprocess_cache,
+    preprocess,
+)
+from repro.circuits.synthesis import resynthesize
+from repro.zair.instructions import (
+    FixedGate,
+    GateLayerInst,
+    InitInst,
+    QLoc,
+    RearrangeJob,
+)
+from repro.zair.interpret import interpret_program, interpret_program_reference
+from repro.zair.program import ZAIRProgram
+from repro.zair.validation import (
+    ValidationError,
+    validate_program,
+    validate_program_reference,
+)
+
+BACKENDS = api.available_backends()
+
+workload_strategy = st.tuples(
+    st.sampled_from(sorted(generator_names())),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=4, max_value=10),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+def _assert_interpret_equivalent(fast, ref) -> None:
+    fm, rm = asdict(fast.metrics), asdict(ref.metrics)
+    for field in (
+        "num_qubits", "num_1q_gates", "num_2q_gates", "num_excitations",
+        "num_transfers", "num_rydberg_stages", "num_movements",
+        "num_instructions", "num_epochs",
+    ):
+        assert fm[field] == rm[field], field
+    assert fm["duration_us"] == pytest.approx(rm["duration_us"], rel=1e-12)
+    assert fm["total_move_distance_um"] == pytest.approx(
+        rm["total_move_distance_um"], rel=1e-12
+    )
+    assert set(fm["qubit_busy_us"]) == set(rm["qubit_busy_us"])
+    for qubit, busy in rm["qubit_busy_us"].items():
+        assert fm["qubit_busy_us"][qubit] == pytest.approx(busy, rel=1e-12), qubit
+    for name, value in ref.fidelity.as_dict().items():
+        assert fast.fidelity.as_dict()[name] == pytest.approx(value, rel=1e-12), name
+
+
+class TestFastVerifyMatchesReference:
+    @settings(max_examples=8, deadline=None)
+    @given(workload_strategy)
+    def test_all_backends(self, spec):
+        generator, seed, num_qubits, depth = spec
+        circuit = generate(
+            generator, seed=seed, num_qubits=num_qubits, depth=depth
+        ).circuit
+        for backend in BACKENDS:
+            result = api.compile(circuit, backend=backend, validate=False)
+            params = api.create_backend(backend).params
+            fast = interpret_program(
+                result.program, architecture=result.architecture, params=params
+            )
+            ref = interpret_program_reference(
+                result.program, architecture=result.architecture, params=params
+            )
+            _assert_interpret_equivalent(fast, ref)
+            # Both validator paths must accept the emitted program.
+            validate_program(result.architecture, result.program, fast=True)
+            validate_program_reference(result.architecture, result.program)
+
+
+def _check_tags(architecture, program) -> tuple[str | None, str | None]:
+    """(reference tag, fast tag) raised for ``program`` (None = accepted)."""
+    tags = []
+    for kwargs in ({"fast": False}, {"fast": True}):
+        try:
+            validate_program(architecture, program, **kwargs)
+            tags.append(None)
+        except ValidationError as exc:
+            tags.append(exc.check)
+    return tuple(tags)
+
+
+class TestMutationsRaiseSameCheckTag:
+    """The negative-path mutations of test_validation_negative, both paths."""
+
+    @pytest.fixture(scope="class")
+    def arch(self):
+        return reference_zoned_architecture()
+
+    @pytest.fixture(scope="class")
+    def zac_result(self):
+        return api.compile("bv_n14", backend="zac")
+
+    @pytest.fixture(scope="class")
+    def sc_result(self):
+        return api.compile("bv_n14", backend="sc")
+
+    def test_init_double_occupancy(self, arch, zac_result):
+        program = copy.deepcopy(zac_result.program)
+        init = program.instructions[0]
+        first, second = init.init_locs[0], init.init_locs[1]
+        init.init_locs[1] = QLoc(second.qubit, first.slm_id, first.row, first.col)
+        ref, fast = _check_tags(arch, program)
+        assert ref == fast == "trap-occupancy"
+
+    def test_crossing_aod_rows(self, arch):
+        program = ZAIRProgram(num_qubits=2, architecture_name=arch.name)
+        program.instructions.append(
+            InitInst(init_locs=[QLoc(0, 0, 0, 0), QLoc(1, 0, 1, 0)])
+        )
+        program.instructions.append(
+            RearrangeJob(
+                aod_id=0,
+                begin_locs=[QLoc(0, 0, 0, 0), QLoc(1, 0, 1, 0)],
+                end_locs=[QLoc(0, 0, 3, 0), QLoc(1, 0, 2, 0)],
+            )
+        )
+        ref, fast = _check_tags(arch, program)
+        assert ref == fast == "aod-order"
+
+    def test_dropoff_onto_occupied_trap(self, arch):
+        program = ZAIRProgram(num_qubits=2, architecture_name=arch.name)
+        program.instructions.append(
+            InitInst(init_locs=[QLoc(0, 0, 0, 0), QLoc(1, 0, 5, 5)])
+        )
+        program.instructions.append(
+            RearrangeJob(
+                aod_id=0,
+                begin_locs=[QLoc(0, 0, 0, 0)],
+                end_locs=[QLoc(0, 0, 5, 5)],
+            )
+        )
+        ref, fast = _check_tags(arch, program)
+        assert ref == fast == "trap-occupancy"
+
+    def test_out_of_range_qubit_index(self, sc_result):
+        program = copy.deepcopy(sc_result.program)
+        layer = next(i for i in program.instructions if isinstance(i, GateLayerInst))
+        gate = layer.gates[0]
+        layer.gates[0] = FixedGate(
+            gate.kind,
+            (program.num_qubits + 3,) * len(gate.qubits),
+            gate.begin_time,
+            gate.duration_us,
+        )
+        ref, fast = _check_tags(None, program)
+        assert ref == fast == "index-range"
+
+    def test_bogus_coupling_edge(self, sc_result):
+        program = copy.deepcopy(sc_result.program)
+        edges = {frozenset(edge) for edge in program.coupling_edges}
+        bogus = next(
+            (a, b)
+            for a in range(program.num_qubits)
+            for b in range(a + 1, program.num_qubits)
+            if frozenset((a, b)) not in edges
+        )
+        layer = next(
+            i
+            for i in program.instructions
+            if isinstance(i, GateLayerInst) and any(g.kind != "1q" for g in i.gates)
+        )
+        index, gate = next((k, g) for k, g in enumerate(layer.gates) if g.kind != "1q")
+        layer.gates[index] = FixedGate(gate.kind, bogus, gate.begin_time, gate.duration_us)
+        ref, fast = _check_tags(None, program)
+        assert ref == fast == "coupling-edge"
+
+    def test_overlapping_schedule(self):
+        program = ZAIRProgram(num_qubits=2)
+        program.instructions.append(
+            GateLayerInst(
+                gates=[
+                    FixedGate("1q", (0,), begin_time=0.0, duration_us=1.0),
+                    FixedGate("1q", (0,), begin_time=0.5, duration_us=1.0),
+                ]
+            )
+        )
+        ref, fast = _check_tags(None, program)
+        assert ref == fast == "schedule-overlap"
+
+    def test_mutation_after_deepcopy_never_sees_stale_columns(self, arch, zac_result):
+        # The compiled program has a cached columnar view (built during the
+        # registry validate); deepcopy must drop it so the mutation is seen.
+        assert zac_result.validated
+        program = copy.deepcopy(zac_result.program)
+        assert not program._columns_cache
+        init = program.instructions[0]
+        first, second = init.init_locs[0], init.init_locs[1]
+        init.init_locs[1] = QLoc(second.qubit, first.slm_id, first.row, first.col)
+        with pytest.raises(ValidationError):
+            validate_program(arch, program, fast=True)
+
+
+class TestInterpreterErrorParity:
+    def test_missing_architecture_raises_like_reference(self):
+        from repro.zair.interpret import InterpreterError
+
+        result = api.compile("bv_n14", backend="zac", validate=False)
+        with pytest.raises(InterpreterError) as fast_err:
+            interpret_program(result.program, architecture=None)
+        with pytest.raises(InterpreterError) as ref_err:
+            interpret_program_reference(result.program, architecture=None)
+        assert str(fast_err.value) == str(ref_err.value)
+
+    def test_fixed_coupling_rejects_non_layer_instructions(self):
+        from repro.fidelity.params import SC_GRID
+        from repro.zair.interpret import InterpreterError
+
+        result = api.compile("bv_n14", backend="zac", validate=False)
+        with pytest.raises(InterpreterError) as fast_err:
+            interpret_program(result.program, params=SC_GRID)
+        with pytest.raises(InterpreterError) as ref_err:
+            interpret_program_reference(result.program, params=SC_GRID)
+        assert str(fast_err.value) == str(ref_err.value)
+
+    def test_columns_cache_is_not_pickled(self):
+        import pickle as _pickle
+
+        result = api.compile("bv_n14", backend="zac")
+        program = result.program
+        program.columns(result.architecture)
+        assert program._columns_cache
+        clone = _pickle.loads(_pickle.dumps(program))
+        assert not clone._columns_cache
+        assert clone.num_zair_instructions == program.num_zair_instructions
+
+
+class TestValidationErrorPickling:
+    def test_check_tag_survives_pickling(self):
+        error = ValidationError("boom", check="rydberg-site")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.check == "rydberg-site"
+        assert str(clone) == "boom"
+
+
+class TestStaging:
+    @settings(max_examples=10, deadline=None)
+    @given(workload_strategy)
+    def test_fast_scheduler_matches_reference(self, spec):
+        generator, seed, num_qubits, depth = spec
+        circuit = resynthesize(
+            generate(generator, seed=seed, num_qubits=num_qubits, depth=depth).circuit
+        )
+        fast = _schedule_stages_fast(circuit)
+        ref = _schedule_stages_reference(circuit)
+        assert len(fast.stages) == len(ref.stages)
+        for fast_stage, ref_stage in zip(fast.stages, ref.stages):
+            assert type(fast_stage) is type(ref_stage)
+            assert fast_stage.gates == ref_stage.gates
+
+    def test_preprocess_is_deterministic_and_cache_transparent(self):
+        # The content-addressed staging cache assumes preprocessing is a pure
+        # function of the circuit; two cold runs and a cached run must agree.
+        circuit = generate("brickwork", seed=11, num_qubits=8, depth=4).circuit
+        clear_preprocess_cache()
+        cold_a = preprocess(circuit, cache=False)
+        cold_b = preprocess(circuit, cache=False)
+        cached_first = preprocess(circuit)
+        cached_second = preprocess(circuit)
+        for other in (cold_b, cached_first, cached_second):
+            assert len(cold_a.stages) == len(other.stages)
+            for stage_a, stage_b in zip(cold_a.stages, other.stages):
+                assert type(stage_a) is type(stage_b)
+                assert stage_a.gates == stage_b.gates
+        # Cached results are defensive copies: mutating one cannot leak.
+        cached_first.stages[0].gates.clear()
+        assert preprocess(circuit).stages[0].gates == cold_a.stages[0].gates
+
+
+class TestSummaryThroughputFields:
+    def test_summary_reports_instruction_and_epoch_counts(self):
+        result = api.compile("bv_n14", backend="zac")
+        summary = result.summary()
+        assert summary["num_instructions"] == result.program.num_zair_instructions
+        assert summary["num_epochs"] >= 1
+        assert summary["time_total_s"] > 0.0
