@@ -1,0 +1,162 @@
+"""Diff the BENCH_*.json perf numbers against a previous commit.
+
+Usage::
+
+    python benchmarks/bench_diff.py [--ref HEAD~1] [--threshold 0.2] [--strict]
+
+For every ``BENCH_*.json`` at the repo root, the previous version is read
+from git (``git show <ref>:<file>``) and every numeric leaf is compared.
+Changes beyond the threshold are printed, classified by metric direction:
+
+* higher-is-better metrics (``speedup``, ``*_per_s``, ``improvement``) that
+  *dropped* are regressions;
+* lower-is-better metrics (``*_s``, ``*_us``, ``us_per_*``, ``iterations``)
+  that *rose* are regressions;
+* anything else beyond the threshold is reported as drift.
+
+The script is informational and always exits 0 unless ``--strict`` is given
+(then regressions exit 1).  CI runs it non-gating: shared runners are too
+noisy to gate on (the in-test floors remain the gate); the value is making
+the trajectory visible on every PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Leaf keys that are not performance numbers.
+IGNORED_KEYS = {"recorded_unix_time"}
+
+HIGHER_IS_BETTER = ("speedup", "per_s", "improvement", "hits")
+LOWER_IS_BETTER = ("_s", "_us", "us_per", "iterations", "misses", "cost")
+
+
+def _numeric_leaves(data, prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts/lists to ``dotted.path -> number``."""
+    out: dict[str, float] = {}
+    if isinstance(data, dict):
+        for key, value in data.items():
+            if key in IGNORED_KEYS:
+                continue
+            out.update(_numeric_leaves(value, f"{prefix}{key}."))
+    elif isinstance(data, list):
+        for index, value in enumerate(data):
+            out.update(_numeric_leaves(value, f"{prefix}{index}."))
+    elif isinstance(data, bool):
+        pass
+    elif isinstance(data, (int, float)):
+        out[prefix.rstrip(".")] = float(data)
+    return out
+
+
+def _direction(path: str) -> int:
+    """+1 if higher is better, -1 if lower is better, 0 if unknown.
+
+    The leaf key is checked first; when it carries no hint (e.g. the phase
+    name under ``fast_phase_times_s``), the full path decides.
+    """
+    for candidate in (path.rsplit(".", 1)[-1], path):
+        if any(tag in candidate for tag in HIGHER_IS_BETTER):
+            return 1
+        if any(tag in candidate for tag in LOWER_IS_BETTER):
+            return -1
+    return 0
+
+
+def _previous_version(ref: str, name: str) -> dict | None:
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def diff_file(path: Path, ref: str, threshold: float) -> tuple[list[str], int]:
+    """Return (report lines, regression count) for one BENCH file."""
+    previous = _previous_version(ref, path.name)
+    if previous is None:
+        return [f"{path.name}: no previous version at {ref} (new benchmark?)"], 0
+    old = _numeric_leaves(previous)
+    new = _numeric_leaves(json.loads(path.read_text()))
+
+    lines: list[str] = []
+    regressions = 0
+    for key in sorted(old.keys() & new.keys()):
+        before, after = old[key], new[key]
+        if before == after:
+            continue
+        base = max(abs(before), 1e-12)
+        change = (after - before) / base
+        if abs(change) < threshold:
+            continue
+        direction = _direction(key)
+        if direction > 0 and change < 0 or direction < 0 and change > 0:
+            tag = "REGRESSION"
+            regressions += 1
+        elif direction == 0:
+            tag = "drift"
+        else:
+            tag = "improved"
+        lines.append(
+            f"{path.name}: {key} {before:g} -> {after:g} "
+            f"({change:+.1%}) [{tag}]"
+        )
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ref", default="HEAD~1", help="git ref to diff against (default HEAD~1)"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative change worth reporting (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when regressions are found (default: informational)",
+    )
+    args = parser.parse_args(argv)
+
+    bench_files = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not bench_files:
+        print("no BENCH_*.json files at the repo root")
+        return 0
+
+    total_regressions = 0
+    any_output = False
+    for path in bench_files:
+        lines, regressions = diff_file(path, args.ref, args.threshold)
+        total_regressions += regressions
+        for line in lines:
+            any_output = True
+            print(line)
+    if not any_output:
+        print(
+            f"all BENCH numbers within {args.threshold:.0%} of {args.ref} "
+            f"({len(bench_files)} files)"
+        )
+    elif total_regressions:
+        print(f"-- {total_regressions} regression(s) beyond {args.threshold:.0%}")
+    return 1 if (args.strict and total_regressions) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""Incremental prefix-reuse compilation benchmark (ROADMAP item 3).
+
+Measures the two reuse paths of :mod:`repro.core.incremental` and records
+them to ``BENCH_incremental_speed.json`` at the repo root:
+
+* **Depth-ladder extension**: a brickwork ladder is compiled rung by rung,
+  shallowest first.  Cold compiles every rung from scratch (caches cleared);
+  incremental resumes each rung from the previous rung's cached prefix and
+  only places/routes the delta stages.  The aggregate extension speedup is
+  gated at ``MIN_LADDER_SPEEDUP``.
+* **Warm-start SA convergence**: the annealer is seeded with the converged
+  placement of a shallower structural sibling instead of the trivial
+  placement.  The warm run must converge in no more iterations than the
+  cold run and reach at least as good a cost (within tolerance).
+
+Every incremental program is re-validated against the hardware invariants
+(:func:`repro.zair.validate_program`) -- speed never buys invalidity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.arch.presets import reference_zoned_architecture
+from repro.circuits.random import generate
+from repro.circuits.scheduling import clear_preprocess_cache, preprocess
+from repro.circuits.synthesis import get_resynthesis_prefix_cache
+from repro.core.compiler import ZACCompiler
+from repro.core.config import ZACConfig
+from repro.core.incremental import clear_prefix_cache, get_prefix_cache
+from repro.core.placement.initial import sa_placement
+from repro.zair import validate_program
+
+#: Aggregate speedup of incremental extension rungs over cold recompiles.
+#: Standalone runs measure ~4-5x; the floor leaves headroom for a loaded
+#: 1-CPU box.
+MIN_LADDER_SPEEDUP = 3.0
+
+#: Warm-start quality tolerance: warm best cost may exceed cold best cost by
+#: at most this factor (the annealer keeps the best state seen, so a warm
+#: seed can only degrade convergence speed, not correctness).
+WARM_COST_TOLERANCE = 1.05
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_incremental_speed.json"
+
+NUM_QUBITS = 30
+DEPTHS = [14, 16, 18, 20, 22, 24, 26, 28]
+LADDER_REPS = 3
+
+
+def _ladder_circuits():
+    return [
+        generate("brickwork", seed=0, num_qubits=NUM_QUBITS, depth=depth).circuit
+        for depth in DEPTHS
+    ]
+
+
+def _clear_all_caches() -> None:
+    clear_prefix_cache()
+    clear_preprocess_cache()
+    get_resynthesis_prefix_cache().clear()
+
+
+def _time_ladder(compiler: ZACCompiler, circuits, per_rung_clear: bool):
+    """Compile the ladder shallowest-first; return (per-rung seconds, results)."""
+    times: list[float] = []
+    results = []
+    _clear_all_caches()
+    for circuit in circuits:
+        if per_rung_clear:
+            _clear_all_caches()
+        start = time.perf_counter()
+        result = compiler.compile(circuit)
+        times.append(time.perf_counter() - start)
+        results.append(result)
+    return times, results
+
+
+def test_bench_incremental_ladder_and_warm_start():
+    architecture = reference_zoned_architecture()
+    base = ZACConfig.full()
+    cold_config = dataclasses.replace(base, incremental=False, warm_start=False)
+    inc_config = dataclasses.replace(base, incremental=True, warm_start=True)
+    circuits = _ladder_circuits()
+
+    # -- depth-ladder extension -------------------------------------------
+    best_cold = None
+    best_inc = None
+    inc_results = None
+    for _ in range(LADDER_REPS):
+        cold_times, _ = _time_ladder(
+            ZACCompiler(architecture, cold_config), circuits, per_rung_clear=True
+        )
+        inc_times, results = _time_ladder(
+            ZACCompiler(architecture, inc_config), circuits, per_rung_clear=False
+        )
+        if best_cold is None or sum(cold_times[1:]) < sum(best_cold[1:]):
+            best_cold = cold_times
+        if best_inc is None or sum(inc_times[1:]) < sum(best_inc[1:]):
+            best_inc = inc_times
+            inc_results = results
+
+    # Every incremental rung must still satisfy the hardware invariants.
+    for result in inc_results:
+        validate_program(architecture, result.program)
+
+    # The first rung is a cache miss for both modes; the extension rungs are
+    # where the O(delta) resume pays off.
+    cold_ext = sum(best_cold[1:])
+    inc_ext = sum(best_inc[1:])
+    ladder_speedup = cold_ext / inc_ext
+    prefix_stats = get_prefix_cache().stats()
+
+    rungs = []
+    for index, depth in enumerate(DEPTHS):
+        rungs.append(
+            {
+                "depth": depth,
+                "cold_s": round(best_cold[index], 6),
+                "incremental_s": round(best_inc[index], 6),
+                "speedup": round(best_cold[index] / best_inc[index], 3),
+            }
+        )
+
+    # -- warm-start SA convergence ----------------------------------------
+    # Seed the annealer for a deep circuit with the converged placement of a
+    # shallower sibling -- the warm path taken when no cached circuit is an
+    # exact prefix of the request.  QAOA on an Erdos-Renyi graph: both
+    # depths share the interaction graph (same generator seed), and its
+    # irregularity gives the annealer real work, unlike regular brickwork.
+    def stage_pairs_of(depth):
+        circuit = generate(
+            "qaoa_erdos_renyi", seed=0, num_qubits=NUM_QUBITS, depth=depth
+        ).circuit
+        return [
+            stage.pairs for stage in preprocess(circuit, cache=False).rydberg_stages
+        ]
+
+    warm_seed_depth = 6
+    warm_target_depth = 10
+    shallow_pairs = stage_pairs_of(warm_seed_depth)
+    deep_pairs = stage_pairs_of(warm_target_depth)
+
+    captured: dict[str, object] = {}
+    seed_placement = sa_placement(
+        architecture,
+        NUM_QUBITS,
+        shallow_pairs,
+        base,
+        on_result=lambda r: captured.__setitem__("seed", r),
+    )
+    cold_sa = {}
+    sa_placement(
+        architecture,
+        NUM_QUBITS,
+        deep_pairs,
+        base,
+        on_result=lambda r: cold_sa.__setitem__("r", r),
+    )
+    warm_sa = {}
+    sa_placement(
+        architecture,
+        NUM_QUBITS,
+        deep_pairs,
+        base,
+        on_result=lambda r: warm_sa.__setitem__("r", r),
+        warm_start=seed_placement,
+    )
+    cold_result = cold_sa["r"]
+    warm_result = warm_sa["r"]
+
+    payload = {
+        "benchmark": "incremental_prefix_reuse",
+        "ladder": {
+            "generator": "brickwork",
+            "num_qubits": NUM_QUBITS,
+            "depths": DEPTHS,
+            "rungs": rungs,
+            "cold_extension_s": round(cold_ext, 6),
+            "incremental_extension_s": round(inc_ext, 6),
+            "extension_speedup": round(ladder_speedup, 3),
+            "min_required_speedup": MIN_LADDER_SPEEDUP,
+            "prefix_cache": prefix_stats,
+        },
+        "warm_start_sa": {
+            "workload": "qaoa_erdos_renyi",
+            "num_qubits": NUM_QUBITS,
+            "seed_depth": warm_seed_depth,
+            "target_depth": warm_target_depth,
+            "cold_iterations": cold_result.iterations,
+            "warm_iterations": warm_result.iterations,
+            "cold_best_cost": round(cold_result.best_cost, 6),
+            "warm_best_cost": round(warm_result.best_cost, 6),
+            "cold_initial_cost": round(cold_result.initial_cost, 6),
+            "warm_initial_cost": round(warm_result.initial_cost, 6),
+        },
+        "recorded_unix_time": time.time(),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"\n[incremental] ladder extension cold={cold_ext:.3f}s "
+        f"inc={inc_ext:.3f}s speedup={ladder_speedup:.2f}x; "
+        f"warm SA {warm_result.iterations} vs cold {cold_result.iterations} "
+        f"iterations -> {RESULT_PATH.name}"
+    )
+
+    assert ladder_speedup >= MIN_LADDER_SPEEDUP, (
+        f"incremental extension only {ladder_speedup:.2f}x faster than cold "
+        f"recompiles (required: {MIN_LADDER_SPEEDUP}x); see {RESULT_PATH}"
+    )
+    assert warm_result.iterations <= cold_result.iterations, (
+        f"warm-started SA took {warm_result.iterations} iterations vs "
+        f"{cold_result.iterations} cold"
+    )
+    assert warm_result.best_cost <= cold_result.best_cost * WARM_COST_TOLERANCE, (
+        f"warm-started SA cost {warm_result.best_cost:.4f} worse than "
+        f"{WARM_COST_TOLERANCE}x cold cost {cold_result.best_cost:.4f}"
+    )

@@ -1,0 +1,128 @@
+"""Kernel-layer microbenchmarks (first slice of the ROADMAP perf ledger).
+
+Times the two hottest inner loops of the compiler in isolation and records
+them to ``BENCH_kernels.json`` at the repo root:
+
+* **SA Metropolis step** (:func:`repro.core.placement.annealing.anneal` via
+  :func:`~repro.core.placement.initial.sa_placement` with the delta-cost
+  protocol): microseconds per annealing iteration on a representative
+  placement workload, setup amortized over the iterations actually run.
+* **ASAP staging scheduler** (:func:`repro.circuits.scheduling.schedule_stages`
+  fast path): microseconds per gate on resynthesized circuits.
+
+The assertions are loose catastrophic-regression backstops (an order of
+magnitude above typical numbers); the JSON ledger is the real artifact --
+``benchmarks/bench_diff.py`` reports run-over-run drifts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.arch.presets import reference_zoned_architecture
+from repro.circuits.random import generate
+from repro.circuits.scheduling import preprocess, schedule_stages
+from repro.circuits.synthesis import resynthesize
+from repro.core.config import ZACConfig
+from repro.core.placement.initial import sa_placement
+
+#: Catastrophic-regression backstops (roughly 10x typical 1-CPU numbers).
+MAX_SA_US_PER_ITERATION = 500.0
+MAX_STAGING_US_PER_GATE = 100.0
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+
+REPEATS = 5
+
+
+def _bench_sa_metropolis(architecture) -> dict:
+    """Best-of-N microseconds per Metropolis iteration, setup amortized."""
+    circuit = generate("brickwork", seed=0, num_qubits=30, depth=20).circuit
+    stage_pairs = [
+        stage.pairs for stage in preprocess(circuit, cache=False).rydberg_stages
+    ]
+    config = ZACConfig(sa_iterations=2000)
+
+    best_us_per_iteration = float("inf")
+    iterations = 0
+    for _ in range(REPEATS):
+        captured: dict[str, object] = {}
+        start = time.perf_counter()
+        sa_placement(
+            architecture,
+            circuit.num_qubits,
+            stage_pairs,
+            config,
+            on_result=lambda r: captured.__setitem__("r", r),
+        )
+        elapsed = time.perf_counter() - start
+        result = captured["r"]
+        us = elapsed * 1e6 / max(1, result.iterations)
+        if us < best_us_per_iteration:
+            best_us_per_iteration = us
+            iterations = result.iterations
+    return {
+        "workload": "brickwork[num_qubits=30,depth=20]",
+        "iterations_run": iterations,
+        "us_per_iteration": round(best_us_per_iteration, 3),
+        "max_us_per_iteration": MAX_SA_US_PER_ITERATION,
+    }
+
+
+def _bench_staging_scheduler() -> dict:
+    """Best-of-N microseconds per gate for the fast ASAP stage scheduler."""
+    rows = []
+    total_gates = 0
+    total_best_s = 0.0
+    for generator, num_qubits, depth in (
+        ("brickwork", 30, 24),
+        ("qaoa_erdos_renyi", 24, 8),
+    ):
+        circuit = generate(
+            generator, seed=0, num_qubits=num_qubits, depth=depth
+        ).circuit
+        native = resynthesize(circuit)
+        num_gates = len(native.gates)
+        best_s = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            schedule_stages(native, fast=True)
+            best_s = min(best_s, time.perf_counter() - start)
+        total_gates += num_gates
+        total_best_s += best_s
+        rows.append(
+            {
+                "workload": f"{generator}[num_qubits={num_qubits},depth={depth}]",
+                "num_gates": num_gates,
+                "us_per_gate": round(best_s * 1e6 / num_gates, 3),
+            }
+        )
+    return {
+        "workloads": rows,
+        "us_per_gate": round(total_best_s * 1e6 / total_gates, 3),
+        "max_us_per_gate": MAX_STAGING_US_PER_GATE,
+    }
+
+
+def test_bench_kernels():
+    architecture = reference_zoned_architecture()
+    sa = _bench_sa_metropolis(architecture)
+    staging = _bench_staging_scheduler()
+
+    payload = {
+        "benchmark": "kernel_microbenchmarks",
+        "sa_metropolis": sa,
+        "staging_scheduler": staging,
+        "recorded_unix_time": time.time(),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"\n[kernels] SA {sa['us_per_iteration']:.2f} us/iteration "
+        f"({sa['iterations_run']} iterations); staging "
+        f"{staging['us_per_gate']:.2f} us/gate -> {RESULT_PATH.name}"
+    )
+    assert sa["us_per_iteration"] <= MAX_SA_US_PER_ITERATION
+    assert staging["us_per_gate"] <= MAX_STAGING_US_PER_GATE

@@ -87,6 +87,19 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         key: _coerce_option(args.backend, key, value)
         for key, value in (args.options or ())
     }
+    if getattr(args, "incremental", False):
+        if args.backend not in ("zac", "ideal"):
+            raise SystemExit(
+                "error: --incremental applies to the zac/ideal backends only"
+            )
+        import dataclasses
+
+        from .core.config import ZACConfig
+
+        base = options.get("config") or ZACConfig()
+        options["config"] = dataclasses.replace(
+            base, incremental=True, warm_start=True
+        )
     try:
         result = api.compile(circuit, backend=args.backend, **options)
     except (api.UnknownBackendError, TypeError, ValueError) as exc:
@@ -243,6 +256,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             "and --backend zac accepts config=<vanilla|dyn_place|dyn_place_reuse|full>"
         ),
     )
+    compile_parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "enable prefix-reuse compilation (ZACConfig.incremental + "
+            "warm_start); repeated compiles sharing a gate prefix resume "
+            "from the in-process cache (zac/ideal backends)"
+        ),
+    )
     compile_parser.set_defaults(func=_cmd_compile)
 
     validate_parser = sub.add_parser(
@@ -297,9 +319,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     fuzz_parser.add_argument(
         "--profile",
         default="throughput",
-        choices=("throughput", "default"),
+        choices=("throughput", "default", "incremental"),
         help="compile profile: 'throughput' (lighter ZAC SA schedule, the "
-        "default) or 'default' (paper-quality settings)",
+        "default), 'default' (paper-quality settings), or 'incremental' "
+        "(throughput + prefix-reuse compilation for depth ladders)",
     )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
 

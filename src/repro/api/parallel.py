@@ -430,7 +430,40 @@ class CompileService:
         compiler.zac_resolver = resolve
 
     def clear_cache(self) -> None:
+        """Drop the result cache AND the incremental prefix-layer caches.
+
+        The prefix caches (:func:`repro.core.incremental.get_prefix_cache`,
+        :func:`repro.circuits.synthesis.get_resynthesis_prefix_cache`) hold
+        per-process compilation artifacts for ``ZACConfig(incremental=True)``
+        compiles; test fixtures that re-register backends or need genuine
+        recompiles clear everything through this one entry point.  Note the
+        prefix caches are per-process: batches fanned out over the worker
+        pool populate each worker's own cache, so incremental reuse across a
+        depth ladder needs the rungs compiled in one process (serial
+        ``parallel=0``, the default).
+        """
         self.cache.clear()
+        from ..circuits.synthesis import get_resynthesis_prefix_cache
+        from ..core.incremental import get_prefix_cache
+
+        get_prefix_cache().clear()
+        get_resynthesis_prefix_cache().clear()
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss statistics of the result cache and the prefix caches."""
+        from ..circuits.synthesis import get_resynthesis_prefix_cache
+        from ..core.incremental import get_prefix_cache
+
+        resyn = get_resynthesis_prefix_cache()
+        return {
+            "results": self.cache.stats(),
+            "prefix": get_prefix_cache().stats(),
+            "resynthesis": {
+                "entries": len(resyn),
+                "hits": resyn.hits,
+                "misses": resyn.misses,
+            },
+        }
 
 
 _SERVICE = CompileService()

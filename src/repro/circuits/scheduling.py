@@ -304,20 +304,35 @@ def forget_preprocess(circuit: QuantumCircuit) -> None:
     _PREPROCESS_CACHE.pop((circuit.name, circuit.num_qubits, circuit.gates), None)
 
 
-def preprocess(circuit: QuantumCircuit, cache: bool = True) -> StagedCircuit:
+def preprocess(
+    circuit: QuantumCircuit, cache: bool = True, incremental: bool = False
+) -> StagedCircuit:
     """Full preprocessing pipeline: resynthesize then ASAP-stage.
 
     This is the paper's preprocessing step (Fig. 4) and the front end of
     every compiler in this repository.  Results are served from a
     content-addressed cache (pure function of the circuit, shared across
     backends); pass ``cache=False`` to force a recomputation.
+
+    With ``incremental=True`` (set by the pipeline when
+    ``ZACConfig.incremental`` is on), a full-cache miss resumes resynthesis
+    from the longest cached raw-gate prefix
+    (:class:`repro.circuits.synthesis.ResynthesisPrefixCache`) -- a
+    depth-ladder rung only resynthesizes its delta gates.  The output is
+    bit-identical to the from-scratch path by construction.
     """
     if not cache:
         return schedule_stages(resynthesize(circuit))
     key = (circuit.name, circuit.num_qubits, circuit.gates)
     staged = _PREPROCESS_CACHE.get(key)
     if staged is None:
-        staged = schedule_stages(resynthesize(circuit))
+        if incremental:
+            from .synthesis import get_resynthesis_prefix_cache
+
+            native = get_resynthesis_prefix_cache().resynthesize(circuit)
+        else:
+            native = resynthesize(circuit)
+        staged = schedule_stages(native)
         if len(_PREPROCESS_CACHE) >= _PREPROCESS_CACHE_MAX:
             _PREPROCESS_CACHE.pop(next(iter(_PREPROCESS_CACHE)))
         _PREPROCESS_CACHE[key] = staged

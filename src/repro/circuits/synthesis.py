@@ -12,6 +12,7 @@ The output circuit contains only ``cz`` and ``u3`` gates.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -215,6 +216,139 @@ def resynthesize(circuit: QuantumCircuit) -> QuantumCircuit:
     entry point used by :class:`repro.core.compiler.ZACCompiler`.
     """
     return merge_single_qubit_runs(decompose_to_cz(circuit))
+
+
+# ---------------------------------------------------------------------------
+# Prefix-resumable resynthesis (incremental compilation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResynthesisState:
+    """Streaming state of :func:`resynthesize` after a raw-gate prefix.
+
+    Resynthesis is a streaming algorithm: gates are decomposed one by one and
+    1Q runs are merged into per-qubit pending matrices that flush when a CZ
+    (or the end of the circuit) arrives.  Capturing the stream *before* the
+    final flush makes the computation resumable: extending the raw gate list
+    continues exactly where the prefix left off, so the output is
+    bit-identical to a from-scratch resynthesis of the longer circuit (the
+    equivalence is pinned by ``tests/test_incremental.py``).
+
+    Attributes:
+        raw_gates: The raw (pre-synthesis) gate prefix this state reflects.
+        out_gates: Native gates emitted so far (before the trailing flush).
+        pending: Per-qubit accumulated 1Q unitaries not yet flushed.  The
+            matrices are never mutated in place (merging rebinds), so they
+            are safely shared between states.
+    """
+
+    raw_gates: tuple[Gate, ...]
+    out_gates: tuple[Gate, ...]
+    pending: dict[int, np.ndarray]
+
+
+def resynthesize_extend(
+    circuit: QuantumCircuit, state: ResynthesisState | None = None
+) -> tuple[QuantumCircuit, ResynthesisState]:
+    """Resynthesize, optionally resuming from a cached raw-gate prefix.
+
+    ``state.raw_gates`` must be a prefix of ``circuit.gates`` (the caller
+    checks; :class:`ResynthesisPrefixCache` does).  Returns the resynthesized
+    circuit and the streaming state after the *full* circuit, ready to be
+    cached for the next extension.
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    pending: dict[int, np.ndarray] = {}
+    start = 0
+    if state is not None:
+        start = len(state.raw_gates)
+        out.extend(state.out_gates)
+        pending = dict(state.pending)
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None or is_identity(matrix):
+            return
+        theta, phi, lam = matrix_to_u3(matrix)
+        out.append(Gate("u3", (qubit,), (theta, phi, lam)))
+
+    for raw in circuit.gates[start:]:
+        for gate in _decompose_gate(raw):
+            if gate.num_qubits == 1:
+                qubit = gate.qubits[0]
+                matrix = single_qubit_matrix(gate)
+                existing = pending.get(qubit)
+                pending[qubit] = matrix if existing is None else matrix @ existing
+                continue
+            for q in gate.qubits:
+                flush(q)
+            out.append(gate)
+
+    new_state = ResynthesisState(
+        raw_gates=circuit.gates,
+        out_gates=tuple(out.gates),
+        pending=dict(pending),
+    )
+    for qubit in sorted(pending):
+        flush(qubit)
+    return out, new_state
+
+
+class ResynthesisPrefixCache:
+    """Bounded FIFO cache of resynthesis streaming states by raw-gate prefix.
+
+    Used by :func:`repro.circuits.scheduling.preprocess` when incremental
+    compilation is enabled: a depth-ladder rung resumes resynthesis from the
+    longest cached raw-gate prefix instead of re-deriving the whole circuit.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        self.max_entries = max_entries
+        self._entries: dict[tuple, ResynthesisState] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def resynthesize(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Resynthesize through the cache, storing the new streaming state."""
+        gates = circuit.gates
+        best: ResynthesisState | None = None
+        for (num_qubits, _), state in self._entries.items():
+            if num_qubits != circuit.num_qubits:
+                continue
+            prefix = state.raw_gates
+            if (
+                len(prefix) <= len(gates)
+                and (best is None or len(prefix) > len(best.raw_gates))
+                and gates[: len(prefix)] == prefix
+            ):
+                best = state
+        if best is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        out, new_state = resynthesize_extend(circuit, best)
+        key = (circuit.num_qubits, gates)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = new_state
+        return out
+
+
+_RESYN_PREFIX_CACHE = ResynthesisPrefixCache()
+
+
+def get_resynthesis_prefix_cache() -> ResynthesisPrefixCache:
+    """The process-wide resynthesis prefix cache."""
+    return _RESYN_PREFIX_CACHE
 
 
 def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:

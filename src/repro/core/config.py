@@ -41,6 +41,24 @@ class ZACConfig:
             False to run the retained naive reference implementations, which
             exist for equivalence testing and compile-speed regression
             benchmarking.
+        incremental: Enable prefix-reuse compilation
+            (:mod:`repro.core.incremental`).  Compiles populate the
+            process-wide :class:`~repro.core.incremental.PrefixCache`, and a
+            circuit whose gate list extends a cached circuit's skips the SA
+            initial placement (inheriting the ancestor's) and resumes
+            dynamic placement, routing, and scheduling from the shared
+            prefix boundary -- an O(delta) recompile for depth ladders and
+            iterative workloads.  Equivalence contract: the incremental
+            result is bit-identical to a from-scratch compile that starts
+            from the same initial placement (for the non-SA ablation
+            presets that *is* the plain from-scratch compile).
+        warm_start: When no cached circuit is an exact gate prefix, seed the
+            SA annealer with the initial placement of the most
+            content-similar cached circuit (longest structural gate-prefix,
+            parameters ignored) instead of the trivial placement.  This is
+            the VQE/QAOA parameter-sweep case: same circuit structure,
+            different angles.  Only affects the SA starting point; the
+            annealer still searches and keeps the best state found.
     """
 
     use_sa_initial_placement: bool = True
@@ -54,6 +72,8 @@ class ZACConfig:
     candidate_expansion: int = 2
     seed: int = 0
     use_fast_paths: bool = True
+    incremental: bool = False
+    warm_start: bool = False
 
     @staticmethod
     def vanilla() -> "ZACConfig":

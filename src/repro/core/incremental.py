@@ -1,0 +1,338 @@
+"""Incremental prefix-reuse compilation (ROADMAP item 3).
+
+Depth ladders, VQE/QAOA-style parameter sweeps, and fuzz campaigns compile
+*families* of circuits in which each member shares a long gate prefix with
+the previous one (PR 4's workload generators guarantee the depth-``d``
+circuit is a gate prefix of the depth-``d'`` circuit under a fixed seed).
+``BENCH_compile_speed.json`` shows the ``place`` phase consumes 75-90 % of
+per-circuit compile time, yet every compile used to start from scratch.
+
+This module makes recompiles O(delta):
+
+* :class:`PrefixCache` -- a process-wide, bounded store of per-compilation
+  artifacts keyed by the *Rydberg stage-pair prefix* of each compiled
+  circuit (plus a scope key: architecture fingerprint, config repr, and job
+  lowering mode -- artifacts are only reusable between compiles that agree
+  on all three).
+* :class:`PrefixLookupPass` -- inserted after preprocessing.  If a cached
+  circuit's stage pairs are a prefix of the request's, the pass injects the
+  ancestor's initial placement (skipping SA entirely) and the reusable
+  per-stage placement plans and routed jobs, so the downstream passes only
+  place/route the delta.  Otherwise, with ``warm_start`` enabled, it seeds
+  the SA annealer with the initial placement of the most content-similar
+  cached circuit (longest common stage-pair prefix).
+* :class:`PrefixStorePass` -- inserted after scheduling; records the
+  compile's artifacts for future reuse.
+
+Reuse granularity (why ``k = r_common - 1`` plans): the dynamic placer's
+plan for stage ``i`` depends on stages ``0..i+1`` (the return/reuse decision
+looks one stage ahead) plus the placer state entering stage ``i``.  With
+``r_common`` identical leading Rydberg stages, plans ``0..r_common-2`` are
+bit-reusable; the resumed placer replays their movements to reconstruct its
+state (see :meth:`DynamicPlacer._replay_plans`) and continues from stage
+``r_common - 1``.  When the cached circuit's stage pairs equal the request's
+*exactly*, every plan and routed job is reusable.
+
+Equivalence contract (pinned by ``tests/test_incremental.py``): an
+incremental compile is bit-identical to a from-scratch compile seeded with
+the same initial placement.  For the non-SA ablation presets the initial
+placement is a pure function of the qubit count, so incremental equals the
+plain from-scratch compile bit-for-bit; in SA mode the inherited placement
+is the ancestor's (that is the point), so the *quality* (fidelity, duration)
+is gated against cold compilation instead.
+
+Matching is over Rydberg stage *pairs*, not raw gates: placement and routing
+are pure functions of the stage pairs, so two circuits that differ only in
+single-qubit gate parameters (the parameter-sweep case) share everything up
+to scheduling, which is always re-run in full -- it is cheap and keeps the
+emitted program honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..zair.instructions import RearrangeJob
+from .model import GatePlacementEntry, StagePlan
+from .pipeline import Pass, PassContext
+
+#: One Rydberg stage as an ordered tuple of qubit pairs.
+StageKey = tuple[tuple[int, int], ...]
+
+
+def stage_pair_key(stage_pairs: list[list[tuple[int, int]]]) -> tuple[StageKey, ...]:
+    """Hashable content key of a circuit's Rydberg stage pairs."""
+    return tuple(tuple(stage) for stage in stage_pairs)
+
+
+def common_stage_prefix(a: tuple[StageKey, ...], b: tuple[StageKey, ...]) -> int:
+    """Number of leading identical Rydberg stages of two circuits."""
+    common = 0
+    for stage_a, stage_b in zip(a, b):
+        if stage_a != stage_b:
+            break
+        common += 1
+    return common
+
+
+def copy_stage_plan(plan: StagePlan) -> StagePlan:
+    """Copy a cached stage plan for adoption into a new compilation.
+
+    Containers are fresh (the cache must never alias live results);
+    ``Movement`` / ``Location`` / ``RydbergSite`` values are frozen
+    dataclasses and safely shared.
+    """
+    return StagePlan(
+        stage_index=plan.stage_index,
+        gates=[
+            GatePlacementEntry(entry.qubits, entry.site, entry.first_side)
+            for entry in plan.gates
+        ],
+        incoming=list(plan.incoming),
+        outgoing=list(plan.outgoing),
+        reused_qubits=set(plan.reused_qubits),
+        zone_index=plan.zone_index,
+        forced_next=dict(plan.forced_next),
+    )
+
+
+def copy_rearrange_job(job: RearrangeJob) -> RearrangeJob:
+    """Copy a cached rearrangement job for adoption into a new compilation.
+
+    The scheduler mutates only the job-level fields (``aod_id``,
+    ``begin_time``, ``end_time``), so the copy gets fresh containers while
+    sharing the frozen ``QLoc`` values and the write-once lowered machine
+    instructions.  ``copy.deepcopy`` here cost more than rebuilding the jobs
+    from scratch would have.
+    """
+    return RearrangeJob(
+        aod_id=job.aod_id,
+        begin_locs=list(job.begin_locs),
+        end_locs=list(job.end_locs),
+        insts=list(job.insts),
+        begin_time=job.begin_time,
+        end_time=job.end_time,
+    )
+
+
+@dataclass
+class PrefixEntry:
+    """Reusable artifacts of one completed compilation."""
+
+    num_qubits: int
+    stage_pairs: tuple[StageKey, ...]
+    #: Initial storage placement (qubit -> trap).
+    initial: dict
+    #: Per-Rydberg-stage placement plans, in stage order.
+    plans: list[StagePlan]
+    #: Routed rearrangement jobs keyed ``(stage_index, "in"|"out")``.
+    jobs: dict
+
+
+@dataclass
+class PrefixMatch:
+    """Outcome of a cache lookup."""
+
+    #: ``"resume"`` (exact stage-pair prefix), ``"warm"`` (similar circuit
+    #: found, SA warm start only), or ``"miss"``.
+    kind: str
+    entry: PrefixEntry | None = None
+    #: Leading stages shared with the matched entry.
+    common_stages: int = 0
+    #: Number of cached stage plans adoptable verbatim (resume only).
+    reusable_plans: int = 0
+
+
+class PrefixCache:
+    """Bounded FIFO store of compilation artifacts keyed by gate prefix.
+
+    Entries live under a *scope key* -- ``(architecture fingerprint,
+    repr(config), lower_jobs)`` -- because placement plans and routed jobs
+    are only meaningful between compiles agreeing on all three.  Within a
+    scope, one entry is kept per distinct stage-pair sequence (recompiling
+    the same circuit refreshes its entry).
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self.max_entries = max_entries
+        self._entries: dict[tuple, PrefixEntry] = {}
+        self.hits = 0
+        self.warm_hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.warm_hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "warm_hits": self.warm_hits,
+            "misses": self.misses,
+        }
+
+    # -- store ----------------------------------------------------------------
+
+    def store(self, scope: tuple, entry: PrefixEntry) -> None:
+        key = (scope, entry.stage_pairs)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = entry
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(
+        self,
+        scope: tuple,
+        num_qubits: int,
+        stage_pairs: tuple[StageKey, ...],
+        want_resume: bool = True,
+        want_warm: bool = False,
+    ) -> PrefixMatch:
+        """Find the best reusable entry for a compile request.
+
+        Resume candidates are entries whose *entire* stage-pair sequence is
+        a prefix of the request's (the depth-ladder / extension case); the
+        longest one wins.  Failing that, warm candidates are entries sharing
+        at least one leading stage; the one with the longest common prefix
+        wins and only its initial placement is used (to seed SA).
+        """
+        best_resume: PrefixEntry | None = None
+        best_warm: PrefixEntry | None = None
+        best_warm_common = 0
+        for (entry_scope, _), entry in self._entries.items():
+            if entry_scope != scope or entry.num_qubits != num_qubits:
+                continue
+            common = common_stage_prefix(entry.stage_pairs, stage_pairs)
+            if (
+                want_resume
+                and common == len(entry.stage_pairs)
+                and (
+                    best_resume is None
+                    or common > len(best_resume.stage_pairs)
+                )
+            ):
+                best_resume = entry
+            if want_warm and common > best_warm_common:
+                best_warm, best_warm_common = entry, common
+
+        if best_resume is not None:
+            common = len(best_resume.stage_pairs)
+            # The last cached plan looked ahead into a stage the cached
+            # circuit did not have; it is only reusable when the request has
+            # no further stage either (exact stage-pair equality).
+            reusable = common if common == len(stage_pairs) else common - 1
+            self.hits += 1
+            return PrefixMatch(
+                "resume",
+                entry=best_resume,
+                common_stages=common,
+                reusable_plans=max(0, reusable),
+            )
+        if best_warm is not None:
+            self.warm_hits += 1
+            return PrefixMatch("warm", entry=best_warm, common_stages=best_warm_common)
+        self.misses += 1
+        return PrefixMatch("miss")
+
+
+_PREFIX_CACHE = PrefixCache()
+
+
+def get_prefix_cache() -> PrefixCache:
+    """The process-wide prefix cache."""
+    return _PREFIX_CACHE
+
+
+def clear_prefix_cache() -> None:
+    """Drop all cached prefixes (test isolation)."""
+    _PREFIX_CACHE.clear()
+
+
+def prefix_scope(ctx: PassContext) -> tuple:
+    """Scope key under which this compilation's artifacts are reusable."""
+    # Lazy import: api.parallel imports the core package.
+    from ..api.parallel import architecture_fingerprint
+
+    return (
+        architecture_fingerprint(ctx.architecture),
+        repr(ctx.config),
+        ctx.lower_jobs,
+    )
+
+
+class PrefixLookupPass(Pass):
+    """Inject reusable artifacts from the prefix cache (after preprocess).
+
+    On a resume hit the pass sets ``ctx.initial`` (PlacePass then skips the
+    initial-placement strategy entirely, SA included) and stashes
+    ``ctx.data["prefix_plans"]`` / ``ctx.data["route_prefix_jobs"]`` for the
+    placement and routing passes.  On a warm hit it stashes
+    ``ctx.data["warm_start_placement"]`` for the SA annealer.  The lookup
+    outcome is recorded in ``ctx.data["prefix_match"]``.
+    """
+
+    name = "prefix_lookup"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.require("staged", "stage_pairs")
+        want_resume = ctx.config.incremental
+        want_warm = ctx.config.warm_start and ctx.config.use_sa_initial_placement
+        if not (want_resume or want_warm):
+            return
+        cache = get_prefix_cache()
+        match = cache.lookup(
+            prefix_scope(ctx),
+            ctx.staged.num_qubits,
+            stage_pair_key(ctx.stage_pairs),
+            want_resume=want_resume,
+            want_warm=want_warm,
+        )
+        ctx.data["prefix_match"] = match
+        if match.kind == "resume":
+            entry = match.entry
+            assert entry is not None
+            ctx.initial = dict(entry.initial)
+            k = match.reusable_plans
+            ctx.data["prefix_plans"] = [
+                copy_stage_plan(plan) for plan in entry.plans[:k]
+            ]
+            # Routed jobs alias ZAIR instructions the scheduler mutates
+            # (aod_id, begin/end times), so the reused jobs are copied.
+            ctx.data["route_prefix_stages"] = k
+            ctx.data["route_prefix_jobs"] = {
+                key: [copy_rearrange_job(job) for job in jobs]
+                for key, jobs in entry.jobs.items()
+                if key[0] < k
+            }
+        elif match.kind == "warm":
+            entry = match.entry
+            assert entry is not None
+            ctx.data["warm_start_placement"] = dict(entry.initial)
+
+
+class PrefixStorePass(Pass):
+    """Record the finished compilation's artifacts (after schedule)."""
+
+    name = "prefix_store"
+
+    def run(self, ctx: PassContext) -> None:
+        if not (ctx.config.incremental or ctx.config.warm_start):
+            return
+        ctx.require("staged", "stage_pairs", "initial", "plan", "routed_jobs")
+        get_prefix_cache().store(
+            prefix_scope(ctx),
+            PrefixEntry(
+                num_qubits=ctx.staged.num_qubits,
+                stage_pairs=stage_pair_key(ctx.stage_pairs),
+                initial=dict(ctx.initial),
+                plans=list(ctx.plan.stages),
+                jobs=dict(ctx.routed_jobs),
+            ),
+        )

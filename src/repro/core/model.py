@@ -115,6 +115,10 @@ class StagePlan:
     reused_qubits: set[int] = field(default_factory=set)
     #: Entanglement zone illuminated by this stage's Rydberg pulse.
     zone_index: int = 0
+    #: Reuse constraint handed to the *next* stage: next-stage gate index ->
+    #: ``(site, reused_qubit)``.  Recorded so incremental compilation can
+    #: resume the dynamic placer exactly at a prefix boundary.
+    forced_next: dict[int, tuple[RydbergSite, int]] = field(default_factory=dict)
 
 
 @dataclass

@@ -100,7 +100,7 @@ class PreprocessPass(Pass):
     def run(self, ctx: PassContext) -> None:
         if ctx.staged is None:
             ctx.require("circuit")
-            ctx.staged = preprocess(ctx.circuit)
+            ctx.staged = preprocess(ctx.circuit, incremental=ctx.config.incremental)
         if ctx.circuit_name is None:
             ctx.circuit_name = ctx.staged.name
         if ctx.staged.num_qubits > ctx.architecture.num_storage_traps:
@@ -113,7 +113,15 @@ class PreprocessPass(Pass):
 
 
 class PlacePass(Pass):
-    """Initial placement (SA or trivial) followed by dynamic placement."""
+    """Initial placement (SA or trivial) followed by dynamic placement.
+
+    Incremental hooks: when ``ctx.initial`` is already set (a prefix-cache
+    resume hit injected the ancestor's placement) the initial-placement
+    strategy is skipped entirely; ``ctx.data["prefix_plans"]`` resumes the
+    dynamic placer mid-circuit; ``ctx.data["warm_start_placement"]`` seeds
+    the SA annealer.  The annealing statistics land in
+    ``ctx.data["sa_result"]`` for the kernel-level benchmarks.
+    """
 
     name = "place"
 
@@ -124,21 +132,32 @@ class PlacePass(Pass):
 
     def run(self, ctx: PassContext) -> None:
         ctx.require("staged", "stage_pairs")
-        if self.initial == "sa":
-            ctx.initial = sa_placement(
-                ctx.architecture, ctx.staged.num_qubits, ctx.stage_pairs, config=ctx.config
-            )
-        else:
-            ctx.initial = trivial_placement(ctx.architecture, ctx.staged.num_qubits)
+        if ctx.initial is None:
+            if self.initial == "sa":
+                ctx.initial = sa_placement(
+                    ctx.architecture,
+                    ctx.staged.num_qubits,
+                    ctx.stage_pairs,
+                    config=ctx.config,
+                    on_result=lambda result: ctx.data.__setitem__("sa_result", result),
+                    warm_start=ctx.data.get("warm_start_placement"),
+                )
+            else:
+                ctx.initial = trivial_placement(ctx.architecture, ctx.staged.num_qubits)
         placer = DynamicPlacer(ctx.architecture, ctx.config)
-        ctx.plan = placer.run(ctx.stage_pairs, ctx.initial)
+        ctx.plan = placer.run(
+            ctx.stage_pairs, ctx.initial, prefix_plans=ctx.data.get("prefix_plans")
+        )
 
 
 class RoutePass(Pass):
     """Build the rearrangement jobs for every movement epoch of the plan.
 
     Jobs are keyed by ``(rydberg_stage_index, "in"|"out")`` and consumed by
-    the scheduler, which only has to time and emit them.
+    the scheduler, which only has to time and emit them.  Epochs of stages
+    below ``ctx.data["route_prefix_stages"]`` are adopted from the prefix
+    cache (``ctx.data["route_prefix_jobs"]``) instead of being rebuilt; the
+    adopted plans are identical, so the jobs are too.
     """
 
     name = "route"
@@ -146,7 +165,14 @@ class RoutePass(Pass):
     def run(self, ctx: PassContext) -> None:
         ctx.require("plan")
         jobs: dict[tuple[int, str], list] = {}
+        start = 0
+        prefix_jobs = ctx.data.get("route_prefix_jobs")
+        if prefix_jobs is not None:
+            jobs.update(prefix_jobs)
+            start = ctx.data.get("route_prefix_stages", 0)
         for index, stage_plan in enumerate(ctx.plan.stages):
+            if index < start:
+                continue
             for direction, movements in (
                 ("in", stage_plan.incoming),
                 ("out", stage_plan.outgoing),
@@ -306,7 +332,7 @@ def default_pipeline(config: ZACConfig | None = None) -> PassPipeline:
     """
     config = config or ZACConfig()
     initial = "sa" if config.use_sa_initial_placement else "trivial"
-    return PassPipeline(
+    pipeline = PassPipeline(
         [
             PreprocessPass(),
             PlacePass(initial=initial),
@@ -315,3 +341,11 @@ def default_pipeline(config: ZACConfig | None = None) -> PassPipeline:
             FidelityPass(),
         ]
     )
+    if config.incremental or config.warm_start:
+        # Imported here: core.incremental subclasses Pass from this module.
+        from .incremental import PrefixLookupPass, PrefixStorePass
+
+        pipeline = pipeline.with_pass(
+            PrefixLookupPass(), after="preprocess"
+        ).with_pass(PrefixStorePass(), after="schedule")
+    return pipeline

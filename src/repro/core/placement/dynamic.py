@@ -60,24 +60,46 @@ class DynamicPlacer:
         self,
         rydberg_stages: list[list[tuple[int, int]]],
         initial: dict[int, StorageTrap],
+        prefix_plans: list[StagePlan] | None = None,
     ) -> PlacementPlan:
-        """Produce the full placement plan for a staged circuit."""
+        """Produce the full placement plan for a staged circuit.
+
+        Args:
+            rydberg_stages: Qubit pairs of every Rydberg stage.
+            initial: Initial storage placement.
+            prefix_plans: Already-computed plans for the leading stages (from
+                an incremental prefix-cache hit).  They are adopted verbatim;
+                the placer replays their movements to reconstruct its state
+                and resumes planning at stage ``len(prefix_plans)``.  The
+                caller guarantees the prefix stages (and the one after, which
+                the last prefix plan looked ahead into) are identical to the
+                cached circuit's.
+        """
         self._location: dict[int, Location] = {
             q: Location.at_storage(trap) for q, trap in initial.items()
         }
+        self._home: dict[int, StorageTrap] = dict(initial)
+
+        plan = PlacementPlan(initial=dict(initial))
+        forced: dict[int, tuple[RydbergSite, int]] = {}
+
+        start_stage = 0
+        if prefix_plans:
+            plan.stages.extend(prefix_plans)
+            start_stage = len(prefix_plans)
+            forced = dict(prefix_plans[-1].forced_next)
+            self._replay_plans(prefix_plans)
+
+        self._occupied_storage: set[StorageTrap] = set(self._home.values())
         # Position cache maintained incrementally alongside ``_location`` so
         # the per-stage option evaluations don't recompute every coordinate.
         self._pos: dict[int, Point] = {
             q: location_position(self.architecture, loc)
             for q, loc in self._location.items()
         }
-        self._home: dict[int, StorageTrap] = dict(initial)
-        self._occupied_storage: set[StorageTrap] = set(initial.values())
 
-        plan = PlacementPlan(initial=dict(initial))
-        forced: dict[int, tuple[RydbergSite, int]] = {}
-
-        for stage_index, gates in enumerate(rydberg_stages):
+        for stage_index in range(start_stage, len(rydberg_stages)):
+            gates = rydberg_stages[stage_index]
             next_gates = (
                 rydberg_stages[stage_index + 1]
                 if stage_index + 1 < len(rydberg_stages)
@@ -86,6 +108,25 @@ class DynamicPlacer:
             stage_plan, forced = self._place_stage(stage_index, gates, next_gates, forced)
             plan.stages.append(stage_plan)
         return plan
+
+    def _replay_plans(self, plans: list[StagePlan]) -> None:
+        """Reconstruct location/home state by replaying cached stage plans.
+
+        Incoming movements park qubits at Rydberg sites; outgoing movements
+        return them to (possibly new) storage traps, which also re-homes
+        them.  This mirrors exactly the state updates of
+        :meth:`_place_stage`, so a resumed run continues from the same state
+        a from-scratch run would have reached (``_occupied_storage`` is the
+        set of current homes by construction -- see the invariant in
+        :meth:`run`).
+        """
+        for stage_plan in plans:
+            for movement in stage_plan.incoming:
+                self._location[movement.qubit] = movement.destination
+            for movement in stage_plan.outgoing:
+                self._location[movement.qubit] = movement.destination
+                assert movement.destination.storage is not None
+                self._home[movement.qubit] = movement.destination.storage
 
     # -- per-stage steps ------------------------------------------------------
 
@@ -155,6 +196,7 @@ class DynamicPlacer:
             self._home[qubit] = trap
             self._move_to(qubit, Location.at_storage(trap))
 
+        plan.forced_next = option.forced_sites
         return plan, option.forced_sites
 
     def _gate_entry(

@@ -86,6 +86,7 @@ def sa_placement(
     staged_gates: list[list[tuple[int, int]]],
     config: ZACConfig = ZACConfig(),
     on_result: Callable[[AnnealingResult], None] | None = None,
+    warm_start: dict[int, StorageTrap] | None = None,
 ) -> dict[int, StorageTrap]:
     """Simulated-annealing initial placement minimising Eq. 2.
 
@@ -95,8 +96,20 @@ def sa_placement(
         staged_gates: Two-qubit gates grouped by Rydberg stage (qubit pairs).
         config: Annealing parameters.
         on_result: Optional callback receiving the annealing statistics.
+        warm_start: Optional starting placement for the annealer (e.g. the
+            converged placement of a structurally similar circuit, injected
+            by incremental compilation).  Ignored unless it is a valid
+            injective placement of exactly this circuit's qubits; the
+            annealer still searches from it and keeps the best state found,
+            so a poor seed degrades convergence speed, not correctness.
     """
     placement = trivial_placement(architecture, num_qubits)
+    if (
+        warm_start is not None
+        and sorted(warm_start) == list(range(num_qubits))
+        and len(set(warm_start.values())) == num_qubits
+    ):
+        placement = dict(warm_start)
     weighted = weighted_gate_list(staged_gates)
     if not weighted or num_qubits <= 1:
         return placement

@@ -64,6 +64,20 @@ DEFAULT_GENERATORS: tuple[str, ...] = tuple(generator_names())
 #: the ideal-dominates invariant is unaffected.
 FUZZ_ZAC_CONFIG = ZACConfig(sa_iterations=100)
 
+#: The "incremental" profile: the throughput SA schedule plus prefix-reuse
+#: compilation (:mod:`repro.core.incremental`).  Depth ladders compile their
+#: rungs shallowest-first, so every deeper rung resumes from the previous
+#: one's cached prefix -- the O(delta) recompile path this profile exists to
+#: exercise.  The ``ideal`` bound idealises the same configuration, so its
+#: inner ZAC run shares the prefix-cache scope and the ideal-dominates
+#: invariant stays well-posed.  The determinism invariant remains meaningful:
+#: its ``fresh=True`` recompile bypasses only the *result* cache, and a
+#: prefix-cache full-match resume is pinned bit-identical to the compile
+#: that stored the entry.
+FUZZ_ZAC_INCREMENTAL_CONFIG = ZACConfig(
+    sa_iterations=100, incremental=True, warm_start=True
+)
+
 #: Named per-backend option profiles used by :func:`run_fuzz`.  Repro
 #: bundles record the profile name so replays compile exactly as the sweep
 #: did.
@@ -72,6 +86,10 @@ COMPILE_PROFILES: dict[str, dict[str, dict]] = {
     "throughput": {
         "zac": {"config": FUZZ_ZAC_CONFIG},
         "ideal": {"config": FUZZ_ZAC_CONFIG},
+    },
+    "incremental": {
+        "zac": {"config": FUZZ_ZAC_INCREMENTAL_CONFIG},
+        "ideal": {"config": FUZZ_ZAC_INCREMENTAL_CONFIG},
     },
 }
 

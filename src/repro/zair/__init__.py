@@ -32,7 +32,7 @@ from .lowering import (
     lower_program_jobs,
     qloc_position,
 )
-from .program import ZAIRProgram
+from .program import StaleColumnsError, ZAIRProgram
 from .validation import (
     ValidationError,
     validate_job_ordering,
@@ -56,6 +56,7 @@ __all__ = [
     "QLoc",
     "RearrangeJob",
     "RydbergInst",
+    "StaleColumnsError",
     "TransferEpochInst",
     "ValidationError",
     "ZAIRColumns",

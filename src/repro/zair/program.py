@@ -1,8 +1,27 @@
-"""ZAIR program container and statistics."""
+"""ZAIR program container and statistics.
+
+Columnar-view staleness contract
+--------------------------------
+
+:meth:`ZAIRProgram.columns` caches its structure-of-arrays flattening and
+assumes the program is *frozen* after compilation.  Anything that mutates a
+program in place after a ``columns()`` call -- editing, reordering, or
+re-timing instructions -- MUST call :meth:`ZAIRProgram.invalidate_columns`
+afterwards, or later ``columns()`` hits silently return a view of the old
+instruction stream.  Pickling and ``copy.deepcopy`` drop the cache
+automatically, so the test-suite convention of mutating deep copies is
+always safe.
+
+Set the ``REPRO_DEBUG_STALE_COLUMNS`` environment variable to make every
+cache hit verify a content digest of the instruction stream and raise
+``StaleColumnsError`` on a missed invalidation (O(instructions) per hit --
+debugging aid, not for production sweeps).
+"""
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -23,6 +42,20 @@ from .instructions import (
     TransferEpochInst,
     ZAIRInstruction,
 )
+
+
+class StaleColumnsError(RuntimeError):
+    """A cached columnar view no longer matches the instruction stream.
+
+    Raised only under ``REPRO_DEBUG_STALE_COLUMNS``: the program was mutated
+    in place after a :meth:`ZAIRProgram.columns` call without a matching
+    :meth:`ZAIRProgram.invalidate_columns`.
+    """
+
+
+#: Sentinel key holding the debug content digest inside the columns cache
+#: (cannot collide with view keys, which are ``id()`` ints or ``None``).
+_DIGEST_KEY = "digest"
 
 
 @dataclass
@@ -60,15 +93,39 @@ class ZAIRProgram:
         cache assumes the program is frozen after compilation: pickling and
         ``copy.deepcopy`` drop it automatically, and in-place mutation must
         be followed by :meth:`invalidate_columns` (the test-suite convention
-        is to mutate deep copies instead).
+        is to mutate deep copies instead).  Under the
+        ``REPRO_DEBUG_STALE_COLUMNS`` environment variable, cache hits
+        verify a content digest and raise :class:`StaleColumnsError` on a
+        missed invalidation (see the module docstring).
         """
+        debug = bool(os.environ.get("REPRO_DEBUG_STALE_COLUMNS"))
         key = id(architecture) if architecture is not None else None
         view = self._columns_cache.get(key)
+        if view is not None and debug:
+            recorded = self._columns_cache.get(_DIGEST_KEY)
+            if recorded is not None and recorded != self._content_digest():
+                raise StaleColumnsError(
+                    "ZAIRProgram was mutated in place after columns() was "
+                    "cached; call invalidate_columns() after in-place "
+                    "mutation (or mutate a deep copy instead)"
+                )
         if view is None:
             view = build_columns(self, architecture)
             self._columns_cache.clear()  # keep at most one view alive
             self._columns_cache[key] = view
+            if debug:
+                self._columns_cache[_DIGEST_KEY] = self._content_digest()
         return view
+
+    def _content_digest(self) -> int:
+        """Cheap content hash of the instruction stream (debug aid only)."""
+        return hash(
+            (
+                self.num_qubits,
+                len(self.instructions),
+                tuple(map(repr, self.instructions)),
+            )
+        )
 
     def invalidate_columns(self) -> None:
         """Drop cached columnar views after an in-place mutation."""

@@ -1,0 +1,453 @@
+"""Tests for incremental prefix-reuse compilation (repro.core.incremental).
+
+The load-bearing contract (module docstring of ``repro.core.incremental``):
+an incremental compile is bit-identical to a from-scratch compile seeded
+with the same initial placement.  For the non-SA ablation presets the
+initial placement is a pure function of the qubit count, so incremental
+equals the *plain* from-scratch compile bit-for-bit; in SA mode the
+inherited placement is the ancestor's, so the comparison injects it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.presets import reference_zoned_architecture
+from repro.circuits.random import generate
+from repro.circuits.scheduling import clear_preprocess_cache
+from repro.circuits.synthesis import (
+    ResynthesisPrefixCache,
+    get_resynthesis_prefix_cache,
+    resynthesize,
+    resynthesize_extend,
+)
+from repro.core.compiler import ZACCompiler
+from repro.core.config import ZACConfig
+from repro.core.incremental import (
+    PrefixCache,
+    PrefixEntry,
+    clear_prefix_cache,
+    common_stage_prefix,
+    get_prefix_cache,
+    stage_pair_key,
+)
+from repro.core.placement.initial import sa_placement, trivial_placement
+from repro.zair import StaleColumnsError, validate_program
+
+ARCH = reference_zoned_architecture()
+
+#: Small SA budget so property tests stay fast; the contract is exact
+#: equivalence, which holds for any budget.
+SA_CONFIG = ZACConfig(sa_iterations=60)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_prefix_cache()
+    clear_preprocess_cache()
+    get_resynthesis_prefix_cache().clear()
+    yield
+    clear_prefix_cache()
+    clear_preprocess_cache()
+    get_resynthesis_prefix_cache().clear()
+
+
+def _brickwork(num_qubits: int, depth: int, seed: int = 0):
+    return generate(
+        "brickwork", seed=seed, num_qubits=num_qubits, depth=depth
+    ).circuit
+
+
+def _entry(stage_pairs, num_qubits: int = 4) -> PrefixEntry:
+    return PrefixEntry(
+        num_qubits=num_qubits,
+        stage_pairs=stage_pairs,
+        initial={},
+        plans=[object()] * len(stage_pairs),
+        jobs={},
+    )
+
+
+# ---------------------------------------------------------------------------
+# PrefixCache unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestPrefixCache:
+    SCOPE = ("arch", "config", True)
+    A = ((0, 1),)
+    B = ((2, 3),)
+    C = ((0, 2),)
+
+    def test_exact_match_resumes_every_plan(self):
+        cache = PrefixCache()
+        cache.store(self.SCOPE, _entry((self.A, self.B)))
+        match = cache.lookup(self.SCOPE, 4, (self.A, self.B))
+        assert match.kind == "resume"
+        assert match.common_stages == 2
+        assert match.reusable_plans == 2
+
+    def test_extension_resumes_all_but_lookahead_plan(self):
+        cache = PrefixCache()
+        cache.store(self.SCOPE, _entry((self.A, self.B)))
+        match = cache.lookup(self.SCOPE, 4, (self.A, self.B, self.C))
+        assert match.kind == "resume"
+        assert match.common_stages == 2
+        # The cached plan for the last stage looked ahead past the cached
+        # circuit's end, so only r_common - 1 plans are adoptable.
+        assert match.reusable_plans == 1
+
+    def test_longest_prefix_entry_wins(self):
+        cache = PrefixCache()
+        cache.store(self.SCOPE, _entry((self.A,)))
+        cache.store(self.SCOPE, _entry((self.A, self.B)))
+        match = cache.lookup(self.SCOPE, 4, (self.A, self.B, self.C))
+        assert match.kind == "resume"
+        assert match.common_stages == 2
+
+    def test_divergent_entry_warm_starts_only(self):
+        cache = PrefixCache()
+        cache.store(self.SCOPE, _entry((self.A, self.B)))
+        # Request diverges at stage 1: the entry is not a full prefix.
+        match = cache.lookup(
+            self.SCOPE, 4, (self.A, self.C), want_warm=True
+        )
+        assert match.kind == "warm"
+        assert match.common_stages == 1
+        match = cache.lookup(self.SCOPE, 4, (self.A, self.C), want_warm=False)
+        assert match.kind == "miss"
+
+    def test_scope_and_width_isolation(self):
+        cache = PrefixCache()
+        cache.store(self.SCOPE, _entry((self.A,)))
+        assert cache.lookup(("other",), 4, (self.A,)).kind == "miss"
+        assert cache.lookup(self.SCOPE, 5, (self.A,), want_warm=True).kind == "miss"
+
+    def test_fifo_eviction(self):
+        cache = PrefixCache(max_entries=2)
+        cache.store(self.SCOPE, _entry((self.A,)))
+        cache.store(self.SCOPE, _entry((self.B,)))
+        cache.store(self.SCOPE, _entry((self.C,)))
+        assert len(cache) == 2
+        assert cache.lookup(self.SCOPE, 4, (self.A,)).kind == "miss"
+        assert cache.lookup(self.SCOPE, 4, (self.C,)).kind == "resume"
+
+    def test_restore_refreshes_without_eviction(self):
+        cache = PrefixCache(max_entries=2)
+        cache.store(self.SCOPE, _entry((self.A,)))
+        cache.store(self.SCOPE, _entry((self.B,)))
+        cache.store(self.SCOPE, _entry((self.A,)))  # refresh, not insert
+        assert len(cache) == 2
+
+    def test_stats_and_clear(self):
+        cache = PrefixCache()
+        cache.store(self.SCOPE, _entry((self.A,)))
+        cache.lookup(self.SCOPE, 4, (self.A,))
+        cache.lookup(self.SCOPE, 4, (self.C,))
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "warm_hits": 0,
+            "misses": 1,
+        }
+        cache.clear()
+        assert cache.stats() == {
+            "entries": 0,
+            "hits": 0,
+            "warm_hits": 0,
+            "misses": 0,
+        }
+
+
+def test_common_stage_prefix():
+    a, b, c = ((0, 1),), ((2, 3),), ((0, 2),)
+    assert common_stage_prefix((a, b), (a, b, c)) == 2
+    assert common_stage_prefix((a, b), (a, c)) == 1
+    assert common_stage_prefix((a,), (b,)) == 0
+    assert common_stage_prefix((), (a,)) == 0
+
+
+def test_stage_pair_key_is_hashable_content_key():
+    pairs = [[(0, 1), (2, 3)], [(1, 2)]]
+    key = stage_pair_key(pairs)
+    assert key == (((0, 1), (2, 3)), ((1, 2),))
+    hash(key)
+
+
+# ---------------------------------------------------------------------------
+# Prefix-resumable resynthesis
+# ---------------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(0, 10),
+    depth=st.integers(2, 6),
+    delta=st.integers(1, 4),
+    generator=st.sampled_from(["brickwork", "qaoa_regular", "clifford_t"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_resynthesize_extend_matches_from_scratch(seed, depth, delta, generator):
+    shallow = generate(generator, seed=seed, num_qubits=6, depth=depth).circuit
+    deep = generate(generator, seed=seed, num_qubits=6, depth=depth + delta).circuit
+    assert deep.gates[: len(shallow.gates)] == shallow.gates  # generator contract
+
+    _, state = resynthesize_extend(shallow)
+    extended, _ = resynthesize_extend(deep, state)
+    scratch = resynthesize(deep)
+    assert extended.gates == scratch.gates
+
+
+def test_resynthesis_prefix_cache_hits_and_is_exact():
+    cache = ResynthesisPrefixCache()
+    shallow = _brickwork(6, 3)
+    deep = _brickwork(6, 6)
+    first = cache.resynthesize(shallow)
+    second = cache.resynthesize(deep)
+    assert cache.hits == 1 and cache.misses == 1
+    assert first.gates == resynthesize(shallow).gates
+    assert second.gates == resynthesize(deep).gates
+
+
+# ---------------------------------------------------------------------------
+# End-to-end equivalence: incremental vs from-scratch
+# ---------------------------------------------------------------------------
+
+
+def _compile_scratch(config: ZACConfig, circuit, initial=None):
+    """From-scratch compile, optionally seeded with an initial placement."""
+    scratch_config = dataclasses.replace(
+        config, incremental=False, warm_start=False
+    )
+    compiler = ZACCompiler(ARCH, scratch_config)
+    ctx = compiler._context(circuit=circuit, circuit_name=circuit.name)
+    if initial is not None:
+        ctx.initial = dict(initial)
+    compiler.pipeline.run(ctx)
+    return ctx.program
+
+
+def _cached_entry_for(circuit, config: ZACConfig):
+    """The prefix-cache entry stored for ``circuit`` under ``config``."""
+    compiler = ZACCompiler(ARCH, config)
+    ctx = compiler._context(circuit=circuit, circuit_name=circuit.name)
+    from repro.core.incremental import prefix_scope, stage_pair_key as spk
+    from repro.circuits.scheduling import preprocess
+
+    staged = preprocess(circuit)
+    pairs = spk([stage.pairs for stage in staged.rydberg_stages])
+    scope = prefix_scope(ctx)
+    for (entry_scope, entry_pairs), entry in get_prefix_cache()._entries.items():
+        if entry_scope == scope and entry_pairs == pairs:
+            return entry
+    raise AssertionError("no cache entry stored for circuit")
+
+
+@given(
+    seed=st.integers(0, 6),
+    depth=st.integers(2, 5),
+    delta=st.integers(1, 3),
+    preset=st.sampled_from(["vanilla", "dyn_place", "dyn_place_reuse", "full"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_ladder_extension_equals_from_scratch(seed, depth, delta, preset):
+    """Compile depth d, then extend to d+delta incrementally: the extension
+    is bit-identical to compiling depth d+delta from scratch (with the
+    inherited initial placement injected for the SA preset)."""
+    clear_prefix_cache()
+    clear_preprocess_cache()
+    get_resynthesis_prefix_cache().clear()
+
+    base = getattr(ZACConfig, preset)()
+    if base.use_sa_initial_placement:
+        base = dataclasses.replace(base, sa_iterations=60)
+    inc_config = dataclasses.replace(base, incremental=True, warm_start=True)
+
+    shallow = _brickwork(8, depth, seed)
+    deep = _brickwork(8, depth + delta, seed)
+
+    compiler = ZACCompiler(ARCH, inc_config)
+    compiler.compile(shallow)
+    stats_before = get_prefix_cache().stats()
+    incremental = compiler.compile(deep)
+    assert get_prefix_cache().hits == stats_before["hits"] + 1  # resume path
+
+    validate_program(ARCH, incremental.program)
+
+    if base.use_sa_initial_placement:
+        # SA mode inherits the ancestor's placement: compare against a
+        # scratch compile seeded with that same placement.
+        initial = _cached_entry_for(shallow, inc_config).initial
+        scratch = _compile_scratch(inc_config, deep, initial=initial)
+    else:
+        # Trivial placement is a pure function of the qubit count, so
+        # incremental must equal the plain from-scratch compile.
+        scratch = _compile_scratch(inc_config, deep)
+    assert incremental.program.to_json() == scratch.to_json()
+
+
+def test_identical_recompile_is_bit_identical_in_sa_mode():
+    """An exact stage-pair match resumes with every artifact reused, so even
+    the SA preset reproduces the stored program bit-for-bit."""
+    inc_config = dataclasses.replace(SA_CONFIG, incremental=True)
+    circuit = _brickwork(10, 6)
+    compiler = ZACCompiler(ARCH, inc_config)
+    first = compiler.compile(circuit)
+    second = compiler.compile(circuit)
+    assert get_prefix_cache().hits == 1
+    assert first.program.to_json() == second.program.to_json()
+
+
+def test_warm_start_path_taken_for_divergent_sibling():
+    """With no full-prefix entry, the SA annealer is seeded from the most
+    similar cached circuit; the result still validates."""
+    inc_config = dataclasses.replace(SA_CONFIG, incremental=True, warm_start=True)
+    compiler = ZACCompiler(ARCH, inc_config)
+    # Deep circuit first: the shallow request shares every one of its own
+    # stages with it, but the entry is longer, so resume is impossible.
+    compiler.compile(_brickwork(10, 8))
+    result = compiler.compile(_brickwork(10, 4))
+    stats = get_prefix_cache().stats()
+    assert stats["warm_hits"] == 1
+    validate_program(ARCH, result.program)
+
+
+def test_incremental_off_never_touches_prefix_cache():
+    compiler = ZACCompiler(ARCH, SA_CONFIG)
+    compiler.compile(_brickwork(8, 4))
+    assert get_prefix_cache().stats() == {
+        "entries": 0,
+        "hits": 0,
+        "warm_hits": 0,
+        "misses": 0,
+    }
+
+
+def test_parameter_sweep_hits_resume_path():
+    """Circuits differing only in 1Q gate parameters share all Rydberg stage
+    pairs, so a sweep's later members resume with everything reused."""
+    inc_config = dataclasses.replace(
+        ZACConfig.dyn_place_reuse(), incremental=True
+    )
+    base = generate("qaoa_regular", seed=0, num_qubits=8, depth=2).circuit
+    variant = generate("qaoa_regular", seed=0, num_qubits=8, depth=2).circuit
+    import repro.circuits.gates as gates_mod
+
+    # Perturb every 1Q rotation angle; the CZ structure is untouched.
+    perturbed = type(variant)(variant.num_qubits, variant.name + "_v2")
+    for gate in variant.gates:
+        if gate.num_qubits == 1 and gate.params:
+            perturbed.append(
+                gates_mod.Gate(
+                    gate.name,
+                    gate.qubits,
+                    tuple(p * 0.9 + 0.01 for p in gate.params),
+                )
+            )
+        else:
+            perturbed.append(gate)
+
+    compiler = ZACCompiler(ARCH, inc_config)
+    compiler.compile(base)
+    result = compiler.compile(perturbed)
+    assert get_prefix_cache().hits == 1
+    validate_program(ARCH, result.program)
+    # Same stage structure, different angles: the 1Q gates must carry the
+    # perturbed parameters (scheduling is always re-run in full).
+    scratch = _compile_scratch(inc_config, perturbed)
+    assert result.program.to_json() == scratch.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Warm-start placement seeding
+# ---------------------------------------------------------------------------
+
+
+def test_sa_placement_rejects_invalid_warm_start():
+    circuit = _brickwork(6, 4)
+    from repro.circuits.scheduling import preprocess
+
+    pairs = [s.pairs for s in preprocess(circuit, cache=False).rydberg_stages]
+    cold = sa_placement(ARCH, 6, pairs, SA_CONFIG)
+    # Invalid seeds (wrong qubit set / non-injective) are ignored, so the
+    # run is identical to a cold one.
+    partial = {0: trivial_placement(ARCH, 6)[0]}
+    duplicated = {q: trivial_placement(ARCH, 6)[0] for q in range(6)}
+    assert sa_placement(ARCH, 6, pairs, SA_CONFIG, warm_start=partial) == cold
+    assert sa_placement(ARCH, 6, pairs, SA_CONFIG, warm_start=duplicated) == cold
+
+
+def test_sa_placement_accepts_valid_warm_start():
+    circuit = _brickwork(6, 4)
+    from repro.circuits.scheduling import preprocess
+
+    pairs = [s.pairs for s in preprocess(circuit, cache=False).rydberg_stages]
+    seed_placement = sa_placement(ARCH, 6, pairs, SA_CONFIG)
+    warm = sa_placement(ARCH, 6, pairs, SA_CONFIG, warm_start=seed_placement)
+    # A converged seed is a local optimum for the same objective: the warm
+    # run must keep a placement at least as good (the annealer returns the
+    # best state seen, which includes its starting point).
+    assert sorted(warm) == list(range(6))
+    assert len(set(warm.values())) == 6
+
+
+# ---------------------------------------------------------------------------
+# Columnar-view staleness debug assertion (ZAIRProgram.columns)
+# ---------------------------------------------------------------------------
+
+
+def _small_program():
+    compiler = ZACCompiler(ARCH, ZACConfig.vanilla())
+    return compiler.compile(_brickwork(4, 2)).program
+
+
+def test_columns_stale_mutation_detected_under_debug_env(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_STALE_COLUMNS", "1")
+    program = _small_program()
+    program.columns(ARCH)
+    program.instructions.append(program.instructions[-1])
+    with pytest.raises(StaleColumnsError):
+        program.columns(ARCH)
+
+
+def test_columns_invalidate_clears_staleness(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_STALE_COLUMNS", "1")
+    program = _small_program()
+    program.columns(ARCH)
+    program.instructions.append(program.instructions[-1])
+    program.invalidate_columns()
+    program.columns(ARCH)  # rebuilt, no error
+
+    # Unmutated repeat hits stay silent.
+    program.columns(ARCH)
+
+
+def test_columns_staleness_check_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_DEBUG_STALE_COLUMNS", raising=False)
+    program = _small_program()
+    view = program.columns(ARCH)
+    program.instructions.append(program.instructions[-1])
+    # Documented (dangerous) default: the stale view is served silently.
+    assert program.columns(ARCH) is view
+
+
+# ---------------------------------------------------------------------------
+# Service integration
+# ---------------------------------------------------------------------------
+
+
+def test_compile_service_clear_cache_clears_prefix_layers():
+    from repro.api.parallel import get_compile_service
+
+    inc_config = dataclasses.replace(SA_CONFIG, incremental=True)
+    ZACCompiler(ARCH, inc_config).compile(_brickwork(6, 3))
+    assert get_prefix_cache().stats()["entries"] == 1
+    service = get_compile_service()
+    service.clear_cache()
+    stats = service.cache_stats()
+    assert stats["prefix"]["entries"] == 0
+    assert stats["resynthesis"]["entries"] == 0
+    assert set(stats) == {"results", "prefix", "resynthesis"}
