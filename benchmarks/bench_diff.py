@@ -85,15 +85,23 @@ def _previous_version(ref: str, name: str) -> dict | None:
 
 
 def diff_file(path: Path, ref: str, threshold: float) -> tuple[list[str], int]:
-    """Return (report lines, regression count) for one BENCH file."""
+    """Return (report lines, regression count) for one BENCH file.
+
+    A file (or metric key) with no previous version is a *new* benchmark,
+    not an error: it is reported as ``[new]`` and never counts as a
+    regression, so landing a benchmark and its first ledger in one commit
+    keeps the diff clean.
+    """
+    new = _numeric_leaves(json.loads(path.read_text()))
     previous = _previous_version(ref, path.name)
     if previous is None:
-        return [f"{path.name}: no previous version at {ref} (new benchmark?)"], 0
+        return [f"{path.name}: {len(new)} metric(s), no version at {ref} [new]"], 0
     old = _numeric_leaves(previous)
-    new = _numeric_leaves(json.loads(path.read_text()))
 
     lines: list[str] = []
     regressions = 0
+    for key in sorted(new.keys() - old.keys()):
+        lines.append(f"{path.name}: {key} = {new[key]:g} [new]")
     for key in sorted(old.keys() & new.keys()):
         before, after = old[key], new[key]
         if before == after:

@@ -1,7 +1,7 @@
 """Kernel-layer microbenchmarks (first slice of the ROADMAP perf ledger).
 
-Times the two hottest inner loops of the compiler in isolation and records
-them to ``BENCH_kernels.json`` at the repo root:
+Times the hottest inner loops of the compiler and validator in isolation
+and records them to ``BENCH_kernels.json`` at the repo root:
 
 * **SA Metropolis step** (:func:`repro.core.placement.annealing.anneal` via
   :func:`~repro.core.placement.initial.sa_placement` with the delta-cost
@@ -9,6 +9,15 @@ them to ``BENCH_kernels.json`` at the repo root:
   placement workload, setup amortized over the iterations actually run.
 * **ASAP staging scheduler** (:func:`repro.circuits.scheduling.schedule_stages`
   fast path): microseconds per gate on resynthesized circuits.
+* **ZAIR columns build** (:func:`repro.zair.columns.build_columns`): the
+  flatten-to-numpy pass every fast validation starts with, in microseconds
+  per instruction.
+* **Trap-occupancy event sort**
+  (:func:`repro.zair.validation._trap_occupancy_violated`): the global
+  lexsort replay of the occupancy events, in microseconds per event.
+* **Batched AOD pairwise check**
+  (:func:`repro.zair.validation._aod_ordering_violated`): the vectorized
+  non-crossing constraint evaluation, in microseconds per instruction.
 
 The assertions are loose catastrophic-regression backstops (an order of
 magnitude above typical numbers); the JSON ledger is the real artifact --
@@ -21,16 +30,22 @@ import json
 import time
 from pathlib import Path
 
+import repro.api as api
 from repro.arch.presets import reference_zoned_architecture
 from repro.circuits.random import generate
 from repro.circuits.scheduling import preprocess, schedule_stages
 from repro.circuits.synthesis import resynthesize
 from repro.core.config import ZACConfig
 from repro.core.placement.initial import sa_placement
+from repro.zair.columns import build_columns
+from repro.zair.validation import _aod_ordering_violated, _trap_occupancy_violated
 
 #: Catastrophic-regression backstops (roughly 10x typical 1-CPU numbers).
 MAX_SA_US_PER_ITERATION = 500.0
 MAX_STAGING_US_PER_GATE = 100.0
+MAX_COLUMNS_US_PER_INSTRUCTION = 100.0
+MAX_OCCUPANCY_US_PER_EVENT = 10.0
+MAX_AOD_US_PER_INSTRUCTION = 50.0
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
 
@@ -106,15 +121,80 @@ def _bench_staging_scheduler() -> dict:
     }
 
 
+def _validator_program(architecture):
+    """A representative compiled program for the validator-side kernels."""
+    circuit = generate("brickwork", seed=0, num_qubits=24, depth=12).circuit
+    result = api.compile(
+        circuit, backend="zac", arch=architecture, config=ZACConfig(sa_iterations=100)
+    )
+    return result.program
+
+
+def _bench_columns_build(architecture, program) -> dict:
+    """Best-of-N microseconds per instruction for the columns flatten."""
+    num_instructions = len(program.instructions)
+    best_s = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        build_columns(program, architecture)
+        best_s = min(best_s, time.perf_counter() - start)
+    return {
+        "workload": "brickwork[num_qubits=24,depth=12] zac program",
+        "num_instructions": num_instructions,
+        "us_per_instruction": round(best_s * 1e6 / num_instructions, 3),
+        "max_us_per_instruction": MAX_COLUMNS_US_PER_INSTRUCTION,
+    }
+
+
+def _bench_trap_occupancy(cols) -> dict:
+    """Best-of-N microseconds per occupancy event for the lexsort replay."""
+    num_events = int(cols.loc_role.size)
+    best_s = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        violated = _trap_occupancy_violated(cols)
+        best_s = min(best_s, time.perf_counter() - start)
+    assert violated is False  # a valid program must replay cleanly
+    return {
+        "num_events": num_events,
+        "us_per_event": round(best_s * 1e6 / max(1, num_events), 3),
+        "max_us_per_event": MAX_OCCUPANCY_US_PER_EVENT,
+    }
+
+
+def _bench_aod_pairwise(cols) -> dict:
+    """Best-of-N microseconds per instruction for the AOD pairwise check."""
+    num_instructions = int(cols.num_instructions)
+    best_s = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        violated = _aod_ordering_violated(cols)
+        best_s = min(best_s, time.perf_counter() - start)
+    assert violated is False
+    return {
+        "num_instructions": num_instructions,
+        "us_per_instruction": round(best_s * 1e6 / max(1, num_instructions), 3),
+        "max_us_per_instruction": MAX_AOD_US_PER_INSTRUCTION,
+    }
+
+
 def test_bench_kernels():
     architecture = reference_zoned_architecture()
     sa = _bench_sa_metropolis(architecture)
     staging = _bench_staging_scheduler()
+    program = _validator_program(architecture)
+    columns = _bench_columns_build(architecture, program)
+    cols = build_columns(program, architecture)
+    occupancy = _bench_trap_occupancy(cols)
+    aod = _bench_aod_pairwise(cols)
 
     payload = {
         "benchmark": "kernel_microbenchmarks",
         "sa_metropolis": sa,
         "staging_scheduler": staging,
+        "columns_build": columns,
+        "trap_occupancy_sort": occupancy,
+        "aod_pairwise_check": aod,
         "recorded_unix_time": time.time(),
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -122,7 +202,13 @@ def test_bench_kernels():
     print(
         f"\n[kernels] SA {sa['us_per_iteration']:.2f} us/iteration "
         f"({sa['iterations_run']} iterations); staging "
-        f"{staging['us_per_gate']:.2f} us/gate -> {RESULT_PATH.name}"
+        f"{staging['us_per_gate']:.2f} us/gate; columns "
+        f"{columns['us_per_instruction']:.2f} us/instruction; occupancy "
+        f"{occupancy['us_per_event']:.2f} us/event; AOD "
+        f"{aod['us_per_instruction']:.2f} us/instruction -> {RESULT_PATH.name}"
     )
     assert sa["us_per_iteration"] <= MAX_SA_US_PER_ITERATION
     assert staging["us_per_gate"] <= MAX_STAGING_US_PER_GATE
+    assert columns["us_per_instruction"] <= MAX_COLUMNS_US_PER_INSTRUCTION
+    assert occupancy["us_per_event"] <= MAX_OCCUPANCY_US_PER_EVENT
+    assert aod["us_per_instruction"] <= MAX_AOD_US_PER_INSTRUCTION

@@ -1,0 +1,153 @@
+"""Serve-daemon throughput benchmark (``BENCH_serve_throughput.json``).
+
+Drives an in-process :class:`repro.serve.ServeDaemon` (no subprocess or
+pipe overhead -- this measures the service layers, not process startup)
+through two phases over a fixed catalogue of small workloads:
+
+* **cold**: every unique request once, each paying a full compile; and
+* **replay**: several simulated clients replay the same request log
+  concurrently, so every request is served from the in-memory compile
+  cache (or coalesces onto an in-flight duplicate).
+
+The ledger records requests/s and per-request p50/p99 latency for both
+phases.  The gate is the serving contract itself: cache-hit-served
+requests must sustain at least ``MIN_HIT_SPEEDUP`` times the cold
+compile-bound request rate -- if that ever fails, the daemon is
+recompiling (or blocking) where it should be serving from cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.serve import ServeDaemon
+
+#: Hit-served requests must beat cold compile-bound throughput by this factor.
+MIN_HIT_SPEEDUP = 5.0
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve_throughput.json"
+
+#: Simulated concurrent clients in the replay phase, and replays per client.
+NUM_CLIENTS = 4
+REPLAYS_PER_CLIENT = 3
+
+#: Unique compile requests (small brickwork workloads, light SA schedule).
+NUM_UNIQUE = 8
+
+
+def _request(index: int) -> dict:
+    return {
+        "id": index,
+        "method": "compile",
+        "params": {
+            "circuit": {
+                "descriptor": {
+                    "generator": "brickwork",
+                    "seed": index,
+                    "params": {"num_qubits": 5 + index % 3, "depth": 2 + index % 2},
+                }
+            },
+            "options": {"config": {"sa_iterations": 100}},
+        },
+    }
+
+
+def _percentiles(latencies_s: list[float]) -> tuple[float, float]:
+    ordered = sorted(latencies_s)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    return p50 * 1e3, p99 * 1e3
+
+
+async def _timed_handle(daemon: ServeDaemon, request: dict, latencies: list) -> dict:
+    start = time.perf_counter()
+    response = await daemon.handle(request)
+    latencies.append(time.perf_counter() - start)
+    assert response["ok"], response
+    return response
+
+
+async def _run_phases() -> dict:
+    daemon = ServeDaemon()
+    daemon.scheduler.start()
+    try:
+        # -- cold: every unique request pays a full compile -------------------
+        cold_latencies: list[float] = []
+        cold_start = time.perf_counter()
+        for index in range(NUM_UNIQUE):
+            response = await _timed_handle(daemon, _request(index), cold_latencies)
+            assert response["result"]["served"] == "compiled"
+        cold_s = time.perf_counter() - cold_start
+
+        # -- replay: concurrent clients, everything hit- or coalesce-served --
+        replay_latencies: list[float] = []
+
+        async def client(client_id: int) -> list[str]:
+            served = []
+            for _ in range(REPLAYS_PER_CLIENT):
+                for index in range(NUM_UNIQUE):
+                    response = await _timed_handle(
+                        daemon, _request(index), replay_latencies
+                    )
+                    served.append(response["result"]["served"])
+            return served
+
+        replay_start = time.perf_counter()
+        served_lists = await asyncio.gather(
+            *(client(i) for i in range(NUM_CLIENTS))
+        )
+        replay_s = time.perf_counter() - replay_start
+    finally:
+        await daemon.scheduler.stop()
+
+    served = [tag for tags in served_lists for tag in tags]
+    assert "compiled" not in served  # nothing recompiled during the replay
+    cold_p50, cold_p99 = _percentiles(cold_latencies)
+    hit_p50, hit_p99 = _percentiles(replay_latencies)
+    cold_rate = len(cold_latencies) / cold_s
+    hit_rate = len(replay_latencies) / replay_s
+    stats = await daemon._method_stats({})
+    return {
+        "benchmark": "serve_throughput",
+        "unique_requests": NUM_UNIQUE,
+        "clients": NUM_CLIENTS,
+        "cold": {
+            "requests": len(cold_latencies),
+            "total_s": round(cold_s, 4),
+            "requests_per_s": round(cold_rate, 2),
+            "p50_ms": round(cold_p50, 3),
+            "p99_ms": round(cold_p99, 3),
+        },
+        "cache_hit": {
+            "requests": len(replay_latencies),
+            "total_s": round(replay_s, 4),
+            "requests_per_s": round(hit_rate, 2),
+            "p50_ms": round(hit_p50, 3),
+            "p99_ms": round(hit_p99, 3),
+            "served_memory": served.count("memory"),
+            "served_coalesced": served.count("coalesced"),
+        },
+        "hit_speedup": round(hit_rate / cold_rate, 2),
+        "min_hit_speedup": MIN_HIT_SPEEDUP,
+        "scheduler": stats["scheduler"],
+        "recorded_unix_time": time.time(),
+    }
+
+
+def test_bench_serve_throughput():
+    payload = asyncio.run(_run_phases())
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    cold = payload["cold"]
+    hit = payload["cache_hit"]
+    print(
+        f"\n[serve] cold {cold['requests_per_s']:.1f} req/s "
+        f"(p50 {cold['p50_ms']:.1f} ms, p99 {cold['p99_ms']:.1f} ms); "
+        f"hit-served {hit['requests_per_s']:.1f} req/s "
+        f"(p50 {hit['p50_ms']:.2f} ms, p99 {hit['p99_ms']:.2f} ms); "
+        f"speedup {payload['hit_speedup']:.1f}x -> {RESULT_PATH.name}"
+    )
+    assert payload["hit_speedup"] >= MIN_HIT_SPEEDUP

@@ -7,6 +7,8 @@ Subcommands::
     python -m repro validate bv_n14 --backend enola
     python -m repro fuzz --budget 50 --seed 0 --backend all
     python -m repro fuzz --replay fuzz_failures/fuzz_fail_000.json
+    python -m repro serve --stdio --cache-dir ~/.cache/repro
+    python -m repro client compile bv_n14 --repeat 2
     python -m repro backends
     python -m repro benchmarks
 
@@ -17,7 +19,11 @@ compiles, checks the emitted ZAIR program against the hardware invariants,
 and prints an instruction-count / epoch summary of the program.  ``fuzz``
 differentially fuzzes the registered backends with generated workloads
 (:mod:`repro.experiments.fuzz`), dumping any failure as a replayable JSON
-repro bundle; ``--replay`` re-runs a bundle's failed check.
+repro bundle; ``--replay`` re-runs a bundle's failed check.  ``serve`` runs
+the persistent compile daemon (newline-delimited JSON over stdio, or
+localhost HTTP with ``--http``), with request coalescing, priority
+scheduling, and an optional disk-backed compile cache; ``client`` scripts a
+daemon session (spawning one, or connecting to an HTTP daemon).
 """
 
 from __future__ import annotations
@@ -208,6 +214,88 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ServeDaemon
+
+    kwargs = {"cache_dir": args.cache_dir, "workers": args.workers}
+    if args.cache_bytes is not None:
+        kwargs["max_cache_bytes"] = args.cache_bytes
+    daemon = ServeDaemon(**kwargs)
+    try:
+        if args.http is not None:
+            asyncio.run(daemon.serve_http(port=args.http))
+        else:
+            asyncio.run(daemon.serve_stdio())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .serve.client import run_requests
+
+    connect = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        try:
+            connect = (host or "127.0.0.1", int(port))
+        except ValueError:
+            raise SystemExit(f"error: --connect wants HOST:PORT, got {args.connect!r}")
+
+    if args.requests is not None:
+        handle = sys.stdin if args.requests == "-" else open(args.requests)
+        try:
+            requests = []
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    requests.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise SystemExit(f"error: bad request line {line!r}: {exc}")
+        finally:
+            if handle is not sys.stdin:
+                handle.close()
+    elif args.circuit is not None:
+        params = {
+            "circuit": {"benchmark": args.circuit}
+            if not os.path.exists(args.circuit)
+            else {"qasm": open(args.circuit).read(), "name": args.circuit},
+            "backend": args.backend,
+            "priority": args.priority,
+        }
+        if args.options:
+            params["options"] = {
+                key: _coerce_option_json(value) for key, value in args.options
+            }
+        requests = [
+            {"method": "compile", "params": params} for _ in range(args.repeat)
+        ]
+        requests.append({"method": "stats"})
+    else:
+        raise SystemExit("error: give either `compile CIRCUIT` or --requests FILE|-")
+
+    return run_requests(
+        requests,
+        cache_dir=args.cache_dir,
+        cache_bytes=args.cache_bytes,
+        workers=args.workers,
+        connect=connect,
+    )
+
+
+def _coerce_option_json(value: str) -> object:
+    """Client option values: JSON when parseable (objects allowed -- the
+    daemon builds ZACConfig from field objects), bare strings otherwise."""
+    try:
+        return json.loads(value)
+    except json.JSONDecodeError:
+        return value
+
+
 def _cmd_backends(_args: argparse.Namespace) -> int:
     for name in api.available_backends():
         spec = api.backend_spec(name)
@@ -325,6 +413,94 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(throughput + prefix-reuse compilation for depth ladders)",
     )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the persistent compile daemon (JSON lines over stdio or HTTP)",
+    )
+    serve_parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve newline-delimited JSON on stdin/stdout (the default mode)",
+    )
+    serve_parser.add_argument(
+        "--http",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve HTTP POST on 127.0.0.1:PORT instead of stdio (0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="disk compile-cache directory (persists across daemon restarts)",
+    )
+    serve_parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="disk cache byte budget before LRU eviction (default 256 MiB)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for sweep fan-out (0 = in-process serial)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    client_parser = sub.add_parser(
+        "client",
+        help="script a serve daemon: spawn one over stdio, or connect to --http",
+    )
+    client_parser.add_argument(
+        "circuit",
+        nargs="?",
+        default=None,
+        help="one-shot mode: paper benchmark name or QASM file path to compile",
+    )
+    client_parser.add_argument(
+        "--backend", default="zac", help="registry backend name (see `backends`)"
+    )
+    client_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="send the compile request N times (duplicates coalesce or hit cache)",
+    )
+    client_parser.add_argument(
+        "--priority", type=int, default=0, help="scheduling priority (higher first)"
+    )
+    client_parser.add_argument(
+        "--option",
+        dest="options",
+        action="append",
+        type=_parse_option,
+        metavar="KEY=VALUE",
+        help="backend option forwarded in the request (same syntax as `compile`)",
+    )
+    client_parser.add_argument(
+        "--requests",
+        metavar="FILE",
+        default=None,
+        help="send raw JSON request lines from FILE ('-' = stdin) instead",
+    )
+    client_parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="talk to a running --http daemon instead of spawning one",
+    )
+    client_parser.add_argument(
+        "--cache-dir", default=None, help="spawned daemon's disk cache directory"
+    )
+    client_parser.add_argument(
+        "--cache-bytes", type=int, default=None, help="spawned daemon's cache budget"
+    )
+    client_parser.add_argument(
+        "--workers", type=int, default=None, help="spawned daemon's sweep workers"
+    )
+    client_parser.set_defaults(func=_cmd_client)
 
     backends_parser = sub.add_parser("backends", help="list registered backends")
     backends_parser.set_defaults(func=_cmd_backends)

@@ -18,6 +18,14 @@ here:
   the in-memory artifacts (program / staged / plan / architecture) are
   stripped in the worker *after* validation, so they are never pickled back.
 
+Two service-grade layers compose on top (built for ``repro serve``, usable
+directly): an attachable **disk cache** (:meth:`CompileService.attach_disk_cache`,
+see :mod:`repro.serve.diskcache`) that memory misses fall through to and
+compiles write through to, and **within-batch coalescing** -- identical
+circuits in one cached batch compile once and share the result.  Worker
+dispatch can also ship prefix-cache snapshots (``ship_prefix=True``) so
+incremental recompiles get cross-process prefix reuse.
+
 Cache-invalidation rules: entries are keyed by the full circuit content
 (name, qubit count, exact gate list), the backend name, the architecture
 geometry fingerprint, and ``repr`` of the backend's validated option
@@ -193,6 +201,9 @@ class CompileCache:
         self._entries: dict[tuple, tuple[CompileResult, bool]] = {}
         self.hits = 0
         self.misses = 0
+        #: Requests served by sharing another identical request's compile
+        #: (within-batch dedup here; in-flight coalescing in ``repro serve``).
+        self.coalesced = 0
 
     def get(self, key: tuple, need_programs: bool) -> CompileResult | None:
         entry = self._entries.get(key)
@@ -216,12 +227,18 @@ class CompileCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.coalesced = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+        }
 
 
 def _strip_result(result: CompileResult) -> CompileResult:
@@ -265,16 +282,108 @@ def _compile_task(
         return exc
 
 
+# -- cross-process prefix shipping --------------------------------------------
+#
+# The prefix caches (core/incremental.py, circuits/synthesis.py) are
+# per-process, so worker-pool fan-out historically got no cross-rung reuse.
+# The compile daemon (and any `ship_prefix=True` batch) closes that gap by
+# pickling a snapshot of both caches into each worker task and merging the
+# worker's new entries -- and its hit/miss deltas -- back afterwards.
+
+
+def export_prefix_snapshots(scope: tuple | None = None) -> dict:
+    """Picklable snapshots of both prefix-layer caches (for worker dispatch)."""
+    from ..circuits.synthesis import get_resynthesis_prefix_cache
+    from ..core.incremental import get_prefix_cache
+
+    return {
+        "prefix": get_prefix_cache().snapshot(scope),
+        "resynthesis": get_resynthesis_prefix_cache().snapshot(),
+    }
+
+
+def import_prefix_snapshots(
+    snapshots: dict, *, merge: bool = True, stats_delta: dict | None = None
+) -> None:
+    """Install shipped prefix snapshots (optionally folding in stats deltas)."""
+    from ..circuits.synthesis import get_resynthesis_prefix_cache
+    from ..core.incremental import get_prefix_cache
+
+    if "prefix" in snapshots:
+        get_prefix_cache().restore(snapshots["prefix"], merge=merge)
+    if "resynthesis" in snapshots:
+        get_resynthesis_prefix_cache().restore(snapshots["resynthesis"], merge=merge)
+    if stats_delta:
+        get_prefix_cache().merge_stats(**stats_delta.get("prefix", {}))
+        get_resynthesis_prefix_cache().merge_stats(
+            **stats_delta.get("resynthesis", {})
+        )
+
+
+def _compile_task_with_prefix(
+    task: tuple[dict, tuple],
+) -> tuple[CompileResult | Exception, dict, dict]:
+    """Worker twin of :func:`_compile_task` that restores shipped snapshots.
+
+    Returns ``(outcome, snapshots_after, stats_delta)`` so the dispatching
+    process can merge the worker's new prefix entries and account the
+    worker-side prefix hits in its own ``cache_stats()``.
+    """
+    from ..circuits.synthesis import get_resynthesis_prefix_cache
+    from ..core.incremental import get_prefix_cache
+
+    snapshots, inner = task
+    import_prefix_snapshots(snapshots, merge=True)
+    prefix = get_prefix_cache()
+    resyn = get_resynthesis_prefix_cache()
+    before = (prefix.hits, prefix.warm_hits, prefix.misses, resyn.hits, resyn.misses)
+    outcome = _compile_task(inner)
+    delta = {
+        "prefix": {
+            "hits": prefix.hits - before[0],
+            "warm_hits": prefix.warm_hits - before[1],
+            "misses": prefix.misses - before[2],
+        },
+        "resynthesis": {
+            "hits": resyn.hits - before[3],
+            "misses": resyn.misses - before[4],
+        },
+    }
+    return outcome, export_prefix_snapshots(), delta
+
+
 class CompileService:
     """Warm-pool batch compilation with an optional content-addressed cache.
 
     ``repro.compile_many``, the fuzz harness, and the experiment harness all
     route through one process-wide instance (:func:`get_compile_service`).
+    A :class:`repro.serve.DiskCompileCache` can be attached so cache misses
+    fall through to (and compiles write through to) a persistent, sharded
+    on-disk store -- that is what makes a restarted ``repro serve`` daemon
+    answer previously-compiled requests without recompiling.
     """
 
     def __init__(self) -> None:
         self.cache = CompileCache()
         self.pool = _POOL
+        #: Optional persistent second-level cache (see ``repro.serve``).
+        self.disk = None
+
+    # -- disk persistence ------------------------------------------------------
+
+    def attach_disk_cache(self, disk) -> None:
+        """Attach a persistent second-level cache (``repro.serve`` disk store).
+
+        Memory-cache misses of slim (``keep_programs=False``) requests fall
+        through to ``disk.get``; completed cached compiles write through via
+        ``disk.put``.  Disk entries never carry programs (the
+        :class:`~repro.core.result.CompileResult` serialization is
+        metrics-only), so full-artifact requests always recompile.
+        """
+        self.disk = disk
+
+    def detach_disk_cache(self) -> None:
+        self.disk = None
 
     # -- keys -----------------------------------------------------------------
 
@@ -302,6 +411,8 @@ class CompileService:
         cache: bool = False,
         fresh: bool = False,
         keep_programs: bool = True,
+        ship_prefix: bool = False,
+        provenance: list | None = None,
         **options: Any,
     ) -> list[CompileResult | Exception]:
         """Compile a batch of circuits, serving repeats from the cache.
@@ -317,10 +428,22 @@ class CompileService:
                 this).
             return_exceptions: Failures fill their slot instead of raising.
             cache: Serve and populate the content-addressed compile cache.
+                Identical circuits within one cached batch are *coalesced*:
+                one compiles, the duplicates share its result (the
+                ``coalesced`` cache counter tracks how many).
             fresh: Bypass cache *reads* (and skip the write) -- used by the
                 fuzz determinism invariant, which must genuinely recompile.
             keep_programs: When False, strip programs/plans/architectures
                 from the results (slim pickles for metrics-only sweeps).
+            ship_prefix: Ship prefix-cache snapshots into the worker
+                processes (and merge their new entries and hit counters
+                back), so ``ZACConfig(incremental=True)`` recompiles hit the
+                prefix path even when the batch fans out across processes.
+                Only takes effect when the batch actually reaches the pool.
+            provenance: When a list is passed, it is filled with one tag per
+                circuit describing how the slot was served -- ``"memory"`` /
+                ``"disk"`` / ``"coalesced"`` / ``"compiled"`` / ``"error"``
+                (the ``repro serve`` daemon reports these to its clients).
             **options: Backend options (validated by the registry).
 
         Returns:
@@ -340,6 +463,13 @@ class CompileService:
         # explicitly" address the same cache cells.
         key_arch = getattr(compiler, "architecture", None) or arch
 
+        if provenance is not None:
+            provenance[:] = [None] * len(circuits)
+
+        def tag(index: int, how: str) -> None:
+            if provenance is not None:
+                provenance[index] = how
+
         keys: list[tuple | None] = [None] * len(circuits)
         results: list[CompileResult | Exception | None] = [None] * len(circuits)
         miss_indices: list[int] = []
@@ -350,6 +480,14 @@ class CompileService:
                 keys[index] = key
                 hit = self.cache.get(key, need_programs=keep_programs)
                 if hit is None:
+                    disk_hit = self._disk_lookup(key, validate, keep_programs)
+                    if disk_hit is not None:
+                        # Promote to the memory cache so the next request
+                        # skips the disk read too.
+                        self.cache.put(key, disk_hit, has_programs=False)
+                        results[index] = disk_hit
+                        tag(index, "disk")
+                        continue
                     miss_indices.append(index)
                     continue
                 if validate and not hit.validated:
@@ -368,25 +506,94 @@ class CompileService:
                             raise
                         exc.__cause__ = exc.__context__ = None
                         results[index] = exc
+                        tag(index, "error")
                         continue
                 results[index] = hit
+                tag(index, "memory")
         else:
             miss_indices = list(range(len(circuits)))
 
+        # Coalesce identical circuits within the batch: one representative
+        # compiles per distinct key, the duplicates share its outcome.
+        compile_indices = miss_indices
+        duplicate_of: dict[int, int] = {}
+        if use_cache and len(miss_indices) > 1:
+            representative: dict[tuple, int] = {}
+            compile_indices = []
+            for index in miss_indices:
+                rep = representative.get(keys[index])
+                if rep is None:
+                    representative[keys[index]] = index
+                    compile_indices.append(index)
+                else:
+                    duplicate_of[index] = rep
+
         tasks = [
             (compiler, circuits[index], validate, return_exceptions, keep_programs)
-            for index in miss_indices
+            for index in compile_indices
         ]
-        outcomes = self.pool.map(_compile_task, tasks, resolve_workers(parallel))
-        for index, outcome in zip(miss_indices, outcomes):
+        outcomes = self._dispatch(tasks, resolve_workers(parallel), ship_prefix)
+        for index, outcome in zip(compile_indices, outcomes):
             results[index] = outcome
-            if (
-                use_cache
-                and keys[index] is not None
-                and not isinstance(outcome, Exception)
-            ):
+            if isinstance(outcome, Exception):
+                tag(index, "error")
+                continue
+            tag(index, "compiled")
+            if use_cache and keys[index] is not None:
                 self.cache.put(keys[index], outcome, has_programs=keep_programs)
+                self._disk_store(keys[index], outcome, backend)
+        for index, rep in duplicate_of.items():
+            results[index] = results[rep]
+            self.cache.coalesced += 1
+            tag(index, "error" if isinstance(results[rep], Exception) else "coalesced")
         return results  # type: ignore[return-value]
+
+    def _dispatch(
+        self, tasks: list[tuple], workers: int, ship_prefix: bool
+    ) -> list[CompileResult | Exception]:
+        """Fan tasks out over the pool, optionally shipping prefix snapshots."""
+        if not tasks:
+            return []
+        if ship_prefix and workers > 1 and len(tasks) >= MIN_PARALLEL_ITEMS:
+            snapshots = export_prefix_snapshots()
+            shipped = self.pool.map(
+                _compile_task_with_prefix,
+                [(snapshots, task) for task in tasks],
+                workers,
+            )
+            outcomes: list[CompileResult | Exception] = []
+            for outcome, snapshot, delta in shipped:
+                outcomes.append(outcome)
+                import_prefix_snapshots(snapshot, merge=True, stats_delta=delta)
+            return outcomes
+        return self.pool.map(_compile_task, tasks, workers)
+
+    def _disk_lookup(
+        self, key: tuple, validate: bool, keep_programs: bool
+    ) -> CompileResult | None:
+        """Second-level lookup; slim entries only serve slim requests."""
+        if self.disk is None or keep_programs:
+            return None
+        hit = self.disk.get(key)
+        if hit is None:
+            return None
+        if validate and not hit.validated:
+            # Disk entries carry no program, so an unvalidated entry cannot
+            # be validated post-hoc -- recompile rather than fake the flag.
+            return None
+        return hit
+
+    def _disk_store(self, key: tuple, result: CompileResult, backend: str) -> None:
+        if self.disk is None:
+            return
+        try:
+            self.disk.put(key, result, backend=backend)
+        except OSError as exc:  # pragma: no cover - disk-full etc.
+            import warnings
+
+            warnings.warn(
+                f"compile disk cache write failed: {exc}", RuntimeWarning, stacklevel=2
+            )
 
     def compile_one(
         self,
@@ -455,7 +662,7 @@ class CompileService:
         from ..core.incremental import get_prefix_cache
 
         resyn = get_resynthesis_prefix_cache()
-        return {
+        stats = {
             "results": self.cache.stats(),
             "prefix": get_prefix_cache().stats(),
             "resynthesis": {
@@ -464,6 +671,9 @@ class CompileService:
                 "misses": resyn.misses,
             },
         }
+        if self.disk is not None:
+            stats["disk"] = self.disk.stats()
+        return stats
 
 
 _SERVICE = CompileService()

@@ -317,6 +317,35 @@ class ResynthesisPrefixCache:
         self.hits = 0
         self.misses = 0
 
+    def snapshot(self) -> dict:
+        """Picklable snapshot of the streaming states (plus counters).
+
+        Entries are shared, not copied: the snapshot is meant to cross a
+        process boundary (daemon worker dispatch), where pickling copies.
+        :class:`ResynthesisState` is frozen and its matrices are never
+        mutated in place, so sharing is safe in-process too.
+        """
+        return {
+            "entries": dict(self._entries),
+            "stats": {"hits": self.hits, "misses": self.misses},
+        }
+
+    def restore(self, snapshot: dict, *, merge: bool = True) -> int:
+        """Load states from a :meth:`snapshot` (``merge=False`` replaces)."""
+        if not merge:
+            self._entries.clear()
+        entries = snapshot.get("entries", {})
+        for key, state in entries.items():
+            self._entries[key] = state
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        return len(entries)
+
+    def merge_stats(self, hits: int = 0, misses: int = 0) -> None:
+        """Fold a worker's counter deltas into this cache's statistics."""
+        self.hits += hits
+        self.misses += misses
+
     def resynthesize(self, circuit: QuantumCircuit) -> QuantumCircuit:
         """Resynthesize through the cache, storing the new streaming state."""
         gates = circuit.gates

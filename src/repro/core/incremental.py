@@ -177,6 +177,53 @@ class PrefixCache:
             "misses": self.misses,
         }
 
+    # -- snapshot / restore (cross-process prefix shipping) -------------------
+
+    def snapshot(self, scope: tuple | None = None) -> dict:
+        """Picklable snapshot of the cached entries (optionally one scope).
+
+        The snapshot shares the entry objects with the live cache -- it is
+        meant to be pickled across a process boundary (the compile daemon
+        ships snapshots to its worker processes so depth-ladder recompiles
+        hit the prefix path there), where pickling itself makes the copy.
+        It also carries the current hit/miss counters so a worker can report
+        the *delta* it produced back to the dispatching process.
+        """
+        entries = {
+            key: entry
+            for key, entry in self._entries.items()
+            if scope is None or key[0] == scope
+        }
+        return {
+            "entries": entries,
+            "stats": {
+                "hits": self.hits,
+                "warm_hits": self.warm_hits,
+                "misses": self.misses,
+            },
+        }
+
+    def restore(self, snapshot: dict, *, merge: bool = True) -> int:
+        """Load entries from a :meth:`snapshot` (``merge=False`` replaces).
+
+        Counters are untouched (use :meth:`merge_stats` for deltas).
+        Returns the number of entries installed.
+        """
+        if not merge:
+            self._entries.clear()
+        entries = snapshot.get("entries", {})
+        for key, entry in entries.items():
+            self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        return len(entries)
+
+    def merge_stats(self, hits: int = 0, warm_hits: int = 0, misses: int = 0) -> None:
+        """Fold a worker's counter deltas into this cache's statistics."""
+        self.hits += hits
+        self.warm_hits += warm_hits
+        self.misses += misses
+
     # -- store ----------------------------------------------------------------
 
     def store(self, scope: tuple, entry: PrefixEntry) -> None:

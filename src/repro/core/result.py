@@ -22,6 +22,7 @@ class.
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Any
 
@@ -239,6 +240,74 @@ def load_results(path: str) -> list[CompileResult]:
     """Read one shard of sweep results from a JSON file."""
     with open(path, encoding="utf-8") as handle:
         return results_from_json(handle.read())
+
+
+def result_shard_name(digest: str) -> str:
+    """Relative path of a content-addressed result shard.
+
+    Shards are fanned out over 256 two-hex-character subdirectories so a
+    large disk cache never puts tens of thousands of files in one directory:
+    ``result_shard_name("abcd...") == "ab/abcd....jsonl"``.
+    """
+    if len(digest) < 3:
+        raise ValueError(f"shard digest {digest!r} is too short")
+    return f"{digest[:2]}/{digest}.jsonl"
+
+
+def save_results_stream(
+    path: str, results: Iterable[CompileResult], header: dict[str, Any] | None = None
+) -> None:
+    """Write results as JSON lines (one result per line, streamable back).
+
+    Unlike :func:`save_results` (one JSON array, loaded wholesale), the JSONL
+    layout lets :func:`iter_results` stream entries one at a time -- the disk
+    compile cache and shard mergers never hold a whole shard in memory.  An
+    optional ``header`` dict is written as a first line of the form
+    ``{"shard_header": {...}}`` (skipped by the streaming reader, returned by
+    :func:`read_shard_header`); each following line is exactly the
+    :meth:`CompileResult.to_dict` payload.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        if header is not None:
+            handle.write(json.dumps({"shard_header": header}, sort_keys=True) + "\n")
+        for result in results:
+            handle.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+
+
+def read_shard_header(path: str) -> dict[str, Any] | None:
+    """The ``header`` dict a shard was saved with (``None`` when absent)."""
+    with open(path, encoding="utf-8") as handle:
+        first = handle.readline().strip()
+    if not first:
+        return None
+    data = json.loads(first)
+    if isinstance(data, dict) and "shard_header" in data:
+        return data["shard_header"]
+    return None
+
+
+def iter_results(path: str):
+    """Stream results from a shard file, one :class:`CompileResult` at a time.
+
+    Reads both layouts: JSONL shards written by :func:`save_results_stream`
+    (the header line, when present, is skipped) and legacy JSON-array files
+    written by :func:`save_results` (loaded eagerly, yielded one by one).
+    """
+    with open(path, encoding="utf-8") as handle:
+        first = handle.readline()
+        stripped = first.lstrip()
+        if stripped.startswith("["):
+            # Legacy array layout: no streaming possible, parse wholesale.
+            text = first + handle.read()
+            yield from results_from_json(text)
+            return
+        if stripped:
+            data = json.loads(first)
+            if not (isinstance(data, dict) and "shard_header" in data):
+                yield CompileResult.from_dict(data)
+        for line in handle:
+            if line.strip():
+                yield CompileResult.from_dict(json.loads(line))
 
 
 def merge_results(*shards: list[CompileResult]) -> list[CompileResult]:

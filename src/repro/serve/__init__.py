@@ -1,0 +1,35 @@
+"""Compile-as-a-service: the persistent ``repro serve`` daemon.
+
+The subsystem behind ``python -m repro serve`` (and its scripting client,
+``python -m repro client``):
+
+* :mod:`repro.serve.daemon` -- the asyncio front door (stdio JSON lines or
+  localhost HTTP) accepting ``compile`` / ``validate`` / ``sweep`` /
+  ``stats`` / ``shutdown`` requests.
+* :mod:`repro.serve.scheduler` -- priority scheduling with batch affinity
+  and in-flight coalescing of identical requests.
+* :mod:`repro.serve.diskcache` -- the sharded, content-addressed,
+  LRU-byte-budgeted disk cache that lets a restarted daemon answer
+  previously-compiled requests without recompiling.
+* :mod:`repro.serve.client` -- a pipelining stdio client (spawns the daemon
+  as a child) plus a per-request HTTP client.
+"""
+
+from .client import DaemonClient, HttpClient, run_requests
+from .daemon import PROTOCOL_VERSION, RequestError, ServeDaemon, build_circuit
+from .diskcache import DEFAULT_MAX_BYTES, DiskCompileCache, cache_key_digest
+from .scheduler import ServeScheduler
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DaemonClient",
+    "DiskCompileCache",
+    "HttpClient",
+    "PROTOCOL_VERSION",
+    "RequestError",
+    "ServeDaemon",
+    "ServeScheduler",
+    "build_circuit",
+    "cache_key_digest",
+    "run_requests",
+]

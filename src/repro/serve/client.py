@@ -1,0 +1,242 @@
+"""``repro client``: a scripting/testing client for the ``repro serve`` daemon.
+
+:class:`DaemonClient` spawns a stdio daemon as a child process (or connects
+to a running ``--http`` daemon) and exchanges newline-delimited JSON with
+it.  Requests can be pipelined: :meth:`send` returns immediately with the
+assigned id, :meth:`recv`/:meth:`wait` collect responses in completion
+order -- that is what lets two identical pipelined requests *coalesce*
+inside the daemon instead of the second waiting to become a cache hit.
+
+Typical session (what ``make smoke`` runs)::
+
+    printf '%s\\n' \\
+      '{"method":"compile","params":{"circuit":{"benchmark":"bv_n14"}}}' \\
+      '{"method":"stats"}' '{"method":"shutdown"}' \\
+      | python -m repro client --requests -
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from typing import Any
+
+
+class ClientError(RuntimeError):
+    """Transport-level failure talking to the daemon."""
+
+
+class DaemonClient:
+    """Talk to a ``repro serve`` daemon over a child process's stdio."""
+
+    def __init__(self, process: subprocess.Popen) -> None:
+        self.process = process
+        self._next_id = 0
+        self._pending: dict[Any, dict] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def spawn(
+        cls,
+        *,
+        cache_dir: str | None = None,
+        cache_bytes: int | None = None,
+        workers: int | None = None,
+        python: str | None = None,
+        extra_args: list[str] | None = None,
+    ) -> "DaemonClient":
+        """Start ``python -m repro serve --stdio`` as a child process.
+
+        The child inherits the environment (``PYTHONPATH`` must make
+        ``repro`` importable, exactly like the worker pool's spawn caveat).
+        """
+        argv = [python or sys.executable, "-u", "-m", "repro", "serve", "--stdio"]
+        if cache_dir is not None:
+            argv += ["--cache-dir", cache_dir]
+        if cache_bytes is not None:
+            argv += ["--cache-bytes", str(cache_bytes)]
+        if workers is not None:
+            argv += ["--workers", str(workers)]
+        argv += list(extra_args or ())
+        process = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL if os.environ.get("REPRO_CLIENT_QUIET") else None,
+            text=True,
+        )
+        return cls(process)
+
+    def close(self, *, shutdown: bool = True, timeout: float = 30.0) -> int:
+        """Shut the daemon down (politely, then firmly) and reap it."""
+        if self.process.poll() is None:
+            if shutdown:
+                try:
+                    self.send("shutdown")
+                except (BrokenPipeError, OSError, ValueError):
+                    pass
+            try:
+                self.process.stdin.close()
+            except (BrokenPipeError, OSError, ValueError):
+                pass
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+        return self.process.returncode
+
+    def kill(self) -> None:
+        """Hard-kill the daemon (the restart test's power cut)."""
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait()
+        for pipe in (self.process.stdin, self.process.stdout):
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except (BrokenPipeError, OSError):
+                    pass
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing ------------------------------------------------------
+
+    def send(self, method: str, params: dict | None = None, *, id: Any = None) -> Any:
+        """Write one request line (no waiting); returns the request id."""
+        if id is None:
+            self._next_id += 1
+            id = self._next_id
+        elif isinstance(id, int):
+            # Keep auto-assigned ids clear of explicit ones so a mixed
+            # pipeline (user ids + the appended shutdown) cannot collide.
+            self._next_id = max(self._next_id, id)
+        request = {"id": id, "method": method}
+        if params is not None:
+            request["params"] = params
+        self.send_raw(request)
+        return id
+
+    def send_raw(self, request: dict) -> None:
+        stdin = self.process.stdin
+        if stdin is None or self.process.poll() is not None:
+            raise ClientError("daemon is not running")
+        stdin.write(json.dumps(request) + "\n")
+        stdin.flush()
+
+    def recv(self) -> dict:
+        """Read the next response line (whatever request it answers)."""
+        stdout = self.process.stdout
+        if stdout is None:
+            raise ClientError("daemon stdout is not captured")
+        line = stdout.readline()
+        if not line:
+            raise ClientError("daemon closed the connection")
+        return json.loads(line)
+
+    def wait(self, id: Any) -> dict:
+        """Read responses until the one matching ``id`` arrives."""
+        if id in self._pending:
+            return self._pending.pop(id)
+        while True:
+            response = self.recv()
+            if response.get("id") == id:
+                return response
+            self._pending[response.get("id")] = response
+
+    def request(self, method: str, params: dict | None = None) -> dict:
+        """Send one request and block for its response."""
+        return self.wait(self.send(method, params))
+
+
+class HttpClient:
+    """Per-request client for a daemon running in ``--http`` mode."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._next_id = 0
+
+    def request(self, method: str, params: dict | None = None) -> dict:
+        import http.client
+
+        self._next_id += 1
+        payload: dict[str, Any] = {"id": self._next_id, "method": method}
+        if params is not None:
+            payload["params"] = params
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=300)
+        try:
+            connection.request(
+                "POST",
+                "/",
+                body=json.dumps(payload),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = response.read()
+        finally:
+            connection.close()
+        return json.loads(body)
+
+
+def run_requests(
+    requests: list[dict],
+    *,
+    cache_dir: str | None = None,
+    cache_bytes: int | None = None,
+    workers: int | None = None,
+    connect: tuple[str, int] | None = None,
+    output=None,
+) -> int:
+    """Drive a request list end to end (the ``repro client`` CLI core).
+
+    Stdio mode pipelines: every request is written before any response is
+    read, so identical neighbours can coalesce in the daemon.  A trailing
+    ``shutdown`` is appended when the list does not end with one.  Responses
+    are printed (to ``output``) as JSON lines in completion order.  Returns
+    a process exit code: 0 iff every response has ``ok: true``.
+    """
+    output = output or sys.stdout
+    if connect is not None:
+        http = HttpClient(*connect)
+        all_ok = True
+        for request in requests:
+            response = http.request(
+                request.get("method", ""), request.get("params")
+            )
+            print(json.dumps(response, sort_keys=True), file=output, flush=True)
+            all_ok = all_ok and bool(response.get("ok"))
+        return 0 if all_ok else 1
+
+    if not any(request.get("method") == "shutdown" for request in requests):
+        requests = [*requests, {"method": "shutdown"}]
+    with DaemonClient.spawn(
+        cache_dir=cache_dir, cache_bytes=cache_bytes, workers=workers
+    ) as client:
+        ids = []
+        for request in requests:
+            ids.append(
+                client.send(
+                    request.get("method", ""),
+                    request.get("params"),
+                    id=request.get("id"),
+                )
+            )
+        all_ok = True
+        for id in ids:
+            response = client.wait(id)
+            print(json.dumps(response, sort_keys=True), file=output, flush=True)
+            all_ok = all_ok and bool(response.get("ok"))
+    return 0 if all_ok else 1
+
+
+__all__ = ["ClientError", "DaemonClient", "HttpClient", "run_requests"]

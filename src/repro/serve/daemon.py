@@ -1,0 +1,548 @@
+"""The ``repro serve`` daemon: compile-as-a-service in front of the registry.
+
+A long-running asyncio front door over :class:`repro.api.CompileService`.
+Clients speak newline-delimited JSON (one request object per line, one
+response object per line, matched by ``id``) over the daemon's stdio, or --
+with ``--http PORT`` -- over ``POST /`` on localhost.
+
+Request schema (see also the README "Serving" section)::
+
+    {"id": 1, "method": "compile",
+     "params": {"circuit": {"benchmark": "bv_n14"},
+                "backend": "zac",
+                "options": {"config": {"sa_iterations": 100}},
+                "priority": 5}}
+
+``circuit`` accepts three forms: ``{"benchmark": name}`` (paper benchmark),
+``{"qasm": text}`` (OpenQASM 2 source), or ``{"descriptor": {...}}`` (a
+:class:`repro.circuits.random.WorkloadDescriptor` dict -- the fuzz/replay
+form).  Methods: ``compile``, ``validate``, ``sweep`` (a list of circuits
+scheduled as one batch-affinity group), ``stats``, ``shutdown``.
+
+Responses are ``{"id": ..., "ok": true, "result": {...}}`` or
+``{"id": ..., "ok": false, "error": {"message": ...}}``.  Compile-shaped
+responses carry ``served``: ``"compiled"`` (paid the full pipeline),
+``"memory"`` / ``"disk"`` (cache hit), or ``"coalesced"`` (attached to an
+identical in-flight request).  Identical concurrent requests are keyed by
+the compile-cache content digest, so N clients asking for the same circuit
+pay one compile; the disk cache (``--cache-dir``) persists results across
+restarts so a rebooted daemon serves warm hits immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import sys
+import time
+from typing import Any
+
+from ..api.parallel import CompileService
+from ..circuits.circuit import QuantumCircuit
+from .diskcache import DEFAULT_MAX_BYTES, DiskCompileCache, cache_key_digest
+from .scheduler import ServeScheduler
+
+#: Protocol version reported by ``stats`` (bump on incompatible changes).
+PROTOCOL_VERSION = 1
+
+
+class RequestError(ValueError):
+    """A malformed or unserviceable request (reported, never fatal)."""
+
+
+def build_circuit(spec: Any) -> QuantumCircuit:
+    """Materialize a request's circuit spec (benchmark / qasm / descriptor)."""
+    if not isinstance(spec, dict):
+        raise RequestError(
+            "params.circuit must be an object with one of the keys "
+            "'benchmark', 'qasm', or 'descriptor'"
+        )
+    if "benchmark" in spec:
+        from ..circuits.library.registry import PAPER_BENCHMARKS
+
+        name = spec["benchmark"]
+        if name not in PAPER_BENCHMARKS:
+            raise RequestError(f"unknown benchmark {name!r}")
+        return PAPER_BENCHMARKS[name]()
+    if "qasm" in spec:
+        from ..circuits import qasm
+
+        try:
+            return qasm.loads(spec["qasm"], name=spec.get("name", "qasm_circuit"))
+        except ValueError as exc:
+            raise RequestError(f"bad qasm: {exc}") from None
+    if "descriptor" in spec:
+        from ..circuits.random import GeneratorError, WorkloadDescriptor
+
+        try:
+            return WorkloadDescriptor.from_dict(spec["descriptor"]).build()
+        except (GeneratorError, KeyError, TypeError, ValueError) as exc:
+            raise RequestError(f"bad descriptor: {exc}") from None
+    raise RequestError(
+        "params.circuit needs one of the keys 'benchmark', 'qasm', 'descriptor'"
+    )
+
+
+def build_options(backend: str, options: Any) -> dict[str, Any]:
+    """Turn a request's JSON options into typed backend options.
+
+    Scalars pass through (the registry's option dataclass validates them).
+    For the ``zac``/``ideal`` backends, ``config`` may be a preset name
+    (``"vanilla"`` ... ``"full"``) or an object of
+    :class:`~repro.core.config.ZACConfig` field overrides.
+    """
+    if options is None:
+        return {}
+    if not isinstance(options, dict):
+        raise RequestError("params.options must be an object")
+    built = dict(options)
+    if backend in ("zac", "ideal") and "config" in built:
+        from ..core.config import ZACConfig
+
+        raw = built["config"]
+        if isinstance(raw, str):
+            presets = ("vanilla", "dyn_place", "dyn_place_reuse", "full")
+            if raw not in presets:
+                raise RequestError(
+                    f"unknown zac config preset {raw!r}; choose from {presets}"
+                )
+            built["config"] = getattr(ZACConfig, raw)()
+        elif isinstance(raw, dict):
+            known = {spec.name for spec in dataclasses.fields(ZACConfig)}
+            unknown = set(raw) - known
+            if unknown:
+                raise RequestError(f"unknown ZACConfig fields: {sorted(unknown)}")
+            try:
+                built["config"] = ZACConfig(**raw)
+            except TypeError as exc:
+                raise RequestError(f"bad config: {exc}") from None
+        else:
+            raise RequestError("params.options.config must be a preset name or object")
+    return built
+
+
+class ServeDaemon:
+    """The request dispatcher behind ``python -m repro serve``."""
+
+    def __init__(
+        self,
+        *,
+        cache_dir: str | None = None,
+        max_cache_bytes: int = DEFAULT_MAX_BYTES,
+        workers: int = 0,
+        service: CompileService | None = None,
+    ) -> None:
+        # A dedicated service instance: daemon statistics must not be
+        # entangled with whatever the embedding process compiled before.
+        self.service = service or CompileService()
+        self.disk: DiskCompileCache | None = None
+        if cache_dir is not None:
+            self.disk = DiskCompileCache(cache_dir, max_bytes=max_cache_bytes)
+            self.service.attach_disk_cache(self.disk)
+        #: Worker processes for sweep fan-out (0 = all compiles inline in
+        #: the scheduler thread; prefix snapshots ship when > 1).
+        self.workers = workers
+        self.scheduler = ServeScheduler(workers=1)
+        self.started_at = time.time()
+        self.requests = 0
+        #: Per-backend hit/miss/coalesce counters (served outcome of every
+        #: compile-shaped request), reported by `stats`.
+        self.backend_counters: dict[str, dict[str, int]] = {}
+        self._shutdown = asyncio.Event()
+
+    # -- accounting -----------------------------------------------------------
+
+    def _count(self, backend: str, served: str) -> None:
+        bucket = self.backend_counters.setdefault(
+            backend,
+            {"requests": 0, "hits": 0, "misses": 0, "coalesced": 0},
+        )
+        bucket["requests"] += 1
+        if served in ("memory", "disk"):
+            bucket["hits"] += 1
+        elif served == "coalesced":
+            bucket["coalesced"] += 1
+        else:
+            bucket["misses"] += 1
+
+    # -- compile plumbing ------------------------------------------------------
+
+    def _compile_params(self, params: dict) -> tuple[QuantumCircuit, str, dict, int]:
+        circuit = build_circuit(params.get("circuit"))
+        backend = params.get("backend", "zac")
+        if not isinstance(backend, str):
+            raise RequestError("params.backend must be a string")
+        options = build_options(backend, params.get("options"))
+        priority = params.get("priority", 0)
+        if not isinstance(priority, int):
+            raise RequestError("params.priority must be an integer")
+        return circuit, backend, options, priority
+
+    def _request_key(self, circuit: QuantumCircuit, backend: str, options: dict) -> str:
+        from ..api.registry import UnknownBackendError
+
+        try:
+            key = self.service.cache_key(circuit, backend, None, options)
+        except (UnknownBackendError, TypeError, ValueError) as exc:
+            raise RequestError(str(exc)) from None
+        return cache_key_digest(key)
+
+    def _compile_thunk(
+        self, circuit: QuantumCircuit, backend: str, options: dict, validate: bool
+    ):
+        def thunk() -> tuple[dict, str]:
+            provenance: list = []
+            result = self.service.compile_batch(
+                [circuit],
+                backend,
+                None,
+                parallel=0,
+                validate=validate,
+                cache=True,
+                keep_programs=False,
+                provenance=provenance,
+                **options,
+            )[0]
+            payload = {
+                "circuit": result.circuit_name,
+                "backend": backend,
+                "compiler": result.compiler_name,
+                "architecture": result.architecture_name,
+                "validated": result.validated,
+                "summary": result.summary(),
+            }
+            return payload, provenance[0] or "compiled"
+
+        return thunk
+
+    async def _serve_compile(
+        self,
+        circuit: QuantumCircuit,
+        backend: str,
+        options: dict,
+        *,
+        priority: int,
+        batch: int | None = None,
+        validate: bool = True,
+    ) -> dict:
+        key = self._request_key(circuit, backend, options)
+        thunk = self._compile_thunk(circuit, backend, options, validate)
+        (payload, served), coalesced = await self.scheduler.submit(
+            key, thunk, priority=priority, batch=batch
+        )
+        if coalesced:
+            served = "coalesced"
+        self._count(backend, served)
+        return {**payload, "served": served}
+
+    # -- methods ---------------------------------------------------------------
+
+    async def _method_compile(self, params: dict) -> dict:
+        circuit, backend, options, priority = self._compile_params(params)
+        validate = params.get("validate", True)
+        if not isinstance(validate, bool):
+            raise RequestError("params.validate must be a boolean")
+        return await self._serve_compile(
+            circuit, backend, options, priority=priority, validate=validate
+        )
+
+    async def _method_validate(self, params: dict) -> dict:
+        from ..zair.validation import ValidationError
+
+        circuit, backend, options, priority = self._compile_params(params)
+        try:
+            payload = await self._serve_compile(
+                circuit, backend, options, priority=priority, validate=True
+            )
+        except ValidationError as exc:
+            return {
+                "valid": False,
+                "check": getattr(exc, "check", "generic"),
+                "message": str(exc),
+            }
+        return {**payload, "valid": True}
+
+    async def _method_sweep(self, params: dict) -> dict:
+        specs = params.get("circuits")
+        if not isinstance(specs, list) or not specs:
+            raise RequestError("params.circuits must be a non-empty list")
+        backend = params.get("backend", "zac")
+        options = build_options(backend, params.get("options"))
+        priority = params.get("priority", 0)
+        if not isinstance(priority, int):
+            raise RequestError("params.priority must be an integer")
+        circuits = [build_circuit(spec) for spec in specs]
+        if self.workers > 1:
+            return await self._sweep_fanout(circuits, backend, options, priority)
+        batch = self.scheduler.next_batch()
+        # One affinity group: the shards enqueue together and stay adjacent.
+        results = await asyncio.gather(
+            *(
+                self._serve_compile(
+                    circuit, backend, options, priority=priority, batch=batch
+                )
+                for circuit in circuits
+            ),
+            return_exceptions=True,
+        )
+        payloads: list[dict] = []
+        for outcome in results:
+            if isinstance(outcome, BaseException):
+                payloads.append({"error": str(outcome)})
+            else:
+                payloads.append(outcome)
+        return {"results": payloads, "batch": batch}
+
+    async def _sweep_fanout(
+        self, circuits: list[QuantumCircuit], backend: str, options: dict, priority: int
+    ) -> dict:
+        """Run a sweep as one worker-pool batch, shipping prefix snapshots.
+
+        The whole batch is a single scheduler item (its shards are adjacent
+        by construction); ``compile_batch`` coalesces within-batch
+        duplicates and ``ship_prefix=True`` gives depth-ladder shards
+        cross-process prefix reuse (the workers' prefix hits are merged back
+        into this service's ``cache_stats()``).
+        """
+        keys = [
+            self._request_key(circuit, backend, options) for circuit in circuits
+        ]
+        batch = self.scheduler.next_batch()
+
+        def thunk() -> list[tuple[dict, str]]:
+            provenance: list = []
+            results = self.service.compile_batch(
+                circuits,
+                backend,
+                None,
+                parallel=self.workers,
+                validate=True,
+                return_exceptions=True,
+                cache=True,
+                keep_programs=False,
+                ship_prefix=True,
+                provenance=provenance,
+                **options,
+            )
+            out: list[tuple[dict, str]] = []
+            for result, served in zip(results, provenance):
+                if isinstance(result, Exception):
+                    out.append(({"error": str(result)}, "error"))
+                    continue
+                out.append(
+                    (
+                        {
+                            "circuit": result.circuit_name,
+                            "backend": backend,
+                            "compiler": result.compiler_name,
+                            "architecture": result.architecture_name,
+                            "validated": result.validated,
+                            "summary": result.summary(),
+                        },
+                        served or "compiled",
+                    )
+                )
+            return out
+
+        (outcomes, coalesced) = await self.scheduler.submit(
+            cache_key_digest(tuple(keys)), thunk, priority=priority, batch=batch
+        )
+        payloads: list[dict] = []
+        for payload, served in outcomes:
+            if coalesced:
+                served = "coalesced"
+            if served != "error":
+                self._count(backend, served)
+                payload = {**payload, "served": served}
+            payloads.append(payload)
+        return {"results": payloads, "batch": batch}
+
+    async def _method_stats(self, _params: dict) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": time.time() - self.started_at,
+            "requests": self.requests,
+            "backends": {
+                name: dict(counters)
+                for name, counters in sorted(self.backend_counters.items())
+            },
+            "scheduler": self.scheduler.stats(),
+            "cache": self.service.cache_stats(),
+        }
+
+    async def _method_shutdown(self, _params: dict) -> dict:
+        self._shutdown.set()
+        return {"stopping": True}
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def handle(self, request: dict) -> dict:
+        """Serve one request object, returning the response object."""
+        request_id = request.get("id")
+        self.requests += 1
+        method = request.get("method")
+        handler = {
+            "compile": self._method_compile,
+            "validate": self._method_validate,
+            "sweep": self._method_sweep,
+            "stats": self._method_stats,
+            "shutdown": self._method_shutdown,
+        }.get(method)
+        if handler is None:
+            return _error(request_id, f"unknown method {method!r}")
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            return _error(request_id, "params must be an object")
+        try:
+            result = await handler(params)
+        except RequestError as exc:
+            return _error(request_id, str(exc))
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the daemon
+            return _error(request_id, f"{type(exc).__name__}: {exc}")
+        return {"id": request_id, "ok": True, "result": result}
+
+    # -- transports ------------------------------------------------------------
+
+    async def serve_stdio(self) -> None:
+        """Newline-delimited JSON over this process's stdin/stdout."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader()
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+        transport, protocol = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, sys.stdout
+        )
+        writer = asyncio.StreamWriter(transport, protocol, None, loop)
+        await self._serve_stream(reader, writer, close_writer=False)
+
+    async def serve_http(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Minimal localhost HTTP mode: each request is a ``POST /`` body.
+
+        One request per connection; the response is the same JSON object the
+        stdio transport would emit.  Prints the bound port on startup (port
+        0 lets the OS pick) so test harnesses can connect.
+        """
+        server = await asyncio.start_server(self._serve_http_connection, host, port)
+        bound = server.sockets[0].getsockname()[1]
+        print(f"repro-serve listening on http://{host}:{bound}", flush=True)
+        self.scheduler.start()
+        async with server:
+            await self._shutdown.wait()
+        await self.scheduler.stop()
+
+    async def _serve_http_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line.startswith(b"POST"):
+                _http_respond(writer, 405, {"ok": False, "error": {"message": "POST only"}})
+                return
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            body = await reader.readexactly(content_length)
+            try:
+                request = json.loads(body)
+            except json.JSONDecodeError as exc:
+                _http_respond(writer, 400, _error(None, f"bad json: {exc}"))
+                return
+            response = await self.handle(request)
+            _http_respond(writer, 200, response)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def _serve_stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        close_writer: bool = True,
+    ) -> None:
+        """Shared stdio loop: spawn a task per request, write as they finish."""
+        self.scheduler.start()
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def respond(request: dict) -> None:
+            response = await self.handle(request)
+            async with write_lock:
+                writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
+                await writer.drain()
+
+        while not self._shutdown.is_set():
+            read = asyncio.create_task(reader.readline())
+            stop = asyncio.create_task(self._shutdown.wait())
+            done, _ = await asyncio.wait(
+                (read, stop), return_when=asyncio.FIRST_COMPLETED
+            )
+            if read not in done:
+                read.cancel()
+                stop.cancel()
+                break
+            stop.cancel()
+            line = read.result()
+            if not line:  # EOF: client went away
+                self._shutdown.set()
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                async with write_lock:
+                    writer.write(
+                        (json.dumps(_error(None, f"bad json: {exc}")) + "\n").encode()
+                    )
+                    await writer.drain()
+                continue
+            task = asyncio.create_task(respond(request))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        await self.scheduler.stop()
+        if close_writer:
+            writer.close()
+
+
+def _error(request_id: Any, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": {"message": message}}
+
+
+def _http_respond(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
+    body = json.dumps(payload, sort_keys=True).encode()
+    reason = {200: "OK", 400: "Bad Request", 405: "Method Not Allowed"}[status]
+    writer.write(
+        (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        + body
+    )
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RequestError",
+    "ServeDaemon",
+    "build_circuit",
+    "build_options",
+]

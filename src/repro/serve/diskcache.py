@@ -1,0 +1,271 @@
+"""Disk-backed compile cache: sharded, content-addressed, LRU byte budget.
+
+The second cache level behind :class:`repro.api.CompileService`'s in-memory
+:class:`~repro.api.parallel.CompileCache`.  Each entry is one shard file
+under a two-hex-character fan-out directory (256 buckets, see
+:func:`repro.core.result.result_shard_name`), written with the JSONL
+serialization from :mod:`repro.core.result`
+(:func:`~repro.core.result.save_results_stream` /
+:func:`~repro.core.result.iter_results`), so a shard is also a perfectly
+ordinary sweep-result file -- ``merge_results`` over ``iter_results`` of all
+shards reconstructs the whole cache as one result list.
+
+Semantics:
+
+* **Content-addressed**: the shard name is the SHA-256 of the canonical
+  ``repr`` of the compile-service cache key -- circuit content, backend,
+  architecture fingerprint, and option ``repr``.  Equal requests hit the
+  same shard across daemon restarts and across machines.
+* **Slim-only**: :class:`~repro.core.result.CompileResult` serialization is
+  metrics-only, so disk entries never carry programs.  The service layer
+  therefore only serves disk hits to ``keep_programs=False`` requests and
+  recompiles unvalidated entries instead of faking the ``validated`` flag
+  (which IS persisted, in the shard header).
+* **LRU byte budget**: the cache tracks total bytes and evicts
+  least-recently-*used* shards (reads refresh recency) until under budget.
+  A restarted daemon rebuilds the recency order from file mtimes, which
+  ``get`` keeps bumped via ``os.utime``.
+* **Corruption-tolerant**: a truncated or hand-edited shard is skipped with
+  a :class:`RuntimeWarning` (and dropped from the index) instead of taking
+  the daemon down -- a cache must never be a source of crashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import warnings
+from collections import OrderedDict
+from pathlib import Path
+
+from ..core.result import (
+    CompileResult,
+    iter_results,
+    read_shard_header,
+    result_shard_name,
+    save_results_stream,
+)
+
+#: Default byte budget (256 MiB) -- generous for metrics-only entries, which
+#: run a few KiB each.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Envelope version written into every shard header (bump on layout changes).
+SHARD_SCHEMA = 1
+
+
+def cache_key_digest(key: tuple) -> str:
+    """Stable content digest of a compile-service cache key.
+
+    The key tuple is built from value types with deterministic ``repr``
+    (strings, numbers, tuples, frozen gate dataclasses), so ``repr`` is a
+    canonical serialization and its SHA-256 is stable across processes and
+    restarts (no reliance on ``hash()``, which is salted).
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class DiskCompileCache:
+    """Persistent, sharded, content-addressed store of slim compile results."""
+
+    def __init__(self, root: str | Path, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.evictions_by_backend: dict[str, int] = {}
+        #: digest -> size in bytes, in least-recently-used-first order.
+        self._index: OrderedDict[str, int] = OrderedDict()
+        self._total_bytes = 0
+        self._scan()
+
+    # -- startup scan ---------------------------------------------------------
+
+    def _scan(self) -> None:
+        """Rebuild the LRU index from the on-disk shards (mtime order)."""
+        found: list[tuple[float, str, int]] = []
+        for path in self.root.glob("??/*.jsonl"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced removal
+                continue
+            found.append((stat.st_mtime, path.stem, stat.st_size))
+        found.sort()
+        for _, digest, size in found:
+            self._index[digest] = size
+            self._total_bytes += size
+
+    # -- paths ----------------------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / result_shard_name(digest)
+
+    # -- get / put ------------------------------------------------------------
+
+    def get(self, key: tuple) -> CompileResult | None:
+        """Load the entry for ``key`` (``None`` on miss or corrupted shard).
+
+        The returned result is freshly deserialized (callers may mutate it)
+        with ``validated`` restored from the shard header.  A hit refreshes
+        the entry's LRU position and file mtime.
+        """
+        digest = cache_key_digest(key)
+        path = self.path_for(digest)
+        if digest not in self._index and not path.exists():
+            self.misses += 1
+            return None
+        try:
+            header = read_shard_header(path) or {}
+            if header.get("schema") != SHARD_SCHEMA:
+                raise ValueError(f"unsupported shard schema {header.get('schema')!r}")
+            result = next(iter(iter_results(str(path))))
+        except (OSError, StopIteration, ValueError, KeyError, TypeError) as exc:
+            # json.JSONDecodeError is a ValueError; truncated shards raise
+            # StopIteration (no result line) or KeyError (missing fields).
+            warnings.warn(
+                f"skipping corrupted compile-cache shard {path}: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._drop(digest, unlink=True)
+            self.misses += 1
+            return None
+        result.validated = bool(header.get("validated", False))
+        self._touch(digest, path)
+        self.hits += 1
+        return result
+
+    def put(self, key: tuple, result: CompileResult, backend: str = "") -> None:
+        """Write (or refresh) the entry for ``key``, then enforce the budget.
+
+        The shard is written to a temp file and atomically renamed so a
+        killed daemon never leaves a half-written shard under the final name.
+        """
+        digest = cache_key_digest(key)
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "schema": SHARD_SCHEMA,
+            "key_digest": digest,
+            "backend": backend or result.compiler_name,
+            "validated": bool(result.validated),
+        }
+        tmp = path.with_suffix(".tmp")
+        save_results_stream(str(tmp), [result], header=header)
+        os.replace(tmp, path)
+        self._drop(digest, unlink=False)
+        size = path.stat().st_size
+        self._index[digest] = size
+        self._total_bytes += size
+        self._evict()
+
+    # -- LRU bookkeeping -------------------------------------------------------
+
+    def _touch(self, digest: str, path: Path) -> None:
+        if digest in self._index:
+            self._index.move_to_end(digest)
+        else:  # pre-existing shard not seen by the startup scan
+            try:
+                self._index[digest] = path.stat().st_size
+                self._total_bytes += self._index[digest]
+            except OSError:  # pragma: no cover - raced removal
+                return
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - read-only cache dir
+            pass
+
+    def _drop(self, digest: str, unlink: bool) -> None:
+        size = self._index.pop(digest, None)
+        if size is not None:
+            self._total_bytes -= size
+        if unlink:
+            try:
+                self.path_for(digest).unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - permissions
+                pass
+
+    def _evict(self) -> None:
+        """Drop least-recently-used shards until back under the byte budget."""
+        while self._total_bytes > self.max_bytes and len(self._index) > 1:
+            digest, size = self._index.popitem(last=False)
+            self._total_bytes -= size
+            backend = "unknown"
+            path = self.path_for(digest)
+            try:
+                header = read_shard_header(path)
+                if header and header.get("backend"):
+                    backend = str(header["backend"])
+            except (OSError, ValueError):
+                pass
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - permissions
+                pass
+            self.evictions += 1
+            self.evictions_by_backend[backend] = (
+                self.evictions_by_backend.get(backend, 0) + 1
+            )
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Remove every shard and reset the counters."""
+        for digest in list(self._index):
+            self._drop(digest, unlink=True)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.evictions_by_backend = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._index),
+            "bytes": self._total_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "evictions_by_backend": dict(self.evictions_by_backend),
+        }
+
+    def digests(self) -> list[str]:
+        """Shard digests in least-recently-used-first order (for tests)."""
+        return list(self._index)
+
+
+def load_all_results(cache: DiskCompileCache) -> list[CompileResult]:
+    """Every cached result as one merged sweep-result list.
+
+    Demonstrates the serialization contract: shards are ordinary
+    :mod:`repro.core.result` files, so the whole cache round-trips through
+    the standard streaming loader.
+    """
+    results: list[CompileResult] = []
+    for digest in cache.digests():
+        try:
+            results.extend(iter_results(str(cache.path_for(digest))))
+        except (OSError, ValueError, KeyError) as exc:
+            warnings.warn(
+                f"skipping corrupted compile-cache shard {digest}: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return results
+
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DiskCompileCache",
+    "cache_key_digest",
+    "load_all_results",
+]

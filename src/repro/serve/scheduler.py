@@ -1,0 +1,205 @@
+"""Priority scheduling with batch affinity and in-flight request coalescing.
+
+The daemon's admission layer: every compile-shaped request becomes a
+:class:`WorkItem` on a heap ordered by ``(-priority, batch, arrival)`` and is
+executed by a small number of worker coroutines (one by default -- the
+compile itself is CPU-bound and runs in a thread via ``asyncio.to_thread``,
+which keeps the event loop free to accept and coalesce more requests).
+
+* **Coalescing**: items are keyed by the compile-cache content digest.  A
+  request whose key is already queued or running does not enqueue new work;
+  it awaits the in-flight item's future (``repro serve`` then reports it as
+  ``"coalesced"``).  N clients asking for the same circuit pay one compile.
+* **Priority**: higher ``priority`` runs first (ties FIFO by batch arrival).
+  A coalesced duplicate carrying a higher priority *boosts* the queued
+  original: the item is re-pushed under the better key and the stale heap
+  entry is lazily discarded when popped.
+* **Batch affinity**: all items submitted through one :meth:`submit_batch`
+  call share a batch sequence number, so sweep shards stay adjacent in the
+  queue instead of interleaving with same-priority traffic that arrived
+  between them (warm per-process prefix/staging caches stay warm).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class WorkItem:
+    """One schedulable unit of work (shared by its coalesced duplicates)."""
+
+    key: str
+    thunk: Callable[[], Any]
+    future: asyncio.Future
+    priority: int
+    batch: int
+    arrival: int
+    started: bool = False
+    #: Requests riding on this item beyond the first.
+    coalesced: int = 0
+
+    def sort_key(self) -> tuple[int, int, int]:
+        return (-self.priority, self.batch, self.arrival)
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    order: tuple[int, int, int]
+    item: WorkItem = field(compare=False)
+
+
+class ServeScheduler:
+    """Coalescing priority queue executing thunks on worker coroutines."""
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, workers)
+        self._heap: list[_HeapEntry] = []
+        self._inflight: dict[str, WorkItem] = {}
+        self._wakeup = asyncio.Event()
+        self._tasks: list[asyncio.Task] = []
+        self._stopping = False
+        self._batch_seq = 0
+        self._arrival_seq = 0
+        # Lifetime counters (surfaced by the daemon's `stats` method).
+        self.submitted = 0
+        self.executed = 0
+        self.coalesced = 0
+        self.max_queue_depth = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker coroutines (idempotent)."""
+        while len(self._tasks) < self.workers:
+            self._tasks.append(asyncio.get_running_loop().create_task(self._worker()))
+
+    async def stop(self) -> None:
+        """Finish the queued work, then stop the workers."""
+        self._stopping = True
+        self._wakeup.set()
+        for task in self._tasks:
+            await task
+        self._tasks.clear()
+
+    # -- submission -----------------------------------------------------------
+
+    def next_batch(self) -> int:
+        """Reserve a batch sequence number (affinity group id)."""
+        self._batch_seq += 1
+        return self._batch_seq
+
+    async def submit(
+        self,
+        key: str,
+        thunk: Callable[[], Any],
+        *,
+        priority: int = 0,
+        batch: int | None = None,
+    ) -> tuple[Any, bool]:
+        """Schedule ``thunk`` under ``key`` and await its result.
+
+        Returns ``(result, coalesced)`` -- ``coalesced`` is True when the
+        request attached to an identical in-flight item instead of enqueuing
+        new work.  Exceptions raised by the thunk propagate to *every*
+        coalesced awaiter.
+        """
+        self.submitted += 1
+        existing = self._inflight.get(key)
+        if existing is not None:
+            existing.coalesced += 1
+            self.coalesced += 1
+            if priority > existing.priority and not existing.started:
+                # Boost: re-push under the stronger key; the superseded heap
+                # entry is discarded when popped (item.started check).
+                existing.priority = priority
+                heapq.heappush(self._heap, _HeapEntry(existing.sort_key(), existing))
+                self._wakeup.set()
+            return await asyncio.shield(existing.future), True
+
+        if batch is None:
+            batch = self.next_batch()
+        self._arrival_seq += 1
+        item = WorkItem(
+            key=key,
+            thunk=thunk,
+            future=asyncio.get_running_loop().create_future(),
+            priority=priority,
+            batch=batch,
+            arrival=self._arrival_seq,
+        )
+        self._inflight[key] = item
+        heapq.heappush(self._heap, _HeapEntry(item.sort_key(), item))
+        self.max_queue_depth = max(self.max_queue_depth, len(self._heap))
+        self._wakeup.set()
+        return await asyncio.shield(item.future), False
+
+    async def submit_batch(
+        self,
+        items: list[tuple[str, Callable[[], Any]]],
+        *,
+        priority: int = 0,
+    ) -> list[tuple[Any, bool]]:
+        """Submit ``(key, thunk)`` items as one affinity group, await all.
+
+        The shards are enqueued together under one batch id before any
+        result is awaited, so they sit adjacently in the queue.
+        """
+        batch = self.next_batch()
+        submissions = [
+            self.submit(key, thunk, priority=priority, batch=batch)
+            for key, thunk in items
+        ]
+        return list(await asyncio.gather(*submissions))
+
+    # -- execution ------------------------------------------------------------
+
+    def _pop_ready(self) -> WorkItem | None:
+        while self._heap:
+            item = heapq.heappop(self._heap).item
+            if item.started:  # stale entry left behind by a priority boost
+                continue
+            return item
+        return None
+
+    async def _worker(self) -> None:
+        while True:
+            item = self._pop_ready()
+            if item is None:
+                if self._stopping:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            item.started = True
+            self.executed += 1
+            try:
+                result = await asyncio.to_thread(item.thunk)
+            except Exception as exc:  # noqa: BLE001 - delivered to awaiters
+                if not item.future.cancelled():
+                    item.future.set_exception(exc)
+            else:
+                if not item.future.cancelled():
+                    item.future.set_result(result)
+            finally:
+                if self._inflight.get(item.key) is item:
+                    del self._inflight[item.key]
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "coalesced": self.coalesced,
+            "queued": len(self._inflight),
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+__all__ = ["ServeScheduler", "WorkItem"]

@@ -514,38 +514,9 @@ def _validate_location_fast(
             _delegate(architecture, program)
 
     # -- trap occupancy: one global event sort -------------------------------
-    # Every occupancy-relevant event is (trap, seq, kind, qubit) with
-    # seq = 2*inst for pickups and 2*inst + 1 for placements (init, drops),
-    # so a chronological per-trap scan sees pickups before same-instruction
-    # drops.  A replay is valid iff, per trap, events alternate
-    # place/remove starting with a place and every remove takes the qubit
-    # the preceding place put there.  Together with the structural
-    # begin/end-qubit pairing of jobs and epochs (enforced at construction)
-    # this is equivalent to the reference dict replay: double occupancy,
-    # pickups from wrong traps, moves of unknown qubits, and duplicate
-    # drop targets all break alternation or qubit matching.
+    if _trap_occupancy_violated(cols):
+        _delegate(architecture, program)
     is_place = (role == ROLE_INIT) | (role == ROLE_DROP)
-    is_remove = role == ROLE_PICKUP
-    ev_mask = is_place | is_remove
-    if bool(ev_mask.any()):
-        ev_trap = cols.loc_trap[ev_mask]
-        ev_qubit = cols.loc_qubit[ev_mask]
-        ev_kind = is_remove[ev_mask].astype(np.int8)  # 0 = place, 1 = remove
-        ev_seq = (2 * cols.loc_inst + np.where(role == ROLE_PICKUP, 0, 1))[ev_mask]
-        order = np.lexsort((np.arange(ev_trap.size), ev_seq, ev_trap))
-        t = ev_trap[order]
-        k = ev_kind[order]
-        q = ev_qubit[order]
-        new_group = np.empty(t.size, dtype=bool)
-        new_group[0] = True
-        new_group[1:] = t[1:] != t[:-1]
-        if bool((k[new_group] == 1).any()):  # remove from an empty trap
-            _delegate(architecture, program)
-        same = ~new_group[1:]
-        if bool((same & (k[1:] == k[:-1])).any()):  # place-place / remove-remove
-            _delegate(architecture, program)
-        if bool((same & (k[1:] == 1) & (q[1:] != q[:-1])).any()):
-            _delegate(architecture, program)  # pickup of the wrong qubit
 
     # -- AOD non-crossing, all rearrangement jobs in one batch ---------------
     if _aod_ordering_violated(cols):
@@ -624,6 +595,46 @@ def _validate_location_fast(
             (cols.loc_col[ca] != cols.loc_col[cb]).any()
         ):
             _delegate(architecture, program)
+
+
+def _trap_occupancy_violated(cols: ZAIRColumns) -> bool:
+    """Batched trap-occupancy replay (detection only, one global event sort).
+
+    Every occupancy-relevant event is (trap, seq, kind, qubit) with
+    seq = 2*inst for pickups and 2*inst + 1 for placements (init, drops),
+    so a chronological per-trap scan sees pickups before same-instruction
+    drops.  A replay is valid iff, per trap, events alternate place/remove
+    starting with a place and every remove takes the qubit the preceding
+    place put there.  Together with the structural begin/end-qubit pairing
+    of jobs and epochs (enforced at construction) this is equivalent to the
+    reference dict replay: double occupancy, pickups from wrong traps,
+    moves of unknown qubits, and duplicate drop targets all break
+    alternation or qubit matching.
+    """
+    role = cols.loc_role
+    is_place = (role == ROLE_INIT) | (role == ROLE_DROP)
+    is_remove = role == ROLE_PICKUP
+    ev_mask = is_place | is_remove
+    if not bool(ev_mask.any()):
+        return False
+    ev_trap = cols.loc_trap[ev_mask]
+    ev_qubit = cols.loc_qubit[ev_mask]
+    ev_kind = is_remove[ev_mask].astype(np.int8)  # 0 = place, 1 = remove
+    ev_seq = (2 * cols.loc_inst + np.where(role == ROLE_PICKUP, 0, 1))[ev_mask]
+    order = np.lexsort((np.arange(ev_trap.size), ev_seq, ev_trap))
+    t = ev_trap[order]
+    k = ev_kind[order]
+    q = ev_qubit[order]
+    new_group = np.empty(t.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = t[1:] != t[:-1]
+    if bool((k[new_group] == 1).any()):  # remove from an empty trap
+        return True
+    same = ~new_group[1:]
+    if bool((same & (k[1:] == k[:-1])).any()):  # place-place / remove-remove
+        return True
+    # Pickup of the wrong qubit.
+    return bool((same & (k[1:] == 1) & (q[1:] != q[:-1])).any())
 
 
 def _aod_ordering_violated(cols: ZAIRColumns) -> bool:

@@ -1,0 +1,703 @@
+"""Tests for the ``repro serve`` subsystem (daemon, scheduler, disk cache).
+
+Covers the serve contract end to end: the sharded disk compile cache
+(round-trip through a *new* ``CompileService``, LRU byte-budget eviction,
+corruption tolerance), the coalescing priority scheduler, the daemon's
+request methods, the stdio transport via a spawned child daemon, the
+kill-and-restart persistence guarantee (second daemon answers from disk
+without recompiling, bit-identical fields), and cross-process prefix
+shipping (a spawn-context worker resumes from a shipped snapshot).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.api.parallel import (
+    CompileService,
+    _compile_task_with_prefix,
+    export_prefix_snapshots,
+    import_prefix_snapshots,
+)
+from repro.arch.presets import reference_zoned_architecture
+from repro.circuits.random import generate
+from repro.circuits.scheduling import clear_preprocess_cache
+from repro.circuits.synthesis import get_resynthesis_prefix_cache
+from repro.core.compiler import ZACCompiler
+from repro.core.config import ZACConfig
+from repro.core.incremental import clear_prefix_cache, get_prefix_cache
+from repro.serve import DaemonClient, DiskCompileCache, ServeDaemon, ServeScheduler
+from repro.serve.daemon import build_options
+
+ARCH = reference_zoned_architecture()
+SA_CONFIG = ZACConfig(sa_iterations=60)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_prefix_cache()
+    clear_preprocess_cache()
+    get_resynthesis_prefix_cache().clear()
+    yield
+    clear_prefix_cache()
+    clear_preprocess_cache()
+    get_resynthesis_prefix_cache().clear()
+
+
+def _circuit(seed=0, n=5, depth=2):
+    return generate("brickwork", seed=seed, num_qubits=n, depth=depth).circuit
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------------
+# Disk compile cache
+# ---------------------------------------------------------------------------
+
+
+class TestDiskRoundTrip:
+    def test_new_service_hits_disk_without_recompiling(self, tmp_path):
+        """save -> new CompileService -> hit, validated flag preserved."""
+        circuit = _circuit()
+        first_service = CompileService()
+        first_service.attach_disk_cache(DiskCompileCache(tmp_path))
+        provenance: list = []
+        first = first_service.compile_batch(
+            [circuit],
+            "zac",
+            cache=True,
+            keep_programs=False,
+            provenance=provenance,
+            config=SA_CONFIG,
+        )[0]
+        assert provenance == ["compiled"]
+
+        # A brand-new service (fresh memory cache) over the same directory:
+        # the request must be served from disk, not recompiled.
+        second_service = CompileService()
+        second_service.attach_disk_cache(DiskCompileCache(tmp_path))
+        provenance = []
+        second = second_service.compile_batch(
+            [circuit],
+            "zac",
+            cache=True,
+            keep_programs=False,
+            provenance=provenance,
+            config=SA_CONFIG,
+        )[0]
+        assert provenance == ["disk"]
+        assert second.validated is first.validated is True
+        assert second.to_dict() == first.to_dict()
+        assert second_service.cache_stats()["disk"]["hits"] == 1
+
+        # The disk hit was promoted into the memory cache: a third request
+        # is a memory hit, not a second disk read.
+        provenance = []
+        second_service.compile_batch(
+            [circuit],
+            "zac",
+            cache=True,
+            keep_programs=False,
+            provenance=provenance,
+            config=SA_CONFIG,
+        )
+        assert provenance == ["memory"]
+        assert second_service.cache_stats()["disk"]["hits"] == 1
+
+    def test_unvalidated_disk_entry_recompiles_under_validate(self, tmp_path):
+        """Disk entries carry no program, so validation cannot be added
+        post-hoc -- a validate=True request must recompile."""
+        circuit = _circuit()
+        writer = CompileService()
+        writer.attach_disk_cache(DiskCompileCache(tmp_path))
+        writer.compile_batch(
+            [circuit],
+            "zac",
+            validate=False,
+            cache=True,
+            keep_programs=False,
+            config=SA_CONFIG,
+        )
+
+        reader = CompileService()
+        reader.attach_disk_cache(DiskCompileCache(tmp_path))
+        provenance: list = []
+        result = reader.compile_batch(
+            [circuit],
+            "zac",
+            validate=True,
+            cache=True,
+            keep_programs=False,
+            provenance=provenance,
+            config=SA_CONFIG,
+        )[0]
+        assert provenance == ["compiled"]
+        assert result.validated
+
+        # ... but a validate=False reader is happy with the slim entry.
+        reader2 = CompileService()
+        reader2.attach_disk_cache(DiskCompileCache(tmp_path))
+        provenance = []
+        reader2.compile_batch(
+            [circuit],
+            "zac",
+            validate=False,
+            cache=True,
+            keep_programs=False,
+            provenance=provenance,
+            config=SA_CONFIG,
+        )
+        assert provenance == ["disk"]
+
+    def test_full_artifact_requests_bypass_disk(self, tmp_path):
+        """keep_programs=True can never be served by a slim disk entry."""
+        circuit = _circuit()
+        writer = CompileService()
+        writer.attach_disk_cache(DiskCompileCache(tmp_path))
+        writer.compile_batch(
+            [circuit], "zac", cache=True, keep_programs=False, config=SA_CONFIG
+        )
+
+        reader = CompileService()
+        reader.attach_disk_cache(DiskCompileCache(tmp_path))
+        provenance: list = []
+        result = reader.compile_batch(
+            [circuit],
+            "zac",
+            cache=True,
+            keep_programs=True,
+            provenance=provenance,
+            config=SA_CONFIG,
+        )[0]
+        assert provenance == ["compiled"]
+        assert result.program is not None
+
+
+def _slim_result():
+    service = CompileService()
+    return service.compile_batch(
+        [_circuit()], "enola", cache=False, keep_programs=False
+    )[0]
+
+
+class TestDiskEviction:
+    def test_lru_eviction_order_under_byte_budget(self, tmp_path):
+        result = _slim_result()
+        cache = DiskCompileCache(tmp_path, max_bytes=1)  # evict all but newest
+        cache.put(("k", 1), result, backend="enola")
+        size = cache.total_bytes
+        assert size > 0
+
+        # Budget for ~2 shards: the third put evicts the least recent.
+        cache = DiskCompileCache(tmp_path, max_bytes=int(size * 2.5))
+        cache.clear()
+        cache.put(("k", "a"), result, backend="enola")
+        cache.put(("k", "b"), result, backend="enola")
+        assert cache.get(("k", "a")) is not None  # refresh a's recency
+        cache.put(("k", "c"), result, backend="enola")  # evicts b, not a
+        assert cache.stats()["evictions"] == 1
+        assert cache.get(("k", "b")) is None
+        assert cache.get(("k", "a")) is not None
+        assert cache.get(("k", "c")) is not None
+        assert cache.stats()["evictions_by_backend"] == {"enola": 1}
+
+    def test_index_rebuilt_on_restart(self, tmp_path):
+        result = _slim_result()
+        writer = DiskCompileCache(tmp_path)
+        writer.put(("k", 1), result, backend="enola")
+        writer.put(("k", 2), result, backend="enola")
+
+        reopened = DiskCompileCache(tmp_path)
+        assert len(reopened) == 2
+        assert reopened.total_bytes == writer.total_bytes
+        assert reopened.get(("k", 1)) is not None
+
+    def test_corrupted_shard_is_skipped_with_warning(self, tmp_path):
+        result = _slim_result()
+        cache = DiskCompileCache(tmp_path)
+        cache.put(("k", 1), result, backend="enola")
+        shard = cache.path_for(next(iter(cache.digests())))
+        shard.write_bytes(shard.read_bytes()[: shard.stat().st_size // 2])
+
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert cache.get(("k", 1)) is None
+        assert len(cache) == 0
+        assert not shard.exists()
+
+        # The cache stays serviceable after dropping the bad shard.
+        cache.put(("k", 1), result, backend="enola")
+        assert cache.get(("k", 1)) is not None
+
+    def test_garbage_shard_is_skipped_with_warning(self, tmp_path):
+        result = _slim_result()
+        cache = DiskCompileCache(tmp_path)
+        cache.put(("k", 1), result, backend="enola")
+        shard = cache.path_for(next(iter(cache.digests())))
+        shard.write_text("this is not json\n")
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(("k", 1)) is None
+
+
+# ---------------------------------------------------------------------------
+# Scheduler
+# ---------------------------------------------------------------------------
+
+
+class _Blocker:
+    """A thunk that blocks its worker until released (queue-shape control)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+
+    def __call__(self):
+        self.release.wait(timeout=30)
+        return "blocked"
+
+
+async def _wait_until(predicate, timeout=5.0):
+    for _ in range(int(timeout / 0.005)):
+        if predicate():
+            return
+        await asyncio.sleep(0.005)
+    raise AssertionError("condition not reached")
+
+
+class TestServeScheduler:
+    def test_identical_inflight_requests_coalesce(self):
+        async def scenario():
+            sched = ServeScheduler()
+            sched.start()
+            calls = []
+
+            def thunk():
+                calls.append(1)
+                return "value"
+
+            results = await asyncio.gather(
+                sched.submit("same", thunk), sched.submit("same", thunk)
+            )
+            await sched.stop()
+            return results, calls, sched.stats()
+
+        results, calls, stats = run_async(scenario())
+        assert len(calls) == 1  # one execution for two submissions
+        assert [value for value, _ in results] == ["value", "value"]
+        assert sorted(coalesced for _, coalesced in results) == [False, True]
+        assert stats["submitted"] == 2
+        assert stats["executed"] == 1
+        assert stats["coalesced"] == 1
+
+    def test_priority_order_with_batch_affinity(self):
+        async def scenario():
+            sched = ServeScheduler()
+            sched.start()
+            blocker = _Blocker()
+            block_task = asyncio.create_task(sched.submit("block", blocker))
+            await _wait_until(
+                lambda: getattr(sched._inflight.get("block"), "started", False)
+            )
+
+            order = []
+            batch_a = sched.next_batch()
+            batch_b = sched.next_batch()
+            tasks = [
+                # Two batch-a shards with a batch-b item arriving between
+                # them; one high-priority latecomer jumps the whole line.
+                asyncio.create_task(
+                    sched.submit("a1", lambda: order.append("a1"), batch=batch_a)
+                ),
+                asyncio.create_task(
+                    sched.submit("b1", lambda: order.append("b1"), batch=batch_b)
+                ),
+                asyncio.create_task(
+                    sched.submit("a2", lambda: order.append("a2"), batch=batch_a)
+                ),
+                asyncio.create_task(
+                    sched.submit(
+                        "hi", lambda: order.append("hi"), priority=5
+                    )
+                ),
+            ]
+            await _wait_until(lambda: len(sched._inflight) == 5)
+            blocker.release.set()
+            await asyncio.gather(block_task, *tasks)
+            await sched.stop()
+            return order
+
+        # Priority first, then batch affinity (a2 rides with a1 even though
+        # b1 arrived between them), then arrival order.
+        assert run_async(scenario()) == ["hi", "a1", "a2", "b1"]
+
+    def test_coalesced_duplicate_boosts_queued_priority(self):
+        async def scenario():
+            sched = ServeScheduler()
+            sched.start()
+            blocker = _Blocker()
+            block_task = asyncio.create_task(sched.submit("block", blocker))
+            await _wait_until(
+                lambda: getattr(sched._inflight.get("block"), "started", False)
+            )
+
+            order = []
+            low = asyncio.create_task(
+                sched.submit("low", lambda: order.append("low"), priority=0)
+            )
+            mid = asyncio.create_task(
+                sched.submit("mid", lambda: order.append("mid"), priority=3)
+            )
+            await _wait_until(lambda: len(sched._inflight) == 3)
+            # A duplicate of "low" arriving at priority 9 boosts the queued
+            # original ahead of "mid".
+            dup = asyncio.create_task(
+                sched.submit("low", lambda: order.append("dup"), priority=9)
+            )
+            await _wait_until(lambda: sched.coalesced == 1)
+            blocker.release.set()
+            await asyncio.gather(block_task, low, mid, dup)
+            await sched.stop()
+            return order
+
+        assert run_async(scenario()) == ["low", "mid"]
+
+    def test_thunk_exception_reaches_every_awaiter(self):
+        async def scenario():
+            sched = ServeScheduler()
+            sched.start()
+
+            def thunk():
+                raise ValueError("boom")
+
+            results = await asyncio.gather(
+                sched.submit("bad", thunk),
+                sched.submit("bad", thunk),
+                return_exceptions=True,
+            )
+            await sched.stop()
+            return results
+
+        results = run_async(scenario())
+        assert len(results) == 2
+        assert all(isinstance(r, ValueError) for r in results)
+
+
+# ---------------------------------------------------------------------------
+# Daemon request handling (in-process)
+# ---------------------------------------------------------------------------
+
+
+BV_COMPILE = {
+    "method": "compile",
+    "params": {
+        "circuit": {"benchmark": "bv_n14"},
+        "options": {"config": "vanilla"},
+    },
+}
+
+
+async def _with_daemon(fn, **kwargs):
+    daemon = ServeDaemon(**kwargs)
+    daemon.scheduler.start()
+    try:
+        return await fn(daemon)
+    finally:
+        await daemon.scheduler.stop()
+
+
+class TestDaemonHandle:
+    def test_compile_then_memory_hit(self):
+        async def scenario(daemon):
+            first = await daemon.handle({"id": 1, **BV_COMPILE})
+            second = await daemon.handle({"id": 2, **BV_COMPILE})
+            stats = await daemon.handle({"id": 3, "method": "stats"})
+            return first, second, stats
+
+        first, second, stats = run_async(_with_daemon(scenario))
+        assert first["ok"] and first["result"]["served"] == "compiled"
+        assert first["result"]["validated"] is True
+        assert second["ok"] and second["result"]["served"] == "memory"
+        assert second["result"]["summary"] == first["result"]["summary"]
+        counters = stats["result"]["backends"]["zac"]
+        assert counters == {"requests": 2, "hits": 1, "misses": 1, "coalesced": 0}
+
+    def test_concurrent_identical_requests_coalesce(self):
+        async def scenario(daemon):
+            responses = await asyncio.gather(
+                daemon.handle({"id": 1, **BV_COMPILE}),
+                daemon.handle({"id": 2, **BV_COMPILE}),
+            )
+            return responses, daemon.service.cache.stats()
+
+        responses, cache_stats = run_async(_with_daemon(scenario))
+        served = sorted(r["result"]["served"] for r in responses)
+        assert served == ["coalesced", "compiled"]
+        assert cache_stats["misses"] == 1  # exactly one real compile
+
+    def test_descriptor_and_qasm_circuit_specs(self):
+        workload = generate("brickwork", seed=3, num_qubits=4, depth=2)
+
+        async def scenario(daemon):
+            return await daemon.handle(
+                {
+                    "id": 1,
+                    "method": "compile",
+                    "params": {
+                        "circuit": {"descriptor": workload.descriptor.to_dict()},
+                        "options": {"config": {"sa_iterations": 60}},
+                    },
+                }
+            )
+
+        response = run_async(_with_daemon(scenario))
+        assert response["ok"]
+        assert response["result"]["circuit"] == workload.circuit.name
+
+    def test_sweep_is_one_batch_and_coalesces_duplicates(self):
+        spec = {"benchmark": "bv_n14"}
+
+        async def scenario(daemon):
+            response = await daemon.handle(
+                {
+                    "id": 1,
+                    "method": "sweep",
+                    "params": {
+                        "circuits": [spec, spec],
+                        "options": {"config": "vanilla"},
+                    },
+                }
+            )
+            return response, daemon.service.cache.stats()
+
+        response, cache_stats = run_async(_with_daemon(scenario))
+        assert response["ok"]
+        results = response["result"]["results"]
+        assert len(results) == 2
+        assert cache_stats["misses"] == 1  # the duplicate never recompiled
+        assert {r["served"] for r in results} <= {"compiled", "coalesced", "memory"}
+
+    def test_sweep_fanout_path(self):
+        async def scenario(daemon):
+            return await daemon.handle(
+                {
+                    "id": 1,
+                    "method": "sweep",
+                    "params": {
+                        "circuits": [
+                            {"benchmark": "bv_n14"},
+                            {
+                                "descriptor": {
+                                    "generator": "brickwork",
+                                    "seed": 1,
+                                    "params": {"num_qubits": 4, "depth": 2},
+                                }
+                            },
+                        ],
+                        "options": {"config": "vanilla"},
+                    },
+                }
+            )
+
+        response = run_async(_with_daemon(scenario, workers=2))
+        assert response["ok"]
+        assert [r["served"] for r in response["result"]["results"]] == [
+            "compiled",
+            "compiled",
+        ]
+
+    def test_validate_method(self):
+        async def scenario(daemon):
+            return await daemon.handle(
+                {
+                    "id": 1,
+                    "method": "validate",
+                    "params": {
+                        "circuit": {"benchmark": "bv_n14"},
+                        "options": {"config": "vanilla"},
+                    },
+                }
+            )
+
+        response = run_async(_with_daemon(scenario))
+        assert response["ok"]
+        assert response["result"]["valid"] is True
+
+    def test_request_errors_are_reported_not_fatal(self):
+        async def scenario(daemon):
+            return (
+                await daemon.handle({"id": 1, "method": "frobnicate"}),
+                await daemon.handle(
+                    {"id": 2, "method": "compile", "params": {"circuit": {}}}
+                ),
+                await daemon.handle(
+                    {
+                        "id": 3,
+                        "method": "compile",
+                        "params": {
+                            "circuit": {"benchmark": "bv_n14"},
+                            "options": {"config": {"no_such_field": 1}},
+                        },
+                    }
+                ),
+                await daemon.handle({"id": 4, **BV_COMPILE}),
+            )
+
+        unknown, bad_circuit, bad_config, ok = run_async(_with_daemon(scenario))
+        assert not unknown["ok"] and "unknown method" in unknown["error"]["message"]
+        assert not bad_circuit["ok"]
+        assert not bad_config["ok"]
+        assert "no_such_field" in bad_config["error"]["message"]
+        assert ok["ok"]  # the daemon survived all three bad requests
+
+    def test_shutdown_method(self):
+        async def scenario(daemon):
+            response = await daemon.handle({"id": 1, "method": "shutdown"})
+            return response, daemon._shutdown.is_set()
+
+        response, stopped = run_async(_with_daemon(scenario))
+        assert response["ok"] and response["result"] == {"stopping": True}
+        assert stopped
+
+
+class TestBuildOptions:
+    def test_preset_and_field_override_forms(self):
+        assert build_options("zac", {"config": "vanilla"})["config"] == (
+            ZACConfig.vanilla()
+        )
+        built = build_options("zac", {"config": {"sa_iterations": 7}})
+        assert built["config"].sa_iterations == 7
+
+    def test_non_zac_backends_pass_options_through(self):
+        assert build_options("enola", {"router": "greedy"}) == {"router": "greedy"}
+
+
+# ---------------------------------------------------------------------------
+# Stdio transport end to end (spawned child daemons)
+# ---------------------------------------------------------------------------
+
+
+class TestStdioEndToEnd:
+    def test_pipelined_duplicates_coalesce_or_hit(self):
+        with DaemonClient.spawn() as client:
+            first = client.send(**_client_compile())
+            second = client.send(**_client_compile())
+            a = client.wait(first)
+            b = client.wait(second)
+            # Stats only after both responses: `stats` is answered
+            # immediately (not queued), so asking earlier would race the
+            # in-flight compiles' accounting.
+            stats = client.request("stats")
+        assert a["ok"] and b["ok"]
+        served = sorted((a["result"]["served"], b["result"]["served"]))
+        # Pipelined before any read: the duplicate either attached to the
+        # in-flight compile or (if it raced past completion) hit memory.
+        assert served in (["coalesced", "compiled"], ["compiled", "memory"])
+        counters = stats["result"]["backends"]["zac"]
+        assert counters["requests"] == 2
+        assert counters["misses"] == 1
+
+    def test_kill_and_restart_serves_from_disk(self, tmp_path):
+        """The acceptance sequence: compile, power-cut the daemon, start a
+        second one on the same cache dir -- it answers from disk without
+        recompiling, with bit-identical result fields."""
+        cache_dir = str(tmp_path / "cache")
+        client = DaemonClient.spawn(cache_dir=cache_dir)
+        try:
+            cold = client.request(**_client_compile())
+        finally:
+            client.kill()  # no shutdown handshake: a power cut
+        assert cold["ok"] and cold["result"]["served"] == "compiled"
+
+        with DaemonClient.spawn(cache_dir=cache_dir) as client2:
+            warm = client2.request(**_client_compile())
+            stats = client2.request("stats")
+        assert warm["ok"] and warm["result"]["served"] == "disk"
+        assert stats["result"]["cache"]["disk"]["hits"] == 1
+        for field in ("circuit", "backend", "compiler", "architecture", "validated"):
+            assert warm["result"][field] == cold["result"][field]
+        assert warm["result"]["summary"] == cold["result"]["summary"]
+
+
+def _client_compile():
+    return {
+        "method": "compile",
+        "params": {
+            "circuit": {"benchmark": "bv_n14"},
+            "options": {"config": "vanilla"},
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Cross-process prefix shipping
+# ---------------------------------------------------------------------------
+
+
+class TestPrefixShipping:
+    def test_spawn_worker_resumes_from_shipped_snapshot(self):
+        """The airtight cross-process test: a spawn-context worker (no
+        fork-inherited state) compiles a deeper ladder rung from a shipped
+        prefix snapshot and reports the resume as a prefix hit."""
+        inc_config = dataclasses.replace(
+            SA_CONFIG, incremental=True, warm_start=True
+        )
+        compiler = ZACCompiler(ARCH, inc_config)
+        shallow = _circuit(seed=0, n=5, depth=2)
+        deep = _circuit(seed=0, n=5, depth=4)
+        compiler.compile(shallow)
+        snapshots = export_prefix_snapshots()
+        assert snapshots["prefix"]["entries"]
+
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            outcome, snaps_after, delta = pool.apply(
+                _compile_task_with_prefix,
+                ((snapshots, (compiler, deep, True, False, False)),),
+            )
+        assert not isinstance(outcome, Exception)
+        assert delta["prefix"]["hits"] >= 1  # the worker resumed, not recompiled
+
+        # Merging the worker's snapshot + stats makes the reuse visible in
+        # this process's service-level cache_stats().
+        hits_before = get_prefix_cache().hits
+        entries_before = len(get_prefix_cache()._entries)
+        import_prefix_snapshots(snaps_after, stats_delta=delta)
+        assert get_prefix_cache().hits >= hits_before + 1
+        assert len(get_prefix_cache()._entries) > entries_before
+
+    def test_ship_prefix_batch_reports_reuse_in_parent_stats(self):
+        """compile_batch(ship_prefix=True) over a depth ladder: the parent's
+        cache_stats() shows the workers' prefix hits after the merge."""
+        service = CompileService()
+        inc_config = dataclasses.replace(
+            SA_CONFIG, incremental=True, warm_start=True
+        )
+        # Warm the worker pool BEFORE the rung-1 compile so fork inheritance
+        # cannot leak the prefix entry to the workers behind our back.
+        service.compile_batch(
+            [_circuit(seed=9, n=4, depth=1)] * 4, "enola", parallel=2
+        )
+
+        service.compile_batch(
+            [_circuit(seed=0, n=5, depth=2)],
+            "zac",
+            parallel=0,
+            config=inc_config,
+        )
+        hits_before = get_prefix_cache().hits
+
+        rungs = [_circuit(seed=0, n=5, depth=d) for d in (3, 4, 5, 6)]
+        results = service.compile_batch(
+            rungs,
+            "zac",
+            parallel=2,
+            ship_prefix=True,
+            config=inc_config,
+        )
+        assert all(r.validated for r in results)
+        assert service.cache_stats()["prefix"]["hits"] >= hits_before + 1
