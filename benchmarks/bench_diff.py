@@ -3,6 +3,7 @@
 Usage::
 
     python benchmarks/bench_diff.py [--ref HEAD~1] [--threshold 0.2] [--strict]
+    python benchmarks/bench_diff.py --attribution [--max-commits 20]
 
 For every ``BENCH_*.json`` at the repo root, the previous version is read
 from git (``git show <ref>:<file>``) and every numeric leaf is compared.
@@ -13,6 +14,14 @@ Changes beyond the threshold are printed, classified by metric direction:
 * lower-is-better metrics (``*_s``, ``*_us``, ``us_per_*``, ``iterations``)
   that *rose* are regressions;
 * anything else beyond the threshold is reported as drift.
+
+``--attribution`` switches to a roofline-style view of *where compile time
+goes*: it walks the git history of ``BENCH_compile_speed.json``, sums the
+per-circuit ``fast_phase_times_s`` into per-phase totals for every commit
+that touched the ledger, and prints one row per commit with each phase's
+absolute time, share of the total, and commit-over-commit delta.  This
+answers "which phase did that optimisation PR actually shrink, and what
+dominates now" without re-running anything.
 
 The script is informational and always exits 0 unless ``--strict`` is given
 (then regressions exit 1).  CI runs it non-gating: shared runners are too
@@ -125,6 +134,102 @@ def diff_file(path: Path, ref: str, threshold: float) -> tuple[list[str], int]:
     return lines, regressions
 
 
+ATTRIBUTION_FILE = "BENCH_compile_speed.json"
+
+
+def _phase_totals(data: dict) -> dict[str, float]:
+    """Per-phase wall-clock totals summed over the ledger's circuits."""
+    totals: dict[str, float] = {}
+    for circuit in data.get("circuits", []):
+        phases = circuit.get("fast_phase_times_s") or {}
+        for phase, seconds in phases.items():
+            if isinstance(seconds, (int, float)) and not isinstance(seconds, bool):
+                totals[phase] = totals.get(phase, 0.0) + float(seconds)
+    return totals
+
+
+def _ledger_history(name: str, max_commits: int) -> list[tuple[str, dict[str, float]]]:
+    """(label, phase totals) per commit that touched the ledger, oldest first.
+
+    The working tree's current file is appended as a final ``worktree`` row
+    when it differs from the newest committed version, so a freshly
+    regenerated (uncommitted) ledger shows up in the table.
+    """
+    proc = subprocess.run(
+        ["git", "log", "--format=%H", "--", name],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    shas = proc.stdout.split() if proc.returncode == 0 else []
+    shas.reverse()  # oldest first
+    if max_commits > 0:
+        shas = shas[-max_commits:]
+
+    rows: list[tuple[str, dict[str, float]]] = []
+    for sha in shas:
+        data = _previous_version(sha, name)
+        if data is None:
+            continue
+        totals = _phase_totals(data)
+        if totals:
+            rows.append((sha[:9], totals))
+
+    path = REPO_ROOT / name
+    if path.exists():
+        try:
+            totals = _phase_totals(json.loads(path.read_text()))
+        except json.JSONDecodeError:
+            totals = {}
+        if totals and (not rows or totals != rows[-1][1]):
+            rows.append(("worktree", totals))
+    return rows
+
+
+def attribution(name: str = ATTRIBUTION_FILE, max_commits: int = 20) -> int:
+    """Print the per-phase attribution table over the ledger's history."""
+    rows = _ledger_history(name, max_commits)
+    if not rows:
+        print(f"no fast_phase_times_s history found for {name}")
+        return 0
+
+    # Column order: the newest row's heaviest phase first, then any phase
+    # that only ever appeared in older ledgers.
+    newest = rows[-1][1]
+    phases = sorted(newest, key=newest.get, reverse=True)
+    for _, totals in rows:
+        for phase in totals:
+            if phase not in phases:
+                phases.append(phase)
+
+    print(f"phase attribution: {name} (fast_phase_times_s summed over circuits)")
+    header = f"{'commit':<10} {'total_ms':>9}"
+    for phase in phases:
+        header += f"  {phase:>21}"
+    print(header)
+
+    previous: dict[str, float] | None = None
+    for label, totals in rows:
+        total = sum(totals.values())
+        line = f"{label:<10} {total * 1e3:>9.1f}"
+        for phase in phases:
+            value = totals.get(phase)
+            if value is None:
+                line += f"  {'-':>21}"
+                continue
+            share = value / total if total else 0.0
+            cell = f"{value * 1e3:8.1f} {share:5.1%}"
+            if previous is not None and previous.get(phase):
+                change = (value - previous[phase]) / previous[phase]
+                cell += f" {change:+5.0%}"
+            else:
+                cell += "      "
+            line += f"  {cell:>21}"
+        print(line)
+        previous = totals
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -141,7 +246,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 when regressions are found (default: informational)",
     )
+    parser.add_argument(
+        "--attribution",
+        action="store_true",
+        help="print the per-phase compile-time attribution table over the "
+        f"git history of {ATTRIBUTION_FILE} instead of diffing",
+    )
+    parser.add_argument(
+        "--max-commits",
+        type=int,
+        default=20,
+        help="history depth of the attribution table (0 = unlimited)",
+    )
     args = parser.parse_args(argv)
+
+    if args.attribution:
+        return attribution(max_commits=args.max_commits)
 
     bench_files = sorted(REPO_ROOT.glob("BENCH_*.json"))
     if not bench_files:

@@ -24,7 +24,9 @@ from repro.core.config import ZACConfig
 from conftest import FAST_SUBSET
 
 #: Aggregate speedup the fast paths must sustain over the naive references.
-MIN_SPEEDUP = 3.0
+#: Raised 3.0 -> 4.0 when the vectorized placement engine landed (batched
+#: SA proposal costing plus array-backed candidate/return-trap scoring).
+MIN_SPEEDUP = 4.0
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_compile_speed.json"
 

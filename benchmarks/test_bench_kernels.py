@@ -7,6 +7,9 @@ and records them to ``BENCH_kernels.json`` at the repo root:
   :func:`~repro.core.placement.initial.sa_placement` with the delta-cost
   protocol): microseconds per annealing iteration on a representative
   placement workload, setup amortized over the iterations actually run.
+* **Gate-candidate scoring** (:func:`repro.core.placement.gate_placement.place_gates`
+  fast path): microseconds per (gate, candidate-site) cost-matrix cell for
+  the batched distance computation behind the per-stage matching.
 * **ASAP staging scheduler** (:func:`repro.circuits.scheduling.schedule_stages`
   fast path): microseconds per gate on resynthesized circuits.
 * **ZAIR columns build** (:func:`repro.zair.columns.build_columns`): the
@@ -41,7 +44,10 @@ from repro.zair.columns import build_columns
 from repro.zair.validation import _aod_ordering_violated, _trap_occupancy_violated
 
 #: Catastrophic-regression backstops (roughly 10x typical 1-CPU numbers).
-MAX_SA_US_PER_ITERATION = 500.0
+#: The SA floor was tightened 500 -> 60 when the vectorized placement engine
+#: landed (price-table proposal costing; typical ~5-15 us/iteration).
+MAX_SA_US_PER_ITERATION = 60.0
+MAX_CANDIDATE_US_PER_CELL = 10.0
 MAX_STAGING_US_PER_GATE = 100.0
 MAX_COLUMNS_US_PER_INSTRUCTION = 100.0
 MAX_OCCUPANCY_US_PER_EVENT = 10.0
@@ -83,6 +89,45 @@ def _bench_sa_metropolis(architecture) -> dict:
         "iterations_run": iterations,
         "us_per_iteration": round(best_us_per_iteration, 3),
         "max_us_per_iteration": MAX_SA_US_PER_ITERATION,
+    }
+
+
+def _bench_gate_candidate_scoring(architecture) -> dict:
+    """Best-of-N microseconds per cost-matrix cell for batched gate scoring.
+
+    One full ``place_gates`` matching on a stage-sized gate list over the
+    reference architecture's free sites, normalised by the number of
+    (gate, free-site) cells the batched scorer prices.
+    """
+    from repro.core.placement.gate_placement import place_gates
+    from repro.core.placement.initial import trivial_placement
+
+    circuit = generate("brickwork", seed=1, num_qubits=30, depth=8).circuit
+    stage_pairs = [
+        stage.pairs for stage in preprocess(circuit, cache=False).rydberg_stages
+    ]
+    gates = stage_pairs[0]
+    next_gates = stage_pairs[1] if len(stage_pairs) > 1 else None
+    placement = trivial_placement(architecture, circuit.num_qubits)
+    positions = {
+        q: architecture.trap_position(trap) for q, trap in placement.items()
+    }
+    num_cells = len(gates) * architecture.num_rydberg_sites
+
+    best_s = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        sites, _ = place_gates(
+            architecture, gates, positions, set(), next_gates, fast=True
+        )
+        best_s = min(best_s, time.perf_counter() - start)
+    assert len(sites) == len(gates)
+    return {
+        "workload": "brickwork[num_qubits=30,depth=8] stage 0",
+        "num_gates": len(gates),
+        "num_cells": num_cells,
+        "us_per_cell": round(best_s * 1e6 / max(1, num_cells), 4),
+        "max_us_per_cell": MAX_CANDIDATE_US_PER_CELL,
     }
 
 
@@ -181,6 +226,7 @@ def _bench_aod_pairwise(cols) -> dict:
 def test_bench_kernels():
     architecture = reference_zoned_architecture()
     sa = _bench_sa_metropolis(architecture)
+    candidate = _bench_gate_candidate_scoring(architecture)
     staging = _bench_staging_scheduler()
     program = _validator_program(architecture)
     columns = _bench_columns_build(architecture, program)
@@ -191,6 +237,7 @@ def test_bench_kernels():
     payload = {
         "benchmark": "kernel_microbenchmarks",
         "sa_metropolis": sa,
+        "gate_candidate_scoring": candidate,
         "staging_scheduler": staging,
         "columns_build": columns,
         "trap_occupancy_sort": occupancy,
@@ -201,13 +248,15 @@ def test_bench_kernels():
 
     print(
         f"\n[kernels] SA {sa['us_per_iteration']:.2f} us/iteration "
-        f"({sa['iterations_run']} iterations); staging "
+        f"({sa['iterations_run']} iterations); candidate scoring "
+        f"{candidate['us_per_cell']:.4f} us/cell; staging "
         f"{staging['us_per_gate']:.2f} us/gate; columns "
         f"{columns['us_per_instruction']:.2f} us/instruction; occupancy "
         f"{occupancy['us_per_event']:.2f} us/event; AOD "
         f"{aod['us_per_instruction']:.2f} us/instruction -> {RESULT_PATH.name}"
     )
     assert sa["us_per_iteration"] <= MAX_SA_US_PER_ITERATION
+    assert candidate["us_per_cell"] <= MAX_CANDIDATE_US_PER_CELL
     assert staging["us_per_gate"] <= MAX_STAGING_US_PER_GATE
     assert columns["us_per_instruction"] <= MAX_COLUMNS_US_PER_INSTRUCTION
     assert occupancy["us_per_event"] <= MAX_OCCUPANCY_US_PER_EVENT

@@ -222,6 +222,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     kwargs = {"cache_dir": args.cache_dir, "workers": args.workers}
     if args.cache_bytes is not None:
         kwargs["max_cache_bytes"] = args.cache_bytes
+    if args.cache_ttl is not None:
+        kwargs["cache_ttl"] = args.cache_ttl
     daemon = ServeDaemon(**kwargs)
     try:
         if args.http is not None:
@@ -282,6 +284,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
         requests,
         cache_dir=args.cache_dir,
         cache_bytes=args.cache_bytes,
+        cache_ttl=args.cache_ttl,
         workers=args.workers,
         connect=connect,
     )
@@ -442,6 +445,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="disk cache byte budget before LRU eviction (default 256 MiB)",
     )
     serve_parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="evict disk-cache shards idle for longer than SECONDS "
+        "(stale shards are swept at startup and on read; default: no TTL)",
+    )
+    serve_parser.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -496,6 +507,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     client_parser.add_argument(
         "--cache-bytes", type=int, default=None, help="spawned daemon's cache budget"
+    )
+    client_parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="spawned daemon's disk-cache TTL in seconds",
     )
     client_parser.add_argument(
         "--workers", type=int, default=None, help="spawned daemon's sweep workers"

@@ -300,6 +300,10 @@ class Architecture:
         grid = self.storage_zones[zone_index].slms[0]
         return (grid.num_row, grid.num_col)
 
+    def storage_axes(self, zone_index: int = 0) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Cached (xs, ys) coordinate axes of one storage zone's grid."""
+        return self._storage_axes[zone_index]
+
     def trap_position(self, trap: StorageTrap) -> tuple[float, float]:
         """Physical position of a storage trap."""
         xs, ys = self._storage_axes[trap.zone_index]

@@ -36,11 +36,16 @@ class ZACConfig:
         candidate_expansion: Expansion factor ``delta`` (in sites) of the
             candidate Rydberg-site window used during gate placement.
         seed: PRNG seed for the annealer (determinism in tests).
-        use_fast_paths: Use the optimised hot paths (incremental SA cost,
-            vectorized conflict graph, heap-based job partitioning).  Set to
-            False to run the retained naive reference implementations, which
-            exist for equivalence testing and compile-speed regression
-            benchmarking.
+        use_fast_paths: Use the optimised hot paths: the vectorized placement
+            engine (price-table SA cost, batched gate-candidate and
+            return-trap scoring), the vectorized conflict graph, and
+            heap-based job partitioning.  Set to False to run the retained
+            naive reference implementations, which exist for equivalence
+            testing and compile-speed regression benchmarking.  The batched
+            matching scorers are bit-identical to their scalar references;
+            the SA annealer additionally has a scalar delta twin
+            (``sa_placement(..., cost_mode="scalar")``) that reproduces the
+            fast trajectory bit-for-bit.
         incremental: Enable prefix-reuse compilation
             (:mod:`repro.core.incremental`).  Compiles populate the
             process-wide :class:`~repro.core.incremental.PrefixCache`, and a

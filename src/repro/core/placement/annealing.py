@@ -17,6 +17,15 @@ Two proposal protocols are supported:
 The loop keeps an undo journal of the moves accepted since the best state
 was last seen, and rewinds it before returning, so the caller's state is
 left at the *best* configuration found -- not merely the final one.
+
+Acceptance is deliberately *sequential and scalar*: each proposal's delta is
+a Python float accumulated in reference order by the proposal generator
+(see ``IncrementalPlacementCost``), and the Metropolis draw consumes one
+``rng.random()`` per candidate.  Vectorizing the loop itself (batched
+proposals, vectorized acceptance) would reorder float reductions and PRNG
+consumption and silently change trajectories; the fast paths therefore
+vectorize only the *pricing* of each proposal, keeping the acceptance
+sequence bit-stable across cost engines.
 """
 
 from __future__ import annotations

@@ -6,24 +6,51 @@ than the raw Euclidean distance.  When the two qubits of a gate sit in the
 same SLM row they can be picked up by a single AOD row and moved to the site
 together, so the cost is the *maximum* of the two terms; otherwise the
 movements are sequential and the cost is their *sum*.
+
+Bit-stability note (see the ROADMAP standing invariants): placement-internal
+distances are computed as ``sqrt(sqrt(dx*dx + dy*dy))`` instead of
+``sqrt(hypot(dx, dy))``.  CPython's ``math.hypot`` is correctly rounded but
+C libm's (which numpy calls) is not, and the two disagree in the last ulp on
+roughly 1% of grid-like inputs -- a vectorized scorer built on ``hypot``
+could never be bit-identical to its scalar twin.  The decomposed form uses
+only IEEE-754 basic operations (multiply, add, sqrt), which numpy and
+CPython both round correctly, so scalar and array evaluation of every cost
+in this package agree bitwise by construction.
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
+from weakref import WeakKeyDictionary
 
-from ...arch.spec import Architecture, RydbergSite
+import numpy as np
+
+from ...arch.spec import Architecture, RydbergSite, StorageTrap
 
 Point = tuple[float, float]
 
 #: Tolerance (um) when deciding whether two qubits share an SLM row.
 ROW_TOL = 1e-6
 
+#: Precompute the full all-pairs price table up to this many entries
+#: (1M entries = 8 MiB of float64); larger trap universes stay lazy.
+_FULL_TABLE_MAX_ENTRIES = 1 << 20
+
+#: Precomputed price tables shared across trackers: architecture -> trap
+#: universe -> read-only (T, T) table.  SA re-runs, warm starts, and
+#: incremental recompiles rebuild trackers over the identical universe, so
+#: the broadcast pass is paid once per (architecture, universe).
+_FULL_TABLE_CACHE: WeakKeyDictionary[Architecture, dict[tuple[StorageTrap, ...], np.ndarray]] = (
+    WeakKeyDictionary()
+)
+
 
 def sqrt_distance(a: Point, b: Point) -> float:
     """``sqrt`` of the Euclidean distance between two points."""
-    return math.sqrt(math.hypot(a[0] - b[0], a[1] - b[1]))
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return math.sqrt(math.sqrt(dx * dx + dy * dy))
 
 
 def gate_cost(site_pos: Point, q_pos: Point, q2_pos: Point) -> float:
@@ -97,77 +124,229 @@ def initial_placement_cost(
 
 
 class IncrementalPlacementCost:
-    """Eq. 2 cost maintained incrementally under qubit-position updates.
+    """Eq. 2 cost maintained incrementally under qubit -> trap updates.
 
-    The naive :func:`initial_placement_cost` re-prices every weighted gate,
-    which makes a Metropolis loop O(iterations x gates).  This tracker keeps
-    one cached cost per gate plus a qubit -> gate index, so a move touching
-    qubits ``S`` re-prices only the gates incident to ``S`` -- O(deg(q)) per
-    move.  The caller owns the shared ``positions`` dict and mutates it
-    *before* calling :meth:`reevaluate`.
+    Array-backed rebuild of the original dict-churning tracker.  Qubit state
+    is an integer ``qubit_trap`` array indexing into a fixed *trap universe*
+    (every storage trap the annealer may ever place a qubit at), and gate
+    prices come from a symmetric *price table* over trap pairs: because both
+    endpoints of a gate always sit at universe traps, the base cost of a
+    gate is a pure function of its two trap indices.  A Metropolis move then
+    re-prices the gates incident to the moved qubits with three numpy
+    gathers (gate endpoints -> trap indices -> table) instead of recomputing
+    grid arithmetic per gate.
+
+    For the common single-entanglement-zone case the whole table is built in
+    one broadcast pass at construction (the annealer visits far more fresh
+    trap pairs per run than a lazy memo ever amortizes); otherwise it is
+    NaN-sentinel lazy, filled on first gather.  Either way every entry is
+    bit-identical to the scalar twin's arithmetic: the batched builder uses
+    per-trap grid indices precomputed by the identical scalar round/clamp
+    expression plus IEEE-754 basic operations only, and the per-move cost
+    delta is accumulated as a scalar sum in reference (gate-index) order,
+    keeping the acceptance sequence of the annealer bit-stable.
+
+    State protocol: the caller owns ``qubit_trap`` and mutates it *before*
+    calling :meth:`reevaluate`.  ``vectorized=False`` selects the scalar
+    twin -- identical state handling and accumulation order, every price
+    recomputed by scalar arithmetic with no table -- which is the
+    equivalence oracle the gathered fast path is property-tested against
+    (bit-identical deltas, hence bit-identical SA trajectories).
     """
 
     def __init__(
         self,
         architecture: Architecture,
-        positions: dict[int, Point],
+        traps: Sequence[StorageTrap],
+        qubit_trap: np.ndarray,
         weighted_gates: list[tuple[float, int, int]],
+        vectorized: bool = True,
     ) -> None:
         self.architecture = architecture
-        self.positions = positions
+        self.traps = list(traps)
+        self.qubit_trap = qubit_trap
         self.gates = list(weighted_gates)
+        self.vectorized = vectorized
+
+        coords = [architecture.trap_position(trap) for trap in self.traps]
+        self._tx = [c[0] for c in coords]
+        self._ty = [c[1] for c in coords]
+
+        num_gates = len(self.gates)
+        self._weights = np.array([w for w, _, _ in self.gates], dtype=np.float64)
+        self._gq = np.array([q for _, q, _ in self.gates], dtype=np.intp)
+        self._gq2 = np.array([q2 for _, _, q2 in self.gates], dtype=np.intp)
+
         self.gates_of: dict[int, list[int]] = {}
         for index, (_, q, q2) in enumerate(self.gates):
             self.gates_of.setdefault(q, []).append(index)
             if q2 != q:
                 self.gates_of.setdefault(q2, []).append(index)
+        self._gates_of_arr = {
+            q: np.array(indices, dtype=np.intp) for q, indices in self.gates_of.items()
+        }
+        self._no_gates = np.empty(0, dtype=np.intp)
+
         # With a single entanglement zone the gate's nearest site reduces to
         # pure grid arithmetic (round, clamp, midpoint) on the cached axes --
         # identical floats to nearest_gate_site, without the per-call site
         # objects.  Multi-zone architectures fall back to the general path.
         # The inlined round/clamp below must stay arithmetically identical to
-        # SLMArray.nearest_trap; tests/test_fast_paths.py compares this
-        # tracker against initial_placement_cost and catches any drift.
+        # SLMArray.nearest_trap; the equivalence tests compare this tracker
+        # against initial_placement_cost and catch any drift.
         if len(architecture.entanglement_zones) == 1:
             grid = architecture.entanglement_zones[0].slms[0]
             xs, ys = architecture.site_axes(0)
             self._single_zone = (xs, ys, grid.sep[0], grid.sep[1], grid.num_col, grid.num_row)
+            # Batched miss-fill support: per-trap coordinates and grid
+            # indices as arrays.  col/row are computed here by the *same
+            # scalar expression* as :meth:`_compute_base`, so the batched
+            # fill only performs gathers and IEEE basic ops (+, -, *, /,
+            # sqrt, maximum, where) on them -- bit-identical to the scalar
+            # path element by element.
+            self._txa = np.array(self._tx, dtype=np.float64)
+            self._tya = np.array(self._ty, dtype=np.float64)
+            self._cola = np.array(
+                [
+                    min(max(round((x - xs[0]) / grid.sep[0]), 0), grid.num_col - 1)
+                    for x in self._tx
+                ],
+                dtype=np.intp,
+            )
+            self._rowa = np.array(
+                [
+                    min(max(round((y - ys[0]) / grid.sep[1]), 0), grid.num_row - 1)
+                    for y in self._ty
+                ],
+                dtype=np.intp,
+            )
+            self._xsa = np.array(xs, dtype=np.float64)
+            self._ysa = np.array(ys, dtype=np.float64)
         else:
             self._single_zone = None
-        self.gate_costs = [self._price(index) for index in range(len(self.gates))]
+
+        num_traps = len(self.traps)
+        if (
+            self.vectorized
+            and self._single_zone is not None
+            and num_traps * num_traps <= _FULL_TABLE_MAX_ENTRIES
+        ):
+            # A short annealing run visits far more fresh trap pairs than a
+            # lazy memo amortizes (miss rates ~70% in practice), and numpy
+            # dispatch overhead on the handful of missing pairs per move
+            # costs as much as the arithmetic.  One broadcast pass over all
+            # pairs up front makes every later gather a guaranteed hit.
+            per_arch = _FULL_TABLE_CACHE.setdefault(architecture, {})
+            universe = tuple(self.traps)
+            table = per_arch.get(universe)
+            if table is None:
+                table = self._build_full_table()
+                table.flags.writeable = False
+                per_arch[universe] = table
+            self._base = table
+            self._full_table = True
+        else:
+            self._base = np.full((num_traps, num_traps), np.nan, dtype=np.float64)
+            self._full_table = False
+
+        self.gate_costs: list[float] = [0.0] * num_gates
+        for index, (weight, q, q2) in enumerate(self.gates):
+            self.gate_costs[index] = weight * self._fill(
+                int(qubit_trap[q]), int(qubit_trap[q2])
+            )
         self.total = math.fsum(self.gate_costs)
 
-    def _price(self, index: int) -> float:
-        weight, q, q2 = self.gates[index]
-        q_pos, q2_pos = self.positions[q], self.positions[q2]
+    # -- pricing --------------------------------------------------------------
+
+    def _compute_base(self, i: int, j: int) -> float:
+        """Unweighted Eq. 1 cost of a gate whose qubits sit at traps i and j.
+
+        Pure scalar arithmetic; symmetric in (i, j) because the midpoint
+        floor-division, ``max``, and float addition are all symmetric.
+        """
+        qx, qy = self._tx[i], self._ty[i]
+        q2x, q2y = self._tx[j], self._ty[j]
         single = self._single_zone
         if single is not None:
             xs, ys, sep_x, sep_y, num_col, num_row = single
-            qx, qy = q_pos
-            q2x, q2y = q2_pos
             col = min(max(round((qx - xs[0]) / sep_x), 0), num_col - 1)
             row = min(max(round((qy - ys[0]) / sep_y), 0), num_row - 1)
             col2 = min(max(round((q2x - xs[0]) / sep_x), 0), num_col - 1)
             row2 = min(max(round((q2y - ys[0]) / sep_y), 0), num_row - 1)
             site_x = xs[(col + col2) // 2]
             site_y = ys[(row + row2) // 2]
-            cost_q = math.sqrt(math.hypot(site_x - qx, site_y - qy))
-            cost_q2 = math.sqrt(math.hypot(site_x - q2x, site_y - q2y))
+            dx = site_x - qx
+            dy = site_y - qy
+            cost_q = math.sqrt(math.sqrt(dx * dx + dy * dy))
+            dx2 = site_x - q2x
+            dy2 = site_y - q2y
+            cost_q2 = math.sqrt(math.sqrt(dx2 * dx2 + dy2 * dy2))
             if abs(qy - q2y) <= ROW_TOL:
-                return weight * (cost_q if cost_q >= cost_q2 else cost_q2)
-            return weight * (cost_q + cost_q2)
-        site = nearest_gate_site(self.architecture, q_pos, q2_pos)
+                return cost_q if cost_q >= cost_q2 else cost_q2
+            return cost_q + cost_q2
+        site = nearest_gate_site(self.architecture, (qx, qy), (q2x, q2y))
         site_pos = self.architecture.site_position(site)
-        return weight * gate_cost(site_pos, q_pos, q2_pos)
+        return gate_cost(site_pos, (qx, qy), (q2x, q2y))
 
-    def reevaluate(self, moved_qubits: tuple[int, ...]) -> tuple[float, Callable[[], None]]:
-        """Re-price the gates touching ``moved_qubits`` (positions already updated).
+    def _fill(self, i: int, j: int) -> float:
+        """Memoised :meth:`_compute_base` through the symmetric price table."""
+        base = self._base[i, j]
+        if base == base:  # not NaN
+            return float(base)
+        value = self._compute_base(i, j)
+        self._base[i, j] = value
+        self._base[j, i] = value
+        return value
 
-        Returns:
-            ``(delta, undo)`` where ``delta`` is the cost change and ``undo``
-            restores the tracker's cached per-gate costs (the caller undoes
-            the position mutation itself).
+    def _build_full_table(self) -> np.ndarray:
+        """All-pairs price table in one broadcast pass (single-zone case).
+
+        Identical arithmetic to :meth:`_compute_base_batch`, evaluated over
+        the full (traps x traps) grid; symmetric by construction because
+        every expression is symmetric under (i, j) exchange.
         """
+        site_x = self._xsa[(self._cola[:, None] + self._cola[None, :]) // 2]
+        site_y = self._ysa[(self._rowa[:, None] + self._rowa[None, :]) // 2]
+        dx = site_x - self._txa[:, None]
+        dy = site_y - self._tya[:, None]
+        cost_q = np.sqrt(np.sqrt(dx * dx + dy * dy))
+        dx2 = site_x - self._txa[None, :]
+        dy2 = site_y - self._tya[None, :]
+        cost_q2 = np.sqrt(np.sqrt(dx2 * dx2 + dy2 * dy2))
+        return np.where(
+            np.abs(self._tya[:, None] - self._tya[None, :]) <= ROW_TOL,
+            np.maximum(cost_q, cost_q2),
+            cost_q + cost_q2,
+        )
+
+    def _compute_base_batch(self, mi: np.ndarray, mj: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_compute_base` for the single-zone grid case.
+
+        Bit-identical to the scalar path: the round/clamp grid indices are
+        precomputed per trap by the identical scalar expression, and
+        everything here is gathers plus IEEE-754 basic operations, which
+        numpy and Python scalars agree on exactly.
+        """
+        qx, qy = self._txa[mi], self._tya[mi]
+        q2x, q2y = self._txa[mj], self._tya[mj]
+        site_x = self._xsa[(self._cola[mi] + self._cola[mj]) // 2]
+        site_y = self._ysa[(self._rowa[mi] + self._rowa[mj]) // 2]
+        dx = site_x - qx
+        dy = site_y - qy
+        cost_q = np.sqrt(np.sqrt(dx * dx + dy * dy))
+        dx2 = site_x - q2x
+        dy2 = site_y - q2y
+        cost_q2 = np.sqrt(np.sqrt(dx2 * dx2 + dy2 * dy2))
+        return np.where(
+            np.abs(qy - q2y) <= ROW_TOL,
+            np.maximum(cost_q, cost_q2),
+            cost_q + cost_q2,
+        )
+
+    def _affected(self, moved_qubits: tuple[int, ...]) -> list[int]:
+        """Gate indices incident to the moved qubits, in reference order."""
+        if len(moved_qubits) == 1:
+            return self.gates_of.get(moved_qubits[0], [])
         affected: list[int] = []
         seen: set[int] = set()
         for qubit in moved_qubits:
@@ -175,10 +354,51 @@ class IncrementalPlacementCost:
                 if index not in seen:
                     seen.add(index)
                     affected.append(index)
+        return affected
+
+    def reevaluate(self, moved_qubits: tuple[int, ...]) -> tuple[float, Callable[[], None]]:
+        """Re-price the gates touching ``moved_qubits`` (``qubit_trap`` already updated).
+
+        Returns:
+            ``(delta, undo)`` where ``delta`` is the cost change and ``undo``
+            restores the tracker's cached per-gate costs (the caller undoes
+            the ``qubit_trap`` mutation itself).
+        """
+        affected = self._affected(moved_qubits)
+        if self.vectorized:
+            if len(moved_qubits) == 1:
+                aff = self._gates_of_arr.get(moved_qubits[0], self._no_gates)
+            else:
+                aff = np.asarray(affected, dtype=np.intp)
+            ti = self.qubit_trap[self._gq[aff]]
+            tj = self.qubit_trap[self._gq2[aff]]
+            base = self._base[ti, tj]
+            if not self._full_table:
+                missing = np.isnan(base)
+                if missing.any():
+                    idx = np.flatnonzero(missing)
+                    if self._single_zone is not None:
+                        mi, mj = ti[idx], tj[idx]
+                        vals = self._compute_base_batch(mi, mj)
+                        self._base[mi, mj] = vals
+                        self._base[mj, mi] = vals
+                        base[idx] = vals
+                    else:
+                        for k in idx:
+                            base[k] = self._fill(int(ti[k]), int(tj[k]))
+            new_costs = (self._weights[aff] * base).tolist()
+        else:
+            qubit_trap = self.qubit_trap
+            new_costs = []
+            for index in affected:
+                weight, q, q2 = self.gates[index]
+                new_costs.append(
+                    weight * self._compute_base(int(qubit_trap[q]), int(qubit_trap[q2]))
+                )
+
         saved = [self.gate_costs[index] for index in affected]
         delta = 0.0
-        for index in affected:
-            new_cost = self._price(index)
+        for index, new_cost in zip(affected, new_costs):
             delta += new_cost - self.gate_costs[index]
             self.gate_costs[index] = new_cost
         self.total += delta

@@ -159,6 +159,7 @@ class DynamicPlacer:
             occupied_sites=forced_sites,
             next_stage_gates=next_gates,
             expansion=self.config.candidate_expansion,
+            fast=self.config.use_fast_paths,
         )
         site_of_gate: dict[int, RydbergSite] = {}
         for index, site in zip(unforced_indices, placed_sites):
@@ -281,6 +282,7 @@ class DynamicPlacer:
                         next_positions,
                         occupied_sites=occupied_sites,
                         expansion=self.config.candidate_expansion,
+                        fast=self.config.use_fast_paths,
                     )
                 except Exception:
                     return None if use_reuse else _ReturnOption(
@@ -347,4 +349,5 @@ class DynamicPlacer:
             occupied,
             alpha=self.config.lookahead_alpha,
             k=self.config.neighbor_k,
+            fast=self.config.use_fast_paths,
         )

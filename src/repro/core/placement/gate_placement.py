@@ -7,6 +7,14 @@ sites.  The candidate sites of a gate are a window (expansion factor
 a full matching exists.  Edge weights are the movement cost of Eq. 1, plus a
 lookahead term for the partner qubit of a gate that will be reused in the
 following stage.
+
+Two cost-matrix builders are provided.  The batched default scores every
+candidate site of every gate in one vectorized distance computation over the
+flat site arrays of :mod:`.geom`; the scalar reference (``fast=False``)
+iterates sites one by one.  Both fill *the same matrix bitwise* -- the
+distance decomposition of :mod:`.cost` is numpy/scalar bit-stable and the
+site (column) order is the flat ``iter_rydberg_sites`` order in both -- so
+the assignment, and therefore every emitted stage plan, is identical.
 """
 
 from __future__ import annotations
@@ -15,7 +23,8 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from ...arch.spec import Architecture, RydbergSite
-from .cost import gate_cost, nearest_gate_site, sqrt_distance
+from .cost import ROW_TOL, gate_cost, nearest_gate_site, sqrt_distance
+from .geom import site_tables
 
 Point = tuple[float, float]
 
@@ -76,6 +85,7 @@ def place_gates(
     occupied_sites: set[RydbergSite],
     next_stage_gates: list[tuple[int, int]] | None = None,
     expansion: int = 2,
+    fast: bool = True,
 ) -> tuple[list[RydbergSite], float]:
     """Assign every gate to a distinct free Rydberg site, minimising total cost.
 
@@ -88,6 +98,8 @@ def place_gates(
         next_stage_gates: Gates of the following Rydberg stage, used for the
             lookahead cost term.
         expansion: Initial candidate-window half-width ``delta``.
+        fast: Use the batched cost-matrix builder (bit-identical results to
+            the scalar reference, which ``fast=False`` selects).
 
     Returns:
         ``(sites, total_cost)`` where ``sites[i]`` is the Rydberg site of
@@ -98,6 +110,11 @@ def place_gates(
     """
     if not gates:
         return [], 0.0
+
+    if fast:
+        return _place_gates_fast(
+            architecture, gates, positions, occupied_sites, next_stage_gates, expansion
+        )
 
     free_sites = [s for s in architecture.iter_rydberg_sites() if s not in occupied_sites]
     if len(free_sites) < len(gates):
@@ -110,10 +127,6 @@ def place_gates(
     ]
     lookahead = [_lookahead_partner(gate, next_stage_gates) for gate in gates]
 
-    max_rows = max(architecture.site_shape(z)[0] for z in range(len(architecture.entanglement_zones)))
-    max_cols = max(architecture.site_shape(z)[1] for z in range(len(architecture.entanglement_zones)))
-    max_expansion = max(max_rows, max_cols)
-
     current_expansion = expansion
     while True:
         assignment = _try_match(
@@ -121,7 +134,7 @@ def place_gates(
         )
         if assignment is not None:
             return assignment
-        if current_expansion >= max_expansion:
+        if current_expansion >= _max_expansion(architecture):
             # Final fallback: every free site is a candidate for every gate.
             assignment = _try_match(
                 architecture, gates, nearest, lookahead, positions, free_sites, None
@@ -130,6 +143,122 @@ def place_gates(
                 raise GatePlacementError("no feasible gate-to-site matching found")
             return assignment
         current_expansion *= 2
+
+
+def _max_expansion(architecture: Architecture) -> int:
+    max_rows = max(
+        architecture.site_shape(z)[0] for z in range(len(architecture.entanglement_zones))
+    )
+    max_cols = max(
+        architecture.site_shape(z)[1] for z in range(len(architecture.entanglement_zones))
+    )
+    return max(max_rows, max_cols)
+
+
+def _place_gates_fast(
+    architecture: Architecture,
+    gates: list[tuple[int, int]],
+    positions: dict[int, Point],
+    occupied_sites: set[RydbergSite],
+    next_stage_gates: list[tuple[int, int]] | None,
+    expansion: int,
+) -> tuple[list[RydbergSite], float]:
+    tables = site_tables(architecture)
+    free_mask = np.ones(tables.num_sites, dtype=bool)
+    for site in occupied_sites:
+        free_mask[tables.flat_index(site)] = False
+    free = np.flatnonzero(free_mask)
+    if free.size < len(gates):
+        raise GatePlacementError(
+            f"{len(gates)} gates do not fit into {free.size} free Rydberg sites"
+        )
+
+    nearest = [
+        nearest_gate_site(architecture, positions[q], positions[q2]) for q, q2 in gates
+    ]
+    lookahead = [_lookahead_partner(gate, next_stage_gates) for gate in gates]
+
+    current_expansion: int | None = expansion
+    while True:
+        assignment = _try_match_fast(
+            tables, gates, nearest, lookahead, positions, free, current_expansion
+        )
+        if assignment is not None:
+            return assignment
+        if current_expansion is None:
+            raise GatePlacementError("no feasible gate-to-site matching found")
+        if current_expansion >= _max_expansion(architecture):
+            # Final fallback: every free site is a candidate for every gate.
+            current_expansion = None
+        else:
+            current_expansion *= 2
+
+
+def _try_match_fast(
+    tables,
+    gates: list[tuple[int, int]],
+    nearest: list[RydbergSite],
+    lookahead: list[int | None],
+    positions: dict[int, Point],
+    free: np.ndarray,
+    expansion: int | None,
+) -> tuple[list[RydbergSite], float] | None:
+    """Batched cost-matrix build: one vectorized scoring pass per gate row.
+
+    Column order is ``free`` in ascending flat-site order -- exactly the
+    order the scalar reference enumerates ``free_sites`` -- and every filled
+    cell is computed with the bit-stable decomposed distance, so the matrix,
+    the assignment, and the total are identical to the reference's.
+    """
+    free_zone = tables.zone[free]
+    free_row = tables.row[free]
+    free_col = tables.col[free]
+    free_x = tables.x[free]
+    free_y = tables.y[free]
+
+    num_gates = len(gates)
+    cost = np.full((num_gates, free.size), _FORBIDDEN, dtype=np.float64)
+
+    for i, (q, q2) in enumerate(gates):
+        qx, qy = positions[q]
+        q2x, q2y = positions[q2]
+        dx = free_x - qx
+        dy = free_y - qy
+        cost_q = np.sqrt(np.sqrt(dx * dx + dy * dy))
+        dx2 = free_x - q2x
+        dy2 = free_y - q2y
+        cost_q2 = np.sqrt(np.sqrt(dx2 * dx2 + dy2 * dy2))
+        if abs(qy - q2y) <= ROW_TOL:
+            row_cost = np.maximum(cost_q, cost_q2)
+        else:
+            row_cost = cost_q + cost_q2
+        la = lookahead[i]
+        if la is not None and la in positions:
+            lx, ly = positions[la]
+            dxl = free_x - lx
+            dyl = free_y - ly
+            row_cost = row_cost + np.sqrt(np.sqrt(dxl * dxl + dyl * dyl))
+        if expansion is None:
+            cost[i] = row_cost
+            continue
+        site = nearest[i]
+        window = (
+            (free_zone == site.zone_index)
+            & (np.abs(free_row - site.row) <= expansion)
+            & (np.abs(free_col - site.col) <= expansion)
+        )
+        if window.any():
+            cost[i, window] = row_cost[window]
+        else:
+            # No free site inside the window: the reference falls back to
+            # every free site for this gate.
+            cost[i] = row_cost
+
+    rows, cols = linear_sum_assignment(cost)
+    total = float(cost[rows, cols].sum())
+    if total >= _FORBIDDEN:
+        return None
+    return [tables.site_at(int(free[j])) for j in cols], total
 
 
 def _try_match(
@@ -141,7 +270,7 @@ def _try_match(
     free_sites: list[RydbergSite],
     expansion: int | None,
 ) -> tuple[list[RydbergSite], float] | None:
-    """Attempt a min-weight full matching with the given candidate window."""
+    """Scalar reference: min-weight full matching with the given candidate window."""
     free_index = {site: j for j, site in enumerate(free_sites)}
     num_gates, num_sites = len(gates), len(free_sites)
     cost = np.full((num_gates, num_sites), _FORBIDDEN, dtype=float)

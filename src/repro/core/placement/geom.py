@@ -1,0 +1,147 @@
+"""Cached numpy views of the architecture geometry (the placement batch axes).
+
+PR 1 tabulated every SLM grid's coordinate axes as tuples on the
+:class:`~repro.arch.spec.Architecture` (``site_axes`` / ``_storage_axes``) so
+scalar position lookups are O(1).  The batched candidate scorers in
+:mod:`.gate_placement` and :mod:`.storage_placement` need the same data as
+flat numpy arrays -- one row per Rydberg site / storage trap across all
+zones -- so this module materialises them once per architecture and caches
+them in a :class:`weakref.WeakKeyDictionary` (architectures are immutable
+after construction; see ``Architecture._build_geometry_cache``).
+
+The coordinate arrays are built from the architecture's own cached axis
+tuples, so every float is bitwise identical to what the scalar helpers
+(``site_position`` / ``trap_position``) return.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...arch.spec import Architecture, RydbergSite, StorageTrap
+
+
+@dataclass(frozen=True)
+class SiteTables:
+    """Flat arrays over every Rydberg site (all entanglement zones)."""
+
+    zone: np.ndarray  #: zone index per site
+    row: np.ndarray  #: site row per site
+    col: np.ndarray  #: site column per site
+    x: np.ndarray  #: reference (left-trap) x coordinate per site
+    y: np.ndarray  #: reference (left-trap) y coordinate per site
+    zone_offset: tuple[int, ...]  #: flat-index offset of each zone
+    zone_cols: tuple[int, ...]  #: number of site columns per zone
+
+    @property
+    def num_sites(self) -> int:
+        return int(self.zone.size)
+
+    def flat_index(self, site: RydbergSite) -> int:
+        return (
+            self.zone_offset[site.zone_index]
+            + site.row * self.zone_cols[site.zone_index]
+            + site.col
+        )
+
+    def site_at(self, index: int) -> RydbergSite:
+        return RydbergSite(
+            int(self.zone[index]), int(self.row[index]), int(self.col[index])
+        )
+
+
+@dataclass(frozen=True)
+class StorageTables:
+    """Flat arrays over every storage trap (all storage zones)."""
+
+    zone: np.ndarray
+    row: np.ndarray
+    col: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    zone_offset: tuple[int, ...]
+    zone_cols: tuple[int, ...]
+
+    @property
+    def num_traps(self) -> int:
+        return int(self.zone.size)
+
+    def flat_index(self, trap: StorageTrap) -> int:
+        return (
+            self.zone_offset[trap.zone_index]
+            + trap.row * self.zone_cols[trap.zone_index]
+            + trap.col
+        )
+
+    def trap_at(self, index: int) -> StorageTrap:
+        return StorageTrap(
+            int(self.zone[index]), int(self.row[index]), int(self.col[index])
+        )
+
+
+def _flatten_grids(axes_per_zone: list[tuple[tuple[float, ...], tuple[float, ...]]]):
+    zones, rows, cols, xs, ys = [], [], [], [], []
+    offsets: list[int] = []
+    zone_cols: list[int] = []
+    total = 0
+    for zone_index, (axis_x, axis_y) in enumerate(axes_per_zone):
+        num_col, num_row = len(axis_x), len(axis_y)
+        offsets.append(total)
+        zone_cols.append(num_col)
+        total += num_row * num_col
+        row_grid, col_grid = np.meshgrid(
+            np.arange(num_row, dtype=np.intp),
+            np.arange(num_col, dtype=np.intp),
+            indexing="ij",
+        )
+        zones.append(np.full(num_row * num_col, zone_index, dtype=np.intp))
+        rows.append(row_grid.ravel())
+        cols.append(col_grid.ravel())
+        xs.append(np.asarray(axis_x, dtype=np.float64)[col_grid.ravel()])
+        ys.append(np.asarray(axis_y, dtype=np.float64)[row_grid.ravel()])
+    return (
+        np.concatenate(zones),
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(xs),
+        np.concatenate(ys),
+        tuple(offsets),
+        tuple(zone_cols),
+    )
+
+
+_SITE_CACHE: "weakref.WeakKeyDictionary[Architecture, SiteTables]" = (
+    weakref.WeakKeyDictionary()
+)
+_STORAGE_CACHE: "weakref.WeakKeyDictionary[Architecture, StorageTables]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def site_tables(architecture: Architecture) -> SiteTables:
+    """The (cached) flat Rydberg-site arrays of an architecture."""
+    tables = _SITE_CACHE.get(architecture)
+    if tables is None:
+        axes = [
+            architecture.site_axes(z)
+            for z in range(len(architecture.entanglement_zones))
+        ]
+        tables = SiteTables(*_flatten_grids(axes))
+        _SITE_CACHE[architecture] = tables
+    return tables
+
+
+def storage_tables(architecture: Architecture) -> StorageTables:
+    """The (cached) flat storage-trap arrays of an architecture."""
+    tables = _STORAGE_CACHE.get(architecture)
+    if tables is None:
+        axes = [
+            architecture.storage_axes(z)
+            for z in range(len(architecture.storage_zones))
+        ]
+        tables = StorageTables(*_flatten_grids(axes))
+        _STORAGE_CACHE[architecture] = tables
+    return tables

@@ -15,6 +15,8 @@ from __future__ import annotations
 import random
 from collections.abc import Callable
 
+import numpy as np
+
 from ...arch.spec import Architecture, StorageTrap
 from ..config import ZACConfig
 from .annealing import AnnealingResult, anneal
@@ -87,6 +89,7 @@ def sa_placement(
     config: ZACConfig = ZACConfig(),
     on_result: Callable[[AnnealingResult], None] | None = None,
     warm_start: dict[int, StorageTrap] | None = None,
+    cost_mode: str | None = None,
 ) -> dict[int, StorageTrap]:
     """Simulated-annealing initial placement minimising Eq. 2.
 
@@ -102,6 +105,18 @@ def sa_placement(
             injective placement of exactly this circuit's qubits; the
             annealer still searches from it and keeps the best state found,
             so a poor seed degrades convergence speed, not correctness.
+        cost_mode: Proposal-pricing engine; ``None`` derives it from
+            ``config.use_fast_paths``.  ``"vectorized"`` (the fast default)
+            prices moves through the array-backed
+            :class:`~repro.core.placement.cost.IncrementalPlacementCost`
+            price-table gathers; ``"scalar"`` is its scalar delta twin --
+            identical proposal stream, pricing expressions, and accumulation
+            order, so the two produce **bit-identical** trajectories (the
+            property the equivalence tests pin).  ``"naive"`` is the seed
+            implementation's full Eq. 2 re-evaluation per Metropolis step;
+            it anneals to equally good placements but compares ULP-different
+            deltas (full-sum vs incremental-sum floats), so its trajectory
+            may legitimately diverge from the delta paths on tie-breaks.
     """
     placement = trivial_placement(architecture, num_qubits)
     if (
@@ -114,7 +129,121 @@ def sa_placement(
     if not weighted or num_qubits <= 1:
         return placement
 
+    if cost_mode is None:
+        cost_mode = "vectorized" if config.use_fast_paths else "naive"
+    if cost_mode not in ("vectorized", "scalar", "naive"):
+        raise ValueError(f"unknown cost_mode {cost_mode!r}")
+
     candidates = _candidate_traps(architecture, num_qubits)
+
+    if cost_mode == "naive":
+        # Naive reference path (retained for the ablation oracle and the
+        # compile-speed regression benchmark): dict state, full Eq. 2
+        # re-evaluation per proposal.
+        return _sa_placement_naive(
+            architecture, num_qubits, placement, weighted, candidates, config, on_result
+        )
+
+    # Array-backed state: the trap universe is every candidate trap plus any
+    # extra traps the (warm-start) placement already occupies; qubit state is
+    # one int array indexing into it.  The proposal generator consumes the
+    # PRNG stream in exactly the same order as the naive path, so all three
+    # cost modes explore the same move sequence.
+    universe = list(candidates)
+    index_of: dict[StorageTrap, int] = {trap: i for i, trap in enumerate(universe)}
+    for trap in placement.values():
+        if trap not in index_of:
+            index_of[trap] = len(universe)
+            universe.append(trap)
+    qubit_trap = np.empty(num_qubits, dtype=np.intp)
+    trap_qubit = np.full(len(universe), -1, dtype=np.intp)
+    for q, trap in placement.items():
+        i = index_of[trap]
+        qubit_trap[q] = i
+        trap_qubit[i] = q
+    empty_traps = [
+        index_of[trap] for trap in candidates if trap_qubit[index_of[trap]] < 0
+    ]
+
+    tracker = IncrementalPlacementCost(
+        architecture,
+        universe,
+        qubit_trap,
+        weighted,
+        vectorized=(cost_mode == "vectorized"),
+    )
+
+    def cost() -> float:
+        return tracker.total
+
+    def propose(rng: random.Random):
+        qubit = rng.randrange(num_qubits)
+        old_index = int(qubit_trap[qubit])
+        if empty_traps and rng.random() < 0.5:
+            # Jump to a random empty candidate trap.
+            index = rng.randrange(len(empty_traps))
+            new_index = empty_traps[index]
+            qubit_trap[qubit] = new_index
+            trap_qubit[old_index] = -1
+            trap_qubit[new_index] = qubit
+            empty_traps[index] = old_index
+            moved = (qubit,)
+
+            def undo_positions() -> None:
+                qubit_trap[qubit] = old_index
+                trap_qubit[new_index] = -1
+                trap_qubit[old_index] = qubit
+                empty_traps[index] = new_index
+
+        else:
+            # Exchange locations with another qubit.
+            other = rng.randrange(num_qubits)
+            if other == qubit:
+                return None
+            other_index = int(qubit_trap[other])
+            qubit_trap[qubit] = other_index
+            qubit_trap[other] = old_index
+            trap_qubit[other_index] = qubit
+            trap_qubit[old_index] = other
+            moved = (qubit, other)
+
+            def undo_positions() -> None:
+                qubit_trap[qubit] = old_index
+                qubit_trap[other] = other_index
+                trap_qubit[old_index] = qubit
+                trap_qubit[other_index] = other
+
+        delta, undo_costs = tracker.reevaluate(moved)
+
+        def undo() -> None:
+            undo_costs()
+            undo_positions()
+
+        return undo, delta
+
+    result = anneal(
+        cost,
+        propose,
+        iterations=config.sa_iterations,
+        initial_temperature=config.sa_initial_temperature,
+        cooling=config.sa_cooling,
+        seed=config.seed,
+    )
+    if on_result is not None:
+        on_result(result)
+    return {q: universe[int(qubit_trap[q])] for q in range(num_qubits)}
+
+
+def _sa_placement_naive(
+    architecture: Architecture,
+    num_qubits: int,
+    placement: dict[int, StorageTrap],
+    weighted: list[tuple[float, int, int]],
+    candidates: list[StorageTrap],
+    config: ZACConfig,
+    on_result: Callable[[AnnealingResult], None] | None,
+) -> dict[int, StorageTrap]:
+    """The seed implementation: dict state + full Eq. 2 re-evaluation."""
     trap_to_qubit: dict[StorageTrap, int] = {trap: q for q, trap in placement.items()}
     empty_traps = [t for t in candidates if t not in trap_to_qubit]
 
@@ -122,8 +251,10 @@ def sa_placement(
         q: architecture.trap_position(trap) for q, trap in placement.items()
     }
 
-    def propose_move(rng: random.Random):
-        """Mutate placement/positions; return ``(undo, moved_qubits)`` or None."""
+    def cost() -> float:
+        return initial_placement_cost(architecture, positions, weighted)
+
+    def propose(rng: random.Random):
         qubit = rng.randrange(num_qubits)
         old_trap = placement[qubit]
         if empty_traps and rng.random() < 0.5:
@@ -143,7 +274,7 @@ def sa_placement(
                 trap_to_qubit[old_trap] = qubit
                 empty_traps[index] = new_trap
 
-            return undo, (qubit,)
+            return undo
         # Exchange locations with another qubit.
         other = rng.randrange(num_qubits)
         if other == qubit:
@@ -162,38 +293,7 @@ def sa_placement(
             trap_to_qubit[old_trap] = qubit
             trap_to_qubit[other_trap] = other
 
-        return undo_swap, (qubit, other)
-
-    if config.use_fast_paths:
-        # Delta-cost protocol: only the gates touching the moved qubits are
-        # re-priced per Metropolis step (O(deg(q)) instead of O(gates)).
-        tracker = IncrementalPlacementCost(architecture, positions, weighted)
-
-        def cost() -> float:
-            return tracker.total
-
-        def propose(rng: random.Random):
-            move = propose_move(rng)
-            if move is None:
-                return None
-            undo_positions, moved = move
-            delta, undo_costs = tracker.reevaluate(moved)
-
-            def undo() -> None:
-                undo_costs()
-                undo_positions()
-
-            return undo, delta
-
-    else:
-        # Naive reference path (retained for equivalence tests and the
-        # compile-speed regression benchmark): full Eq. 2 re-evaluation.
-        def cost() -> float:
-            return initial_placement_cost(architecture, positions, weighted)
-
-        def propose(rng: random.Random):
-            move = propose_move(rng)
-            return None if move is None else move[0]
+        return undo_swap
 
     result = anneal(
         cost,

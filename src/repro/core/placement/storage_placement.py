@@ -7,6 +7,14 @@ candidate traps, where the candidates are (i) the qubit's reserved home
 trap, (ii) the storage traps near its current Rydberg site (k-neighbourhood),
 and (iii) the trap nearest its *related qubit* -- its partner in the next
 Rydberg stage -- all enclosed in a bounding box.  Edge weights follow Eq. 3.
+
+The default (``fast=True``) scorer expands bounding boxes and prices every
+candidate trap with batched index arithmetic over the flat trap tables of
+:mod:`.geom`.  It reproduces the scalar reference *bitwise*: candidate and
+union (column) order replicate the reference's first-occurrence insertion
+order, and the decomposed distance form of :mod:`.cost` prices each cell to
+the identical float, so ``linear_sum_assignment`` sees the same matrix and
+returns the same matching.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from scipy.optimize import linear_sum_assignment
 
 from ...arch.spec import Architecture, StorageTrap
 from .cost import storage_return_cost
+from .geom import storage_tables
 
 Point = tuple[float, float]
 
@@ -99,6 +108,7 @@ def place_returning_qubits(
     occupied: set[StorageTrap],
     alpha: float = 0.1,
     k: int = 1,
+    fast: bool = True,
 ) -> tuple[dict[int, StorageTrap], float]:
     """Assign every returning qubit a storage trap, minimising total cost.
 
@@ -113,12 +123,20 @@ def place_returning_qubits(
             included; each qubit's own home is re-admitted for itself).
         alpha: Lookahead weight of Eq. 3.
         k: Neighbourhood radius for candidate traps near the current site.
+        fast: Use the batched candidate scorer (bit-identical assignments to
+            the scalar reference, which ``fast=False`` selects).
 
     Returns:
         ``(assignment, total_cost)``.
     """
     if not qubits:
         return {}, 0.0
+
+    if fast:
+        return _place_returning_qubits_fast(
+            architecture, qubits, positions, home_traps, related_positions,
+            occupied, alpha, k,
+        )
 
     per_qubit_candidates: list[list[StorageTrap]] = []
     union: list[StorageTrap] = []
@@ -151,4 +169,117 @@ def place_returning_qubits(
     if total >= _FORBIDDEN:
         raise StoragePlacementError("no feasible qubit-to-trap matching found")
     assignment = {qubits[i]: union[j] for i, j in zip(rows, cols)}
+    return assignment, total
+
+
+def _candidate_flats(
+    architecture: Architecture,
+    tables,
+    occupied_mask: np.ndarray,
+    qubit_position: Point,
+    home_trap: StorageTrap,
+    related_position: Point | None,
+    k: int,
+) -> np.ndarray:
+    """Flat-index twin of :func:`candidate_traps`, in the identical order.
+
+    The home trap leads; box traps follow per anchor zone (first-occurrence
+    zone order) in row-major order, skipping the home trap and occupied
+    traps -- exactly the enumeration order of the scalar reference, so the
+    union built from these arrays matches its insertion order.
+    """
+    anchors = [home_trap]
+    near_current = architecture.nearest_storage_trap(*qubit_position)
+    anchors.extend(k_neighbourhood(architecture, near_current, k))
+    if related_position is not None:
+        anchors.append(architecture.nearest_storage_trap(*related_position))
+
+    home_flat = tables.flat_index(home_trap)
+    by_zone: dict[int, list[StorageTrap]] = {}
+    for trap in anchors:
+        by_zone.setdefault(trap.zone_index, []).append(trap)
+
+    chunks = [np.array([home_flat], dtype=np.intp)]
+    for zone_index, traps in by_zone.items():
+        row_lo = min(t.row for t in traps)
+        row_hi = max(t.row for t in traps)
+        col_lo = min(t.col for t in traps)
+        col_hi = max(t.col for t in traps)
+        zone_cols = tables.zone_cols[zone_index]
+        offset = tables.zone_offset[zone_index]
+        box = (
+            offset
+            + np.arange(row_lo, row_hi + 1, dtype=np.intp)[:, None] * zone_cols
+            + np.arange(col_lo, col_hi + 1, dtype=np.intp)[None, :]
+        ).ravel()
+        keep = (box != home_flat) & ~occupied_mask[box]
+        chunks.append(box[keep])
+    return np.concatenate(chunks)
+
+
+def _place_returning_qubits_fast(
+    architecture: Architecture,
+    qubits: list[int],
+    positions: dict[int, Point],
+    home_traps: dict[int, StorageTrap],
+    related_positions: dict[int, Point | None],
+    occupied: set[StorageTrap],
+    alpha: float,
+    k: int,
+) -> tuple[dict[int, StorageTrap], float]:
+    tables = storage_tables(architecture)
+    occupied_mask = np.zeros(tables.num_traps, dtype=bool)
+    for trap in occupied:
+        occupied_mask[tables.flat_index(trap)] = True
+
+    per_qubit: list[np.ndarray] = []
+    for qubit in qubits:
+        # The qubit's own home is re-admitted (scalar path: occupied - {home}),
+        # which _candidate_flats realises by always leading with the home flat
+        # and excluding it from the box scan.
+        per_qubit.append(
+            _candidate_flats(
+                architecture,
+                tables,
+                occupied_mask,
+                positions[qubit],
+                home_traps[qubit],
+                related_positions.get(qubit),
+                k,
+            )
+        )
+
+    # Union of candidates in first-occurrence order across the qubit-major
+    # concatenation -- the same insertion order the scalar reference's
+    # union_index dict produces, so the cost-matrix columns are identical.
+    allc = np.concatenate(per_qubit)
+    uniq, first = np.unique(allc, return_index=True)
+    union_flats = uniq[np.argsort(first, kind="stable")]
+    col_of = np.full(tables.num_traps, -1, dtype=np.intp)
+    col_of[union_flats] = np.arange(union_flats.size, dtype=np.intp)
+
+    cost = np.full((len(qubits), union_flats.size), _FORBIDDEN, dtype=float)
+    for i, qubit in enumerate(qubits):
+        cand = per_qubit[i]
+        tx = tables.x[cand]
+        ty = tables.y[cand]
+        qx, qy = positions[qubit]
+        dx = tx - qx
+        dy = ty - qy
+        prices = np.sqrt(np.sqrt(dx * dx + dy * dy))
+        related = related_positions.get(qubit)
+        if related is not None:
+            rx, ry = related
+            dxr = tx - rx
+            dyr = ty - ry
+            prices = prices + alpha * np.sqrt(np.sqrt(dxr * dxr + dyr * dyr))
+        cost[i, col_of[cand]] = prices
+
+    rows, cols = linear_sum_assignment(cost)
+    total = float(cost[rows, cols].sum())
+    if total >= _FORBIDDEN:
+        raise StoragePlacementError("no feasible qubit-to-trap matching found")
+    assignment = {
+        qubits[i]: tables.trap_at(int(union_flats[j])) for i, j in zip(rows, cols)
+    }
     return assignment, total

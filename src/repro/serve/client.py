@@ -44,6 +44,7 @@ class DaemonClient:
         *,
         cache_dir: str | None = None,
         cache_bytes: int | None = None,
+        cache_ttl: float | None = None,
         workers: int | None = None,
         python: str | None = None,
         extra_args: list[str] | None = None,
@@ -58,6 +59,8 @@ class DaemonClient:
             argv += ["--cache-dir", cache_dir]
         if cache_bytes is not None:
             argv += ["--cache-bytes", str(cache_bytes)]
+        if cache_ttl is not None:
+            argv += ["--cache-ttl", str(cache_ttl)]
         if workers is not None:
             argv += ["--workers", str(workers)]
         argv += list(extra_args or ())
@@ -193,6 +196,7 @@ def run_requests(
     *,
     cache_dir: str | None = None,
     cache_bytes: int | None = None,
+    cache_ttl: float | None = None,
     workers: int | None = None,
     connect: tuple[str, int] | None = None,
     output=None,
@@ -220,7 +224,7 @@ def run_requests(
     if not any(request.get("method") == "shutdown" for request in requests):
         requests = [*requests, {"method": "shutdown"}]
     with DaemonClient.spawn(
-        cache_dir=cache_dir, cache_bytes=cache_bytes, workers=workers
+        cache_dir=cache_dir, cache_bytes=cache_bytes, cache_ttl=cache_ttl, workers=workers
     ) as client:
         ids = []
         for request in requests:

@@ -130,6 +130,7 @@ class ServeDaemon:
         *,
         cache_dir: str | None = None,
         max_cache_bytes: int = DEFAULT_MAX_BYTES,
+        cache_ttl: float | None = None,
         workers: int = 0,
         service: CompileService | None = None,
     ) -> None:
@@ -138,7 +139,9 @@ class ServeDaemon:
         self.service = service or CompileService()
         self.disk: DiskCompileCache | None = None
         if cache_dir is not None:
-            self.disk = DiskCompileCache(cache_dir, max_bytes=max_cache_bytes)
+            self.disk = DiskCompileCache(
+                cache_dir, max_bytes=max_cache_bytes, ttl_seconds=cache_ttl
+            )
             self.service.attach_disk_cache(self.disk)
         #: Worker processes for sweep fan-out (0 = all compiles inline in
         #: the scheduler thread; prefix snapshots ship when > 1).

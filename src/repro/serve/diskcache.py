@@ -28,12 +28,19 @@ Semantics:
 * **Corruption-tolerant**: a truncated or hand-edited shard is skipped with
   a :class:`RuntimeWarning` (and dropped from the index) instead of taking
   the daemon down -- a cache must never be a source of crashes.
+* **TTL (optional)**: with ``ttl_seconds`` set, shards idle for longer than
+  the TTL are treated as stale: the startup scan sweeps them, and ``get``
+  evicts a stale shard lazily instead of serving it (counted separately
+  from capacity evictions).  Staleness is measured from the file mtime,
+  which every hit refreshes, so the TTL bounds time since last *use* --
+  an entry in active rotation never expires.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import time
 import warnings
 from collections import OrderedDict
 from pathlib import Path
@@ -68,13 +75,22 @@ def cache_key_digest(key: tuple) -> str:
 class DiskCompileCache:
     """Persistent, sharded, content-addressed store of slim compile results."""
 
-    def __init__(self, root: str | Path, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        ttl_seconds: float | None = None,
+    ) -> None:
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expired = 0
         self.evictions_by_backend: dict[str, int] = {}
         #: digest -> size in bytes, in least-recently-used-first order.
         self._index: OrderedDict[str, int] = OrderedDict()
@@ -84,18 +100,39 @@ class DiskCompileCache:
     # -- startup scan ---------------------------------------------------------
 
     def _scan(self) -> None:
-        """Rebuild the LRU index from the on-disk shards (mtime order)."""
+        """Rebuild the LRU index from the on-disk shards (mtime order).
+
+        Shards already past the TTL are swept (unlinked and counted as
+        expired) instead of indexed, so a restarted daemon starts from a
+        fresh cache even if it was down for longer than the TTL.
+        """
+        now = time.time()
         found: list[tuple[float, str, int]] = []
         for path in self.root.glob("??/*.jsonl"):
             try:
                 stat = path.stat()
             except OSError:  # pragma: no cover - raced removal
                 continue
+            if self.ttl_seconds is not None and now - stat.st_mtime > self.ttl_seconds:
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:  # pragma: no cover - permissions
+                    pass
+                self.expired += 1
+                continue
             found.append((stat.st_mtime, path.stem, stat.st_size))
         found.sort()
         for _, digest, size in found:
             self._index[digest] = size
             self._total_bytes += size
+
+    def _is_stale(self, path: Path) -> bool:
+        if self.ttl_seconds is None:
+            return False
+        try:
+            return time.time() - path.stat().st_mtime > self.ttl_seconds
+        except OSError:
+            return True
 
     # -- paths ----------------------------------------------------------------
 
@@ -114,6 +151,11 @@ class DiskCompileCache:
         digest = cache_key_digest(key)
         path = self.path_for(digest)
         if digest not in self._index and not path.exists():
+            self.misses += 1
+            return None
+        if self._is_stale(path):
+            self._drop(digest, unlink=True)
+            self.expired += 1
             self.misses += 1
             return None
         try:
@@ -218,6 +260,7 @@ class DiskCompileCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expired = 0
         self.evictions_by_backend = {}
 
     def __len__(self) -> int:
@@ -232,9 +275,11 @@ class DiskCompileCache:
             "entries": len(self._index),
             "bytes": self._total_bytes,
             "max_bytes": self.max_bytes,
+            "ttl_seconds": self.ttl_seconds,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "expired": self.expired,
             "evictions_by_backend": dict(self.evictions_by_backend),
         }
 

@@ -8,6 +8,7 @@ not merely approximately.
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.arch import (
@@ -94,19 +95,39 @@ class TestPartitionEquivalence:
             assert partition_movements(arch, movements) == first
 
 
-def random_placement_instance(arch, rng: random.Random, num_qubits: int):
-    """A random placement + weighted gate list over the storage grid."""
-    traps = rng.sample(
-        [(r, c) for r in range(90, 100) for c in range(100)], num_qubits
+def random_index_instance(arch, rng: random.Random, num_qubits: int):
+    """A trap universe + qubit index array + weighted gate list for the tracker."""
+    chosen = rng.sample(
+        [(r, c) for r in range(80, 100) for c in range(100)], 3 * num_qubits
     )
-    positions = {
-        q: arch.trap_position(StorageTrap(0, r, c)) for q, (r, c) in enumerate(traps)
-    }
+    universe = [StorageTrap(0, r, c) for r, c in chosen]
+    qubit_trap = np.array(
+        rng.sample(range(len(universe)), num_qubits), dtype=np.intp
+    )
     gates = []
     for _ in range(rng.randint(1, 3 * num_qubits)):
         q, q2 = rng.sample(range(num_qubits), 2)
         gates.append((rng.choice([1.0, 0.9, 0.5, 0.1]), q, q2))
-    return positions, gates
+    return universe, qubit_trap, gates
+
+
+def random_index_moves(rng, qubit_trap, num_traps, count):
+    """Yield random jump/swap mutations of ``qubit_trap`` plus the moved tuple."""
+    occupied = {int(i) for i in qubit_trap}
+    free = [i for i in range(num_traps) if i not in occupied]
+    num_qubits = qubit_trap.size
+    for _ in range(count):
+        if free and rng.random() < 0.5:
+            qubit = rng.randrange(num_qubits)
+            slot = rng.randrange(len(free))
+            old = int(qubit_trap[qubit])
+            qubit_trap[qubit] = free[slot]
+            free[slot] = old
+            yield (qubit,)
+        else:
+            q, q2 = rng.sample(range(num_qubits), 2)
+            qubit_trap[q], qubit_trap[q2] = int(qubit_trap[q2]), int(qubit_trap[q])
+            yield (q, q2)
 
 
 class TestIncrementalCostEquivalence:
@@ -114,40 +135,57 @@ class TestIncrementalCostEquivalence:
     def test_tracker_matches_naive_over_random_moves(self, arch, seed):
         rng = random.Random(seed)
         num_qubits = rng.randint(4, 20)
-        positions, gates = random_placement_instance(arch, rng, num_qubits)
-        tracker = IncrementalPlacementCost(arch, positions, gates)
-        assert tracker.total == pytest.approx(
-            initial_placement_cost(arch, positions, gates), abs=1e-9
-        )
-        free = [(r, c) for r in range(80, 90) for c in range(0, 40)]
-        for _ in range(60):
-            if rng.random() < 0.5:
-                # Move one qubit to a fresh trap.
-                qubit = rng.randrange(num_qubits)
-                positions[qubit] = arch.trap_position(StorageTrap(0, *rng.choice(free)))
-                moved = (qubit,)
-            else:
-                # Swap two qubits.
-                q, q2 = rng.sample(range(num_qubits), 2)
-                positions[q], positions[q2] = positions[q2], positions[q]
-                moved = (q, q2)
+        universe, qubit_trap, gates = random_index_instance(arch, rng, num_qubits)
+        tracker = IncrementalPlacementCost(arch, universe, qubit_trap, gates)
+
+        def naive_total():
+            positions = {
+                q: arch.trap_position(universe[int(qubit_trap[q])])
+                for q in range(num_qubits)
+            }
+            return initial_placement_cost(arch, positions, gates)
+
+        assert tracker.total == pytest.approx(naive_total(), abs=1e-9)
+        for moved in random_index_moves(rng, qubit_trap, len(universe), 60):
             tracker.reevaluate(moved)
-            assert tracker.total == pytest.approx(
-                initial_placement_cost(arch, positions, gates), abs=1e-9
-            )
+            assert tracker.total == pytest.approx(naive_total(), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_vectorized_deltas_bitwise_match_scalar_twin(self, arch, seed):
+        """The gathered fast path and its scalar twin must agree to the last ulp."""
+        rng = random.Random(100 + seed)
+        num_qubits = rng.randint(4, 20)
+        universe, qubit_trap, gates = random_index_instance(arch, rng, num_qubits)
+        state_vec = qubit_trap.copy()
+        state_sca = qubit_trap.copy()
+        vec = IncrementalPlacementCost(arch, universe, state_vec, gates, vectorized=True)
+        sca = IncrementalPlacementCost(arch, universe, state_sca, gates, vectorized=False)
+        assert vec.total == sca.total
+        # Drive both trackers with the identical move sequence (same seed).
+        gen_vec = random_index_moves(random.Random(seed), state_vec, len(universe), 80)
+        gen_sca = random_index_moves(random.Random(seed), state_sca, len(universe), 80)
+        for moved_v, moved_s in zip(gen_vec, gen_sca):
+            assert moved_v == moved_s
+            delta_v, _ = vec.reevaluate(moved_v)
+            delta_s, _ = sca.reevaluate(moved_s)
+            assert delta_v == delta_s  # bitwise, not approx
+            assert vec.total == sca.total
+            assert vec.gate_costs == sca.gate_costs
 
     def test_undo_restores_cost_state(self, arch):
         rng = random.Random(7)
-        positions, gates = random_placement_instance(arch, rng, 10)
-        tracker = IncrementalPlacementCost(arch, positions, gates)
+        universe, qubit_trap, gates = random_index_instance(arch, rng, 10)
+        tracker = IncrementalPlacementCost(arch, universe, qubit_trap, gates)
         before_total = tracker.total
         before_costs = list(tracker.gate_costs)
-        old_pos = positions[3]
-        positions[3] = arch.trap_position(StorageTrap(0, 80, 17))
+        old_index = int(qubit_trap[3])
+        occupied = {int(i) for i in qubit_trap}
+        fresh = next(i for i in range(len(universe)) if i not in occupied)
+        qubit_trap[3] = fresh
         delta, undo = tracker.reevaluate((3,))
         assert tracker.total == pytest.approx(before_total + delta, abs=1e-12)
         undo()
-        positions[3] = old_pos
+        qubit_trap[3] = old_index
         assert tracker.total == pytest.approx(before_total, abs=1e-12)
         assert tracker.gate_costs == before_costs
 
@@ -156,14 +194,15 @@ class TestIncrementalCostEquivalence:
         rng = random.Random(3)
         num_qubits = 8
         rows, cols = arch.storage_shape(0)
-        traps = rng.sample([(r, c) for r in range(rows) for c in range(cols)], num_qubits)
-        positions = {
-            q: arch.trap_position(StorageTrap(0, r, c))
-            for q, (r, c) in enumerate(traps)
-        }
+        chosen = rng.sample([(r, c) for r in range(rows) for c in range(cols)], 2 * num_qubits)
+        universe = [StorageTrap(0, r, c) for r, c in chosen]
+        qubit_trap = np.arange(num_qubits, dtype=np.intp)
         gates = [(1.0, 0, 1), (0.9, 2, 3), (0.5, 4, 5), (0.1, 6, 7), (1.0, 1, 6)]
-        tracker = IncrementalPlacementCost(arch, positions, gates)
+        tracker = IncrementalPlacementCost(arch, universe, qubit_trap, gates)
         assert tracker._single_zone is None
+        positions = {
+            q: arch.trap_position(universe[int(qubit_trap[q])]) for q in range(num_qubits)
+        }
         assert tracker.total == pytest.approx(
             initial_placement_cost(arch, positions, gates), abs=1e-9
         )

@@ -1,0 +1,256 @@
+"""Bit-exactness properties of the vectorized placement engine.
+
+The placement hot paths (SA proposal costing, batched gate-candidate
+scoring, batched return-trap scoring) each keep a scalar twin as an
+equivalence oracle.  These tests pin the engine's contract:
+
+* the batched matching scorers produce *bit-identical* assignments and
+  totals to their scalar references, on every ablation preset;
+* a fixed-seed SA run through the vectorized price table follows the exact
+  trajectory of its scalar delta twin (same placements, same statistics);
+* whole placement plans -- and, for the non-SA presets, whole compiled
+  programs -- are bit-identical between ``use_fast_paths`` on and off;
+* the vectorized engine leaves the prefix-cache key unchanged, so
+  incremental recompiles keep hitting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.presets import (
+    reference_zoned_architecture,
+    small_dual_zone_architecture,
+)
+from repro.circuits.random import generate
+from repro.circuits.scheduling import clear_preprocess_cache, preprocess
+from repro.circuits.synthesis import get_resynthesis_prefix_cache
+from repro.core.compiler import ZACCompiler
+from repro.core.config import ZACConfig
+from repro.core.incremental import clear_prefix_cache, get_prefix_cache
+from repro.core.placement.dynamic import DynamicPlacer
+from repro.core.placement.gate_placement import place_gates
+from repro.core.placement.initial import sa_placement, trivial_placement
+from repro.core.placement.storage_placement import place_returning_qubits
+
+ARCH = reference_zoned_architecture()
+
+PRESETS = ["vanilla", "dyn_place", "dyn_place_reuse", "full"]
+
+
+def _staged_pairs(seed: int, num_qubits: int, depth: int) -> list[list[tuple[int, int]]]:
+    circuit = generate("brickwork", seed=seed, num_qubits=num_qubits, depth=depth).circuit
+    staged = preprocess(circuit, cache=False)
+    return [stage.pairs for stage in staged.rydberg_stages]
+
+
+# ---------------------------------------------------------------------------
+# SA: vectorized price table vs scalar delta twin (trajectory bit-identity)
+# ---------------------------------------------------------------------------
+
+
+class TestSATrajectoryBitIdentity:
+    @given(
+        seed=st.integers(0, 12),
+        num_qubits=st.integers(4, 24),
+        depth=st.integers(1, 8),
+        sa_seed=st.integers(0, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_vectorized_trajectory_equals_scalar_twin(
+        self, seed, num_qubits, depth, sa_seed
+    ):
+        staged = _staged_pairs(seed, num_qubits, depth)
+        config = ZACConfig(sa_iterations=400, seed=sa_seed)
+        results: dict[str, object] = {}
+        placements = {
+            mode: sa_placement(
+                ARCH,
+                num_qubits,
+                staged,
+                config,
+                on_result=lambda r, m=mode: results.__setitem__(m, r),
+                cost_mode=mode,
+            )
+            for mode in ("vectorized", "scalar")
+        }
+        assert placements["vectorized"] == placements["scalar"]
+        vec, sca = results.get("vectorized"), results.get("scalar")
+        # on_result fires only when the annealer actually ran (gates present).
+        assert (vec is None) == (sca is None)
+        if vec is not None:
+            assert vec.best_cost == sca.best_cost  # bitwise
+            assert vec.initial_cost == sca.initial_cost
+            assert vec.iterations == sca.iterations
+            assert vec.accepted_moves == sca.accepted_moves
+
+    def test_warm_start_trajectories_also_identical(self):
+        staged = _staged_pairs(3, 12, 4)
+        config = ZACConfig(sa_iterations=300, seed=7)
+        warm = sa_placement(ARCH, 12, staged, config, cost_mode="scalar")
+        a = sa_placement(ARCH, 12, staged, config, warm_start=warm, cost_mode="vectorized")
+        b = sa_placement(ARCH, 12, staged, config, warm_start=warm, cost_mode="scalar")
+        assert a == b
+
+    def test_unknown_cost_mode_rejected(self):
+        with pytest.raises(ValueError, match="cost_mode"):
+            sa_placement(ARCH, 4, [[(0, 1)]], cost_mode="simd")
+
+
+# ---------------------------------------------------------------------------
+# Batched matching scorers vs scalar references (exact equality)
+# ---------------------------------------------------------------------------
+
+
+def _zone_workload(rng: random.Random, num_qubits: int):
+    """Random qubit positions: storage traps plus some entanglement-zone sites."""
+    placement = trivial_placement(ARCH, num_qubits)
+    positions = {q: ARCH.trap_position(t) for q, t in placement.items()}
+    sites = list(ARCH.iter_rydberg_sites())
+    rng.shuffle(sites)
+    in_zone = sorted(rng.sample(range(num_qubits), num_qubits // 2))
+    for i, q in enumerate(in_zone):
+        positions[q] = ARCH.site_position(sites[i])
+    return placement, positions, in_zone, sites
+
+
+class TestBatchedScorersMatchScalar:
+    @given(seed=st.integers(0, 30), num_qubits=st.integers(6, 28))
+    @settings(max_examples=25, deadline=None)
+    def test_place_gates_bitwise(self, seed, num_qubits):
+        rng = random.Random(seed)
+        placement, positions, _, sites = _zone_workload(rng, num_qubits)
+        qubits = list(range(num_qubits))
+        rng.shuffle(qubits)
+        gates = [
+            (qubits[i], qubits[i + 1]) for i in range(0, (num_qubits // 2) * 2 - 1, 2)
+        ]
+        next_gates = None
+        if rng.random() < 0.7:
+            rng.shuffle(qubits)
+            next_gates = [(qubits[0], qubits[1]), (qubits[2], qubits[3])]
+        occupied = set(rng.sample(sites, rng.randrange(3)))
+        expansion = rng.choice([1, 2, 4])
+        fast = place_gates(
+            ARCH, gates, positions, occupied, next_gates, expansion, fast=True
+        )
+        reference = place_gates(
+            ARCH, gates, positions, occupied, next_gates, expansion, fast=False
+        )
+        assert fast[0] == reference[0]
+        assert fast[1] == reference[1]  # bitwise, not approx
+
+    @given(seed=st.integers(0, 30), num_qubits=st.integers(6, 28))
+    @settings(max_examples=25, deadline=None)
+    def test_place_returning_qubits_bitwise(self, seed, num_qubits):
+        rng = random.Random(seed)
+        placement, positions, in_zone, _ = _zone_workload(rng, num_qubits)
+        home = dict(placement)
+        related = {}
+        for q in in_zone:
+            related[q] = (
+                positions[rng.randrange(num_qubits)] if rng.random() < 0.5 else None
+            )
+        occupied = set(home.values())
+        alpha = rng.choice([0.1, 0.3])
+        k = rng.choice([1, 2])
+        fast = place_returning_qubits(
+            ARCH, in_zone, positions, home, related, occupied, alpha, k, fast=True
+        )
+        reference = place_returning_qubits(
+            ARCH, in_zone, positions, home, related, occupied, alpha, k, fast=False
+        )
+        assert fast[0] == reference[0]
+        assert fast[1] == reference[1]  # bitwise, not approx
+
+    def test_multi_zone_architecture_also_bitwise(self):
+        arch = small_dual_zone_architecture()
+        rng = random.Random(1)
+        n = min(10, arch.num_storage_traps // 2)
+        placement = trivial_placement(arch, n)
+        positions = {q: arch.trap_position(t) for q, t in placement.items()}
+        qubits = list(range(n))
+        rng.shuffle(qubits)
+        gates = [(qubits[0], qubits[1]), (qubits[2], qubits[3])]
+        fast = place_gates(arch, gates, positions, set(), fast=True)
+        reference = place_gates(arch, gates, positions, set(), fast=False)
+        assert fast == reference
+
+
+# ---------------------------------------------------------------------------
+# Plan- and program-level bit-identity across use_fast_paths
+# ---------------------------------------------------------------------------
+
+
+class TestPlanAndProgramBitIdentity:
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_dynamic_placer_plans_identical_given_initial(self, preset, seed):
+        """With the same initial placement, the full stage-plan sequence is
+        bit-identical between the batched and scalar matching scorers (the
+        SA divergence question does not arise: placement is fixed)."""
+        staged = _staged_pairs(seed, 14, 5)
+        initial = trivial_placement(ARCH, 14)
+        base = getattr(ZACConfig, preset)()
+        fast_plan = DynamicPlacer(
+            ARCH, dataclasses.replace(base, use_fast_paths=True)
+        ).run(staged, initial)
+        reference_plan = DynamicPlacer(
+            ARCH, dataclasses.replace(base, use_fast_paths=False)
+        ).run(staged, initial)
+        assert fast_plan == reference_plan
+
+    @pytest.mark.parametrize("preset", ["vanilla", "dyn_place", "dyn_place_reuse"])
+    def test_non_sa_presets_compile_bit_identical(self, preset):
+        """For the non-SA presets the whole compiled program is bit-identical
+        with fast paths on and off (the SA presets' naive path legitimately
+        anneals a different-but-equal-quality trajectory; their oracle is
+        the scalar cost_mode twin above)."""
+        circuit = generate("brickwork", seed=2, num_qubits=12, depth=4).circuit
+        base = getattr(ZACConfig, preset)()
+        programs = []
+        for fast in (True, False):
+            config = dataclasses.replace(base, use_fast_paths=fast)
+            compiler = ZACCompiler(ARCH, config)
+            programs.append(compiler.compile(circuit).program)
+        assert programs[0].instructions == programs[1].instructions
+
+
+# ---------------------------------------------------------------------------
+# Prefix-cache key stability
+# ---------------------------------------------------------------------------
+
+
+class TestPrefixCacheKeyStability:
+    def test_incremental_recompiles_still_hit(self):
+        """The vectorized engine must not perturb the prefix-cache scope key
+        (architecture fingerprint, config repr, lower jobs): extending a
+        cached circuit still hits and resumes."""
+        clear_prefix_cache()
+        clear_preprocess_cache()
+        get_resynthesis_prefix_cache().clear()
+
+        config = dataclasses.replace(
+            ZACConfig.dyn_place(), incremental=True, use_fast_paths=True
+        )
+        shallow = generate("brickwork", seed=5, num_qubits=8, depth=3).circuit
+        deep = generate("brickwork", seed=5, num_qubits=8, depth=6).circuit
+        assert deep.gates[: len(shallow.gates)] == shallow.gates
+
+        ZACCompiler(ARCH, config).compile(shallow)
+        cache = get_prefix_cache()
+        assert cache.misses >= 1 and cache.hits == 0
+        ZACCompiler(ARCH, config).compile(deep)
+        assert cache.hits == 1
+
+        # And the incremental result matches a from-scratch compile.
+        scratch = ZACCompiler(
+            ARCH, dataclasses.replace(config, incremental=False)
+        ).compile(deep)
+        incremental = ZACCompiler(ARCH, config).compile(deep)
+        assert incremental.program.instructions == scratch.program.instructions

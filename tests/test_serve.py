@@ -14,6 +14,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import multiprocessing
+import os
 import threading
 
 import pytest
@@ -31,7 +32,13 @@ from repro.circuits.synthesis import get_resynthesis_prefix_cache
 from repro.core.compiler import ZACCompiler
 from repro.core.config import ZACConfig
 from repro.core.incremental import clear_prefix_cache, get_prefix_cache
-from repro.serve import DaemonClient, DiskCompileCache, ServeDaemon, ServeScheduler
+from repro.serve import (
+    DaemonClient,
+    DiskCompileCache,
+    ServeDaemon,
+    ServeScheduler,
+    cache_key_digest,
+)
 from repro.serve.daemon import build_options
 
 ARCH = reference_zoned_architecture()
@@ -243,6 +250,68 @@ class TestDiskEviction:
         shard.write_text("this is not json\n")
         with pytest.warns(RuntimeWarning):
             assert cache.get(("k", 1)) is None
+
+
+def _backdate(cache, key, seconds):
+    """Age a shard's mtime so it looks idle for ``seconds``."""
+    path = cache.path_for(cache_key_digest(key))
+    stat = path.stat()
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+class TestDiskCacheTTL:
+    def test_rejects_non_positive_ttl(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCompileCache(tmp_path, ttl_seconds=0)
+        with pytest.raises(ValueError):
+            DiskCompileCache(tmp_path, ttl_seconds=-5)
+
+    def test_stale_shard_evicted_lazily_on_read(self, tmp_path):
+        result = _slim_result()
+        cache = DiskCompileCache(tmp_path, ttl_seconds=3600)
+        cache.put(("k", 1), result, backend="enola")
+        cache.put(("k", 2), result, backend="enola")
+        assert cache.get(("k", 1)) is not None  # fresh: served normally
+
+        _backdate(cache, ("k", 1), 7200)
+        assert cache.get(("k", 1)) is None  # stale: evicted, counted, missed
+        assert not cache.path_for(cache_key_digest(("k", 1))).exists()
+        stats = cache.stats()
+        assert stats["expired"] == 1
+        assert stats["evictions"] == 0  # TTL eviction is not an LRU eviction
+        assert stats["ttl_seconds"] == 3600
+        assert cache.get(("k", 2)) is not None  # fresh entries unaffected
+
+    def test_hit_refreshes_mtime_and_defers_expiry(self, tmp_path):
+        result = _slim_result()
+        cache = DiskCompileCache(tmp_path, ttl_seconds=3600)
+        cache.put(("k", 1), result, backend="enola")
+        _backdate(cache, ("k", 1), 3000)
+        assert cache.get(("k", 1)) is not None  # hit bumps mtime...
+        _backdate(cache, ("k", 1), 3000)
+        assert cache.get(("k", 1)) is not None  # ...so 3000s later it's still fresh
+
+    def test_startup_scan_sweeps_stale_shards(self, tmp_path):
+        result = _slim_result()
+        writer = DiskCompileCache(tmp_path)
+        writer.put(("k", 1), result, backend="enola")
+        writer.put(("k", 2), result, backend="enola")
+        _backdate(writer, ("k", 1), 7200)
+
+        reopened = DiskCompileCache(tmp_path, ttl_seconds=3600)
+        assert len(reopened) == 1
+        assert reopened.stats()["expired"] == 1
+        assert not reopened.path_for(cache_key_digest(("k", 1))).exists()
+        assert reopened.get(("k", 2)) is not None
+
+    def test_no_ttl_never_expires(self, tmp_path):
+        result = _slim_result()
+        cache = DiskCompileCache(tmp_path)
+        cache.put(("k", 1), result, backend="enola")
+        _backdate(cache, ("k", 1), 10 * 365 * 24 * 3600)
+        assert cache.get(("k", 1)) is not None
+        assert cache.stats()["expired"] == 0
+        assert cache.stats()["ttl_seconds"] is None
 
 
 # ---------------------------------------------------------------------------
