@@ -14,6 +14,11 @@ History of the gated floor (same budget=8 / seed=0 sample):
   compiles/s.
 * PR 5 (warm pool + compile cache, validated-once results, shared staging
   cache, vectorized verify, throughput compile profile): ~50 compiles/s.
+
+PR 9 adds non-gating throughput entries for the two new sweep profiles
+(``ftqc`` logical-block workloads on the logical architecture, ``corpus``
+seeded draws from the committed OpenQASM mini-corpus) so their trajectories
+are tracked from day one before floors are imposed.
 """
 
 from __future__ import annotations
@@ -36,6 +41,14 @@ from repro.experiments.fuzz import run_fuzz
 MIN_CIRCUITS_PER_S = 1.5
 MIN_COMPILES_PER_S = 30.0
 
+#: Profile sweeps tracked non-gating (recorded, no floor yet).  Observed on
+#: the reference container: ftqc ~50-70 compiles/s (zac/nalac/ideal on the
+#: 64-block logical architecture), corpus ~220 compiles/s (all backends on
+#: the committed mini-corpus).  Proposed floors once two PRs of history
+#: exist: ftqc >= 30 compiles/s, corpus >= 90 compiles/s (same ~2x headroom
+#: policy as the gated default-profile floor above).
+PROFILE_SWEEPS = ("ftqc", "corpus")
+
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fuzz_throughput.json"
 
 
@@ -48,6 +61,28 @@ def test_bench_fuzz_throughput(request):
     report = run_fuzz(budget=budget, seed=0, parallel=0, out_dir=None)
 
     assert report.ok, [f.message for f in report.failures]
+
+    # Non-gating profile sweeps: record ftqc/corpus throughput alongside the
+    # gated default-profile numbers (floors proposed in PROFILE_SWEEPS' note).
+    profiles = {}
+    for profile in PROFILE_SWEEPS:
+        service.clear_cache()
+        clear_preprocess_cache()
+        gc.collect()
+        profile_report = run_fuzz(
+            budget=budget, seed=0, parallel=0, out_dir=None, profile=profile
+        )
+        assert profile_report.ok, [f.message for f in profile_report.failures]
+        profiles[profile] = {
+            "backends": profile_report.backends,
+            "num_circuits": profile_report.num_circuits,
+            "num_compiles": profile_report.num_compiles,
+            "invariant_checks": profile_report.invariant_checks,
+            "elapsed_s": round(profile_report.elapsed_s, 3),
+            "circuits_per_s": round(profile_report.circuits_per_s, 3),
+            "compiles_per_s": round(profile_report.compiles_per_s, 3),
+            "gating": False,
+        }
 
     payload = {
         "benchmark": "differential_fuzz_throughput",
@@ -63,6 +98,7 @@ def test_bench_fuzz_throughput(request):
         "compiles_per_s": round(report.compiles_per_s, 3),
         "min_required_circuits_per_s": MIN_CIRCUITS_PER_S,
         "min_required_compiles_per_s": MIN_COMPILES_PER_S,
+        "profiles": profiles,
         "recorded_unix_time": time.time(),
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -73,6 +109,12 @@ def test_bench_fuzz_throughput(request):
         f"({report.circuits_per_s:.2f} circuits/s, "
         f"{report.compiles_per_s:.1f} compiles/s) -> {RESULT_PATH.name}"
     )
+    for profile, numbers in profiles.items():
+        print(
+            f"[fuzz throughput] profile {profile}: {numbers['num_compiles']} "
+            f"compiles in {numbers['elapsed_s']:.1f}s "
+            f"({numbers['compiles_per_s']:.1f} compiles/s, non-gating)"
+        )
     assert report.circuits_per_s >= MIN_CIRCUITS_PER_S, (
         f"fuzz throughput {report.circuits_per_s:.2f} circuits/s below the "
         f"{MIN_CIRCUITS_PER_S} floor; see {RESULT_PATH}"

@@ -6,9 +6,13 @@ Subcommands::
     python -m repro compile circuit.qasm --backend nalac
     python -m repro validate bv_n14 --backend enola
     python -m repro fuzz --budget 50 --seed 0 --backend all
+    python -m repro fuzz --profile ftqc --budget 25
     python -m repro fuzz --replay fuzz_failures/fuzz_fail_000.json
+    python -m repro ingest suites/mqt_bench --backend zac --report report.json
     python -m repro serve --stdio --cache-dir ~/.cache/repro
     python -m repro client compile bv_n14 --repeat 2
+    python -m repro client --replay-bundles fuzz_failures
+    python -m repro client --corpus
     python -m repro backends
     python -m repro benchmarks
 
@@ -19,7 +23,12 @@ compiles, checks the emitted ZAIR program against the hardware invariants,
 and prints an instruction-count / epoch summary of the program.  ``fuzz``
 differentially fuzzes the registered backends with generated workloads
 (:mod:`repro.experiments.fuzz`), dumping any failure as a replayable JSON
-repro bundle; ``--replay`` re-runs a bundle's failed check.  ``serve`` runs
+repro bundle; ``--replay`` re-runs a bundle's failed check; ``--profile``
+selects a named sweep shape (``ftqc`` fuzzes logical-scale FTQC block
+workloads, ``corpus`` fuzzes the committed OpenQASM corpus).  ``ingest``
+streams external OpenQASM files through parse -> round-trip -> compile ->
+validate with per-file error isolation and a machine-readable JSON report
+(:mod:`repro.experiments.ingest`).  ``serve`` runs
 the persistent compile daemon (newline-delimited JSON over stdio, or
 localhost HTTP with ``--http``), with request coalescing, priority
 scheduling, and an optional disk-backed compile cache; ``client`` scripts a
@@ -58,6 +67,10 @@ def _resolve_circuit(spec: str) -> QuantumCircuit:
 
 #: ZACConfig presets addressable from the CLI via --option config=<preset>.
 _ZAC_CONFIG_PRESETS = ("vanilla", "dyn_place", "dyn_place_reuse", "full")
+
+#: Fuzz/ingest sweep profiles (mirrors ``repro.experiments.fuzz.PROFILES``,
+#: which is deliberately not imported here: the CLI parser must stay cheap).
+_FUZZ_PROFILES = ("throughput", "default", "incremental", "ftqc", "corpus")
 
 
 def _coerce_option(backend: str, key: str, value: str) -> object:
@@ -214,6 +227,33 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .circuits.corpus import DEFAULT_CORPUS_DIR
+    from .experiments.fuzz import FuzzError
+    from .experiments.ingest import ingest_paths
+
+    paths = args.paths or [DEFAULT_CORPUS_DIR]
+    try:
+        report = ingest_paths(
+            paths,
+            backend=args.backend,
+            profile=args.profile,
+            parallel=args.parallel,
+        )
+    except (api.UnknownBackendError, FuzzError, FileNotFoundError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.report == "-":
+        print(report.to_json())
+    else:
+        for line in report.summary_lines():
+            print(line)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            print(f"report       : {args.report}")
+    return 0 if report.num_errors <= args.max_errors else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -236,7 +276,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
-    from .serve.client import run_requests
+    from .serve.client import ClientError, bundle_requests, corpus_requests, run_requests
 
     connect = None
     if args.connect:
@@ -246,7 +286,19 @@ def _cmd_client(args: argparse.Namespace) -> int:
         except ValueError:
             raise SystemExit(f"error: --connect wants HOST:PORT, got {args.connect!r}")
 
-    if args.requests is not None:
+    if args.replay_bundles is not None:
+        try:
+            requests = bundle_requests(args.replay_bundles)
+        except ClientError as exc:
+            raise SystemExit(f"error: {exc}")
+    elif args.corpus is not None:
+        try:
+            requests = corpus_requests(
+                args.corpus or None, backend=args.backend, profile="throughput"
+            )
+        except (ClientError, FileNotFoundError) as exc:
+            raise SystemExit(f"error: {exc}")
+    elif args.requests is not None:
         handle = sys.stdin if args.requests == "-" else open(args.requests)
         try:
             requests = []
@@ -278,7 +330,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
         ]
         requests.append({"method": "stats"})
     else:
-        raise SystemExit("error: give either `compile CIRCUIT` or --requests FILE|-")
+        raise SystemExit(
+            "error: give `compile CIRCUIT`, --requests FILE|-, "
+            "--replay-bundles DIR, or --corpus [DIR]"
+        )
 
     return run_requests(
         requests,
@@ -410,12 +465,55 @@ def main(argv: Sequence[str] | None = None) -> int:
     fuzz_parser.add_argument(
         "--profile",
         default="throughput",
-        choices=("throughput", "default", "incremental"),
-        help="compile profile: 'throughput' (lighter ZAC SA schedule, the "
-        "default), 'default' (paper-quality settings), or 'incremental' "
-        "(throughput + prefix-reuse compilation for depth ladders)",
+        choices=_FUZZ_PROFILES,
+        help="sweep profile: 'throughput' (lighter ZAC SA schedule, the "
+        "default), 'default' (paper-quality settings), 'incremental' "
+        "(throughput + prefix-reuse compilation for depth ladders), 'ftqc' "
+        "(logical-scale FTQC block workloads on the logical architecture), "
+        "or 'corpus' (committed OpenQASM corpus files)",
     )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    ingest_parser = sub.add_parser(
+        "ingest",
+        help="stream OpenQASM files through parse -> compile -> validate "
+        "with per-file error isolation",
+    )
+    ingest_parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="QASM files and/or directories (default: the committed mini-corpus)",
+    )
+    ingest_parser.add_argument(
+        "--backend", default="zac", help="registry backend name (see `backends`)"
+    )
+    ingest_parser.add_argument(
+        "--profile",
+        default="throughput",
+        choices=_FUZZ_PROFILES,
+        help="compile-option profile (same table as `fuzz`)",
+    )
+    ingest_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        help="worker processes for the compile fan-out (0 = serial)",
+    )
+    ingest_parser.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="write the machine-readable JSON ingest report to FILE ('-' = stdout)",
+    )
+    ingest_parser.add_argument(
+        "--max-errors",
+        type=int,
+        default=0,
+        metavar="N",
+        help="exit 0 when at most N files are rejected (default 0)",
+    )
+    ingest_parser.set_defaults(func=_cmd_ingest)
 
     serve_parser = sub.add_parser(
         "serve",
@@ -495,6 +593,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="FILE",
         default=None,
         help="send raw JSON request lines from FILE ('-' = stdin) instead",
+    )
+    client_parser.add_argument(
+        "--replay-bundles",
+        metavar="DIR",
+        default=None,
+        help="generate compile traffic from the fuzz repro bundles in DIR "
+        "(each bundle's minimized circuit, backend, and profile options)",
+    )
+    client_parser.add_argument(
+        "--corpus",
+        metavar="DIR",
+        nargs="?",
+        const="",
+        default=None,
+        help="stream a QASM corpus as compile traffic (default DIR: the "
+        "committed mini-corpus; unparseable files are skipped)",
     )
     client_parser.add_argument(
         "--connect",

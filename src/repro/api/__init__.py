@@ -145,20 +145,53 @@ def compile_many(
     With ``return_exceptions=True`` a failing compilation does not abort the
     batch: the raised exception is returned in that circuit's slot instead
     (mirroring ``asyncio.gather``), so sweeps over generated workloads can
-    record per-circuit failures.
+    record per-circuit failures.  Isolation starts at circuit *resolution*,
+    not just compilation — a slot that fails to materialize (unknown
+    benchmark name, a loader callable raising ``QASMError`` on a malformed
+    file) yields an exception in that slot while the rest of the batch
+    proceeds.  Callables in ``circuits`` are invoked to produce the circuit,
+    so ingest-style sweeps can defer parsing into the isolated region.
     """
-    return get_compile_service().compile_batch(
-        [_as_circuit(circuit) for circuit in circuits],
-        backend,
-        arch,
-        parallel=parallel,
-        validate=validate,
-        return_exceptions=return_exceptions,
-        cache=cache,
-        fresh=fresh,
-        keep_programs=keep_programs,
-        **options,
+    if not return_exceptions:
+        resolved = [_as_circuit(circuit) for circuit in circuits]
+        return get_compile_service().compile_batch(
+            resolved,
+            backend,
+            arch,
+            parallel=parallel,
+            validate=validate,
+            return_exceptions=False,
+            cache=cache,
+            fresh=fresh,
+            keep_programs=keep_programs,
+            **options,
+        )
+
+    slots: list[Exception | None] = []
+    resolved = []
+    for circuit in circuits:
+        try:
+            if callable(circuit) and not isinstance(circuit, (str, QuantumCircuit)):
+                circuit = circuit()
+            resolved.append(_as_circuit(circuit))
+            slots.append(None)
+        except Exception as exc:  # noqa: BLE001 - mirrors asyncio.gather
+            slots.append(exc)
+    compiled = iter(
+        get_compile_service().compile_batch(
+            resolved,
+            backend,
+            arch,
+            parallel=parallel,
+            validate=validate,
+            return_exceptions=True,
+            cache=cache,
+            fresh=fresh,
+            keep_programs=keep_programs,
+            **options,
+        )
     )
+    return [slot if slot is not None else next(compiled) for slot in slots]
 
 
 __all__ = [

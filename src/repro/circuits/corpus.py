@@ -1,0 +1,93 @@
+"""Committed OpenQASM mini-corpus and loading helpers (ROADMAP item 5b).
+
+``src/repro/circuits/corpus/`` ships a small MQT-Bench-style suite of
+OpenQASM 2.0 files — paper-benchmark instances, seeded synthetic families,
+an FTQC block-interaction circuit, files decorated with the classical
+statements the parser ignores (``creg``/``measure``/``barrier``/``reset``/
+comments), and deliberately malformed files (named ``malformed_*.qasm``)
+that exercise per-file error isolation in :mod:`repro.experiments.ingest`.
+
+This module is the read side: enumerate corpus files, parse them with
+per-file error isolation, and draw seeded circuit samples for the
+``corpus`` fuzz profile and ``repro client --corpus`` traffic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from . import qasm
+from .circuit import QuantumCircuit
+
+#: The committed mini-corpus shipped inside the package.
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+
+def corpus_paths(root: str | Path | None = None) -> list[Path]:
+    """All ``.qasm`` files under ``root`` (default: the committed corpus).
+
+    A file path is returned as a one-element list, so every corpus entry
+    point accepts either a directory or a single circuit file.
+    """
+    root = Path(root) if root is not None else DEFAULT_CORPUS_DIR
+    if root.is_file():
+        return [root]
+    if not root.is_dir():
+        raise FileNotFoundError(f"corpus directory not found: {root}")
+    return sorted(root.rglob("*.qasm"))
+
+
+def load_corpus(
+    root: str | Path | None = None,
+) -> tuple[list[tuple[Path, QuantumCircuit]], list[tuple[Path, str]]]:
+    """Parse every corpus file, isolating per-file parse failures.
+
+    Returns ``(loaded, errors)``: parseable files as ``(path, circuit)``
+    pairs (circuit named after the file stem) and unparseable ones as
+    ``(path, message)`` — a malformed file never aborts the sweep.
+    """
+    loaded: list[tuple[Path, QuantumCircuit]] = []
+    errors: list[tuple[Path, str]] = []
+    for path in corpus_paths(root):
+        try:
+            circuit = qasm.load(str(path), name=path.stem)
+        except qasm.QASMError as exc:
+            errors.append((path, str(exc)))
+        else:
+            loaded.append((path, circuit))
+    return loaded, errors
+
+
+def sample_corpus_circuits(
+    budget: int,
+    seed: int = 0,
+    root: str | Path | None = None,
+) -> list[tuple[Path, QuantumCircuit]]:
+    """Seeded with-replacement sample of parseable corpus circuits.
+
+    The draw order is a pure function of ``(seed, budget, corpus listing)``,
+    which is what makes ``fuzz --profile corpus`` runs replayable. Each
+    pick returns a fresh copy so callers may mutate freely.
+    """
+    loaded, _ = load_corpus(root)
+    if not loaded:
+        raise FileNotFoundError(
+            f"no parseable .qasm files under {root or DEFAULT_CORPUS_DIR}"
+        )
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(loaded), size=int(budget))
+    samples = []
+    for index in picks:
+        path, circuit = loaded[int(index)]
+        samples.append((path, circuit.copy()))
+    return samples
+
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "corpus_paths",
+    "load_corpus",
+    "sample_corpus_circuits",
+]

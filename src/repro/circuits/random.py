@@ -99,10 +99,41 @@ class Workload:
 #: Registered generator functions ``fn(rng, *, num_qubits, depth, **extra)``.
 GENERATORS: dict[str, Callable[..., QuantumCircuit]] = {}
 
+#: Modules that register additional generators on import (kept out of this
+#: module's import graph: :mod:`repro.ftqc.workloads` pulls in the compiler
+#: stack, which must not load just because ``repro.circuits`` did).
+_PLUGIN_MODULES: tuple[str, ...] = ("repro.ftqc.workloads",)
+
+_plugins_loaded = False
+
+
+def _ensure_plugins() -> None:
+    """Import the generator plug-in modules once, on first registry use."""
+    global _plugins_loaded
+    if _plugins_loaded:
+        return
+    _plugins_loaded = True
+    import importlib
+
+    for module in _PLUGIN_MODULES:
+        importlib.import_module(module)
+
+
+def register_generator(name: str, fn: Callable[..., QuantumCircuit]) -> None:
+    """Register a workload generator under ``name``.
+
+    The function receives a ``numpy.random.Generator`` plus the descriptor
+    params (every generator takes ``num_qubits`` and ``depth``) and returns
+    the generated circuit.  Registered generators are addressable by
+    :func:`generate` and therefore by :class:`WorkloadDescriptor` replay,
+    the fuzz harness, and the serve daemon's ``descriptor`` circuit spec.
+    """
+    GENERATORS[name] = fn
+
 
 def _register(name: str):
     def decorator(fn: Callable[..., QuantumCircuit]):
-        GENERATORS[name] = fn
+        register_generator(name, fn)
         return fn
 
     return decorator
@@ -110,6 +141,7 @@ def _register(name: str):
 
 def generator_names() -> list[str]:
     """Names of all registered workload generators, in registration order."""
+    _ensure_plugins()
     return list(GENERATORS)
 
 
@@ -127,6 +159,8 @@ def generate(generator: str, seed: int = 0, **params: Any) -> Workload:
     Raises:
         GeneratorError: for an unknown generator name or invalid parameters.
     """
+    if generator not in GENERATORS:
+        _ensure_plugins()
     if generator not in GENERATORS:
         raise GeneratorError(
             f"unknown generator {generator!r}; known: {', '.join(GENERATORS)}"

@@ -18,7 +18,11 @@ Section IX         :mod:`repro.experiments.zair_stats`
 
 Beyond the paper's artifacts, :mod:`repro.experiments.fuzz` differentially
 fuzzes every registered backend with generated workloads
-(``python -m repro fuzz``).
+(``python -m repro fuzz``; the ``ftqc`` and ``corpus`` profiles sweep
+logical-block and real-corpus workloads), and
+:mod:`repro.experiments.ingest` streams external OpenQASM files through
+compile + validate with per-file error isolation
+(``python -m repro ingest``).
 """
 
 from .ablation import ABLATION_CONFIGS, run_ablation
@@ -28,13 +32,17 @@ from .duration_comparison import run_duration_comparison
 from .fidelity_breakdown import run_fidelity_breakdown
 from .ftqc_hiqp import run_ftqc_hiqp
 from .fuzz import (
+    PROFILES,
     FuzzFailure,
+    FuzzProfile,
     FuzzReport,
     minimize_circuit,
     replay_bundle,
     run_fuzz,
+    sample_corpus_workloads,
     sample_workloads,
 )
+from .ingest import IngestRecord, IngestReport, ingest_dir, ingest_paths
 from .harness import (
     RunRecord,
     benchmark_circuits,
@@ -53,17 +61,24 @@ from .zair_stats import run_zair_stats
 __all__ = [
     "ABLATION_CONFIGS",
     "AOD_COUNTS",
+    "PROFILES",
     "FuzzFailure",
+    "FuzzProfile",
     "FuzzReport",
+    "IngestRecord",
+    "IngestReport",
     "RunRecord",
     "benchmark_circuits",
     "default_compilers",
     "format_table",
     "geometric_mean",
     "improvement_summary",
+    "ingest_dir",
+    "ingest_paths",
     "minimize_circuit",
     "replay_bundle",
     "run_fuzz",
+    "sample_corpus_workloads",
     "sample_workloads",
     "run_ablation",
     "run_aod_sweep",

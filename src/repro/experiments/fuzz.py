@@ -26,6 +26,21 @@ the cross-backend metamorphic invariants:
     For a fixed generator and seed, circuit duration is non-decreasing in
     depth (the generators guarantee the shallower circuit is a gate-list
     prefix of the deeper one).
+``ftqc-correspondence`` (profile ``ftqc``)
+    The logical<->physical correspondence for FTQC block-level workloads:
+    the compiled program executes exactly one 2Q gate per transversal block
+    CNOT, and its Rydberg stage count is bounded by the block circuit's 2Q
+    dependency depth from below and its 2Q gate count from above.
+``ftqc-lowering-determinism`` (profile ``ftqc``)
+    Rebuilding an FTQC workload from its descriptor -- and re-lowering its
+    logical model through :func:`repro.ftqc.workloads.interaction_circuit`
+    -- reproduces the sampled circuit gate for gate.
+
+Sweeps are shaped by named :class:`FuzzProfile`\\ s (:data:`PROFILES`): the
+``ftqc`` profile samples logical block workloads (tens to hundreds of
+logical qubits) compiled on the logical-block architecture, and the
+``corpus`` profile draws real OpenQASM files from the committed mini-corpus
+(:mod:`repro.circuits.corpus`) instead of synthetic generators.
 
 Failures are shrunk by bisecting the gate list (:func:`minimize_circuit`)
 until no chunk can be removed without losing the failure, then dumped as
@@ -45,16 +60,25 @@ from typing import Any
 import numpy as np
 
 from .. import api
+from ..arch.presets import logical_block_architecture
 from ..circuits import qasm
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.corpus import sample_corpus_circuits
 from ..circuits.random import WorkloadDescriptor, Workload, generate, generator_names
 from ..circuits.scheduling import forget_preprocess
 from ..core.config import ZACConfig
 from ..core.result import CompileResult
+from ..ftqc.workloads import ftqc_model, interaction_circuit, is_ftqc_generator
 from ..zair.validation import ValidationError
 
-#: Generators sampled by default (every registered one).
-DEFAULT_GENERATORS: tuple[str, ...] = tuple(generator_names())
+#: Generators sampled by default: every registered synthetic family.  FTQC
+#: block-level generators are deliberately excluded -- they model a different
+#: abstraction level (qubits are code blocks on the logical architecture) and
+#: have their own ``ftqc`` profile -- so registering them does not silently
+#: reshape the default sweep's sampling sequence.
+DEFAULT_GENERATORS: tuple[str, ...] = tuple(
+    name for name in generator_names() if not is_ftqc_generator(name)
+)
 
 #: ZAC configuration of the "throughput" compile profile: a lighter SA
 #: schedule (the full pipeline and every ablation switch stay on).  The fuzz
@@ -78,6 +102,13 @@ FUZZ_ZAC_INCREMENTAL_CONFIG = ZACConfig(
     sa_iterations=100, incremental=True, warm_start=True
 )
 
+#: The ``ftqc`` profile's ZAC configuration: the throughput SA schedule
+#: without SA initial placement -- the round-robin layout is how
+#: :class:`repro.ftqc.logical.LogicalBlockCompiler` places code blocks, and
+#: block counts reach 64+, where per-workload annealing of the initial
+#: layout would dominate the sweep.
+FUZZ_FTQC_ZAC_CONFIG = ZACConfig(sa_iterations=100, use_sa_initial_placement=False)
+
 #: Named per-backend option profiles used by :func:`run_fuzz`.  Repro
 #: bundles record the profile name so replays compile exactly as the sweep
 #: did.
@@ -90,6 +121,14 @@ COMPILE_PROFILES: dict[str, dict[str, dict]] = {
     "incremental": {
         "zac": {"config": FUZZ_ZAC_INCREMENTAL_CONFIG},
         "ideal": {"config": FUZZ_ZAC_INCREMENTAL_CONFIG},
+    },
+    "ftqc": {
+        "zac": {"config": FUZZ_FTQC_ZAC_CONFIG},
+        "ideal": {"config": FUZZ_FTQC_ZAC_CONFIG},
+    },
+    "corpus": {
+        "zac": {"config": FUZZ_ZAC_CONFIG},
+        "ideal": {"config": FUZZ_ZAC_CONFIG},
     },
 }
 
@@ -107,6 +146,81 @@ DEFAULT_NUM_QUBITS: tuple[int, ...] = (4, 6, 8, 12, 16)
 
 #: Depth axis of the default size/shape grid.
 DEFAULT_DEPTHS: tuple[int, ...] = (2, 4, 8)
+
+#: Generators whose depth-prefix guarantee feeds the depth-monotonic ladder.
+DEFAULT_LADDER_GENERATORS: tuple[str, ...] = ("brickwork", "qaoa_erdos_renyi")
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """A named sweep shape: workload source, grid, backends, and invariants.
+
+    ``run_fuzz`` arguments override any field; the profile supplies the
+    defaults.  ``options`` is the per-backend compile-option table also used
+    by bundle replay and :mod:`repro.experiments.ingest` (kept in
+    :data:`COMPILE_PROFILES` under the same name, so old bundles resolve).
+    """
+
+    name: str
+    options: dict[str, dict]
+    backends: tuple[str, ...] | None = None  #: None = every registered backend
+    generators: tuple[str, ...] | None = None  #: None = :data:`DEFAULT_GENERATORS`
+    num_qubits: tuple[int, ...] = DEFAULT_NUM_QUBITS
+    depths: tuple[int, ...] = DEFAULT_DEPTHS
+    ladder_generators: tuple[str, ...] = DEFAULT_LADDER_GENERATORS
+    corpus: bool = False  #: sample committed QASM corpus files, not generators
+    ftqc: bool = False  #: check the logical<->physical correspondence invariants
+    check_legacy: bool = True
+    check_depth_monotonic: bool = True
+    arch_factory: Any = None  #: () -> Architecture, None = backend default
+
+
+#: The named sweep profiles selectable via ``python -m repro fuzz --profile``.
+PROFILES: dict[str, FuzzProfile] = {
+    "default": FuzzProfile(name="default", options=COMPILE_PROFILES["default"]),
+    "throughput": FuzzProfile(
+        name="throughput", options=COMPILE_PROFILES["throughput"]
+    ),
+    "incremental": FuzzProfile(
+        name="incremental", options=COMPILE_PROFILES["incremental"]
+    ),
+    # Logical-scale FTQC: block-level workloads (a "qubit" is an [[8,3,2]]
+    # code block; 8-64 blocks = 24-192 logical / 64-512 physical qubits)
+    # compiled on the logical-block architecture, plus the correspondence
+    # invariants.  NALAC joins ZAC because both lower block movements; the
+    # ideal bound keeps ideal-dominates meaningful at this scale.
+    "ftqc": FuzzProfile(
+        name="ftqc",
+        options=COMPILE_PROFILES["ftqc"],
+        backends=("zac", "nalac", "ideal"),
+        generators=("ftqc_hiqp", "ftqc_transversal"),
+        num_qubits=(8, 16, 32, 64),
+        depths=(2, 3, 5),
+        ladder_generators=("ftqc_hiqp", "ftqc_transversal"),
+        ftqc=True,
+        arch_factory=lambda: logical_block_architecture(64),
+    ),
+    # Real-circuit corpus: seeded draws from the committed OpenQASM corpus.
+    # Depth ladders need the generators' depth-prefix guarantee, which fixed
+    # files cannot offer, so the depth-monotonic invariant is off.
+    "corpus": FuzzProfile(
+        name="corpus",
+        options=COMPILE_PROFILES["corpus"],
+        ladder_generators=(),
+        corpus=True,
+        check_depth_monotonic=False,
+    ),
+}
+
+
+def _resolve_profile(profile: str) -> FuzzProfile:
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise FuzzError(
+            f"unknown fuzz profile {profile!r}; known: {', '.join(PROFILES)}"
+        ) from None
+
 
 #: Backends that retain a hand-accumulated ``compile_legacy`` oracle.
 LEGACY_BACKENDS: tuple[str, ...] = ("enola", "atomique", "nalac", "sc")
@@ -161,6 +275,28 @@ def sample_workloads(
         depth = int(depths[int(rng.integers(len(depths)))])
         sub_seed = int(rng.integers(2**31))
         workloads.append(generate(name, seed=sub_seed, num_qubits=n, depth=depth))
+    return workloads
+
+
+def sample_corpus_workloads(
+    budget: int, seed: int = 0, root: str | None = None
+) -> list[Workload]:
+    """Sample ``budget`` workloads from the committed OpenQASM corpus.
+
+    Each draw is tagged with a ``corpus`` pseudo-descriptor recording the
+    source file; bundles for corpus failures always carry the circuit as
+    QASM text, so replay never needs to rebuild from the descriptor.
+    """
+    if budget < 1:
+        raise FuzzError("fuzz budget must be at least 1")
+    workloads = []
+    for index, (path, circuit) in enumerate(
+        sample_corpus_circuits(budget, seed=seed, root=root)
+    ):
+        descriptor = WorkloadDescriptor(
+            generator="corpus", seed=seed, params={"file": path.name, "index": index}
+        )
+        workloads.append(Workload(circuit=circuit, descriptor=descriptor))
     return workloads
 
 
@@ -294,16 +430,81 @@ def minimize_circuit(
 
 
 def _validation_check(
-    backend: str, circuit: QuantumCircuit, options: dict | None = None
+    backend: str,
+    circuit: QuantumCircuit,
+    options: dict | None = None,
+    arch=None,
 ) -> str | None:
     """Compile + validate; return the failed check tag, or None if clean."""
     try:
-        api.compile(circuit, backend=backend, validate=True, **(options or {}))
+        api.compile(circuit, backend=backend, arch=arch, validate=True, **(options or {}))
         return None
     except ValidationError as exc:
         return f"validation:{exc.check}"
     except Exception as exc:
         return f"compile-error:{type(exc).__name__}"
+
+
+def _ftqc_correspondence_mismatch(
+    result: CompileResult, circuit: QuantumCircuit
+) -> str | None:
+    """First logical<->physical correspondence violation, or None.
+
+    At the block level every transversal block CNOT is one 2Q interaction:
+    the compiled program must execute exactly ``circuit.num_2q_gates`` 2Q
+    gates, and its Rydberg stage count is sandwiched between the circuit's
+    2Q dependency depth (perfect stage packing) and its 2Q gate count (one
+    gate per stage).
+    """
+    expected_2q = circuit.num_2q_gates
+    compiled_2q = result.metrics.num_2q_gates
+    if compiled_2q != expected_2q:
+        return f"compiled 2Q gate count {compiled_2q} != logical CNOT count {expected_2q}"
+    if expected_2q == 0:
+        return None
+    stages = result.metrics.num_rydberg_stages
+    lower = circuit.two_qubit_depth()
+    if not lower <= stages <= expected_2q:
+        return (
+            f"Rydberg stage count {stages} outside [2Q depth {lower}, "
+            f"2Q gate count {expected_2q}]"
+        )
+    return None
+
+
+def _ftqc_correspondence_check(
+    backend: str,
+    circuit: QuantumCircuit,
+    options: dict | None = None,
+    arch=None,
+) -> str | None:
+    """Recompile ``circuit`` and re-evaluate the correspondence invariant."""
+    try:
+        result = api.compile(
+            circuit, backend=backend, arch=arch, validate=False, **(options or {})
+        )
+    except Exception:
+        return None  # a circuit that no longer compiles is a different failure
+    return _ftqc_correspondence_mismatch(result, circuit)
+
+
+def _ftqc_lowering_mismatch(descriptor: WorkloadDescriptor) -> str | None:
+    """Check descriptor -> circuit lowering determinism; message or None.
+
+    Two independent rebuilds from the descriptor must agree, and lowering
+    the regenerated logical model through
+    :func:`repro.ftqc.workloads.interaction_circuit` must reproduce the
+    same gate list.
+    """
+    first = descriptor.build()
+    second = descriptor.build()
+    if first.gates != second.gates:
+        return "two descriptor rebuilds disagree"
+    model = ftqc_model(descriptor.generator, seed=descriptor.seed, **descriptor.params)
+    lowered = interaction_circuit(model)
+    if lowered.gates != first.gates:
+        return "model lowering disagrees with the generated circuit"
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -332,8 +533,8 @@ def run_fuzz(
     parallel: int | bool = 0,
     out_dir: str | None = None,
     generators: tuple[str, ...] | None = None,
-    num_qubits: tuple[int, ...] = DEFAULT_NUM_QUBITS,
-    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+    num_qubits: tuple[int, ...] | None = None,
+    depths: tuple[int, ...] | None = None,
     check_determinism: bool = True,
     check_legacy: bool = True,
     check_depth_monotonic: bool = True,
@@ -370,9 +571,11 @@ def run_fuzz(
             increasing depth) and require non-decreasing durations.
         minimize: Shrink failing circuits by gate-list bisection.
         max_minimize_attempts: Compile budget per minimization.
-        profile: Compile profile name (see :data:`COMPILE_PROFILES`);
-            ``"throughput"`` runs ZAC with a lighter SA schedule, recorded
-            in repro bundles so replays match.
+        profile: Sweep profile name (see :data:`PROFILES`): the profile
+            supplies per-backend compile options plus default backends,
+            workload source (generators vs. the QASM corpus), grid, target
+            architecture, and invariant set; every explicit argument
+            overrides it.  Recorded in repro bundles so replays match.
         use_cache: Route compiles through the content-addressed compile
             cache (the determinism invariant always bypasses it).
 
@@ -380,17 +583,35 @@ def run_fuzz(
         A :class:`FuzzReport`; ``report.ok`` is True when nothing failed.
     """
     start = time.monotonic()
-    backends = list(backends) if backends else api.available_backends()
+    sweep = _resolve_profile(profile)
+    if backends:
+        backends = list(backends)
+    elif sweep.backends is not None:
+        backends = list(sweep.backends)
+    else:
+        backends = api.available_backends()
     for name in backends:
         api.backend_spec(name)  # fail fast on unknown backends
-    profile_opts = _profile_options(profile)
+    profile_opts = sweep.options
+    arch = sweep.arch_factory() if sweep.arch_factory is not None else None
+    check_legacy = check_legacy and sweep.check_legacy
+    check_depth_monotonic = check_depth_monotonic and sweep.check_depth_monotonic
+    num_qubits = tuple(num_qubits) if num_qubits else sweep.num_qubits
+    depths = tuple(depths) if depths else sweep.depths
 
     def options_for(backend: str) -> dict:
         return profile_opts.get(backend, {})
 
-    workloads = sample_workloads(
-        budget, seed=seed, generators=generators, num_qubits=num_qubits, depths=depths
-    )
+    if sweep.corpus:
+        workloads = sample_corpus_workloads(budget, seed=seed)
+    else:
+        workloads = sample_workloads(
+            budget,
+            seed=seed,
+            generators=generators or sweep.generators,
+            num_qubits=num_qubits,
+            depths=depths,
+        )
     circuits = [w.circuit for w in workloads]
     report = FuzzReport(budget=budget, seed=seed, backends=backends)
     report.num_circuits = len(circuits)
@@ -438,6 +659,7 @@ def run_fuzz(
         outcomes[backend] = api.compile_many(
             circuits,
             backend=backend,
+            arch=arch,
             parallel=parallel,
             validate=True,
             return_exceptions=True,
@@ -458,7 +680,7 @@ def run_fuzz(
                     f"{workload.circuit.name}: {outcome}",
                     workload,
                     minimize_predicate=lambda c, b=backend, e=expected: (
-                        _validation_check(b, c, options_for(b)) == e
+                        _validation_check(b, c, options_for(b), arch) == e
                     ),
                 )
                 continue
@@ -470,7 +692,7 @@ def run_fuzz(
                     f"{workload.circuit.name}: {outcome}",
                     workload,
                     minimize_predicate=lambda c, b=backend, e=expected: (
-                        _validation_check(b, c, options_for(b)) == e
+                        _validation_check(b, c, options_for(b), arch) == e
                     ),
                 )
                 continue
@@ -521,6 +743,48 @@ def run_fuzz(
                     results=[("ideal", ideal), ("zac", zac_result)],
                 )
 
+    # -- invariant: logical<->physical correspondence (ftqc profile) ---------
+    # Block-level workloads pin the lowering: 2Q gate counts preserved and
+    # Rydberg stages bounded by the logical circuit's 2Q depth / gate count.
+    if sweep.ftqc:
+        for backend in backends:
+            for index, result in enumerate(good[backend]):
+                if result is None:
+                    continue
+                report.invariant_checks["ftqc-correspondence"] = (
+                    report.invariant_checks.get("ftqc-correspondence", 0) + 1
+                )
+                mismatch = _ftqc_correspondence_mismatch(result, circuits[index])
+                if mismatch:
+                    fail(
+                        "invariant:ftqc-correspondence",
+                        backend,
+                        f"{workloads[index].circuit.name}: {mismatch}",
+                        workloads[index],
+                        results=[(backend, result)],
+                        minimize_predicate=lambda c, b=backend: (
+                            _ftqc_correspondence_check(b, c, options_for(b), arch)
+                            is not None
+                        ),
+                    )
+
+    # -- invariant: descriptor -> circuit lowering determinism (ftqc) --------
+    if sweep.ftqc:
+        for index, workload in enumerate(workloads):
+            if not is_ftqc_generator(workload.descriptor.generator):
+                continue
+            report.invariant_checks["ftqc-lowering-determinism"] = (
+                report.invariant_checks.get("ftqc-lowering-determinism", 0) + 1
+            )
+            mismatch = _ftqc_lowering_mismatch(workload.descriptor)
+            if mismatch:
+                fail(
+                    "invariant:ftqc-lowering-determinism",
+                    "workload",
+                    f"{workload.circuit.name}: {mismatch}",
+                    workload,
+                )
+
     # A fixed stride keeps the expensive replay-based invariants (full
     # recompiles per circuit x backend) affordable while still touching
     # every backend and most generators: target ~6 sampled circuits
@@ -546,6 +810,7 @@ def run_fuzz(
                 second = api.compile_many(
                     [circuits[index]],
                     backend=backend,
+                    arch=arch,
                     validate=False,
                     fresh=True,
                     **options_for(backend),
@@ -563,7 +828,7 @@ def run_fuzz(
     # -- invariant: interpreter == legacy accounting -------------------------
     if check_legacy:
         legacy_compilers = {
-            backend: api.create_backend(backend, **options_for(backend))
+            backend: api.create_backend(backend, arch=arch, **options_for(backend))
             for backend in backends
             if backend in LEGACY_BACKENDS
         }
@@ -595,7 +860,7 @@ def run_fuzz(
     if check_depth_monotonic:
         ladder_rng = np.random.default_rng(seed)
         ladder_depths = sorted(set(depths))
-        for generator in ("brickwork", "qaoa_erdos_renyi"):
+        for generator in sweep.ladder_generators:
             sampled = next(
                 (w for w in workloads if w.descriptor.generator == generator), None
             )
@@ -627,6 +892,7 @@ def run_fuzz(
                         result = api.compile_many(
                             [rung.circuit],
                             backend=backend,
+                            arch=arch,
                             cache=use_cache,
                             **options_for(backend),
                         )[0]
@@ -638,7 +904,7 @@ def run_fuzz(
                             f"{rung.circuit.name}: {exc}",
                             rung,
                             minimize_predicate=lambda c, b=backend, e=expected: (
-                                _validation_check(b, c, options_for(b)) == e
+                                _validation_check(b, c, options_for(b), arch) == e
                             ),
                         )
                         break
@@ -713,7 +979,9 @@ def replay_bundle(path: str) -> tuple[bool, str]:
         raise FuzzError(f"{path} is not a fuzz repro bundle")
     backend = bundle["backend"]
     check = bundle["check"]
-    profile_opts = _profile_options(bundle.get("profile", "default"))
+    sweep = _resolve_profile(bundle.get("profile", "default"))
+    profile_opts = sweep.options
+    arch = sweep.arch_factory() if sweep.arch_factory is not None else None
 
     def options_for(name: str) -> dict:
         return profile_opts.get(name, {})
@@ -725,20 +993,33 @@ def replay_bundle(path: str) -> tuple[bool, str]:
         circuit = WorkloadDescriptor.from_dict(bundle["descriptor"]).build()
 
     if check.startswith(("validation:", "compile-error:")):
-        observed = _validation_check(backend, circuit, opts)
+        observed = _validation_check(backend, circuit, opts, arch)
         if observed == check:
             return True, f"{check} still reproduces on backend {backend}"
         return False, f"expected {check}, observed {observed or 'clean compile'}"
 
+    if check == "invariant:ftqc-correspondence":
+        mismatch = _ftqc_correspondence_check(backend, circuit, opts, arch)
+        if mismatch:
+            return True, f"correspondence still violated: {mismatch}"
+        return False, "logical<->physical correspondence holds again"
+
+    if check == "invariant:ftqc-lowering-determinism":
+        descriptor = WorkloadDescriptor.from_dict(bundle["descriptor"])
+        mismatch = _ftqc_lowering_mismatch(descriptor)
+        if mismatch:
+            return True, f"lowering still non-deterministic: {mismatch}"
+        return False, "descriptor lowering deterministic again"
+
     if check == "invariant:duration-positive":
-        result = api.compile(circuit, backend=backend, **opts)
+        result = api.compile(circuit, backend=backend, arch=arch, **opts)
         if not result.duration_us > 0.0:
             return True, f"duration still non-positive ({result.duration_us})"
         return False, f"duration now positive ({result.duration_us:.6g})"
 
     if check == "invariant:ideal-dominates":
-        ideal = api.compile(circuit, backend="ideal", **options_for("ideal"))
-        result = api.compile(circuit, backend=backend, **opts)
+        ideal = api.compile(circuit, backend="ideal", arch=arch, **options_for("ideal"))
+        result = api.compile(circuit, backend=backend, arch=arch, **opts)
         if result.total_fidelity > ideal.total_fidelity + 1e-9:
             return True, (
                 f"{backend} fidelity {result.total_fidelity:.6g} still exceeds "
@@ -747,14 +1028,14 @@ def replay_bundle(path: str) -> tuple[bool, str]:
         return False, "ideal bound dominates again"
 
     if check == "invariant:determinism":
-        first = api.compile(circuit, backend=backend, validate=False, **opts)
-        second = api.compile(circuit, backend=backend, validate=False, **opts)
+        first = api.compile(circuit, backend=backend, arch=arch, validate=False, **opts)
+        second = api.compile(circuit, backend=backend, arch=arch, validate=False, **opts)
         if _stable_payload(first) != _stable_payload(second):
             return True, "two runs still disagree"
         return False, "runs agree again"
 
     if check == "invariant:legacy-conformance":
-        compiler = api.create_backend(backend, **opts)
+        compiler = api.create_backend(backend, arch=arch, **opts)
         mismatch = _conformance_mismatch(
             compiler.compile(circuit), compiler.compile_legacy(circuit)
         )
@@ -775,8 +1056,8 @@ def replay_bundle(path: str) -> tuple[bool, str]:
             params = dict(descriptor.params, depth=max(1, depth // 2))
             shallow = generate(descriptor.generator, seed=descriptor.seed, **params).circuit
         deep = descriptor.build()
-        d_shallow = api.compile(shallow, backend=backend, **opts).duration_us
-        d_deep = api.compile(deep, backend=backend, **opts).duration_us
+        d_shallow = api.compile(shallow, backend=backend, arch=arch, **opts).duration_us
+        d_deep = api.compile(deep, backend=backend, arch=arch, **opts).duration_us
         if d_deep < d_shallow * (1.0 - 1e-9):
             return True, f"duration still shrinks with depth ({d_shallow:.6g} -> {d_deep:.6g})"
         return False, "duration monotone again"

@@ -1,0 +1,250 @@
+"""`repro ingest`: stream external OpenQASM files through compile + validate.
+
+The import guarantee (ROADMAP item 5b): every accepted file parses, survives
+the parse -> emit -> parse round trip bit for bit, compiles on the requested
+backend, and its emitted ZAIR program passes
+:func:`repro.zair.validate_program`.  Every *rejected* file is isolated --
+one malformed circuit in an MQT-Bench-style directory never aborts the
+sweep -- and classified by failure stage:
+
+``parse-error``
+    The file is not parseable OpenQASM 2.0 (or uses unsupported gates).
+``roundtrip-error``
+    Emitting the parsed circuit and re-parsing it does not reproduce the
+    gate list (a reader/writer bug, not a user error).
+``compile-error``
+    The backend raised while compiling.
+``validation-error``
+    The emitted program violates a hardware invariant (the record carries
+    the machine-readable check tag).
+
+Compiles run as one batch through the warm compile service
+(``return_exceptions=True``), so ingest inherits caching, within-batch
+coalescing, and per-slot error isolation; cache provenance is recorded per
+file.  :class:`IngestReport` serializes to a machine-readable JSON document
+(``kind: "ingest-report"``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .. import api
+from ..circuits import qasm
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.corpus import corpus_paths
+from ..zair.validation import ValidationError
+from .fuzz import _profile_options
+
+#: Report schema version.
+REPORT_SCHEMA = 1
+
+#: Per-file terminal states, in pipeline order.
+STATUSES = ("ok", "parse-error", "roundtrip-error", "compile-error", "validation-error")
+
+
+@dataclass
+class IngestRecord:
+    """Outcome of one corpus file's trip through the ingest pipeline."""
+
+    path: str
+    status: str  #: one of :data:`STATUSES`
+    num_qubits: int | None = None
+    num_gates: int | None = None
+    duration_us: float | None = None
+    fidelity: float | None = None
+    provenance: str | None = None  #: compile-cache provenance (memory/disk/compiled/...)
+    check: str | None = None  #: validation check tag for ``validation-error``
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"path": self.path, "status": self.status}
+        for name in (
+            "num_qubits",
+            "num_gates",
+            "duration_us",
+            "fidelity",
+            "provenance",
+            "check",
+            "error",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        return data
+
+
+@dataclass
+class IngestReport:
+    """Machine-readable outcome of one :func:`ingest_paths` sweep."""
+
+    backend: str
+    profile: str
+    records: list[IngestRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def num_files(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def num_errors(self) -> int:
+        return self.num_files - self.num_ok
+
+    @property
+    def ok(self) -> bool:
+        return self.num_errors == 0
+
+    def by_status(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "ingest-report",
+            "schema": REPORT_SCHEMA,
+            "backend": self.backend,
+            "profile": self.profile,
+            "num_files": self.num_files,
+            "num_ok": self.num_ok,
+            "num_errors": self.num_errors,
+            "by_status": self.by_status(),
+            "elapsed_s": self.elapsed_s,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"ingested {self.num_files} files on backend {self.backend} "
+            f"(profile {self.profile}): {self.num_ok} ok, {self.num_errors} rejected "
+            f"in {self.elapsed_s:.1f}s"
+        ]
+        for status, count in sorted(self.by_status().items()):
+            lines.append(f"  {status:17s}: {count}")
+        for record in self.records:
+            if not record.ok:
+                lines.append(f"    [{record.status}] {record.path}: {record.error}")
+        return lines
+
+
+def ingest_paths(
+    paths: list[str | Path],
+    backend: str = "zac",
+    profile: str = "throughput",
+    parallel: int | bool = 0,
+    use_cache: bool = True,
+    arch=None,
+) -> IngestReport:
+    """Run OpenQASM files through parse -> round-trip -> compile -> validate.
+
+    Args:
+        paths: QASM files and/or directories (searched recursively).
+        backend: Registry backend every accepted file is compiled on.
+        profile: Compile-option profile (see
+            :data:`repro.experiments.fuzz.COMPILE_PROFILES`).
+        parallel: Worker processes for the compile fan-out.
+        use_cache: Serve repeated files from the content-addressed cache.
+        arch: Target architecture (``None`` = backend default).
+
+    Returns:
+        An :class:`IngestReport` with one :class:`IngestRecord` per file, in
+        listing order; failures are isolated per file.
+    """
+    start = time.monotonic()
+    options = _profile_options(profile).get(backend, {})
+    files: list[Path] = []
+    for entry in paths:
+        files.extend(corpus_paths(entry))
+
+    report = IngestReport(backend=backend, profile=profile)
+    records = [IngestRecord(path=str(path), status="ok") for path in files]
+    report.records = records
+
+    # Stage 1+2: parse and round-trip, isolating failures per file.
+    circuits: list[QuantumCircuit] = []
+    compile_slots: list[int] = []
+    for index, path in enumerate(files):
+        record = records[index]
+        try:
+            circuit = qasm.load(str(path), name=path.stem)
+        except qasm.QASMError as exc:
+            record.status = "parse-error"
+            record.error = str(exc)
+            continue
+        record.num_qubits = circuit.num_qubits
+        record.num_gates = len(circuit)
+        reparsed = qasm.loads(qasm.dumps(circuit), name=circuit.name)
+        if reparsed.gates != circuit.gates or reparsed.num_qubits != circuit.num_qubits:
+            record.status = "roundtrip-error"
+            record.error = "parse -> emit -> parse does not reproduce the circuit"
+            continue
+        circuits.append(circuit)
+        compile_slots.append(index)
+
+    # Stage 3+4: one batch compile (validated in-compile) over the survivors.
+    provenance: list[str] = []
+    outcomes = api.get_compile_service().compile_batch(
+        circuits,
+        backend,
+        arch,
+        parallel=parallel,
+        validate=True,
+        return_exceptions=True,
+        cache=use_cache,
+        keep_programs=False,
+        provenance=provenance,
+        **options,
+    )
+    for position, (slot, outcome) in enumerate(zip(compile_slots, outcomes)):
+        record = records[slot]
+        if provenance:
+            record.provenance = provenance[position]
+        if isinstance(outcome, ValidationError):
+            record.status = "validation-error"
+            record.check = outcome.check
+            record.error = str(outcome)
+        elif isinstance(outcome, Exception):
+            record.status = "compile-error"
+            record.error = f"{type(outcome).__name__}: {outcome}"
+        else:
+            record.duration_us = outcome.duration_us
+            record.fidelity = outcome.total_fidelity
+
+    report.elapsed_s = time.monotonic() - start
+    return report
+
+
+def ingest_dir(
+    root: str | Path,
+    backend: str = "zac",
+    **kwargs: Any,
+) -> IngestReport:
+    """Ingest every ``.qasm`` file under ``root`` (see :func:`ingest_paths`)."""
+    return ingest_paths([root], backend=backend, **kwargs)
+
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "STATUSES",
+    "IngestRecord",
+    "IngestReport",
+    "ingest_dir",
+    "ingest_paths",
+]

@@ -19,6 +19,14 @@ from .hiqp import (
     hiqp_physical_circuit,
 )
 from .logical import LogicalBlockCompiler, LogicalCompilationResult
+from .workloads import (
+    ftqc_generator_names,
+    ftqc_model,
+    interaction_circuit,
+    is_ftqc_generator,
+    logical_summary,
+)
+from .workloads import expand_physical as expand_physical_circuit
 
 __all__ = [
     "BLOCK_COLS",
@@ -31,10 +39,16 @@ __all__ = [
     "LogicalBlockCompiler",
     "LogicalCompilationResult",
     "PHYSICAL_QUBITS_PER_BLOCK",
+    "expand_physical_circuit",
+    "ftqc_generator_names",
+    "ftqc_model",
     "hiqp_block_interaction_circuit",
     "hiqp_circuit",
     "hiqp_physical_circuit",
     "in_block_gate_physical_ops",
+    "interaction_circuit",
+    "is_ftqc_generator",
+    "logical_summary",
     "make_blocks",
     "transversal_cnot_physical_ops",
 ]

@@ -1,0 +1,258 @@
+"""Seeded FTQC logical-scale workload generators (ROADMAP item 5a).
+
+The paper's FTQC evaluation is one fixed circuit (the 128-block hIQP
+instance).  This module turns the ``ftqc`` layer into a *workload family*:
+seeded logical circuits over [[8,3,2]] code blocks -- tens to hundreds of
+logical qubits -- lowered to block-level interaction circuits that ZAC /
+NALAC compile on the logical architecture, where every "trap" is a 2x4
+block slot and every "qubit" is a code block.
+
+Two generators join the :mod:`repro.circuits.random` registry (and with it
+the fuzz harness, repro bundles, and the serve daemon's ``descriptor``
+circuit spec):
+
+``ftqc_hiqp``
+    A seeded hIQP-style circuit: ``depth`` layers of inter-block
+    transversal CNOTs whose stride doubles each layer (truncated-hypercube
+    connectivity, so any block count >= 2 works, not just powers of two),
+    interleaved with in-block transversal T-dagger layers, under a random
+    relabelling of the blocks.  ``num_qubits`` counts *blocks*.
+``ftqc_transversal``
+    A random transversal-gate program: each layer is a random perfect
+    matching of blocks (transversal CNOTs), optionally preceded by an
+    in-block gate layer on a random block subset.
+
+Both consume randomness layer by layer, so for a fixed seed the depth-``d``
+circuit is a gate-list prefix of the depth-``d'`` circuit for ``d' > d``
+(the property the fuzz harness's logical-depth-monotonicity ladders rely
+on).  The logical model behind a workload is reproducible from its
+descriptor via :func:`ftqc_model`; :func:`interaction_circuit` is the
+deterministic lowering from model to compiled circuit, and
+:func:`expand_physical` spells the model out at the physical level (8
+qubits per block) for small-instance validation.
+
+The logical<->physical correspondence the fuzz harness pins
+(:mod:`repro.experiments.fuzz`, profile ``ftqc``):
+
+* gate preservation -- the compiled program executes exactly one 2Q gate
+  per transversal block CNOT;
+* stage bounds -- the Rydberg stage count is at least the block circuit's
+  2Q dependency depth and at most its 2Q gate count;
+* lowering determinism -- descriptor -> model -> circuit is a pure
+  function of ``(generator, seed, params)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.random import GeneratorError, _random_matching, register_generator
+from .code832 import make_blocks
+from .hiqp import BlockGate, HIQPCircuit
+
+#: Model builders behind the registered generators, keyed by generator name.
+MODEL_BUILDERS: dict[str, Any] = {}
+
+
+def ftqc_generator_names() -> list[str]:
+    """Names of the registered FTQC logical workload generators."""
+    return list(MODEL_BUILDERS)
+
+
+def is_ftqc_generator(name: str) -> bool:
+    """True when ``name`` is a logical (block-level) workload generator."""
+    return name in MODEL_BUILDERS
+
+
+def ftqc_model(generator: str, seed: int = 0, **params: Any) -> HIQPCircuit:
+    """Rebuild the logical block-level model behind an FTQC descriptor.
+
+    The same ``(generator, seed, params)`` triple that
+    :func:`repro.circuits.random.generate` turns into the compiled
+    interaction circuit; the model regenerates deterministically, so
+    invariant checks can compare a compiled result against the logical
+    circuit it came from.
+    """
+    if generator not in MODEL_BUILDERS:
+        raise GeneratorError(
+            f"{generator!r} is not an FTQC generator; known: {', '.join(MODEL_BUILDERS)}"
+        )
+    rng = np.random.default_rng(seed)
+    return MODEL_BUILDERS[generator](rng, **params)
+
+
+def interaction_circuit(model: HIQPCircuit, name: str = "ftqc_blocks") -> QuantumCircuit:
+    """Lower a logical model to its block-interaction circuit.
+
+    One circuit qubit per code block; each inter-block transversal CNOT
+    becomes one CZ-equivalent interaction (the form ZAC plans block
+    movements for).  In-block layers induce no movement -- the block is
+    already together -- so they do not appear.
+    """
+    out = QuantumCircuit(model.num_blocks, name)
+    for layer in model.block_pairs():
+        for a, b in layer:
+            out.cz(a, b)
+    return out
+
+
+def expand_physical(model: HIQPCircuit, name: str = "ftqc_physical") -> QuantumCircuit:
+    """Expand a logical model to the full physical circuit (8 qubits/block).
+
+    In-block gates become transversal physical T-daggers, block CNOTs
+    become 8 physical CNOTs between corresponding qubits, and every
+    physical qubit is prepared in ``|+>``.  Exponential in nothing, but
+    meant for small-instance validation -- the 128-block instance is
+    compiled at the block level instead.
+    """
+    blocks = make_blocks(model.num_blocks)
+    out = QuantumCircuit(8 * model.num_blocks, name)
+    for qubit in range(out.num_qubits):
+        out.h(qubit)
+    for layer in model.layers:
+        for gate in layer:
+            if gate.is_two_block:
+                control, target = blocks[gate.blocks[0]], blocks[gate.blocks[1]]
+                for c, t in zip(control.physical_qubits, target.physical_qubits):
+                    out.cx(c, t)
+            else:
+                for qubit in blocks[gate.blocks[0]].physical_qubits:
+                    out.tdg(qubit)
+    return out
+
+
+def logical_summary(model: HIQPCircuit) -> dict[str, int]:
+    """Size card of a logical model (what fuzz bundles record as context)."""
+    return {
+        "num_blocks": model.num_blocks,
+        "num_logical_qubits": model.num_logical_qubits,
+        "num_physical_qubits": model.num_physical_qubits,
+        "num_transversal_cnots": model.num_transversal_cnots,
+        "num_cnot_layers": len(model.cnot_layers),
+        "num_in_block_layers": len(model.in_block_layers),
+        "num_block_gates": model.num_block_gates,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Model builders
+# ---------------------------------------------------------------------------
+
+
+def _require_blocks(num_qubits: int, depth: int) -> None:
+    if num_qubits < 2:
+        raise GeneratorError("FTQC workloads need at least 2 code blocks")
+    if depth < 1:
+        raise GeneratorError("FTQC workloads need depth >= 1")
+
+
+def _stride_pairs(num_blocks: int, stride: int) -> list[tuple[int, int]]:
+    """Hypercube-edge matching at ``stride``, truncated to ``num_blocks``.
+
+    For power-of-two block counts this is exactly the hIQP construction's
+    layer (pair ``start+offset`` with ``start+offset+stride``); for other
+    counts the pairs whose partner falls past the register are dropped, so
+    the layer stays a matching.
+    """
+    pairs = []
+    for start in range(0, num_blocks, 2 * stride):
+        for offset in range(stride):
+            a = start + offset
+            b = start + offset + stride
+            if b < num_blocks:
+                pairs.append((a, b))
+    return pairs
+
+
+def _in_block_layer(blocks: list[int]) -> list[BlockGate]:
+    return [BlockGate("in_block", (b,)) for b in blocks]
+
+
+def _hiqp_model(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+) -> HIQPCircuit:
+    """Seeded hIQP: stride-doubling CNOT layers under a random relabelling.
+
+    ``depth`` counts CNOT layers; strides cycle (1, 2, 4, ... back to 1)
+    so any depth works, and the relabelling is drawn *before* the layers,
+    preserving the depth-prefix property.  ``num_qubits`` is the block
+    count (any >= 2; the hypercube matchings are truncated).
+    """
+    _require_blocks(num_qubits, depth)
+    num_blocks = num_qubits
+    relabel = [int(b) for b in rng.permutation(num_blocks)]
+    num_strides = max(1, (num_blocks - 1).bit_length())
+
+    model = HIQPCircuit(num_blocks=num_blocks)
+    model.layers.append(_in_block_layer(list(range(num_blocks))))
+    for index in range(depth):
+        stride = 1 << (index % num_strides)
+        layer = [
+            BlockGate("cnot", (relabel[a], relabel[b]))
+            for a, b in _stride_pairs(num_blocks, stride)
+        ]
+        model.layers.append(layer)
+        model.layers.append(_in_block_layer(list(range(num_blocks))))
+    return model
+
+
+def _transversal_model(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+    pair_prob: float = 0.9,
+    in_block_prob: float = 0.5,
+) -> HIQPCircuit:
+    """Random transversal-gate program: matchings + random in-block layers.
+
+    Each of the ``depth`` layers draws (in this order, so prefixes are
+    stable): whether an in-block layer precedes it, the random block subset
+    for that layer, and a random matching of blocks kept per-pair with
+    ``pair_prob``.
+    """
+    _require_blocks(num_qubits, depth)
+    num_blocks = num_qubits
+    model = HIQPCircuit(num_blocks=num_blocks)
+    for _ in range(depth):
+        wants_in_block = rng.random() < in_block_prob
+        subset = [int(b) for b in np.nonzero(rng.random(num_blocks) < 0.5)[0]]
+        if wants_in_block and subset:
+            model.layers.append(_in_block_layer(subset))
+        pairs = _random_matching(rng, num_blocks, pair_prob)
+        if pairs:
+            model.layers.append([BlockGate("cnot", (a, b)) for a, b in pairs])
+    if model.num_transversal_cnots == 0:  # vanishingly unlikely; keep non-empty
+        model.layers.append([BlockGate("cnot", (0, 1))])
+    return model
+
+
+MODEL_BUILDERS["ftqc_hiqp"] = _hiqp_model
+MODEL_BUILDERS["ftqc_transversal"] = _transversal_model
+
+
+def _make_generator(name: str):
+    def generator(rng: np.random.Generator, **params: Any) -> QuantumCircuit:
+        return interaction_circuit(MODEL_BUILDERS[name](rng, **params), name=name)
+
+    generator.__name__ = name
+    return generator
+
+
+for _name in MODEL_BUILDERS:
+    register_generator(_name, _make_generator(_name))
+
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "expand_physical",
+    "ftqc_generator_names",
+    "ftqc_model",
+    "interaction_circuit",
+    "is_ftqc_generator",
+    "logical_summary",
+]

@@ -17,15 +17,111 @@ Typical session (what ``make smoke`` runs)::
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import subprocess
 import sys
+from pathlib import Path
 from typing import Any
 
 
 class ClientError(RuntimeError):
     """Transport-level failure talking to the daemon."""
+
+
+# ---------------------------------------------------------------------------
+# Request generators: fuzz repro bundles and QASM corpora as daemon traffic
+# ---------------------------------------------------------------------------
+
+
+def profile_request_options(profile: str, backend: str) -> dict[str, Any] | None:
+    """A fuzz compile profile's backend options as JSON request options.
+
+    Dataclass options (e.g. a ``ZACConfig``) become field dicts, which the
+    daemon's ``build_options`` reconstructs; scalars pass through.  Returns
+    ``None`` when the profile leaves the backend on defaults.
+    """
+    from ..experiments.fuzz import _profile_options
+
+    options = _profile_options(profile).get(backend, {})
+    out: dict[str, Any] = {}
+    for key, value in options.items():
+        out[key] = dataclasses.asdict(value) if dataclasses.is_dataclass(value) else value
+    return out or None
+
+
+def bundle_requests(directory: str | Path) -> list[dict]:
+    """Compile requests replaying the fuzz repro bundles under ``directory``.
+
+    Every ``kind: "fuzz-repro"`` JSON bundle becomes one ``compile`` request
+    against the bundle's backend, carrying the minimized circuit as QASM
+    text (falling back to the workload descriptor) and the recorded
+    profile's compile options.  This regenerates daemon traffic from real
+    past failures -- the request-log replay workload generator.  Bundles for
+    workload-level checks (no registered backend) are skipped.
+
+    Raises:
+        ClientError: if ``directory`` contains no fuzz repro bundles.
+    """
+    directory = Path(directory)
+    requests: list[dict] = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            bundle = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ClientError(f"cannot read bundle {path}: {exc}") from None
+        if not isinstance(bundle, dict) or bundle.get("kind") != "fuzz-repro":
+            continue
+        backend = bundle.get("backend")
+        if not backend or backend == "workload":
+            continue  # workload-level invariant; nothing for a daemon to compile
+        if bundle.get("circuit_qasm"):
+            spec: dict[str, Any] = {"qasm": bundle["circuit_qasm"], "name": path.stem}
+        elif bundle.get("descriptor"):
+            spec = {"descriptor": bundle["descriptor"]}
+        else:
+            continue
+        params: dict[str, Any] = {"circuit": spec, "backend": backend}
+        options = profile_request_options(bundle.get("profile", "default"), backend)
+        if options:
+            params["options"] = options
+        requests.append({"method": "compile", "params": params})
+    if not requests:
+        raise ClientError(f"no fuzz repro bundles under {directory}")
+    return requests
+
+
+def corpus_requests(
+    root: str | Path | None = None,
+    backend: str = "zac",
+    profile: str = "throughput",
+) -> list[dict]:
+    """Compile requests streaming a QASM corpus through a daemon.
+
+    Parses each file locally first and skips unparseable ones (the ingest
+    pipeline is where malformed files are *reported*; a traffic generator
+    just shouldn't send requests known to fail).
+
+    Raises:
+        ClientError: if the corpus holds no parseable files.
+    """
+    from ..circuits.corpus import load_corpus
+
+    loaded, _errors = load_corpus(root)
+    if not loaded:
+        raise ClientError(f"no parseable .qasm files under {root or 'the corpus'}")
+    options = profile_request_options(profile, backend)
+    requests = []
+    for path, _circuit in loaded:
+        params: dict[str, Any] = {
+            "circuit": {"qasm": path.read_text(encoding="utf-8"), "name": path.stem},
+            "backend": backend,
+        }
+        if options:
+            params["options"] = options
+        requests.append({"method": "compile", "params": params})
+    return requests
 
 
 class DaemonClient:
@@ -243,4 +339,12 @@ def run_requests(
     return 0 if all_ok else 1
 
 
-__all__ = ["ClientError", "DaemonClient", "HttpClient", "run_requests"]
+__all__ = [
+    "ClientError",
+    "DaemonClient",
+    "HttpClient",
+    "bundle_requests",
+    "corpus_requests",
+    "profile_request_options",
+    "run_requests",
+]

@@ -1,7 +1,15 @@
-"""Tests for the FTQC package: [[8,3,2]] blocks, hIQP circuits, logical compilation."""
+"""Tests for the FTQC package: [[8,3,2]] blocks, hIQP circuits, logical compilation,
+and the seeded logical-scale workload generators (ftqc/workloads.py)."""
+
+import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+import repro.api as api
+from repro.circuits.random import GeneratorError, WorkloadDescriptor, generate
+from repro.experiments.fuzz import replay_bundle, run_fuzz
 from repro.ftqc import (
     BLOCK_COLS,
     BLOCK_ROWS,
@@ -9,14 +17,22 @@ from repro.ftqc import (
     LOGICAL_QUBITS_PER_BLOCK,
     LogicalBlockCompiler,
     PHYSICAL_QUBITS_PER_BLOCK,
+    expand_physical_circuit,
+    ftqc_generator_names,
+    ftqc_model,
     hiqp_block_interaction_circuit,
     hiqp_circuit,
     hiqp_physical_circuit,
     in_block_gate_physical_ops,
+    interaction_circuit,
+    is_ftqc_generator,
+    logical_summary,
     make_blocks,
     transversal_cnot_physical_ops,
 )
 from repro.ftqc.code832 import X_STABILIZER, Z_STABILIZERS, stabilizer_weight_parity_ok
+
+GENERATOR_NAMES = ("ftqc_hiqp", "ftqc_transversal")
 
 
 class TestCodeBlock:
@@ -119,3 +135,230 @@ class TestLogicalCompilation:
         assert result.num_physical_qubits == 1024
         summary = result.summary()
         assert summary["num_transversal_cnots"] == 448
+
+
+# ---------------------------------------------------------------------------
+# Seeded logical-scale workload generators (ftqc/workloads.py)
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloadRegistry:
+    def test_generators_are_registered(self):
+        assert set(ftqc_generator_names()) == set(GENERATOR_NAMES)
+        for name in GENERATOR_NAMES:
+            assert is_ftqc_generator(name)
+        assert not is_ftqc_generator("brickwork")
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(GeneratorError):
+            ftqc_model("brickwork", num_qubits=4, depth=2)
+
+    @pytest.mark.parametrize("name", GENERATOR_NAMES)
+    def test_size_validation(self, name):
+        with pytest.raises(GeneratorError):
+            ftqc_model(name, num_qubits=1, depth=2)
+        with pytest.raises(GeneratorError):
+            ftqc_model(name, num_qubits=4, depth=0)
+
+    def test_descriptor_round_trip(self):
+        descriptor = WorkloadDescriptor(
+            generator="ftqc_hiqp", seed=7, params={"num_qubits": 12, "depth": 3}
+        )
+        rebuilt = WorkloadDescriptor.from_dict(json.loads(json.dumps(descriptor.to_dict())))
+        assert rebuilt == descriptor
+        assert rebuilt.build().gates == descriptor.build().gates
+
+
+class TestWorkloadProperties:
+    """Hypothesis property tests over the seeded workload family."""
+
+    @given(
+        name=st.sampled_from(GENERATOR_NAMES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_blocks=st.integers(min_value=2, max_value=48),
+        depth=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_seeded_model_is_deterministic_and_well_formed(
+        self, name, seed, num_blocks, depth
+    ):
+        first = ftqc_model(name, seed=seed, num_qubits=num_blocks, depth=depth)
+        second = ftqc_model(name, seed=seed, num_qubits=num_blocks, depth=depth)
+        assert first.layers == second.layers
+        assert first.num_blocks == num_blocks
+        assert first.num_transversal_cnots >= 1
+        for layer in first.block_pairs():
+            touched = [block for pair in layer for block in pair]
+            # every CNOT layer is a matching over valid block indices
+            assert len(touched) == len(set(touched))
+            assert all(0 <= block < num_blocks for block in touched)
+        summary = logical_summary(first)
+        assert summary["num_logical_qubits"] == 3 * num_blocks
+        assert summary["num_physical_qubits"] == 8 * num_blocks
+        assert summary["num_transversal_cnots"] == first.num_transversal_cnots
+
+    @given(
+        name=st.sampled_from(GENERATOR_NAMES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_blocks=st.integers(min_value=2, max_value=32),
+        depth=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_circuit_matches_model_lowering(
+        self, name, seed, num_blocks, depth
+    ):
+        """generate() and ftqc_model() + interaction_circuit() agree gate for gate."""
+        workload = generate(name, seed=seed, num_qubits=num_blocks, depth=depth)
+        model = ftqc_model(name, seed=seed, num_qubits=num_blocks, depth=depth)
+        assert workload.circuit.gates == interaction_circuit(model).gates
+        assert workload.circuit.num_qubits == num_blocks
+        assert workload.circuit.num_2q_gates == model.num_transversal_cnots
+        assert workload.descriptor.build().gates == workload.circuit.gates
+
+    @given(
+        name=st.sampled_from(GENERATOR_NAMES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_blocks=st.integers(min_value=2, max_value=24),
+        depth=st.integers(min_value=1, max_value=4),
+        extra=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_depth_prefix_property(self, name, seed, num_blocks, depth, extra):
+        """For a fixed seed the depth-d circuit is a prefix of the deeper one."""
+        shallow = generate(name, seed=seed, num_qubits=num_blocks, depth=depth).circuit
+        deep = generate(
+            name, seed=seed, num_qubits=num_blocks, depth=depth + extra
+        ).circuit
+        assert deep.gates[: len(shallow.gates)] == shallow.gates
+
+
+class TestLoweringRoundTrip:
+    """code832/hIQP lowering round trips: workloads.py vs the legacy paths."""
+
+    @given(num_blocks=st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=4, deadline=None)
+    def test_canonical_hiqp_interaction_lowering_round_trips(self, num_blocks):
+        model = hiqp_circuit(num_blocks)
+        lowered = interaction_circuit(model)
+        legacy = hiqp_block_interaction_circuit(num_blocks)
+        assert lowered.gates == legacy.gates
+        assert lowered.num_qubits == legacy.num_qubits
+
+    @given(num_blocks=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=3, deadline=None)
+    def test_canonical_hiqp_physical_expansion_round_trips(self, num_blocks):
+        model = hiqp_circuit(num_blocks)
+        expanded = expand_physical_circuit(model)
+        legacy = hiqp_physical_circuit(num_blocks)
+        assert expanded.gates == legacy.gates
+        assert expanded.num_qubits == legacy.num_qubits == 8 * num_blocks
+
+    @given(
+        name=st.sampled_from(GENERATOR_NAMES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_blocks=st.integers(min_value=2, max_value=12),
+        depth=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_physical_expansion_counts(self, name, seed, num_blocks, depth):
+        """Every block CNOT costs 8 physical CNOTs, every in-block gate 8 tdg."""
+        model = ftqc_model(name, seed=seed, num_qubits=num_blocks, depth=depth)
+        physical = expand_physical_circuit(model)
+        ops = physical.count_ops()
+        assert ops["h"] == 8 * num_blocks
+        assert ops.get("cx", 0) == 8 * model.num_transversal_cnots
+        in_block_gates = sum(len(layer) for layer in model.in_block_layers)
+        assert ops.get("tdg", 0) == 8 * in_block_gates
+
+
+class ExtraCNOT:
+    """ZAC wrapper with an injected lowering bug: one duplicated interaction.
+
+    The compiled program executes the logical circuit plus a duplicate of its
+    final 2Q gate -- exactly the class of logical->physical gate-count drift
+    the ftqc-correspondence invariant exists to catch.
+    """
+
+    name = "zac-extracnot"
+
+    def __init__(self, arch) -> None:
+        self._arch = arch
+
+    def compile(self, circuit):
+        doped = circuit.copy()
+        last_2q = next(
+            (gate for gate in reversed(circuit.gates) if len(gate.qubits) == 2), None
+        )
+        if last_2q is not None:
+            doped.cz(*last_2q.qubits)
+        return api.compile(doped, backend="zac", arch=self._arch, validate=False)
+
+
+@pytest.fixture
+def extracnot_backend():
+    api.register_backend(
+        "zac-extracnot", lambda arch, options: ExtraCNOT(arch), overwrite=True
+    )
+    try:
+        yield "zac-extracnot"
+    finally:
+        api.unregister_backend("zac-extracnot")
+
+
+class TestInjectedCorrespondenceViolation:
+    def test_fuzz_catches_minimizes_and_replays(self, extracnot_backend, tmp_path):
+        report = run_fuzz(
+            budget=4,
+            seed=0,
+            profile="ftqc",
+            backends=[extracnot_backend],
+            out_dir=str(tmp_path),
+            check_determinism=False,
+            check_legacy=False,
+            check_depth_monotonic=False,
+        )
+        assert not report.ok
+        correspondence = [
+            f for f in report.failures if f.check == "invariant:ftqc-correspondence"
+        ]
+        assert correspondence
+        failure = correspondence[0]
+        assert failure.backend == extracnot_backend
+        assert "2Q gate count" in failure.message
+        # Bisection shrank the logical reproducer to (near) a single CNOT.
+        assert failure.minimized_num_gates < failure.original_num_gates
+        assert failure.minimized_num_gates <= 2
+        # The bundle replays against the still-broken backend.
+        assert failure.bundle_path is not None
+        bundle = json.loads(open(failure.bundle_path).read())
+        assert bundle["kind"] == "fuzz-repro"
+        assert bundle["profile"] == "ftqc"
+        assert bundle["descriptor"]["generator"] in GENERATOR_NAMES
+        reproduced, message = replay_bundle(failure.bundle_path)
+        assert reproduced
+        assert "correspondence still violated" in message
+
+    def test_replay_reports_fixed_lowering_as_not_reproduced(
+        self, extracnot_backend, tmp_path
+    ):
+        report = run_fuzz(
+            budget=2,
+            seed=0,
+            profile="ftqc",
+            backends=[extracnot_backend],
+            out_dir=str(tmp_path),
+            check_determinism=False,
+            check_legacy=False,
+            check_depth_monotonic=False,
+        )
+        failure = next(
+            f for f in report.failures if f.check == "invariant:ftqc-correspondence"
+        )
+        # "Fix" the bug by pointing the bundle at the healthy backend.
+        bundle = json.loads(open(failure.bundle_path).read())
+        bundle["backend"] = "zac"
+        with open(failure.bundle_path, "w") as handle:
+            json.dump(bundle, handle)
+        reproduced, message = replay_bundle(failure.bundle_path)
+        assert not reproduced
+        assert "holds again" in message

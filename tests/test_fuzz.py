@@ -10,11 +10,15 @@ import repro
 import repro.api as api
 from repro.__main__ import main
 from repro.circuits.circuit import QuantumCircuit
+from repro.arch.presets import logical_block_architecture
 from repro.experiments.fuzz import (
+    PROFILES,
     FuzzError,
+    _resolve_profile,
     minimize_circuit,
     replay_bundle,
     run_fuzz,
+    sample_corpus_workloads,
     sample_workloads,
 )
 from repro.zair.instructions import QLoc
@@ -212,6 +216,135 @@ class TestInjectedFault:
             replay_bundle(str(path))
 
 
+class TestProfiles:
+    def test_cli_selectable_profiles_exist(self):
+        assert set(PROFILES) == {"default", "throughput", "incremental", "ftqc", "corpus"}
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(FuzzError, match="unknown fuzz profile"):
+            run_fuzz(budget=1, profile="nope")
+
+    def test_ftqc_profile_shape(self):
+        profile = _resolve_profile("ftqc")
+        assert profile.backends == ("zac", "nalac", "ideal")
+        assert profile.generators == ("ftqc_hiqp", "ftqc_transversal")
+        assert profile.ftqc
+        arch = profile.arch_factory()
+        assert arch.num_storage_traps >= 64
+
+    def test_corpus_profile_shape(self):
+        profile = _resolve_profile("corpus")
+        assert profile.corpus
+        assert not profile.check_depth_monotonic
+        assert profile.ladder_generators == ()
+
+    def test_default_sweep_excludes_ftqc_generators(self):
+        workloads = sample_workloads(30, seed=0)
+        assert all(
+            not w.descriptor.generator.startswith("ftqc_") for w in workloads
+        )
+
+
+class TestCorpusSampling:
+    def test_reproducible_for_fixed_seed(self):
+        first = sample_corpus_workloads(5, seed=3)
+        second = sample_corpus_workloads(5, seed=3)
+        assert [w.descriptor for w in first] == [w.descriptor for w in second]
+        assert [w.circuit.gates for w in first] == [w.circuit.gates for w in second]
+
+    def test_descriptor_records_the_source_file(self):
+        for workload in sample_corpus_workloads(5, seed=1):
+            assert workload.descriptor.generator == "corpus"
+            assert workload.descriptor.params["file"].endswith(".qasm")
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(FuzzError):
+            sample_corpus_workloads(0)
+
+
+class TestProfileCleanRuns:
+    def test_ftqc_profile_clean_run(self):
+        report = run_fuzz(budget=3, seed=0, profile="ftqc")
+        assert report.ok, [f.message for f in report.failures]
+        assert report.backends == ["zac", "nalac", "ideal"]
+        assert report.invariant_checks["ftqc-correspondence"] == 3 * 3
+        assert report.invariant_checks["ftqc-lowering-determinism"] == 3
+        assert report.invariant_checks["validation"] == 3 * 3
+        assert report.invariant_checks["ideal-dominates"] == 3
+
+    def test_corpus_profile_clean_run(self):
+        report = run_fuzz(
+            budget=4, seed=0, profile="corpus", backends=["zac", "ideal"]
+        )
+        assert report.ok, [f.message for f in report.failures]
+        assert report.num_circuits == 4
+        assert report.invariant_checks["validation"] == 4 * 2
+        # fixed files offer no depth-prefix guarantee: no ladder ran
+        assert "depth-monotonic" not in report.invariant_checks
+
+
+class BrokenFTQCBackend:
+    """NALAC wrapper re-introducing the double-occupancy bug at block level.
+
+    Same fault family as :class:`BrokenBackend`, but injected under the
+    ``ftqc`` profile: the second *code block* is initialised onto the first
+    block's slot of the logical architecture.
+    """
+
+    name = "broken-ftqc"
+
+    def __init__(self, arch) -> None:
+        self._inner = api.create_backend("nalac", arch=arch)
+
+    def compile(self, circuit):
+        result = self._inner.compile(circuit)
+        init = result.program.instructions[0]
+        if len(init.init_locs) >= 2:
+            first, second = init.init_locs[0], init.init_locs[1]
+            init.init_locs[1] = QLoc(second.qubit, first.slm_id, first.row, first.col)
+        return result
+
+
+@pytest.fixture
+def broken_ftqc_backend():
+    api.register_backend(
+        "broken-ftqc", lambda arch, options: BrokenFTQCBackend(arch), overwrite=True
+    )
+    try:
+        yield "broken-ftqc"
+    finally:
+        api.unregister_backend("broken-ftqc")
+
+
+class TestFTQCInjectedFault:
+    def test_block_level_fault_is_caught_minimized_and_replayable(
+        self, broken_ftqc_backend, tmp_path
+    ):
+        report = run_fuzz(
+            budget=2,
+            seed=1,
+            profile="ftqc",
+            backends=[broken_ftqc_backend],
+            out_dir=str(tmp_path),
+            check_determinism=False,
+            check_legacy=False,
+            check_depth_monotonic=False,
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.check == "validation:trap-occupancy"
+        assert failure.profile == "ftqc"
+        assert failure.minimized_num_gates < failure.original_num_gates
+        bundle = json.loads(open(failure.bundle_path).read())
+        assert bundle["profile"] == "ftqc"
+        assert bundle["descriptor"]["generator"].startswith("ftqc_")
+        reproduced, message = replay_bundle(failure.bundle_path)
+        assert reproduced
+        assert "trap-occupancy" in message
+
+
 class TestCLI:
     def test_fuzz_cli_clean_run(self, capsys):
         code = main(
@@ -244,6 +377,27 @@ class TestCLI:
         code = main(["fuzz", "--replay", str(bundle)])
         assert code == 1
         assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_fuzz_cli_ftqc_profile(self, capsys):
+        code = main(["fuzz", "--budget", "1", "--seed", "0", "--profile", "ftqc"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all checks passed" in out
+        assert "ftqc-correspondence" in out
+
+    def test_fuzz_cli_corpus_profile(self, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--budget", "2",
+                "--seed", "0",
+                "--profile", "corpus",
+                "--backend", "zac,ideal",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all checks passed" in out
 
     def test_fuzz_cli_rejects_unknown_backend(self):
         with pytest.raises(SystemExit, match="unknown backend"):

@@ -1,0 +1,221 @@
+"""Tests for the QASM corpus + `repro ingest` pipeline (ROADMAP item 5b).
+
+Covers the committed mini-corpus (circuits/corpus/*.qasm), per-file error
+isolation through every pipeline stage (parse -> round-trip -> compile ->
+validate), the `compile_many(return_exceptions=True)` resolution-isolation
+regression, and the CLI exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.__main__ import main
+from repro.circuits import qasm
+from repro.circuits.corpus import (
+    DEFAULT_CORPUS_DIR,
+    corpus_paths,
+    load_corpus,
+    sample_corpus_circuits,
+)
+from repro.experiments.ingest import STATUSES, IngestRecord, ingest_dir, ingest_paths
+from repro.zair.instructions import QLoc
+
+#: The deliberately malformed files committed alongside the corpus.
+MALFORMED = {"malformed_unknown_gate.qasm", "malformed_no_qreg.qasm"}
+
+
+class TestCorpusFiles:
+    def test_committed_corpus_shape(self):
+        paths = corpus_paths()
+        assert len(paths) >= 20
+        names = {p.name for p in paths}
+        assert MALFORMED <= names
+
+    def test_corpus_paths_accepts_single_file(self):
+        path = DEFAULT_CORPUS_DIR / "ghz_n10.qasm"
+        assert corpus_paths(path) == [path]
+
+    def test_corpus_paths_missing_root(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            corpus_paths(tmp_path / "nowhere")
+
+    def test_load_corpus_isolates_exactly_the_malformed_files(self):
+        loaded, errors = load_corpus()
+        assert len(loaded) == len(corpus_paths()) - len(MALFORMED)
+        assert {path.name for path, _ in errors} == MALFORMED
+        for _, message in errors:
+            assert message  # a diagnostic, not a bare failure
+
+    def test_loaded_circuits_are_named_and_non_trivial(self):
+        for path, circuit in load_corpus()[0]:
+            assert circuit.name == path.stem
+            assert circuit.num_qubits >= 2
+            assert len(circuit) >= 1
+
+    def test_sampling_is_seeded(self):
+        first = sample_corpus_circuits(6, seed=4)
+        second = sample_corpus_circuits(6, seed=4)
+        assert [p.name for p, _ in first] == [p.name for p, _ in second]
+        assert [c.gates for _, c in first] == [c.gates for _, c in second]
+        other = sample_corpus_circuits(6, seed=5)
+        assert [p.name for p, _ in first] != [p.name for p, _ in other]
+
+
+class TestCompileManyResolutionIsolation:
+    """Regression: per-slot isolation must start at circuit *resolution*.
+
+    A QASM parse failure inside a loader callable (or an unknown benchmark
+    name) must fill that slot with the exception instead of aborting the
+    whole batch.
+    """
+
+    def test_malformed_file_fills_its_slot_only(self):
+        bad_path = DEFAULT_CORPUS_DIR / "malformed_unknown_gate.qasm"
+        good = qasm.load(str(DEFAULT_CORPUS_DIR / "ghz_n10.qasm"), name="ghz_n10")
+        outcomes = api.compile_many(
+            [good, lambda: qasm.load(str(bad_path)), good],
+            backend="sc",
+            return_exceptions=True,
+        )
+        assert outcomes[0].duration_us > 0
+        assert isinstance(outcomes[1], qasm.QASMError)
+        assert outcomes[2].duration_us > 0
+
+    def test_unknown_benchmark_name_fills_its_slot_only(self):
+        outcomes = api.compile_many(
+            ["bv_n14", "no_such_benchmark"], backend="sc", return_exceptions=True
+        )
+        assert outcomes[0].duration_us > 0
+        assert isinstance(outcomes[1], Exception)
+
+    def test_default_mode_still_raises_on_resolution_failure(self):
+        with pytest.raises(Exception):
+            api.compile_many(["no_such_benchmark"], backend="sc")
+
+
+class TestIngestPipeline:
+    def test_committed_corpus_end_to_end(self):
+        report = ingest_dir(DEFAULT_CORPUS_DIR, backend="zac", profile="throughput")
+        assert report.num_files == len(corpus_paths())
+        assert report.num_errors == len(MALFORMED)
+        by_status = report.by_status()
+        assert by_status["parse-error"] == len(MALFORMED)
+        assert by_status["ok"] == report.num_files - len(MALFORMED)
+        rejected = {r.path.split("/")[-1] for r in report.records if not r.ok}
+        assert rejected == MALFORMED
+        for record in report.records:
+            assert record.status in STATUSES
+            if record.ok:
+                # accepted files compiled AND validated (validate=True in-batch)
+                assert record.duration_us > 0
+                assert 0 < record.fidelity <= 1
+                assert record.num_qubits >= 2
+            else:
+                assert record.status == "parse-error"
+                assert record.error
+
+    def test_report_is_machine_readable(self):
+        report = ingest_paths(
+            [DEFAULT_CORPUS_DIR / "ghz_n10.qasm"], backend="sc", profile="default"
+        )
+        data = json.loads(report.to_json())
+        assert data["kind"] == "ingest-report"
+        assert data["schema"] == 1
+        assert data["backend"] == "sc"
+        assert data["num_files"] == 1 and data["num_errors"] == 0
+        assert data["records"][0]["status"] == "ok"
+        assert report.ok
+        assert any("1 files" in line or "ingested" in line for line in report.summary_lines())
+
+    def test_mixed_directory_isolation(self, tmp_path):
+        (tmp_path / "good.qasm").write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n'
+        )
+        (tmp_path / "bad.qasm").write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\nfrobnicate q[0];\n'
+        )
+        report = ingest_dir(tmp_path, backend="enola")
+        statuses = {r.path.split("/")[-1]: r.status for r in report.records}
+        assert statuses == {"good.qasm": "ok", "bad.qasm": "parse-error"}
+
+    def test_validation_error_carries_the_check_tag(self, tmp_path):
+        class Broken:
+            def __init__(self) -> None:
+                self._inner = api.create_backend("enola")
+
+            def compile(self, circuit):
+                result = self._inner.compile(circuit)
+                init = result.program.instructions[0]
+                first, second = init.init_locs[0], init.init_locs[1]
+                init.init_locs[1] = QLoc(second.qubit, first.slm_id, first.row, first.col)
+                return result
+
+        api.register_backend(
+            "broken-ingest", lambda arch, options: Broken(), overwrite=True
+        )
+        try:
+            report = ingest_paths(
+                [DEFAULT_CORPUS_DIR / "ghz_n10.qasm"],
+                backend="broken-ingest",
+                profile="default",
+            )
+        finally:
+            api.unregister_backend("broken-ingest")
+        record = report.records[0]
+        assert record.status == "validation-error"
+        assert record.check == "trap-occupancy"
+        assert not report.ok
+
+
+class TestIngestRecord:
+    def test_to_dict_omits_unset_fields(self):
+        record = IngestRecord(path="x.qasm", status="parse-error", error="boom")
+        data = record.to_dict()
+        assert data == {"path": "x.qasm", "status": "parse-error", "error": "boom"}
+        assert not record.ok
+
+
+class TestIngestCLI:
+    def test_default_corpus_exit_codes(self, capsys):
+        # The committed corpus deliberately contains malformed files: the
+        # default --max-errors 0 gate must fail, raising it must pass.
+        assert main(["ingest", "--backend", "sc", "--max-errors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 rejected" in out
+        assert main(["ingest", "--backend", "sc"]) == 1
+
+    def test_report_to_stdout_is_json(self, capsys):
+        code = main(
+            [
+                "ingest",
+                str(DEFAULT_CORPUS_DIR / "ghz_n10.qasm"),
+                "--backend", "sc",
+                "--report", "-",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "ingest-report"
+        assert data["num_ok"] == 1
+
+    def test_report_to_file(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "ingest",
+                str(DEFAULT_CORPUS_DIR / "bv_n8.qasm"),
+                str(DEFAULT_CORPUS_DIR / "malformed_no_qreg.qasm"),
+                "--backend", "sc",
+                "--max-errors", "1",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        data = json.loads(report_path.read_text())
+        assert data["num_files"] == 2
+        assert data["by_status"] == {"ok": 1, "parse-error": 1}

@@ -13,11 +13,15 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import io
+import json
 import multiprocessing
 import os
 import threading
 
 import pytest
+
+from repro.circuits import qasm
 
 from repro.api.parallel import (
     CompileService,
@@ -38,6 +42,13 @@ from repro.serve import (
     ServeDaemon,
     ServeScheduler,
     cache_key_digest,
+)
+from repro.serve.client import (
+    ClientError,
+    bundle_requests,
+    corpus_requests,
+    profile_request_options,
+    run_requests,
 )
 from repro.serve.daemon import build_options
 
@@ -700,6 +711,79 @@ def _client_compile():
             "options": {"config": "vanilla"},
         },
     }
+
+
+# ---------------------------------------------------------------------------
+# Replayed fuzz bundles and QASM corpora as daemon traffic
+# ---------------------------------------------------------------------------
+
+
+def _write_bundle(path, backend, circuit, profile="throughput"):
+    bundle = {
+        "kind": "fuzz-repro",
+        "schema": 1,
+        "check": "validation:trap-occupancy",
+        "profile": profile,
+        "backend": backend,
+        "message": "synthetic bundle for traffic replay",
+        "descriptor": {
+            "generator": "brickwork",
+            "seed": 0,
+            "params": {"num_qubits": circuit.num_qubits, "depth": 2},
+        },
+        "circuit_qasm": qasm.dumps(circuit),
+    }
+    path.write_text(json.dumps(bundle))
+
+
+class TestBundleTraffic:
+    def test_profile_options_round_trip_as_json(self):
+        options = profile_request_options("throughput", "zac")
+        assert options["config"]["sa_iterations"] == 100
+        json.dumps(options)  # must be wire-serializable
+        assert profile_request_options("default", "zac") is None
+
+    def test_bundle_requests_carry_circuit_and_profile_options(self, tmp_path):
+        _write_bundle(tmp_path / "a.json", "zac", _circuit(seed=1, n=4))
+        _write_bundle(tmp_path / "b.json", "nalac", _circuit(seed=2, n=5))
+        # Skipped: not a bundle, and a workload-level check with no backend.
+        (tmp_path / "c.json").write_text(json.dumps({"kind": "other"}))
+        _write_bundle(tmp_path / "d.json", "workload", _circuit(seed=3, n=4))
+        requests = bundle_requests(tmp_path)
+        assert [r["params"]["backend"] for r in requests] == ["zac", "nalac"]
+        for request in requests:
+            assert request["method"] == "compile"
+            assert "qreg" in request["params"]["circuit"]["qasm"]
+        assert requests[0]["params"]["options"]["config"]["sa_iterations"] == 100
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(ClientError, match="no fuzz repro bundles"):
+            bundle_requests(tmp_path)
+
+    def test_corpus_requests_skip_malformed_files(self):
+        requests = corpus_requests(backend="sc")
+        assert len(requests) >= 20
+        for request in requests:
+            assert request["params"]["backend"] == "sc"
+            assert "OPENQASM" in request["params"]["circuit"]["qasm"]
+
+    def test_two_replayed_bundles_drive_a_stdio_daemon(self, tmp_path):
+        """The satellite acceptance case: two recorded fuzz bundles become
+        live traffic against a spawned stdio daemon and both compile."""
+        _write_bundle(tmp_path / "fuzz_fail_000.json", "zac", _circuit(seed=4, n=4))
+        _write_bundle(tmp_path / "fuzz_fail_001.json", "nalac", _circuit(seed=5, n=5))
+        requests = bundle_requests(tmp_path)
+        assert len(requests) == 2
+        output = io.StringIO()
+        code = run_requests(requests, output=output)
+        assert code == 0
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert len(responses) == 3  # two compiles + the appended shutdown
+        compiles = [r for r in responses if "result" in r and "served" in r.get("result", {})]
+        assert len(compiles) == 2
+        assert all(r["ok"] for r in responses)
+        backends = {r["result"]["backend"] for r in compiles}
+        assert backends == {"zac", "nalac"}
 
 
 # ---------------------------------------------------------------------------
