@@ -15,10 +15,12 @@ History of the gated floor (same budget=8 / seed=0 sample):
 * PR 5 (warm pool + compile cache, validated-once results, shared staging
   cache, vectorized verify, throughput compile profile): ~50 compiles/s.
 
-PR 9 adds non-gating throughput entries for the two new sweep profiles
+PR 9 added non-gating throughput entries for the two new sweep profiles
 (``ftqc`` logical-block workloads on the logical architecture, ``corpus``
 seeded draws from the committed OpenQASM mini-corpus) so their trajectories
-are tracked from day one before floors are imposed.
+could be tracked before floors were imposed.  PR 10 promotes both to gated
+floors now that the recorded history (ftqc ~68 compiles/s, corpus ~204
+compiles/s) supports them.
 """
 
 from __future__ import annotations
@@ -41,13 +43,12 @@ from repro.experiments.fuzz import run_fuzz
 MIN_CIRCUITS_PER_S = 1.5
 MIN_COMPILES_PER_S = 30.0
 
-#: Profile sweeps tracked non-gating (recorded, no floor yet).  Observed on
-#: the reference container: ftqc ~50-70 compiles/s (zac/nalac/ideal on the
-#: 64-block logical architecture), corpus ~220 compiles/s (all backends on
-#: the committed mini-corpus).  Proposed floors once two PRs of history
-#: exist: ftqc >= 30 compiles/s, corpus >= 90 compiles/s (same ~2x headroom
-#: policy as the gated default-profile floor above).
-PROFILE_SWEEPS = ("ftqc", "corpus")
+#: Gated per-profile compiles/s floors.  Observed on the reference
+#: container: ftqc ~50-70 compiles/s (zac/nalac/ideal on the 64-block
+#: logical architecture), corpus ~200-220 compiles/s (all backends on the
+#: committed mini-corpus); the floors follow the same ~2x headroom policy
+#: as the gated default-profile floor above.
+PROFILE_SWEEPS = {"ftqc": 30.0, "corpus": 90.0}
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fuzz_throughput.json"
 
@@ -62,8 +63,8 @@ def test_bench_fuzz_throughput(request):
 
     assert report.ok, [f.message for f in report.failures]
 
-    # Non-gating profile sweeps: record ftqc/corpus throughput alongside the
-    # gated default-profile numbers (floors proposed in PROFILE_SWEEPS' note).
+    # Gated profile sweeps: ftqc/corpus throughput alongside the gated
+    # default-profile numbers, each with its own floor from PROFILE_SWEEPS.
     profiles = {}
     for profile in PROFILE_SWEEPS:
         service.clear_cache()
@@ -81,7 +82,8 @@ def test_bench_fuzz_throughput(request):
             "elapsed_s": round(profile_report.elapsed_s, 3),
             "circuits_per_s": round(profile_report.circuits_per_s, 3),
             "compiles_per_s": round(profile_report.compiles_per_s, 3),
-            "gating": False,
+            "min_required_compiles_per_s": PROFILE_SWEEPS[profile],
+            "gating": True,
         }
 
     payload = {
@@ -113,7 +115,8 @@ def test_bench_fuzz_throughput(request):
         print(
             f"[fuzz throughput] profile {profile}: {numbers['num_compiles']} "
             f"compiles in {numbers['elapsed_s']:.1f}s "
-            f"({numbers['compiles_per_s']:.1f} compiles/s, non-gating)"
+            f"({numbers['compiles_per_s']:.1f} compiles/s, "
+            f"floor {PROFILE_SWEEPS[profile]})"
         )
     assert report.circuits_per_s >= MIN_CIRCUITS_PER_S, (
         f"fuzz throughput {report.circuits_per_s:.2f} circuits/s below the "
@@ -123,3 +126,9 @@ def test_bench_fuzz_throughput(request):
         f"fuzz throughput {report.compiles_per_s:.1f} compiles/s below the "
         f"{MIN_COMPILES_PER_S} floor; see {RESULT_PATH}"
     )
+    for profile, floor in PROFILE_SWEEPS.items():
+        observed = profiles[profile]["compiles_per_s"]
+        assert observed >= floor, (
+            f"{profile} fuzz throughput {observed:.1f} compiles/s below the "
+            f"{floor} floor; see {RESULT_PATH}"
+        )

@@ -72,6 +72,10 @@ _ZAC_CONFIG_PRESETS = ("vanilla", "dyn_place", "dyn_place_reuse", "full")
 #: which is deliberately not imported here: the CLI parser must stay cheap).
 _FUZZ_PROFILES = ("throughput", "default", "incremental", "ftqc", "corpus")
 
+#: ``fuzz``-only profiles: ``chaos`` drives the serve daemon under fault
+#: injection and has no per-file compile-option table for ``ingest``.
+_FUZZ_ONLY_PROFILES = _FUZZ_PROFILES + ("chaos",)
+
 
 def _coerce_option(backend: str, key: str, value: str) -> object:
     """Turn a CLI ``key=value`` string into a typed backend option.
@@ -264,6 +268,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kwargs["max_cache_bytes"] = args.cache_bytes
     if args.cache_ttl is not None:
         kwargs["cache_ttl"] = args.cache_ttl
+    if args.max_queue is not None:
+        kwargs["max_queue"] = args.max_queue
+    if args.max_request_bytes is not None:
+        kwargs["max_request_bytes"] = args.max_request_bytes
     daemon = ServeDaemon(**kwargs)
     try:
         if args.http is not None:
@@ -273,6 +281,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_chaos_smoke(args: argparse.Namespace) -> int:
+    from .resilience.smoke import chaos_smoke
+
+    ok, lines = chaos_smoke(seed=args.seed)
+    for line in lines:
+        print(line)
+    return 0 if ok else 1
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -465,12 +482,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     fuzz_parser.add_argument(
         "--profile",
         default="throughput",
-        choices=_FUZZ_PROFILES,
+        choices=_FUZZ_ONLY_PROFILES,
         help="sweep profile: 'throughput' (lighter ZAC SA schedule, the "
         "default), 'default' (paper-quality settings), 'incremental' "
         "(throughput + prefix-reuse compilation for depth ladders), 'ftqc' "
         "(logical-scale FTQC block workloads on the logical architecture), "
-        "or 'corpus' (committed OpenQASM corpus files)",
+        "'corpus' (committed OpenQASM corpus files), or 'chaos' (seeded "
+        "fault-injection storms against the serve daemon; --budget counts "
+        "fault plans)",
     )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
 
@@ -556,7 +575,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=0,
         help="worker processes for sweep fan-out (0 = in-process serial)",
     )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        metavar="N",
+        default=None,
+        help="shed compile requests beyond N queued (structured 'overloaded' "
+        "error with retry_after_s; default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--max-request-bytes",
+        type=int,
+        metavar="BYTES",
+        default=None,
+        help="largest accepted request line / HTTP body (default 8 MiB); "
+        "oversized requests get a structured 'oversized' error",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    chaos_smoke_parser = sub.add_parser(
+        "chaos-smoke",
+        help="drive a live stdio daemon through a short seeded fault "
+        "schedule and verify it degrades, recovers, and stays bit-identical",
+    )
+    chaos_smoke_parser.add_argument(
+        "--seed", type=int, default=0, help="fault schedule / traffic seed"
+    )
+    chaos_smoke_parser.set_defaults(func=_cmd_chaos_smoke)
 
     client_parser = sub.add_parser(
         "client",

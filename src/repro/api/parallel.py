@@ -39,12 +39,15 @@ from __future__ import annotations
 
 import atexit
 import os
+import random
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Any, TypeVar
 
 from ..core.result import CompileResult
+from ..resilience.faults import RetryPolicy, WorkerCrashError, fault_point
 from ..zair.validation import validate_program
 from .registry import backend_spec, create_backend
 
@@ -59,6 +62,12 @@ ResultT = TypeVar("ResultT")
 #: requested: for a couple of items the (one-time) pool spin-up plus the
 #: per-item pickling costs more than the parallelism recovers.
 MIN_PARALLEL_ITEMS = 4
+
+#: Healing budget for pool breaks during batch compiles: after the fast
+#: chunked dispatch hits a dead worker, the batch gets this many per-future
+#: retry rounds on a rebuilt pool before the crashed slots become
+#: :class:`~repro.resilience.faults.WorkerCrashError` records.
+COMPILE_RETRY_POLICY = RetryPolicy(max_retries=2, base_delay_s=0.05, max_delay_s=0.5)
 
 
 def resolve_workers(parallel: int | bool) -> int:
@@ -95,8 +104,17 @@ class WorkerPool:
         fn: Callable[[ItemT], ResultT],
         items: Sequence[ItemT],
         workers: int,
+        *,
+        retry: RetryPolicy | None = None,
     ) -> list[ResultT]:
-        """Map ``fn`` over ``items`` on the warm pool (inline when small)."""
+        """Map ``fn`` over ``items`` on the warm pool (inline when small).
+
+        With ``retry`` set, a :class:`BrokenProcessPool` (a worker process
+        died mid-batch) does not abort the batch: the pool is rebuilt and the
+        items are retried per-future with backoff, up to the retry budget.
+        Slots still crashing after the budget come back as
+        :class:`WorkerCrashError` *records* in their positions.
+        """
         if workers <= 1 or len(items) < MIN_PARALLEL_ITEMS:
             return [fn(item) for item in items]
         workers = min(workers, len(items))
@@ -105,12 +123,65 @@ class WorkerPool:
         try:
             return list(executor.map(fn, items, chunksize=chunksize))
         except BrokenProcessPool:
-            # A worker died (e.g. an unpicklable task poisoned it).  The
-            # batch is lost, but drop the executor so the *next* batch gets
-            # a healthy pool instead of inheriting the broken one (the
-            # per-call executors of old could not be poisoned across calls).
+            # A worker died (e.g. an unpicklable task poisoned it).  Drop
+            # the executor so the *next* batch gets a healthy pool instead
+            # of inheriting the broken one (the per-call executors of old
+            # could not be poisoned across calls).
             self.shutdown()
-            raise
+            if retry is None:
+                raise
+        return self._map_retry(fn, items, workers, retry)
+
+    def _map_retry(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Sequence[ItemT],
+        workers: int,
+        retry: RetryPolicy,
+    ) -> list[ResultT]:
+        """Healing rounds after a pool break (bounded, backoff + jitter).
+
+        Chunked dispatch cannot tell which items survived the crash, so the
+        first round re-runs everything per-future on a fresh pool (compiles
+        are deterministic and idempotent, and the caches absorb most of the
+        repeat cost).  The final round runs each still-crashing item in an
+        isolated single-worker pool so a persistently crashing item can only
+        poison its own slot -- surviving slots always complete.
+        """
+        results: list = [None] * len(items)
+        pending = list(range(len(items)))
+        rng = random.Random(len(items))
+        for attempt in range(retry.max_retries):
+            time.sleep(retry.delay(attempt, rng))
+            if attempt == retry.max_retries - 1:
+                still: list[int] = []
+                for index in pending:
+                    with ProcessPoolExecutor(max_workers=1) as solo:
+                        try:
+                            results[index] = solo.submit(fn, items[index]).result()
+                        except BrokenProcessPool:
+                            still.append(index)
+                pending = still
+            else:
+                executor = self.executor(workers)
+                futures = [(index, executor.submit(fn, items[index])) for index in pending]
+                crashed: list[int] = []
+                for index, future in futures:
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        crashed.append(index)
+                pending = crashed
+                if crashed:
+                    self.shutdown()
+            if not pending:
+                return results
+        for index in pending:
+            results[index] = WorkerCrashError(
+                f"worker process died compiling batch item {index} "
+                f"(retry budget of {retry.max_retries} exhausted)"
+            )
+        return results
 
     def shutdown(self) -> None:
         if self._executor is not None:
@@ -267,6 +338,7 @@ def _compile_task(
     """
     compiler, circuit, validate, return_exceptions, keep_programs = task
     try:
+        fault_point("worker.compile", label=circuit.name)
         result = compiler.compile(circuit)
         if validate:
             _mark_validated(result)
@@ -536,6 +608,11 @@ class CompileService:
         for index, outcome in zip(compile_indices, outcomes):
             results[index] = outcome
             if isinstance(outcome, Exception):
+                if isinstance(outcome, WorkerCrashError) and not return_exceptions:
+                    # Crash records only stay records under
+                    # return_exceptions; otherwise the batch contract is
+                    # raise-on-failure.
+                    raise outcome
                 tag(index, "error")
                 continue
             tag(index, "compiled")
@@ -560,13 +637,19 @@ class CompileService:
                 _compile_task_with_prefix,
                 [(snapshots, task) for task in tasks],
                 workers,
+                retry=COMPILE_RETRY_POLICY,
             )
             outcomes: list[CompileResult | Exception] = []
-            for outcome, snapshot, delta in shipped:
+            for entry in shipped:
+                if isinstance(entry, Exception):
+                    # A WorkerCrashError record: no snapshot came back.
+                    outcomes.append(entry)
+                    continue
+                outcome, snapshot, delta = entry
                 outcomes.append(outcome)
                 import_prefix_snapshots(snapshot, merge=True, stats_delta=delta)
             return outcomes
-        return self.pool.map(_compile_task, tasks, workers)
+        return self.pool.map(_compile_task, tasks, workers, retry=COMPILE_RETRY_POLICY)
 
     def _disk_lookup(
         self, key: tuple, validate: bool, keep_programs: bool

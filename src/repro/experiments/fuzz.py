@@ -40,7 +40,13 @@ Sweeps are shaped by named :class:`FuzzProfile`\\ s (:data:`PROFILES`): the
 ``ftqc`` profile samples logical block workloads (tens to hundreds of
 logical qubits) compiled on the logical-block architecture, and the
 ``corpus`` profile draws real OpenQASM files from the committed mini-corpus
-(:mod:`repro.circuits.corpus`) instead of synthetic generators.
+(:mod:`repro.circuits.corpus`) instead of synthetic generators.  The
+``chaos`` profile is different in kind: it delegates to
+:mod:`repro.resilience.chaos`, driving seeded request storms through an
+in-process ``repro serve`` daemon under sampled fault-injection plans
+(``budget`` counts plans, and its invariants -- ``chaos-no-wedge``,
+``chaos-terminal``, ``chaos-bit-identical``, ``chaos-health`` -- are
+serving-level, not compile-level).
 
 Failures are shrunk by bisecting the gate list (:func:`minimize_circuit`)
 until no chunk can be removed without losing the failure, then dumped as
@@ -582,6 +588,12 @@ def run_fuzz(
     Returns:
         A :class:`FuzzReport`; ``report.ok`` is True when nothing failed.
     """
+    if profile == "chaos":
+        # Fault-injection storms against the serve daemon: a different
+        # harness entirely (budget counts fault plans, not workloads).
+        from ..resilience.chaos import run_chaos
+
+        return run_chaos(budget=budget, seed=seed, out_dir=out_dir, minimize=minimize)
     start = time.monotonic()
     sweep = _resolve_profile(profile)
     if backends:
@@ -979,6 +991,14 @@ def replay_bundle(path: str) -> tuple[bool, str]:
         raise FuzzError(f"{path} is not a fuzz repro bundle")
     backend = bundle["backend"]
     check = bundle["check"]
+    if check.startswith("chaos:"):
+        # Chaos bundles replay a fault plan, not a circuit.
+        from ..resilience.chaos import replay_chaos_bundle
+
+        try:
+            return replay_chaos_bundle(bundle)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FuzzError(f"bad chaos bundle {path}: {exc}") from None
     sweep = _resolve_profile(bundle.get("profile", "default"))
     profile_opts = sweep.options
     arch = sweep.arch_factory() if sweep.arch_factory is not None else None

@@ -1,0 +1,50 @@
+"""Deterministic fault injection and chaos testing for the compile service.
+
+The resilience plane has three layers:
+
+- :mod:`repro.resilience.faults` — the injection substrate: seeded, replayable
+  :class:`FaultPlan`s fired at named ``fault_point`` call sites threaded
+  through the worker pool, the serve scheduler/daemon, and the disk cache.
+- :mod:`repro.resilience.chaos` — the in-process chaos harness behind
+  ``repro fuzz --profile chaos``: drives seeded traffic through a live
+  :class:`~repro.serve.daemon.ServeDaemon` under a fault plan and checks
+  service-level invariants (terminal responses, no wedge, no corrupted or
+  non-bit-identical results), bisecting failures to minimal fault bundles.
+- :mod:`repro.resilience.smoke` — ``repro chaos-smoke``: a short seeded fault
+  schedule against a *spawned* stdio daemon (crash-restart, torn-write
+  quarantine, oversized/malformed input) used as a CI gate.
+"""
+
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    TransientError,
+    TransientFaultError,
+    WorkerCrashError,
+    clear_fault_plan,
+    fault_plan_active,
+    fault_point,
+    get_injector,
+    install_fault_plan,
+    is_transient,
+    sample_fault_plan,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "TransientError",
+    "TransientFaultError",
+    "WorkerCrashError",
+    "clear_fault_plan",
+    "fault_plan_active",
+    "fault_point",
+    "get_injector",
+    "install_fault_plan",
+    "is_transient",
+    "sample_fault_plan",
+]

@@ -1,0 +1,497 @@
+"""The ``chaos`` fuzz profile: seeded fault storms against an in-process daemon.
+
+Each iteration samples a replayable :class:`~repro.resilience.faults.FaultPlan`
+(:func:`sample_fault_plan`), stands up a fresh :class:`repro.serve.ServeDaemon`
+on a throwaway disk cache, and drives a seeded traffic mix through
+``daemon.handle()`` concurrently while the plan is active -- normal compiles,
+duplicates (coalescing), deadline'd requests, malformed requests, and
+stats/health probes.  Four invariants are checked per plan:
+
+``chaos-no-wedge``
+    The daemon answers every request and drains its scheduler within the
+    watchdog budget -- injected faults may slow it, never hang it.
+``chaos-terminal``
+    Every request gets exactly one terminal response: ``ok: true`` with a
+    result, or ``ok: false`` with a structured error message.
+``chaos-bit-identical``
+    Every successful compile response -- cached, coalesced, or degraded --
+    carries a summary bit-identical to a fault-free compile of the same
+    request (degraded responses are compared under the same deterministic
+    :func:`~repro.serve.daemon.degraded_zac_config` transform).  This is
+    also the corrupted-cache detector: a shard that survived a torn write
+    or a scribble and got served would diverge here.
+``chaos-health``
+    After the storm the daemon still answers ``health`` with ``status: ok``.
+
+Failing plans are shrunk by bisecting the fault list (:func:`minimize_plan`)
+and dumped as replayable fuzz bundles (``check: "chaos:<invariant>"``) that
+``python -m repro fuzz --replay`` re-runs via :func:`replay_chaos_bundle`.
+
+Everything is in-process and seeded: the traffic derives from ``plan.seed``
+and compiles are deterministic, so a bundle's fault plan reproduces the
+violation without the original run's wall clock.  (The live-daemon variant
+-- spawning ``repro serve`` under ``REPRO_FAULT_PLAN`` -- lives in
+:mod:`repro.resilience.smoke`.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..serve.daemon import ServeDaemon, build_circuit, build_options, degrade_built_options
+from .faults import FaultPlan, fault_plan_active, get_injector, sample_fault_plan
+
+#: Chaos traffic compiles with a light deterministic SA schedule: the
+#: invariants test serving behavior, not placement quality.
+CHAOS_COMPILE_OPTIONS: dict[str, Any] = {"config": {"sa_iterations": 40}}
+
+#: Daemon shape under test: a queue bound small enough that a storm can
+#: plausibly shed, and a degrade threshold low enough that deadline'd
+#: requests exercise the degraded paths.
+CHAOS_MAX_QUEUE = 16
+CHAOS_DEGRADE_DEPTH = 2
+
+#: Default number of requests per fault plan.
+DEFAULT_NUM_REQUESTS = 12
+
+#: Default wall-clock budget for one plan's storm (the no-wedge watchdog).
+DEFAULT_WATCHDOG_S = 30.0
+
+#: (generator, seed, num_qubits, depth) grid behind the traffic catalog:
+#: small circuits, so a storm is dominated by scheduling, not annealing.
+_CATALOG_GRID = (
+    ("brickwork", 11, 4, 2),
+    ("brickwork", 12, 5, 3),
+    ("brickwork", 13, 6, 2),
+    ("qaoa_erdos_renyi", 14, 4, 2),
+    ("qaoa_erdos_renyi", 15, 5, 2),
+    ("brickwork", 16, 4, 3),
+)
+
+_CATALOG: list[dict] | None = None
+
+#: The fault-free oracle: one shared service (its caches only ever hold
+#: fault-free compiles) plus a summary memo keyed by request identity.
+_REFERENCE_SERVICE = None
+_REFERENCE_MEMO: dict[tuple, dict] = {}
+
+
+def _catalog() -> list[dict]:
+    """Workload descriptors (as request-ready dicts) for chaos traffic."""
+    global _CATALOG
+    if _CATALOG is None:
+        from ..circuits.random import generate
+
+        _CATALOG = [
+            generate(name, seed=seed, num_qubits=n, depth=depth).descriptor.to_dict()
+            for name, seed, n, depth in _CATALOG_GRID
+        ]
+    return _CATALOG
+
+
+_MALFORMED = (
+    {"method": "compile", "params": {"circuit": {"bogus": 1}}},
+    {"method": "compile", "params": {"circuit": {"qasm": "this is not qasm"}}},
+    {"method": "compile", "params": {"circuit": {"benchmark": "no_such_benchmark"}}},
+    {"method": "frobnicate"},
+    {"method": "compile", "params": {"circuit": {"benchmark": "bv_n14"}, "priority": "high"}},
+)
+
+
+def chaos_requests(
+    seed: int, num_requests: int = DEFAULT_NUM_REQUESTS
+) -> tuple[list[dict], list[dict | None]]:
+    """A seeded request storm: ``(requests, metas)`` of equal length.
+
+    ``metas[i]`` is ``None`` for requests with nothing to bit-check
+    (malformed, stats, health) and otherwise records what a fault-free
+    reference compile of request ``i`` needs: the circuit descriptor,
+    backend, and raw JSON options.
+    """
+    rng = random.Random(seed)
+    catalog = _catalog()
+    kinds = ["compile"] * 5 + ["duplicate"] * 2 + ["deadline"] * 2
+    kinds += ["malformed", "stats", "health"]
+    requests: list[dict] = []
+    metas: list[dict | None] = []
+    last: tuple[dict, dict | None] | None = None
+    for index in range(num_requests):
+        kind = kinds[rng.randrange(len(kinds))] if index else "compile"
+        if kind == "duplicate" and last is not None:
+            params = json.loads(json.dumps(last[0]))  # deep copy
+            meta = last[1]
+        elif kind in ("compile", "deadline", "duplicate"):
+            descriptor = catalog[rng.randrange(len(catalog))]
+            params = {
+                "circuit": {"descriptor": descriptor},
+                "backend": "zac",
+                "options": dict(CHAOS_COMPILE_OPTIONS),
+                "priority": rng.randrange(3),
+            }
+            if kind == "deadline":
+                params["deadline_ms"] = rng.choice([1, 50, 200])
+            meta = {
+                "descriptor": descriptor,
+                "backend": "zac",
+                "options": CHAOS_COMPILE_OPTIONS,
+            }
+            last = (params, meta)
+        elif kind == "malformed":
+            bad = _MALFORMED[rng.randrange(len(_MALFORMED))]
+            requests.append({"id": index, **json.loads(json.dumps(bad))})
+            metas.append(None)
+            continue
+        else:  # stats / health probes
+            requests.append({"id": index, "method": kind})
+            metas.append(None)
+            continue
+        requests.append({"id": index, "method": "compile", "params": params})
+        metas.append(meta)
+    return requests, metas
+
+
+def stable_summary(summary: dict) -> dict:
+    """A summary with wall-clock timing fields removed.
+
+    The bit-identity invariant compares physics and accounting -- fidelity,
+    duration, gate/movement counts -- not how long the compiler happened to
+    take under an injected slowdown.
+    """
+    return {
+        name: value
+        for name, value in summary.items()
+        if name != "compile_time_s" and not name.startswith("time_")
+    }
+
+
+def _reference_summary(meta: dict, degraded: bool) -> dict:
+    """The fault-free summary for a chaos compile request (memoized).
+
+    Must never run under an active fault plan -- the reference service's
+    caches would be poisoned with faulted compiles.
+    """
+    global _REFERENCE_SERVICE
+    if get_injector() is not None:
+        raise RuntimeError("reference compiles must run fault-free")
+    key = (
+        json.dumps(meta["descriptor"], sort_keys=True),
+        meta["backend"],
+        json.dumps(meta["options"], sort_keys=True),
+        degraded,
+    )
+    if key in _REFERENCE_MEMO:
+        return _REFERENCE_MEMO[key]
+    from ..api.parallel import CompileService
+
+    if _REFERENCE_SERVICE is None:
+        _REFERENCE_SERVICE = CompileService()
+    circuit = build_circuit({"descriptor": meta["descriptor"]})
+    built = build_options(meta["backend"], meta["options"])
+    if degraded:
+        built, _ = degrade_built_options(meta["backend"], built)
+    result = _REFERENCE_SERVICE.compile_batch(
+        [circuit],
+        meta["backend"],
+        None,
+        parallel=0,
+        validate=True,
+        cache=True,
+        keep_programs=False,
+        **built,
+    )[0]
+    summary = stable_summary(result.summary())
+    _REFERENCE_MEMO[key] = summary
+    return summary
+
+
+@dataclass
+class ChaosOutcome:
+    """One fault plan's storm: what was checked and what broke."""
+
+    plan: FaultPlan
+    violations: list[tuple[str, str]] = field(default_factory=list)  #: (invariant, message)
+    checks: dict[str, int] = field(default_factory=dict)
+    responses: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violated(self, invariant: str) -> bool:
+        return any(name == invariant for name, _ in self.violations)
+
+
+async def _drive(
+    daemon: ServeDaemon, requests: list[dict], watchdog_s: float
+) -> tuple[list[Any], dict | None, bool]:
+    """Fire all requests concurrently; returns (responses, health, wedged)."""
+    daemon.scheduler.start()
+    wedged = False
+    responses: list[Any] = []
+    health: dict | None = None
+    tasks = [asyncio.create_task(daemon.handle(dict(request))) for request in requests]
+    try:
+        responses = list(
+            await asyncio.wait_for(asyncio.gather(*tasks), timeout=watchdog_s)
+        )
+        health = await asyncio.wait_for(
+            daemon.handle({"id": "health", "method": "health"}), timeout=10.0
+        )
+    except (asyncio.TimeoutError, TimeoutError):
+        wedged = True
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+    try:
+        await asyncio.wait_for(daemon.scheduler.stop(), timeout=10.0)
+    except (asyncio.TimeoutError, TimeoutError):
+        wedged = True
+    return responses, health, wedged
+
+
+def run_chaos_plan(
+    plan: FaultPlan,
+    *,
+    cache_dir: str,
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    watchdog_s: float = DEFAULT_WATCHDOG_S,
+) -> ChaosOutcome:
+    """Drive one seeded request storm under ``plan`` and check the invariants.
+
+    Stands up a fresh in-process daemon on ``cache_dir`` (pass a throwaway
+    directory: the plan's disk faults will chew on it), runs the storm with
+    the plan installed, then -- with faults cleared -- replays every
+    successful compile against the fault-free reference service.
+    """
+    requests, metas = chaos_requests(plan.seed, num_requests)
+    daemon = ServeDaemon(
+        cache_dir=cache_dir,
+        max_queue=CHAOS_MAX_QUEUE,
+        degrade_depth=CHAOS_DEGRADE_DEPTH,
+    )
+    with fault_plan_active(plan):
+        responses, health, wedged = asyncio.run(_drive(daemon, requests, watchdog_s))
+    outcome = ChaosOutcome(plan=plan, responses=responses)
+    outcome.checks["no-wedge"] = 1
+    if wedged:
+        outcome.violations.append(
+            (
+                "no-wedge",
+                f"daemon failed to serve {num_requests} requests within "
+                f"{watchdog_s:.0f}s under plan {plan.name or plan.seed}",
+            )
+        )
+        return outcome
+
+    outcome.checks["terminal"] = len(requests)
+    for request, response in zip(requests, responses):
+        if not isinstance(response, dict) or "ok" not in response:
+            outcome.violations.append(
+                (
+                    "terminal",
+                    f"request {request.get('id')} got a non-terminal response: "
+                    f"{response!r}",
+                )
+            )
+        elif not response["ok"] and not (response.get("error") or {}).get("message"):
+            outcome.violations.append(
+                (
+                    "terminal",
+                    f"request {request.get('id')} failed without a structured "
+                    f"error: {response!r}",
+                )
+            )
+
+    outcome.checks["health"] = 1
+    healthy = (
+        isinstance(health, dict)
+        and health.get("ok")
+        and health.get("result", {}).get("status") == "ok"
+    )
+    if not healthy:
+        outcome.violations.append(
+            ("health", f"health probe failed after the storm: {health!r}")
+        )
+
+    for request, meta, response in zip(requests, metas, responses):
+        if meta is None or not isinstance(response, dict) or not response.get("ok"):
+            continue
+        result = response.get("result") or {}
+        if "summary" not in result:
+            continue
+        outcome.checks["bit-identical"] = outcome.checks.get("bit-identical", 0) + 1
+        # "degraded" responses compiled under the deterministic degraded
+        # config; "degraded-cache" served a full-options cached compile.
+        degraded = result.get("served") == "degraded"
+        expected = _reference_summary(meta, degraded)
+        observed = stable_summary(result["summary"])
+        if observed != expected:
+            outcome.violations.append(
+                (
+                    "bit-identical",
+                    f"request {request.get('id')} (served="
+                    f"{result.get('served')!r}) diverges from its fault-free "
+                    f"compile: {observed} != {expected}",
+                )
+            )
+    return outcome
+
+
+def _plan_fails(
+    plan: FaultPlan, invariant: str, num_requests: int, watchdog_s: float
+) -> bool:
+    """Does ``plan`` still violate ``invariant`` on a fresh cache?"""
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-min-") as cache_dir:
+        outcome = run_chaos_plan(
+            plan, cache_dir=cache_dir, num_requests=num_requests, watchdog_s=watchdog_s
+        )
+    return outcome.violated(invariant)
+
+
+def minimize_plan(plan: FaultPlan, failing, max_attempts: int = 16) -> FaultPlan:
+    """Shrink ``plan`` by bisecting its fault list while ``failing`` holds.
+
+    The fault-list analogue of :func:`repro.experiments.fuzz.minimize_circuit`:
+    drop contiguous chunks (halving down to single faults), keeping any
+    reduction for which ``failing(smaller_plan)`` still returns True.  Each
+    predicate call replays a whole storm, so ``max_attempts`` stays small.
+    """
+    faults = list(plan.faults)
+
+    def rebuild(kept: list) -> FaultPlan:
+        return FaultPlan(seed=plan.seed, faults=tuple(kept), name=f"{plan.name}-min")
+
+    attempts = 0
+    chunk = max(1, len(faults) // 2)
+    while chunk >= 1 and attempts < max_attempts:
+        index = 0
+        while index < len(faults) and attempts < max_attempts:
+            trial = faults[:index] + faults[index + chunk:]
+            attempts += 1
+            if trial and failing(rebuild(trial)):
+                faults = trial
+            else:
+                index += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return rebuild(faults)
+
+
+def run_chaos(
+    budget: int = 5,
+    seed: int = 0,
+    *,
+    out_dir: str | None = None,
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    watchdog_s: float = DEFAULT_WATCHDOG_S,
+    minimize: bool = True,
+    plans: list[FaultPlan] | None = None,
+):
+    """Run ``budget`` sampled fault plans; returns a fuzz-style report.
+
+    The ``--profile chaos`` entry point: ``budget`` counts *fault plans*
+    (each one is a full request storm), and failures become replayable
+    bundles whose ``check`` is ``chaos:<invariant>`` and whose ``extra``
+    carries the (minimized) fault plan.
+    """
+    from ..experiments.fuzz import FuzzFailure, FuzzReport
+
+    start = time.monotonic()
+    rng = random.Random(seed)
+    if plans is None:
+        plans = [sample_fault_plan(rng.randrange(2**31)) for _ in range(budget)]
+    report = FuzzReport(budget=len(plans), seed=seed, backends=["daemon"])
+    for plan in plans:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as cache_dir:
+            outcome = run_chaos_plan(
+                plan,
+                cache_dir=cache_dir,
+                num_requests=num_requests,
+                watchdog_s=watchdog_s,
+            )
+        report.num_circuits += 1
+        report.num_compiles += num_requests
+        for name, count in outcome.checks.items():
+            tag = f"chaos-{name}"
+            report.invariant_checks[tag] = report.invariant_checks.get(tag, 0) + count
+        seen: set[str] = set()
+        for invariant, message in outcome.violations:
+            if invariant in seen:
+                continue  # one bundle per violated invariant per plan
+            seen.add(invariant)
+            final_plan = plan
+            if minimize and len(plan.faults) > 1:
+                final_plan = minimize_plan(
+                    plan,
+                    lambda p, inv=invariant: _plan_fails(
+                        p, inv, num_requests, watchdog_s
+                    ),
+                )
+            failure = FuzzFailure(
+                check=f"chaos:{invariant}",
+                backend="daemon",
+                message=message,
+                descriptor={
+                    "generator": "chaos",
+                    "seed": plan.seed,
+                    "params": {"num_requests": num_requests},
+                },
+                extra={
+                    "fault_plan": final_plan.to_dict(),
+                    "num_requests": num_requests,
+                    "watchdog_s": watchdog_s,
+                    "original_num_faults": len(plan.faults),
+                    "minimized_num_faults": len(final_plan.faults),
+                },
+                profile="chaos",
+            )
+            if out_dir is not None:
+                os.makedirs(out_dir, exist_ok=True)
+                path = os.path.join(
+                    out_dir, f"fuzz_fail_{len(report.failures):03d}.json"
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(failure.to_bundle(), handle, indent=2, sort_keys=True)
+                failure.bundle_path = path
+            report.failures.append(failure)
+    report.elapsed_s = time.monotonic() - start
+    return report
+
+
+def replay_chaos_bundle(bundle: dict) -> tuple[bool, str]:
+    """Re-run a ``chaos:*`` bundle's fault plan; ``(reproduced, message)``."""
+    extra = bundle.get("extra") or {}
+    if "fault_plan" not in extra:
+        raise ValueError("chaos bundle is missing extra.fault_plan")
+    plan = FaultPlan.from_dict(extra["fault_plan"])
+    invariant = bundle["check"].split(":", 1)[1]
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-replay-") as cache_dir:
+        outcome = run_chaos_plan(
+            plan,
+            cache_dir=cache_dir,
+            num_requests=int(extra.get("num_requests", DEFAULT_NUM_REQUESTS)),
+            watchdog_s=float(extra.get("watchdog_s", DEFAULT_WATCHDOG_S)),
+        )
+    for name, message in outcome.violations:
+        if name == invariant:
+            return True, f"chaos invariant {invariant} still violated: {message}"
+    return False, f"chaos invariant {invariant} holds under the recorded fault plan"
+
+
+__all__ = [
+    "CHAOS_COMPILE_OPTIONS",
+    "ChaosOutcome",
+    "chaos_requests",
+    "minimize_plan",
+    "replay_chaos_bundle",
+    "run_chaos",
+    "run_chaos_plan",
+]

@@ -1,0 +1,392 @@
+"""Seeded, deterministic fault injection plane.
+
+A :class:`FaultPlan` is the resilience analogue of a fuzz
+``WorkloadDescriptor``: a small, JSON-serialisable recipe that deterministically
+injects failures at *named injection points* in the compile service.  Hardened
+layers (worker pool, serve scheduler/daemon, disk cache) call
+:func:`fault_point` at those sites; with no plan installed the call is a
+near-free no-op, with a plan installed it fires the matching
+:class:`FaultSpec`s by hit index.
+
+Injection points currently wired in:
+
+================  ============================================================
+point             site
+================  ============================================================
+``worker.compile``  :func:`repro.api.parallel._compile_task` — every compile
+                    slot, both inline and in pool worker processes
+``disk.get``        :meth:`DiskCompileCache.get` — before the shard read
+``disk.put``        :meth:`DiskCompileCache.put` — before the shard write
+``disk.replace``    between the tmp-file write and ``os.replace`` (site
+                    handles ``disk-torn-write`` / ``disk-corrupt`` itself)
+``daemon.result``   :meth:`ServeDaemon._serve_compile` — after the response
+                    payload is built (deliberately unhardened; exists so the
+                    chaos harness can prove its bit-identity invariant bites)
+================  ============================================================
+
+Fault kinds — the *hardened menu* (what :func:`sample_fault_plan` draws from)
+must only contain kinds the service is expected to survive:
+
+- ``slow-compile`` / ``worker-hang``: sleep ``param`` seconds at the point.
+- ``compile-transient``: raise :class:`TransientFaultError` (retryable).
+- ``worker-crash``: ``os._exit(13)`` in a pool worker process (inline
+  fallback degrades to a transient raise so single-process runs stay sane).
+- ``worker-crash-once``: like ``worker-crash`` but gated on a sentinel file
+  (``param`` is the path) so the first retry deterministically succeeds.
+- ``disk-read-error`` / ``disk-write-error``: raise :class:`OSError`.
+- ``disk-torn-write``: the cache skips ``os.replace``, leaving a ``.tmp``
+  remnant — simulates a crash mid-write.
+- ``disk-corrupt``: the cache scribbles bytes into the shard after the
+  replace — must be caught by the shard checksum on the next read.
+- ``result-tamper``: NOT in the menu; regression-test-only (see above).
+
+Plans install process-globally (:func:`install_fault_plan` /
+:func:`fault_plan_active`) and bootstrap from the ``REPRO_FAULT_PLAN``
+environment variable (a path to a plan JSON) so spawned daemons and
+forked/spawned pool workers pick them up without plumbing.  Pool worker
+processes see the plan that was active when they were forked (or the env
+var at first use): install the plan *before* the pool's first parallel use,
+or force a re-fork with ``get_worker_pool().shutdown()``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+PLAN_SCHEMA = 1
+
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+
+#: Kinds the service must survive — the only kinds random chaos plans draw on.
+HARDENED_KINDS = (
+    "slow-compile",
+    "compile-transient",
+    "worker-crash-once",
+    "disk-read-error",
+    "disk-write-error",
+    "disk-torn-write",
+    "disk-corrupt",
+)
+
+#: All kinds fault_point understands (superset of the hardened menu).
+KNOWN_KINDS = HARDENED_KINDS + (
+    "worker-hang",
+    "worker-crash",
+    "result-tamper",
+)
+
+#: Default injection point for each kind, used by sample_fault_plan.
+_POINT_FOR_KIND = {
+    "slow-compile": "worker.compile",
+    "worker-hang": "worker.compile",
+    "compile-transient": "worker.compile",
+    "worker-crash": "worker.compile",
+    "worker-crash-once": "worker.compile",
+    "disk-read-error": "disk.get",
+    "disk-write-error": "disk.put",
+    "disk-torn-write": "disk.replace",
+    "disk-corrupt": "disk.replace",
+    "result-tamper": "daemon.result",
+}
+
+
+class TransientError(RuntimeError):
+    """Base class for failures worth retrying (worker died, injected blip)."""
+
+
+class TransientFaultError(TransientError):
+    """Injected transient failure from a fault plan."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died and the retry budget was exhausted.
+
+    Terminal, not transient: by the time this is constructed the pool has
+    already been rebuilt and the slot retried ``max_retries`` times.
+    """
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` represents a failure that a bounded retry may fix."""
+    if isinstance(exc, TransientError):
+        return True
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return False
+    return isinstance(exc, BrokenProcessPool)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter."""
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff delay before retry number ``attempt`` (0-based)."""
+        base = min(self.max_delay_s, self.base_delay_s * (2.0**attempt))
+        if rng is None or self.jitter <= 0.0:
+            return base
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: fire ``kind`` at ``point`` on hit indices [after, after+count).
+
+    Hit indices count calls to :func:`fault_point` for that point within the
+    current process (each pool worker counts independently — deterministic
+    cross-process coordination uses sentinel-file kinds instead).  ``match``
+    optionally restricts firing to hits whose label contains the substring;
+    matching is applied after hit counting so indices stay stable as traffic
+    around the matching calls changes.
+    """
+
+    kind: str
+    point: str
+    after: int = 0
+    count: int = 1
+    param: float | str | None = None
+    match: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.after < 0 or self.count < 1:
+            raise ValueError("FaultSpec needs after >= 0 and count >= 1")
+
+    def fires_at(self, hit_index: int) -> bool:
+        return self.after <= hit_index < self.after + self.count
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind, "point": self.point, "after": self.after, "count": self.count}
+        if self.param is not None:
+            data["param"] = self.param
+        if self.match is not None:
+            data["match"] = self.match
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            point=data["point"],
+            after=int(data.get("after", 0)),
+            count=int(data.get("count", 1)),
+            param=data.get("param"),
+            match=data.get("match"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable schedule of faults, identified by seed + spec list."""
+
+    seed: int
+    faults: tuple[FaultSpec, ...] = ()
+    name: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PLAN_SCHEMA,
+            "seed": self.seed,
+            "name": self.name,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        schema = data.get("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ValueError(f"unsupported fault plan schema {schema!r}")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            faults=tuple(FaultSpec.from_dict(item) for item in data.get("faults", ())),
+            name=str(data.get("name", "")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text())
+
+
+def sample_fault_plan(seed: int, max_faults: int = 4, sentinel_dir: str | Path | None = None) -> FaultPlan:
+    """Deterministically sample a plan from the hardened fault menu.
+
+    ``sentinel_dir`` is required for plans that may include
+    ``worker-crash-once`` faults (the sentinel file lives there); without it
+    crash faults are excluded so the plan stays self-contained.
+    """
+    rng = random.Random(seed)
+    menu = list(HARDENED_KINDS)
+    if sentinel_dir is None:
+        menu.remove("worker-crash-once")
+    specs = []
+    num_faults = 1 + rng.randrange(max_faults)
+    for index in range(num_faults):
+        kind = menu[rng.randrange(len(menu))]
+        point = _POINT_FOR_KIND[kind]
+        after = rng.randrange(4)
+        count = 1 + rng.randrange(2)
+        param: float | str | None = None
+        if kind in ("slow-compile", "worker-hang"):
+            param = round(0.02 + 0.1 * rng.random(), 3)
+        elif kind == "worker-crash-once":
+            param = str(Path(sentinel_dir) / f"crash_{seed}_{index}.sentinel")
+        specs.append(FaultSpec(kind=kind, point=point, after=after, count=count, param=param))
+    return FaultPlan(seed=seed, faults=tuple(specs), name=f"chaos-{seed}")
+
+
+@dataclass
+class FaultInjector:
+    """Tracks per-point hit counts for an installed plan and decides firing."""
+
+    plan: FaultPlan
+    _hits: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    fired: list = field(default_factory=list)
+
+    def fire(self, point: str, label: str = "") -> FaultSpec | None:
+        with self._lock:
+            hit = self._hits.get(point, 0)
+            self._hits[point] = hit + 1
+            for spec in self.plan.faults:
+                if spec.point != point:
+                    continue
+                if not spec.fires_at(hit):
+                    continue
+                if spec.match is not None and spec.match not in label:
+                    continue
+                self.fired.append((point, spec.kind, label))
+                return spec
+        return None
+
+    def hits(self, point: str) -> int:
+        with self._lock:
+            return self._hits.get(point, 0)
+
+
+_INJECTOR: FaultInjector | None = None
+_ENV_CHECKED = False
+_STATE_LOCK = threading.Lock()
+
+
+def install_fault_plan(plan: FaultPlan) -> FaultInjector:
+    """Install ``plan`` process-globally; returns its injector."""
+    global _INJECTOR, _ENV_CHECKED
+    with _STATE_LOCK:
+        _INJECTOR = FaultInjector(plan)
+        _ENV_CHECKED = True
+        return _INJECTOR
+
+
+def clear_fault_plan() -> None:
+    global _INJECTOR, _ENV_CHECKED
+    with _STATE_LOCK:
+        _INJECTOR = None
+        # Leave _ENV_CHECKED set: an explicit clear must also silence any
+        # REPRO_FAULT_PLAN env plan for the rest of the process.
+        _ENV_CHECKED = True
+
+
+def get_injector() -> FaultInjector | None:
+    """The active injector, bootstrapping from REPRO_FAULT_PLAN on first use."""
+    global _INJECTOR, _ENV_CHECKED
+    if _INJECTOR is not None:
+        return _INJECTOR
+    if _ENV_CHECKED:
+        return None
+    with _STATE_LOCK:
+        if _INJECTOR is not None or _ENV_CHECKED:
+            return _INJECTOR
+        _ENV_CHECKED = True
+        path = os.environ.get(ENV_FAULT_PLAN)
+        if not path:
+            return None
+        try:
+            _INJECTOR = FaultInjector(FaultPlan.load(path))
+        except (OSError, ValueError, KeyError):
+            return None
+        return _INJECTOR
+
+
+@contextmanager
+def fault_plan_active(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Install ``plan`` for the duration of the block, then clear it."""
+    injector = install_fault_plan(plan)
+    try:
+        yield injector
+    finally:
+        clear_fault_plan()
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def fault_point(point: str, label: str = "") -> FaultSpec | None:
+    """Named injection point.  No-op unless a plan is installed.
+
+    Generic kinds (sleeps, transient raises, IO errors, crashes) are applied
+    here; site-specific kinds (``disk-torn-write``, ``disk-corrupt``,
+    ``result-tamper``) are returned to the caller, which implements the
+    corruption at the exact spot the fault models.
+    """
+    injector = get_injector()
+    if injector is None:
+        return None
+    spec = injector.fire(point, label)
+    if spec is None:
+        return None
+    kind = spec.kind
+    if kind in ("slow-compile", "worker-hang"):
+        time.sleep(float(spec.param or 0.1))
+        return spec
+    if kind == "compile-transient":
+        raise TransientFaultError(f"injected transient fault at {point}")
+    if kind in ("disk-read-error", "disk-write-error"):
+        raise OSError(f"injected {kind} at {point}")
+    if kind == "worker-crash":
+        if _in_worker_process():
+            os._exit(13)
+        raise TransientFaultError(f"injected worker crash (inline fallback) at {point}")
+    if kind == "worker-crash-once":
+        sentinel = Path(str(spec.param))
+        try:
+            # O_EXCL makes the crash-exactly-once decision atomic across
+            # concurrently-failing worker processes.
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return spec  # already crashed once; retries succeed
+        except OSError:
+            return spec  # sentinel dir unavailable: refuse to crash forever
+        os.close(fd)
+        if _in_worker_process():
+            os._exit(13)
+        raise TransientFaultError(f"injected one-shot worker crash (inline fallback) at {point}")
+    return spec

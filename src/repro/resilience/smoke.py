@@ -1,0 +1,240 @@
+"""``repro chaos-smoke``: a short seeded fault schedule against a *live* daemon.
+
+Where :mod:`repro.resilience.chaos` storms an in-process daemon, this module
+spawns a real ``repro serve --stdio`` child under ``REPRO_FAULT_PLAN`` (the
+env bootstrap path the fault plane exists for) and walks it through the
+failure modes CI cares about, in order:
+
+1. health answers while the plan is active;
+2. a compile succeeds despite a torn disk-cache write and a disk read error;
+3. a duplicate request is served from cache / coalescing;
+4. a junk stdio line and an oversized line each get a structured error
+   without wedging the transport (the daemon runs with a small
+   ``--max-request-bytes`` so the oversized case is cheap);
+5. a ``deadline_ms`` request on an expensive compile fails fast with
+   ``kind: "deadline"``;
+6. the daemon is hard-killed mid-compile (the power cut);
+7. a restarted daemon on the same cache directory quarantines the torn-write
+   remnant, reports healthy, and re-serves the first compile bit-identically
+   to both the faulted run and an in-process fault-free reference.
+
+The whole walk runs under a watchdog that kills the child if it wedges.
+``make chaos-smoke`` gates ``make test`` on this.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+from ..serve.client import ClientError, DaemonClient
+from .chaos import CHAOS_COMPILE_OPTIONS, _catalog, _reference_summary, stable_summary
+from .faults import FaultPlan, FaultSpec
+
+#: Small request cap so the oversized-line probe costs ~100 KiB, not 8 MiB.
+SMOKE_MAX_REQUEST_BYTES = 65536
+
+#: Wall-clock budget for the whole walk before the watchdog pulls the plug.
+SMOKE_WATCHDOG_S = 120.0
+
+
+def smoke_fault_plan(seed: int, path: str | Path) -> FaultPlan:
+    """The smoke schedule: one fault per hardened subsystem, saved to ``path``.
+
+    * ``disk-read-error`` on the first cache read (a miss either way);
+    * ``disk-torn-write`` on the first shard write -- the remnant is what the
+      restarted daemon must quarantine;
+    * ``slow-compile`` on the second compile slot, under the deadline'd
+      request.
+    """
+    plan = FaultPlan(
+        seed=seed,
+        faults=(
+            FaultSpec(kind="disk-read-error", point="disk.get", after=0, count=1),
+            FaultSpec(kind="disk-torn-write", point="disk.replace", after=0, count=1),
+            FaultSpec(
+                kind="slow-compile", point="worker.compile", after=1, count=1, param=0.05
+            ),
+        ),
+        name=f"chaos-smoke-{seed}",
+    )
+    plan.save(path)
+    return plan
+
+
+def chaos_smoke(seed: int = 0) -> tuple[bool, list[str]]:
+    """Run the live-daemon fault schedule; returns ``(ok, report_lines)``."""
+    lines: list[str] = []
+    problems: list[str] = []
+
+    def step(name: str, ok: bool, detail: str = "") -> None:
+        mark = "ok" if ok else "FAIL"
+        lines.append(f"  {name:26s}: {mark}{' -- ' + detail if detail else ''}")
+        if not ok:
+            problems.append(name)
+
+    catalog = _catalog()
+    compile_meta = {
+        "descriptor": catalog[0],
+        "backend": "zac",
+        "options": CHAOS_COMPILE_OPTIONS,
+    }
+    compile_params = {
+        "circuit": {"descriptor": catalog[0]},
+        "backend": "zac",
+        "options": dict(CHAOS_COMPILE_OPTIONS),
+    }
+    expensive_params = {
+        "circuit": {"descriptor": catalog[2]},
+        "backend": "zac",
+        "options": {"config": {"sa_iterations": 4000}},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        cache_dir = str(tmp_path / "cache")
+        plan = smoke_fault_plan(seed, tmp_path / "fault_plan.json")
+        lines.append(
+            f"chaos-smoke seed={seed}: plan {plan.name} "
+            f"({', '.join(spec.kind for spec in plan.faults)})"
+        )
+
+        def spawn(with_plan: bool) -> DaemonClient:
+            env = {"REPRO_FAULT_PLAN": str(tmp_path / "fault_plan.json")} if with_plan else {}
+            return DaemonClient.spawn(
+                cache_dir=cache_dir,
+                extra_args=["--max-request-bytes", str(SMOKE_MAX_REQUEST_BYTES)],
+                env=env,
+            )
+
+        client = spawn(with_plan=True)
+        watchdog = threading.Timer(SMOKE_WATCHDOG_S, client.kill)
+        watchdog.start()
+        faulted_summary = None
+        try:
+            response = client.request("health")
+            step(
+                "health under faults",
+                bool(response.get("ok"))
+                and response["result"].get("status") == "ok",
+                f"status={response.get('result', {}).get('status')!r}",
+            )
+
+            # Torn disk write + disk read error both fire under this compile.
+            response = client.request("compile", dict(compile_params))
+            ok = bool(response.get("ok"))
+            if ok:
+                faulted_summary = stable_summary(response["result"]["summary"])
+            step(
+                "compile despite disk faults",
+                ok,
+                f"served={response.get('result', {}).get('served')!r}",
+            )
+
+            response = client.request("compile", dict(compile_params))
+            served = response.get("result", {}).get("served")
+            step(
+                "duplicate served warm",
+                bool(response.get("ok")) and served in ("memory", "disk", "coalesced"),
+                f"served={served!r}",
+            )
+
+            # A junk line must produce a structured error, not a wedge.
+            client.process.stdin.write("this is not json\n")
+            client.process.stdin.flush()
+            response = client.recv()
+            step(
+                "junk line gets bad-json error",
+                not response.get("ok") and "message" in (response.get("error") or {}),
+            )
+
+            # An oversized line: a structured "oversized" error, after which
+            # the daemon still answers (the discarded line's tail may arrive
+            # as junk lines; wait(id) absorbs their error responses).
+            client.process.stdin.write(
+                '{"id": "big", "method": "compile", "padding": "'
+                + "x" * (2 * SMOKE_MAX_REQUEST_BYTES)
+                + '"}\n'
+            )
+            client.process.stdin.flush()
+            response = client.recv()
+            step(
+                "oversized line shed",
+                not response.get("ok")
+                and (response.get("error") or {}).get("kind") == "oversized",
+                f"kind={(response.get('error') or {}).get('kind')!r}",
+            )
+            probe = client.send("stats")
+            response = client.wait(probe)
+            step("transport alive after oversize", bool(response.get("ok")))
+
+            # Deadline pressure: an expensive compile with a 1 ms deadline
+            # (plus the injected slowdown) must fail fast and structured.
+            response = client.request(
+                "compile", {**expensive_params, "deadline_ms": 1}
+            )
+            kind = (response.get("error") or {}).get("kind")
+            step(
+                "deadline enforced",
+                not response.get("ok") and kind == "deadline",
+                f"kind={kind!r}",
+            )
+
+            # Power cut mid-compile.
+            client.send("compile", dict(expensive_params))
+            client.kill()
+            step("daemon killed mid-flight", client.process.poll() is not None)
+        except (ClientError, OSError, KeyError) as exc:
+            step("faulted daemon session", False, f"{type(exc).__name__}: {exc}")
+            client.kill()
+        finally:
+            watchdog.cancel()
+
+        # Restart fault-free on the same cache directory.
+        client = spawn(with_plan=False)
+        watchdog = threading.Timer(SMOKE_WATCHDOG_S, client.kill)
+        watchdog.start()
+        try:
+            response = client.request("health")
+            disk = response.get("result", {}).get("disk", {})
+            step(
+                "restart healthy",
+                bool(response.get("ok"))
+                and response["result"].get("status") == "ok",
+            )
+            step(
+                "torn write quarantined",
+                disk.get("quarantined", 0) >= 1,
+                f"quarantined={disk.get('quarantined')}",
+            )
+
+            response = client.request("compile", dict(compile_params))
+            ok = bool(response.get("ok"))
+            summary = stable_summary(response["result"]["summary"]) if ok else None
+            step(
+                "recompile after restart",
+                ok,
+                f"served={response.get('result', {}).get('served')!r}",
+            )
+            if faulted_summary is not None:
+                step(
+                    "bit-identical across faults",
+                    summary == faulted_summary,
+                )
+            reference = _reference_summary(compile_meta, degraded=False)
+            step("bit-identical to reference", summary == reference)
+            client.close()
+        except (ClientError, OSError, KeyError) as exc:
+            step("restarted daemon session", False, f"{type(exc).__name__}: {exc}")
+            client.kill()
+        finally:
+            watchdog.cancel()
+
+    lines.append(
+        "chaos-smoke: PASS" if not problems else f"chaos-smoke: FAIL ({', '.join(problems)})"
+    )
+    return not problems, lines
+
+
+__all__ = ["SMOKE_MAX_REQUEST_BYTES", "chaos_smoke", "smoke_fault_plan"]

@@ -4,29 +4,39 @@ The subsystem behind ``python -m repro serve`` (and its scripting client,
 ``python -m repro client``):
 
 * :mod:`repro.serve.daemon` -- the asyncio front door (stdio JSON lines or
-  localhost HTTP) accepting ``compile`` / ``validate`` / ``sweep`` /
-  ``stats`` / ``shutdown`` requests.
-* :mod:`repro.serve.scheduler` -- priority scheduling with batch affinity
-  and in-flight coalescing of identical requests.
+  keep-alive localhost HTTP) accepting ``compile`` / ``validate`` /
+  ``sweep`` / ``stats`` / ``health`` / ``shutdown`` requests, with
+  per-request deadlines, overload shedding, and graceful degradation.
+* :mod:`repro.serve.scheduler` -- priority scheduling with batch affinity,
+  in-flight coalescing of identical requests, deadline cancellation, and
+  bounded transient-failure retries.
 * :mod:`repro.serve.diskcache` -- the sharded, content-addressed,
   LRU-byte-budgeted disk cache that lets a restarted daemon answer
   previously-compiled requests without recompiling.
 * :mod:`repro.serve.client` -- a pipelining stdio client (spawns the daemon
-  as a child) plus a per-request HTTP client.
+  as a child) plus a keep-alive HTTP client that reconnects with backoff.
 """
 
 from .client import DaemonClient, HttpClient, run_requests
 from .daemon import PROTOCOL_VERSION, RequestError, ServeDaemon, build_circuit
 from .diskcache import DEFAULT_MAX_BYTES, DiskCompileCache, cache_key_digest
-from .scheduler import ServeScheduler
+from .scheduler import (
+    DeadlineExceeded,
+    OverloadedError,
+    SchedulerDraining,
+    ServeScheduler,
+)
 
 __all__ = [
     "DEFAULT_MAX_BYTES",
     "DaemonClient",
+    "DeadlineExceeded",
     "DiskCompileCache",
     "HttpClient",
+    "OverloadedError",
     "PROTOCOL_VERSION",
     "RequestError",
+    "SchedulerDraining",
     "ServeDaemon",
     "ServeScheduler",
     "build_circuit",

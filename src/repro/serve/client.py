@@ -22,6 +22,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Any
 
@@ -74,8 +75,10 @@ def bundle_requests(directory: str | Path) -> list[dict]:
         if not isinstance(bundle, dict) or bundle.get("kind") != "fuzz-repro":
             continue
         backend = bundle.get("backend")
-        if not backend or backend == "workload":
-            continue  # workload-level invariant; nothing for a daemon to compile
+        if not backend or backend in ("workload", "daemon"):
+            # Workload-level invariants and chaos fault bundles carry no
+            # circuit a daemon could compile.
+            continue
         if bundle.get("circuit_qasm"):
             spec: dict[str, Any] = {"qasm": bundle["circuit_qasm"], "name": path.stem}
         elif bundle.get("descriptor"):
@@ -144,11 +147,14 @@ class DaemonClient:
         workers: int | None = None,
         python: str | None = None,
         extra_args: list[str] | None = None,
+        env: dict[str, str] | None = None,
     ) -> "DaemonClient":
         """Start ``python -m repro serve --stdio`` as a child process.
 
         The child inherits the environment (``PYTHONPATH`` must make
-        ``repro`` importable, exactly like the worker pool's spawn caveat).
+        ``repro`` importable, exactly like the worker pool's spawn caveat);
+        ``env`` adds/overrides variables on top -- e.g. ``REPRO_FAULT_PLAN``
+        to run the daemon under an injected fault schedule.
         """
         argv = [python or sys.executable, "-u", "-m", "repro", "serve", "--stdio"]
         if cache_dir is not None:
@@ -166,6 +172,7 @@ class DaemonClient:
             stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL if os.environ.get("REPRO_CLIENT_QUIET") else None,
             text=True,
+            env={**os.environ, **env} if env else None,
         )
         return cls(process)
 
@@ -258,12 +265,57 @@ class DaemonClient:
 
 
 class HttpClient:
-    """Per-request client for a daemon running in ``--http`` mode."""
+    """Keep-alive client for a daemon running in ``--http`` mode.
 
-    def __init__(self, host: str, port: int) -> None:
+    One persistent connection carries every request (the daemon speaks
+    HTTP/1.1 keep-alive).  When the connection drops -- daemon restart,
+    idle-timeout reset, a fault-injected kill -- the client reconnects
+    with bounded exponential backoff and resends; requests are idempotent
+    (compiles are deterministic and cached), so a resend is safe.
+    ``connects`` counts connection establishments, which is how tests
+    distinguish reuse from churn.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_attempts: int = 4,
+        backoff_s: float = 0.05,
+        timeout: float = 300.0,
+    ) -> None:
         self.host = host
         self.port = port
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.timeout = timeout
+        self.connects = 0
         self._next_id = 0
+        self._connection = None
+
+    def _connect(self):
+        import http.client
+
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        connection.connect()
+        self.connects += 1
+        self._connection = connection
+        return connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:
+                pass
+            self._connection = None
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def request(self, method: str, params: dict | None = None) -> dict:
         import http.client
@@ -272,19 +324,27 @@ class HttpClient:
         payload: dict[str, Any] = {"id": self._next_id, "method": method}
         if params is not None:
             payload["params"] = params
-        connection = http.client.HTTPConnection(self.host, self.port, timeout=300)
-        try:
-            connection.request(
-                "POST",
-                "/",
-                body=json.dumps(payload),
-                headers={"Content-Type": "application/json"},
-            )
-            response = connection.getresponse()
-            body = response.read()
-        finally:
-            connection.close()
-        return json.loads(body)
+        body = json.dumps(payload)
+        headers = {"Content-Type": "application/json", "Connection": "keep-alive"}
+        last_error: Exception | None = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                time.sleep(min(1.0, self.backoff_s * (2 ** (attempt - 1))))
+            try:
+                connection = self._connection or self._connect()
+                connection.request("POST", "/", body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                if response.will_close:
+                    self.close()
+                return json.loads(raw)
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                last_error = exc
+                self.close()
+        raise ClientError(
+            f"http request to {self.host}:{self.port} failed after "
+            f"{self.max_attempts} attempts: {last_error}"
+        )
 
 
 def run_requests(
@@ -307,14 +367,14 @@ def run_requests(
     """
     output = output or sys.stdout
     if connect is not None:
-        http = HttpClient(*connect)
         all_ok = True
-        for request in requests:
-            response = http.request(
-                request.get("method", ""), request.get("params")
-            )
-            print(json.dumps(response, sort_keys=True), file=output, flush=True)
-            all_ok = all_ok and bool(response.get("ok"))
+        with HttpClient(*connect) as http:
+            for request in requests:
+                response = http.request(
+                    request.get("method", ""), request.get("params")
+                )
+                print(json.dumps(response, sort_keys=True), file=output, flush=True)
+                all_ok = all_ok and bool(response.get("ok"))
         return 0 if all_ok else 1
 
     if not any(request.get("method") == "shutdown" for request in requests):

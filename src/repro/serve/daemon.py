@@ -17,7 +17,7 @@ Request schema (see also the README "Serving" section)::
 ``{"qasm": text}`` (OpenQASM 2 source), or ``{"descriptor": {...}}`` (a
 :class:`repro.circuits.random.WorkloadDescriptor` dict -- the fuzz/replay
 form).  Methods: ``compile``, ``validate``, ``sweep`` (a list of circuits
-scheduled as one batch-affinity group), ``stats``, ``shutdown``.
+scheduled as one batch-affinity group), ``stats``, ``health``, ``shutdown``.
 
 Responses are ``{"id": ..., "ok": true, "result": {...}}`` or
 ``{"id": ..., "ok": false, "error": {"message": ...}}``.  Compile-shaped
@@ -27,6 +27,26 @@ identical in-flight request).  Identical concurrent requests are keyed by
 the compile-cache content digest, so N clients asking for the same circuit
 pay one compile; the disk cache (``--cache-dir``) persists results across
 restarts so a rebooted daemon serves warm hits immediately.
+
+Resilience semantics (see the README "Resilience & chaos testing" section):
+
+* ``params.deadline_ms`` puts a deadline on a compile-shaped request; when
+  it elapses the client gets ``{"error": {"kind": "deadline", ...}}`` and a
+  still-queued item is cancelled out of the queue.
+* With ``--max-queue`` set, requests beyond the bound are shed with
+  ``{"error": {"kind": "overloaded", "retry_after_s": ...}}``.
+* Under deadline pressure (deep queue + a deadline'd request) the daemon
+  *degrades gracefully*: it serves a slim cached result immediately
+  (``served: "degraded-cache"``) or falls back to a cheaper deterministic
+  ``ZACConfig`` (``served: "degraded"``); both carry ``degraded: true``.
+* Oversized stdio lines / HTTP bodies (``--max-request-bytes``) get a
+  structured ``kind: "oversized"`` error instead of wedging the transport.
+* ``shutdown`` drains: queued work finishes and in-flight responses are
+  written before the daemon exits; new work after the drain begins is
+  rejected with ``kind: "draining"``.  ``health`` reports
+  ``status: "ok" | "draining"`` plus scheduler/disk counters.
+* The HTTP transport is keep-alive: one connection serves many requests
+  (HTTP/1.1 semantics; ``Connection: close`` honored).
 """
 
 from __future__ import annotations
@@ -40,11 +60,24 @@ from typing import Any
 
 from ..api.parallel import CompileService
 from ..circuits.circuit import QuantumCircuit
+from ..resilience.faults import fault_point
 from .diskcache import DEFAULT_MAX_BYTES, DiskCompileCache, cache_key_digest
-from .scheduler import ServeScheduler
+from .scheduler import (
+    DeadlineExceeded,
+    OverloadedError,
+    SchedulerDraining,
+    ServeScheduler,
+)
 
 #: Protocol version reported by ``stats`` (bump on incompatible changes).
 PROTOCOL_VERSION = 1
+
+#: Largest accepted request: one stdio line or one HTTP body (8 MiB -- a
+#: QASM circuit of hundreds of thousands of gates fits comfortably).
+DEFAULT_MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+#: Queue depth at which a deadline'd request switches to degraded serving.
+DEFAULT_DEGRADE_DEPTH = 4
 
 
 class RequestError(ValueError):
@@ -82,6 +115,38 @@ def build_circuit(spec: Any) -> QuantumCircuit:
     raise RequestError(
         "params.circuit needs one of the keys 'benchmark', 'qasm', 'descriptor'"
     )
+
+
+def degraded_zac_config(config=None):
+    """The deterministic cheaper config used for degraded serving.
+
+    Caps the SA budget and strips the placement/incremental frills; shared
+    with the chaos harness so a degraded response can be reproduced
+    bit-identically by a fault-free compile under the same transform.
+    """
+    from ..core.config import ZACConfig
+
+    base = config if config is not None else ZACConfig()
+    return dataclasses.replace(
+        base,
+        sa_iterations=min(base.sa_iterations, 25),
+        use_sa_initial_placement=False,
+        incremental=False,
+        warm_start=False,
+    )
+
+
+def degrade_built_options(backend: str, built: dict) -> tuple[dict, bool]:
+    """Degraded variant of built options: ``(options, degraded)``.
+
+    Only the ``zac`` / ``ideal`` backends have a cost knob worth turning;
+    other backends serve undegraded.
+    """
+    if backend not in ("zac", "ideal"):
+        return built, False
+    degraded = dict(built)
+    degraded["config"] = degraded_zac_config(degraded.get("config"))
+    return degraded, True
 
 
 def build_options(backend: str, options: Any) -> dict[str, Any]:
@@ -133,6 +198,9 @@ class ServeDaemon:
         cache_ttl: float | None = None,
         workers: int = 0,
         service: CompileService | None = None,
+        max_queue: int | None = None,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        degrade_depth: int | None = DEFAULT_DEGRADE_DEPTH,
     ) -> None:
         # A dedicated service instance: daemon statistics must not be
         # entangled with whatever the embedding process compiled before.
@@ -146,9 +214,13 @@ class ServeDaemon:
         #: Worker processes for sweep fan-out (0 = all compiles inline in
         #: the scheduler thread; prefix snapshots ship when > 1).
         self.workers = workers
-        self.scheduler = ServeScheduler(workers=1)
+        self.scheduler = ServeScheduler(workers=1, max_queue=max_queue)
+        self.max_request_bytes = max_request_bytes
+        self.degrade_depth = degrade_depth
         self.started_at = time.time()
         self.requests = 0
+        self.degraded_served = 0
+        self.draining = False
         #: Per-backend hit/miss/coalesce counters (served outcome of every
         #: compile-shaped request), reported by `stats`.
         self.backend_counters: dict[str, dict[str, int]] = {}
@@ -181,6 +253,15 @@ class ServeDaemon:
         if not isinstance(priority, int):
             raise RequestError("params.priority must be an integer")
         return circuit, backend, options, priority
+
+    @staticmethod
+    def _parse_deadline(params: dict) -> float | None:
+        raw = params.get("deadline_ms")
+        if raw is None:
+            return None
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)) or raw <= 0:
+            raise RequestError("params.deadline_ms must be a positive number")
+        return float(raw) / 1000.0
 
     def _request_key(self, circuit: QuantumCircuit, backend: str, options: dict) -> str:
         from ..api.registry import UnknownBackendError
@@ -219,6 +300,36 @@ class ServeDaemon:
 
         return thunk
 
+    def _cached_slim_payload(
+        self, circuit: QuantumCircuit, backend: str, options: dict, validate: bool
+    ) -> dict | None:
+        """Peek both cache levels without compiling (the degraded fast path).
+
+        Keys on the resolved default architecture exactly like
+        ``compile_batch`` does, so the peek addresses the same cache cells.
+        """
+        from ..api.registry import UnknownBackendError, create_backend
+
+        try:
+            compiler = create_backend(backend, arch=None, **options)
+            key_arch = getattr(compiler, "architecture", None)
+            key = self.service.cache_key(circuit, backend, key_arch, options)
+        except (UnknownBackendError, TypeError, ValueError) as exc:
+            raise RequestError(str(exc)) from None
+        hit = self.service.cache.get(key, need_programs=False)
+        if hit is None and self.disk is not None:
+            hit = self.disk.get(key)
+        if hit is None or (validate and not hit.validated):
+            return None
+        return {
+            "circuit": hit.circuit_name,
+            "backend": backend,
+            "compiler": hit.compiler_name,
+            "architecture": hit.architecture_name,
+            "validated": hit.validated,
+            "summary": hit.summary(),
+        }
+
     async def _serve_compile(
         self,
         circuit: QuantumCircuit,
@@ -228,16 +339,48 @@ class ServeDaemon:
         priority: int,
         batch: int | None = None,
         validate: bool = True,
+        deadline_s: float | None = None,
     ) -> dict:
+        degraded = False
+        if (
+            deadline_s is not None
+            and self.degrade_depth is not None
+            and self.scheduler.queue_depth() >= self.degrade_depth
+        ):
+            # Deadline pressure: a cached slim result *now* beats a perfect
+            # result the client will never wait for.
+            cached = self._cached_slim_payload(circuit, backend, options, validate)
+            if cached is not None:
+                self.degraded_served += 1
+                self._count(backend, "memory")
+                return {**cached, "served": "degraded-cache", "degraded": True}
+            # No cached answer: fall back to a cheaper deterministic config.
+            options, degraded = degrade_built_options(backend, options)
         key = self._request_key(circuit, backend, options)
         thunk = self._compile_thunk(circuit, backend, options, validate)
         (payload, served), coalesced = await self.scheduler.submit(
-            key, thunk, priority=priority, batch=batch
+            key, thunk, priority=priority, batch=batch, deadline_s=deadline_s
         )
         if coalesced:
             served = "coalesced"
+        if degraded:
+            self.degraded_served += 1
+            payload = {**payload, "degraded": True}
+            if served == "compiled":
+                served = "degraded"
         self._count(backend, served)
-        return {**payload, "served": served}
+        payload = {**payload, "served": served}
+        tamper = fault_point("daemon.result", label=backend)
+        if tamper is not None and tamper.kind == "result-tamper":
+            # Deliberately unhardened: nothing downstream re-verifies a
+            # payload, so this injection MUST be caught by the chaos
+            # harness's bit-identity invariant (a regression test that the
+            # harness itself still bites).
+            payload["summary"] = {
+                name: (value + 1 if isinstance(value, (int, float)) and not isinstance(value, bool) else value)
+                for name, value in payload.get("summary", {}).items()
+            }
+        return payload
 
     # -- methods ---------------------------------------------------------------
 
@@ -246,8 +389,14 @@ class ServeDaemon:
         validate = params.get("validate", True)
         if not isinstance(validate, bool):
             raise RequestError("params.validate must be a boolean")
+        deadline_s = self._parse_deadline(params)
         return await self._serve_compile(
-            circuit, backend, options, priority=priority, validate=validate
+            circuit,
+            backend,
+            options,
+            priority=priority,
+            validate=validate,
+            deadline_s=deadline_s,
         )
 
     async def _method_validate(self, params: dict) -> dict:
@@ -275,6 +424,7 @@ class ServeDaemon:
         priority = params.get("priority", 0)
         if not isinstance(priority, int):
             raise RequestError("params.priority must be an integer")
+        deadline_s = self._parse_deadline(params)
         circuits = [build_circuit(spec) for spec in specs]
         if self.workers > 1:
             return await self._sweep_fanout(circuits, backend, options, priority)
@@ -283,7 +433,12 @@ class ServeDaemon:
         results = await asyncio.gather(
             *(
                 self._serve_compile(
-                    circuit, backend, options, priority=priority, batch=batch
+                    circuit,
+                    backend,
+                    options,
+                    priority=priority,
+                    batch=batch,
+                    deadline_s=deadline_s,
                 )
                 for circuit in circuits
             ),
@@ -292,7 +447,7 @@ class ServeDaemon:
         payloads: list[dict] = []
         for outcome in results:
             if isinstance(outcome, BaseException):
-                payloads.append({"error": str(outcome)})
+                payloads.append(_slot_error(outcome))
             else:
                 payloads.append(outcome)
         return {"results": payloads, "batch": batch}
@@ -374,7 +529,21 @@ class ServeDaemon:
             "cache": self.service.cache_stats(),
         }
 
+    async def _method_health(self, _params: dict) -> dict:
+        payload = {
+            "status": "draining" if self.draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": time.time() - self.started_at,
+            "requests": self.requests,
+            "degraded_served": self.degraded_served,
+            "scheduler": self.scheduler.stats(),
+        }
+        if self.disk is not None:
+            payload["disk"] = self.disk.stats()
+        return payload
+
     async def _method_shutdown(self, _params: dict) -> dict:
+        self.draining = True
         self._shutdown.set()
         return {"stopping": True}
 
@@ -390,6 +559,7 @@ class ServeDaemon:
             "validate": self._method_validate,
             "sweep": self._method_sweep,
             "stats": self._method_stats,
+            "health": self._method_health,
             "shutdown": self._method_shutdown,
         }.get(method)
         if handler is None:
@@ -401,6 +571,14 @@ class ServeDaemon:
             result = await handler(params)
         except RequestError as exc:
             return _error(request_id, str(exc))
+        except OverloadedError as exc:
+            return _error(
+                request_id, str(exc), kind="overloaded", retry_after_s=exc.retry_after_s
+            )
+        except DeadlineExceeded as exc:
+            return _error(request_id, str(exc), kind="deadline")
+        except SchedulerDraining as exc:
+            return _error(request_id, str(exc), kind="draining")
         except Exception as exc:  # noqa: BLE001 - a request must never kill the daemon
             return _error(request_id, f"{type(exc).__name__}: {exc}")
         return {"id": request_id, "ok": True, "result": result}
@@ -410,7 +588,10 @@ class ServeDaemon:
     async def serve_stdio(self) -> None:
         """Newline-delimited JSON over this process's stdin/stdout."""
         loop = asyncio.get_running_loop()
-        reader = asyncio.StreamReader()
+        # The reader limit is the oversized-request guard: without it a
+        # single huge line raises ValueError at 64 KiB and used to kill the
+        # transport loop.
+        reader = asyncio.StreamReader(limit=self.max_request_bytes)
         await loop.connect_read_pipe(
             lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
         )
@@ -438,28 +619,77 @@ class ServeDaemon:
     async def _serve_http_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Keep-alive connection loop: serve requests until close/EOF.
+
+        HTTP/1.1 semantics: the connection persists across requests unless
+        the client sends ``Connection: close`` (HTTP/1.0 closes unless it
+        sends ``Connection: keep-alive``).  Oversized bodies get 413 and a
+        close -- the daemon will not read an unbounded body.
+        """
         try:
-            request_line = await reader.readline()
-            if not request_line.startswith(b"POST"):
-                _http_respond(writer, 405, {"ok": False, "error": {"message": "POST only"}})
-                return
-            content_length = 0
             while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
                     break
-                name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
-                    content_length = int(value.strip())
-            body = await reader.readexactly(content_length)
-            try:
-                request = json.loads(body)
-            except json.JSONDecodeError as exc:
-                _http_respond(writer, 400, _error(None, f"bad json: {exc}"))
-                return
-            response = await self.handle(request)
-            _http_respond(writer, 200, response)
-        except (asyncio.IncompleteReadError, ConnectionError):
+                parts = request_line.split()
+                version = parts[2].decode("latin-1", "replace") if len(parts) >= 3 else "HTTP/1.0"
+                content_length = 0
+                connection = ""
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    name = name.strip().lower()
+                    if name == "content-length":
+                        try:
+                            content_length = int(value.strip())
+                        except ValueError:
+                            content_length = -1
+                    elif name == "connection":
+                        connection = value.strip().lower()
+                keep_alive = (
+                    connection == "keep-alive"
+                    or (version == "HTTP/1.1" and connection != "close")
+                )
+                if not request_line.startswith(b"POST"):
+                    if content_length > 0:
+                        await self._drain_body(reader, content_length)
+                    _http_respond(
+                        writer,
+                        405,
+                        {"ok": False, "error": {"message": "POST only"}},
+                        keep_alive=keep_alive,
+                    )
+                elif content_length < 0 or content_length > self.max_request_bytes:
+                    # Refuse to read an unbounded/oversized body; the unread
+                    # bytes poison the connection, so close it.
+                    keep_alive = False
+                    _http_respond(
+                        writer,
+                        413,
+                        _error(
+                            None,
+                            f"request body exceeds {self.max_request_bytes} bytes",
+                            kind="oversized",
+                        ),
+                        keep_alive=False,
+                    )
+                else:
+                    body = await reader.readexactly(content_length)
+                    try:
+                        request = json.loads(body)
+                    except json.JSONDecodeError as exc:
+                        _http_respond(
+                            writer, 400, _error(None, f"bad json: {exc}"), keep_alive=keep_alive
+                        )
+                    else:
+                        response = await self.handle(request)
+                        _http_respond(writer, 200, response, keep_alive=keep_alive)
+                await writer.drain()
+                if not keep_alive or self._shutdown.is_set():
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError):
             pass
         finally:
             try:
@@ -467,6 +697,16 @@ class ServeDaemon:
                 writer.close()
             except (ConnectionError, RuntimeError):  # pragma: no cover
                 pass
+
+    @staticmethod
+    async def _drain_body(reader: asyncio.StreamReader, length: int) -> None:
+        """Consume and discard a request body in bounded chunks."""
+        remaining = length
+        while remaining > 0:
+            chunk = await reader.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
 
     async def _serve_stream(
         self,
@@ -497,7 +737,21 @@ class ServeDaemon:
                 stop.cancel()
                 break
             stop.cancel()
-            line = read.result()
+            try:
+                line = read.result()
+            except ValueError:
+                # Oversized line: the reader discarded its buffer; report a
+                # structured error and keep serving (the line's tail arrives
+                # as a separate junk line and gets a bad-json error).
+                response = _error(
+                    None,
+                    f"request line exceeds {self.max_request_bytes} bytes",
+                    kind="oversized",
+                )
+                async with write_lock:
+                    writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
+                    await writer.drain()
+                continue
             if not line:  # EOF: client went away
                 self._shutdown.set()
                 break
@@ -517,6 +771,9 @@ class ServeDaemon:
             pending.add(task)
             task.add_done_callback(pending.discard)
 
+        # Drain: every accepted request writes its response before the
+        # scheduler (and the daemon) goes away.
+        self.draining = True
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
         await self.scheduler.stop()
@@ -524,28 +781,58 @@ class ServeDaemon:
             writer.close()
 
 
-def _error(request_id: Any, message: str) -> dict:
-    return {"id": request_id, "ok": False, "error": {"message": message}}
+def _error(request_id: Any, message: str, *, kind: str | None = None, **fields: Any) -> dict:
+    error: dict[str, Any] = {"message": message}
+    if kind is not None:
+        error["kind"] = kind
+    error.update(fields)
+    return {"id": request_id, "ok": False, "error": error}
 
 
-def _http_respond(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
+def _slot_error(exc: BaseException) -> dict:
+    """Structured per-slot error entry for sweep results."""
+    entry: dict[str, Any] = {"error": str(exc)}
+    if isinstance(exc, OverloadedError):
+        entry["kind"] = "overloaded"
+        entry["retry_after_s"] = exc.retry_after_s
+    elif isinstance(exc, DeadlineExceeded):
+        entry["kind"] = "deadline"
+    elif isinstance(exc, SchedulerDraining):
+        entry["kind"] = "draining"
+    return entry
+
+
+def _http_respond(
+    writer: asyncio.StreamWriter, status: int, payload: dict, *, keep_alive: bool = False
+) -> None:
     body = json.dumps(payload, sort_keys=True).encode()
-    reason = {200: "OK", 400: "Bad Request", 405: "Method Not Allowed"}[status]
+    reason = {
+        200: "OK",
+        400: "Bad Request",
+        405: "Method Not Allowed",
+        413: "Payload Too Large",
+        503: "Service Unavailable",
+    }[status]
+    connection = "keep-alive" if keep_alive else "close"
     writer.write(
         (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
+            f"Connection: {connection}\r\n\r\n"
         ).encode()
         + body
     )
 
 
 __all__ = [
+    "DEFAULT_DEGRADE_DEPTH",
+    "DEFAULT_MAX_REQUEST_BYTES",
     "PROTOCOL_VERSION",
     "RequestError",
     "ServeDaemon",
     "build_circuit",
     "build_options",
+    "degrade_built_options",
+    "degraded_zac_config",
 ]

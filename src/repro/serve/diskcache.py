@@ -25,9 +25,15 @@ Semantics:
   least-recently-*used* shards (reads refresh recency) until under budget.
   A restarted daemon rebuilds the recency order from file mtimes, which
   ``get`` keeps bumped via ``os.utime``.
-* **Corruption-tolerant**: a truncated or hand-edited shard is skipped with
-  a :class:`RuntimeWarning` (and dropped from the index) instead of taking
-  the daemon down -- a cache must never be a source of crashes.
+* **Corruption-tolerant**: every shard header carries a SHA-256 of the
+  payload bytes, verified on read, so even *silent* corruption (valid JSON,
+  wrong values) is caught -- the cache never serves corrupted bytes.  A
+  truncated, hand-edited, or checksum-failing shard is skipped with a
+  :class:`RuntimeWarning` (and unlinked) instead of taking the daemon down.
+  Transient read errors (``OSError``) are served as misses *without*
+  unlinking -- the shard may be fine once the IO blip passes.  ``.tmp``
+  remnants of writes torn by a crash are quarantined (moved under
+  ``quarantine/``) by the next startup scan.
 * **TTL (optional)**: with ``ttl_seconds`` set, shards idle for longer than
   the TTL are treated as stale: the startup scan sweeps them, and ``get``
   evicts a stale shard lazily instead of serving it (counted separately
@@ -39,6 +45,7 @@ Semantics:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import time
 import warnings
@@ -50,15 +57,17 @@ from ..core.result import (
     iter_results,
     read_shard_header,
     result_shard_name,
-    save_results_stream,
 )
+from ..resilience.faults import fault_point
 
 #: Default byte budget (256 MiB) -- generous for metrics-only entries, which
 #: run a few KiB each.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 #: Envelope version written into every shard header (bump on layout changes).
-SHARD_SCHEMA = 1
+#: Schema 2 added the mandatory ``payload_sha256`` checksum; schema-1 shards
+#: are treated as corrupted (dropped with a warning) -- acceptable for a cache.
+SHARD_SCHEMA = 2
 
 
 def cache_key_digest(key: tuple) -> str:
@@ -91,6 +100,9 @@ class DiskCompileCache:
         self.misses = 0
         self.evictions = 0
         self.expired = 0
+        self.io_errors = 0
+        self.torn_writes = 0
+        self.quarantined = 0
         self.evictions_by_backend: dict[str, int] = {}
         #: digest -> size in bytes, in least-recently-used-first order.
         self._index: OrderedDict[str, int] = OrderedDict()
@@ -106,6 +118,7 @@ class DiskCompileCache:
         expired) instead of indexed, so a restarted daemon starts from a
         fresh cache even if it was down for longer than the TTL.
         """
+        self._quarantine_remnants()
         now = time.time()
         found: list[tuple[float, str, int]] = []
         for path in self.root.glob("??/*.jsonl"):
@@ -125,6 +138,31 @@ class DiskCompileCache:
         for _, digest, size in found:
             self._index[digest] = size
             self._total_bytes += size
+
+    def _quarantine_remnants(self) -> None:
+        """Move ``.tmp`` remnants of torn writes into ``quarantine/``.
+
+        A crash between the tmp-file write and ``os.replace`` leaves a
+        ``<digest>.tmp`` file next to the shards.  Instead of warning about
+        it forever (or worse, mistaking it for a shard), the next startup
+        sweep moves it aside, preserving the bytes for post-mortem while
+        keeping the cache directory clean.
+        """
+        remnants = sorted(self.root.glob("??/*.tmp"))
+        if not remnants:
+            return
+        quarantine = self.root / "quarantine"
+        try:
+            quarantine.mkdir(exist_ok=True)
+        except OSError:  # pragma: no cover - read-only cache dir
+            return
+        for remnant in remnants:
+            target = quarantine / f"{remnant.parent.name}_{remnant.name}"
+            try:
+                os.replace(remnant, target)
+            except OSError:  # pragma: no cover - raced removal
+                continue
+            self.quarantined += 1
 
     def _is_stale(self, path: Path) -> bool:
         if self.ttl_seconds is None:
@@ -159,13 +197,23 @@ class DiskCompileCache:
             self.misses += 1
             return None
         try:
-            header = read_shard_header(path) or {}
-            if header.get("schema") != SHARD_SCHEMA:
-                raise ValueError(f"unsupported shard schema {header.get('schema')!r}")
-            result = next(iter(iter_results(str(path))))
-        except (OSError, StopIteration, ValueError, KeyError, TypeError) as exc:
+            fault_point("disk.get", label=digest)
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self._drop(digest, unlink=False)
+            self.misses += 1
+            return None
+        except OSError:
+            # Transient IO error: serve a miss but keep the shard -- the
+            # bytes may be perfectly fine once the blip passes.
+            self.io_errors += 1
+            self.misses += 1
+            return None
+        try:
+            header, result = self._parse_shard(raw)
+        except (ValueError, KeyError, TypeError) as exc:
             # json.JSONDecodeError is a ValueError; truncated shards raise
-            # StopIteration (no result line) or KeyError (missing fields).
+            # ValueError (checksum/format) or KeyError (missing fields).
             warnings.warn(
                 f"skipping corrupted compile-cache shard {path}: {exc!r}",
                 RuntimeWarning,
@@ -179,6 +227,31 @@ class DiskCompileCache:
         self.hits += 1
         return result
 
+    @staticmethod
+    def _parse_shard(raw: bytes) -> tuple[dict, CompileResult]:
+        """Parse and checksum-verify a shard; raises ``ValueError`` on damage."""
+        text = raw.decode("utf-8")
+        newline = text.find("\n")
+        if newline < 0:
+            raise ValueError("shard has no header line")
+        wrapper = json.loads(text[:newline])
+        header = wrapper.get("shard_header") if isinstance(wrapper, dict) else None
+        if not isinstance(header, dict):
+            raise ValueError("shard header missing")
+        if header.get("schema") != SHARD_SCHEMA:
+            raise ValueError(f"unsupported shard schema {header.get('schema')!r}")
+        payload = text[newline + 1 :]
+        expected = header.get("payload_sha256")
+        if not isinstance(expected, str):
+            raise ValueError("shard header missing payload checksum")
+        actual = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        if actual != expected:
+            raise ValueError(f"shard payload checksum mismatch ({actual[:12]} != {expected[:12]})")
+        lines = [line for line in payload.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("shard payload empty")
+        return header, CompileResult.from_dict(json.loads(lines[0]))
+
     def put(self, key: tuple, result: CompileResult, backend: str = "") -> None:
         """Write (or refresh) the entry for ``key``, then enforce the budget.
 
@@ -188,20 +261,44 @@ class DiskCompileCache:
         digest = cache_key_digest(key)
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
+        fault_point("disk.put", label=digest)
+        # Same JSONL layout as save_results_stream, written by hand so the
+        # header can carry a checksum of the exact payload bytes.
+        payload = json.dumps(result.to_dict(), sort_keys=True) + "\n"
         header = {
             "schema": SHARD_SCHEMA,
             "key_digest": digest,
             "backend": backend or result.compiler_name,
             "validated": bool(result.validated),
+            "payload_sha256": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
         }
         tmp = path.with_suffix(".tmp")
-        save_results_stream(str(tmp), [result], header=header)
+        tmp.write_text(json.dumps({"shard_header": header}, sort_keys=True) + "\n" + payload)
+        spec = fault_point("disk.replace", label=digest)
+        if spec is not None and spec.kind == "disk-torn-write":
+            # Simulated crash between the tmp write and the rename: the
+            # remnant stays behind for the next startup sweep to quarantine.
+            self.torn_writes += 1
+            return
         os.replace(tmp, path)
+        if spec is not None and spec.kind == "disk-corrupt":
+            self._scribble(path)
         self._drop(digest, unlink=False)
         size = path.stat().st_size
         self._index[digest] = size
         self._total_bytes += size
         self._evict()
+
+    @staticmethod
+    def _scribble(path: Path) -> None:
+        """Injected silent corruption: flip payload bytes in a committed shard."""
+        try:
+            size = path.stat().st_size
+            with open(path, "r+b") as handle:
+                handle.seek(max(0, size - 16))
+                handle.write(b"\x00CORRUPTED\x00")
+        except OSError:  # pragma: no cover - injection best-effort
+            pass
 
     # -- LRU bookkeeping -------------------------------------------------------
 
@@ -261,6 +358,9 @@ class DiskCompileCache:
         self.misses = 0
         self.evictions = 0
         self.expired = 0
+        self.io_errors = 0
+        self.torn_writes = 0
+        self.quarantined = 0
         self.evictions_by_backend = {}
 
     def __len__(self) -> int:
@@ -280,6 +380,9 @@ class DiskCompileCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "expired": self.expired,
+            "io_errors": self.io_errors,
+            "torn_writes": self.torn_writes,
+            "quarantined": self.quarantined,
             "evictions_by_backend": dict(self.evictions_by_backend),
         }
 

@@ -1,4 +1,4 @@
-"""Priority scheduling with batch affinity and in-flight request coalescing.
+"""Priority scheduling with batch affinity, coalescing, and overload control.
 
 The daemon's admission layer: every compile-shaped request becomes a
 :class:`WorkItem` on a heap ordered by ``(-priority, batch, arrival)`` and is
@@ -18,15 +18,59 @@ which keeps the event loop free to accept and coalesce more requests).
   call share a batch sequence number, so sweep shards stay adjacent in the
   queue instead of interleaving with same-priority traffic that arrived
   between them (warm per-process prefix/staging caches stay warm).
+* **Deadlines**: a submit may carry ``deadline_s``; the awaiter gets
+  :class:`DeadlineExceeded` when it elapses.  An expired item that never
+  started is cancelled out of the queue (no wasted compute); one that is
+  already running finishes for the benefit of the cache even though the
+  original requester is gone.
+* **Overload shedding**: with ``max_queue`` set, a submit that would push the
+  count of *unstarted* items past the bound is rejected with
+  :class:`OverloadedError` carrying a ``retry_after_s`` estimate (queue
+  depth x smoothed execution time).  Coalescing requests are never shed --
+  they add no work.
+* **Bounded retry**: a thunk failing with a transient error (see
+  :func:`repro.resilience.faults.is_transient`) is re-queued with
+  exponential backoff + seeded jitter up to ``retry_policy.max_retries``
+  times before the failure is delivered to the awaiters.
 """
 
 from __future__ import annotations
 
 import asyncio
 import heapq
+import random
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
+
+from ..resilience.faults import RetryPolicy, is_transient
+
+#: Serve-side retry policy: short delays -- a request is waiting.
+SERVE_RETRY_POLICY = RetryPolicy(max_retries=2, base_delay_s=0.05, max_delay_s=0.5)
+
+
+class OverloadedError(RuntimeError):
+    """Queue bound reached; the caller should retry after ``retry_after_s``."""
+
+    def __init__(self, queued: int, retry_after_s: float) -> None:
+        super().__init__(f"scheduler overloaded ({queued} requests queued)")
+        self.queued = queued
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(RuntimeError):
+    """The per-request deadline elapsed before a result was available."""
+
+
+class SchedulerDraining(RuntimeError):
+    """Submission rejected because the scheduler is shutting down."""
+
+
+def _consume_exception(future: asyncio.Future) -> None:
+    """Mark a future's exception retrieved (all awaiters already gave up)."""
+    if future.cancelled():
+        return
+    future.exception()
 
 
 @dataclass
@@ -42,6 +86,12 @@ class WorkItem:
     started: bool = False
     #: Requests riding on this item beyond the first.
     coalesced: int = 0
+    #: Awaiters still waiting (drops when a deadline abandons the item).
+    waiters: int = 0
+    #: Earliest deadline among the awaiters (event-loop clock), if any.
+    deadline: float | None = None
+    retries_left: int = 0
+    attempt: int = 0
 
     def sort_key(self) -> tuple[int, int, int]:
         return (-self.priority, self.batch, self.arrival)
@@ -56,8 +106,19 @@ class _HeapEntry:
 class ServeScheduler:
     """Coalescing priority queue executing thunks on worker coroutines."""
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        max_queue: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
         self.workers = max(1, workers)
+        self.max_queue = max_queue
+        self.retry_policy = retry_policy or SERVE_RETRY_POLICY
+        self._rng = random.Random(0)  # jitter source; seeded for replayability
         self._heap: list[_HeapEntry] = []
         self._inflight: dict[str, WorkItem] = {}
         self._wakeup = asyncio.Event()
@@ -65,11 +126,16 @@ class ServeScheduler:
         self._stopping = False
         self._batch_seq = 0
         self._arrival_seq = 0
+        self._avg_exec_s = 0.0
         # Lifetime counters (surfaced by the daemon's `stats` method).
         self.submitted = 0
         self.executed = 0
         self.coalesced = 0
         self.max_queue_depth = 0
+        self.shed = 0
+        self.retried = 0
+        self.deadline_timeouts = 0
+        self.deadline_expired = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -79,12 +145,16 @@ class ServeScheduler:
             self._tasks.append(asyncio.get_running_loop().create_task(self._worker()))
 
     async def stop(self) -> None:
-        """Finish the queued work, then stop the workers."""
+        """Finish the queued work, then stop the workers (drain semantics)."""
         self._stopping = True
         self._wakeup.set()
         for task in self._tasks:
             await task
         self._tasks.clear()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping
 
     # -- submission -----------------------------------------------------------
 
@@ -93,6 +163,14 @@ class ServeScheduler:
         self._batch_seq += 1
         return self._batch_seq
 
+    def queue_depth(self) -> int:
+        """Number of admitted items that have not started executing."""
+        return sum(1 for item in self._inflight.values() if not item.started)
+
+    def _retry_after(self, queued: int) -> float:
+        """Back-pressure hint: how long until the queue likely has room."""
+        return round((queued + 1) * max(self._avg_exec_s, 0.05), 3)
+
     async def submit(
         self,
         key: str,
@@ -100,6 +178,7 @@ class ServeScheduler:
         *,
         priority: int = 0,
         batch: int | None = None,
+        deadline_s: float | None = None,
     ) -> tuple[Any, bool]:
         """Schedule ``thunk`` under ``key`` and await its result.
 
@@ -107,7 +186,13 @@ class ServeScheduler:
         request attached to an identical in-flight item instead of enqueuing
         new work.  Exceptions raised by the thunk propagate to *every*
         coalesced awaiter.
+
+        Raises :class:`OverloadedError` when the queue bound would be
+        exceeded, :class:`DeadlineExceeded` when ``deadline_s`` elapses
+        first, and :class:`SchedulerDraining` after :meth:`stop` began.
         """
+        if self._stopping:
+            raise SchedulerDraining("scheduler is draining; not accepting new work")
         self.submitted += 1
         existing = self._inflight.get(key)
         if existing is not None:
@@ -119,7 +204,13 @@ class ServeScheduler:
                 existing.priority = priority
                 heapq.heappush(self._heap, _HeapEntry(existing.sort_key(), existing))
                 self._wakeup.set()
-            return await asyncio.shield(existing.future), True
+            return await self._await_item(existing, deadline_s), True
+
+        if self.max_queue is not None:
+            queued = self.queue_depth()
+            if queued >= self.max_queue:
+                self.shed += 1
+                raise OverloadedError(queued, self._retry_after(queued))
 
         if batch is None:
             batch = self.next_batch()
@@ -131,12 +222,46 @@ class ServeScheduler:
             priority=priority,
             batch=batch,
             arrival=self._arrival_seq,
+            retries_left=self.retry_policy.max_retries,
         )
         self._inflight[key] = item
         heapq.heappush(self._heap, _HeapEntry(item.sort_key(), item))
         self.max_queue_depth = max(self.max_queue_depth, len(self._heap))
         self._wakeup.set()
-        return await asyncio.shield(item.future), False
+        return await self._await_item(item, deadline_s), False
+
+    async def _await_item(self, item: WorkItem, deadline_s: float | None) -> Any:
+        """Await ``item`` with an optional per-awaiter deadline."""
+        if deadline_s is None:
+            item.waiters += 1
+            try:
+                return await asyncio.shield(item.future)
+            finally:
+                item.waiters -= 1
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + deadline_s
+        # The worker uses the earliest awaiter deadline to skip items that
+        # expire while still queued.
+        item.deadline = deadline if item.deadline is None else min(item.deadline, deadline)
+        item.waiters += 1
+        try:
+            return await asyncio.wait_for(asyncio.shield(item.future), deadline_s)
+        except (TimeoutError, asyncio.TimeoutError):
+            self.deadline_timeouts += 1
+            if not item.started and item.waiters == 1:
+                # Last awaiter gone and the item never started: cancel it out
+                # of the queue so no compute is wasted on an abandoned request.
+                item.started = True  # poisons the heap entry
+                if self._inflight.get(item.key) is item:
+                    del self._inflight[item.key]
+                if not item.future.done():
+                    item.future.set_exception(
+                        DeadlineExceeded(f"deadline of {deadline_s:.3f}s exceeded while queued")
+                    )
+            item.future.add_done_callback(_consume_exception)
+            raise DeadlineExceeded(f"deadline of {deadline_s:.3f}s exceeded") from None
+        finally:
+            item.waiters -= 1
 
     async def submit_batch(
         self,
@@ -167,6 +292,7 @@ class ServeScheduler:
         return None
 
     async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
         while True:
             item = self._pop_ready()
             if item is None:
@@ -175,19 +301,48 @@ class ServeScheduler:
                 self._wakeup.clear()
                 await self._wakeup.wait()
                 continue
+            if item.deadline is not None and loop.time() >= item.deadline:
+                # Expired while queued: terminal deadline error, never run.
+                item.started = True
+                self.deadline_expired += 1
+                if self._inflight.get(item.key) is item:
+                    del self._inflight[item.key]
+                if not item.future.done():
+                    item.future.set_exception(
+                        DeadlineExceeded("deadline exceeded before execution started")
+                    )
+                    item.future.add_done_callback(_consume_exception)
+                continue
             item.started = True
             self.executed += 1
+            start = loop.time()
             try:
                 result = await asyncio.to_thread(item.thunk)
             except Exception as exc:  # noqa: BLE001 - delivered to awaiters
-                if not item.future.cancelled():
+                if item.retries_left > 0 and is_transient(exc) and not self._stopping:
+                    # Bounded retry with backoff + jitter.  The worker sleeps
+                    # (not a side task) so drain-on-stop can never orphan a
+                    # re-queued item; serve delays are capped well under 1s.
+                    item.retries_left -= 1
+                    item.attempt += 1
+                    self.retried += 1
+                    await asyncio.sleep(self.retry_policy.delay(item.attempt - 1, self._rng))
+                    item.started = False
+                    heapq.heappush(self._heap, _HeapEntry(item.sort_key(), item))
+                    self._wakeup.set()
+                    continue
+                if not item.future.done():
                     item.future.set_exception(exc)
+                    item.future.add_done_callback(_consume_exception)
             else:
-                if not item.future.cancelled():
+                elapsed = loop.time() - start
+                self._avg_exec_s = (
+                    elapsed if self._avg_exec_s == 0.0 else 0.8 * self._avg_exec_s + 0.2 * elapsed
+                )
+                if not item.future.done():
                     item.future.set_result(result)
-            finally:
-                if self._inflight.get(item.key) is item:
-                    del self._inflight[item.key]
+            if self._inflight.get(item.key) is item:
+                del self._inflight[item.key]
 
     # -- introspection --------------------------------------------------------
 
@@ -198,8 +353,22 @@ class ServeScheduler:
             "executed": self.executed,
             "coalesced": self.coalesced,
             "queued": len(self._inflight),
+            "queue_depth": self.queue_depth(),
+            "max_queue": self.max_queue,
             "max_queue_depth": self.max_queue_depth,
+            "shed": self.shed,
+            "retried": self.retried,
+            "deadline_timeouts": self.deadline_timeouts,
+            "deadline_expired": self.deadline_expired,
+            "avg_exec_s": round(self._avg_exec_s, 6),
         }
 
 
-__all__ = ["ServeScheduler", "WorkItem"]
+__all__ = [
+    "DeadlineExceeded",
+    "OverloadedError",
+    "SERVE_RETRY_POLICY",
+    "SchedulerDraining",
+    "ServeScheduler",
+    "WorkItem",
+]

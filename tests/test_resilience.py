@@ -1,0 +1,837 @@
+"""Tests for the resilience layer (fault plane, hardened serving, chaos).
+
+Covers the deterministic fault-injection plane (plan serialization and
+sampling, firing windows, label matching, the process-global install /
+clear lifecycle), the hardened scheduler semantics (deadlines with
+queue-cancel, bounded-queue shedding, transient retry with backoff,
+draining), the daemon's structured failure modes (deadline / overloaded /
+draining errors, graceful degradation, health), the disk cache under
+injected IO faults (read errors, torn writes + quarantine, silent
+corruption caught by the shard checksum), worker-pool self-healing when a
+worker process dies mid-batch, and the chaos harness end to end: clean
+sampled plans, the deliberately unhardened result-tamper point caught by
+the bit-identity invariant, plan minimization, and bundle replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import compile_many
+from repro.api.parallel import CompileService, get_worker_pool
+from repro.circuits.random import generate
+from repro.circuits.scheduling import clear_preprocess_cache
+from repro.circuits.synthesis import get_resynthesis_prefix_cache
+from repro.core.config import ZACConfig
+from repro.core.incremental import clear_prefix_cache
+from repro.resilience.chaos import (
+    CHAOS_COMPILE_OPTIONS,
+    chaos_requests,
+    minimize_plan,
+    replay_chaos_bundle,
+    run_chaos,
+    run_chaos_plan,
+    stable_summary,
+)
+from repro.resilience.faults import (
+    HARDENED_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    TransientFaultError,
+    WorkerCrashError,
+    clear_fault_plan,
+    fault_plan_active,
+    fault_point,
+    get_injector,
+    install_fault_plan,
+    is_transient,
+    sample_fault_plan,
+)
+from repro.serve.client import bundle_requests
+from repro.serve.daemon import (
+    ServeDaemon,
+    degrade_built_options,
+    degraded_zac_config,
+)
+from repro.serve.diskcache import DiskCompileCache
+from repro.serve.scheduler import (
+    DeadlineExceeded,
+    OverloadedError,
+    SchedulerDraining,
+    ServeScheduler,
+)
+
+SA_CONFIG = ZACConfig(sa_iterations=25)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_fault_plan()
+    clear_prefix_cache()
+    clear_preprocess_cache()
+    get_resynthesis_prefix_cache().clear()
+    yield
+    clear_fault_plan()
+    clear_prefix_cache()
+    clear_preprocess_cache()
+    get_resynthesis_prefix_cache().clear()
+
+
+def _circuit(seed=0, n=5, depth=2):
+    return generate("brickwork", seed=seed, num_qubits=n, depth=depth).circuit
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+def _spec(point="worker.compile", **kwargs):
+    kwargs.setdefault("kind", "slow-compile")
+    return FaultSpec(point=point, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Fault plans: serialization, sampling, validation
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlanSerialization:
+    def test_round_trip_json(self):
+        plan = FaultPlan(
+            seed=7,
+            faults=(
+                FaultSpec(kind="slow-compile", point="worker.compile", after=1, count=2, param=0.05),
+                FaultSpec(kind="disk-read-error", point="disk.get", match="abc"),
+            ),
+            name="round-trip",
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load(self, tmp_path):
+        plan = FaultPlan(seed=3, faults=(_spec(param=0.01),), name="saved")
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_unsupported_schema_rejected(self):
+        data = FaultPlan(seed=0).to_dict()
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            FaultPlan.from_dict(data)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor-strike", point="worker.compile")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="slow-compile", point="worker.compile", after=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="slow-compile", point="worker.compile", count=0)
+
+    def test_sample_is_deterministic(self):
+        assert sample_fault_plan(123) == sample_fault_plan(123)
+        assert sample_fault_plan(123) != sample_fault_plan(124)
+
+    def test_sample_draws_only_hardened_kinds(self):
+        for seed in range(40):
+            plan = sample_fault_plan(seed)
+            assert plan.faults, f"seed {seed} produced an empty plan"
+            for spec in plan.faults:
+                assert spec.kind in HARDENED_KINDS
+                # Without a sentinel dir the crash kind must be excluded:
+                # a plan may not demand a sentinel file it cannot have.
+                assert spec.kind != "worker-crash-once"
+
+    def test_sample_with_sentinel_dir_wires_the_sentinel(self, tmp_path):
+        crash_specs = [
+            spec
+            for seed in range(40)
+            for spec in sample_fault_plan(seed, sentinel_dir=tmp_path).faults
+            if spec.kind == "worker-crash-once"
+        ]
+        assert crash_specs, "no sampled plan drew worker-crash-once in 40 seeds"
+        for spec in crash_specs:
+            assert str(tmp_path) in str(spec.param)
+
+
+# ---------------------------------------------------------------------------
+# Injector semantics: firing windows, matching, install lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_firing_window(self):
+        plan = FaultPlan(seed=0, faults=(_spec(after=1, count=2),))
+        injector = FaultInjector(plan)
+        fired = [injector.fire("worker.compile") is not None for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_match_is_applied_after_hit_counting(self):
+        plan = FaultPlan(seed=0, faults=(_spec(after=0, count=2, match="target"),))
+        injector = FaultInjector(plan)
+        # Hit 0 is in the window but the label does not match; hit 1 matches;
+        # hit 2 matches the label but the window [0, 2) has closed.
+        assert injector.fire("worker.compile", label="other") is None
+        assert injector.fire("worker.compile", label="the-target-one") is not None
+        assert injector.fire("worker.compile", label="the-target-one") is None
+        assert injector.hits("worker.compile") == 3
+
+    def test_points_count_independently(self):
+        plan = FaultPlan(seed=0, faults=(_spec(point="disk.get", kind="disk-read-error"),))
+        injector = FaultInjector(plan)
+        assert injector.fire("worker.compile") is None
+        assert injector.fire("disk.get") is not None
+        assert injector.hits("worker.compile") == 1
+        assert injector.hits("disk.get") == 1
+
+    def test_fault_point_is_noop_without_plan(self):
+        assert get_injector() is None
+        assert fault_point("worker.compile") is None
+
+    def test_fault_plan_active_installs_and_clears(self):
+        plan = FaultPlan(seed=0, faults=(_spec(kind="compile-transient"),))
+        with fault_plan_active(plan) as injector:
+            assert get_injector() is injector
+            with pytest.raises(TransientFaultError):
+                fault_point("worker.compile")
+            assert injector.fired
+        assert get_injector() is None
+
+    def test_slow_compile_sleeps(self):
+        plan = FaultPlan(seed=0, faults=(_spec(param=0.05),))
+        with fault_plan_active(plan):
+            start = time.monotonic()
+            spec = fault_point("worker.compile")
+            elapsed = time.monotonic() - start
+        assert spec is not None and spec.kind == "slow-compile"
+        assert elapsed >= 0.04
+
+    def test_disk_kinds_raise_oserror(self):
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(kind="disk-read-error", point="disk.get"),)
+        )
+        with fault_plan_active(plan):
+            with pytest.raises(OSError, match="disk-read-error"):
+                fault_point("disk.get")
+
+    def test_site_specific_kinds_are_returned_not_applied(self):
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(kind="result-tamper", point="daemon.result"),)
+        )
+        with fault_plan_active(plan):
+            spec = fault_point("daemon.result")
+        assert spec is not None and spec.kind == "result-tamper"
+
+    def test_clear_silences_env_plan(self, tmp_path, monkeypatch):
+        path = FaultPlan(seed=1, faults=(_spec(),)).save(tmp_path / "plan.json")
+        monkeypatch.setenv("REPRO_FAULT_PLAN", str(path))
+        install_fault_plan(FaultPlan(seed=2))
+        clear_fault_plan()
+        # An explicit clear must win over the env bootstrap for the rest of
+        # the process -- tests would otherwise resurrect the plan.
+        assert get_injector() is None
+
+
+# ---------------------------------------------------------------------------
+# Retry policy / transience classification
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(max_retries=5, base_delay_s=0.1, max_delay_s=0.3, jitter=0.0)
+        delays = [policy.delay(attempt) for attempt in range(4)]
+        assert delays == [0.1, 0.2, 0.3, 0.3]
+
+    def test_jitter_is_bounded(self):
+        import random
+
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0, jitter=0.5)
+        rng = random.Random(0)
+        for attempt in range(3):
+            base = min(1.0, 0.1 * 2**attempt)
+            delay = policy.delay(attempt, rng)
+            assert base <= delay <= base * 1.5
+
+    def test_is_transient(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert is_transient(TransientFaultError("blip"))
+        assert is_transient(BrokenProcessPool("worker died"))
+        assert not is_transient(WorkerCrashError("budget exhausted"))
+        assert not is_transient(ValueError("bad input"))
+
+
+# ---------------------------------------------------------------------------
+# Scheduler hardening: deadlines, shedding, retry, draining
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerResilience:
+    def test_max_queue_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ServeScheduler(max_queue=0)
+
+    def test_queued_item_cancelled_at_deadline(self):
+        async def scenario():
+            scheduler = ServeScheduler(workers=1)
+            scheduler.start()
+            release = threading.Event()
+            blocker = asyncio.ensure_future(
+                scheduler.submit("slow", lambda: release.wait(10) and "slow-done")
+            )
+            await asyncio.sleep(0.05)  # the worker picks up the blocker
+            with pytest.raises(DeadlineExceeded):
+                await scheduler.submit("queued", lambda: "never", deadline_s=0.05)
+            release.set()
+            result, coalesced = await blocker
+            stats = scheduler.stats()
+            await scheduler.stop()
+            return result, coalesced, stats
+
+        result, coalesced, stats = run_async(scenario())
+        assert result == "slow-done" and not coalesced
+        assert stats["deadline_timeouts"] == 1
+        # The poisoned item never executed: only the blocker ran.
+        assert stats["executed"] == 1
+
+    def test_started_item_deadline_raises_without_cancelling_the_thunk(self):
+        async def scenario():
+            scheduler = ServeScheduler(workers=1)
+            scheduler.start()
+            release = threading.Event()
+            with pytest.raises(DeadlineExceeded):
+                await scheduler.submit(
+                    "running", lambda: release.wait(10) and "late", deadline_s=0.05
+                )
+            release.set()
+            await scheduler.stop()
+            return scheduler.stats()
+
+        stats = run_async(scenario())
+        assert stats["deadline_timeouts"] == 1
+        assert stats["executed"] == 1  # the thunk still ran to completion
+
+    def test_overload_shedding(self):
+        async def scenario():
+            scheduler = ServeScheduler(workers=1, max_queue=1)
+            scheduler.start()
+            release = threading.Event()
+            blocker = asyncio.ensure_future(
+                scheduler.submit("blocker", lambda: release.wait(10) and "done")
+            )
+            await asyncio.sleep(0.05)
+            queued = asyncio.ensure_future(scheduler.submit("queued", lambda: "ok"))
+            await asyncio.sleep(0.02)
+            with pytest.raises(OverloadedError) as excinfo:
+                await scheduler.submit("shed-me", lambda: "never")
+            release.set()
+            await asyncio.gather(blocker, queued)
+            stats = scheduler.stats()
+            await scheduler.stop()
+            return excinfo.value, stats
+
+        error, stats = run_async(scenario())
+        assert error.queued == 1
+        assert error.retry_after_s > 0
+        assert stats["shed"] == 1
+        assert stats["executed"] == 2  # the shed item never ran
+
+    def test_transient_failure_retried(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise TransientFaultError("blip")
+            return "recovered"
+
+        async def scenario():
+            scheduler = ServeScheduler(
+                workers=1, retry_policy=RetryPolicy(max_retries=2, base_delay_s=0.001)
+            )
+            scheduler.start()
+            result, _ = await scheduler.submit("flaky", flaky)
+            stats = scheduler.stats()
+            await scheduler.stop()
+            return result, stats
+
+        result, stats = run_async(scenario())
+        assert result == "recovered"
+        assert len(attempts) == 2
+        assert stats["retried"] == 1
+
+    def test_retry_budget_is_bounded(self):
+        attempts = []
+
+        def hopeless():
+            attempts.append(1)
+            raise TransientFaultError("always")
+
+        async def scenario():
+            scheduler = ServeScheduler(
+                workers=1, retry_policy=RetryPolicy(max_retries=1, base_delay_s=0.001)
+            )
+            scheduler.start()
+            with pytest.raises(TransientFaultError):
+                await scheduler.submit("hopeless", hopeless)
+            await scheduler.stop()
+
+        run_async(scenario())
+        assert len(attempts) == 2  # first try + one retry, then give up
+
+    def test_non_transient_failure_not_retried(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ValueError("deterministic bug")
+
+        async def scenario():
+            scheduler = ServeScheduler(workers=1)
+            scheduler.start()
+            with pytest.raises(ValueError):
+                await scheduler.submit("broken", broken)
+            await scheduler.stop()
+
+        run_async(scenario())
+        assert len(attempts) == 1
+
+    def test_submit_after_stop_raises_draining(self):
+        async def scenario():
+            scheduler = ServeScheduler(workers=1)
+            scheduler.start()
+            await scheduler.submit("one", lambda: 1)
+            await scheduler.stop()
+            with pytest.raises(SchedulerDraining):
+                await scheduler.submit("late", lambda: 2)
+
+        run_async(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Daemon failure modes: structured errors, degradation, health
+# ---------------------------------------------------------------------------
+
+
+async def _with_daemon(daemon, body):
+    daemon.scheduler.start()
+    try:
+        return await body(daemon)
+    finally:
+        await daemon.scheduler.stop()
+
+
+def _compile_request(request_id, circuit_seed=0, sa_iterations=25, **params):
+    descriptor = generate(
+        "brickwork", seed=circuit_seed, num_qubits=4, depth=2
+    ).descriptor.to_dict()
+    return {
+        "id": request_id,
+        "method": "compile",
+        "params": {
+            "circuit": {"descriptor": descriptor},
+            "backend": "zac",
+            "options": {"config": {"sa_iterations": sa_iterations}},
+            **params,
+        },
+    }
+
+
+class TestDaemonResilience:
+    def test_health_reports_status_and_counters(self, tmp_path):
+        async def body(daemon):
+            return await daemon.handle({"id": 1, "method": "health"})
+
+        daemon = ServeDaemon(cache_dir=str(tmp_path))
+        response = run_async(_with_daemon(daemon, body))
+        assert response["ok"]
+        result = response["result"]
+        assert result["status"] == "ok"
+        assert "queue_depth" in result["scheduler"]
+        assert "quarantined" in result["disk"]
+
+    def test_health_reports_draining(self):
+        async def body(daemon):
+            await daemon.handle({"id": 1, "method": "shutdown"})
+            return await daemon.handle({"id": 2, "method": "health"})
+
+        response = run_async(_with_daemon(ServeDaemon(), body))
+        assert response["result"]["status"] == "draining"
+
+    def test_deadline_returns_structured_error(self):
+        async def body(daemon):
+            return await daemon.handle(
+                _compile_request(1, sa_iterations=4000, deadline_ms=1)
+            )
+
+        response = run_async(_with_daemon(ServeDaemon(), body))
+        assert not response["ok"]
+        assert response["error"]["kind"] == "deadline"
+
+    def test_overloaded_maps_to_structured_error(self):
+        async def body(daemon):
+            async def shedding_submit(*args, **kwargs):
+                raise OverloadedError(3, 0.5)
+
+            daemon.scheduler.submit = shedding_submit
+            return await daemon.handle(_compile_request(1))
+
+        response = run_async(_with_daemon(ServeDaemon(), body))
+        assert not response["ok"]
+        assert response["error"]["kind"] == "overloaded"
+        assert response["error"]["retry_after_s"] == 0.5
+
+    def test_draining_maps_to_structured_error(self):
+        async def body(daemon):
+            async def draining_submit(*args, **kwargs):
+                raise SchedulerDraining("scheduler is draining")
+
+            daemon.scheduler.submit = draining_submit
+            return await daemon.handle(_compile_request(1))
+
+        response = run_async(_with_daemon(ServeDaemon(), body))
+        assert not response["ok"]
+        assert response["error"]["kind"] == "draining"
+
+    def test_degraded_fallback_under_deadline_pressure(self):
+        # degrade_depth=0 makes every deadline'd request count as "under
+        # pressure", so the degrade branch is deterministic in a unit test.
+        async def body(daemon):
+            return await daemon.handle(_compile_request(1, deadline_ms=60000))
+
+        daemon = ServeDaemon(degrade_depth=0)
+        response = run_async(_with_daemon(daemon, body))
+        assert response["ok"]
+        result = response["result"]
+        assert result["served"] == "degraded"
+        assert result["degraded"] is True
+        assert daemon.degraded_served == 1
+
+    def test_degraded_cache_serves_warm_slim_result(self):
+        async def body(daemon):
+            first = await daemon.handle(_compile_request(1))
+            second = await daemon.handle(_compile_request(2, deadline_ms=60000))
+            return first, second
+
+        daemon = ServeDaemon(degrade_depth=0)
+        first, second = run_async(_with_daemon(daemon, body))
+        assert first["ok"] and second["ok"]
+        assert first["result"]["served"] == "compiled"
+        assert second["result"]["served"] == "degraded-cache"
+        assert second["result"]["degraded"] is True
+        # A degraded-cache hit serves the *full-options* compile verbatim.
+        assert second["result"]["summary"] == first["result"]["summary"]
+
+    def test_degraded_config_is_deterministic_and_cheap(self):
+        degraded = degraded_zac_config(ZACConfig(sa_iterations=4000))
+        assert degraded.sa_iterations == 25
+        assert not degraded.use_sa_initial_placement
+        assert not degraded.incremental
+        assert not degraded.warm_start
+        options, flagged = degrade_built_options("zac", {"config": ZACConfig()})
+        assert flagged and options["config"].sa_iterations == 25
+        options, flagged = degrade_built_options("sc", {"opt_level": 2})
+        assert not flagged and options == {"opt_level": 2}
+
+    def test_unknown_method_is_structured(self):
+        async def body(daemon):
+            return await daemon.handle({"id": 9, "method": "frobnicate"})
+
+        response = run_async(_with_daemon(ServeDaemon(), body))
+        assert not response["ok"]
+        assert "unknown method" in response["error"]["message"]
+
+
+# ---------------------------------------------------------------------------
+# Disk cache under injected IO faults
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def slim_result():
+    service = CompileService()
+    return service.compile_batch(
+        [_circuit(seed=11, n=4)],
+        "zac",
+        None,
+        parallel=0,
+        validate=False,
+        keep_programs=False,
+        config=SA_CONFIG,
+    )[0]
+
+
+class TestDiskCacheFaults:
+    KEY = ("resilience-test-key",)
+
+    def test_read_error_served_as_miss_without_unlink(self, tmp_path, slim_result):
+        cache = DiskCompileCache(tmp_path)
+        cache.put(self.KEY, slim_result)
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(kind="disk-read-error", point="disk.get"),)
+        )
+        with fault_plan_active(plan):
+            assert cache.get(self.KEY) is None  # the injected blip
+            assert cache.get(self.KEY) is not None  # window closed: shard intact
+        assert cache.io_errors == 1
+        digest = cache.digests()[0]
+        assert cache.path_for(digest).exists()
+
+    def test_torn_write_quarantined_on_restart(self, tmp_path, slim_result):
+        cache = DiskCompileCache(tmp_path)
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(kind="disk-torn-write", point="disk.replace"),)
+        )
+        with fault_plan_active(plan):
+            cache.put(self.KEY, slim_result)
+        assert cache.torn_writes == 1
+        remnants = list(tmp_path.glob("??/*.tmp"))
+        assert len(remnants) == 1
+        assert cache.get(self.KEY) is None  # the replace never happened
+
+        restarted = DiskCompileCache(tmp_path)
+        assert restarted.quarantined == 1
+        assert not list(tmp_path.glob("??/*.tmp"))
+        assert list((tmp_path / "quarantine").iterdir())
+        # The cache works normally after the sweep.
+        restarted.put(self.KEY, slim_result)
+        assert restarted.get(self.KEY) is not None
+
+    def test_silent_corruption_caught_by_checksum(self, tmp_path, slim_result):
+        cache = DiskCompileCache(tmp_path)
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(kind="disk-corrupt", point="disk.replace"),)
+        )
+        with fault_plan_active(plan):
+            cache.put(self.KEY, slim_result)
+        with pytest.warns(RuntimeWarning, match="corrupted"):
+            assert cache.get(self.KEY) is None
+        # The damaged shard is dropped, not served and not retried forever.
+        digest_path = list(tmp_path.glob("??/*.jsonl"))
+        assert not digest_path
+
+    def test_truncated_shard_is_dropped(self, tmp_path, slim_result):
+        cache = DiskCompileCache(tmp_path)
+        cache.put(self.KEY, slim_result)
+        path = cache.path_for(cache.digests()[0])
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        fresh = DiskCompileCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="corrupted"):
+            assert fresh.get(self.KEY) is None
+        assert not path.exists()
+
+
+# ---------------------------------------------------------------------------
+# Worker death mid-batch (compile_many / the warm pool)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_pool():
+    # Pool workers inherit the fault plan active at fork: force a re-fork so
+    # the plan installed by the test is what the workers see, and again on
+    # the way out so later tests get clean workers.
+    get_worker_pool().shutdown()
+    yield
+    get_worker_pool().shutdown()
+
+
+class TestWorkerDeathMidBatch:
+    def _compile(self, circuits, **kwargs):
+        return compile_many(
+            circuits,
+            "zac",
+            parallel=2,
+            validate=False,
+            keep_programs=False,
+            config=SA_CONFIG,
+            **kwargs,
+        )
+
+    def test_pool_heals_after_one_crash(self, tmp_path, fresh_pool):
+        sentinel = tmp_path / "crash.sentinel"
+        plan = FaultPlan(
+            seed=1,
+            faults=(
+                FaultSpec(
+                    kind="worker-crash-once",
+                    point="worker.compile",
+                    after=0,
+                    count=1,
+                    param=str(sentinel),
+                ),
+            ),
+            name="crash-once",
+        )
+        circuits = [_circuit(seed=seed, n=4) for seed in range(4)]
+        with fault_plan_active(plan):
+            results = self._compile(circuits, return_exceptions=True)
+        assert sentinel.exists()  # the crash really fired
+        assert len(results) == 4
+        for result in results:
+            assert not isinstance(result, Exception)
+        assert [r.circuit_name for r in results] == [c.name for c in circuits]
+
+    def test_persistent_crasher_isolated_to_its_slot(self, fresh_pool):
+        circuits = [_circuit(seed=seed, n=4) for seed in range(4)]
+        plan = FaultPlan(
+            seed=2,
+            faults=(
+                FaultSpec(
+                    kind="worker-crash",
+                    point="worker.compile",
+                    after=0,
+                    count=999,
+                    match=circuits[2].name,
+                ),
+            ),
+            name="persistent-crash",
+        )
+        with fault_plan_active(plan):
+            results = self._compile(circuits, return_exceptions=True)
+        assert isinstance(results[2], WorkerCrashError)
+        for index in (0, 1, 3):
+            assert not isinstance(results[index], Exception), f"slot {index} died too"
+
+    def test_persistent_crasher_raises_without_return_exceptions(self, fresh_pool):
+        circuits = [_circuit(seed=seed, n=4) for seed in range(4)]
+        plan = FaultPlan(
+            seed=3,
+            faults=(
+                FaultSpec(
+                    kind="worker-crash",
+                    point="worker.compile",
+                    after=0,
+                    count=999,
+                    match=circuits[1].name,
+                ),
+            ),
+            name="persistent-crash-raise",
+        )
+        with fault_plan_active(plan):
+            with pytest.raises(WorkerCrashError):
+                self._compile(circuits, return_exceptions=False)
+
+
+# ---------------------------------------------------------------------------
+# Chaos harness: storms, invariants, minimization, replay
+# ---------------------------------------------------------------------------
+
+
+class TestChaosHarness:
+    def test_requests_are_deterministic(self):
+        assert chaos_requests(5) == chaos_requests(5)
+        requests, metas = chaos_requests(5, num_requests=8)
+        assert len(requests) == len(metas) == 8
+        assert requests[0]["method"] == "compile"  # the storm always compiles
+        assert metas[0] is not None
+
+    def test_stable_summary_strips_wall_clock(self):
+        summary = {
+            "fidelity": 0.5,
+            "compile_time_s": 1.2,
+            "time_place_s": 0.3,
+            "two_qubit_gates": 7,
+        }
+        assert stable_summary(summary) == {"fidelity": 0.5, "two_qubit_gates": 7}
+
+    def test_clean_plan_passes_all_invariants(self, tmp_path):
+        plan = sample_fault_plan(17)
+        outcome = run_chaos_plan(
+            plan, cache_dir=str(tmp_path / "cache"), num_requests=6, watchdog_s=60.0
+        )
+        assert outcome.ok, outcome.violations
+        assert outcome.checks["terminal"] == 6
+        assert outcome.checks.get("bit-identical", 0) >= 1
+
+    def test_result_tamper_caught_minimized_and_replayed(self, tmp_path):
+        # The deliberately unhardened daemon.result point: the harness MUST
+        # flag it (bit-identity), shrink the plan to the tampering fault
+        # alone, and reproduce the violation from the written bundle.
+        plan = FaultPlan(
+            seed=0,
+            faults=(
+                FaultSpec(
+                    kind="slow-compile", point="worker.compile", after=0, count=1, param=0.01
+                ),
+                FaultSpec(kind="result-tamper", point="daemon.result", after=0, count=4),
+            ),
+            name="tamper-regression",
+        )
+        report = run_chaos(
+            seed=0,
+            out_dir=str(tmp_path),
+            num_requests=6,
+            watchdog_s=60.0,
+            minimize=True,
+            plans=[plan],
+        )
+        assert not report.ok
+        failures = [f for f in report.failures if f.check == "chaos:bit-identical"]
+        assert failures, [f.check for f in report.failures]
+        failure = failures[0]
+        assert failure.backend == "daemon"
+        assert failure.extra["original_num_faults"] == 2
+        assert failure.extra["minimized_num_faults"] == 1
+        minimized = FaultPlan.from_dict(failure.extra["fault_plan"])
+        assert [spec.kind for spec in minimized.faults] == ["result-tamper"]
+
+        bundle = json.loads((tmp_path / "fuzz_fail_000.json").read_text())
+        reproduced, message = replay_chaos_bundle(bundle)
+        assert reproduced, message
+        assert "bit-identical" in message
+
+    def test_minimize_keeps_a_failing_single_fault(self):
+        plan = FaultPlan(
+            seed=0,
+            faults=(
+                _spec(param=0.01),
+                FaultSpec(kind="disk-read-error", point="disk.get"),
+                FaultSpec(kind="result-tamper", point="daemon.result"),
+            ),
+            name="shrink-me",
+        )
+        minimized = minimize_plan(
+            plan, lambda p: any(s.kind == "result-tamper" for s in p.faults)
+        )
+        assert [spec.kind for spec in minimized.faults] == ["result-tamper"]
+        assert minimized.name == "shrink-me-min"
+        assert minimized.seed == plan.seed
+
+    def test_replay_rejects_bundle_without_plan(self):
+        with pytest.raises(ValueError, match="fault_plan"):
+            replay_chaos_bundle({"check": "chaos:terminal", "extra": {}})
+
+
+# ---------------------------------------------------------------------------
+# Client plumbing: chaos bundles are skipped by the replay workload
+# ---------------------------------------------------------------------------
+
+
+class TestBundleRequests:
+    def test_chaos_bundles_are_skipped(self, tmp_path):
+        compile_bundle = {
+            "kind": "fuzz-repro",
+            "backend": "zac",
+            "circuit_qasm": 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncx q[0],q[1];\n',
+            "profile": "default",
+        }
+        chaos_bundle = {
+            "kind": "fuzz-repro",
+            "backend": "daemon",
+            "check": "chaos:bit-identical",
+            "extra": {"fault_plan": FaultPlan(seed=0).to_dict()},
+        }
+        (tmp_path / "fuzz_fail_000.json").write_text(json.dumps(chaos_bundle))
+        (tmp_path / "fuzz_fail_001.json").write_text(json.dumps(compile_bundle))
+        requests = bundle_requests(tmp_path)
+        # Only the compilable bundle becomes daemon traffic; the chaos
+        # bundle has no circuit and must not poison the replay workload.
+        assert len(requests) == 1
+        assert requests[0]["params"]["backend"] == "zac"
